@@ -1,0 +1,98 @@
+//! Microbenchmarks of the SDchecker pipeline stages: line parsing, event
+//! extraction, grouping/graph construction, decomposition, and the full
+//! analysis — measured over a realistic generated corpus, because that is
+//! exactly the input the offline tool sees.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use logmodel::{Epoch, LogStore};
+use sdchecker::{analyze_store, build_graphs, decompose, extract_all, Pat};
+use simkit::{Millis, SimRng};
+use sparksim::simulate;
+use workloads::{tpch_stream, TraceParams};
+use yarnsim::ClusterConfig;
+
+/// Generate a 40-job corpus once (deterministic).
+fn corpus() -> LogStore {
+    let mut rng = SimRng::new(77);
+    let arrivals = tpch_stream(40, 2048.0, 4, &TraceParams::moderate(), &mut rng);
+    let (logs, summaries) = simulate(
+        ClusterConfig::default(),
+        77,
+        arrivals,
+        Millis::from_mins(240),
+    );
+    assert_eq!(summaries.len(), 40);
+    logs
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let logs = corpus();
+    let lines: Vec<String> = logs.iter_lines().map(|(_, l)| l).collect();
+    let total_bytes: usize = lines.iter().map(String::len).sum();
+    let epoch = Epoch::default_run();
+
+    let mut g = c.benchmark_group("parse");
+    g.throughput(Throughput::Bytes(total_bytes as u64));
+    g.bench_function("parse_lines", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for l in &lines {
+                if logmodel::parse_line(&epoch, l).is_some() {
+                    n += 1;
+                }
+            }
+            n
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("mine");
+    g.throughput(Throughput::Elements(logs.total_records() as u64));
+    g.bench_function("extract_all", |b| b.iter(|| extract_all(&logs).len()));
+    let events = extract_all(&logs);
+    g.bench_function("build_graphs", |b| b.iter(|| build_graphs(&events).len()));
+    let graphs = build_graphs(&events);
+    g.bench_function("decompose_all", |b| {
+        b.iter(|| graphs.values().map(decompose).count())
+    });
+    g.bench_function("analyze_store", |b| b.iter(|| analyze_store(&logs).delays.len()));
+    g.finish();
+
+    c.bench_function("pattern_match", |b| {
+        let pat = Pat::new("{} State change from {} to {} on event = {}");
+        let msg = "application_1521018000000_0042 State change from SUBMITTED to ACCEPTED on event = APP_ACCEPTED";
+        b.iter(|| pat.match_str(msg).map(|c| c.len()))
+    });
+
+    c.bench_function("dot_export", |b| {
+        let g0 = graphs.values().next().unwrap();
+        b.iter(|| g0.to_dot().len())
+    });
+}
+
+fn bench_disk_roundtrip(c: &mut Criterion) {
+    let logs = corpus();
+    c.bench_function("write_dir", |b| {
+        let dir = std::env::temp_dir().join("sd_bench_write");
+        b.iter_batched(
+            || {
+                let _ = std::fs::remove_dir_all(&dir);
+            },
+            |_| logs.write_dir(&dir).unwrap(),
+            BatchSize::PerIteration,
+        );
+    });
+    let dir = std::env::temp_dir().join("sd_bench_read");
+    let _ = std::fs::remove_dir_all(&dir);
+    logs.write_dir(&dir).unwrap();
+    c.bench_function("read_dir_and_analyze", |b| {
+        b.iter(|| sdchecker::analyze_dir(&dir).unwrap().delays.len())
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_pipeline, bench_disk_roundtrip
+);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Run every table/figure reproduction and write the results.
+//!
+//! ```text
+//! run_experiments [--quick] [--only fig4,fig12] [--out results/] [--seed N]
+//! ```
+//!
+//! Experiments run in parallel (one thread each; every scenario is
+//! internally deterministic and independently seeded). Each artifact is
+//! written to `<out>/<id>.txt`; a combined `ALL.md` concatenates them.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use experiments::{all_experiments, Figure, Scale};
+use parking_lot::Mutex;
+
+fn main() -> ExitCode {
+    let mut scale = Scale::Full;
+    let mut out_dir = PathBuf::from("results");
+    let mut seed: u64 = 2018;
+    let mut only: Option<Vec<String>> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => {
+                scale = Scale::Quick;
+                i += 1;
+            }
+            "--out" => {
+                out_dir = PathBuf::from(args.get(i + 1).expect("--out needs a path"));
+                i += 2;
+            }
+            "--seed" => {
+                seed = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--seed needs a number");
+                i += 2;
+            }
+            "--only" => {
+                only = Some(
+                    args.get(i + 1)
+                        .expect("--only needs a list")
+                        .split(',')
+                        .map(str::to_string)
+                        .collect(),
+                );
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                eprintln!("usage: run_experiments [--quick] [--only ids] [--out dir] [--seed N]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let todo: Vec<_> = all_experiments()
+        .into_iter()
+        .filter(|(id, _)| only.as_ref().is_none_or(|o| o.iter().any(|x| x == id)))
+        .collect();
+    if todo.is_empty() {
+        eprintln!("nothing to run");
+        return ExitCode::from(2);
+    }
+    std::fs::create_dir_all(&out_dir).expect("create output dir");
+
+    let started = Instant::now();
+    let results: Mutex<Vec<(usize, Figure, f64)>> = Mutex::new(Vec::new());
+    crossbeam::thread::scope(|s| {
+        for (idx, (id, run)) in todo.iter().enumerate() {
+            let results = &results;
+            s.spawn(move |_| {
+                let t0 = Instant::now();
+                let fig = run(scale, seed);
+                let dt = t0.elapsed().as_secs_f64();
+                eprintln!("[{:>6.1}s] {id} done ({dt:.1}s)", started.elapsed().as_secs_f64());
+                results.lock().push((idx, fig, dt));
+            });
+        }
+    })
+    .expect("experiment thread panicked");
+
+    let mut results = results.into_inner();
+    results.sort_by_key(|(idx, _, _)| *idx);
+
+    let mut all = String::new();
+    all.push_str("# SDchecker reproduction — all tables and figures\n\n");
+    for (_, fig, dt) in &results {
+        let rendered = fig.render();
+        let path = out_dir.join(format!("{}.txt", fig.id));
+        std::fs::write(&path, &rendered).expect("write artifact");
+        all.push_str(&rendered);
+        all.push_str(&format!("_(generated in {dt:.1}s)_\n\n"));
+    }
+    let all_path = out_dir.join("ALL.md");
+    std::fs::write(&all_path, &all).expect("write ALL.md");
+
+    let mut stdout = std::io::stdout().lock();
+    let _ = writeln!(
+        stdout,
+        "wrote {} artifacts to {} in {:.1}s",
+        results.len(),
+        out_dir.display(),
+        started.elapsed().as_secs_f64()
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,210 @@
+//! `sdsim` — simulate a Spark-on-YARN query stream from the command line
+//! and analyze it with SDchecker in one shot.
+//!
+//! ```text
+//! sdsim [--queries N] [--input-mb MB] [--executors N] [--seed S]
+//!       [--scheduler capacity|opportunistic] [--docker]
+//!       [--extra-files-mb MB] [--dfsio-writers N] [--kmeans-apps N]
+//!       [--out <log-dir>] [--timeline]
+//! ```
+//!
+//! Defaults reproduce the paper's setup: 2 GB input, 4 executors, the
+//! Capacity Scheduler on a 25-node cluster.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use sdchecker::{analyze_store, ascii_gantt, full_report};
+use simkit::Millis;
+use sparksim::{profiles, simulate};
+use workloads::{map_jobs, merge, shifted, tpch_stream, TraceParams};
+use yarnsim::{ClusterConfig, ContainerRuntime};
+
+struct Opts {
+    queries: usize,
+    input_mb: f64,
+    executors: u32,
+    seed: u64,
+    opportunistic: bool,
+    docker: bool,
+    extra_files_mb: f64,
+    dfsio_writers: u32,
+    kmeans_apps: u32,
+    out: Option<PathBuf>,
+    timeline: bool,
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let mut o = Opts {
+        queries: 50,
+        input_mb: 2048.0,
+        executors: 4,
+        seed: 2018,
+        opportunistic: false,
+        docker: false,
+        extra_files_mb: 0.0,
+        dfsio_writers: 0,
+        kmeans_apps: 0,
+        out: None,
+        timeline: false,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |args: &[String], i: usize, flag: &str| -> Result<String, String> {
+        args.get(i + 1)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--queries" => {
+                o.queries = value(&args, i, "--queries")?.parse().map_err(|e| format!("{e}"))?;
+                i += 2;
+            }
+            "--input-mb" => {
+                o.input_mb = value(&args, i, "--input-mb")?.parse().map_err(|e| format!("{e}"))?;
+                i += 2;
+            }
+            "--executors" => {
+                o.executors = value(&args, i, "--executors")?.parse().map_err(|e| format!("{e}"))?;
+                i += 2;
+            }
+            "--seed" => {
+                o.seed = value(&args, i, "--seed")?.parse().map_err(|e| format!("{e}"))?;
+                i += 2;
+            }
+            "--scheduler" => {
+                o.opportunistic = match value(&args, i, "--scheduler")?.as_str() {
+                    "capacity" => false,
+                    "opportunistic" => true,
+                    other => return Err(format!("unknown scheduler {other}")),
+                };
+                i += 2;
+            }
+            "--docker" => {
+                o.docker = true;
+                i += 1;
+            }
+            "--extra-files-mb" => {
+                o.extra_files_mb = value(&args, i, "--extra-files-mb")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
+                i += 2;
+            }
+            "--dfsio-writers" => {
+                o.dfsio_writers = value(&args, i, "--dfsio-writers")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
+                i += 2;
+            }
+            "--kmeans-apps" => {
+                o.kmeans_apps = value(&args, i, "--kmeans-apps")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
+                i += 2;
+            }
+            "--out" => {
+                o.out = Some(PathBuf::from(value(&args, i, "--out")?));
+                i += 2;
+            }
+            "--timeline" => {
+                o.timeline = true;
+                i += 1;
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(o)
+}
+
+fn main() -> ExitCode {
+    let o = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: sdsim [--queries N] [--input-mb MB] [--executors N] [--seed S] \
+                 [--scheduler capacity|opportunistic] [--docker] [--extra-files-mb MB] \
+                 [--dfsio-writers N] [--kmeans-apps N] [--out <log-dir>] [--timeline]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut rng = simkit::SimRng::new(o.seed);
+    let mut queries = map_jobs(
+        tpch_stream(o.queries, o.input_mb, o.executors, &TraceParams::moderate(), &mut rng),
+        |j| {
+            j.extra_files_mb = o.extra_files_mb;
+            if o.docker {
+                j.runtime = ContainerRuntime::Docker;
+            }
+        },
+    );
+    if o.dfsio_writers > 0 || o.kmeans_apps > 0 {
+        queries = shifted(queries, Millis(40_000));
+    }
+    let last = queries.last().map(|(t, _)| *t).unwrap_or(Millis::ZERO);
+    let mut streams = vec![queries];
+    if o.dfsio_writers > 0 {
+        let gb = (last.as_f64() * 0.09 / 1024.0).max(20.0);
+        streams.push(vec![(Millis::ZERO, profiles::dfsio(o.dfsio_writers, gb))]);
+    }
+    for k in 0..o.kmeans_apps {
+        let iters = (last.0 / 3_000 + 50) as u32;
+        streams.push(vec![(Millis(400 * k as u64), profiles::kmeans(iters))]);
+    }
+    let arrivals = merge(streams);
+
+    let cfg = if o.opportunistic {
+        ClusterConfig::default().with_opportunistic()
+    } else {
+        ClusterConfig::default()
+    };
+
+    eprintln!(
+        "simulating {} TPC-H queries ({} MB, {} executors, {}{}{}) ...",
+        o.queries,
+        o.input_mb,
+        o.executors,
+        if o.opportunistic { "opportunistic" } else { "capacity" },
+        if o.docker { ", docker" } else { "" },
+        if o.dfsio_writers > 0 || o.kmeans_apps > 0 {
+            ", with interference"
+        } else {
+            ""
+        },
+    );
+    let t0 = std::time::Instant::now();
+    let (logs, summaries) = simulate(cfg, o.seed, arrivals, Millis::from_mins(24 * 60));
+    eprintln!(
+        "simulated {} jobs / {} log records in {:.2?}",
+        summaries.len(),
+        logs.total_records(),
+        t0.elapsed()
+    );
+
+    if let Some(dir) = &o.out {
+        if let Err(e) = logs.write_dir(dir) {
+            eprintln!("failed to write logs to {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote log corpus to {}", dir.display());
+    }
+
+    let analysis = analyze_store(&logs);
+    print!("{}", full_report(&analysis));
+
+    if o.timeline {
+        // Show the median-total application's timeline (the Fig 10 view).
+        let mut complete: Vec<_> = analysis.delays.iter().filter(|d| d.total_ms.is_some()).collect();
+        complete.sort_by_key(|d| d.total_ms);
+        if let Some(mid) = complete.get(complete.len() / 2) {
+            if let Some(g) = analysis.graphs.get(&mid.app) {
+                println!();
+                print!("{}", ascii_gantt(g, 100));
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,88 @@
+//! §V-A: finding the SPARK-21562 over-allocation bug.
+//!
+//! Under the distributed (opportunistic) scheduler the paper observed
+//! containers "that were allocated but never used": only RM/NM states,
+//! no executor log evidence. The simulator reproduces the buggy driver
+//! behaviour (requesting more containers than the actual demand) and
+//! SDchecker detects it purely from the logs.
+
+use sdchecker::Table;
+use workloads::{map_jobs, tpch_stream, TraceParams};
+use yarnsim::ClusterConfig;
+
+use crate::harness::{default_horizon, run_scenario, scenario_rng, Figure, Scale, ScenarioResult};
+
+/// Run a short opportunistic-scheduler trace with the buggy
+/// over-allocation (`extra` containers requested beyond the demand).
+pub fn scenario(extra: u32, scale: Scale, seed: u64) -> ScenarioResult {
+    let n = scale.n(100);
+    let mut rng = scenario_rng(seed ^ 0xB06);
+    let arrivals = map_jobs(
+        tpch_stream(n, 2048.0, 4, &TraceParams::moderate(), &mut rng),
+        |j| j.overalloc_extra = extra,
+    );
+    run_scenario(
+        ClusterConfig::default().with_opportunistic(),
+        seed,
+        arrivals,
+        default_horizon(),
+    )
+}
+
+/// Reproduce the bug-finding result.
+pub fn bug_finding(scale: Scale, seed: u64) -> Figure {
+    let clean = scenario(0, scale, seed);
+    let buggy = scenario(2, scale, seed);
+    let mut t = Table::new(&["run", "apps", "unused containers", "acquired", "reached NM"]);
+    for (label, r) in [("clean", &clean), ("buggy (2 extra/app)", &buggy)] {
+        let u = &r.analysis.unused_containers;
+        t.row(vec![
+            label.to_string(),
+            r.analysis.graphs.len().to_string(),
+            u.len().to_string(),
+            u.iter().filter(|x| x.acquired).count().to_string(),
+            u.iter().filter(|x| x.reached_nm).count().to_string(),
+        ]);
+    }
+    let notes = vec![
+        format!(
+            "buggy run wastes {} containers across {} apps; the clean run wastes {}",
+            buggy.analysis.unused_containers.len(),
+            buggy.analysis.graphs.len(),
+            clean.analysis.unused_containers.len()
+        ),
+        "signature matches §V-A: RM states present, executor log messages 13/14 absent".into(),
+    ];
+    Figure {
+        id: "bug",
+        title: "SPARK-21562: allocated-but-never-used containers".into(),
+        tables: vec![("detection".into(), t)],
+        notes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detector_fires_only_on_buggy_runs() {
+        let clean = scenario(0, Scale::Quick, 121);
+        assert!(
+            clean.analysis.unused_containers.is_empty(),
+            "clean run must not trip the detector"
+        );
+        let buggy = scenario(2, Scale::Quick, 121);
+        let apps = buggy.analysis.graphs.len();
+        let unused = buggy.analysis.unused_containers.len();
+        assert_eq!(
+            unused,
+            apps * 2,
+            "every app over-requested 2 containers: {unused} flagged across {apps} apps"
+        );
+        // All were acquired (opportunistic grants acquire immediately) but
+        // none reached a NodeManager.
+        assert!(buggy.analysis.unused_containers.iter().all(|u| u.acquired));
+        assert!(buggy.analysis.unused_containers.iter().all(|u| !u.reached_nm));
+    }
+}

@@ -1,0 +1,137 @@
+//! Measurement-driven calibration: close the loop between SDchecker's
+//! mined delays and the simulator's work parameters.
+//!
+//! A reproduction like this one hand-calibrates distributions against the
+//! paper's reported medians. With a *real* log corpus (which sdchecker can
+//! analyze unchanged), a better workflow exists: mine the per-component
+//! populations and feed them back as [`simkit::Dist::Empirical`] work
+//! profiles, so the simulator replays the measured marginals directly.
+//! This module implements that loop for the components whose wall time
+//! equals their work on an idle node (launch work, driver init), and
+//! verifies the round trip: simulate → mine → re-drive → medians match.
+
+use sdchecker::Analysis;
+use simkit::Dist;
+use sparksim::JobSpec;
+
+/// Distributions mined from a corpus, suitable for re-driving the
+/// simulator.
+#[derive(Debug, Clone)]
+pub struct MinedProfile {
+    /// Worker (executor) launch delays (SCHEDULED → first log), ms.
+    pub worker_launch_ms: Dist,
+    /// AM (driver) launch delays, ms.
+    pub am_launch_ms: Dist,
+    /// Driver init delays (first log → registration), ms.
+    pub driver_init_ms: Dist,
+    /// Sample counts backing each distribution.
+    pub samples: (usize, usize, usize),
+}
+
+/// Mine a profile from an analyzed corpus. Returns `None` when any
+/// component has no samples.
+pub fn mine_profile(an: &Analysis) -> Option<MinedProfile> {
+    let worker: Vec<f64> = an
+        .container_component_ms(true, |c| c.launching_ms)
+        .into_iter()
+        .map(|v| v as f64)
+        .collect();
+    let am: Vec<f64> = an
+        .delays
+        .iter()
+        .flat_map(|d| d.containers.iter())
+        .filter(|c| c.is_am)
+        .filter_map(|c| c.launching_ms)
+        .map(|v| v as f64)
+        .collect();
+    let driver: Vec<f64> = an
+        .component_ms(|d| d.driver_ms)
+        .into_iter()
+        .map(|v| v as f64)
+        .collect();
+    if worker.is_empty() || am.is_empty() || driver.is_empty() {
+        return None;
+    }
+    Some(MinedProfile {
+        samples: (worker.len(), am.len(), driver.len()),
+        worker_launch_ms: Dist::empirical(worker),
+        am_launch_ms: Dist::empirical(am),
+        driver_init_ms: Dist::empirical(driver),
+    })
+}
+
+/// Build a replay spec: `base` with its launch/driver work replaced by the
+/// mined wall-time populations.
+///
+/// Valid on a lightly loaded cluster, where wall time ≈ work: the mined
+/// delays are installed as single-threaded CPU work with the IO parts
+/// zeroed (their cost is already inside the mined wall times).
+pub fn replay_spec(mut base: JobSpec, mined: &MinedProfile) -> JobSpec {
+    base.label = format!("{}-replay", base.label);
+    base.worker_launch_cpu_ms = mined.worker_launch_ms.clone();
+    base.am_launch_cpu_ms = mined.am_launch_ms.clone();
+    base.launch_io_mb = 0.0;
+    base.driver_init_cpu_ms = mined.driver_init_ms.clone();
+    base.driver_init_threads = 1.0;
+    base
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{default_horizon, run_scenario, scenario_rng, Scale};
+    use sdchecker::Summary;
+    use workloads::{tpch_stream, TraceParams};
+    use yarnsim::ClusterConfig;
+
+    fn run(arrivals: Vec<(simkit::Millis, JobSpec)>, seed: u64) -> Analysis {
+        let r = run_scenario(ClusterConfig::default(), seed, arrivals, default_horizon());
+        r.analysis
+    }
+
+    #[test]
+    fn mine_replay_roundtrip_preserves_medians() {
+        // Reference corpus.
+        let mut rng = scenario_rng(161);
+        let arrivals = tpch_stream(Scale::Quick.n(400), 2048.0, 4, &TraceParams::moderate(), &mut rng);
+        let reference = run(arrivals.clone(), 161);
+        let mined = mine_profile(&reference).expect("mineable corpus");
+        assert!(mined.samples.0 >= 20, "worker samples {}", mined.samples.0);
+
+        // Re-drive the same trace with the mined profile.
+        let replay: Vec<_> = arrivals
+            .into_iter()
+            .map(|(t, s)| (t, replay_spec(s, &mined)))
+            .collect();
+        let replayed = run(replay, 162);
+
+        // Medians of the replayed components must track the mined ones.
+        let m = |an: &Analysis, f: fn(&sdchecker::ContainerDelays) -> Option<u64>| {
+            Summary::from_ms(&an.container_component_ms(true, f)).unwrap().p50
+        };
+        let ref_launch = m(&reference, |c| c.launching_ms);
+        let rep_launch = m(&replayed, |c| c.launching_ms);
+        let rel = (rep_launch - ref_launch).abs() / ref_launch;
+        assert!(
+            rel < 0.25,
+            "replayed launch median {rep_launch:.2}s vs mined {ref_launch:.2}s ({rel:.0}% off)"
+        );
+
+        let ref_driver = Summary::from_ms(&reference.component_ms(|d| d.driver_ms)).unwrap().p50;
+        let rep_driver = Summary::from_ms(&replayed.component_ms(|d| d.driver_ms)).unwrap().p50;
+        let rel = (rep_driver - ref_driver).abs() / ref_driver;
+        assert!(
+            rel < 0.25,
+            "replayed driver median {rep_driver:.2}s vs mined {ref_driver:.2}s ({rel:.0}% off)"
+        );
+    }
+
+    #[test]
+    fn mine_profile_requires_evidence() {
+        // An empty corpus mines nothing.
+        let empty = sdchecker::analyze_store(&logmodel::LogStore::new(
+            logmodel::Epoch::default_run(),
+        ));
+        assert!(mine_profile(&empty).is_none());
+    }
+}

@@ -1,0 +1,210 @@
+//! Figure 7: scheduler comparison and heartbeat effects.
+//!
+//! * (a) aggregated container-allocation delay (`START_ALLO`→`END_ALLO`):
+//!   the distributed opportunistic scheduler is far faster than the
+//!   centralized Capacity Scheduler (paper: ~80× median, p95 108 ms vs
+//!   3 709 ms).
+//! * (b) on a highly loaded cluster the distributed scheduler's random
+//!   placement queues tasks NM-side for tens of seconds (paper: up to
+//!   53 s) while the centralized scheduler's queueing is ~100 ms.
+//! * (c) the container *acquisition* delay is capped by the AM heartbeat
+//!   (1 s) and is insensitive to cluster load.
+
+use sdchecker::{summary_table, Summary};
+use simkit::Millis;
+use sparksim::profiles;
+use workloads::{merge, periodic, tpch_stream, TraceParams};
+use yarnsim::ClusterConfig;
+
+use crate::harness::{default_horizon, run_scenario, scenario_rng, Figure, Scale, ScenarioResult};
+
+/// (a): the same short query trace on both schedulers.
+pub fn scenario_alloc(opportunistic: bool, scale: Scale, seed: u64) -> ScenarioResult {
+    let n = scale.n(200);
+    let mut rng = scenario_rng(seed ^ 0x07A);
+    let arrivals = tpch_stream(n, 2048.0, 4, &TraceParams::moderate(), &mut rng);
+    let cfg = if opportunistic {
+        ClusterConfig::default().with_opportunistic()
+    } else {
+        ClusterConfig::default()
+    };
+    run_scenario(cfg, seed, arrivals, default_horizon())
+}
+
+/// (b): queries on a nearly full cluster (long-running MR filler holding
+/// ~95 % of the vcores).
+pub fn scenario_queueing(opportunistic: bool, scale: Scale, seed: u64) -> ScenarioResult {
+    let n = scale.n(120);
+    let mut rng = scenario_rng(seed ^ 0xBEEF);
+    let queries = tpch_stream(n, 2048.0, 4, &TraceParams::moderate(), &mut rng);
+    let last = queries.last().map(|(t, _)| *t).unwrap_or(Millis::ZERO);
+
+    // Filler: map tasks sized to occupy ~97 % of cluster *memory* (the
+    // dimension the stock scheduler packs by), each ~2 min of CPU,
+    // resubmitted so the cluster stays full for the whole trace.
+    let mut filler = profiles::mr_wordcount(775.0 * 128.0);
+    filler.executor_resource = yarnsim::ResourceReq { mem_mb: 4096, vcores: 1 };
+    filler.stages[0].tasks = 775;
+    filler.stages[0].task_cpu_ms = simkit::Dist::lognormal(120_000.0, 0.10);
+    filler.stages[1].tasks = 0;
+    let fillers = periodic(
+        &filler,
+        (last.0 / 110_000 + 2) as usize,
+        Millis::ZERO,
+        Millis(110_000),
+    );
+
+    let cfg = if opportunistic {
+        ClusterConfig::default().with_opportunistic()
+    } else {
+        ClusterConfig::default()
+    };
+    run_scenario(cfg, seed, merge(vec![fillers, queries]), default_horizon())
+}
+
+/// (c): acquisition delay under MR wordcount load levels.
+pub fn scenario_acquisition(load: f64, scale: Scale, seed: u64) -> ScenarioResult {
+    let n = scale.n(120);
+    let mut rng = scenario_rng(seed ^ ((load * 100.0) as u64) << 3);
+    let queries = tpch_stream(n, 2048.0, 4, &TraceParams::moderate(), &mut rng);
+    let last = queries.last().map(|(t, _)| *t).unwrap_or(Millis::ZERO);
+    // Load generator: maps sized to occupy `load` of the cluster memory
+    // left over after the queries themselves.
+    let maps = (load * 700.0) as u64;
+    let mut arrivals = queries;
+    if maps > 0 {
+        let mut ld = profiles::mr_wordcount(maps as f64 * 128.0);
+        ld.executor_resource = yarnsim::ResourceReq { mem_mb: 4096, vcores: 1 };
+        ld.stages[0].task_cpu_ms = simkit::Dist::lognormal(100_000.0, 0.10);
+        ld.stages[1].tasks = 0;
+        let loaders = periodic(
+            &ld,
+            (last.0 / 95_000 + 2) as usize,
+            Millis::ZERO,
+            Millis(95_000),
+        );
+        arrivals = merge(vec![arrivals, loaders]);
+    }
+    run_scenario(ClusterConfig::default(), seed, arrivals, default_horizon())
+}
+
+/// Reproduce Figure 7 (a)–(c).
+pub fn fig7(scale: Scale, seed: u64) -> Figure {
+    // (a) allocation delay by scheduler.
+    let ce = scenario_alloc(false, scale, seed);
+    let de = scenario_alloc(true, scale, seed);
+    let alloc_samples: Vec<(&str, Vec<u64>)> = vec![
+        ("ce-alloc", ce.ms(|d| d.alloc_ms)),
+        ("de-alloc", de.ms(|d| d.alloc_ms)),
+    ];
+
+    // (b) queueing delay on a loaded cluster.
+    let ceq = scenario_queueing(false, scale, seed);
+    let deq = scenario_queueing(true, scale, seed);
+    let queue_samples: Vec<(&str, Vec<u64>)> = vec![
+        ("ce-queue", ceq.container_ms(true, |c| c.nm_queue_ms)),
+        ("de-queue", deq.container_ms(true, |c| c.nm_queue_ms)),
+    ];
+
+    // (c) acquisition delay vs load.
+    let mut acq: Vec<(String, Vec<u64>)> = Vec::new();
+    for load in [0.1, 0.4, 0.7, 1.0] {
+        let r = scenario_acquisition(load, scale, seed);
+        acq.push((
+            format!("{:.0}% load", load * 100.0),
+            r.container_ms(true, |c| c.acquisition_ms),
+        ));
+    }
+    let acq_ref: Vec<(&str, Vec<u64>)> = acq.iter().map(|(l, v)| (l.as_str(), v.clone())).collect();
+
+    let mut notes = Vec::new();
+    if let (Some(c), Some(d)) = (
+        Summary::from_ms(&alloc_samples[0].1),
+        Summary::from_ms(&alloc_samples[1].1),
+    ) {
+        notes.push(format!(
+            "alloc delay median: centralized {:.3}s vs distributed {:.3}s ({:.0}x; paper ~80x), p95 {:.3}s vs {:.3}s (paper 3.709s vs 0.108s)",
+            c.p50, d.p50, c.p50 / d.p50.max(1e-9), c.p95, d.p95
+        ));
+    }
+    if let (Some(c), Some(d)) = (
+        Summary::from_ms(&queue_samples[0].1),
+        Summary::from_ms(&queue_samples[1].1),
+    ) {
+        notes.push(format!(
+            "NM queueing on a loaded cluster: centralized max {:.1}s vs distributed max {:.1}s (paper: ~0.1s vs up to 53s)",
+            c.max, d.max
+        ));
+    }
+    for (label, v) in &acq_ref {
+        if let Some(s) = Summary::from_ms(v) {
+            notes.push(format!(
+                "acquisition @{label}: p50 {:.3}s, max {:.3}s (must stay ≤ the 1s AM heartbeat)",
+                s.p50, s.max
+            ));
+        }
+    }
+
+    Figure {
+        id: "fig7",
+        title: "Schedulers: allocation delay, NM queueing, acquisition vs load".into(),
+        tables: vec![
+            ("(a) container allocation delay by scheduler".into(), summary_table(&alloc_samples)),
+            ("(b) NM queueing delay on a loaded cluster".into(), summary_table(&queue_samples)),
+            ("(c) acquisition delay vs cluster load".into(), summary_table(&acq_ref)),
+        ],
+        notes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distributed_allocates_much_faster() {
+        let ce = scenario_alloc(false, Scale::Quick, 31);
+        let de = scenario_alloc(true, Scale::Quick, 31);
+        let c = Summary::from_ms(&ce.ms(|d| d.alloc_ms)).unwrap();
+        let d = Summary::from_ms(&de.ms(|d| d.alloc_ms)).unwrap();
+        assert!(
+            c.p50 > d.p50 * 5.0,
+            "centralized {:.3}s must be ≫ distributed {:.3}s",
+            c.p50,
+            d.p50
+        );
+        assert!(d.p95 < 0.5, "distributed p95 {:.3}s should be sub-second", d.p95);
+        assert!(c.p95 > 0.8, "centralized p95 {:.3}s should be ~seconds", c.p95);
+    }
+
+    #[test]
+    fn opportunistic_queues_on_loaded_cluster() {
+        let deq = scenario_queueing(true, Scale::Quick, 37);
+        let q = Summary::from_ms(&deq.container_ms(true, |c| c.nm_queue_ms)).unwrap();
+        assert!(
+            q.max > 5.0,
+            "distributed queueing max {:.1}s must reach many seconds",
+            q.max
+        );
+        let ceq = scenario_queueing(false, Scale::Quick, 37);
+        let cq = Summary::from_ms(&ceq.container_ms(true, |c| c.nm_queue_ms)).unwrap();
+        assert!(
+            cq.p95 < 0.5,
+            "centralized queueing p95 {:.2}s must stay tiny",
+            cq.p95
+        );
+    }
+
+    #[test]
+    fn acquisition_capped_by_heartbeat_and_load_insensitive() {
+        let lo = scenario_acquisition(0.1, Scale::Quick, 41);
+        let hi = scenario_acquisition(1.0, Scale::Quick, 41);
+        let a_lo = Summary::from_ms(&lo.container_ms(true, |c| c.acquisition_ms)).unwrap();
+        let a_hi = Summary::from_ms(&hi.container_ms(true, |c| c.acquisition_ms)).unwrap();
+        assert!(a_lo.max <= 1.1, "acquisition max {:.3}s > heartbeat", a_lo.max);
+        assert!(a_hi.max <= 1.1, "acquisition max {:.3}s > heartbeat", a_hi.max);
+        // Load-insensitive: medians within 3x of each other.
+        let ratio = a_hi.p50 / a_lo.p50.max(1e-9);
+        assert!((0.33..3.0).contains(&ratio), "medians diverged: {ratio}");
+    }
+}

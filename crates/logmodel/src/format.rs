@@ -1,0 +1,265 @@
+//! The log4j line format: rendering and parsing.
+//!
+//! Both YARN and Spark use log4j (paper §III-A); each message is
+//!
+//! ```text
+//! 2018-03-14 09:00:17,123 INFO  RMAppImpl: application_... State change ...
+//! ```
+//!
+//! i.e. an ISO-8601 timestamp with comma-separated milliseconds (log4j's
+//! `ISO8601` date format), a level, the logger's class name, and the message.
+//! Timestamps carry 1 ms precision — the precision bound of SDchecker.
+//!
+//! Calendar math is implemented directly (civil-from-days / days-from-civil,
+//! Howard Hinnant's algorithms) rather than pulling in a chrono dependency:
+//! we only need fixed-offset wall-clock rendering of an epoch plus a
+//! millisecond offset.
+
+use crate::record::{Level, LogRecord};
+use crate::TsMs;
+
+/// A wall-clock anchor for a run: log line timestamps are
+/// `epoch + record.ts` rendered as civil date-time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Epoch {
+    /// Milliseconds since the Unix epoch at simulation time zero.
+    pub unix_ms: u64,
+}
+
+impl Epoch {
+    /// The default anchor used across this repository: 2018-03-14 09:00:00
+    /// (an arbitrary morning in the paper's submission year). Also the
+    /// source of the `cluster_ts` in application IDs.
+    pub fn default_run() -> Epoch {
+        // 2018-03-14T09:00:00Z = 1521018000 s.
+        Epoch {
+            unix_ms: 1_521_018_000_000,
+        }
+    }
+
+    /// The Unix-ms instant of a simulation offset.
+    pub fn instant(&self, ts: TsMs) -> u64 {
+        self.unix_ms + ts.0
+    }
+
+    /// Convert a Unix-ms instant back to a simulation offset. `None` if the
+    /// instant predates the epoch.
+    pub fn offset_of(&self, unix_ms: u64) -> Option<TsMs> {
+        unix_ms.checked_sub(self.unix_ms).map(TsMs)
+    }
+}
+
+/// days → (year, month, day) for days since 1970-01-01 (Hinnant's
+/// `civil_from_days`).
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = (z - era * 146_097) as u64; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe as i64 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// (year, month, day) → days since 1970-01-01 (Hinnant's `days_from_civil`).
+fn days_from_civil(y: i64, m: u32, d: u32) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as u64; // [0, 399]
+    let mp = if m > 2 { m - 3 } else { m + 9 } as u64;
+    let doy = (153 * mp + 2) / 5 + d as u64 - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe as i64 - 719_468
+}
+
+/// Render a Unix-ms instant as `YYYY-MM-DD HH:MM:SS,mmm`.
+pub fn format_unix_ms(unix_ms: u64) -> String {
+    let days = (unix_ms / 86_400_000) as i64;
+    let in_day = unix_ms % 86_400_000;
+    let (y, mo, d) = civil_from_days(days);
+    let ms = in_day % 1000;
+    let s = (in_day / 1000) % 60;
+    let mi = (in_day / 60_000) % 60;
+    let h = in_day / 3_600_000;
+    format!("{y:04}-{mo:02}-{d:02} {h:02}:{mi:02}:{s:02},{ms:03}")
+}
+
+/// Render a record timestamp under `epoch`.
+pub fn format_timestamp(epoch: &Epoch, ts: TsMs) -> String {
+    format_unix_ms(epoch.instant(ts))
+}
+
+/// Parse `YYYY-MM-DD HH:MM:SS,mmm` to a Unix-ms instant.
+pub fn parse_timestamp(s: &str) -> Option<u64> {
+    // Fixed-width format: positions are stable.
+    if s.len() != 23 {
+        return None;
+    }
+    let b = s.as_bytes();
+    if b[4] != b'-' || b[7] != b'-' || b[10] != b' ' || b[13] != b':' || b[16] != b':' || b[19] != b','
+    {
+        return None;
+    }
+    let num = |lo: usize, hi: usize| -> Option<u64> { s.get(lo..hi)?.parse().ok() };
+    let y = num(0, 4)? as i64;
+    let mo = num(5, 7)? as u32;
+    let d = num(8, 10)? as u32;
+    let h = num(11, 13)?;
+    let mi = num(14, 16)?;
+    let sec = num(17, 19)?;
+    let ms = num(20, 23)?;
+    if !(1..=12).contains(&mo) || !(1..=31).contains(&d) || h > 23 || mi > 59 || sec > 59 {
+        return None;
+    }
+    let days = days_from_civil(y, mo, d);
+    if days < 0 {
+        return None;
+    }
+    Some(days as u64 * 86_400_000 + h * 3_600_000 + mi * 60_000 + sec * 1000 + ms)
+}
+
+/// Render a full log line.
+pub fn format_line(epoch: &Epoch, rec: &LogRecord) -> String {
+    format!(
+        "{} {:<5} {}: {}",
+        format_timestamp(epoch, rec.ts),
+        rec.level,
+        rec.class,
+        rec.message
+    )
+}
+
+/// Parse a log line back to a [`LogRecord`]. Returns `None` for lines that
+/// do not match the format (SDchecker skips them — real logs contain stack
+/// traces and banners too).
+pub fn parse_line(epoch: &Epoch, line: &str) -> Option<LogRecord> {
+    let line = line.trim_end();
+    if line.len() < 25 {
+        return None;
+    }
+    let ts_str = line.get(0..23)?;
+    let unix_ms = parse_timestamp(ts_str)?;
+    let ts = epoch.offset_of(unix_ms)?;
+    let rest = line.get(24..)?; // skip the space after the timestamp
+    let mut parts = rest.splitn(2, ' ');
+    let level = Level::parse(parts.next()?)?;
+    let after_level = parts.next()?.trim_start();
+    let (class, message) = after_level.split_once(": ")?;
+    Some(LogRecord::new(ts, level, class, message))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_rendering() {
+        let e = Epoch::default_run();
+        assert_eq!(format_timestamp(&e, TsMs(0)), "2018-03-14 09:00:00,000");
+        assert_eq!(format_timestamp(&e, TsMs(17_123)), "2018-03-14 09:00:17,123");
+        // Crosses a minute and an hour.
+        assert_eq!(
+            format_timestamp(&e, TsMs(3_600_000 + 61_005)),
+            "2018-03-14 10:01:01,005"
+        );
+    }
+
+    #[test]
+    fn rendering_crosses_midnight() {
+        let e = Epoch::default_run();
+        let day = 86_400_000;
+        assert_eq!(format_timestamp(&e, TsMs(day)), "2018-03-15 09:00:00,000");
+        // 2018-03-31 + 1 day = April 1st.
+        assert_eq!(
+            format_timestamp(&e, TsMs(18 * day)),
+            "2018-04-01 09:00:00,000"
+        );
+    }
+
+    #[test]
+    fn timestamp_roundtrip() {
+        let e = Epoch::default_run();
+        for off in [0u64, 1, 999, 1000, 59_999, 86_400_000 * 3 + 12_345_678] {
+            let s = format_timestamp(&e, TsMs(off));
+            let parsed = parse_timestamp(&s).unwrap();
+            assert_eq!(e.offset_of(parsed), Some(TsMs(off)), "offset {off} => {s}");
+        }
+    }
+
+    #[test]
+    fn parse_timestamp_rejects_malformed() {
+        assert_eq!(parse_timestamp("2018-03-14 09:00:00.000"), None); // dot not comma
+        assert_eq!(parse_timestamp("2018-03-14T09:00:00,000"), None);
+        assert_eq!(parse_timestamp("18-03-14 09:00:00,000"), None);
+        assert_eq!(parse_timestamp("2018-13-14 09:00:00,000"), None);
+        assert_eq!(parse_timestamp(""), None);
+    }
+
+    #[test]
+    fn line_roundtrip() {
+        let e = Epoch::default_run();
+        let rec = LogRecord::new(
+            TsMs(5_123),
+            Level::Info,
+            "RMAppImpl",
+            "application_1521018000000_0001 State change from SUBMITTED to ACCEPTED on event = APP_ACCEPTED",
+        );
+        let line = format_line(&e, &rec);
+        assert_eq!(
+            line,
+            "2018-03-14 09:00:05,123 INFO  RMAppImpl: application_1521018000000_0001 State change from SUBMITTED to ACCEPTED on event = APP_ACCEPTED"
+        );
+        assert_eq!(parse_line(&e, &line), Some(rec));
+    }
+
+    #[test]
+    fn line_levels_align() {
+        let e = Epoch::default_run();
+        let rec = LogRecord::new(TsMs(0), Level::Error, "C", "m");
+        let line = format_line(&e, &rec);
+        assert!(line.contains(" ERROR C: m"), "{line}");
+        assert_eq!(parse_line(&e, &line), Some(rec));
+    }
+
+    #[test]
+    fn parse_line_skips_non_log_lines() {
+        let e = Epoch::default_run();
+        assert_eq!(parse_line(&e, ""), None);
+        assert_eq!(parse_line(&e, "    at java.lang.Thread.run(Thread.java:748)"), None);
+        assert_eq!(parse_line(&e, "SLF4J: Class path contains multiple bindings"), None);
+        // Pre-epoch timestamps are rejected (cannot be mapped to offsets).
+        assert_eq!(
+            parse_line(&e, "2018-03-14 08:59:59,999 INFO  C: m"),
+            None
+        );
+    }
+
+    #[test]
+    fn parse_line_message_with_colons() {
+        let e = Epoch::default_run();
+        let line = "2018-03-14 09:00:00,000 INFO  ContainerImpl: Container container_1521018000000_0001_01_000002 transitioned from LOCALIZING to SCHEDULED: ok";
+        let rec = parse_line(&e, line).unwrap();
+        assert_eq!(rec.class, "ContainerImpl");
+        assert!(rec.message.ends_with("SCHEDULED: ok"));
+    }
+
+    #[test]
+    fn civil_calendar_spot_checks() {
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        assert_eq!(days_from_civil(1970, 1, 1), 0);
+        assert_eq!(civil_from_days(days_from_civil(2000, 2, 29)), (2000, 2, 29));
+        assert_eq!(civil_from_days(days_from_civil(2018, 3, 14)), (2018, 3, 14));
+        // Leap-year boundary.
+        assert_eq!(
+            civil_from_days(days_from_civil(2016, 2, 28) + 1),
+            (2016, 2, 29)
+        );
+        assert_eq!(
+            civil_from_days(days_from_civil(2017, 2, 28) + 1),
+            (2017, 3, 1)
+        );
+    }
+}

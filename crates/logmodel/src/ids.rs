@@ -1,0 +1,385 @@
+//! Global identifiers, in YARN's exact string formats.
+//!
+//! SDchecker groups state-transition messages by the IDs embedded in them
+//! (paper §III-C: "SDchecker binds each log event with its corresponding
+//! global ID (application ID or container ID)"), so the formats here must
+//! round-trip: the simulator prints them, the miner re-parses them out of
+//! free-form message text.
+//!
+//! Formats (matching Hadoop):
+//!
+//! * `application_<clusterTs>_<appSeq:04>`
+//! * `appattempt_<clusterTs>_<appSeq:04>_<attempt:06>`
+//! * `container_<clusterTs>_<appSeq:04>_<attempt:02>_<containerSeq:06>`
+//! * nodes: `<host>:<port>` with synthetic hosts `nodeNN.cluster.local`
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Error parsing an identifier from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IdParseError {
+    /// What was being parsed.
+    pub kind: &'static str,
+    /// The offending input.
+    pub input: String,
+}
+
+impl fmt::Display for IdParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid {}: {:?}", self.kind, self.input)
+    }
+}
+
+impl std::error::Error for IdParseError {}
+
+fn err(kind: &'static str, input: &str) -> IdParseError {
+    IdParseError {
+        kind,
+        input: input.to_string(),
+    }
+}
+
+/// A YARN application id: `application_<clusterTs>_<seq>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ApplicationId {
+    /// ResourceManager start timestamp (epoch ms) — constant per cluster run.
+    pub cluster_ts: u64,
+    /// 1-based application sequence number.
+    pub seq: u32,
+}
+
+impl ApplicationId {
+    /// Construct from the cluster timestamp and sequence number.
+    pub fn new(cluster_ts: u64, seq: u32) -> ApplicationId {
+        ApplicationId { cluster_ts, seq }
+    }
+
+    /// The first attempt of this application.
+    pub fn attempt(self, attempt: u32) -> AppAttemptId {
+        AppAttemptId { app: self, attempt }
+    }
+}
+
+impl fmt::Display for ApplicationId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "application_{}_{:04}", self.cluster_ts, self.seq)
+    }
+}
+
+impl FromStr for ApplicationId {
+    type Err = IdParseError;
+    fn from_str(s: &str) -> Result<Self, IdParseError> {
+        let rest = s
+            .strip_prefix("application_")
+            .ok_or_else(|| err("ApplicationId", s))?;
+        let (ts, seq) = rest.split_once('_').ok_or_else(|| err("ApplicationId", s))?;
+        Ok(ApplicationId {
+            cluster_ts: ts.parse().map_err(|_| err("ApplicationId", s))?,
+            seq: seq.parse().map_err(|_| err("ApplicationId", s))?,
+        })
+    }
+}
+
+/// A YARN application attempt id: `appattempt_<clusterTs>_<seq>_<attempt>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AppAttemptId {
+    /// The owning application.
+    pub app: ApplicationId,
+    /// 1-based attempt number (always 1 in this study — no AM retries).
+    pub attempt: u32,
+}
+
+impl AppAttemptId {
+    /// A container of this attempt.
+    pub fn container(self, seq: u64) -> ContainerId {
+        ContainerId { attempt: self, seq }
+    }
+}
+
+impl fmt::Display for AppAttemptId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "appattempt_{}_{:04}_{:06}",
+            self.app.cluster_ts, self.app.seq, self.attempt
+        )
+    }
+}
+
+impl FromStr for AppAttemptId {
+    type Err = IdParseError;
+    fn from_str(s: &str) -> Result<Self, IdParseError> {
+        let rest = s
+            .strip_prefix("appattempt_")
+            .ok_or_else(|| err("AppAttemptId", s))?;
+        let mut parts = rest.split('_');
+        let ts = parts.next().ok_or_else(|| err("AppAttemptId", s))?;
+        let seq = parts.next().ok_or_else(|| err("AppAttemptId", s))?;
+        let attempt = parts.next().ok_or_else(|| err("AppAttemptId", s))?;
+        if parts.next().is_some() {
+            return Err(err("AppAttemptId", s));
+        }
+        Ok(AppAttemptId {
+            app: ApplicationId {
+                cluster_ts: ts.parse().map_err(|_| err("AppAttemptId", s))?,
+                seq: seq.parse().map_err(|_| err("AppAttemptId", s))?,
+            },
+            attempt: attempt.parse().map_err(|_| err("AppAttemptId", s))?,
+        })
+    }
+}
+
+/// A YARN container id:
+/// `container_<clusterTs>_<appSeq>_<attempt>_<containerSeq>`.
+///
+/// Container sequence 1 is, by YARN convention, the ApplicationMaster
+/// (Spark driver) container.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ContainerId {
+    /// The owning application attempt.
+    pub attempt: AppAttemptId,
+    /// 1-based container sequence within the attempt.
+    pub seq: u64,
+}
+
+impl ContainerId {
+    /// Whether this is the AM (driver) container.
+    pub fn is_am(self) -> bool {
+        self.seq == 1
+    }
+
+    /// The owning application.
+    pub fn app(self) -> ApplicationId {
+        self.attempt.app
+    }
+}
+
+impl fmt::Display for ContainerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "container_{}_{:04}_{:02}_{:06}",
+            self.attempt.app.cluster_ts, self.attempt.app.seq, self.attempt.attempt, self.seq
+        )
+    }
+}
+
+impl FromStr for ContainerId {
+    type Err = IdParseError;
+    fn from_str(s: &str) -> Result<Self, IdParseError> {
+        let rest = s
+            .strip_prefix("container_")
+            .ok_or_else(|| err("ContainerId", s))?;
+        let mut parts = rest.split('_');
+        let ts = parts.next().ok_or_else(|| err("ContainerId", s))?;
+        let app_seq = parts.next().ok_or_else(|| err("ContainerId", s))?;
+        let attempt = parts.next().ok_or_else(|| err("ContainerId", s))?;
+        let seq = parts.next().ok_or_else(|| err("ContainerId", s))?;
+        if parts.next().is_some() {
+            return Err(err("ContainerId", s));
+        }
+        Ok(ContainerId {
+            attempt: AppAttemptId {
+                app: ApplicationId {
+                    cluster_ts: ts.parse().map_err(|_| err("ContainerId", s))?,
+                    seq: app_seq.parse().map_err(|_| err("ContainerId", s))?,
+                },
+                attempt: attempt.parse().map_err(|_| err("ContainerId", s))?,
+            },
+            seq: seq.parse().map_err(|_| err("ContainerId", s))?,
+        })
+    }
+}
+
+/// A cluster node, printed as `nodeNN.cluster.local:45454` (the NodeManager
+/// RPC address format YARN uses in its logs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The NM RPC port used in the printed form.
+    pub const PORT: u16 = 45454;
+
+    /// The host part (`nodeNN.cluster.local`).
+    pub fn host(self) -> String {
+        format!("node{:02}.cluster.local", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{:02}.cluster.local:{}", self.0, Self::PORT)
+    }
+}
+
+impl FromStr for NodeId {
+    type Err = IdParseError;
+    fn from_str(s: &str) -> Result<Self, IdParseError> {
+        let host = s.split(':').next().unwrap_or(s);
+        let rest = host.strip_prefix("node").ok_or_else(|| err("NodeId", s))?;
+        let num = rest.split('.').next().ok_or_else(|| err("NodeId", s))?;
+        Ok(NodeId(num.parse().map_err(|_| err("NodeId", s))?))
+    }
+}
+
+/// An identifier recognized inside free-form message text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScannedId {
+    /// `application_...`
+    App(ApplicationId),
+    /// `appattempt_...`
+    Attempt(AppAttemptId),
+    /// `container_...`
+    Container(ContainerId),
+}
+
+impl ScannedId {
+    /// The application this id (transitively) belongs to.
+    pub fn app(self) -> ApplicationId {
+        match self {
+            ScannedId::App(a) => a,
+            ScannedId::Attempt(a) => a.app,
+            ScannedId::Container(c) => c.app(),
+        }
+    }
+}
+
+/// Scan a message for embedded global IDs, in order of appearance.
+///
+/// This is the grouping key extraction at the core of SDchecker's log
+/// mining: every Table-I message carries at least one of these IDs.
+pub fn scan_ids(text: &str) -> Vec<ScannedId> {
+    let mut out = Vec::new();
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let rest = &text[i..];
+        let (kind, prefix_len) = if rest.starts_with("application_") {
+            ("app", "application_".len())
+        } else if rest.starts_with("appattempt_") {
+            ("attempt", "appattempt_".len())
+        } else if rest.starts_with("container_") {
+            ("container", "container_".len())
+        } else {
+            i += rest.chars().next().map_or(1, |c| c.len_utf8());
+            continue;
+        };
+        // The id token extends over digits and underscores.
+        let mut end = i + prefix_len;
+        while end < bytes.len() && (bytes[end].is_ascii_digit() || bytes[end] == b'_') {
+            end += 1;
+        }
+        // Trim trailing underscores that belong to surrounding prose.
+        let mut token_end = end;
+        while token_end > i && bytes[token_end - 1] == b'_' {
+            token_end -= 1;
+        }
+        let token = &text[i..token_end];
+        let parsed = match kind {
+            "app" => token.parse::<ApplicationId>().ok().map(ScannedId::App),
+            "attempt" => token.parse::<AppAttemptId>().ok().map(ScannedId::Attempt),
+            _ => token.parse::<ContainerId>().ok().map(ScannedId::Container),
+        };
+        if let Some(id) = parsed {
+            out.push(id);
+        }
+        i = end;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TS: u64 = 1_530_000_000_000;
+
+    #[test]
+    fn application_id_roundtrip() {
+        let id = ApplicationId::new(TS, 17);
+        let s = id.to_string();
+        assert_eq!(s, "application_1530000000000_0017");
+        assert_eq!(s.parse::<ApplicationId>().unwrap(), id);
+    }
+
+    #[test]
+    fn application_id_large_seq() {
+        let id = ApplicationId::new(TS, 123_456);
+        let s = id.to_string();
+        assert_eq!(s, "application_1530000000000_123456");
+        assert_eq!(s.parse::<ApplicationId>().unwrap(), id);
+    }
+
+    #[test]
+    fn attempt_id_roundtrip() {
+        let id = ApplicationId::new(TS, 3).attempt(1);
+        let s = id.to_string();
+        assert_eq!(s, "appattempt_1530000000000_0003_000001");
+        assert_eq!(s.parse::<AppAttemptId>().unwrap(), id);
+    }
+
+    #[test]
+    fn container_id_roundtrip() {
+        let id = ApplicationId::new(TS, 3).attempt(1).container(42);
+        let s = id.to_string();
+        assert_eq!(s, "container_1530000000000_0003_01_000042");
+        assert_eq!(s.parse::<ContainerId>().unwrap(), id);
+        assert!(!id.is_am());
+        assert!(ApplicationId::new(TS, 3).attempt(1).container(1).is_am());
+    }
+
+    #[test]
+    fn node_id_roundtrip() {
+        let n = NodeId(7);
+        assert_eq!(n.to_string(), "node07.cluster.local:45454");
+        assert_eq!(n.to_string().parse::<NodeId>().unwrap(), n);
+        assert_eq!("node12.cluster.local".parse::<NodeId>().unwrap(), NodeId(12));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("application_abc_1".parse::<ApplicationId>().is_err());
+        assert!("app_1_1".parse::<ApplicationId>().is_err());
+        assert!("container_1_2_3".parse::<ContainerId>().is_err());
+        assert!("container_1_2_3_4_5".parse::<ContainerId>().is_err());
+        assert!("host:123".parse::<NodeId>().is_err());
+    }
+
+    #[test]
+    fn scan_finds_ids_in_prose() {
+        let app = ApplicationId::new(TS, 9);
+        let cont = app.attempt(1).container(2);
+        let msg = format!(
+            "Assigned container {cont} of capacity <memory:4096, vCores:8> on host node03, \
+             which has 3 containers; app {app} total 2"
+        );
+        let ids = scan_ids(&msg);
+        assert_eq!(
+            ids,
+            vec![ScannedId::Container(cont), ScannedId::App(app)]
+        );
+        assert_eq!(ids[0].app(), app);
+    }
+
+    #[test]
+    fn scan_handles_adjacent_punctuation() {
+        let app = ApplicationId::new(TS, 1);
+        let msg = format!("{app}: State change; ({app})");
+        assert_eq!(scan_ids(&msg).len(), 2);
+    }
+
+    #[test]
+    fn scan_ignores_malformed() {
+        assert!(scan_ids("application_ container_xyz appattempt_1").is_empty());
+        assert!(scan_ids("no ids here").is_empty());
+    }
+
+    #[test]
+    fn scan_attempt_not_confused_with_app() {
+        // "appattempt_" must not be scanned as "application_"-like prefix.
+        let att = ApplicationId::new(TS, 2).attempt(1);
+        let ids = scan_ids(&format!("registered {att} ok"));
+        assert_eq!(ids, vec![ScannedId::Attempt(att)]);
+    }
+}

@@ -1,0 +1,276 @@
+//! [`LogStore`]: per-source log streams with directory round-tripping.
+//!
+//! The simulator appends records as the run progresses; afterwards the store
+//! can be flushed to a directory tree shaped like a real cluster log
+//! collection, and SDchecker can read that tree back (or consume the store
+//! in memory through [`LogStore::iter_lines`], which renders the same text).
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::{self, Write};
+use std::path::Path;
+
+use crate::format::{format_line, parse_line, Epoch};
+use crate::record::{Level, LogRecord, LogSource};
+use crate::TsMs;
+
+/// An in-memory collection of log streams, one per [`LogSource`].
+#[derive(Debug)]
+pub struct LogStore {
+    epoch: Epoch,
+    sources: BTreeMap<LogSource, Vec<LogRecord>>,
+    total: usize,
+}
+
+impl LogStore {
+    /// An empty store anchored at `epoch`.
+    pub fn new(epoch: Epoch) -> LogStore {
+        LogStore {
+            epoch,
+            sources: BTreeMap::new(),
+            total: 0,
+        }
+    }
+
+    /// The store's wall-clock anchor.
+    pub fn epoch(&self) -> &Epoch {
+        &self.epoch
+    }
+
+    /// Append a record to `source`'s stream.
+    pub fn push(&mut self, source: LogSource, rec: LogRecord) {
+        self.total += 1;
+        self.sources.entry(source).or_default().push(rec);
+    }
+
+    /// Convenience: append an INFO record.
+    pub fn info(
+        &mut self,
+        source: LogSource,
+        ts: TsMs,
+        class: &str,
+        message: impl Into<String>,
+    ) {
+        self.push(source, LogRecord::new(ts, Level::Info, class, message));
+    }
+
+    /// All sources present, in deterministic order.
+    pub fn sources(&self) -> impl Iterator<Item = LogSource> + '_ {
+        self.sources.keys().copied()
+    }
+
+    /// The records of one source (empty slice if absent).
+    pub fn records(&self, source: LogSource) -> &[LogRecord] {
+        self.sources.get(&source).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Total records across all sources.
+    pub fn total_records(&self) -> usize {
+        self.total
+    }
+
+    /// Render every line of every source as `(source, line)` pairs, exactly
+    /// as they would appear on disk. Within a source, records keep append
+    /// order (which the simulator guarantees is time order).
+    pub fn iter_lines(&self) -> impl Iterator<Item = (LogSource, String)> + '_ {
+        self.sources.iter().flat_map(move |(src, recs)| {
+            recs.iter().map(move |r| (*src, format_line(&self.epoch, r)))
+        })
+    }
+
+    /// Render one source to its full text.
+    pub fn render_source(&self, source: LogSource) -> String {
+        let mut out = String::new();
+        for r in self.records(source) {
+            out.push_str(&format_line(&self.epoch, r));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Flush to a directory tree (`resourcemanager.log`,
+    /// `nodemanager-nodeNN.log`, `apps/<appId>/driver.log`, ...). The
+    /// epoch is written to `epoch.txt` so reads can reconstruct offsets.
+    pub fn write_dir(&self, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir)?;
+        fs::write(dir.join("epoch.txt"), format!("{}\n", self.epoch.unix_ms))?;
+        for (src, _) in self.sources.iter() {
+            let rel = src.rel_path();
+            let path = dir.join(&rel);
+            if let Some(parent) = path.parent() {
+                fs::create_dir_all(parent)?;
+            }
+            let mut f = io::BufWriter::new(fs::File::create(&path)?);
+            for r in self.records(*src) {
+                writeln!(f, "{}", format_line(&self.epoch, r))?;
+            }
+            f.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Read a directory tree previously written by [`LogStore::write_dir`]
+    /// (or hand-assembled in the same layout). Unparseable lines are
+    /// silently skipped, mirroring how the real tool must tolerate stack
+    /// traces and banners.
+    pub fn read_dir(dir: &Path) -> io::Result<LogStore> {
+        let epoch = match fs::read_to_string(dir.join("epoch.txt")) {
+            Ok(s) => Epoch {
+                unix_ms: s.trim().parse().map_err(|e| {
+                    io::Error::new(io::ErrorKind::InvalidData, format!("bad epoch.txt: {e}"))
+                })?,
+            },
+            Err(_) => Epoch::default_run(),
+        };
+        let mut store = LogStore::new(epoch);
+        let mut stack = vec![dir.to_path_buf()];
+        while let Some(d) = stack.pop() {
+            for entry in fs::read_dir(&d)? {
+                let entry = entry?;
+                let path = entry.path();
+                if path.is_dir() {
+                    stack.push(path);
+                    continue;
+                }
+                let rel = path
+                    .strip_prefix(dir)
+                    .map_err(|e| io::Error::other(e.to_string()))?
+                    .to_string_lossy()
+                    .into_owned();
+                let Some(src) = LogSource::from_rel_path(&rel) else {
+                    continue; // epoch.txt, stray files
+                };
+                let text = fs::read_to_string(&path)?;
+                for line in text.lines() {
+                    if let Some(rec) = parse_line(&epoch, line) {
+                        store.push(src, rec);
+                    }
+                }
+            }
+        }
+        // Rotated segments (`x.log.1`) merge into the same source but may
+        // arrive in arbitrary directory order; restore time order so
+        // first-record semantics (driver/executor FIRST_LOG) hold.
+        for recs in store.sources_mut() {
+            recs.sort_by_key(|r| r.ts);
+        }
+        Ok(store)
+    }
+
+    /// Mutable access to every source's record vector (internal; used to
+    /// restore time order after merging rotated segments).
+    fn sources_mut(&mut self) -> impl Iterator<Item = &mut Vec<LogRecord>> {
+        self.sources.values_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ApplicationId, NodeId};
+
+    fn sample_store() -> LogStore {
+        let epoch = Epoch::default_run();
+        let mut s = LogStore::new(epoch);
+        let app = ApplicationId::new(epoch.unix_ms, 1);
+        s.info(
+            LogSource::ResourceManager,
+            TsMs(10),
+            "RMAppImpl",
+            format!("{app} State change from NEW_SAVING to SUBMITTED on event = START"),
+        );
+        s.info(
+            LogSource::NodeManager(NodeId(3)),
+            TsMs(500),
+            "ContainerImpl",
+            format!(
+                "Container {} transitioned from NEW to LOCALIZING",
+                app.attempt(1).container(1)
+            ),
+        );
+        s.info(
+            LogSource::Driver(app),
+            TsMs(1200),
+            "ApplicationMaster",
+            "Registered with ResourceManager",
+        );
+        s
+    }
+
+    #[test]
+    fn push_and_query() {
+        let s = sample_store();
+        assert_eq!(s.total_records(), 3);
+        assert_eq!(s.sources().count(), 3);
+        assert_eq!(s.records(LogSource::ResourceManager).len(), 1);
+        let app = ApplicationId::new(s.epoch().unix_ms, 1);
+        assert_eq!(s.records(LogSource::Driver(app)).len(), 1);
+        assert_eq!(s.records(LogSource::Driver(ApplicationId::new(1, 9))).len(), 0);
+    }
+
+    #[test]
+    fn render_has_one_line_per_record() {
+        let s = sample_store();
+        let txt = s.render_source(LogSource::ResourceManager);
+        assert_eq!(txt.lines().count(), 1);
+        assert!(txt.contains("NEW_SAVING to SUBMITTED"));
+        assert_eq!(s.iter_lines().count(), 3);
+    }
+
+    #[test]
+    fn dir_roundtrip() {
+        let s = sample_store();
+        let dir = std::env::temp_dir().join(format!("logstore_test_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        s.write_dir(&dir).unwrap();
+        let back = LogStore::read_dir(&dir).unwrap();
+        assert_eq!(back.total_records(), s.total_records());
+        assert_eq!(back.epoch(), s.epoch());
+        for src in s.sources() {
+            assert_eq!(back.records(src), s.records(src), "source {src:?}");
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rotated_segments_merge_in_time_order() {
+        let dir = std::env::temp_dir().join(format!("logstore_rot_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        // Newer segment has later timestamps; rotation keeps the older
+        // lines in the `.1` file.
+        fs::write(
+            dir.join("resourcemanager.log"),
+            "2018-03-14 09:00:10,000 INFO  X: newer\n",
+        )
+        .unwrap();
+        fs::write(
+            dir.join("resourcemanager.log.1"),
+            "2018-03-14 09:00:01,000 INFO  X: older\n",
+        )
+        .unwrap();
+        let s = LogStore::read_dir(&dir).unwrap();
+        let recs = s.records(LogSource::ResourceManager);
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].message, "older");
+        assert_eq!(recs[1].message, "newer");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn read_dir_skips_junk_lines_and_files() {
+        let dir = std::env::temp_dir().join(format!("logstore_junk_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(
+            dir.join("resourcemanager.log"),
+            "garbage line\n2018-03-14 09:00:00,001 INFO  X: ok\n\tat stack.frame\n",
+        )
+        .unwrap();
+        fs::write(dir.join("README"), "not a log").unwrap();
+        let s = LogStore::read_dir(&dir).unwrap();
+        assert_eq!(s.total_records(), 1);
+        assert_eq!(s.records(LogSource::ResourceManager)[0].message, "ok");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

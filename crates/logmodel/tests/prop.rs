@@ -1,0 +1,97 @@
+//! Property-based tests: every identifier and timestamp format must
+//! round-trip, and ID scanning must find whatever the simulator embeds —
+//! the load-bearing contract between log writer and log miner.
+
+use logmodel::{
+    format_timestamp, parse_line, parse_timestamp, scan_ids, ApplicationId, ContainerId, Epoch,
+    Level, LogRecord, LogSource, NodeId, ScannedId, TsMs,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn application_id_roundtrip(ts in 1u64..10_000_000_000_000, seq in 1u32..1_000_000) {
+        let id = ApplicationId::new(ts, seq);
+        prop_assert_eq!(id.to_string().parse::<ApplicationId>().unwrap(), id);
+    }
+
+    #[test]
+    fn container_id_roundtrip(ts in 1u64..10_000_000_000_000, seq in 1u32..100_000,
+                              attempt in 1u32..99, c in 1u64..10_000_000) {
+        let id = ApplicationId::new(ts, seq).attempt(attempt).container(c);
+        prop_assert_eq!(id.to_string().parse::<ContainerId>().unwrap(), id);
+    }
+
+    #[test]
+    fn node_id_roundtrip(n in 0u32..10_000) {
+        let id = NodeId(n);
+        prop_assert_eq!(id.to_string().parse::<NodeId>().unwrap(), id);
+    }
+
+    #[test]
+    fn timestamp_roundtrip(offset in 0u64..10_000_000_000) {
+        let epoch = Epoch::default_run();
+        let s = format_timestamp(&epoch, TsMs(offset));
+        prop_assert_eq!(s.len(), 23);
+        let parsed = parse_timestamp(&s).unwrap();
+        prop_assert_eq!(epoch.offset_of(parsed), Some(TsMs(offset)));
+    }
+
+    /// A log line built from arbitrary (sane) message text parses back to
+    /// the identical record.
+    #[test]
+    fn log_line_roundtrip(
+        offset in 0u64..100_000_000,
+        msg in "[a-zA-Z0-9_ .:=()\\[\\]-]{1,120}",
+        class in "[A-Za-z][A-Za-z0-9]{0,30}",
+    ) {
+        // The format requires "class: message"; messages must not start
+        // with whitespace (trim round-trip) and class must not contain
+        // ": ".
+        prop_assume!(!msg.starts_with(' ') && !msg.ends_with(' '));
+        prop_assume!(!msg.is_empty());
+        let epoch = Epoch::default_run();
+        let rec = LogRecord::new(TsMs(offset), Level::Info, class, msg);
+        let line = logmodel::format::format_line(&epoch, &rec);
+        prop_assert_eq!(parse_line(&epoch, &line), Some(rec));
+    }
+
+    /// `scan_ids` finds every id embedded in prose, in order.
+    #[test]
+    fn scan_finds_embedded_ids(
+        seqs in prop::collection::vec(1u32..10_000, 1..6),
+        sep in "[a-z ,.()]{1,12}",
+    ) {
+        prop_assume!(!sep.contains("application") && !sep.contains("container"));
+        let cts = 1_521_018_000_000u64;
+        let mut text = String::from("prefix ");
+        let mut expected = Vec::new();
+        for (i, s) in seqs.iter().enumerate() {
+            if i % 2 == 0 {
+                let id = ApplicationId::new(cts, *s);
+                text.push_str(&id.to_string());
+                expected.push(ScannedId::App(id));
+            } else {
+                let id = ApplicationId::new(cts, *s).attempt(1).container(i as u64 + 1);
+                text.push_str(&id.to_string());
+                expected.push(ScannedId::Container(id));
+            }
+            text.push_str(&sep);
+        }
+        prop_assert_eq!(scan_ids(&text), expected);
+    }
+
+    /// LogSource paths round-trip for arbitrary ids.
+    #[test]
+    fn source_path_roundtrip(seq in 1u32..100_000, c in 1u64..1_000_000, node in 0u32..500) {
+        let app = ApplicationId::new(1_521_018_000_000, seq);
+        for src in [
+            LogSource::ResourceManager,
+            LogSource::NodeManager(NodeId(node)),
+            LogSource::Driver(app),
+            LogSource::Executor(app.attempt(1).container(c)),
+        ] {
+            prop_assert_eq!(LogSource::from_rel_path(&src.rel_path()), Some(src));
+        }
+    }
+}

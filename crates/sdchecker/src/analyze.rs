@@ -1,0 +1,228 @@
+//! The end-to-end SDchecker pipeline: log store → events → scheduling
+//! graphs → delay decomposition → bug report.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+use logmodel::{ApplicationId, LogStore};
+
+use crate::bugs::{find_unused_containers, UnusedContainer};
+use crate::decompose::{decompose, AppDelays};
+use crate::event::SchedEvent;
+use crate::extract::{extract_all, extract_app_names};
+use crate::graph::{build_graphs, SchedulingGraph};
+use crate::throughput::{allocation_throughput, Throughput};
+
+/// Full analysis result over one log corpus.
+#[derive(Debug)]
+pub struct Analysis {
+    /// All extracted events, time-sorted.
+    pub events: Vec<SchedEvent>,
+    /// Per-application scheduling graphs.
+    pub graphs: BTreeMap<ApplicationId, SchedulingGraph>,
+    /// Per-application delay decompositions (graph order).
+    pub delays: Vec<AppDelays>,
+    /// Allocated-but-never-used containers across all applications.
+    pub unused_containers: Vec<UnusedContainer>,
+    /// Application display names mined from driver banners (e.g. the
+    /// TPC-H query label), where available.
+    pub app_names: BTreeMap<ApplicationId, String>,
+}
+
+impl Analysis {
+    /// Delay record for one application.
+    pub fn delays_of(&self, app: ApplicationId) -> Option<&AppDelays> {
+        self.delays.iter().find(|d| d.app == app)
+    }
+
+    /// Applications with a complete total-scheduling-delay measurement
+    /// (Spark jobs that reached their first task).
+    pub fn complete_delays(&self) -> impl Iterator<Item = &AppDelays> {
+        self.delays.iter().filter(|d| d.total_ms.is_some())
+    }
+
+    /// Collect one component across complete apps, in ms, via an
+    /// accessor.
+    pub fn component_ms(&self, f: impl Fn(&AppDelays) -> Option<u64>) -> Vec<u64> {
+        self.delays.iter().filter_map(f).collect()
+    }
+
+    /// All per-container values of a component, in ms. `workers_only`
+    /// excludes AM containers.
+    pub fn container_component_ms(
+        &self,
+        workers_only: bool,
+        f: impl Fn(&crate::decompose::ContainerDelays) -> Option<u64>,
+    ) -> Vec<u64> {
+        self.delays
+            .iter()
+            .flat_map(|d| d.containers.iter())
+            .filter(|c| !workers_only || !c.is_am)
+            .filter_map(f)
+            .collect()
+    }
+
+    /// Allocation throughput with the given peak window.
+    pub fn allocation_throughput(&self, window_ms: u64) -> Throughput {
+        allocation_throughput(&self.events, window_ms)
+    }
+
+    /// The mined display name of an application.
+    pub fn name_of(&self, app: ApplicationId) -> Option<&str> {
+        self.app_names.get(&app).map(String::as_str)
+    }
+
+    /// Group complete delay records by mined application name (per-query
+    /// breakdowns for a TPC-H trace). Unnamed applications group under
+    /// `"(unnamed)"`.
+    pub fn by_name(&self) -> BTreeMap<String, Vec<&AppDelays>> {
+        let mut out: BTreeMap<String, Vec<&AppDelays>> = BTreeMap::new();
+        for d in self.complete_delays() {
+            let name = self
+                .name_of(d.app)
+                .unwrap_or("(unnamed)")
+                .to_string();
+            out.entry(name).or_default().push(d);
+        }
+        out
+    }
+}
+
+/// Run the pipeline over an in-memory store.
+pub fn analyze_store(store: &LogStore) -> Analysis {
+    let events = extract_all(store);
+    let graphs = build_graphs(&events);
+    let delays = graphs.values().map(decompose).collect();
+    let unused_containers = graphs.values().flat_map(find_unused_containers).collect();
+    let app_names = extract_app_names(store);
+    Analysis {
+        events,
+        graphs,
+        delays,
+        unused_containers,
+        app_names,
+    }
+}
+
+/// Run the pipeline over a log directory (the CLI path: what the paper's
+/// tool does offline after collecting cluster and application logs).
+pub fn analyze_dir(dir: &Path) -> io::Result<Analysis> {
+    let store = LogStore::read_dir(dir)?;
+    Ok(analyze_store(&store))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logmodel::{Epoch, LogSource, TsMs};
+
+    /// Assemble a miniature but complete two-app log corpus by hand and
+    /// run the full pipeline on it.
+    fn mini_corpus() -> LogStore {
+        let epoch = Epoch::default_run();
+        let mut s = LogStore::new(epoch);
+        let cts = epoch.unix_ms;
+        for seq in 1..=2u32 {
+            let a = ApplicationId::new(cts, seq);
+            let base = (seq as u64 - 1) * 60_000;
+            let am = a.attempt(1).container(1);
+            let ex = a.attempt(1).container(2);
+            let rm = LogSource::ResourceManager;
+            s.info(rm, TsMs(base + 100), "RMAppImpl", format!("{a} State change from NEW_SAVING to SUBMITTED on event = APP_NEW_SAVED"));
+            s.info(rm, TsMs(base + 120), "RMAppImpl", format!("{a} State change from SUBMITTED to ACCEPTED on event = APP_ACCEPTED"));
+            s.info(rm, TsMs(base + 150), "RMContainerImpl", format!("{am} Container Transitioned from NEW to ALLOCATED"));
+            s.info(rm, TsMs(base + 151), "RMContainerImpl", format!("{am} Container Transitioned from ALLOCATED to ACQUIRED"));
+            let nm = LogSource::NodeManager(logmodel::NodeId(seq));
+            s.info(nm, TsMs(base + 160), "ContainerImpl", format!("Container {am} transitioned from NEW to LOCALIZING"));
+            s.info(nm, TsMs(base + 700), "ContainerImpl", format!("Container {am} transitioned from LOCALIZING to SCHEDULED"));
+            s.info(nm, TsMs(base + 705), "ContainerImpl", format!("Container {am} transitioned from SCHEDULED to RUNNING"));
+            let drv = LogSource::Driver(a);
+            s.info(
+                drv,
+                TsMs(base + 1400),
+                "ApplicationMaster",
+                format!("Starting ApplicationMaster for tpch-q{seq:02}"),
+            );
+            s.info(drv, TsMs(base + 4400), "ApplicationMaster", "Registered with ResourceManager as attempt");
+            s.info(rm, TsMs(base + 4400), "RMAppImpl", format!("{a} State change from ACCEPTED to RUNNING on event = ATTEMPT_REGISTERED"));
+            s.info(drv, TsMs(base + 4401), "YarnAllocator", "START_ALLO Requesting 1 executor containers");
+            s.info(rm, TsMs(base + 4500), "RMContainerImpl", format!("{ex} Container Transitioned from NEW to ALLOCATED"));
+            s.info(rm, TsMs(base + 5400), "RMContainerImpl", format!("{ex} Container Transitioned from ALLOCATED to ACQUIRED"));
+            s.info(drv, TsMs(base + 5400), "YarnAllocator", "END_ALLO All 1 requested executor containers allocated");
+            s.info(nm, TsMs(base + 5420), "ContainerImpl", format!("Container {ex} transitioned from NEW to LOCALIZING"));
+            s.info(nm, TsMs(base + 5920), "ContainerImpl", format!("Container {ex} transitioned from LOCALIZING to SCHEDULED"));
+            s.info(nm, TsMs(base + 5925), "ContainerImpl", format!("Container {ex} transitioned from SCHEDULED to RUNNING"));
+            let exl = LogSource::Executor(ex);
+            s.info(exl, TsMs(base + 6625), "CoarseGrainedExecutorBackend", "Started executor");
+            s.info(exl, TsMs(base + 11_000), "Executor", "Got assigned task 0 in stage 0.0 (TID 0)");
+            s.info(rm, TsMs(base + 40_100), "RMAppImpl", format!("{a} State change from RUNNING to FINAL_SAVING on event = ATTEMPT_UNREGISTERED"));
+        }
+        s
+    }
+
+    #[test]
+    fn pipeline_end_to_end() {
+        let store = mini_corpus();
+        let an = analyze_store(&store);
+        assert_eq!(an.graphs.len(), 2);
+        assert_eq!(an.delays.len(), 2);
+        assert_eq!(an.complete_delays().count(), 2);
+        for d in &an.delays {
+            assert_eq!(d.total_ms, Some(10_900));
+            assert_eq!(d.am_ms, Some(4_300));
+            assert_eq!(d.driver_ms, Some(3_000));
+            assert_eq!(d.executor_ms, Some(4_375));
+            assert_eq!(d.alloc_ms, Some(999));
+            assert_eq!(d.job_runtime_ms, Some(40_000));
+        }
+        assert!(an.unused_containers.is_empty());
+    }
+
+    #[test]
+    fn component_collection() {
+        let an = analyze_store(&mini_corpus());
+        let totals = an.component_ms(|d| d.total_ms);
+        assert_eq!(totals, vec![10_900, 10_900]);
+        let locals = an.container_component_ms(true, |c| c.localization_ms);
+        assert_eq!(locals, vec![500, 500]);
+        let all_locals = an.container_component_ms(false, |c| c.localization_ms);
+        assert_eq!(all_locals.len(), 4);
+    }
+
+    #[test]
+    fn dir_roundtrip_matches_in_memory() {
+        let store = mini_corpus();
+        let dir = std::env::temp_dir().join(format!("sdchecker_an_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        store.write_dir(&dir).unwrap();
+        let from_dir = analyze_dir(&dir).unwrap();
+        let in_mem = analyze_store(&store);
+        assert_eq!(from_dir.events.len(), in_mem.events.len());
+        assert_eq!(from_dir.delays.len(), in_mem.delays.len());
+        for (a, b) in from_dir.delays.iter().zip(in_mem.delays.iter()) {
+            assert_eq!(a.total_ms, b.total_ms);
+            assert_eq!(a.containers.len(), b.containers.len());
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn names_mined_and_grouped() {
+        let an = analyze_store(&mini_corpus());
+        assert_eq!(an.app_names.len(), 2);
+        assert_eq!(an.name_of(ApplicationId::new(an.app_names.keys().next().unwrap().cluster_ts, 1)), Some("tpch-q01"));
+        let by_name = an.by_name();
+        assert_eq!(by_name.len(), 2);
+        assert!(by_name.contains_key("tpch-q01"));
+        assert!(by_name.contains_key("tpch-q02"));
+        assert_eq!(by_name["tpch-q01"].len(), 1);
+    }
+
+    #[test]
+    fn throughput_over_corpus() {
+        let an = analyze_store(&mini_corpus());
+        let t = an.allocation_throughput(1000);
+        assert_eq!(t.total, 4); // 2 apps × (AM + executor)
+    }
+}

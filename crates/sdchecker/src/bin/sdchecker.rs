@@ -1,0 +1,138 @@
+//! The `sdchecker` CLI: offline analysis of a collected log directory.
+//!
+//! ```text
+//! sdchecker <log-dir> [--csv <out.csv>] [--dot <application-id> <out.dot>]
+//! ```
+//!
+//! `<log-dir>` must contain `resourcemanager.log`,
+//! `nodemanager-nodeNN.log` files and `apps/<applicationId>/…` application
+//! logs (the layout `logmodel::LogStore::write_dir` produces, mirroring a
+//! cluster log collection).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use logmodel::ApplicationId;
+use sdchecker::{analyze_dir, full_report, Table};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: sdchecker <log-dir> [--csv <out.csv>] [--dot <application-id> <out.dot>] [--timeline <application-id>]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(dir) = args.first() else {
+        return usage();
+    };
+    let mut csv_out: Option<PathBuf> = None;
+    let mut dot_req: Option<(ApplicationId, PathBuf)> = None;
+    let mut timeline_req: Option<ApplicationId> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--csv" => {
+                let Some(p) = args.get(i + 1) else {
+                    return usage();
+                };
+                csv_out = Some(PathBuf::from(p));
+                i += 2;
+            }
+            "--dot" => {
+                let (Some(appid), Some(p)) = (args.get(i + 1), args.get(i + 2)) else {
+                    return usage();
+                };
+                let Ok(app) = appid.parse::<ApplicationId>() else {
+                    eprintln!("invalid application id: {appid}");
+                    return ExitCode::from(2);
+                };
+                dot_req = Some((app, PathBuf::from(p)));
+                i += 3;
+            }
+            "--timeline" => {
+                let Some(appid) = args.get(i + 1) else {
+                    return usage();
+                };
+                let Ok(app) = appid.parse::<ApplicationId>() else {
+                    eprintln!("invalid application id: {appid}");
+                    return ExitCode::from(2);
+                };
+                timeline_req = Some(app);
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return usage();
+            }
+        }
+    }
+
+    let analysis = match analyze_dir(&PathBuf::from(dir)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("failed to read logs from {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    print!("{}", full_report(&analysis));
+
+    if let Some(path) = csv_out {
+        let mut t = Table::new(&[
+            "app",
+            "total_ms",
+            "am_ms",
+            "in_app_ms",
+            "out_app_ms",
+            "driver_ms",
+            "executor_ms",
+            "alloc_ms",
+            "cf_ms",
+            "cl_ms",
+            "job_runtime_ms",
+        ]);
+        let opt = |v: Option<u64>| v.map(|x| x.to_string()).unwrap_or_default();
+        for d in &analysis.delays {
+            t.row(vec![
+                d.app.to_string(),
+                opt(d.total_ms),
+                opt(d.am_ms),
+                opt(d.in_app_ms),
+                opt(d.out_app_ms),
+                opt(d.driver_ms),
+                opt(d.executor_ms),
+                opt(d.alloc_ms),
+                opt(d.cf_ms),
+                opt(d.cl_ms),
+                opt(d.job_runtime_ms),
+            ]);
+        }
+        if let Err(e) = std::fs::write(&path, t.to_csv()) {
+            eprintln!("failed to write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote per-application CSV to {}", path.display());
+    }
+
+    if let Some(app) = timeline_req {
+        let Some(g) = analysis.graphs.get(&app) else {
+            eprintln!("application {app} not found in logs");
+            return ExitCode::FAILURE;
+        };
+        println!();
+        print!("{}", sdchecker::ascii_gantt(g, 100));
+    }
+
+    if let Some((app, path)) = dot_req {
+        let Some(g) = analysis.graphs.get(&app) else {
+            eprintln!("application {app} not found in logs");
+            return ExitCode::FAILURE;
+        };
+        if let Err(e) = std::fs::write(&path, g.to_dot()) {
+            eprintln!("failed to write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote scheduling graph to {}", path.display());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,148 @@
+//! Scheduling events: the semantic layer SDchecker extracts from raw log
+//! lines, corresponding to Table I of the paper (plus the terminal states
+//! needed for job-runtime and bug analysis).
+
+use logmodel::{ApplicationId, ContainerId, LogSource, NodeId, TsMs};
+
+/// The identified scheduling-event kinds. Numbers in the doc comments are
+/// the paper's Table-I log-message numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// 1 — `RMAppImpl` reached SUBMITTED: the app registered with the RM.
+    /// The start of the total scheduling delay.
+    AppSubmitted,
+    /// 2 — `RMAppImpl` reached ACCEPTED: the app will be scheduled.
+    AppAccepted,
+    /// 3 — `RMAppImpl` reached RUNNING on `ATTEMPT_REGISTERED`: the
+    /// AppMaster registered. End of the AM delay.
+    AttemptRegistered,
+    /// `RMAppImpl` reached FINAL_SAVING: the AM unregistered — the job is
+    /// functionally complete (used for job runtime).
+    AppUnregistered,
+    /// `RMAppImpl` reached FINISHED.
+    AppFinished,
+
+    /// 4 — `RMContainerImpl` reached ALLOCATED.
+    ContainerAllocated,
+    /// 5 — `RMContainerImpl` reached ACQUIRED.
+    ContainerAcquired,
+    /// `RMContainerImpl` reached RUNNING (RM's view).
+    ContainerRmRunning,
+    /// `RMContainerImpl` reached COMPLETED.
+    ContainerCompleted,
+
+    /// 6 — `ContainerImpl` (NM) reached LOCALIZING.
+    ContainerLocalizing,
+    /// 7 — `ContainerImpl` (NM) reached SCHEDULED.
+    ContainerScheduled,
+    /// 8 — `ContainerImpl` (NM) reached RUNNING.
+    ContainerNmRunning,
+    /// `ContainerImpl` (NM) reached DONE.
+    ContainerDone,
+
+    /// 9 — first log line of the driver process.
+    DriverFirstLog,
+    /// 10 — the driver registered with the ResourceManager.
+    DriverRegistered,
+    /// 11 — the driver started requesting executor containers
+    /// (the authors' Spark patch).
+    StartAllo,
+    /// 12 — all requested executor containers were granted.
+    EndAllo,
+    /// 13 — first log line of an executor process.
+    ExecutorFirstLog,
+    /// 14 — a task was assigned to an executor.
+    TaskAssigned,
+}
+
+impl EventKind {
+    /// Table-I log-message number, if this kind has one.
+    pub fn table1_number(self) -> Option<u8> {
+        use EventKind::*;
+        Some(match self {
+            AppSubmitted => 1,
+            AppAccepted => 2,
+            AttemptRegistered => 3,
+            ContainerAllocated => 4,
+            ContainerAcquired => 5,
+            ContainerLocalizing => 6,
+            ContainerScheduled => 7,
+            ContainerNmRunning => 8,
+            DriverFirstLog => 9,
+            DriverRegistered => 10,
+            StartAllo => 11,
+            EndAllo => 12,
+            ExecutorFirstLog => 13,
+            TaskAssigned => 14,
+            _ => return None,
+        })
+    }
+
+    /// Whether the event comes from cluster-scheduler (YARN) logs, as
+    /// opposed to application (Spark) logs.
+    pub fn is_cluster_side(self) -> bool {
+        use EventKind::*;
+        !matches!(
+            self,
+            DriverFirstLog | DriverRegistered | StartAllo | EndAllo | ExecutorFirstLog
+                | TaskAssigned
+        )
+    }
+}
+
+/// One extracted scheduling event, bound to its global IDs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedEvent {
+    /// When it was logged.
+    pub ts: TsMs,
+    /// What happened.
+    pub kind: EventKind,
+    /// The owning application (always derivable — every Table-I message
+    /// carries an application or container id).
+    pub app: ApplicationId,
+    /// The container, for container-scoped events.
+    pub container: Option<ContainerId>,
+    /// The NodeManager that logged it, for NM events.
+    pub node: Option<NodeId>,
+    /// Which log the event came from.
+    pub source: LogSource,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_numbers_cover_paper() {
+        use EventKind::*;
+        let expected = [
+            (AppSubmitted, 1),
+            (AppAccepted, 2),
+            (AttemptRegistered, 3),
+            (ContainerAllocated, 4),
+            (ContainerAcquired, 5),
+            (ContainerLocalizing, 6),
+            (ContainerScheduled, 7),
+            (ContainerNmRunning, 8),
+            (DriverFirstLog, 9),
+            (DriverRegistered, 10),
+            (StartAllo, 11),
+            (EndAllo, 12),
+            (ExecutorFirstLog, 13),
+            (TaskAssigned, 14),
+        ];
+        for (k, n) in expected {
+            assert_eq!(k.table1_number(), Some(n), "{k:?}");
+        }
+        assert_eq!(AppFinished.table1_number(), None);
+        assert_eq!(ContainerDone.table1_number(), None);
+    }
+
+    #[test]
+    fn cluster_vs_app_side() {
+        assert!(EventKind::AppSubmitted.is_cluster_side());
+        assert!(EventKind::ContainerScheduled.is_cluster_side());
+        assert!(!EventKind::DriverRegistered.is_cluster_side());
+        assert!(!EventKind::TaskAssigned.is_cluster_side());
+    }
+}

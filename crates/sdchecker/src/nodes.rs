@@ -1,0 +1,134 @@
+//! Per-node breakdowns: which NodeManagers are slow?
+//!
+//! The paper's lessons repeatedly hinge on node-local effects
+//! (localization competing with HDFS traffic on the same spindles, JVM
+//! starts starved by co-located CPU hogs). Grouping the per-container
+//! components by the node that executed them turns SDchecker into a
+//! heterogeneity debugger: a consistently slow node stands out
+//! immediately.
+
+use std::collections::BTreeMap;
+
+use logmodel::NodeId;
+
+use crate::analyze::Analysis;
+use crate::stats::Summary;
+
+/// Per-node component populations (ms).
+#[derive(Debug, Default, Clone)]
+pub struct NodeStats {
+    /// Localization delays observed on this node.
+    pub localization_ms: Vec<u64>,
+    /// Launching delays observed on this node.
+    pub launching_ms: Vec<u64>,
+    /// NM queueing (SCHEDULED -> RUNNING) delays observed on this node.
+    pub nm_queue_ms: Vec<u64>,
+    /// Containers that ran here.
+    pub containers: usize,
+}
+
+impl NodeStats {
+    /// Localization summary, if any samples exist.
+    pub fn localization(&self) -> Option<Summary> {
+        Summary::from_ms(&self.localization_ms)
+    }
+
+    /// Launching summary, if any samples exist.
+    pub fn launching(&self) -> Option<Summary> {
+        Summary::from_ms(&self.launching_ms)
+    }
+}
+
+/// Group container-level delays by node.
+pub fn per_node(an: &Analysis) -> BTreeMap<NodeId, NodeStats> {
+    let mut out: BTreeMap<NodeId, NodeStats> = BTreeMap::new();
+    for d in &an.delays {
+        for c in &d.containers {
+            let Some(node) = c.node else { continue };
+            let s = out.entry(node).or_default();
+            s.containers += 1;
+            if let Some(v) = c.localization_ms {
+                s.localization_ms.push(v);
+            }
+            if let Some(v) = c.launching_ms {
+                s.launching_ms.push(v);
+            }
+            if let Some(v) = c.nm_queue_ms {
+                s.nm_queue_ms.push(v);
+            }
+        }
+    }
+    out
+}
+
+/// Nodes whose median localization exceeds the cluster median by more
+/// than `factor` — the slow-node detector.
+pub fn slow_nodes(an: &Analysis, factor: f64) -> Vec<(NodeId, f64, f64)> {
+    let all = Summary::from_ms(&an.container_component_ms(false, |c| c.localization_ms));
+    let Some(all) = all else { return Vec::new() };
+    per_node(an)
+        .into_iter()
+        .filter_map(|(node, s)| {
+            let med = s.localization()?.p50;
+            (med > all.p50 * factor).then_some((node, med, all.p50))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logmodel::{ApplicationId, Epoch, LogSource, LogStore, TsMs};
+
+    /// Two nodes: node 1 localizes in 500 ms, node 2 in 5 s.
+    fn corpus() -> LogStore {
+        let epoch = Epoch::default_run();
+        let mut s = LogStore::new(epoch);
+        for seq in 1..=4u32 {
+            let a = ApplicationId::new(epoch.unix_ms, seq);
+            let c = a.attempt(1).container(2);
+            let node = logmodel::NodeId(1 + (seq % 2));
+            let slow = node.0 == 2;
+            let base = seq as u64 * 20_000;
+            let nm = LogSource::NodeManager(node);
+            s.info(nm, TsMs(base), "ContainerImpl", format!("Container {c} transitioned from NEW to LOCALIZING"));
+            let done = base + if slow { 5_000 } else { 500 };
+            s.info(nm, TsMs(done), "ContainerImpl", format!("Container {c} transitioned from LOCALIZING to SCHEDULED"));
+            s.info(nm, TsMs(done + 5), "ContainerImpl", format!("Container {c} transitioned from SCHEDULED to RUNNING"));
+            s.info(LogSource::Executor(c), TsMs(done + 700), "X", "Started executor");
+        }
+        s
+    }
+
+    #[test]
+    fn groups_by_node() {
+        let an = crate::analyze_store(&corpus());
+        let by_node = per_node(&an);
+        assert_eq!(by_node.len(), 2);
+        let fast = &by_node[&logmodel::NodeId(1)];
+        let slow = &by_node[&logmodel::NodeId(2)];
+        assert_eq!(fast.containers, 2);
+        assert_eq!(slow.containers, 2);
+        assert_eq!(fast.localization().unwrap().p50, 0.5);
+        assert_eq!(slow.localization().unwrap().p50, 5.0);
+        assert!(fast.launching().is_some());
+    }
+
+    #[test]
+    fn slow_node_detector_flags_the_outlier() {
+        let an = crate::analyze_store(&corpus());
+        let slow = slow_nodes(&an, 1.5);
+        assert_eq!(slow.len(), 1);
+        assert_eq!(slow[0].0, logmodel::NodeId(2));
+        assert!(slow[0].1 > slow[0].2);
+        // With an absurd threshold nothing is flagged.
+        assert!(slow_nodes(&an, 100.0).is_empty());
+    }
+
+    #[test]
+    fn empty_analysis_yields_nothing() {
+        let an = crate::analyze_store(&LogStore::new(Epoch::default_run()));
+        assert!(per_node(&an).is_empty());
+        assert!(slow_nodes(&an, 1.0).is_empty());
+    }
+}

@@ -1,0 +1,197 @@
+//! A small log-message pattern matcher.
+//!
+//! The paper's tool extracts scheduling messages "using regular
+//! expression" (§III-B). The message shapes involved are all
+//! literal-text-with-holes (`Container {} transitioned from {} to {}`), so
+//! this module implements exactly that: a pattern is literal segments
+//! separated by `{}` captures; matching is non-greedy left-to-right. It is
+//! faster than a general regex engine on this workload, has no
+//! dependencies (the `regex` crate is not in the project's allowed set),
+//! and failure modes are easy to reason about.
+
+/// A compiled pattern: literal segments with `{}` capture holes between
+/// them.
+#[derive(Debug, Clone)]
+pub struct Pat {
+    /// Literal segments; captures sit between consecutive segments.
+    segments: Vec<String>,
+    /// Whether the pattern starts with a capture (`"{} rest"`).
+    leading_capture: bool,
+    /// Whether the pattern ends with a capture (`"rest {}"`).
+    trailing_capture: bool,
+}
+
+impl Pat {
+    /// Compile a pattern. `{}` marks a capture; everything else is
+    /// matched literally. Adjacent captures (`"{}{}"`) are rejected
+    /// because they cannot be delimited.
+    pub fn new(pattern: &str) -> Pat {
+        let parts: Vec<&str> = pattern.split("{}").collect();
+        assert!(
+            parts.iter().skip(1).rev().skip(1).all(|p| !p.is_empty()),
+            "adjacent captures in pattern {pattern:?}"
+        );
+        let leading_capture = parts.first().is_some_and(|p| p.is_empty()) && parts.len() > 1;
+        let trailing_capture = parts.last().is_some_and(|p| p.is_empty()) && parts.len() > 1;
+        let segments = parts
+            .into_iter()
+            .filter(|p| !p.is_empty())
+            .map(str::to_string)
+            .collect();
+        Pat {
+            segments,
+            leading_capture,
+            trailing_capture,
+        }
+    }
+
+    /// Number of captures this pattern produces.
+    pub fn captures(&self) -> usize {
+        if self.segments.is_empty() {
+            // Pure "{}" pattern: one capture spanning the whole text.
+            return usize::from(self.leading_capture || self.trailing_capture);
+        }
+        let inner = self.segments.len() - 1;
+        inner + usize::from(self.leading_capture) + usize::from(self.trailing_capture)
+    }
+
+    /// Match `text` against the pattern. Returns the captured substrings
+    /// (in order) or `None`. Matching is anchored at both ends.
+    pub fn match_str<'t>(&self, text: &'t str) -> Option<Vec<&'t str>> {
+        let mut caps = Vec::with_capacity(self.captures());
+        let mut rest = text;
+
+        if self.segments.is_empty() {
+            // Pattern was only "{}" (or empty).
+            return if self.leading_capture || self.trailing_capture {
+                Some(vec![text])
+            } else if text.is_empty() {
+                Some(vec![])
+            } else {
+                None
+            };
+        }
+
+        // First segment: anchored unless a leading capture exists.
+        let first = &self.segments[0];
+        if self.leading_capture {
+            let pos = rest.find(first.as_str())?;
+            caps.push(&rest[..pos]);
+            rest = &rest[pos + first.len()..];
+        } else {
+            rest = rest.strip_prefix(first.as_str())?;
+        }
+
+        // Middle segments: each consumes one capture (non-greedy).
+        for seg in &self.segments[1..] {
+            let pos = rest.find(seg.as_str())?;
+            caps.push(&rest[..pos]);
+            rest = &rest[pos + seg.len()..];
+        }
+
+        // Tail: either a trailing capture or exact end.
+        if self.trailing_capture {
+            caps.push(rest);
+            Some(caps)
+        } else if rest.is_empty() {
+            Some(caps)
+        } else {
+            None
+        }
+    }
+
+    /// Whether `text` matches (ignoring captures).
+    pub fn is_match(&self, text: &str) -> bool {
+        self.match_str(text).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_only() {
+        let p = Pat::new("exact text");
+        assert_eq!(p.captures(), 0);
+        assert_eq!(p.match_str("exact text"), Some(vec![]));
+        assert_eq!(p.match_str("exact text!"), None);
+        assert_eq!(p.match_str("exact"), None);
+    }
+
+    #[test]
+    fn single_capture_middle() {
+        let p = Pat::new("from {} to SCHEDULED");
+        assert_eq!(p.captures(), 1);
+        assert_eq!(
+            p.match_str("from LOCALIZING to SCHEDULED"),
+            Some(vec!["LOCALIZING"])
+        );
+        assert_eq!(p.match_str("from LOCALIZING to RUNNING"), None);
+    }
+
+    #[test]
+    fn multi_capture_container_transition() {
+        let p = Pat::new("Container {} transitioned from {} to {}");
+        let caps = p
+            .match_str("Container container_1_0001_01_000002 transitioned from NEW to LOCALIZING")
+            .unwrap();
+        assert_eq!(
+            caps,
+            vec!["container_1_0001_01_000002", "NEW", "LOCALIZING"]
+        );
+    }
+
+    #[test]
+    fn rm_app_state_change() {
+        let p = Pat::new("{} State change from {} to {} on event = {}");
+        let caps = p
+            .match_str("application_1_0001 State change from SUBMITTED to ACCEPTED on event = APP_ACCEPTED")
+            .unwrap();
+        assert_eq!(
+            caps,
+            vec!["application_1_0001", "SUBMITTED", "ACCEPTED", "APP_ACCEPTED"]
+        );
+    }
+
+    #[test]
+    fn leading_and_trailing_captures() {
+        let p = Pat::new("{} middle {}");
+        assert_eq!(p.captures(), 2);
+        assert_eq!(p.match_str("a middle b"), Some(vec!["a", "b"]));
+        assert_eq!(p.match_str(" middle "), Some(vec!["", ""]));
+    }
+
+    #[test]
+    fn whole_capture() {
+        let p = Pat::new("{}");
+        assert_eq!(p.match_str("anything at all"), Some(vec!["anything at all"]));
+    }
+
+    #[test]
+    fn non_greedy_takes_first_delimiter() {
+        let p = Pat::new("a {} b {}");
+        // The first capture stops at the first " b ".
+        assert_eq!(p.match_str("a x b y b z"), Some(vec!["x", "y b z"]));
+    }
+
+    #[test]
+    fn anchored_at_start() {
+        let p = Pat::new("START_ALLO Requesting {} executor containers");
+        assert!(p.is_match("START_ALLO Requesting 4 executor containers"));
+        assert!(!p.is_match("xx START_ALLO Requesting 4 executor containers"));
+    }
+
+    #[test]
+    #[should_panic(expected = "adjacent captures")]
+    fn adjacent_captures_rejected() {
+        Pat::new("a {}{} b");
+    }
+
+    #[test]
+    fn empty_pattern_matches_empty() {
+        let p = Pat::new("");
+        assert_eq!(p.match_str(""), Some(vec![]));
+        assert_eq!(p.match_str("x"), None);
+    }
+}

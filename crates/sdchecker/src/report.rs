@@ -1,0 +1,340 @@
+//! Text/CSV rendering of analysis results: summary tables, CDF quantile
+//! tables, and the full per-corpus report the CLI prints.
+
+use std::fmt::Write as _;
+
+use crate::analyze::Analysis;
+use crate::stats::{Cdf, Summary};
+
+/// A simple fixed-width text table builder.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers.
+    pub fn new(header: &[&str]) -> Table {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header width).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Table {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Empty?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as aligned text.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for i in 0..ncols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let _ = write!(line, "{:<width$}", cells[i], width = widths[i]);
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as CSV.
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format seconds with 3 decimals.
+pub fn secs(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// One summary row: `label  n  mean  std  p50  p90  p95  p99  max`.
+pub fn summary_row(label: &str, s: &Summary) -> Vec<String> {
+    vec![
+        label.to_string(),
+        s.n.to_string(),
+        secs(s.mean),
+        secs(s.std_dev),
+        secs(s.p50),
+        secs(s.p90),
+        secs(s.p95),
+        secs(s.p99),
+        secs(s.max),
+    ]
+}
+
+/// The standard header matching [`summary_row`].
+pub const SUMMARY_HEADER: [&str; 9] = [
+    "metric", "n", "mean", "std", "p50", "p90", "p95", "p99", "max",
+];
+
+/// Build a summary table from labeled millisecond samples (printed in
+/// seconds). Empty samples are skipped.
+pub fn summary_table(samples: &[(&str, Vec<u64>)]) -> Table {
+    let mut t = Table::new(&SUMMARY_HEADER);
+    for (label, ms) in samples {
+        if let Some(s) = Summary::from_ms(ms) {
+            t.row(summary_row(label, &s));
+        }
+    }
+    t
+}
+
+/// Build a summary table from labeled dimensionless samples (ratios,
+/// fractions) printed with 3 decimals.
+pub fn ratio_summary_table(samples: &[(&str, Vec<f64>)]) -> Table {
+    let mut t = Table::new(&SUMMARY_HEADER);
+    for (label, v) in samples {
+        if let Some(s) = Summary::from(v) {
+            t.row(summary_row(label, &s));
+        }
+    }
+    t
+}
+
+/// CDF quantile table: one row per labeled sample, one column per
+/// quantile.
+pub fn cdf_table(samples: &[(&str, Vec<u64>)], quantiles: &[f64]) -> Table {
+    let mut header: Vec<String> = vec!["metric".into()];
+    header.extend(quantiles.iter().map(|q| format!("p{:02.0}", q * 100.0)));
+    let hdr_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = Table::new(&hdr_refs);
+    for (label, ms) in samples {
+        let cdf = Cdf::from_ms(ms);
+        if cdf.is_empty() {
+            continue;
+        }
+        let mut row = vec![label.to_string()];
+        for q in quantiles {
+            row.push(secs(cdf.quantile(*q).unwrap()));
+        }
+        t.row(row);
+    }
+    t
+}
+
+/// The full text report the `sdchecker` CLI prints for a corpus.
+pub fn full_report(an: &Analysis) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "SDchecker analysis");
+    let _ = writeln!(out, "==================");
+    let _ = writeln!(
+        out,
+        "applications: {} ({} with complete scheduling-delay evidence)",
+        an.graphs.len(),
+        an.complete_delays().count()
+    );
+    let _ = writeln!(out, "events extracted: {}", an.events.len());
+    let _ = writeln!(out);
+
+    let app_samples: Vec<(&str, Vec<u64>)> = vec![
+        ("job runtime", an.component_ms(|d| d.job_runtime_ms)),
+        ("total sched delay", an.component_ms(|d| d.total_ms)),
+        ("am delay", an.component_ms(|d| d.am_ms)),
+        ("in-application", an.component_ms(|d| d.in_app_ms)),
+        ("out-application", an.component_ms(|d| d.out_app_ms)),
+        ("driver delay", an.component_ms(|d| d.driver_ms)),
+        ("executor delay", an.component_ms(|d| d.executor_ms)),
+        ("alloc delay", an.component_ms(|d| d.alloc_ms)),
+        ("Cf delay", an.component_ms(|d| d.cf_ms)),
+        ("Cl delay", an.component_ms(|d| d.cl_ms)),
+    ];
+    let _ = writeln!(out, "Per-application delays (seconds)");
+    out.push_str(&summary_table(&app_samples).render());
+    let _ = writeln!(out);
+
+    let cont_samples: Vec<(&str, Vec<u64>)> = vec![
+        (
+            "acquisition",
+            an.container_component_ms(true, |c| c.acquisition_ms),
+        ),
+        (
+            "localization",
+            an.container_component_ms(false, |c| c.localization_ms),
+        ),
+        (
+            "launching",
+            an.container_component_ms(false, |c| c.launching_ms),
+        ),
+        (
+            "nm queue",
+            an.container_component_ms(false, |c| c.nm_queue_ms),
+        ),
+    ];
+    let _ = writeln!(out, "Per-container delays (seconds)");
+    out.push_str(&summary_table(&cont_samples).render());
+    let _ = writeln!(out);
+
+    // Per-workload breakdown when driver banners carry names.
+    let by_name = an.by_name();
+    if by_name.len() > 1 {
+        let mut t = Table::new(&["workload", "n", "total p50", "total p95", "in p50", "out p50"]);
+        for (name, group) in &by_name {
+            let totals: Vec<u64> = group.iter().filter_map(|d| d.total_ms).collect();
+            let ins: Vec<u64> = group.iter().filter_map(|d| d.in_app_ms).collect();
+            let outs: Vec<u64> = group.iter().filter_map(|d| d.out_app_ms).collect();
+            let (Some(ts), Some(is_), Some(os)) = (
+                Summary::from_ms(&totals),
+                Summary::from_ms(&ins),
+                Summary::from_ms(&outs),
+            ) else {
+                continue;
+            };
+            t.row(vec![
+                name.clone(),
+                ts.n.to_string(),
+                secs(ts.p50),
+                secs(ts.p95),
+                secs(is_.p50),
+                secs(os.p50),
+            ]);
+        }
+        let _ = writeln!(out, "Per-workload scheduling delays (seconds)");
+        out.push_str(&t.render());
+        let _ = writeln!(out);
+    }
+
+    let t = an.allocation_throughput(1000);
+    let _ = writeln!(
+        out,
+        "Container allocation throughput: {} total, {:.0}/s mean, {:.0}/s peak (1s window)",
+        t.total, t.mean_per_sec, t.peak_per_sec
+    );
+
+    let anomalies = crate::validate::validate_all(an.graphs.values());
+    if anomalies.is_empty() {
+        let _ = writeln!(out, "Corpus validation: clean (no ordering/duplicate/missing anomalies).");
+    } else {
+        let _ = writeln!(out, "Corpus validation: {} anomalies — timestamps may be untrustworthy:", anomalies.len());
+        for a in anomalies.iter().take(20) {
+            let _ = writeln!(out, "  {:?}", a);
+        }
+        if anomalies.len() > 20 {
+            let _ = writeln!(out, "  ... and {} more", anomalies.len() - 20);
+        }
+    }
+    if an.unused_containers.is_empty() {
+        let _ = writeln!(out, "Bug check: no allocated-but-never-used containers.");
+    } else {
+        let _ = writeln!(
+            out,
+            "Bug check: {} allocated-but-never-used containers (SPARK-21562 signature):",
+            an.unused_containers.len()
+        );
+        for u in &an.unused_containers {
+            let _ = writeln!(
+                out,
+                "  {} (acquired: {}, reached NM: {})",
+                u.cid, u.acquired, u.reached_nm
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["a", "bbbb"]);
+        t.row(vec!["xxxxx".into(), "1".into()]);
+        t.row(vec!["y".into(), "22".into()]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a      bbbb"));
+        assert!(lines[2].starts_with("xxxxx  1"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_escapes() {
+        let mut t = Table::new(&["x", "y"]);
+        t.row(vec!["a,b".into(), "q\"q".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"q\"\"q\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        Table::new(&["a"]).row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn summary_table_skips_empty() {
+        let t = summary_table(&[("full", vec![1000, 2000]), ("empty", vec![])]);
+        assert_eq!(t.len(), 1);
+        assert!(t.render().contains("full"));
+    }
+
+    #[test]
+    fn cdf_table_quantiles() {
+        let ms: Vec<u64> = (1..=100).map(|i| i * 100).collect();
+        let t = cdf_table(&[("metric", ms)], &[0.5, 0.95]);
+        let r = t.render();
+        assert!(r.contains("p50"));
+        assert!(r.contains("p95"));
+        // p50 of 0.1..10.0s grid ≈ 5.05 s.
+        assert!(r.contains("5.05"), "{r}");
+    }
+}

@@ -1,0 +1,261 @@
+//! Per-application timelines: the paper's Fig 10 view, computed from logs.
+//!
+//! Fig 10 of the paper is a hand-drawn workflow showing *executor
+//! idleness*: executors come up, then sit idle while the driver runs user
+//! initialization, until the first task arrives. This module derives that
+//! picture from the scheduling graph — a chronological event table plus an
+//! ASCII Gantt rendering with one lane per entity — so any analyzed
+//! application can be inspected the way the paper's figure explains the
+//! mechanism.
+
+use std::fmt::Write as _;
+
+use logmodel::TsMs;
+
+use crate::event::EventKind;
+use crate::graph::SchedulingGraph;
+
+/// One timeline row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimelineEntry {
+    /// Timestamp.
+    pub ts: TsMs,
+    /// Entity label (`app`, `container_…`).
+    pub entity: String,
+    /// The event.
+    pub kind: EventKind,
+}
+
+/// Flatten a scheduling graph into a chronological event table.
+pub fn timeline(g: &SchedulingGraph) -> Vec<TimelineEntry> {
+    let mut rows: Vec<TimelineEntry> = g
+        .app_events
+        .iter()
+        .map(|(k, t)| TimelineEntry {
+            ts: *t,
+            entity: "app".to_string(),
+            kind: *k,
+        })
+        .collect();
+    for c in g.containers.values() {
+        for (k, t) in &c.events {
+            rows.push(TimelineEntry {
+                ts: *t,
+                entity: c.cid.to_string(),
+                kind: *k,
+            });
+        }
+    }
+    rows.sort_by(|a, b| a.ts.cmp(&b.ts).then_with(|| a.entity.cmp(&b.entity)));
+    rows
+}
+
+/// Render the timeline as CSV (`ts_ms,entity,event,table1_number`).
+pub fn timeline_csv(g: &SchedulingGraph) -> String {
+    let mut out = String::from("ts_ms,entity,event,table1_number\n");
+    for e in timeline(g) {
+        let num = e
+            .kind
+            .table1_number()
+            .map(|n| n.to_string())
+            .unwrap_or_default();
+        let _ = writeln!(out, "{},{},{:?},{}", e.ts.0, e.entity, e.kind, num);
+    }
+    out
+}
+
+/// Gantt lane phases for the ASCII rendering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Waiting for allocation/acquisition ( `.` ).
+    Pending,
+    /// Localizing + launching ( `=` ).
+    Starting,
+    /// Process up but no task yet — the paper's *idleness* ( `-` ).
+    Idle,
+    /// Running tasks / doing work ( `#` ).
+    Busy,
+}
+
+impl Phase {
+    fn glyph(self) -> char {
+        match self {
+            Phase::Pending => '.',
+            Phase::Starting => '=',
+            Phase::Idle => '-',
+            Phase::Busy => '#',
+        }
+    }
+}
+
+/// Render an ASCII Gantt chart (Fig 10's shape): one lane per container
+/// plus a driver lane, `width` columns spanning submission → first task
+/// (or the last event when no task exists).
+pub fn ascii_gantt(g: &SchedulingGraph, width: usize) -> String {
+    let width = width.clamp(20, 500);
+    let start = g.first(EventKind::AppSubmitted).unwrap_or(TsMs(0));
+    let mut end = g
+        .worker_containers()
+        .filter_map(|c| c.first(EventKind::TaskAssigned))
+        .min();
+    if end.is_none() {
+        end = timeline(g).last().map(|e| e.ts);
+    }
+    let Some(end) = end else {
+        return String::from("(empty graph)\n");
+    };
+    let span = end.since(start).max(1);
+    let col = |t: Option<TsMs>| -> Option<usize> {
+        t.map(|t| ((t.since(start) as f64 / span as f64) * (width - 1) as f64) as usize)
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} — {} ms from SUBMITTED to first task ( . pending  = starting  - idle  # busy )",
+        g.app, span
+    );
+    let mut lane = |label: &str, marks: &[(Option<usize>, Phase)]| {
+        let mut cells = vec![' '; width];
+        let mut current: Option<Phase> = None;
+        let mut from = 0usize;
+        for (pos, phase) in marks {
+            if let Some(p) = pos {
+                if let Some(ph) = current {
+                    for cell in cells.iter_mut().take((*p).min(width)).skip(from) {
+                        *cell = ph.glyph();
+                    }
+                }
+                from = *p;
+                current = Some(*phase);
+            }
+        }
+        if let Some(ph) = current {
+            for cell in cells.iter_mut().skip(from) {
+                *cell = ph.glyph();
+            }
+        }
+        let _ = writeln!(out, "{label:<14} |{}|", cells.iter().collect::<String>());
+    };
+
+    // Driver lane: pending → starting (localize+launch) → busy (init) →
+    // busy continues after registration (user init).
+    if let Some(am) = g.am_container() {
+        lane(
+            "driver",
+            &[
+                (col(Some(start)), Phase::Pending),
+                (col(am.first(EventKind::ContainerLocalizing)), Phase::Starting),
+                (col(g.first(EventKind::DriverFirstLog)), Phase::Busy),
+            ],
+        );
+    }
+    // Executor lanes: pending → starting → idle (the Fig 10 gap) → busy at
+    // first task.
+    for c in g.worker_containers() {
+        let label = format!("exec {:06}", c.cid.seq);
+        lane(
+            &label,
+            &[
+                (col(Some(start)), Phase::Pending),
+                (col(c.first(EventKind::ContainerLocalizing)), Phase::Starting),
+                (col(c.first(EventKind::ExecutorFirstLog)), Phase::Idle),
+                (col(c.first(EventKind::TaskAssigned)), Phase::Busy),
+            ],
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::SchedEvent;
+    use crate::graph::build_graphs;
+    use logmodel::{ApplicationId, ContainerId, LogSource};
+
+    const CTS: u64 = 1_521_018_000_000;
+
+    fn sample() -> SchedulingGraph {
+        let a = ApplicationId::new(CTS, 1);
+        let am = a.attempt(1).container(1);
+        let e1 = a.attempt(1).container(2);
+        let mk = |ts: u64, kind, c: Option<ContainerId>| SchedEvent {
+            ts: TsMs(ts),
+            kind,
+            app: a,
+            container: c,
+            node: None,
+            source: LogSource::ResourceManager,
+        };
+        use EventKind::*;
+        build_graphs(&[
+            mk(0, AppSubmitted, None),
+            mk(100, ContainerAllocated, Some(am)),
+            mk(200, ContainerLocalizing, Some(am)),
+            mk(1_000, DriverFirstLog, None),
+            mk(4_000, DriverRegistered, None),
+            mk(4_100, ContainerAllocated, Some(e1)),
+            mk(4_500, ContainerLocalizing, Some(e1)),
+            mk(6_000, ExecutorFirstLog, Some(e1)),
+            mk(10_000, TaskAssigned, Some(e1)),
+        ])
+        .remove(&a)
+        .unwrap()
+    }
+
+    #[test]
+    fn timeline_is_chronological_and_complete() {
+        let g = sample();
+        let t = timeline(&g);
+        assert_eq!(t.len(), 9);
+        for w in t.windows(2) {
+            assert!(w[0].ts <= w[1].ts);
+        }
+        assert_eq!(t[0].kind, EventKind::AppSubmitted);
+        assert_eq!(t.last().unwrap().kind, EventKind::TaskAssigned);
+    }
+
+    #[test]
+    fn csv_has_header_and_numbers() {
+        let g = sample();
+        let csv = timeline_csv(&g);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "ts_ms,entity,event,table1_number");
+        assert_eq!(lines.len(), 10);
+        assert!(lines[1].starts_with("0,app,AppSubmitted,1"));
+        assert!(csv.contains("TaskAssigned,14"));
+    }
+
+    #[test]
+    fn gantt_shows_executor_idleness() {
+        let g = sample();
+        let art = ascii_gantt(&g, 80);
+        assert!(art.contains("driver"));
+        assert!(art.contains("exec 000002"));
+        // The executor lane must contain an idle stretch followed by busy.
+        let exec_line = art.lines().find(|l| l.starts_with("exec")).unwrap();
+        let idle = exec_line.matches('-').count();
+        assert!(idle > 5, "expected a visible idle gap (Fig 10): {exec_line}");
+        assert!(exec_line.contains('#'), "busy phase at first task: {exec_line}");
+        // Idle comes before busy.
+        assert!(exec_line.find('-').unwrap() < exec_line.find('#').unwrap());
+    }
+
+    #[test]
+    fn gantt_handles_empty_and_taskless_graphs() {
+        let a = ApplicationId::new(CTS, 2);
+        let g = build_graphs(&[SchedEvent {
+            ts: TsMs(5),
+            kind: EventKind::AppSubmitted,
+            app: a,
+            container: None,
+            node: None,
+            source: LogSource::ResourceManager,
+        }])
+        .remove(&a)
+        .unwrap();
+        let art = ascii_gantt(&g, 40);
+        assert!(art.contains("5 ms") || art.contains("1 ms"), "{art}");
+    }
+}

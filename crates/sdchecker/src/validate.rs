@@ -1,0 +1,303 @@
+//! Corpus validation: sanity-check a log corpus before trusting its
+//! delay decomposition.
+//!
+//! Scheduling evidence spans multiple machines' logs (RM, NMs, drivers,
+//! executors), so the analysis silently depends on cluster-wide clock
+//! agreement — the paper's testbed dedicates a node as an NTP server for
+//! exactly this reason (§IV-A). This module detects the failure modes a
+//! real deployment hits:
+//!
+//! * **ordering violations** — a causally later state logged with an
+//!   earlier timestamp (clock skew between daemons, or log truncation);
+//! * **duplicate transitions** — the same state reached twice (log
+//!   duplication, AM retries this tool does not model);
+//! * **broken chains** — a state reached without its prerequisite ever
+//!   appearing (lost log files).
+//!
+//! Anomalies are reported, not fixed: SDchecker's delays are only as good
+//! as the timestamps, so the right reaction to a skewed corpus is to fix
+//! the collection, not to analyze around it.
+
+use logmodel::{ApplicationId, ContainerId};
+
+use crate::event::EventKind;
+use crate::graph::{ContainerTrack, SchedulingGraph};
+
+/// What went wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnomalyKind {
+    /// `later` was logged before `earlier` despite being causally after.
+    OrderingViolation {
+        /// The prerequisite event.
+        earlier: EventKind,
+        /// The dependent event.
+        later: EventKind,
+        /// Negative gap in ms (how far "later" precedes "earlier").
+        skew_ms: u64,
+    },
+    /// The same event kind appears more than once for one entity.
+    DuplicateEvent {
+        /// The repeated kind.
+        kind: EventKind,
+        /// Occurrence count.
+        count: usize,
+    },
+    /// `dependent` appears but its prerequisite never does.
+    MissingPrerequisite {
+        /// The absent event.
+        missing: EventKind,
+        /// The event that requires it.
+        dependent: EventKind,
+    },
+}
+
+/// One detected anomaly, bound to its entity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Anomaly {
+    /// Owning application.
+    pub app: ApplicationId,
+    /// Container, when container-scoped.
+    pub container: Option<ContainerId>,
+    /// What was detected.
+    pub kind: AnomalyKind,
+}
+
+/// Causal orderings within one application's app-scoped events.
+const APP_CHAIN: [(EventKind, EventKind); 6] = [
+    (EventKind::AppSubmitted, EventKind::AppAccepted),
+    (EventKind::AppAccepted, EventKind::AttemptRegistered),
+    (EventKind::AttemptRegistered, EventKind::AppUnregistered),
+    (EventKind::DriverFirstLog, EventKind::DriverRegistered),
+    (EventKind::DriverRegistered, EventKind::StartAllo),
+    (EventKind::StartAllo, EventKind::EndAllo),
+];
+
+/// Causal orderings within one container's events. RM-side and NM-side
+/// pairs cross log files, so these are the clock-skew detectors.
+const CONTAINER_CHAIN: [(EventKind, EventKind); 6] = [
+    (EventKind::ContainerAllocated, EventKind::ContainerAcquired),
+    (EventKind::ContainerAcquired, EventKind::ContainerLocalizing),
+    (EventKind::ContainerLocalizing, EventKind::ContainerScheduled),
+    (EventKind::ContainerScheduled, EventKind::ContainerNmRunning),
+    (EventKind::ContainerNmRunning, EventKind::ExecutorFirstLog),
+    (EventKind::ExecutorFirstLog, EventKind::TaskAssigned),
+];
+
+/// Event kinds that legitimately repeat.
+fn may_repeat(kind: EventKind) -> bool {
+    matches!(kind, EventKind::TaskAssigned)
+}
+
+fn check_chain(
+    app: ApplicationId,
+    container: Option<ContainerId>,
+    firsts: impl Fn(EventKind) -> Option<logmodel::TsMs>,
+    chain: &[(EventKind, EventKind)],
+    out: &mut Vec<Anomaly>,
+) {
+    for (earlier, later) in chain {
+        match (firsts(*earlier), firsts(*later)) {
+            (Some(te), Some(tl)) if tl < te => out.push(Anomaly {
+                app,
+                container,
+                kind: AnomalyKind::OrderingViolation {
+                    earlier: *earlier,
+                    later: *later,
+                    skew_ms: te.since(tl),
+                },
+            }),
+            (None, Some(_)) => out.push(Anomaly {
+                app,
+                container,
+                kind: AnomalyKind::MissingPrerequisite {
+                    missing: *earlier,
+                    dependent: *later,
+                },
+            }),
+            _ => {}
+        }
+    }
+}
+
+fn check_duplicates(
+    app: ApplicationId,
+    container: Option<ContainerId>,
+    events: &[(EventKind, logmodel::TsMs)],
+    out: &mut Vec<Anomaly>,
+) {
+    let mut counts: std::collections::HashMap<EventKind, usize> = std::collections::HashMap::new();
+    for (k, _) in events {
+        *counts.entry(*k).or_default() += 1;
+    }
+    let mut dups: Vec<(EventKind, usize)> = counts
+        .into_iter()
+        .filter(|(k, c)| *c > 1 && !may_repeat(*k))
+        .collect();
+    dups.sort_by_key(|(k, _)| format!("{k:?}"));
+    for (kind, count) in dups {
+        out.push(Anomaly {
+            app,
+            container,
+            kind: AnomalyKind::DuplicateEvent { kind, count },
+        });
+    }
+}
+
+fn container_firsts(track: &ContainerTrack) -> impl Fn(EventKind) -> Option<logmodel::TsMs> + '_ {
+    move |k| track.first(k)
+}
+
+/// Validate one application's scheduling graph.
+pub fn validate_graph(g: &SchedulingGraph) -> Vec<Anomaly> {
+    let mut out = Vec::new();
+    check_chain(g.app, None, |k| g.first(k), &APP_CHAIN, &mut out);
+    check_duplicates(g.app, None, &g.app_events, &mut out);
+    for track in g.containers.values() {
+        // The AM container has no executor log; skip the executor links.
+        let chain: &[(EventKind, EventKind)] = if track.is_am() {
+            &CONTAINER_CHAIN[..4]
+        } else {
+            &CONTAINER_CHAIN
+        };
+        check_chain(g.app, Some(track.cid), container_firsts(track), chain, &mut out);
+        check_duplicates(g.app, Some(track.cid), &track.events, &mut out);
+    }
+    out
+}
+
+/// Validate every application in an analysis.
+pub fn validate_all<'a>(
+    graphs: impl IntoIterator<Item = &'a SchedulingGraph>,
+) -> Vec<Anomaly> {
+    graphs.into_iter().flat_map(validate_graph).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::SchedEvent;
+    use crate::graph::build_graphs;
+    use logmodel::{LogSource, TsMs};
+
+    const CTS: u64 = 1_521_018_000_000;
+
+    fn ev(ts: u64, kind: EventKind, app: ApplicationId, c: Option<ContainerId>) -> SchedEvent {
+        SchedEvent {
+            ts: TsMs(ts),
+            kind,
+            app,
+            container: c,
+            node: None,
+            source: LogSource::ResourceManager,
+        }
+    }
+
+    fn graph(evs: Vec<SchedEvent>) -> SchedulingGraph {
+        let app = evs[0].app;
+        build_graphs(&evs).remove(&app).unwrap()
+    }
+
+    #[test]
+    fn clean_chain_is_clean() {
+        let a = ApplicationId::new(CTS, 1);
+        let c = a.attempt(1).container(2);
+        use EventKind::*;
+        let g = graph(vec![
+            ev(1, AppSubmitted, a, None),
+            ev(2, AppAccepted, a, None),
+            ev(100, AttemptRegistered, a, None),
+            ev(110, ContainerAllocated, a, Some(c)),
+            ev(120, ContainerAcquired, a, Some(c)),
+            ev(130, ContainerLocalizing, a, Some(c)),
+            ev(600, ContainerScheduled, a, Some(c)),
+            ev(610, ContainerNmRunning, a, Some(c)),
+            ev(1300, ExecutorFirstLog, a, Some(c)),
+            ev(5000, TaskAssigned, a, Some(c)),
+            ev(5001, TaskAssigned, a, Some(c)), // tasks may repeat
+        ]);
+        assert_eq!(validate_graph(&g), vec![]);
+    }
+
+    #[test]
+    fn detects_clock_skew_between_rm_and_nm() {
+        let a = ApplicationId::new(CTS, 1);
+        let c = a.attempt(1).container(2);
+        use EventKind::*;
+        // NM clock is 400 ms behind: LOCALIZING logged "before" ACQUIRED.
+        // (Events arrive globally time-sorted, as extract_all produces
+        // them; the skew shows up as a causal-order violation.)
+        let g = graph(vec![
+            ev(1000, ContainerAllocated, a, Some(c)),
+            ev(1100, ContainerLocalizing, a, Some(c)),
+            ev(1500, ContainerAcquired, a, Some(c)),
+        ]);
+        let anomalies = validate_graph(&g);
+        assert_eq!(anomalies.len(), 1);
+        assert_eq!(
+            anomalies[0].kind,
+            AnomalyKind::OrderingViolation {
+                earlier: ContainerAcquired,
+                later: ContainerLocalizing,
+                skew_ms: 400,
+            }
+        );
+        assert_eq!(anomalies[0].container, Some(c));
+    }
+
+    #[test]
+    fn detects_duplicates_and_missing_prerequisites() {
+        let a = ApplicationId::new(CTS, 1);
+        use EventKind::*;
+        let g = graph(vec![
+            ev(1, AppSubmitted, a, None),
+            ev(2, AppSubmitted, a, None), // duplicated SUBMITTED
+            ev(3, AttemptRegistered, a, None), // ACCEPTED missing
+        ]);
+        let anomalies = validate_graph(&g);
+        assert!(anomalies.iter().any(|x| matches!(
+            x.kind,
+            AnomalyKind::DuplicateEvent { kind: AppSubmitted, count: 2 }
+        )), "{anomalies:?}");
+        assert!(anomalies.iter().any(|x| matches!(
+            x.kind,
+            AnomalyKind::MissingPrerequisite { missing: AppAccepted, dependent: AttemptRegistered }
+        )), "{anomalies:?}");
+    }
+
+    #[test]
+    fn am_container_not_required_to_have_executor_log() {
+        let a = ApplicationId::new(CTS, 1);
+        let am = a.attempt(1).container(1);
+        use EventKind::*;
+        let g = graph(vec![
+            ev(10, ContainerAllocated, a, Some(am)),
+            ev(11, ContainerAcquired, a, Some(am)),
+            ev(20, ContainerLocalizing, a, Some(am)),
+            ev(600, ContainerScheduled, a, Some(am)),
+            ev(605, ContainerNmRunning, a, Some(am)),
+        ]);
+        assert_eq!(validate_graph(&g), vec![]);
+    }
+
+    #[test]
+    fn simulated_corpora_are_always_clean() {
+        // The simulator is causally consistent by construction; validation
+        // over a full corpus must find nothing.
+        let mut store = logmodel::LogStore::new(logmodel::Epoch::default_run());
+        let a = ApplicationId::new(CTS, 3);
+        store.info(
+            LogSource::ResourceManager,
+            TsMs(5),
+            "RMAppImpl",
+            format!("{a} State change from NEW_SAVING to SUBMITTED on event = APP_NEW_SAVED"),
+        );
+        store.info(
+            LogSource::ResourceManager,
+            TsMs(9),
+            "RMAppImpl",
+            format!("{a} State change from SUBMITTED to ACCEPTED on event = APP_ACCEPTED"),
+        );
+        let an = crate::analyze_store(&store);
+        assert!(validate_all(an.graphs.values()).is_empty());
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based tests for SDchecker's parsing and statistics layers.
+
+use proptest::prelude::*;
+use sdchecker::{Cdf, Pat, Summary};
+
+proptest! {
+    /// A pattern built as literal/hole/literal/hole/... always matches the
+    /// string assembled from the same pieces and recovers the captures.
+    #[test]
+    fn pattern_recovers_captures(
+        lits in prop::collection::vec("[a-zA-Z ]{1,10}", 2..5),
+        caps in prop::collection::vec("[0-9_]{1,12}", 1..4),
+    ) {
+        // Interleave: lit cap lit cap ... lit (needs lits.len() = caps.len()+1)
+        prop_assume!(lits.len() == caps.len() + 1);
+        // Captures are digits/underscores and literals are letters/spaces,
+        // so a capture can never swallow a literal boundary.
+        let mut pattern = String::new();
+        let mut text = String::new();
+        for (i, lit) in lits.iter().enumerate() {
+            pattern.push_str(lit);
+            text.push_str(lit);
+            if i < caps.len() {
+                pattern.push_str("{}");
+                text.push_str(&caps[i]);
+            }
+        }
+        let pat = Pat::new(&pattern);
+        let got = pat.match_str(&text);
+        prop_assert_eq!(got, Some(caps.iter().map(String::as_str).collect::<Vec<_>>()));
+    }
+
+    /// Summary statistics are order-invariant and internally consistent.
+    #[test]
+    fn summary_is_consistent(mut values in prop::collection::vec(0.0f64..1e7, 1..200)) {
+        let s1 = Summary::from(&values).unwrap();
+        values.reverse();
+        let s2 = Summary::from(&values).unwrap();
+        prop_assert_eq!(s1.clone(), s2);
+        prop_assert!(s1.min <= s1.p50 && s1.p50 <= s1.p90);
+        prop_assert!(s1.p90 <= s1.p95 && s1.p95 <= s1.p99 && s1.p99 <= s1.max);
+        prop_assert!(s1.min <= s1.mean && s1.mean <= s1.max);
+        prop_assert!(s1.std_dev >= 0.0);
+    }
+
+    /// CDF: `at` is a nondecreasing step function from 0 to 1, and
+    /// quantile/at are approximate inverses.
+    #[test]
+    fn cdf_monotone_and_bounded(values in prop::collection::vec(0.0f64..1e6, 1..100)) {
+        let cdf = Cdf::from(&values);
+        let lo = cdf.at(-1.0);
+        let hi = cdf.at(1e9);
+        prop_assert_eq!(lo, 0.0);
+        prop_assert_eq!(hi, 1.0);
+        let mut prev = 0.0;
+        for x in [0.0, 1.0, 10.0, 100.0, 1e3, 1e5, 1e6] {
+            let y = cdf.at(x);
+            prop_assert!(y >= prev);
+            prev = y;
+        }
+        // Quantiles are within the sample range and monotone.
+        let q25 = cdf.quantile(0.25).unwrap();
+        let q75 = cdf.quantile(0.75).unwrap();
+        prop_assert!(q25 <= q75);
+        let (min, max) = values.iter().fold((f64::MAX, f64::MIN), |(a, b), v| (a.min(*v), b.max(*v)));
+        prop_assert!(q25 >= min && q75 <= max);
+    }
+
+    /// CDF points are monotone in both coordinates and end at fraction 1.
+    #[test]
+    fn cdf_points_monotone(values in prop::collection::vec(0.0f64..1e6, 1..400), cap in 5usize..50) {
+        let cdf = Cdf::from(&values);
+        let pts = cdf.points(cap);
+        prop_assert!(!pts.is_empty());
+        prop_assert!(pts.len() <= cap.max(values.len().min(cap)));
+        for w in pts.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+            prop_assert!(w[0].1 < w[1].1);
+        }
+        prop_assert!((pts.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,278 @@
+//! The simulation kernel: a clock, an event queue, and a model.
+//!
+//! Models implement [`Model`]; the engine pops events in time order, hands
+//! them to the model together with a [`Ctx`] through which the model
+//! schedules follow-up events and draws randomness, then merges newly
+//! scheduled events back into the queue.
+
+use crate::queue::EventQueue;
+use crate::rng::SimRng;
+use crate::time::Millis;
+
+/// A simulation model: an event type plus a handler.
+pub trait Model {
+    /// The event alphabet of this model.
+    type Event;
+
+    /// React to `ev`; schedule follow-ups through `ctx`.
+    fn handle(&mut self, ev: Self::Event, ctx: &mut Ctx<Self::Event>);
+}
+
+/// Handler-side view of the kernel: the current time, the RNG, and a buffer
+/// of newly scheduled events.
+pub struct Ctx<'a, E> {
+    now: Millis,
+    rng: &'a mut SimRng,
+    pending: Vec<(Millis, E)>,
+}
+
+impl<'a, E> Ctx<'a, E> {
+    /// Current simulation time.
+    pub fn now(&self) -> Millis {
+        self.now
+    }
+
+    /// The run's root RNG (models typically hold their own forks; this is
+    /// for ad-hoc draws).
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+
+    /// Schedule `ev` to fire `delay` from now.
+    pub fn schedule_in(&mut self, delay: Millis, ev: E) {
+        self.pending.push((self.now + delay, ev));
+    }
+
+    /// Schedule `ev` at an absolute time (clamped to now if in the past —
+    /// the simulation clock never moves backwards).
+    pub fn schedule_at(&mut self, at: Millis, ev: E) {
+        self.pending.push((at.max(self.now), ev));
+    }
+}
+
+/// The simulation engine.
+pub struct Engine<M: Model> {
+    model: M,
+    queue: EventQueue<M::Event>,
+    rng: SimRng,
+    now: Millis,
+    processed: u64,
+}
+
+impl<M: Model> Engine<M> {
+    /// Wrap `model` with a fresh kernel seeded by `seed`.
+    pub fn new(model: M, seed: u64) -> Engine<M> {
+        Engine {
+            model,
+            queue: EventQueue::new(),
+            rng: SimRng::new(seed),
+            now: Millis::ZERO,
+            processed: 0,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Millis {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Immutable access to the model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Mutable access to the model (for pre-run setup).
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// Consume the engine, returning the model.
+    pub fn into_model(self) -> M {
+        self.model
+    }
+
+    /// The run's root RNG (for pre-run setup such as workload sampling).
+    pub fn rng_mut(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    /// Schedule an event at an absolute time before/while running.
+    pub fn schedule_at(&mut self, at: Millis, ev: M::Event) {
+        self.queue.push(at.max(self.now), ev);
+    }
+
+    /// Process a single event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some((at, ev)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(at >= self.now, "time went backwards");
+        self.now = at;
+        let mut ctx = Ctx {
+            now: self.now,
+            rng: &mut self.rng,
+            pending: Vec::new(),
+        };
+        self.model.handle(ev, &mut ctx);
+        for (t, e) in ctx.pending {
+            self.queue.push(t, e);
+        }
+        self.processed += 1;
+        true
+    }
+
+    /// Run until the queue empties.
+    pub fn run_to_completion(&mut self) {
+        while self.step() {}
+    }
+
+    /// Run until the queue empties or the clock passes `horizon`
+    /// (events strictly after `horizon` are left unprocessed).
+    pub fn run_until(&mut self, horizon: Millis) {
+        while let Some(t) = self.queue.peek_time() {
+            if t > horizon {
+                break;
+            }
+            self.step();
+        }
+    }
+
+    /// Run at most `limit` further events; returns how many were processed.
+    /// A guard against accidental non-terminating models in tests.
+    pub fn run_capped(&mut self, limit: u64) -> u64 {
+        let mut n = 0;
+        while n < limit && self.step() {
+            n += 1;
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Echo {
+        seen: Vec<(Millis, u32)>,
+    }
+
+    enum Ev {
+        Tag(u32),
+        Chain(u32),
+    }
+
+    impl Model for Echo {
+        type Event = Ev;
+        fn handle(&mut self, ev: Ev, ctx: &mut Ctx<Ev>) {
+            match ev {
+                Ev::Tag(n) => self.seen.push((ctx.now(), n)),
+                Ev::Chain(n) => {
+                    self.seen.push((ctx.now(), n));
+                    if n > 0 {
+                        ctx.schedule_in(Millis(5), Ev::Chain(n - 1));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut e = Engine::new(Echo { seen: vec![] }, 0);
+        e.schedule_at(Millis(30), Ev::Tag(3));
+        e.schedule_at(Millis(10), Ev::Tag(1));
+        e.schedule_at(Millis(20), Ev::Tag(2));
+        e.run_to_completion();
+        assert_eq!(
+            e.model().seen,
+            vec![(Millis(10), 1), (Millis(20), 2), (Millis(30), 3)]
+        );
+        assert_eq!(e.processed(), 3);
+    }
+
+    #[test]
+    fn chained_scheduling_advances_clock() {
+        let mut e = Engine::new(Echo { seen: vec![] }, 0);
+        e.schedule_at(Millis(0), Ev::Chain(3));
+        e.run_to_completion();
+        assert_eq!(e.now(), Millis(15));
+        assert_eq!(e.model().seen.len(), 4);
+    }
+
+    #[test]
+    fn run_until_respects_horizon() {
+        let mut e = Engine::new(Echo { seen: vec![] }, 0);
+        e.schedule_at(Millis(0), Ev::Chain(10));
+        e.run_until(Millis(12));
+        // Events at 0, 5, 10 processed; 15 not.
+        assert_eq!(e.model().seen.len(), 3);
+        assert_eq!(e.now(), Millis(10));
+        e.run_to_completion();
+        assert_eq!(e.model().seen.len(), 11);
+    }
+
+    #[test]
+    fn run_capped_stops() {
+        let mut e = Engine::new(Echo { seen: vec![] }, 0);
+        e.schedule_at(Millis(0), Ev::Chain(1000));
+        let n = e.run_capped(10);
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    fn schedule_at_past_clamps_to_now() {
+        struct PastScheduler {
+            fired_at: Option<Millis>,
+        }
+        enum PEv {
+            Trigger,
+            Late,
+        }
+        impl Model for PastScheduler {
+            type Event = PEv;
+            fn handle(&mut self, ev: PEv, ctx: &mut Ctx<PEv>) {
+                match ev {
+                    PEv::Trigger => ctx.schedule_at(Millis(1), PEv::Late),
+                    PEv::Late => self.fired_at = Some(ctx.now()),
+                }
+            }
+        }
+        let mut e = Engine::new(PastScheduler { fired_at: None }, 0);
+        e.schedule_at(Millis(100), PEv::Trigger);
+        e.run_to_completion();
+        assert_eq!(e.model().fired_at, Some(Millis(100)));
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        fn run(seed: u64) -> Vec<u64> {
+            struct R {
+                draws: Vec<u64>,
+            }
+            enum Ev {
+                Draw(u32),
+            }
+            impl Model for R {
+                type Event = Ev;
+                fn handle(&mut self, Ev::Draw(n): Ev, ctx: &mut Ctx<Ev>) {
+                    self.draws.push(ctx.rng().u64());
+                    if n > 0 {
+                        let d = ctx.rng().below(10) + 1;
+                        ctx.schedule_in(Millis(d), Ev::Draw(n - 1));
+                    }
+                }
+            }
+            let mut e = Engine::new(R { draws: vec![] }, seed);
+            e.schedule_at(Millis(0), Ev::Draw(20));
+            e.run_to_completion();
+            e.into_model().draws
+        }
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+}

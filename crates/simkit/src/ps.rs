@@ -1,0 +1,453 @@
+//! Processor-sharing resources: the contention primitive behind every delay
+//! the paper characterizes.
+//!
+//! A [`PsResource`] is a work-conserving queue with total capacity `C`
+//! (work units per millisecond). Active flows share `C` in proportion to
+//! their weights, except that no flow can exceed its own rate cap. The same
+//! primitive models:
+//!
+//! * a node's **CPU pool**: capacity = cores (cpu-ms of work per wall ms),
+//!   flow weight = thread count, per-flow cap = thread count (a JVM start
+//!   with one hot thread cannot use 32 cores);
+//! * a node's **IO channel** (disk + NIC folded together, see DESIGN.md):
+//!   capacity = aggregate MB/ms, per-flow cap = single-stream MB/ms.
+//!
+//! ## Protocol with the event loop
+//!
+//! The resource does not own the event queue. Instead every mutation bumps a
+//! generation counter; the owning model asks [`PsResource::next_completion`]
+//! for the earliest finish time, schedules a tick event carrying the
+//! generation, and on tick calls [`PsResource::on_tick`]. Stale ticks
+//! (generation mismatch) are ignored — any mutation since has already
+//! scheduled a fresher tick. Between mutations rates are constant, so
+//! completions computed in closed form are exact (up to the deliberate
+//! ceil-to-millisecond quantization).
+
+use std::collections::BTreeMap;
+
+use crate::time::Millis;
+
+/// Identifies a flow within one resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlowId(pub u64);
+
+/// Generation stamp used to invalidate stale tick events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResourceGen(pub u64);
+
+#[derive(Debug, Clone)]
+struct Flow {
+    remaining: f64,
+    weight: f64,
+    cap: f64,
+}
+
+const EPS: f64 = 1e-6;
+
+/// A weighted processor-sharing resource with per-flow rate caps.
+#[derive(Debug)]
+pub struct PsResource {
+    capacity: f64,
+    flows: BTreeMap<u64, Flow>,
+    next_id: u64,
+    gen: u64,
+    /// Last time (fractional ms) progress was applied.
+    last: f64,
+    /// Flows that reached zero remaining work during the last advance and
+    /// await collection by `on_tick`.
+    finished: Vec<FlowId>,
+    /// Lifetime accounting for utilization reporting.
+    work_done: f64,
+    busy_ms: f64,
+}
+
+impl PsResource {
+    /// A resource with the given total capacity (work units per ms).
+    pub fn new(capacity: f64) -> PsResource {
+        assert!(capacity > 0.0, "capacity must be positive");
+        PsResource {
+            capacity,
+            flows: BTreeMap::new(),
+            next_id: 0,
+            gen: 0,
+            last: 0.0,
+            finished: Vec::new(),
+            work_done: 0.0,
+            busy_ms: 0.0,
+        }
+    }
+
+    /// Total capacity in work units per millisecond.
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    /// Number of in-flight flows (including finished-but-uncollected).
+    pub fn active_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Current generation stamp.
+    pub fn gen(&self) -> ResourceGen {
+        ResourceGen(self.gen)
+    }
+
+    /// Total work completed over the resource's lifetime.
+    pub fn work_done(&self) -> f64 {
+        self.work_done
+    }
+
+    /// Milliseconds during which at least one flow was active.
+    pub fn busy_ms(&self) -> f64 {
+        self.busy_ms
+    }
+
+    /// Instantaneous utilization in `[0, 1]`: demanded rate over capacity.
+    pub fn utilization(&self) -> f64 {
+        let demand: f64 = self
+            .flows
+            .values()
+            .filter(|f| f.remaining > EPS)
+            .map(|f| f.cap)
+            .sum();
+        (demand / self.capacity).min(1.0)
+    }
+
+    /// Add a flow with `work` units outstanding, fair-share `weight`, and a
+    /// maximum absorption rate of `cap` units/ms. Returns its id. Bumps the
+    /// generation: the caller must reschedule its tick.
+    pub fn add_flow(&mut self, now: Millis, work: f64, weight: f64, cap: f64) -> FlowId {
+        assert!(work >= 0.0 && weight > 0.0 && cap > 0.0);
+        self.advance_to(now.as_f64());
+        let id = self.next_id;
+        self.next_id += 1;
+        self.flows.insert(
+            id,
+            Flow {
+                remaining: work,
+                weight,
+                cap,
+            },
+        );
+        if work <= EPS {
+            self.finished.push(FlowId(id));
+        }
+        self.gen += 1;
+        FlowId(id)
+    }
+
+    /// Remove a flow before completion, returning its remaining work.
+    /// Returns `None` if the id is unknown (already completed/cancelled).
+    /// Bumps the generation.
+    pub fn cancel(&mut self, now: Millis, id: FlowId) -> Option<f64> {
+        self.advance_to(now.as_f64());
+        let f = self.flows.remove(&id.0)?;
+        self.finished.retain(|x| *x != id);
+        self.gen += 1;
+        Some(f.remaining)
+    }
+
+    /// Remaining work for a flow, if it is still in flight.
+    pub fn remaining(&self, id: FlowId) -> Option<f64> {
+        self.flows.get(&id.0).map(|f| f.remaining)
+    }
+
+    /// The earliest upcoming completion: `(time, generation)`. The time is
+    /// rounded *up* to a whole millisecond so the tick never fires early.
+    /// `None` when no unfinished flows remain and nothing awaits collection.
+    pub fn next_completion(&self, now: Millis) -> Option<(Millis, ResourceGen)> {
+        if !self.finished.is_empty() {
+            return Some((now.max(Millis::from_f64_ceil(self.last)), self.gen()));
+        }
+        let rates = self.current_rates();
+        let mut best: Option<f64> = None;
+        for (id, f) in &self.flows {
+            let rate = rates
+                .iter()
+                .find(|(rid, _)| rid == id)
+                .map(|(_, r)| *r)
+                .unwrap_or(0.0);
+            if rate <= 0.0 {
+                continue;
+            }
+            let t = self.last + f.remaining / rate;
+            if best.is_none_or(|b| t < b) {
+                best = Some(t);
+            }
+        }
+        best.map(|t| {
+            let at = Millis::from_f64_ceil(t).max(now);
+            (at, self.gen())
+        })
+    }
+
+    /// Process a tick scheduled with generation `gen` at time `now`.
+    /// Returns the flows that completed (empty for stale ticks). Completion
+    /// removes flows and bumps the generation when anything finished, so the
+    /// caller should query `next_completion` again afterwards.
+    pub fn on_tick(&mut self, now: Millis, gen: ResourceGen) -> Vec<FlowId> {
+        if gen != self.gen() {
+            return Vec::new();
+        }
+        self.advance_to(now.as_f64());
+        let done = std::mem::take(&mut self.finished);
+        if !done.is_empty() {
+            for id in &done {
+                self.flows.remove(&id.0);
+            }
+            self.gen += 1;
+        }
+        done
+    }
+
+    /// Apply progress at current rates over `[self.last, now_ms]`.
+    fn advance_to(&mut self, now_ms: f64) {
+        if now_ms <= self.last {
+            return;
+        }
+        let dt = now_ms - self.last;
+        let active = self.flows.values().any(|f| f.remaining > EPS);
+        if active {
+            self.busy_ms += dt;
+        }
+        let rates = self.current_rates();
+        for (id, rate) in rates {
+            if let Some(f) = self.flows.get_mut(&id) {
+                let done = (rate * dt).min(f.remaining);
+                f.remaining -= done;
+                self.work_done += done;
+                if f.remaining <= EPS && done > 0.0 {
+                    f.remaining = 0.0;
+                    let fid = FlowId(id);
+                    if !self.finished.contains(&fid) {
+                        self.finished.push(fid);
+                    }
+                }
+            }
+        }
+        self.last = now_ms;
+    }
+
+    /// Weighted max-min fair ("water-filling") rates under per-flow caps.
+    ///
+    /// Iteratively: give every unfixed flow a share proportional to its
+    /// weight; any flow whose share exceeds its cap is fixed at the cap and
+    /// the leftover capacity is redistributed. Terminates in at most
+    /// `n` rounds.
+    fn current_rates(&self) -> Vec<(u64, f64)> {
+        let mut out: Vec<(u64, f64)> = Vec::with_capacity(self.flows.len());
+        let mut unfixed: Vec<(u64, f64, f64)> = Vec::new(); // (id, weight, cap)
+        for (id, f) in &self.flows {
+            if f.remaining > EPS {
+                unfixed.push((*id, f.weight, f.cap));
+            } else {
+                out.push((*id, 0.0));
+            }
+        }
+        let mut cap_left = self.capacity;
+        loop {
+            if unfixed.is_empty() || cap_left <= 0.0 {
+                for (id, _, _) in &unfixed {
+                    out.push((*id, 0.0));
+                }
+                break;
+            }
+            let wsum: f64 = unfixed.iter().map(|(_, w, _)| w).sum();
+            let mut fixed_any = false;
+            let mut i = 0;
+            while i < unfixed.len() {
+                let (id, w, cap) = unfixed[i];
+                let share = cap_left * w / wsum;
+                if cap <= share + 1e-12 {
+                    out.push((id, cap));
+                    cap_left -= cap;
+                    unfixed.swap_remove(i);
+                    fixed_any = true;
+                } else {
+                    i += 1;
+                }
+            }
+            if !fixed_any {
+                // No caps bind: everyone gets their proportional share.
+                for (id, w, _) in &unfixed {
+                    out.push((*id, cap_left.max(0.0) * w / wsum));
+                }
+                break;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drive a resource to completion of all flows, returning
+    /// `(flow, completion_time)` pairs, using the tick protocol exactly as a
+    /// model would.
+    fn drain(res: &mut PsResource, start: Millis) -> Vec<(FlowId, Millis)> {
+        let mut out = Vec::new();
+        let mut now = start;
+        while let Some((at, gen)) = res.next_completion(now) {
+            now = at;
+            for id in res.on_tick(now, gen) {
+                out.push((id, now));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn single_flow_runs_at_cap() {
+        let mut res = PsResource::new(10.0);
+        // 100 units at cap 2/ms => 50 ms.
+        let f = res.add_flow(Millis(0), 100.0, 1.0, 2.0);
+        let done = drain(&mut res, Millis(0));
+        assert_eq!(done, vec![(f, Millis(50))]);
+    }
+
+    #[test]
+    fn single_flow_limited_by_capacity() {
+        let mut res = PsResource::new(1.0);
+        // cap 5/ms but capacity 1/ms => 100 ms.
+        let f = res.add_flow(Millis(0), 100.0, 1.0, 5.0);
+        let done = drain(&mut res, Millis(0));
+        assert_eq!(done, vec![(f, Millis(100))]);
+    }
+
+    #[test]
+    fn equal_flows_share_fairly() {
+        let mut res = PsResource::new(2.0);
+        // Two identical flows, each capped at 2: share capacity equally at
+        // 1/ms each => both finish at 100 ms.
+        let a = res.add_flow(Millis(0), 100.0, 1.0, 2.0);
+        let b = res.add_flow(Millis(0), 100.0, 1.0, 2.0);
+        let done = drain(&mut res, Millis(0));
+        assert_eq!(done.len(), 2);
+        assert!(done.contains(&(a, Millis(100))));
+        assert!(done.contains(&(b, Millis(100))));
+    }
+
+    #[test]
+    fn weighted_sharing() {
+        let mut res = PsResource::new(3.0);
+        // weight 2 vs 1 => rates 2 and 1.
+        let a = res.add_flow(Millis(0), 200.0, 2.0, 10.0);
+        let b = res.add_flow(Millis(0), 100.0, 1.0, 10.0);
+        let done = drain(&mut res, Millis(0));
+        assert!(done.contains(&(a, Millis(100))));
+        assert!(done.contains(&(b, Millis(100))));
+    }
+
+    #[test]
+    fn capped_flow_leaves_slack_to_others() {
+        let mut res = PsResource::new(10.0);
+        // a capped at 1/ms; b takes the rest (cap 9/ms).
+        let a = res.add_flow(Millis(0), 100.0, 1.0, 1.0);
+        let b = res.add_flow(Millis(0), 90.0, 1.0, 9.0);
+        let done = drain(&mut res, Millis(0));
+        assert!(done.contains(&(a, Millis(100))), "{done:?}");
+        assert!(done.contains(&(b, Millis(10))), "{done:?}");
+    }
+
+    #[test]
+    fn rates_speed_up_after_completion() {
+        let mut res = PsResource::new(2.0);
+        // Both capped at 2. Shares 1/1. b finishes at t=10 (10 units);
+        // a then runs at 2/ms: a has 100-10=90 left => +45ms => t=55.
+        let a = res.add_flow(Millis(0), 100.0, 1.0, 2.0);
+        let b = res.add_flow(Millis(0), 10.0, 1.0, 2.0);
+        let done = drain(&mut res, Millis(0));
+        assert!(done.contains(&(b, Millis(10))), "{done:?}");
+        assert!(done.contains(&(a, Millis(55))), "{done:?}");
+    }
+
+    #[test]
+    fn late_arrival_slows_existing_flow() {
+        let mut res = PsResource::new(2.0);
+        let a = res.add_flow(Millis(0), 100.0, 1.0, 2.0);
+        // a alone at 2/ms. At t=20 (60 left for a), b arrives; both at 1/ms.
+        // b: 30 units => done t=50. a: 60-30=30 left at t=50, then 2/ms
+        // => done t=65.
+        let (at, gen) = res.next_completion(Millis(0)).unwrap();
+        assert_eq!(at, Millis(50));
+        let b = res.add_flow(Millis(20), 30.0, 1.0, 2.0);
+        // The original tick is now stale.
+        assert_eq!(res.on_tick(Millis(50), gen), Vec::<FlowId>::new());
+        let done = drain(&mut res, Millis(20));
+        assert!(done.contains(&(b, Millis(50))), "{done:?}");
+        assert!(done.contains(&(a, Millis(65))), "{done:?}");
+    }
+
+    #[test]
+    fn cancel_returns_remaining() {
+        let mut res = PsResource::new(1.0);
+        let a = res.add_flow(Millis(0), 100.0, 1.0, 1.0);
+        let left = res.cancel(Millis(30), a).unwrap();
+        assert!((left - 70.0).abs() < 1e-6, "left {left}");
+        assert!(res.cancel(Millis(31), a).is_none());
+        assert!(res.next_completion(Millis(31)).is_none());
+    }
+
+    #[test]
+    fn zero_work_flow_completes_immediately() {
+        let mut res = PsResource::new(1.0);
+        let a = res.add_flow(Millis(5), 0.0, 1.0, 1.0);
+        let (at, gen) = res.next_completion(Millis(5)).unwrap();
+        assert_eq!(at, Millis(5));
+        assert_eq!(res.on_tick(at, gen), vec![a]);
+    }
+
+    #[test]
+    fn stale_tick_is_ignored() {
+        let mut res = PsResource::new(1.0);
+        res.add_flow(Millis(0), 10.0, 1.0, 1.0);
+        let (_, gen) = res.next_completion(Millis(0)).unwrap();
+        res.add_flow(Millis(1), 10.0, 1.0, 1.0); // bumps gen
+        assert!(res.on_tick(Millis(10), gen).is_empty());
+    }
+
+    #[test]
+    fn work_conservation_accounting() {
+        let mut res = PsResource::new(4.0);
+        res.add_flow(Millis(0), 100.0, 1.0, 4.0);
+        res.add_flow(Millis(0), 60.0, 1.0, 4.0);
+        drain(&mut res, Millis(0));
+        assert!((res.work_done() - 160.0).abs() < 1e-3, "{}", res.work_done());
+        assert!(res.busy_ms() >= 40.0 - 1e-6, "{}", res.busy_ms());
+    }
+
+    #[test]
+    fn utilization_reflects_demand() {
+        let mut res = PsResource::new(10.0);
+        assert_eq!(res.utilization(), 0.0);
+        res.add_flow(Millis(0), 100.0, 1.0, 5.0);
+        assert!((res.utilization() - 0.5).abs() < 1e-9);
+        res.add_flow(Millis(0), 100.0, 1.0, 20.0);
+        assert_eq!(res.utilization(), 1.0);
+    }
+
+    #[test]
+    fn completion_time_never_in_past() {
+        let mut res = PsResource::new(1.0);
+        res.add_flow(Millis(0), 0.5, 1.0, 1.0); // exact completion at 0.5ms
+        let (at, _) = res.next_completion(Millis(0)).unwrap();
+        assert_eq!(at, Millis(1)); // ceil quantization
+    }
+
+    #[test]
+    fn many_flows_complete_in_order_of_size() {
+        let mut res = PsResource::new(8.0);
+        let flows: Vec<FlowId> = (1..=8)
+            .map(|i| res.add_flow(Millis(0), (i * 100) as f64, 1.0, 8.0))
+            .collect();
+        let done = drain(&mut res, Millis(0));
+        let order: Vec<FlowId> = done.iter().map(|(f, _)| *f).collect();
+        assert_eq!(order, flows, "smaller flows must finish first");
+        // Times must be non-decreasing.
+        for w in done.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+}

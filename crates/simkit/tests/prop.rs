@@ -1,0 +1,164 @@
+//! Property-based tests for the DES kernel's core data structures.
+
+use proptest::prelude::*;
+use simkit::{Dist, EventQueue, Millis, PsResource, Sample, SimRng};
+
+/// Drain a resource via the tick protocol, returning completions.
+fn drain(res: &mut PsResource, start: Millis) -> Vec<(u64, Millis)> {
+    let mut out = Vec::new();
+    let mut now = start;
+    let mut guard = 0;
+    while let Some((at, gen)) = res.next_completion(now) {
+        assert!(at >= now, "completion in the past");
+        now = at;
+        for id in res.on_tick(now, gen) {
+            out.push((id.0, now));
+        }
+        guard += 1;
+        assert!(guard < 100_000, "drain did not terminate");
+    }
+    out
+}
+
+proptest! {
+    /// Work conservation: all submitted work completes, and total work
+    /// done matches the sum of flow sizes.
+    #[test]
+    fn ps_completes_all_work(
+        flows in prop::collection::vec((1.0f64..5_000.0, 1.0f64..4.0, 0.1f64..4.0), 1..20),
+        capacity in 0.5f64..64.0,
+    ) {
+        let mut res = PsResource::new(capacity);
+        let mut expected = 0.0;
+        for (work, weight, cap) in &flows {
+            res.add_flow(Millis(0), *work, *weight, *cap);
+            expected += work;
+        }
+        let done = drain(&mut res, Millis(0));
+        prop_assert_eq!(done.len(), flows.len());
+        prop_assert!((res.work_done() - expected).abs() < 1e-3,
+            "work done {} != submitted {}", res.work_done(), expected);
+        prop_assert_eq!(res.active_flows(), 0);
+    }
+
+    /// No flow finishes earlier than its physically fastest possible time
+    /// (work / min(cap, capacity)) nor later than the fully serialized
+    /// bound (total work / capacity, plus per-flow cap effects).
+    #[test]
+    fn ps_completion_times_within_physical_bounds(
+        flows in prop::collection::vec((10.0f64..2_000.0, 0.1f64..2.0), 1..12),
+        capacity in 1.0f64..16.0,
+    ) {
+        let mut res = PsResource::new(capacity);
+        let mut ids = Vec::new();
+        let mut total_work = 0.0;
+        for (work, cap) in &flows {
+            ids.push((res.add_flow(Millis(0), *work, 1.0, *cap), *work, *cap));
+            total_work += work;
+        }
+        let done = drain(&mut res, Millis(0));
+        let slowest_cap = flows.iter().map(|(_, c)| *c).fold(f64::INFINITY, f64::min);
+        let upper = total_work / capacity.min(slowest_cap) + flows.len() as f64 + 2.0;
+        for (fid, at) in &done {
+            let (_, work, cap) = ids.iter().find(|(i, _, _)| i.0 == *fid).unwrap();
+            let fastest = work / cap.min(capacity);
+            prop_assert!(
+                (at.as_f64() + 1.0) >= fastest,
+                "flow finished at {} but needs at least {fastest}", at.as_f64()
+            );
+            prop_assert!(at.as_f64() <= upper, "flow at {} beyond bound {upper}", at.as_f64());
+        }
+    }
+
+    /// Equal flows submitted together finish together (fairness), and a
+    /// strictly smaller flow never finishes after a bigger equal-cap one.
+    #[test]
+    fn ps_smaller_flows_finish_no_later(
+        works in prop::collection::vec(1.0f64..1_000.0, 2..10),
+        capacity in 1.0f64..8.0,
+    ) {
+        let mut res = PsResource::new(capacity);
+        let ids: Vec<_> = works.iter().map(|w| res.add_flow(Millis(0), *w, 1.0, 1.0)).collect();
+        let done = drain(&mut res, Millis(0));
+        for (i, a) in ids.iter().enumerate() {
+            for (j, b) in ids.iter().enumerate() {
+                if works[i] < works[j] {
+                    let ta = done.iter().find(|(f, _)| f == &a.0).unwrap().1;
+                    let tb = done.iter().find(|(f, _)| f == &b.0).unwrap().1;
+                    prop_assert!(ta <= tb, "smaller flow finished later");
+                }
+            }
+        }
+    }
+
+    /// The event queue pops in nondecreasing time order with FIFO ties,
+    /// regardless of push order.
+    #[test]
+    fn queue_pops_sorted_stable(times in prop::collection::vec(0u64..1_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, t) in times.iter().enumerate() {
+            q.push(Millis(*t), i);
+        }
+        let mut last: Option<(Millis, usize)> = None;
+        while let Some((t, i)) = q.pop() {
+            if let Some((lt, li)) = last {
+                prop_assert!(t >= lt);
+                if t == lt {
+                    prop_assert!(i > li, "FIFO violated on tie");
+                }
+            }
+            last = Some((t, i));
+        }
+    }
+
+    /// Distribution samples respect their support.
+    #[test]
+    fn dist_samples_in_support(seed in any::<u64>(), median in 1.0f64..10_000.0, sigma in 0.0f64..1.5) {
+        let mut rng = SimRng::new(seed);
+        let ln = Dist::lognormal(median, sigma);
+        for _ in 0..50 {
+            prop_assert!(ln.sample(&mut rng) > 0.0);
+        }
+        let cl = Dist::lognormal(median, sigma).clamped(median * 0.5, median * 2.0);
+        for _ in 0..50 {
+            let x = cl.sample(&mut rng);
+            prop_assert!(x >= median * 0.5 && x <= median * 2.0);
+        }
+        let pareto = Dist::pareto(median, 1.2);
+        for _ in 0..50 {
+            prop_assert!(pareto.sample(&mut rng) >= median);
+        }
+    }
+
+    /// Forked RNG streams are reproducible and order-independent.
+    #[test]
+    fn rng_forks_reproducible(seed in any::<u64>(), a in 0u64..1000, b in 0u64..1000) {
+        prop_assume!(a != b);
+        let root = SimRng::new(seed);
+        let mut fa1 = root.fork(a);
+        let mut fb = root.fork(b);
+        let mut fa2 = root.fork(a);
+        let xa1 = fa1.u64();
+        let _ = fb.u64();
+        let xa2 = fa2.u64();
+        prop_assert_eq!(xa1, xa2);
+    }
+
+    /// Cancelling a flow returns remaining work consistent with elapsed
+    /// progress (never more than submitted, never negative).
+    #[test]
+    fn ps_cancel_remaining_bounded(
+        work in 100.0f64..10_000.0,
+        cancel_at in 1u64..500,
+        capacity in 0.5f64..8.0,
+    ) {
+        let mut res = PsResource::new(capacity);
+        let id = res.add_flow(Millis(0), work, 1.0, 1.0);
+        let left = res.cancel(Millis(cancel_at), id).unwrap();
+        prop_assert!(left >= 0.0 && left <= work);
+        let progressed = work - left;
+        let max_possible = cancel_at as f64 * capacity.min(1.0);
+        prop_assert!(progressed <= max_possible + 1e-6,
+            "progressed {progressed} > possible {max_possible}");
+    }
+}

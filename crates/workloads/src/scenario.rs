@@ -1,0 +1,112 @@
+//! Scenario builders: trace arrivals × job catalogue → the arrival lists
+//! the experiment harness feeds to `sparksim::simulate`.
+
+use simkit::{Millis, SimRng};
+use sparksim::JobSpec;
+
+use crate::tpch::tpch_query;
+use crate::trace::{arrival_times, TraceParams};
+
+/// A TPC-H query stream: `n` arrivals following `params`, cycling through
+/// the 22 queries in a random (seeded) order, each over `input_mb` with
+/// `executors` executors.
+pub fn tpch_stream(
+    n: usize,
+    input_mb: f64,
+    executors: u32,
+    params: &TraceParams,
+    rng: &mut SimRng,
+) -> Vec<(Millis, JobSpec)> {
+    let times = arrival_times(n, params, rng);
+    // Shuffled query order, repeated: every query appears in every window
+    // of 22 submissions, matching "TPC-H on Spark-SQL" as the job mix.
+    let mut order: Vec<u8> = (1..=22).collect();
+    rng.shuffle(&mut order);
+    times
+        .into_iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let q = order[i % order.len()];
+            (t, tpch_query(q, input_mb, executors))
+        })
+        .collect()
+}
+
+/// Apply one mutation to every job of a stream (e.g. switch runtime to
+/// Docker, add extra localized files, enable the over-allocation bug).
+pub fn map_jobs(
+    mut stream: Vec<(Millis, JobSpec)>,
+    f: impl Fn(&mut JobSpec),
+) -> Vec<(Millis, JobSpec)> {
+    for (_, spec) in stream.iter_mut() {
+        f(spec);
+    }
+    stream
+}
+
+/// Merge several arrival streams into one sorted stream.
+pub fn merge(streams: Vec<Vec<(Millis, JobSpec)>>) -> Vec<(Millis, JobSpec)> {
+    let mut all: Vec<(Millis, JobSpec)> = streams.into_iter().flatten().collect();
+    all.sort_by_key(|(t, _)| *t);
+    all
+}
+
+/// Shift every arrival by `offset`.
+pub fn shifted(stream: Vec<(Millis, JobSpec)>, offset: Millis) -> Vec<(Millis, JobSpec)> {
+    stream.into_iter().map(|(t, s)| (t + offset, s)).collect()
+}
+
+/// `n` copies of a job at fixed `gap` intervals starting at `start`.
+pub fn periodic(spec: &JobSpec, n: usize, start: Millis, gap: Millis) -> Vec<(Millis, JobSpec)> {
+    (0..n)
+        .map(|i| (Millis(start.0 + gap.0 * i as u64), spec.clone()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparksim::profiles;
+    use yarnsim::ContainerRuntime;
+
+    #[test]
+    fn stream_cycles_queries() {
+        let mut rng = SimRng::new(1);
+        let s = tpch_stream(44, 2048.0, 4, &TraceParams::moderate(), &mut rng);
+        assert_eq!(s.len(), 44);
+        // All 22 labels appear exactly twice.
+        let mut counts = std::collections::HashMap::new();
+        for (_, spec) in &s {
+            *counts.entry(spec.label.clone()).or_insert(0) += 1;
+        }
+        assert_eq!(counts.len(), 22);
+        assert!(counts.values().all(|c| *c == 2));
+    }
+
+    #[test]
+    fn map_jobs_applies_mutation() {
+        let mut rng = SimRng::new(2);
+        let s = tpch_stream(5, 2048.0, 4, &TraceParams::moderate(), &mut rng);
+        let s = map_jobs(s, |j| j.runtime = ContainerRuntime::Docker);
+        assert!(s.iter().all(|(_, j)| j.runtime == ContainerRuntime::Docker));
+    }
+
+    #[test]
+    fn merge_sorts() {
+        let a = periodic(&profiles::dfsio(4, 1.0), 3, Millis(100), Millis(1000));
+        let b = periodic(&profiles::mr_wordcount(512.0), 3, Millis(50), Millis(1500));
+        let m = merge(vec![a, b]);
+        assert_eq!(m.len(), 6);
+        for w in m.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+    }
+
+    #[test]
+    fn shifted_offsets_all() {
+        let a = periodic(&profiles::mr_wordcount(512.0), 2, Millis(0), Millis(10));
+        let b = shifted(a, Millis(500));
+        assert_eq!(b[0].0, Millis(500));
+        assert_eq!(b[1].0, Millis(510));
+    }
+}

@@ -1,0 +1,143 @@
+//! Synthetic TPC-H query catalogue.
+//!
+//! The paper runs TPC-H on Spark-SQL (tables populated via Hive). We do
+//! not need the SQL semantics — only each query's *shape* as a short data
+//! analytics job: how many stages, how much scan/join/aggregate work, how
+//! selective it is. The per-query factors below are hand-assigned from
+//! the well-known relative costs of the 22 queries (e.g. Q1 is a heavy
+//! single-pass aggregate, Q6 is a cheap selective scan, Q9 and Q21 are
+//! expensive multi-join queries) and, per the substitution note in
+//! DESIGN.md, only need to produce a realistic *spread* of short-query
+//! runtimes around the Spark-SQL default profile.
+
+use simkit::Dist;
+use sparksim::{profiles, JobSpec, StageSpec};
+
+/// Per-query shape: relative CPU weight, join depth (extra shuffle
+/// stages), and scan selectivity (fraction of input actually read).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryShape {
+    /// 1-based TPC-H query number.
+    pub q: u8,
+    /// CPU weight relative to the default SQL profile.
+    pub cpu_weight: f64,
+    /// Number of shuffle/join stages after the scan (1–3).
+    pub join_stages: u32,
+    /// Fraction of the input scanned.
+    pub selectivity: f64,
+}
+
+/// The 22 query shapes.
+pub const QUERIES: [QueryShape; 22] = [
+    QueryShape { q: 1, cpu_weight: 1.45, join_stages: 1, selectivity: 0.98 },
+    QueryShape { q: 2, cpu_weight: 0.75, join_stages: 3, selectivity: 0.25 },
+    QueryShape { q: 3, cpu_weight: 1.05, join_stages: 2, selectivity: 0.80 },
+    QueryShape { q: 4, cpu_weight: 0.85, join_stages: 2, selectivity: 0.55 },
+    QueryShape { q: 5, cpu_weight: 1.20, join_stages: 3, selectivity: 0.85 },
+    QueryShape { q: 6, cpu_weight: 0.55, join_stages: 1, selectivity: 0.30 },
+    QueryShape { q: 7, cpu_weight: 1.15, join_stages: 3, selectivity: 0.75 },
+    QueryShape { q: 8, cpu_weight: 1.10, join_stages: 3, selectivity: 0.70 },
+    QueryShape { q: 9, cpu_weight: 1.80, join_stages: 3, selectivity: 0.95 },
+    QueryShape { q: 10, cpu_weight: 1.00, join_stages: 2, selectivity: 0.75 },
+    QueryShape { q: 11, cpu_weight: 0.60, join_stages: 2, selectivity: 0.20 },
+    QueryShape { q: 12, cpu_weight: 0.80, join_stages: 2, selectivity: 0.50 },
+    QueryShape { q: 13, cpu_weight: 0.95, join_stages: 2, selectivity: 0.60 },
+    QueryShape { q: 14, cpu_weight: 0.70, join_stages: 2, selectivity: 0.40 },
+    QueryShape { q: 15, cpu_weight: 0.75, join_stages: 2, selectivity: 0.45 },
+    QueryShape { q: 16, cpu_weight: 0.65, join_stages: 2, selectivity: 0.30 },
+    QueryShape { q: 17, cpu_weight: 1.30, join_stages: 2, selectivity: 0.65 },
+    QueryShape { q: 18, cpu_weight: 1.55, join_stages: 3, selectivity: 0.90 },
+    QueryShape { q: 19, cpu_weight: 0.90, join_stages: 1, selectivity: 0.55 },
+    QueryShape { q: 20, cpu_weight: 1.00, join_stages: 3, selectivity: 0.50 },
+    QueryShape { q: 21, cpu_weight: 1.70, join_stages: 3, selectivity: 0.90 },
+    QueryShape { q: 22, cpu_weight: 0.60, join_stages: 2, selectivity: 0.25 },
+];
+
+/// Build the Spark-SQL job for TPC-H query `q` (1–22) over `input_mb` of
+/// table data with `executors` executors.
+pub fn tpch_query(q: u8, input_mb: f64, executors: u32) -> JobSpec {
+    assert!((1..=22).contains(&q), "TPC-H has queries 1..=22");
+    let shape = QUERIES[(q - 1) as usize];
+    let mut spec = profiles::spark_sql_default(input_mb, executors);
+    spec.label = format!("tpch-q{q:02}");
+    spec.stages = shaped_stages(&shape, input_mb);
+    spec
+}
+
+fn shaped_stages(shape: &QueryShape, input_mb: f64) -> Vec<StageSpec> {
+    let base = profiles::sql_stages(input_mb);
+    let scan = &base[0];
+    let scan_tasks = scan.tasks;
+    let mut stages = vec![StageSpec {
+        tasks: scan_tasks,
+        task_cpu_ms: scan.task_cpu_ms.scaled(shape.cpu_weight),
+        task_io_mb: scan.task_io_mb * shape.selectivity,
+    }];
+    let mut tasks = scan_tasks;
+    for j in 0..shape.join_stages {
+        tasks = (tasks / 2).max(1);
+        let cpu = 2600.0 * shape.cpu_weight * (0.85f64).powi(j as i32);
+        stages.push(StageSpec {
+            tasks,
+            task_cpu_ms: Dist::lognormal(cpu, 0.40),
+            task_io_mb: 8.0 / (j + 1) as f64,
+        });
+    }
+    stages
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_is_complete_and_distinct() {
+        assert_eq!(QUERIES.len(), 22);
+        for (i, s) in QUERIES.iter().enumerate() {
+            assert_eq!(s.q as usize, i + 1);
+            assert!(s.cpu_weight > 0.3 && s.cpu_weight < 2.5);
+            assert!((1..=3).contains(&s.join_stages));
+            assert!(s.selectivity > 0.0 && s.selectivity <= 1.0);
+        }
+        // Known heavy vs light queries.
+        assert!(QUERIES[8].cpu_weight > QUERIES[5].cpu_weight, "Q9 > Q6");
+    }
+
+    #[test]
+    fn query_specs_differ_in_shape() {
+        let q6 = tpch_query(6, 2048.0, 4);
+        let q9 = tpch_query(9, 2048.0, 4);
+        assert_eq!(q6.label, "tpch-q06");
+        assert_eq!(q6.stages.len(), 2); // scan + 1 join stage
+        assert_eq!(q9.stages.len(), 4); // scan + 3 join stages
+        assert!(q9.stages[0].task_cpu_ms.median() > q6.stages[0].task_cpu_ms.median());
+    }
+
+    #[test]
+    fn scan_io_respects_selectivity() {
+        let q6 = tpch_query(6, 2048.0, 4); // selectivity 0.30
+        let full = 2048.0 / 16.0;
+        assert!((q6.stages[0].task_io_mb - full * 0.30).abs() < 1e-9);
+    }
+
+    #[test]
+    fn user_init_still_opens_eight_tables() {
+        let q = tpch_query(13, 2048.0, 4);
+        assert_eq!(q.user_init.files, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "queries 1..=22")]
+    fn query_zero_rejected() {
+        tpch_query(0, 2048.0, 4);
+    }
+
+    #[test]
+    fn stage_task_counts_shrink() {
+        let q = tpch_query(21, 2048.0, 4);
+        for w in q.stages.windows(2) {
+            assert!(w[1].tasks <= w[0].tasks);
+        }
+        assert!(q.stages.iter().all(|s| s.tasks >= 1));
+    }
+}

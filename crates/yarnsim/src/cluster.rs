@@ -1,0 +1,1110 @@
+//! The cluster: ResourceManager + NodeManagers + schedulers, wired to the
+//! log store and the effect buffer.
+//!
+//! This is a faithful protocol-level model of two-level scheduling
+//! (paper §II-A):
+//!
+//! 1. a client submits an application; the RM persists it
+//!    (NEW → NEW_SAVING → SUBMITTED), admits it (→ ACCEPTED), and
+//!    schedules the AM container;
+//! 2. the Capacity Scheduler's asynchronous scheduling threads (Hadoop
+//!    3.0 global scheduling) drain the request backlog onto the
+//!    least-loaded fitting nodes; allocated containers wait to be
+//!    *acquired* by the AM's next heartbeat;
+//! 3. the AM launches containers via startContainer RPCs; the NM
+//!    localizes resources (per-application cache), hands off to the
+//!    launcher, and the process start (JVM) burns CPU on the node's
+//!    shared pool;
+//! 4. alternatively the distributed opportunistic scheduler places
+//!    containers in milliseconds at random nodes, queueing NM-side when
+//!    the node is full.
+//!
+//! Every state transition is logged in the exact shapes of Table I of the
+//! paper, which is what makes the SDchecker pipeline downstream work on
+//! *text*, not simulator internals.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use logmodel::{ApplicationId, ContainerId, LogSource, LogStore, NodeId, TsMs};
+use simkit::{Dist, Millis, Sample, SimRng};
+
+use crate::config::{ClusterConfig, ContainerRuntime, OppPlacement, QueuePolicy, ResourceReq, SchedulerKind};
+use crate::effects::{
+    AppNotice, AppSubmission, ClusterEvent, LaunchSpec, Out, Ticket,
+};
+use crate::node::Node;
+use crate::state::{NmContainerState, RmAppState, RmContainerState, Tracked};
+
+/// Convert engine time to log offsets.
+fn ts(now: Millis) -> TsMs {
+    TsMs(now.0)
+}
+
+/// A queued (not yet allocated) container request under the Capacity
+/// Scheduler.
+#[derive(Debug)]
+struct PendingReq {
+    app: ApplicationId,
+    remaining: u32,
+    req: ResourceReq,
+    is_am: bool,
+}
+
+/// RM-side application record.
+#[derive(Debug)]
+struct RmApp {
+    state: Tracked<RmAppState>,
+    submission: AppSubmission,
+    am_container: Option<ContainerId>,
+    /// Container asks waiting for the next AM heartbeat to reach the RM
+    /// (the allocate() protocol: asks ride heartbeats).
+    pending_asks: Vec<(u32, ResourceReq)>,
+    /// Allocated, waiting for the next AM heartbeat to be acquired.
+    newly_allocated: Vec<(ContainerId, NodeId)>,
+    next_container_seq: u64,
+    /// Heartbeats run / containers are granted only while alive.
+    alive: bool,
+    /// Whether AM heartbeats have been started (post-registration).
+    heartbeating: bool,
+    /// Containers currently allocated (for fair-share ordering).
+    live_containers: u32,
+}
+
+/// Everything the cluster knows about one container.
+#[derive(Debug)]
+struct ContainerInfo {
+    id: ContainerId,
+    app: ApplicationId,
+    node: NodeId,
+    req: ResourceReq,
+    rm_state: Tracked<RmContainerState>,
+    nm_state: Option<Tracked<NmContainerState>>,
+    spec: Option<LaunchSpec>,
+    /// Localization resources still outstanding.
+    pending_local: usize,
+    opportunistic: bool,
+    /// Node resources currently reserved by this container.
+    reserved: bool,
+}
+
+/// What a completed CPU/IO flow means.
+#[derive(Debug, Clone)]
+enum FlowPurpose {
+    /// Application-submitted work.
+    AppWork { app: ApplicationId, ticket: Ticket },
+    /// NameNode lookup / client setup preceding a localization download.
+    LocalizeMeta { cid: ContainerId, res_idx: usize },
+    /// The localization download itself.
+    LocalizeIo { cid: ContainerId, res_idx: usize },
+    /// Docker image read at container start.
+    DockerIo { cid: ContainerId },
+    /// Docker runtime setup CPU.
+    DockerCpu { cid: ContainerId },
+    /// Classloading reads during process start.
+    LaunchIo { cid: ContainerId },
+    /// Launch script + JVM start.
+    LaunchCpu { cid: ContainerId },
+}
+
+/// The simulated cluster.
+pub struct Cluster {
+    /// Configuration (public for read access by embedders).
+    pub cfg: ClusterConfig,
+    cluster_ts: u64,
+    nodes: Vec<Node>,
+    apps: BTreeMap<ApplicationId, RmApp>,
+    containers: BTreeMap<ContainerId, ContainerInfo>,
+    backlog: VecDeque<PendingReq>,
+    cpu_flows: BTreeMap<(u32, u64), FlowPurpose>,
+    io_flows: BTreeMap<(u32, u64), FlowPurpose>,
+    store_flows: BTreeMap<(u32, u64), FlowPurpose>,
+    next_app_seq: u32,
+    next_ticket: u64,
+    rng_sched: SimRng,
+    rng_lat: SimRng,
+    containers_allocated: u64,
+}
+
+impl Cluster {
+    /// Build a cluster. `cluster_ts` seeds application IDs (use the run
+    /// epoch's unix-ms); `seed` drives scheduler/latency randomness.
+    pub fn new(cfg: ClusterConfig, cluster_ts: u64, seed: u64) -> Cluster {
+        let root = SimRng::new(seed);
+        let nodes = (0..cfg.nodes).map(|i| Node::new(NodeId(i), &cfg)).collect();
+        Cluster {
+            cfg,
+            cluster_ts,
+            nodes,
+            apps: BTreeMap::new(),
+            containers: BTreeMap::new(),
+            backlog: VecDeque::new(),
+            cpu_flows: BTreeMap::new(),
+            io_flows: BTreeMap::new(),
+            store_flows: BTreeMap::new(),
+            next_app_seq: 0,
+            next_ticket: 0,
+            rng_sched: root.fork_named("scheduler"),
+            rng_lat: root.fork_named("latency"),
+            containers_allocated: 0,
+        }
+    }
+
+    /// Schedule the first NodeManager heartbeats, staggered across the
+    /// interval (real NMs start at different times, which is what
+    /// decorrelates allocation times from any AM's heartbeat phase).
+    pub fn start(&mut self, out: &mut Out) {
+        let interval = self.cfg.nm_heartbeat_ms;
+        let n = self.nodes.len() as u64;
+        for (i, node) in self.nodes.iter().enumerate() {
+            let offset = interval * i as u64 / n.max(1);
+            out.at(Millis(offset), ClusterEvent::NmHeartbeat(node.id));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// Worker count.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The node a container was placed on.
+    pub fn node_of(&self, cid: ContainerId) -> Option<NodeId> {
+        self.containers.get(&cid).map(|c| c.node)
+    }
+
+    /// Cluster-wide vcore utilization in `[0, 1]`.
+    pub fn vcore_utilization(&self) -> f64 {
+        let used: u32 = self.nodes.iter().map(|n| n.used_vcores()).sum();
+        let total: u32 = self.nodes.iter().map(|n| n.total_vcores()).sum();
+        used as f64 / total as f64
+    }
+
+    /// Total containers ever allocated (Table II's throughput numerator).
+    pub fn containers_allocated(&self) -> u64 {
+        self.containers_allocated
+    }
+
+    /// Pending (unallocated) container requests in the central backlog.
+    pub fn backlog_len(&self) -> u32 {
+        self.backlog.iter().map(|p| p.remaining).sum()
+    }
+
+    /// Containers currently held by an application (allocated and not yet
+    /// completed) — the fair-share ordering signal.
+    pub fn live_containers(&self, app: ApplicationId) -> u32 {
+        self.apps.get(&app).map(|a| a.live_containers).unwrap_or(0)
+    }
+
+    fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.0 as usize]
+    }
+
+    fn sample(&mut self, d: &Dist) -> Millis {
+        d.sample_ms(&mut self.rng_lat)
+    }
+
+    // ------------------------------------------------------------------
+    // Client / AM API
+    // ------------------------------------------------------------------
+
+    /// Submit an application. Returns its id; the AM container is
+    /// scheduled automatically once the app is ACCEPTED.
+    pub fn submit_application(
+        &mut self,
+        now: Millis,
+        submission: AppSubmission,
+        logs: &mut LogStore,
+        out: &mut Out,
+    ) -> ApplicationId {
+        self.next_app_seq += 1;
+        let id = ApplicationId::new(self.cluster_ts, self.next_app_seq);
+        let mut state = Tracked::new(RmAppState::New);
+        state.transition(RmAppState::NewSaving, "START", &id.to_string(), ts(now), logs);
+        let save = self.sample(&self.cfg.rm_state_store_ms.clone());
+        self.apps.insert(
+            id,
+            RmApp {
+                state,
+                submission,
+                am_container: None,
+                pending_asks: Vec::new(),
+                newly_allocated: Vec::new(),
+                next_container_seq: 1,
+                alive: true,
+                heartbeating: false,
+                live_containers: 0,
+            },
+        );
+        out.at(now + save, ClusterEvent::RmAppSaved(id));
+        id
+    }
+
+    /// The AM registered with the RM (event `ATTEMPT_REGISTERED`,
+    /// log message 3). Starts AM heartbeats at a random phase — the
+    /// AMRMClient heartbeat thread starts asynchronously, which is what
+    /// gives acquisition delays their uniform-in-[0, interval] spread
+    /// (paper Fig 7-(c): "very high variances").
+    pub fn am_register(&mut self, now: Millis, app: ApplicationId, logs: &mut LogStore, out: &mut Out) {
+        let interval = {
+            let a = self.apps.get_mut(&app).expect("unknown app");
+            a.state.transition(
+                RmAppState::Running,
+                "ATTEMPT_REGISTERED",
+                &app.to_string(),
+                ts(now),
+                logs,
+            );
+            a.heartbeating = true;
+            a.submission.am_heartbeat_ms
+        };
+        let phase = self.rng_sched.range(1, interval.max(2));
+        out.at(now + Millis(phase), ClusterEvent::AmHeartbeat(app));
+    }
+
+    /// The AM requests `count` additional containers of shape `req`.
+    pub fn request_containers(
+        &mut self,
+        now: Millis,
+        app: ApplicationId,
+        count: u32,
+        req: ResourceReq,
+        out: &mut Out,
+    ) {
+        if count == 0 {
+            return;
+        }
+        match self.cfg.scheduler {
+            SchedulerKind::Capacity => {
+                // The ask reaches the RM on the AM's next allocate()
+                // heartbeat; grants are picked up on the one after. This
+                // two-heartbeat round trip is what makes centralized
+                // allocation ~seconds while the distributed scheduler's
+                // local decisions take milliseconds (Fig 7-(a)).
+                let a = self.apps.get_mut(&app).expect("unknown app");
+                a.pending_asks.push((count, req));
+            }
+            SchedulerKind::Opportunistic => {
+                let d = self.sample(&self.cfg.opportunistic_decision_ms.clone());
+                out.at(now + d, ClusterEvent::OppAllocate { app, count, req });
+            }
+        }
+    }
+
+    /// Cancel up to `count` not-yet-allocated requests of `app`. Returns
+    /// how many were actually cancelled.
+    pub fn cancel_pending(&mut self, app: ApplicationId, mut count: u32) -> u32 {
+        let mut cancelled = 0;
+        if let Some(a) = self.apps.get_mut(&app) {
+            let mut asks = std::mem::take(&mut a.pending_asks);
+            for (c, req) in asks.iter_mut() {
+                let take = (*c).min(count);
+                *c -= take;
+                count -= take;
+                cancelled += take;
+                let _ = req;
+                if count == 0 {
+                    break;
+                }
+            }
+            a.pending_asks = asks.into_iter().filter(|(c, _)| *c > 0).collect();
+        }
+        for p in self.backlog.iter_mut() {
+            if p.app != app || p.is_am {
+                continue;
+            }
+            let take = p.remaining.min(count);
+            p.remaining -= take;
+            count -= take;
+            cancelled += take;
+            if count == 0 {
+                break;
+            }
+        }
+        self.backlog.retain(|p| p.remaining > 0);
+        cancelled
+    }
+
+    /// Release acquired-but-unlaunched containers (the SPARK-21562 path:
+    /// Spark over-requested, got the grants, never used them).
+    pub fn release_containers(
+        &mut self,
+        now: Millis,
+        cids: &[ContainerId],
+        logs: &mut LogStore,
+    ) {
+        for cid in cids {
+            let Some(c) = self.containers.get_mut(cid) else {
+                continue;
+            };
+            if c.nm_state.is_some() {
+                continue; // already launching; too late to release silently
+            }
+            c.rm_state
+                .transition(RmContainerState::Completed, &cid.to_string(), ts(now), logs);
+            let app = c.app;
+            if c.reserved {
+                let (node, req) = (c.node, c.req);
+                self.node_mut(node).release(req);
+                self.containers.get_mut(cid).unwrap().reserved = false;
+            }
+            if let Some(a) = self.apps.get_mut(&app) {
+                a.live_containers = a.live_containers.saturating_sub(1);
+            }
+        }
+    }
+
+    /// Launch a granted container with the given spec (startContainer RPC).
+    pub fn launch_container(
+        &mut self,
+        now: Millis,
+        cid: ContainerId,
+        spec: LaunchSpec,
+        out: &mut Out,
+    ) {
+        let c = self.containers.get_mut(&cid).expect("unknown container");
+        assert!(c.spec.is_none(), "container launched twice");
+        c.spec = Some(spec);
+        let d = self.sample(&self.cfg.rpc_ms.clone());
+        out.at(now + d, ClusterEvent::NmStartContainer(cid));
+    }
+
+    /// Submit CPU work (`cpu_ms` of compute at `threads` parallelism) to a
+    /// node's shared pool on behalf of `app`.
+    pub fn spawn_cpu(
+        &mut self,
+        now: Millis,
+        node: NodeId,
+        app: ApplicationId,
+        cpu_ms: f64,
+        threads: f64,
+        out: &mut Out,
+    ) -> Ticket {
+        self.next_ticket += 1;
+        let ticket = Ticket(self.next_ticket);
+        let flow = self.node_mut(node).cpu.add_flow(now, cpu_ms, threads, threads);
+        self.cpu_flows
+            .insert((node.0, flow.0), FlowPurpose::AppWork { app, ticket });
+        self.resched_cpu(node, now, out);
+        ticket
+    }
+
+    /// Submit an IO transfer of `mb` megabytes on a node's channel on
+    /// behalf of `app`.
+    pub fn spawn_io(
+        &mut self,
+        now: Millis,
+        node: NodeId,
+        app: ApplicationId,
+        mb: f64,
+        out: &mut Out,
+    ) -> Ticket {
+        self.next_ticket += 1;
+        let ticket = Ticket(self.next_ticket);
+        let cap = self.cfg.io_single_flow_mb_per_ms;
+        let flow = self.node_mut(node).io.add_flow(now, mb, 1.0, cap);
+        self.io_flows
+            .insert((node.0, flow.0), FlowPurpose::AppWork { app, ticket });
+        self.resched_io(node, now, out);
+        ticket
+    }
+
+    /// A container's process exited normally.
+    pub fn finish_container(
+        &mut self,
+        now: Millis,
+        cid: ContainerId,
+        logs: &mut LogStore,
+        out: &mut Out,
+    ) {
+        let node_req_reserved = {
+            let c = self.containers.get_mut(&cid).expect("unknown container");
+            if let Some(nm) = c.nm_state.as_mut() {
+                if nm.get() == NmContainerState::Running {
+                    nm.transition(
+                        NmContainerState::Done,
+                        &cid.to_string(),
+                        LogSource::NodeManager(c.node),
+                        ts(now),
+                        logs,
+                    );
+                }
+            }
+            if c.rm_state.get() == RmContainerState::Running {
+                c.rm_state
+                    .transition(RmContainerState::Completed, &cid.to_string(), ts(now), logs);
+            }
+            let r = (c.node, c.req, c.reserved, c.app);
+            c.reserved = false;
+            r
+        };
+        let (node, req, reserved, app) = (node_req_reserved.0, node_req_reserved.1, node_req_reserved.2, node_req_reserved.3);
+        if reserved {
+            self.node_mut(node).release(req);
+        }
+        if let Some(a) = self.apps.get_mut(&app) {
+            a.live_containers = a.live_containers.saturating_sub(1);
+        }
+        self.drain_opp_queue(now, node, out);
+    }
+
+    /// The AM unregistered: finish the application. Live containers are
+    /// torn down; pending requests cancelled.
+    pub fn finish_application(
+        &mut self,
+        now: Millis,
+        app: ApplicationId,
+        logs: &mut LogStore,
+        out: &mut Out,
+    ) {
+        self.cancel_pending(app, u32::MAX);
+        // Tear down any containers still holding resources.
+        let cids: Vec<ContainerId> = self
+            .containers
+            .values()
+            .filter(|c| c.app == app && c.rm_state.get() != RmContainerState::Completed)
+            .map(|c| c.id)
+            .collect();
+        for cid in cids {
+            let state = self.containers[&cid].rm_state.get();
+            match state {
+                RmContainerState::Running => self.finish_container(now, cid, logs, out),
+                RmContainerState::Allocated | RmContainerState::Acquired => {
+                    let (node, req, reserved) = {
+                        let c = self.containers.get_mut(&cid).unwrap();
+                        c.rm_state.transition(
+                            RmContainerState::Completed,
+                            &cid.to_string(),
+                            ts(now),
+                            logs,
+                        );
+                        let r = (c.node, c.req, c.reserved);
+                        c.reserved = false;
+                        r
+                    };
+                    if reserved {
+                        self.node_mut(node).release(req);
+                        self.drain_opp_queue(now, node, out);
+                    }
+                    if let Some(a) = self.apps.get_mut(&app) {
+                        a.live_containers = a.live_containers.saturating_sub(1);
+                    }
+                }
+                _ => {}
+            }
+        }
+        let a = self.apps.get_mut(&app).expect("unknown app");
+        a.alive = false;
+        a.newly_allocated.clear();
+        if a.state.get() == RmAppState::Running {
+            a.state.transition(
+                RmAppState::FinalSaving,
+                "ATTEMPT_UNREGISTERED",
+                &app.to_string(),
+                ts(now),
+                logs,
+            );
+            let d = self.sample(&self.cfg.rm_state_store_ms.clone());
+            out.at(now + d, ClusterEvent::RmAppFinalSaved(app));
+        }
+        for n in &mut self.nodes {
+            n.forget_app(app);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event handling
+    // ------------------------------------------------------------------
+
+    /// Dispatch a cluster event.
+    pub fn handle(&mut self, now: Millis, ev: ClusterEvent, logs: &mut LogStore, out: &mut Out) {
+        match ev {
+            ClusterEvent::NmHeartbeat(node) => self.on_nm_heartbeat(now, node, logs, out),
+            ClusterEvent::AmHeartbeat(app) => self.on_am_heartbeat(now, app, logs, out),
+            ClusterEvent::CpuTick(node, gen) => {
+                let done = self.node_mut(node).cpu.on_tick(now, gen);
+                for flow in done {
+                    if let Some(p) = self.cpu_flows.remove(&(node.0, flow.0)) {
+                        self.on_flow_done(now, node, p, logs, out);
+                    }
+                }
+                self.resched_cpu(node, now, out);
+            }
+            ClusterEvent::IoTick(node, gen) => {
+                let done = self.node_mut(node).io.on_tick(now, gen);
+                for flow in done {
+                    if let Some(p) = self.io_flows.remove(&(node.0, flow.0)) {
+                        self.on_flow_done(now, node, p, logs, out);
+                    }
+                }
+                self.resched_io(node, now, out);
+            }
+            ClusterEvent::StoreTick(node, gen) => {
+                let done = match self.node_mut(node).local_store.as_mut() {
+                    Some(store) => store.on_tick(now, gen),
+                    None => Vec::new(),
+                };
+                for flow in done {
+                    if let Some(p) = self.store_flows.remove(&(node.0, flow.0)) {
+                        self.on_flow_done(now, node, p, logs, out);
+                    }
+                }
+                self.resched_store(node, now, out);
+            }
+            ClusterEvent::RmAppSaved(app) => {
+                let a = self.apps.get_mut(&app).expect("unknown app");
+                a.state.transition(
+                    RmAppState::Submitted,
+                    "APP_NEW_SAVED",
+                    &app.to_string(),
+                    ts(now),
+                    logs,
+                );
+                let d = self.sample(&self.cfg.rm_accept_ms.clone());
+                out.at(now + d, ClusterEvent::RmAppAccepted(app));
+            }
+            ClusterEvent::RmAppAccepted(app) => {
+                let am_req = {
+                    let a = self.apps.get_mut(&app).expect("unknown app");
+                    a.state.transition(
+                        RmAppState::Accepted,
+                        "APP_ACCEPTED",
+                        &app.to_string(),
+                        ts(now),
+                        logs,
+                    );
+                    a.submission.am_resource
+                };
+                // The AM container always goes through the central
+                // scheduler, even in opportunistic mode (hybrid design).
+                self.backlog.push_back(PendingReq {
+                    app,
+                    remaining: 1,
+                    req: am_req,
+                    is_am: true,
+                });
+            }
+            ClusterEvent::OppAllocate { app, count, req } => {
+                self.on_opp_allocate(now, app, count, req, logs, out)
+            }
+            ClusterEvent::NmStartContainer(cid) => self.on_nm_start(now, cid, logs, out),
+            ClusterEvent::NmHandoff(cid) => self.on_nm_handoff(now, cid, logs, out),
+            ClusterEvent::RmAppFinalSaved(app) => {
+                let a = self.apps.get_mut(&app).expect("unknown app");
+                a.state.transition(
+                    RmAppState::Finishing,
+                    "APP_UPDATE_SAVED",
+                    &app.to_string(),
+                    ts(now),
+                    logs,
+                );
+                a.state.transition(
+                    RmAppState::Finished,
+                    "ATTEMPT_FINISHED",
+                    &app.to_string(),
+                    ts(now),
+                    logs,
+                );
+            }
+        }
+    }
+
+    /// Capacity-Scheduler assignment on one node heartbeat: round-robin
+    /// over backlog entries, granting to the heartbeating node while it
+    /// fits, bounded by the per-heartbeat batch cap and the per-request
+    /// spread rule (`ceil(remaining / spread_factor)` per heartbeat, so
+    /// small requests scatter across nodes the way block locality scatters
+    /// them on a real cluster).
+    fn on_nm_heartbeat(&mut self, now: Millis, node: NodeId, logs: &mut LogStore, out: &mut Out) {
+        // Fair Scheduler: serve the most starved application first by
+        // rotating it to the backlog's front. FIFO leaves arrival order.
+        if self.cfg.queue_policy == QueuePolicy::Fair && self.backlog.len() > 1 {
+            let mut order: Vec<usize> = (0..self.backlog.len()).collect();
+            order.sort_by_key(|&i| {
+                let p = &self.backlog[i];
+                (self.apps[&p.app].live_containers, i)
+            });
+            let reordered: Vec<PendingReq> = order
+                .into_iter()
+                .map(|i| PendingReq {
+                    app: self.backlog[i].app,
+                    remaining: self.backlog[i].remaining,
+                    req: self.backlog[i].req,
+                    is_am: self.backlog[i].is_am,
+                })
+                .collect();
+            self.backlog = reordered.into();
+        }
+        let mut assigned = 0u32;
+        let spread = self.cfg.assign_spread_factor.max(1);
+        let mut i = 0;
+        while i < self.backlog.len() && assigned < self.cfg.assign_per_heartbeat {
+            let (app, req, is_am, remaining) = {
+                let p = &self.backlog[i];
+                (p.app, p.req, p.is_am, p.remaining)
+            };
+            if !self.apps[&app].alive {
+                self.backlog.remove(i);
+                continue;
+            }
+            let quota = remaining.div_ceil(spread);
+            let mut granted = 0u32;
+            while granted < quota
+                && assigned < self.cfg.assign_per_heartbeat
+                && self.nodes[node.0 as usize].fits(req)
+            {
+                self.allocate_container(now, app, node, req, is_am, logs, out);
+                granted += 1;
+                assigned += 1;
+            }
+            let p = &mut self.backlog[i];
+            p.remaining -= granted;
+            if p.remaining == 0 {
+                self.backlog.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        out.at(
+            now + Millis(self.cfg.nm_heartbeat_ms),
+            ClusterEvent::NmHeartbeat(node),
+        );
+    }
+
+    fn on_am_heartbeat(&mut self, now: Millis, app: ApplicationId, logs: &mut LogStore, out: &mut Out) {
+        let Some(a) = self.apps.get_mut(&app) else {
+            return;
+        };
+        if !a.alive || !a.heartbeating {
+            return;
+        }
+        let pulled: Vec<(ContainerId, NodeId)> = std::mem::take(&mut a.newly_allocated);
+        let asks: Vec<(u32, ResourceReq)> = std::mem::take(&mut a.pending_asks);
+        let interval = a.submission.am_heartbeat_ms;
+        for (count, req) in asks {
+            self.backlog.push_back(PendingReq {
+                app,
+                remaining: count,
+                req,
+                is_am: false,
+            });
+        }
+        for (cid, _) in &pulled {
+            let c = self.containers.get_mut(cid).expect("container");
+            c.rm_state
+                .transition(RmContainerState::Acquired, &cid.to_string(), ts(now), logs);
+        }
+        if !pulled.is_empty() {
+            out.notify(AppNotice::ContainersGranted {
+                app,
+                containers: pulled,
+            });
+        }
+        out.at(now + Millis(interval), ClusterEvent::AmHeartbeat(app));
+    }
+
+    /// Create a container in ALLOCATED state on `node`.
+    #[allow(clippy::too_many_arguments)]
+    fn allocate_container(
+        &mut self,
+        now: Millis,
+        app: ApplicationId,
+        node: NodeId,
+        req: ResourceReq,
+        is_am: bool,
+        logs: &mut LogStore,
+        out: &mut Out,
+    ) -> ContainerId {
+        let a = self.apps.get_mut(&app).expect("unknown app");
+        let cid = app.attempt(1).container(a.next_container_seq);
+        a.next_container_seq += 1;
+        let mut rm_state = Tracked::new(RmContainerState::New);
+        rm_state.transition(RmContainerState::Allocated, &cid.to_string(), ts(now), logs);
+        self.containers_allocated += 1;
+        self.apps.get_mut(&app).expect("app").live_containers += 1;
+        self.node_mut(node).reserve(req);
+        let mut info = ContainerInfo {
+            id: cid,
+            app,
+            node,
+            req,
+            rm_state,
+            nm_state: None,
+            spec: None,
+            pending_local: 0,
+            opportunistic: false,
+            reserved: true,
+        };
+        if is_am {
+            // The RM acquires and launches the AM container itself.
+            info.rm_state
+                .transition(RmContainerState::Acquired, &cid.to_string(), ts(now), logs);
+            let spec = self.apps[&app].submission.am_launch.clone();
+            info.spec = Some(spec);
+            self.containers.insert(cid, info);
+            self.apps.get_mut(&app).unwrap().am_container = Some(cid);
+            let d = self.sample(&self.cfg.rpc_ms.clone());
+            out.at(now + d, ClusterEvent::NmStartContainer(cid));
+        } else {
+            self.containers.insert(cid, info);
+            self.apps
+                .get_mut(&app)
+                .unwrap()
+                .newly_allocated
+                .push((cid, node));
+        }
+        cid
+    }
+
+    fn on_opp_allocate(
+        &mut self,
+        now: Millis,
+        app: ApplicationId,
+        count: u32,
+        req: ResourceReq,
+        logs: &mut LogStore,
+        out: &mut Out,
+    ) {
+        if !self.apps.get(&app).map(|a| a.alive).unwrap_or(false) {
+            return;
+        }
+        let mut granted = Vec::new();
+        for _ in 0..count {
+            // Node choice: uniformly random (the paper's measured system,
+            // no global view — §IV-C) or Sparrow-style power-of-d probing;
+            // optionally skip over-long queues.
+            let mut node = self.pick_opportunistic_node();
+            if self.cfg.opp_queue_cap != usize::MAX {
+                for _ in 0..self.nodes.len() {
+                    if self.nodes[node.0 as usize].opp_queue.len() < self.cfg.opp_queue_cap {
+                        break;
+                    }
+                    node = self.pick_opportunistic_node();
+                }
+            }
+            let a = self.apps.get_mut(&app).expect("unknown app");
+            let cid = app.attempt(1).container(a.next_container_seq);
+            a.next_container_seq += 1;
+            let mut rm_state = Tracked::new(RmContainerState::New);
+            rm_state.transition(RmContainerState::Allocated, &cid.to_string(), ts(now), logs);
+            rm_state.transition(RmContainerState::Acquired, &cid.to_string(), ts(now), logs);
+            self.containers_allocated += 1;
+            self.apps.get_mut(&app).expect("unknown app").live_containers += 1;
+            self.containers.insert(
+                cid,
+                ContainerInfo {
+                    id: cid,
+                    app,
+                    node,
+                    req,
+                    rm_state,
+                    nm_state: None,
+                    spec: None,
+                    pending_local: 0,
+                    opportunistic: true,
+                    reserved: false,
+                },
+            );
+            granted.push((cid, node));
+        }
+        out.notify(AppNotice::ContainersGranted {
+            app,
+            containers: granted,
+        });
+    }
+
+    /// Distributed-scheduler node selection.
+    fn pick_opportunistic_node(&mut self) -> NodeId {
+        let n = self.nodes.len() as u64;
+        match self.cfg.opp_placement {
+            OppPlacement::Random => NodeId(self.rng_sched.below(n) as u32),
+            OppPlacement::PowerOfChoices(d) => {
+                let mut best = NodeId(self.rng_sched.below(n) as u32);
+                for _ in 1..d.max(1) {
+                    let cand = NodeId(self.rng_sched.below(n) as u32);
+                    let (bq, cq) = (
+                        self.nodes[best.0 as usize].opp_queue.len(),
+                        self.nodes[cand.0 as usize].opp_queue.len(),
+                    );
+                    if cq < bq
+                        || (cq == bq
+                            && self.nodes[cand.0 as usize].used_vcores()
+                                < self.nodes[best.0 as usize].used_vcores())
+                    {
+                        best = cand;
+                    }
+                }
+                best
+            }
+        }
+    }
+
+    /// startContainer arrived at the NM: begin localization.
+    fn on_nm_start(&mut self, now: Millis, cid: ContainerId, logs: &mut LogStore, out: &mut Out) {
+        let (node, app, resources) = {
+            let c = self.containers.get_mut(&cid).expect("unknown container");
+            let mut nm = Tracked::new(NmContainerState::New);
+            nm.transition(
+                NmContainerState::Localizing,
+                &cid.to_string(),
+                LogSource::NodeManager(c.node),
+                ts(now),
+                logs,
+            );
+            c.nm_state = Some(nm);
+            (
+                c.node,
+                c.app,
+                c.spec.as_ref().expect("spec").localization.clone(),
+            )
+        };
+        let mut pending = 0usize;
+        for (idx, res) in resources.iter().enumerate() {
+            let cached =
+                self.cfg.localization_cache && self.nodes[node.0 as usize].is_cached(app, &res.name);
+            if cached {
+                continue;
+            }
+            pending += 1;
+            if self.nodes[node.0 as usize].inflight_contains(app, &res.name) {
+                self.node_mut(node).inflight_wait(app, &res.name, cid);
+            } else {
+                self.node_mut(node).inflight_start(app, &res.name, cid);
+                // NameNode lookup (CPU) then the download (IO).
+                let meta = self.sample(&self.cfg.localize_meta_cpu_ms.clone()).as_f64();
+                let flow = self.node_mut(node).cpu.add_flow(now, meta, 1.0, 1.0);
+                self.cpu_flows
+                    .insert((node.0, flow.0), FlowPurpose::LocalizeMeta { cid, res_idx: idx });
+                self.resched_cpu(node, now, out);
+            }
+        }
+        self.containers.get_mut(&cid).unwrap().pending_local = pending;
+        if pending == 0 {
+            self.mark_scheduled(now, cid, logs, out);
+        }
+    }
+
+    /// All localization done: LOCALIZING → SCHEDULED, then hand off to the
+    /// launcher (queueing opportunistic containers when the node is full).
+    fn mark_scheduled(&mut self, now: Millis, cid: ContainerId, logs: &mut LogStore, out: &mut Out) {
+        let (node, req, opportunistic) = {
+            let c = self.containers.get_mut(&cid).expect("unknown container");
+            c.nm_state.as_mut().expect("nm state").transition(
+                NmContainerState::Scheduled,
+                &cid.to_string(),
+                LogSource::NodeManager(c.node),
+                ts(now),
+                logs,
+            );
+            (c.node, c.req, c.opportunistic)
+        };
+        if opportunistic {
+            if self.nodes[node.0 as usize].fits(req) && self.nodes[node.0 as usize].opp_queue.is_empty() {
+                self.node_mut(node).reserve(req);
+                self.containers.get_mut(&cid).unwrap().reserved = true;
+            } else {
+                self.node_mut(node).opp_queue.push_back(cid);
+                return; // waits for capacity — Fig 7-(b)'s queueing delay
+            }
+        }
+        let d = self.sample(&self.cfg.nm_handoff_ms.clone());
+        out.at(now + d, ClusterEvent::NmHandoff(cid));
+    }
+
+    /// Launcher picked the container up: SCHEDULED → RUNNING, then the
+    /// runtime (optional Docker) and the JVM start burn node resources.
+    fn on_nm_handoff(&mut self, now: Millis, cid: ContainerId, logs: &mut LogStore, out: &mut Out) {
+        let (node, runtime) = {
+            let c = self.containers.get_mut(&cid).expect("unknown container");
+            c.nm_state.as_mut().expect("nm state").transition(
+                NmContainerState::Running,
+                &cid.to_string(),
+                LogSource::NodeManager(c.node),
+                ts(now),
+                logs,
+            );
+            (c.node, c.spec.as_ref().expect("spec").runtime)
+        };
+        match runtime {
+            ContainerRuntime::Docker => {
+                let mb = self.cfg.docker.image_mb * self.cfg.docker.read_fraction;
+                let cap = self.cfg.io_single_flow_mb_per_ms;
+                let flow = self.node_mut(node).io.add_flow(now, mb, 1.0, cap);
+                self.io_flows
+                    .insert((node.0, flow.0), FlowPurpose::DockerIo { cid });
+                self.resched_io(node, now, out);
+            }
+            ContainerRuntime::Default => self.start_jvm(now, cid, node, out),
+        }
+    }
+
+    fn start_jvm(&mut self, now: Millis, cid: ContainerId, node: NodeId, out: &mut Out) {
+        let io_mb = self.containers[&cid]
+            .spec
+            .as_ref()
+            .expect("spec")
+            .launch_io_mb;
+        if io_mb > 0.0 {
+            let cap = self.cfg.io_single_flow_mb_per_ms;
+            let flow = self.node_mut(node).io.add_flow(now, io_mb, 1.0, cap);
+            self.io_flows
+                .insert((node.0, flow.0), FlowPurpose::LaunchIo { cid });
+            self.resched_io(node, now, out);
+        } else {
+            self.start_jvm_cpu(now, cid, node, out);
+        }
+    }
+
+    fn start_jvm_cpu(&mut self, now: Millis, cid: ContainerId, node: NodeId, out: &mut Out) {
+        let (work, threads) = {
+            let spec = self.containers[&cid].spec.as_ref().expect("spec");
+            (spec.launch_cpu_ms, spec.launch_threads)
+        };
+        let flow = self.node_mut(node).cpu.add_flow(now, work, threads, threads);
+        self.cpu_flows
+            .insert((node.0, flow.0), FlowPurpose::LaunchCpu { cid });
+        self.resched_cpu(node, now, out);
+    }
+
+    fn on_flow_done(
+        &mut self,
+        now: Millis,
+        node: NodeId,
+        purpose: FlowPurpose,
+        logs: &mut LogStore,
+        out: &mut Out,
+    ) {
+        match purpose {
+            FlowPurpose::AppWork { app, ticket } => {
+                out.notify(AppNotice::WorkDone { app, ticket });
+            }
+            FlowPurpose::LocalizeMeta { cid, res_idx } => {
+                // Metadata done: start the download — on the dedicated
+                // localization store when configured (§V-B optimization),
+                // else on the shared IO channel.
+                let Some(c) = self.containers.get(&cid) else {
+                    return;
+                };
+                let mb = c.spec.as_ref().expect("spec").localization[res_idx].mb;
+                let cap = self.cfg.io_single_flow_mb_per_ms;
+                let purpose = FlowPurpose::LocalizeIo { cid, res_idx };
+                if self.nodes[node.0 as usize].local_store.is_some() {
+                    let store = self.node_mut(node).local_store.as_mut().unwrap();
+                    let flow = store.add_flow(now, mb, 1.0, cap);
+                    self.store_flows.insert((node.0, flow.0), purpose);
+                    self.resched_store(node, now, out);
+                } else {
+                    let flow = self.node_mut(node).io.add_flow(now, mb, 1.0, cap);
+                    self.io_flows.insert((node.0, flow.0), purpose);
+                    self.resched_io(node, now, out);
+                }
+            }
+            FlowPurpose::LocalizeIo { cid, res_idx } => {
+                let Some(c) = self.containers.get(&cid) else {
+                    return;
+                };
+                let app = c.app;
+                let name = c.spec.as_ref().expect("spec").localization[res_idx]
+                    .name
+                    .clone();
+                let woken = self.node_mut(node).inflight_finish(app, &name);
+                for w in woken {
+                    let Some(wc) = self.containers.get_mut(&w) else {
+                        continue;
+                    };
+                    debug_assert!(wc.pending_local > 0);
+                    wc.pending_local -= 1;
+                    if wc.pending_local == 0 {
+                        self.mark_scheduled(now, w, logs, out);
+                    }
+                }
+            }
+            FlowPurpose::DockerIo { cid } => {
+                let setup = self.sample(&self.cfg.docker.setup_cpu_ms.clone()).as_f64();
+                let flow = self.node_mut(node).cpu.add_flow(now, setup, 1.0, 1.0);
+                self.cpu_flows
+                    .insert((node.0, flow.0), FlowPurpose::DockerCpu { cid });
+                self.resched_cpu(node, now, out);
+            }
+            FlowPurpose::DockerCpu { cid } => self.start_jvm(now, cid, node, out),
+            FlowPurpose::LaunchIo { cid } => self.start_jvm_cpu(now, cid, node, out),
+            FlowPurpose::LaunchCpu { cid } => {
+                let Some(c) = self.containers.get_mut(&cid) else {
+                    return;
+                };
+                if c.rm_state.get() == RmContainerState::Acquired {
+                    c.rm_state
+                        .transition(RmContainerState::Running, &cid.to_string(), ts(now), logs);
+                }
+                let kind = c.spec.as_ref().expect("spec").kind;
+                out.notify(AppNotice::ProcessStarted {
+                    app: c.app,
+                    container: cid,
+                    node,
+                    kind,
+                });
+            }
+        }
+    }
+
+    /// After capacity freed on `node`, start queued opportunistic
+    /// containers FIFO while they fit.
+    fn drain_opp_queue(&mut self, now: Millis, node: NodeId, out: &mut Out) {
+        while let Some(&cid) = self.nodes[node.0 as usize].opp_queue.front() {
+            let info = self
+                .containers
+                .get(&cid)
+                .map(|c| (c.rm_state.get(), c.req));
+            let Some((state, req)) = info else {
+                self.node_mut(node).opp_queue.pop_front();
+                continue;
+            };
+            if state == RmContainerState::Completed {
+                // Owner finished while queued.
+                self.node_mut(node).opp_queue.pop_front();
+                continue;
+            }
+            if !self.nodes[node.0 as usize].fits(req) {
+                break;
+            }
+            self.node_mut(node).opp_queue.pop_front();
+            self.node_mut(node).reserve(req);
+            self.containers.get_mut(&cid).unwrap().reserved = true;
+            let d = self.sample(&self.cfg.nm_handoff_ms.clone());
+            out.at(now + d, ClusterEvent::NmHandoff(cid));
+        }
+    }
+
+    fn resched_cpu(&mut self, node: NodeId, now: Millis, out: &mut Out) {
+        if let Some((at, gen)) = self.nodes[node.0 as usize].cpu.next_completion(now) {
+            out.at(at, ClusterEvent::CpuTick(node, gen));
+        }
+    }
+
+    fn resched_io(&mut self, node: NodeId, now: Millis, out: &mut Out) {
+        if let Some((at, gen)) = self.nodes[node.0 as usize].io.next_completion(now) {
+            out.at(at, ClusterEvent::IoTick(node, gen));
+        }
+    }
+
+    fn resched_store(&mut self, node: NodeId, now: Millis, out: &mut Out) {
+        if let Some(store) = self.nodes[node.0 as usize].local_store.as_ref() {
+            if let Some((at, gen)) = store.next_completion(now) {
+                out.at(at, ClusterEvent::StoreTick(node, gen));
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("nodes", &self.nodes.len())
+            .field("apps", &self.apps.len())
+            .field("containers", &self.containers.len())
+            .field("backlog", &self.backlog.len())
+            .finish()
+    }
+}

@@ -1,0 +1,329 @@
+//! YARN-style state machines with transition logging.
+//!
+//! YARN models each scheduling entity as a state machine and logs every
+//! transition (paper §III-A) — that is the very property SDchecker mines.
+//! This module reproduces the three machines SDchecker cares about
+//! (`RMAppImpl`, `RMContainerImpl`, `ContainerImpl`) with their legal
+//! transition sets and the exact log phrasings of the respective daemons.
+
+use logmodel::{LogSource, LogStore, TsMs};
+use std::fmt;
+
+/// `RMAppImpl` states (ResourceManager's view of an application).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RmAppState {
+    /// Just created.
+    New,
+    /// Being persisted to the RM state store.
+    NewSaving,
+    /// Persisted; visible to the scheduler. **Log message 1.**
+    Submitted,
+    /// Admitted by the scheduler; AM container pending. **Log message 2.**
+    Accepted,
+    /// AM registered (event `ATTEMPT_REGISTERED`). **Log message 3.**
+    Running,
+    /// Final state being persisted.
+    FinalSaving,
+    /// Unregistered, waiting for container cleanup.
+    Finishing,
+    /// Done.
+    Finished,
+}
+
+impl fmt::Display for RmAppState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RmAppState::New => "NEW",
+            RmAppState::NewSaving => "NEW_SAVING",
+            RmAppState::Submitted => "SUBMITTED",
+            RmAppState::Accepted => "ACCEPTED",
+            RmAppState::Running => "RUNNING",
+            RmAppState::FinalSaving => "FINAL_SAVING",
+            RmAppState::Finishing => "FINISHING",
+            RmAppState::Finished => "FINISHED",
+        };
+        f.write_str(s)
+    }
+}
+
+impl RmAppState {
+    /// Legal next states.
+    pub fn can_go(self, to: RmAppState) -> bool {
+        use RmAppState::*;
+        matches!(
+            (self, to),
+            (New, NewSaving)
+                | (NewSaving, Submitted)
+                | (Submitted, Accepted)
+                | (Accepted, Running)
+                | (Running, FinalSaving)
+                | (FinalSaving, Finishing)
+                | (Finishing, Finished)
+        )
+    }
+}
+
+/// `RMContainerImpl` states (ResourceManager's view of a container).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RmContainerState {
+    /// Created by the scheduler.
+    New,
+    /// Assigned to a node. **Log message 4.**
+    Allocated,
+    /// Pulled by the AppMaster via heartbeat. **Log message 5.**
+    Acquired,
+    /// Reported running by the NM.
+    Running,
+    /// Finished or released.
+    Completed,
+}
+
+impl fmt::Display for RmContainerState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RmContainerState::New => "NEW",
+            RmContainerState::Allocated => "ALLOCATED",
+            RmContainerState::Acquired => "ACQUIRED",
+            RmContainerState::Running => "RUNNING",
+            RmContainerState::Completed => "COMPLETED",
+        };
+        f.write_str(s)
+    }
+}
+
+impl RmContainerState {
+    /// Legal next states. `Allocated → Completed` covers the
+    /// never-acquired containers of the SPARK-21562 bug; `Acquired →
+    /// Completed` covers cancelled-before-running.
+    pub fn can_go(self, to: RmContainerState) -> bool {
+        use RmContainerState::*;
+        matches!(
+            (self, to),
+            (New, Allocated)
+                | (Allocated, Acquired)
+                | (Acquired, Running)
+                | (Running, Completed)
+                | (Allocated, Completed)
+                | (Acquired, Completed)
+        )
+    }
+}
+
+/// `ContainerImpl` states (NodeManager's view of a container).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NmContainerState {
+    /// startContainer received.
+    New,
+    /// Downloading localization resources. **Log message 6.**
+    Localizing,
+    /// Localized; queued for the launcher. **Log message 7.**
+    Scheduled,
+    /// Launch script invoked. **Log message 8.**
+    Running,
+    /// Process exited.
+    Done,
+}
+
+impl fmt::Display for NmContainerState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            NmContainerState::New => "NEW",
+            NmContainerState::Localizing => "LOCALIZING",
+            NmContainerState::Scheduled => "SCHEDULED",
+            NmContainerState::Running => "RUNNING",
+            NmContainerState::Done => "DONE",
+        };
+        f.write_str(s)
+    }
+}
+
+impl NmContainerState {
+    /// Legal next states.
+    pub fn can_go(self, to: NmContainerState) -> bool {
+        use NmContainerState::*;
+        matches!(
+            (self, to),
+            (New, Localizing) | (Localizing, Scheduled) | (Scheduled, Running) | (Running, Done)
+        )
+    }
+}
+
+/// A logged state machine around one of the state enums.
+#[derive(Debug, Clone)]
+pub struct Tracked<S> {
+    state: S,
+}
+
+impl<S: Copy + PartialEq + fmt::Display + fmt::Debug> Tracked<S> {
+    /// Start in `initial`.
+    pub fn new(initial: S) -> Tracked<S> {
+        Tracked { state: initial }
+    }
+
+    /// Current state.
+    pub fn get(&self) -> S {
+        self.state
+    }
+}
+
+impl Tracked<RmAppState> {
+    /// Transition with RM-style logging:
+    /// `<appId> State change from X to Y on event = EVENT`.
+    pub fn transition(
+        &mut self,
+        to: RmAppState,
+        event: &str,
+        subject: &str,
+        ts: TsMs,
+        logs: &mut LogStore,
+    ) {
+        assert!(
+            self.state.can_go(to),
+            "illegal RMApp transition {} -> {to}",
+            self.state
+        );
+        logs.info(
+            LogSource::ResourceManager,
+            ts,
+            "RMAppImpl",
+            format!(
+                "{subject} State change from {} to {to} on event = {event}",
+                self.state
+            ),
+        );
+        self.state = to;
+    }
+}
+
+impl Tracked<RmContainerState> {
+    /// Transition with RM-style logging:
+    /// `<containerId> Container Transitioned from X to Y`.
+    pub fn transition(
+        &mut self,
+        to: RmContainerState,
+        subject: &str,
+        ts: TsMs,
+        logs: &mut LogStore,
+    ) {
+        assert!(
+            self.state.can_go(to),
+            "illegal RMContainer transition {} -> {to}",
+            self.state
+        );
+        logs.info(
+            LogSource::ResourceManager,
+            ts,
+            "RMContainerImpl",
+            format!("{subject} Container Transitioned from {} to {to}", self.state),
+        );
+        self.state = to;
+    }
+}
+
+impl Tracked<NmContainerState> {
+    /// Transition with NM-style logging:
+    /// `Container <containerId> transitioned from X to Y`.
+    pub fn transition(
+        &mut self,
+        to: NmContainerState,
+        subject: &str,
+        node_log: LogSource,
+        ts: TsMs,
+        logs: &mut LogStore,
+    ) {
+        assert!(
+            self.state.can_go(to),
+            "illegal NmContainer transition {} -> {to}",
+            self.state
+        );
+        logs.info(
+            node_log,
+            ts,
+            "ContainerImpl",
+            format!("Container {subject} transitioned from {} to {to}", self.state),
+        );
+        self.state = to;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logmodel::{Epoch, NodeId};
+
+    #[test]
+    fn rm_app_happy_path_is_legal() {
+        use RmAppState::*;
+        let path = [New, NewSaving, Submitted, Accepted, Running, FinalSaving, Finishing, Finished];
+        for w in path.windows(2) {
+            assert!(w[0].can_go(w[1]), "{} -> {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn rm_app_illegal_jumps_rejected() {
+        use RmAppState::*;
+        assert!(!New.can_go(Running));
+        assert!(!Running.can_go(Accepted));
+        assert!(!Finished.can_go(New));
+    }
+
+    #[test]
+    fn rm_container_bug_path_is_legal() {
+        use RmContainerState::*;
+        // The SPARK-21562 signature: allocated, never acquired, completed.
+        assert!(Allocated.can_go(Completed));
+        assert!(!Completed.can_go(Running));
+    }
+
+    #[test]
+    fn nm_container_path() {
+        use NmContainerState::*;
+        assert!(New.can_go(Localizing));
+        assert!(Localizing.can_go(Scheduled));
+        assert!(Scheduled.can_go(Running));
+        assert!(!Localizing.can_go(Running));
+    }
+
+    #[test]
+    fn tracked_rm_app_logs_expected_phrase() {
+        let mut logs = LogStore::new(Epoch::default_run());
+        let mut st = Tracked::new(RmAppState::Submitted);
+        st.transition(
+            RmAppState::Accepted,
+            "APP_ACCEPTED",
+            "application_1_0001",
+            TsMs(42),
+            &mut logs,
+        );
+        let recs = logs.records(LogSource::ResourceManager);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(
+            recs[0].message,
+            "application_1_0001 State change from SUBMITTED to ACCEPTED on event = APP_ACCEPTED"
+        );
+        assert_eq!(st.get(), RmAppState::Accepted);
+    }
+
+    #[test]
+    fn tracked_nm_container_logs_to_node_log() {
+        let mut logs = LogStore::new(Epoch::default_run());
+        let mut st = Tracked::new(NmContainerState::New);
+        let src = LogSource::NodeManager(NodeId(2));
+        st.transition(NmContainerState::Localizing, "container_1_0001_01_000001", src, TsMs(1), &mut logs);
+        st.transition(NmContainerState::Scheduled, "container_1_0001_01_000001", src, TsMs(9), &mut logs);
+        let recs = logs.records(src);
+        assert_eq!(recs.len(), 2);
+        assert!(recs[1]
+            .message
+            .contains("transitioned from LOCALIZING to SCHEDULED"));
+    }
+
+    #[test]
+    #[should_panic(expected = "illegal")]
+    fn tracked_panics_on_illegal() {
+        let mut logs = LogStore::new(Epoch::default_run());
+        let mut st = Tracked::new(RmAppState::New);
+        st.transition(RmAppState::Running, "X", "app", TsMs(0), &mut logs);
+    }
+}

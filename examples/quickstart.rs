@@ -1,0 +1,60 @@
+//! Quickstart: simulate one Spark-SQL query on the cluster, write the log
+//! corpus to disk, and run SDchecker over it — the complete pipeline the
+//! paper describes, in ~40 lines.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use simkit::Millis;
+use sparksim::{profiles, simulate};
+use yarnsim::ClusterConfig;
+
+fn main() {
+    // 1. Run a TPC-H-like Spark-SQL job (2 GB input, 4 executors — the
+    //    paper's default) on the simulated 25-node YARN cluster.
+    let job = profiles::spark_sql_default(2048.0, 4);
+    let (logs, summaries) = simulate(
+        ClusterConfig::default(),
+        42,
+        vec![(Millis(100), job)],
+        Millis::from_mins(60),
+    );
+    let s = &summaries[0];
+    println!(
+        "job {} finished: runtime {}, {} log records across {} log files",
+        s.label,
+        s.runtime(),
+        logs.total_records(),
+        logs.sources().count()
+    );
+
+    // 2. Flush the logs as a directory tree shaped like a real cluster
+    //    log collection...
+    let dir = std::env::temp_dir().join("sdchecker-quickstart-logs");
+    let _ = std::fs::remove_dir_all(&dir);
+    logs.write_dir(&dir).expect("write logs");
+    println!("wrote log corpus to {}", dir.display());
+
+    // 3. ...and mine them offline with SDchecker (this is exactly what
+    //    the `sdchecker` CLI binary does).
+    let analysis = sdchecker::analyze_dir(&dir).expect("analyze logs");
+    print!("{}", sdchecker::full_report(&analysis));
+
+    // 4. The per-application decomposition is available programmatically.
+    let d = analysis.delays_of(s.app).expect("analyzed app");
+    println!("\ndecomposition of {}:", s.app);
+    for (name, v) in [
+        ("total ", d.total_ms),
+        ("am    ", d.am_ms),
+        ("in    ", d.in_app_ms),
+        ("out   ", d.out_app_ms),
+        ("driver", d.driver_ms),
+        ("exec  ", d.executor_ms),
+        ("alloc ", d.alloc_ms),
+    ] {
+        if let Some(ms) = v {
+            println!("  {name} {:>8.3}s", ms as f64 / 1000.0);
+        }
+    }
+}

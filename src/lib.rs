@@ -1,0 +1,48 @@
+//! Umbrella crate for the SDchecker reproduction.
+//!
+//! Re-exports the public surface of every sub-crate so the repository's
+//! examples and integration tests have a single import root; see the
+//! individual crates for the real APIs:
+//!
+//! * [`sdchecker`] — the paper's log-mining tool (the contribution);
+//! * [`simkit`] — the discrete-event simulation kernel;
+//! * [`logmodel`] — log syntax, global IDs, log stores;
+//! * [`yarnsim`] — the YARN-like cluster substrate;
+//! * [`sparksim`] — the Spark/MapReduce application layer;
+//! * [`workloads`] — TPC-H profiles and trace generation;
+//! * [`experiments`] — the per-figure/table reproduction harness.
+
+pub use experiments;
+pub use logmodel;
+pub use sdchecker;
+pub use simkit;
+pub use sparksim;
+pub use workloads;
+pub use yarnsim;
+
+/// Convenience: simulate the paper's default setup (one 2 GB TPC-H-like
+/// query, 4 executors) and analyze it — the five-line demo.
+///
+/// ```
+/// let (delays, summary) = sdchecker_repro::demo(42);
+/// assert!(delays.total_ms.unwrap() > 5_000);
+/// assert_eq!(summary.kind, "spark-sql");
+/// ```
+pub fn demo(seed: u64) -> (sdchecker::AppDelays, sparksim::JobSummary) {
+    let (logs, mut summaries) = sparksim::simulate(
+        yarnsim::ClusterConfig::default(),
+        seed,
+        vec![(
+            simkit::Millis(100),
+            sparksim::profiles::spark_sql_default(2048.0, 4),
+        )],
+        simkit::Millis::from_mins(60),
+    );
+    let analysis = sdchecker::analyze_store(&logs);
+    let summary = summaries.remove(0);
+    let delays = analysis
+        .delays_of(summary.app)
+        .expect("analyzed the only app")
+        .clone();
+    (delays, summary)
+}
