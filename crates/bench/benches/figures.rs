@@ -3,61 +3,61 @@
 //! `Scale::Quick`, so `cargo bench` regenerates every result's code path
 //! and tracks its cost. The full-scale numbers come from the
 //! `run_experiments` binary; these benches are the regression harness.
+//!
+//! Run with `cargo bench --bench figures`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use experiments::{
     bug_finding, fig11, fig12, fig13, fig4, fig5, fig6, fig7, fig8, fig9, table2, Scale,
 };
+use sd_bench::bench;
 
 const SEED: u64 = 2018;
+const SAMPLES: usize = 10;
 
-fn bench_figures(c: &mut Criterion) {
-    let mut g = c.benchmark_group("figures");
-    g.sample_size(10);
-
-    g.bench_function("fig4_overall_delays", |b| {
-        b.iter(|| fig4::scenario(Scale::Quick, SEED).measured().len())
+fn main() {
+    bench("fig4_overall_delays", SAMPLES, || {
+        fig4::scenario(Scale::Quick, SEED).measured().len()
     });
-    g.bench_function("fig5_input_size_20gb", |b| {
-        b.iter(|| fig5::scenario(20.0 * 1024.0, Scale::Quick, SEED).measured().len())
+    bench("fig5_input_size_20gb", SAMPLES, || {
+        fig5::scenario(20.0 * 1024.0, Scale::Quick, SEED)
+            .measured()
+            .len()
     });
-    g.bench_function("fig6_executors_16", |b| {
-        b.iter(|| fig6::scenario(16, Scale::Quick, SEED).measured().len())
+    bench("fig6_executors_16", SAMPLES, || {
+        fig6::scenario(16, Scale::Quick, SEED).measured().len()
     });
-    g.bench_function("fig7_schedulers_alloc", |b| {
-        b.iter(|| {
-            fig7::scenario_alloc(true, Scale::Quick, SEED).measured().len()
-                + fig7::scenario_alloc(false, Scale::Quick, SEED).measured().len()
-        })
-    });
-    g.bench_function("table2_throughput_100pct", |b| {
-        b.iter(|| table2::throughput_at(1.0, Scale::Quick, SEED) as u64)
-    });
-    g.bench_function("fig8_localization_8gb", |b| {
-        b.iter(|| fig8::scenario(8192.0, Scale::Quick, SEED).measured().len())
-    });
-    g.bench_function("fig9_launching_mixed", |b| {
-        b.iter(|| fig9::scenario_mixed(Scale::Quick, SEED).0.measured().len())
-    });
-    g.bench_function("fig11_inapp_x4_files", |b| {
-        b.iter(|| fig11::scenario_files(4, false, Scale::Quick, SEED).measured().len())
-    });
-    g.bench_function("fig12_io_interference_100w", |b| {
-        b.iter(|| fig12::scenario(100, Scale::Quick, SEED).measured().len())
-    });
-    g.bench_function("fig13_cpu_interference_16k", |b| {
-        b.iter(|| fig13::scenario(16, Scale::Quick, SEED).measured().len())
-    });
-    g.bench_function("bug_finding_overalloc", |b| {
-        b.iter(|| {
-            bug_finding::scenario(2, Scale::Quick, SEED)
-                .analysis
-                .unused_containers
+    bench("fig7_schedulers_alloc", SAMPLES, || {
+        fig7::scenario_alloc(true, Scale::Quick, SEED)
+            .measured()
+            .len()
+            + fig7::scenario_alloc(false, Scale::Quick, SEED)
+                .measured()
                 .len()
-        })
     });
-    g.finish();
+    bench("table2_throughput_100pct", SAMPLES, || {
+        table2::throughput_at(1.0, Scale::Quick, SEED) as u64
+    });
+    bench("fig8_localization_8gb", SAMPLES, || {
+        fig8::scenario(8192.0, Scale::Quick, SEED).measured().len()
+    });
+    bench("fig9_launching_mixed", SAMPLES, || {
+        fig9::scenario_mixed(Scale::Quick, SEED).0.measured().len()
+    });
+    bench("fig11_inapp_x4_files", SAMPLES, || {
+        fig11::scenario_files(4, false, Scale::Quick, SEED)
+            .measured()
+            .len()
+    });
+    bench("fig12_io_interference_100w", SAMPLES, || {
+        fig12::scenario(100, Scale::Quick, SEED).measured().len()
+    });
+    bench("fig13_cpu_interference_16k", SAMPLES, || {
+        fig13::scenario(16, Scale::Quick, SEED).measured().len()
+    });
+    bench("bug_finding_overalloc", SAMPLES, || {
+        bug_finding::scenario(2, Scale::Quick, SEED)
+            .analysis
+            .unused_containers
+            .len()
+    });
 }
-
-criterion_group!(benches, bench_figures);
-criterion_main!(benches);

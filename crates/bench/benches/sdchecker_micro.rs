@@ -2,9 +2,11 @@
 //! extraction, grouping/graph construction, decomposition, and the full
 //! analysis — measured over a realistic generated corpus, because that is
 //! exactly the input the offline tool sees.
+//!
+//! Run with `cargo bench --bench sdchecker_micro`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use logmodel::{Epoch, LogStore};
+use sd_bench::bench;
 use sdchecker::{analyze_store, build_graphs, decompose, extract_all, Pat};
 use simkit::{Millis, SimRng};
 use sparksim::simulate;
@@ -25,74 +27,65 @@ fn corpus() -> LogStore {
     logs
 }
 
-fn bench_pipeline(c: &mut Criterion) {
+fn main() {
     let logs = corpus();
     let lines: Vec<String> = logs.iter_lines().map(|(_, l)| l).collect();
     let total_bytes: usize = lines.iter().map(String::len).sum();
     let epoch = Epoch::default_run();
+    println!(
+        "corpus: {} records, {} rendered bytes",
+        logs.total_records(),
+        total_bytes
+    );
 
-    let mut g = c.benchmark_group("parse");
-    g.throughput(Throughput::Bytes(total_bytes as u64));
-    g.bench_function("parse_lines", |b| {
-        b.iter(|| {
-            let mut n = 0usize;
-            for l in &lines {
-                if logmodel::parse_line(&epoch, l).is_some() {
-                    n += 1;
-                }
+    let s = bench("parse_lines", 20, || {
+        let mut n = 0usize;
+        for l in &lines {
+            if logmodel::parse_line(&epoch, l).is_some() {
+                n += 1;
             }
-            n
-        })
+        }
+        n
     });
-    g.finish();
+    println!(
+        "  parse throughput: {:.1} MB/s",
+        total_bytes as f64 / s.median_s / 1e6
+    );
 
-    let mut g = c.benchmark_group("mine");
-    g.throughput(Throughput::Elements(logs.total_records() as u64));
-    g.bench_function("extract_all", |b| b.iter(|| extract_all(&logs).len()));
+    bench("extract_all", 20, || extract_all(&logs).len());
     let events = extract_all(&logs);
-    g.bench_function("build_graphs", |b| b.iter(|| build_graphs(&events).len()));
+    bench("build_graphs", 20, || build_graphs(&events).len());
     let graphs = build_graphs(&events);
-    g.bench_function("decompose_all", |b| {
-        b.iter(|| graphs.values().map(decompose).count())
+    bench("decompose_all", 20, || {
+        graphs.values().map(decompose).count()
     });
-    g.bench_function("analyze_store", |b| b.iter(|| analyze_store(&logs).delays.len()));
-    g.finish();
+    bench("analyze_store", 20, || analyze_store(&logs).delays.len());
 
-    c.bench_function("pattern_match", |b| {
-        let pat = Pat::new("{} State change from {} to {} on event = {}");
-        let msg = "application_1521018000000_0042 State change from SUBMITTED to ACCEPTED on event = APP_ACCEPTED";
-        b.iter(|| pat.match_str(msg).map(|c| c.len()))
+    let pat = Pat::new("{} State change from {} to {} on event = {}");
+    let msg = "application_1521018000000_0042 State change from SUBMITTED to ACCEPTED on event = APP_ACCEPTED";
+    bench("pattern_match", 20, || {
+        let mut n = 0usize;
+        for _ in 0..10_000 {
+            n += pat.match_str(msg).map_or(0, |c| c.len());
+        }
+        n
     });
 
-    c.bench_function("dot_export", |b| {
-        let g0 = graphs.values().next().unwrap();
-        b.iter(|| g0.to_dot().len())
+    bench("dot_export", 20, || {
+        graphs.values().next().unwrap().to_dot().len()
     });
-}
 
-fn bench_disk_roundtrip(c: &mut Criterion) {
-    let logs = corpus();
-    c.bench_function("write_dir", |b| {
-        let dir = std::env::temp_dir().join("sd_bench_write");
-        b.iter_batched(
-            || {
-                let _ = std::fs::remove_dir_all(&dir);
-            },
-            |_| logs.write_dir(&dir).unwrap(),
-            BatchSize::PerIteration,
-        );
+    // Disk round-trips.
+    let dir = std::env::temp_dir().join(format!("sd_bench_micro_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    bench("write_dir", 10, || {
+        let _ = std::fs::remove_dir_all(&dir);
+        logs.write_dir(&dir).unwrap()
     });
-    let dir = std::env::temp_dir().join("sd_bench_read");
     let _ = std::fs::remove_dir_all(&dir);
     logs.write_dir(&dir).unwrap();
-    c.bench_function("read_dir_and_analyze", |b| {
-        b.iter(|| sdchecker::analyze_dir(&dir).unwrap().delays.len())
+    bench("read_dir_and_analyze", 10, || {
+        sdchecker::analyze_dir(&dir).unwrap().delays.len()
     });
+    let _ = std::fs::remove_dir_all(&dir);
 }
-
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_pipeline, bench_disk_roundtrip
-);
-criterion_main!(benches);

@@ -1,0 +1,143 @@
+//! End-to-end SDchecker pipeline bench on the paper-shaped corpus: a
+//! 26-node cluster (RM + 25 NMs) running a 100-application TPC-H trace.
+//! Times every stage (directory ingest, extraction+merge, full analysis,
+//! end-to-end from disk) at 1 thread vs N threads, verifies the outputs
+//! are identical, and writes the machine-readable `BENCH_sdchecker.json`
+//! at the repo root so the perf trajectory is tracked across PRs.
+//!
+//! Run with `cargo bench --bench sdchecker_pipeline`.
+
+use logmodel::{LogStore, Parallelism};
+use sd_bench::{bench, json_f64, json_object, json_str, Stats};
+use sdchecker::{analyze_dir_with, analyze_store_with, extract_all_with, full_report};
+use simkit::{Millis, SimRng};
+use sparksim::simulate;
+use workloads::{tpch_stream, TraceParams};
+use yarnsim::ClusterConfig;
+
+const APPS: usize = 100;
+const SAMPLES: usize = 5;
+
+/// Generate the 26-node / 100-app corpus once (deterministic).
+fn corpus() -> LogStore {
+    let mut rng = SimRng::new(2018);
+    let arrivals = tpch_stream(APPS, 2048.0, 4, &TraceParams::moderate(), &mut rng);
+    let cfg = ClusterConfig::default(); // 25 NMs + the RM = the paper's 26 nodes
+    let (logs, summaries) = simulate(cfg, 2018, arrivals, Millis::from_mins(24 * 60));
+    assert_eq!(summaries.len(), APPS, "all jobs must complete");
+    logs
+}
+
+fn stage_json(name: &str, seq: Stats, par: Stats) -> (String, String) {
+    let speedup = seq.median_s / par.median_s;
+    (
+        name.to_string(),
+        format!(
+            "{{\"seq_ms\": {}, \"par_ms\": {}, \"speedup\": {}}}",
+            json_f64(seq.median_ms()),
+            json_f64(par.median_ms()),
+            json_f64(speedup)
+        ),
+    )
+}
+
+fn main() {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .max(4);
+    let par = Parallelism::new(threads);
+    let seq = Parallelism::ONE;
+
+    let logs = corpus();
+    let total_records = logs.total_records();
+    let total_bytes: usize = logs.iter_lines().map(|(_, l)| l.len() + 1).sum();
+    let dir = std::env::temp_dir().join(format!("sd_bench_pipeline_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    logs.write_dir(&dir).unwrap();
+
+    // Correctness first: the parallel pipeline must be bit-identical to
+    // the sequential one before its timings mean anything.
+    let a1 = analyze_dir_with(&dir, seq).unwrap();
+    let an = analyze_dir_with(&dir, par).unwrap();
+    assert_eq!(a1.events, an.events, "parallel events diverged");
+    let identical = full_report(&a1) == full_report(&an)
+        && format!("{:?}", a1.delays) == format!("{:?}", an.delays)
+        && format!("{:?}", a1.unused_containers) == format!("{:?}", an.unused_containers);
+    assert!(identical, "parallel report diverged from sequential");
+    let events = a1.events.len();
+
+    let ingest_seq = bench("ingest/1t", SAMPLES, || {
+        LogStore::read_dir_with(&dir, seq).unwrap().total_records()
+    });
+    let ingest_par = bench(&format!("ingest/{threads}t"), SAMPLES, || {
+        LogStore::read_dir_with(&dir, par).unwrap().total_records()
+    });
+
+    let store = LogStore::read_dir_with(&dir, par).unwrap();
+    let extract_seq = bench("extract/1t", SAMPLES, || {
+        extract_all_with(&store, seq).len()
+    });
+    let extract_par = bench(&format!("extract/{threads}t"), SAMPLES, || {
+        extract_all_with(&store, par).len()
+    });
+
+    let analyze_seq = bench("analyze_store/1t", SAMPLES, || {
+        analyze_store_with(&store, seq).delays.len()
+    });
+    let analyze_par = bench(&format!("analyze_store/{threads}t"), SAMPLES, || {
+        analyze_store_with(&store, par).delays.len()
+    });
+
+    let e2e_seq = bench("end_to_end/1t", SAMPLES, || {
+        analyze_dir_with(&dir, seq).unwrap().delays.len()
+    });
+    let e2e_par = bench(&format!("end_to_end/{threads}t"), SAMPLES, || {
+        analyze_dir_with(&dir, par).unwrap().delays.len()
+    });
+
+    let stages = [
+        stage_json("ingest", ingest_seq, ingest_par),
+        stage_json("extract", extract_seq, extract_par),
+        stage_json("analyze_store", analyze_seq, analyze_par),
+        stage_json("end_to_end", e2e_seq, e2e_par),
+    ];
+    let stages_json = format!(
+        "{{{}}}",
+        stages
+            .iter()
+            .map(|(k, v)| format!("{}: {}", json_str(k), v))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    let json = json_object(&[
+        ("bench", json_str("sdchecker_pipeline")),
+        ("corpus_nodes", "26".to_string()),
+        ("corpus_apps", APPS.to_string()),
+        ("corpus_records", total_records.to_string()),
+        ("corpus_bytes", total_bytes.to_string()),
+        ("corpus_events", events.to_string()),
+        ("threads", threads.to_string()),
+        (
+            "hardware_threads",
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .to_string(),
+        ),
+        ("samples", SAMPLES.to_string()),
+        ("identical_output", "true".to_string()),
+        (
+            "end_to_end_speedup",
+            json_f64(e2e_seq.median_s / e2e_par.median_s),
+        ),
+        ("stages", stages_json),
+    ]);
+
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sdchecker.json");
+    std::fs::write(out, &json).unwrap();
+    println!("wrote {out}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

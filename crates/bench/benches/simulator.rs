@@ -1,73 +1,55 @@
 //! Simulator benchmarks: how fast the discrete-event substrate replays
 //! cluster time. Useful for sizing bigger studies (the 2 000-query long
 //! trace replays hours of cluster time per wall-second).
+//!
+//! Run with `cargo bench --bench simulator`.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sd_bench::bench;
 use simkit::{Millis, PsResource, SimRng};
 use sparksim::{profiles, simulate};
 use workloads::{tpch_stream, TraceParams};
 use yarnsim::ClusterConfig;
 
-fn bench_single_job(c: &mut Criterion) {
-    c.bench_function("simulate_one_sql_job", |b| {
-        b.iter(|| {
-            let (logs, summaries) = simulate(
-                ClusterConfig::default(),
-                42,
-                vec![(Millis(100), profiles::spark_sql_default(2048.0, 4))],
-                Millis::from_mins(60),
-            );
-            assert_eq!(summaries.len(), 1);
-            logs.total_records()
-        })
+fn main() {
+    bench("simulate_one_sql_job", 15, || {
+        let (logs, summaries) = simulate(
+            ClusterConfig::default(),
+            42,
+            vec![(Millis(100), profiles::spark_sql_default(2048.0, 4))],
+            Millis::from_mins(60),
+        );
+        assert_eq!(summaries.len(), 1);
+        logs.total_records()
     });
-}
 
-fn bench_trace(c: &mut Criterion) {
-    let mut g = c.benchmark_group("trace");
     for n in [20usize, 100] {
-        g.throughput(Throughput::Elements(n as u64));
-        g.bench_function(format!("{n}_queries"), |b| {
-            b.iter(|| {
-                let mut rng = SimRng::new(7);
-                let arrivals = tpch_stream(n, 2048.0, 4, &TraceParams::moderate(), &mut rng);
-                let (_, summaries) = simulate(
-                    ClusterConfig::default(),
-                    7,
-                    arrivals,
-                    Millis::from_mins(24 * 60),
-                );
-                summaries.len()
-            })
+        bench(&format!("trace/{n}_queries"), 15, || {
+            let mut rng = SimRng::new(7);
+            let arrivals = tpch_stream(n, 2048.0, 4, &TraceParams::moderate(), &mut rng);
+            let (_, summaries) = simulate(
+                ClusterConfig::default(),
+                7,
+                arrivals,
+                Millis::from_mins(24 * 60),
+            );
+            summaries.len()
         });
     }
-    g.finish();
-}
 
-fn bench_ps_resource(c: &mut Criterion) {
-    c.bench_function("ps_resource_churn", |b| {
-        b.iter(|| {
-            // 200 overlapping flows through one channel, drained with the
-            // tick protocol — the hot loop of every contended node.
-            let mut res = PsResource::new(8.0);
-            let mut now = Millis(0);
-            for i in 0..200u64 {
-                res.add_flow(Millis(i * 3), 50.0 + (i % 7) as f64 * 10.0, 1.0, 2.0);
-            }
-            let mut done = 0;
-            while let Some((at, gen)) = res.next_completion(now) {
-                now = at;
-                done += res.on_tick(now, gen).len();
-            }
-            assert_eq!(done, 200);
-            now
-        })
+    bench("ps_resource_churn", 15, || {
+        // 200 overlapping flows through one channel, drained with the
+        // tick protocol — the hot loop of every contended node.
+        let mut res = PsResource::new(8.0);
+        let mut now = Millis(0);
+        for i in 0..200u64 {
+            res.add_flow(Millis(i * 3), 50.0 + (i % 7) as f64 * 10.0, 1.0, 2.0);
+        }
+        let mut done = 0;
+        while let Some((at, gen)) = res.next_completion(now) {
+            now = at;
+            done += res.on_tick(now, gen).len();
+        }
+        assert_eq!(done, 200);
+        now
     });
 }
-
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(15);
-    targets = bench_single_job, bench_trace, bench_ps_resource
-);
-criterion_main!(benches);

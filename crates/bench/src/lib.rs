@@ -1,1 +1,130 @@
-//! Benchmark crate: see benches/.
+//! A tiny self-contained benchmark harness (the workspace is
+//! dependency-free, so there is no criterion).
+//!
+//! Each bench target is a plain `main()` (`harness = false`): it calls
+//! [`bench`] per measured function and prints one line per result in a
+//! stable, grep-friendly format. [`Stats`] carries the raw numbers so
+//! callers can post-process (e.g. the sdchecker pipeline bench writes
+//! `BENCH_sdchecker.json` with per-stage wall-clock and speedups).
+
+use std::time::Instant;
+
+/// Wall-clock statistics of one measured function, in seconds per
+/// iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct Stats {
+    /// Median of the samples.
+    pub median_s: f64,
+    /// Fastest sample.
+    pub min_s: f64,
+    /// Slowest sample.
+    pub max_s: f64,
+    /// Arithmetic mean of the samples.
+    pub mean_s: f64,
+    /// Number of samples taken.
+    pub samples: usize,
+}
+
+impl Stats {
+    /// Median in milliseconds.
+    pub fn median_ms(&self) -> f64 {
+        self.median_s * 1e3
+    }
+}
+
+/// Time `f` for `samples` iterations (after one untimed warmup) and print
+/// a `bench <name>: median <ms> (min .. max, N samples)` line.
+///
+/// The return value of `f` is consumed with `std::hint::black_box` so the
+/// optimizer cannot discard the measured work.
+pub fn bench<R>(name: &str, samples: usize, mut f: impl FnMut() -> R) -> Stats {
+    assert!(samples > 0, "bench needs at least one sample");
+    std::hint::black_box(f()); // warmup, also primes file-system caches
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        times.push(t0.elapsed().as_secs_f64());
+    }
+    times.sort_by(f64::total_cmp);
+    let stats = Stats {
+        median_s: times[times.len() / 2],
+        min_s: times[0],
+        max_s: times[times.len() - 1],
+        mean_s: times.iter().sum::<f64>() / times.len() as f64,
+        samples,
+    };
+    println!(
+        "bench {name}: median {:.3}ms (min {:.3}ms .. max {:.3}ms, {} samples)",
+        stats.median_ms(),
+        stats.min_s * 1e3,
+        stats.max_s * 1e3,
+        stats.samples
+    );
+    stats
+}
+
+/// Minimal JSON writer for the machine-readable bench artifacts: builds an
+/// object from already-rendered value strings (use [`json_str`] /
+/// [`json_f64`] / plain integers) so no serialization dependency is
+/// needed.
+pub fn json_object(fields: &[(&str, String)]) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\n  {}: {}", json_str(k), v));
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+/// Render a JSON string literal (escapes quotes/backslashes/control
+/// characters — enough for ids and stage names).
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Render an `f64` as a JSON number (finite values only).
+pub fn json_f64(x: f64) -> String {
+    assert!(x.is_finite(), "JSON numbers must be finite");
+    format!("{x:.6}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_sane_stats() {
+        let mut n = 0u64;
+        let s = bench("noop", 5, || {
+            n += 1;
+            n
+        });
+        assert_eq!(s.samples, 5);
+        assert!(s.min_s <= s.median_s && s.median_s <= s.max_s);
+        assert_eq!(n, 6, "warmup + samples");
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
+        let obj = json_object(&[("k", json_str("v")), ("n", "3".to_string())]);
+        assert!(obj.contains("\"k\": \"v\""));
+        assert!(obj.contains("\"n\": 3"));
+    }
+}

@@ -77,7 +77,11 @@ pub fn scenario_queue_cap(cap: usize, scale: Scale, seed: u64) -> ScenarioResult
 }
 
 /// Queueing delay under a given opportunistic placement policy.
-pub fn scenario_placement(placement: yarnsim::OppPlacement, scale: Scale, seed: u64) -> ScenarioResult {
+pub fn scenario_placement(
+    placement: yarnsim::OppPlacement,
+    scale: Scale,
+    seed: u64,
+) -> ScenarioResult {
     let cfg = ClusterConfig {
         opp_placement: placement,
         ..ClusterConfig::default().with_opportunistic()
@@ -94,7 +98,10 @@ fn loaded_opportunistic(cfg: ClusterConfig, scale: Scale, seed: u64) -> Scenario
     // Fill ~90% of cluster memory with long map tasks so random placement
     // frequently lands on busy nodes.
     let mut filler = sparksim::profiles::mr_wordcount(720.0 * 128.0);
-    filler.executor_resource = yarnsim::ResourceReq { mem_mb: 4096, vcores: 1 };
+    filler.executor_resource = yarnsim::ResourceReq {
+        mem_mb: 4096,
+        vcores: 1,
+    };
     filler.stages[0].tasks = 720;
     filler.stages[0].task_cpu_ms = simkit::Dist::lognormal(120_000.0, 0.10);
     filler.stages[1].tasks = 0;
@@ -144,13 +151,17 @@ pub fn ablations(scale: Scale, seed: u64) -> Figure {
             ));
         }
     }
-    let init_ref: Vec<(&str, Vec<u64>)> = init.iter().map(|(l, v)| (l.as_str(), v.clone())).collect();
+    let init_ref: Vec<(&str, Vec<u64>)> =
+        init.iter().map(|(l, v)| (l.as_str(), v.clone())).collect();
 
     // 4. Opportunistic queue cap.
     let unbounded = scenario_queue_cap(usize::MAX, scale, seed);
     let bounded = scenario_queue_cap(1, scale, seed);
     let q_samples: Vec<(&str, Vec<u64>)> = vec![
-        ("queue unbounded", unbounded.container_ms(true, |c| c.nm_queue_ms)),
+        (
+            "queue unbounded",
+            unbounded.container_ms(true, |c| c.nm_queue_ms),
+        ),
         ("queue cap=1", bounded.container_ms(true, |c| c.nm_queue_ms)),
     ];
 
@@ -158,7 +169,10 @@ pub fn ablations(scale: Scale, seed: u64) -> Figure {
     let pow2 = scenario_placement(yarnsim::OppPlacement::PowerOfChoices(2), scale, seed);
     let pow4 = scenario_placement(yarnsim::OppPlacement::PowerOfChoices(4), scale, seed);
     let place_samples: Vec<(&str, Vec<u64>)> = vec![
-        ("random placement", unbounded.container_ms(true, |c| c.nm_queue_ms)),
+        (
+            "random placement",
+            unbounded.container_ms(true, |c| c.nm_queue_ms),
+        ),
         ("power-of-2", pow2.container_ms(true, |c| c.nm_queue_ms)),
         ("power-of-4", pow4.container_ms(true, |c| c.nm_queue_ms)),
     ];
@@ -203,11 +217,26 @@ pub fn ablations(scale: Scale, seed: u64) -> Figure {
         id: "ablations",
         title: "Ablations: heartbeat, cache, init width, queue cap, placement".into(),
         tables: vec![
-            ("(1) acquisition delay vs AM heartbeat".into(), summary_table(&hb_ref)),
-            ("(2) localization with/without per-app cache (4GB payload)".into(), summary_table(&cache_samples)),
-            ("(3) executor delay vs init width (seq vs parallel)".into(), summary_table(&init_ref)),
-            ("(4) opportunistic NM queueing vs queue cap (loaded cluster)".into(), summary_table(&q_samples)),
-            ("(5) opportunistic NM queueing vs placement policy".into(), summary_table(&place_samples)),
+            (
+                "(1) acquisition delay vs AM heartbeat".into(),
+                summary_table(&hb_ref),
+            ),
+            (
+                "(2) localization with/without per-app cache (4GB payload)".into(),
+                summary_table(&cache_samples),
+            ),
+            (
+                "(3) executor delay vs init width (seq vs parallel)".into(),
+                summary_table(&init_ref),
+            ),
+            (
+                "(4) opportunistic NM queueing vs queue cap (loaded cluster)".into(),
+                summary_table(&q_samples),
+            ),
+            (
+                "(5) opportunistic NM queueing vs placement policy".into(),
+                summary_table(&place_samples),
+            ),
         ],
         notes,
     }
@@ -223,8 +252,16 @@ mod tests {
         let slow = scenario_heartbeat(3000, Scale::Quick, 131);
         let f = Summary::from_ms(&fast.container_ms(true, |c| c.acquisition_ms)).unwrap();
         let s = Summary::from_ms(&slow.container_ms(true, |c| c.acquisition_ms)).unwrap();
-        assert!(f.max <= 0.12, "100ms heartbeat: acquisition max {:.3}s", f.max);
-        assert!(s.max <= 3.1, "3000ms heartbeat: acquisition max {:.3}s", s.max);
+        assert!(
+            f.max <= 0.12,
+            "100ms heartbeat: acquisition max {:.3}s",
+            f.max
+        );
+        assert!(
+            s.max <= 3.1,
+            "3000ms heartbeat: acquisition max {:.3}s",
+            s.max
+        );
         assert!(
             s.p50 > f.p50 * 4.0,
             "slower heartbeat must stretch acquisition: {:.3}s vs {:.3}s",

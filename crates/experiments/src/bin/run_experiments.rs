@@ -11,10 +11,10 @@
 use std::io::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Mutex;
 use std::time::Instant;
 
 use experiments::{all_experiments, Figure, Scale};
-use parking_lot::Mutex;
 
 fn main() -> ExitCode {
     let mut scale = Scale::Full;
@@ -71,21 +71,23 @@ fn main() -> ExitCode {
 
     let started = Instant::now();
     let results: Mutex<Vec<(usize, Figure, f64)>> = Mutex::new(Vec::new());
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for (idx, (id, run)) in todo.iter().enumerate() {
             let results = &results;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let t0 = Instant::now();
                 let fig = run(scale, seed);
                 let dt = t0.elapsed().as_secs_f64();
-                eprintln!("[{:>6.1}s] {id} done ({dt:.1}s)", started.elapsed().as_secs_f64());
-                results.lock().push((idx, fig, dt));
+                eprintln!(
+                    "[{:>6.1}s] {id} done ({dt:.1}s)",
+                    started.elapsed().as_secs_f64()
+                );
+                results.lock().unwrap().push((idx, fig, dt));
             });
         }
-    })
-    .expect("experiment thread panicked");
+    });
 
-    let mut results = results.into_inner();
+    let mut results = results.into_inner().expect("experiment thread panicked");
     results.sort_by_key(|(idx, _, _)| *idx);
 
     let mut all = String::new();

@@ -58,19 +58,27 @@ fn parse_args() -> Result<Opts, String> {
     while i < args.len() {
         match args[i].as_str() {
             "--queries" => {
-                o.queries = value(&args, i, "--queries")?.parse().map_err(|e| format!("{e}"))?;
+                o.queries = value(&args, i, "--queries")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
                 i += 2;
             }
             "--input-mb" => {
-                o.input_mb = value(&args, i, "--input-mb")?.parse().map_err(|e| format!("{e}"))?;
+                o.input_mb = value(&args, i, "--input-mb")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
                 i += 2;
             }
             "--executors" => {
-                o.executors = value(&args, i, "--executors")?.parse().map_err(|e| format!("{e}"))?;
+                o.executors = value(&args, i, "--executors")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
                 i += 2;
             }
             "--seed" => {
-                o.seed = value(&args, i, "--seed")?.parse().map_err(|e| format!("{e}"))?;
+                o.seed = value(&args, i, "--seed")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
                 i += 2;
             }
             "--scheduler" => {
@@ -133,7 +141,13 @@ fn main() -> ExitCode {
 
     let mut rng = simkit::SimRng::new(o.seed);
     let mut queries = map_jobs(
-        tpch_stream(o.queries, o.input_mb, o.executors, &TraceParams::moderate(), &mut rng),
+        tpch_stream(
+            o.queries,
+            o.input_mb,
+            o.executors,
+            &TraceParams::moderate(),
+            &mut rng,
+        ),
         |j| {
             j.extra_files_mb = o.extra_files_mb;
             if o.docker {
@@ -167,7 +181,11 @@ fn main() -> ExitCode {
         o.queries,
         o.input_mb,
         o.executors,
-        if o.opportunistic { "opportunistic" } else { "capacity" },
+        if o.opportunistic {
+            "opportunistic"
+        } else {
+            "capacity"
+        },
         if o.docker { ", docker" } else { "" },
         if o.dfsio_writers > 0 || o.kmeans_apps > 0 {
             ", with interference"
@@ -197,7 +215,11 @@ fn main() -> ExitCode {
 
     if o.timeline {
         // Show the median-total application's timeline (the Fig 10 view).
-        let mut complete: Vec<_> = analysis.delays.iter().filter(|d| d.total_ms.is_some()).collect();
+        let mut complete: Vec<_> = analysis
+            .delays
+            .iter()
+            .filter(|d| d.total_ms.is_some())
+            .collect();
         complete.sort_by_key(|d| d.total_ms);
         if let Some(mid) = complete.get(complete.len() / 2) {
             if let Some(g) = analysis.graphs.get(&mid.app) {

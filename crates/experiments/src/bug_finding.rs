@@ -83,6 +83,10 @@ mod tests {
         // All were acquired (opportunistic grants acquire immediately) but
         // none reached a NodeManager.
         assert!(buggy.analysis.unused_containers.iter().all(|u| u.acquired));
-        assert!(buggy.analysis.unused_containers.iter().all(|u| !u.reached_nm));
+        assert!(buggy
+            .analysis
+            .unused_containers
+            .iter()
+            .all(|u| !u.reached_nm));
     }
 }

@@ -93,7 +93,13 @@ mod tests {
     fn mine_replay_roundtrip_preserves_medians() {
         // Reference corpus.
         let mut rng = scenario_rng(161);
-        let arrivals = tpch_stream(Scale::Quick.n(400), 2048.0, 4, &TraceParams::moderate(), &mut rng);
+        let arrivals = tpch_stream(
+            Scale::Quick.n(400),
+            2048.0,
+            4,
+            &TraceParams::moderate(),
+            &mut rng,
+        );
         let reference = run(arrivals.clone(), 161);
         let mined = mine_profile(&reference).expect("mineable corpus");
         assert!(mined.samples.0 >= 20, "worker samples {}", mined.samples.0);
@@ -107,7 +113,9 @@ mod tests {
 
         // Medians of the replayed components must track the mined ones.
         let m = |an: &Analysis, f: fn(&sdchecker::ContainerDelays) -> Option<u64>| {
-            Summary::from_ms(&an.container_component_ms(true, f)).unwrap().p50
+            Summary::from_ms(&an.container_component_ms(true, f))
+                .unwrap()
+                .p50
         };
         let ref_launch = m(&reference, |c| c.launching_ms);
         let rep_launch = m(&replayed, |c| c.launching_ms);
@@ -117,8 +125,12 @@ mod tests {
             "replayed launch median {rep_launch:.2}s vs mined {ref_launch:.2}s ({rel:.0}% off)"
         );
 
-        let ref_driver = Summary::from_ms(&reference.component_ms(|d| d.driver_ms)).unwrap().p50;
-        let rep_driver = Summary::from_ms(&replayed.component_ms(|d| d.driver_ms)).unwrap().p50;
+        let ref_driver = Summary::from_ms(&reference.component_ms(|d| d.driver_ms))
+            .unwrap()
+            .p50;
+        let rep_driver = Summary::from_ms(&replayed.component_ms(|d| d.driver_ms))
+            .unwrap()
+            .p50;
         let rel = (rep_driver - ref_driver).abs() / ref_driver;
         assert!(
             rel < 0.25,
@@ -129,9 +141,8 @@ mod tests {
     #[test]
     fn mine_profile_requires_evidence() {
         // An empty corpus mines nothing.
-        let empty = sdchecker::analyze_store(&logmodel::LogStore::new(
-            logmodel::Epoch::default_run(),
-        ));
+        let empty =
+            sdchecker::analyze_store(&logmodel::LogStore::new(logmodel::Epoch::default_run()));
         assert!(mine_profile(&empty).is_none());
     }
 }

@@ -43,7 +43,12 @@ pub fn scenario_app(app: App, scale: Scale, seed: u64) -> ScenarioResult {
 /// Panel (b) scenario: Spark-SQL with the opened-file count scaled by
 /// `files_multiplier` (x1 = the 8 TPC-H tables) and optionally the
 /// parallel (`opt`) init.
-pub fn scenario_files(files_multiplier: u32, parallel: bool, scale: Scale, seed: u64) -> ScenarioResult {
+pub fn scenario_files(
+    files_multiplier: u32,
+    parallel: bool,
+    scale: Scale,
+    seed: u64,
+) -> ScenarioResult {
     let n = scale.n(200);
     let mut rng = scenario_rng(seed ^ 0x11B);
     let arrivals = map_jobs(
@@ -76,7 +81,10 @@ pub fn fig11(scale: Scale, seed: u64) -> Figure {
         let r = scenario_files(m, false, scale, seed);
         b_samples.push((format!("x{m}"), r.ms(|d| d.executor_ms)));
     }
-    let b_ref: Vec<(&str, Vec<u64>)> = b_samples.iter().map(|(l, v)| (l.as_str(), v.clone())).collect();
+    let b_ref: Vec<(&str, Vec<u64>)> = b_samples
+        .iter()
+        .map(|(l, v)| (l.as_str(), v.clone()))
+        .collect();
 
     let mut notes = Vec::new();
     if let (Some(wd), Some(sd), Some(we), Some(se)) = (
@@ -108,8 +116,14 @@ pub fn fig11(scale: Scale, seed: u64) -> Figure {
         id: "fig11",
         title: "In-application delay: driver/executor components and user init".into(),
         tables: vec![
-            ("(a) driver & executor delay by application".into(), summary_table(&a_samples)),
-            ("(b) executor delay vs opened files (opt = parallel init)".into(), summary_table(&b_ref)),
+            (
+                "(a) driver & executor delay by application".into(),
+                summary_table(&a_samples),
+            ),
+            (
+                "(b) executor delay vs opened files (opt = parallel init)".into(),
+                summary_table(&b_ref),
+            ),
         ],
         notes,
     }
@@ -127,8 +141,15 @@ mod tests {
         let sd = Summary::from_ms(&sql.ms(|d| d.driver_ms)).unwrap();
         // Shared SparkContext code: medians within 30%.
         let ratio = sd.p50 / wd.p50;
-        assert!((0.7..1.3).contains(&ratio), "driver delays diverged: {ratio}");
-        assert!((2.0..5.0).contains(&sd.p50), "driver median {:.1}s (paper ~3s)", sd.p50);
+        assert!(
+            (0.7..1.3).contains(&ratio),
+            "driver delays diverged: {ratio}"
+        );
+        assert!(
+            (2.0..5.0).contains(&sd.p50),
+            "driver median {:.1}s (paper ~3s)",
+            sd.p50
+        );
 
         let we = Summary::from_ms(&wc.ms(|d| d.executor_ms)).unwrap();
         let se = Summary::from_ms(&sql.ms(|d| d.executor_ms)).unwrap();

@@ -74,7 +74,10 @@ pub fn fig12(scale: Scale, seed: u64) -> Figure {
     let levels: Vec<LevelStats> = WRITERS.iter().map(|w| collect(*w, scale, seed)).collect();
 
     let mk = |f: fn(&LevelStats) -> &Vec<u64>| -> Vec<(String, Vec<u64>)> {
-        levels.iter().map(|l| (l.label.clone(), f(l).clone())).collect()
+        levels
+            .iter()
+            .map(|l| (l.label.clone(), f(l).clone()))
+            .collect()
     };
     fn as_ref(v: &[(String, Vec<u64>)]) -> Vec<(&str, Vec<u64>)> {
         v.iter().map(|(l, s)| (l.as_str(), s.clone())).collect()
@@ -97,7 +100,9 @@ pub fn fig12(scale: Scale, seed: u64) -> Figure {
         Some(q(&Summary::from_ms(loaded)?) / q(&Summary::from_ms(base)?))
     };
     if let Some(x) = ratio(&levels[0].total, &levels[3].total, |s| s.p95) {
-        notes.push(format!("total p95 degradation @100 writers: {x:.1}x (paper 3.9x)"));
+        notes.push(format!(
+            "total p95 degradation @100 writers: {x:.1}x (paper 3.9x)"
+        ));
     }
     if let (Some(m), Some(t)) = (
         ratio(&levels[0].localization, &levels[3].localization, |s| s.p50),
@@ -108,20 +113,36 @@ pub fn fig12(scale: Scale, seed: u64) -> Figure {
         ));
     }
     if let Some(x) = ratio(&levels[0].executor, &levels[3].executor, |s| s.p95) {
-        notes.push(format!("executor-delay degradation: {x:.1}x (paper 2.5-3.5x)"));
+        notes.push(format!(
+            "executor-delay degradation: {x:.1}x (paper 2.5-3.5x)"
+        ));
     }
     if let Some(x) = ratio(&levels[0].am, &levels[3].am, |s| s.p95) {
-        notes.push(format!("AM-delay degradation: {x:.1}x (paper up to 8x — two localizations per app)"));
+        notes.push(format!(
+            "AM-delay degradation: {x:.1}x (paper up to 8x — two localizations per app)"
+        ));
     }
 
     Figure {
         id: "fig12",
         title: "IO interference (dfsIO writers) vs scheduling delay".into(),
         tables: vec![
-            ("(a) overall delays, default vs 100-interference".into(), summary_table(&as_ref(&overall))),
-            ("(b) localization delay by interference level".into(), summary_table(&as_ref(&localization))),
-            ("(c) executor delay by interference level".into(), summary_table(&as_ref(&executor))),
-            ("(d) AM delay by interference level".into(), summary_table(&as_ref(&am))),
+            (
+                "(a) overall delays, default vs 100-interference".into(),
+                summary_table(&as_ref(&overall)),
+            ),
+            (
+                "(b) localization delay by interference level".into(),
+                summary_table(&as_ref(&localization)),
+            ),
+            (
+                "(c) executor delay by interference level".into(),
+                summary_table(&as_ref(&executor)),
+            ),
+            (
+                "(d) AM delay by interference level".into(),
+                summary_table(&as_ref(&am)),
+            ),
         ],
         notes,
     }
@@ -138,12 +159,18 @@ mod tests {
         let b_tot = Summary::from_ms(&base.total).unwrap();
         let l_tot = Summary::from_ms(&loaded.total).unwrap();
         let tot_x = l_tot.p95 / b_tot.p95;
-        assert!(tot_x > 1.5, "total p95 degradation {tot_x:.2}x (paper 3.9x)");
+        assert!(
+            tot_x > 1.5,
+            "total p95 degradation {tot_x:.2}x (paper 3.9x)"
+        );
 
         let b_loc = Summary::from_ms(&base.localization).unwrap();
         let l_loc = Summary::from_ms(&loaded.localization).unwrap();
         let loc_x = l_loc.p50 / b_loc.p50;
-        assert!(loc_x > 3.0, "localization median degradation {loc_x:.2}x (paper 9.4x)");
+        assert!(
+            loc_x > 3.0,
+            "localization median degradation {loc_x:.2}x (paper 9.4x)"
+        );
         assert!(
             loc_x > tot_x,
             "localization ({loc_x:.1}x) must degrade more than total ({tot_x:.1}x)"

@@ -73,9 +73,15 @@ fn collect(apps: u32, scale: Scale, seed: u64) -> LevelStats {
 
 /// Reproduce Figure 13 (a)–(d).
 pub fn fig13(scale: Scale, seed: u64) -> Figure {
-    let levels: Vec<LevelStats> = KMEANS_APPS.iter().map(|a| collect(*a, scale, seed)).collect();
+    let levels: Vec<LevelStats> = KMEANS_APPS
+        .iter()
+        .map(|a| collect(*a, scale, seed))
+        .collect();
     let mk = |f: fn(&LevelStats) -> &Vec<u64>| -> Vec<(String, Vec<u64>)> {
-        levels.iter().map(|l| (l.label.clone(), f(l).clone())).collect()
+        levels
+            .iter()
+            .map(|l| (l.label.clone(), f(l).clone()))
+            .collect()
     };
     fn as_ref(v: &[(String, Vec<u64>)]) -> Vec<(&str, Vec<u64>)> {
         v.iter().map(|(l, s)| (l.as_str(), s.clone())).collect()
@@ -98,13 +104,19 @@ pub fn fig13(scale: Scale, seed: u64) -> Figure {
         Some(q(&Summary::from_ms(loaded)?) / q(&Summary::from_ms(base)?))
     };
     if let Some(x) = ratio(&levels[0].total, &levels[3].total, |s| s.p95) {
-        notes.push(format!("total p95 degradation @16 kmeans: {x:.1}x (paper 1.6x)"));
+        notes.push(format!(
+            "total p95 degradation @16 kmeans: {x:.1}x (paper 1.6x)"
+        ));
     }
     if let Some(x) = ratio(&levels[0].driver, &levels[3].driver, |s| s.p95) {
-        notes.push(format!("driver-delay degradation: {x:.1}x (paper up to 2.9x)"));
+        notes.push(format!(
+            "driver-delay degradation: {x:.1}x (paper up to 2.9x)"
+        ));
     }
     if let Some(x) = ratio(&levels[0].executor, &levels[3].executor, |s| s.p95) {
-        notes.push(format!("executor-delay degradation: {x:.1}x (paper up to 2.4x)"));
+        notes.push(format!(
+            "executor-delay degradation: {x:.1}x (paper up to 2.4x)"
+        ));
     }
     if let (Some(in_x), Some(out_x), Some(loc_x)) = (
         ratio(&levels[0].in_app, &levels[3].in_app, |s| s.p95),
@@ -120,10 +132,22 @@ pub fn fig13(scale: Scale, seed: u64) -> Figure {
         id: "fig13",
         title: "CPU interference (Kmeans) vs scheduling delay".into(),
         tables: vec![
-            ("(a) overall delays, default vs 16-kmeans".into(), summary_table(&as_ref(&overall))),
-            ("(b) executor delay by interference level".into(), summary_table(&as_ref(&executor))),
-            ("(c) driver delay by interference level".into(), summary_table(&as_ref(&driver))),
-            ("(d) localization delay by interference level".into(), summary_table(&as_ref(&localization))),
+            (
+                "(a) overall delays, default vs 16-kmeans".into(),
+                summary_table(&as_ref(&overall)),
+            ),
+            (
+                "(b) executor delay by interference level".into(),
+                summary_table(&as_ref(&executor)),
+            ),
+            (
+                "(c) driver delay by interference level".into(),
+                summary_table(&as_ref(&driver)),
+            ),
+            (
+                "(d) localization delay by interference level".into(),
+                summary_table(&as_ref(&localization)),
+            ),
         ],
         notes,
     }
@@ -150,7 +174,10 @@ mod tests {
             in_x > loc_x,
             "in-app ({in_x:.2}x) must degrade more than localization ({loc_x:.2}x)"
         );
-        assert!(loc_x < 3.0, "localization should be mildly affected: {loc_x:.2}x");
+        assert!(
+            loc_x < 3.0,
+            "localization should be mildly affected: {loc_x:.2}x"
+        );
     }
 
     #[test]

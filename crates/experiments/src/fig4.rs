@@ -49,19 +49,31 @@ pub fn fig4(scale: Scale, seed: u64) -> Figure {
     let norm: Vec<(&str, Vec<f64>)> = vec![
         (
             "total/job",
-            measured.iter().filter_map(|d| d.total_over_runtime()).collect(),
+            measured
+                .iter()
+                .filter_map(|d| d.total_over_runtime())
+                .collect(),
         ),
         (
             "am/total",
-            measured.iter().filter_map(|d| d.normalized(d.am_ms)).collect(),
+            measured
+                .iter()
+                .filter_map(|d| d.normalized(d.am_ms))
+                .collect(),
         ),
         (
             "in/total",
-            measured.iter().filter_map(|d| d.normalized(d.in_app_ms)).collect(),
+            measured
+                .iter()
+                .filter_map(|d| d.normalized(d.in_app_ms))
+                .collect(),
         ),
         (
             "out/total",
-            measured.iter().filter_map(|d| d.normalized(d.out_app_ms)).collect(),
+            measured
+                .iter()
+                .filter_map(|d| d.normalized(d.out_app_ms))
+                .collect(),
         ),
     ];
     let normalized = ratio_summary_table(&norm);
@@ -143,7 +155,10 @@ pub fn table3(scale: Scale, seed: u64) -> Figure {
     // Allocation decision share: the RM-side portion of alloc delay is the
     // decision latency; the paper attributes <1% to it. We report the
     // acquisition-quantized alloc delay separately below.
-    push("1. alloc-delays (START_ALLO->END_ALLO)", r.ms(|d| d.alloc_ms));
+    push(
+        "1. alloc-delays (START_ALLO->END_ALLO)",
+        r.ms(|d| d.alloc_ms),
+    );
     push(
         "2. acqui-delays (per executor container)",
         r.container_ms(true, |c| c.acquisition_ms),
@@ -187,16 +202,37 @@ mod tests {
         let out = Summary::from_ms(&r.ms(|d| d.out_app_ms)).unwrap();
 
         // Shape claims (who wins, roughly by how much):
-        assert!(inn.p50 > out.p50 * 1.5, "in ({}) must dominate out ({})", inn.p50, out.p50);
-        assert!(total.p95 > 10.0 && total.p95 < 40.0, "total p95 {}", total.p95);
+        assert!(
+            inn.p50 > out.p50 * 1.5,
+            "in ({}) must dominate out ({})",
+            inn.p50,
+            out.p50
+        );
+        assert!(
+            total.p95 > 10.0 && total.p95 < 40.0,
+            "total p95 {}",
+            total.p95
+        );
         assert!(am.p95 > 3.0 && am.p95 < 12.0, "am p95 {}", am.p95);
 
         // Normalized claims.
-        let fracs: Vec<f64> = r.measured().iter().filter_map(|d| d.total_over_runtime()).collect();
+        let fracs: Vec<f64> = r
+            .measured()
+            .iter()
+            .filter_map(|d| d.total_over_runtime())
+            .collect();
         let f = Summary::from(&fracs).unwrap();
-        assert!(f.p50 > 0.15 && f.p50 < 0.6, "sched/runtime median {}", f.p50);
+        assert!(
+            f.p50 > 0.15 && f.p50 < 0.6,
+            "sched/runtime median {}",
+            f.p50
+        );
 
-        let in_fracs: Vec<f64> = r.measured().iter().filter_map(|d| d.normalized(d.in_app_ms)).collect();
+        let in_fracs: Vec<f64> = r
+            .measured()
+            .iter()
+            .filter_map(|d| d.normalized(d.in_app_ms))
+            .collect();
         let inf = Summary::from(&in_fracs).unwrap();
         assert!(inf.p50 > 0.55, "in/total median {} (paper >0.7)", inf.p50);
     }

@@ -55,10 +55,8 @@ pub fn fig5(scale: Scale, seed: u64) -> Figure {
         .iter()
         .map(|(l, v)| (l.as_str(), v.clone()))
         .collect();
-    let norms_ref: Vec<(&str, Vec<f64>)> = norms
-        .iter()
-        .map(|(l, v)| (l.as_str(), v.clone()))
-        .collect();
+    let norms_ref: Vec<(&str, Vec<f64>)> =
+        norms.iter().map(|(l, v)| (l.as_str(), v.clone())).collect();
 
     let mut notes = Vec::new();
     let small = Summary::from_ms(&totals[0].1);

@@ -39,8 +39,14 @@ pub fn fig6(scale: Scale, seed: u64) -> Figure {
                 .collect(),
         ));
     }
-    let t_ref: Vec<(&str, Vec<u64>)> = totals.iter().map(|(l, v)| (l.as_str(), v.clone())).collect();
-    let s_ref: Vec<(&str, Vec<u64>)> = spreads.iter().map(|(l, v)| (l.as_str(), v.clone())).collect();
+    let t_ref: Vec<(&str, Vec<u64>)> = totals
+        .iter()
+        .map(|(l, v)| (l.as_str(), v.clone()))
+        .collect();
+    let s_ref: Vec<(&str, Vec<u64>)> = spreads
+        .iter()
+        .map(|(l, v)| (l.as_str(), v.clone()))
+        .collect();
 
     let mut notes = Vec::new();
     if let (Some(lo), Some(mid), Some(hi)) = (
@@ -53,7 +59,10 @@ pub fn fig6(scale: Scale, seed: u64) -> Figure {
             lo.p95, mid.p95, hi.p95
         ));
     }
-    if let (Some(lo), Some(hi)) = (Summary::from_ms(&spreads[0].1), Summary::from_ms(&spreads[2].1)) {
+    if let (Some(lo), Some(hi)) = (
+        Summary::from_ms(&spreads[0].1),
+        Summary::from_ms(&spreads[2].1),
+    ) {
         notes.push(format!(
             "Cl-Cf spread p95: {:.2}s @4 exec vs {:.2}s @16 — more executors, wider spread",
             lo.p95, hi.p95
@@ -68,7 +77,10 @@ pub fn fig6(scale: Scale, seed: u64) -> Figure {
                 "(a) total delay CDFs by executor count".into(),
                 cdf_table(&t_ref, &crate::fig4::CDF_QS),
             ),
-            ("(b) Cl-Cf delay (first to last container launch)".into(), summary_table(&s_ref)),
+            (
+                "(b) Cl-Cf delay (first to last container launch)".into(),
+                summary_table(&s_ref),
+            ),
             ("total delay summary".into(), summary_table(&t_ref)),
         ],
         notes,
@@ -91,8 +103,16 @@ mod tests {
             t_hi.p95,
             t_lo.p95
         );
-        let s_lo: Vec<u64> = lo.measured().iter().filter_map(|d| d.cl_minus_cf_ms()).collect();
-        let s_hi: Vec<u64> = hi.measured().iter().filter_map(|d| d.cl_minus_cf_ms()).collect();
+        let s_lo: Vec<u64> = lo
+            .measured()
+            .iter()
+            .filter_map(|d| d.cl_minus_cf_ms())
+            .collect();
+        let s_hi: Vec<u64> = hi
+            .measured()
+            .iter()
+            .filter_map(|d| d.cl_minus_cf_ms())
+            .collect();
         let s_lo = Summary::from_ms(&s_lo).unwrap();
         let s_hi = Summary::from_ms(&s_hi).unwrap();
         assert!(

@@ -43,7 +43,10 @@ pub fn scenario_queueing(opportunistic: bool, scale: Scale, seed: u64) -> Scenar
     // dimension the stock scheduler packs by), each ~2 min of CPU,
     // resubmitted so the cluster stays full for the whole trace.
     let mut filler = profiles::mr_wordcount(775.0 * 128.0);
-    filler.executor_resource = yarnsim::ResourceReq { mem_mb: 4096, vcores: 1 };
+    filler.executor_resource = yarnsim::ResourceReq {
+        mem_mb: 4096,
+        vcores: 1,
+    };
     filler.stages[0].tasks = 775;
     filler.stages[0].task_cpu_ms = simkit::Dist::lognormal(120_000.0, 0.10);
     filler.stages[1].tasks = 0;
@@ -74,7 +77,10 @@ pub fn scenario_acquisition(load: f64, scale: Scale, seed: u64) -> ScenarioResul
     let mut arrivals = queries;
     if maps > 0 {
         let mut ld = profiles::mr_wordcount(maps as f64 * 128.0);
-        ld.executor_resource = yarnsim::ResourceReq { mem_mb: 4096, vcores: 1 };
+        ld.executor_resource = yarnsim::ResourceReq {
+            mem_mb: 4096,
+            vcores: 1,
+        };
         ld.stages[0].task_cpu_ms = simkit::Dist::lognormal(100_000.0, 0.10);
         ld.stages[1].tasks = 0;
         let loaders = periodic(
@@ -149,9 +155,18 @@ pub fn fig7(scale: Scale, seed: u64) -> Figure {
         id: "fig7",
         title: "Schedulers: allocation delay, NM queueing, acquisition vs load".into(),
         tables: vec![
-            ("(a) container allocation delay by scheduler".into(), summary_table(&alloc_samples)),
-            ("(b) NM queueing delay on a loaded cluster".into(), summary_table(&queue_samples)),
-            ("(c) acquisition delay vs cluster load".into(), summary_table(&acq_ref)),
+            (
+                "(a) container allocation delay by scheduler".into(),
+                summary_table(&alloc_samples),
+            ),
+            (
+                "(b) NM queueing delay on a loaded cluster".into(),
+                summary_table(&queue_samples),
+            ),
+            (
+                "(c) acquisition delay vs cluster load".into(),
+                summary_table(&acq_ref),
+            ),
         ],
         notes,
     }
@@ -173,8 +188,16 @@ mod tests {
             c.p50,
             d.p50
         );
-        assert!(d.p95 < 0.5, "distributed p95 {:.3}s should be sub-second", d.p95);
-        assert!(c.p95 > 0.8, "centralized p95 {:.3}s should be ~seconds", c.p95);
+        assert!(
+            d.p95 < 0.5,
+            "distributed p95 {:.3}s should be sub-second",
+            d.p95
+        );
+        assert!(
+            c.p95 > 0.8,
+            "centralized p95 {:.3}s should be ~seconds",
+            c.p95
+        );
     }
 
     #[test]
@@ -201,8 +224,16 @@ mod tests {
         let hi = scenario_acquisition(1.0, Scale::Quick, 41);
         let a_lo = Summary::from_ms(&lo.container_ms(true, |c| c.acquisition_ms)).unwrap();
         let a_hi = Summary::from_ms(&hi.container_ms(true, |c| c.acquisition_ms)).unwrap();
-        assert!(a_lo.max <= 1.1, "acquisition max {:.3}s > heartbeat", a_lo.max);
-        assert!(a_hi.max <= 1.1, "acquisition max {:.3}s > heartbeat", a_hi.max);
+        assert!(
+            a_lo.max <= 1.1,
+            "acquisition max {:.3}s > heartbeat",
+            a_lo.max
+        );
+        assert!(
+            a_hi.max <= 1.1,
+            "acquisition max {:.3}s > heartbeat",
+            a_hi.max
+        );
         // Load-insensitive: medians within 3x of each other.
         let ratio = a_hi.p50 / a_lo.p50.max(1e-9);
         assert!((0.33..3.0).contains(&ratio), "medians diverged: {ratio}");

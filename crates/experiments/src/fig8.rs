@@ -39,8 +39,14 @@ pub fn fig8(scale: Scale, seed: u64) -> Figure {
         totals.push((label.clone(), r.ms(|d| d.total_ms)));
         locals.push((label, r.container_ms(false, |c| c.localization_ms)));
     }
-    let t_ref: Vec<(&str, Vec<u64>)> = totals.iter().map(|(l, v)| (l.as_str(), v.clone())).collect();
-    let l_ref: Vec<(&str, Vec<u64>)> = locals.iter().map(|(l, v)| (l.as_str(), v.clone())).collect();
+    let t_ref: Vec<(&str, Vec<u64>)> = totals
+        .iter()
+        .map(|(l, v)| (l.as_str(), v.clone()))
+        .collect();
+    let l_ref: Vec<(&str, Vec<u64>)> = locals
+        .iter()
+        .map(|(l, v)| (l.as_str(), v.clone()))
+        .collect();
 
     let mut notes = Vec::new();
     if let (Some(small), Some(big)) = (
@@ -60,8 +66,14 @@ pub fn fig8(scale: Scale, seed: u64) -> Figure {
         id: "fig8",
         title: "Localization delay vs localized file size".into(),
         tables: vec![
-            ("(a) total delay by payload size".into(), summary_table(&t_ref)),
-            ("(b) localization delay by payload size".into(), summary_table(&l_ref)),
+            (
+                "(a) total delay by payload size".into(),
+                summary_table(&t_ref),
+            ),
+            (
+                "(b) localization delay by payload size".into(),
+                summary_table(&l_ref),
+            ),
             (
                 "(b') localization CDFs".into(),
                 cdf_table(&l_ref, &crate::fig4::CDF_QS),

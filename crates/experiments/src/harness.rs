@@ -2,15 +2,15 @@
 //! feed the log corpus to SDchecker, and keep job-kind attribution so
 //! measured populations can be separated from interference populations.
 
-use logmodel::ApplicationId;
-use sdchecker::{analyze_store, Analysis, AppDelays};
+use logmodel::{ApplicationId, Parallelism};
+use sdchecker::{analyze_store_with, Analysis, AppDelays};
 use simkit::{Millis, SimRng};
 use sparksim::{simulate, JobSpec, JobSummary};
 use yarnsim::ClusterConfig;
 
 /// Experiment scale: `Full` regenerates the paper's populations; `Quick`
-/// shrinks them for CI tests and Criterion benches while keeping every
-/// code path (same scenario structure, fewer jobs).
+/// shrinks them for CI tests and benches while keeping every code path
+/// (same scenario structure, fewer jobs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
     /// Paper-sized populations (e.g. 2 000-query long trace).
@@ -54,12 +54,7 @@ impl ScenarioResult {
             .delays
             .iter()
             .filter(|d| d.total_ms.is_some())
-            .filter(|d| {
-                matches!(
-                    self.kind_of(d.app),
-                    Some("spark-sql") | Some("spark-wc")
-                )
-            })
+            .filter(|d| matches!(self.kind_of(d.app), Some("spark-sql") | Some("spark-wc")))
             .collect()
     }
 
@@ -93,7 +88,9 @@ pub fn run_scenario(
 ) -> ScenarioResult {
     let kinds: Vec<&'static str> = arrivals.iter().map(|(_, s)| s.kind.tag()).collect();
     let (logs, summaries) = simulate(cfg, seed, arrivals, horizon);
-    let analysis = analyze_store(&logs);
+    // The parallel pipeline is byte-identical to the sequential one (see
+    // sdchecker's k-way merge), so experiments can always use it.
+    let analysis = analyze_store_with(&logs, Parallelism::auto());
     ScenarioResult {
         analysis,
         summaries,

@@ -30,7 +30,10 @@ pub fn scenario_localization(optimized: bool, scale: Scale, seed: u64) -> Scenar
     );
     let last = queries.last().map(|(t, _)| *t).unwrap_or(Millis::ZERO);
     let gb = (last.as_f64() * 0.09 / 1024.0).max(20.0);
-    let arrivals = merge(vec![queries, vec![(Millis::ZERO, profiles::dfsio(100, gb))]]);
+    let arrivals = merge(vec![
+        queries,
+        vec![(Millis::ZERO, profiles::dfsio(100, gb))],
+    ]);
     let cfg = if optimized {
         ClusterConfig {
             // An SSD/RAM-disk storage class serving only localization:
@@ -76,7 +79,10 @@ pub fn scenario_combined(scale: Scale, seed: u64) -> ScenarioResult {
     );
     let last = queries.last().map(|(t, _)| *t).unwrap_or(Millis::ZERO);
     let gb = (last.as_f64() * 0.09 / 1024.0).max(20.0);
-    let arrivals = merge(vec![queries, vec![(Millis::ZERO, profiles::dfsio(100, gb))]]);
+    let arrivals = merge(vec![
+        queries,
+        vec![(Millis::ZERO, profiles::dfsio(100, gb))],
+    ]);
     let cfg = ClusterConfig {
         localization_store_mb_per_ms: Some(0.8),
         public_localization_cache: true,
@@ -91,8 +97,14 @@ pub fn optimizations(scale: Scale, seed: u64) -> Figure {
     let base_io = scenario_localization(false, scale, seed);
     let opt_io = scenario_localization(true, scale, seed);
     let loc_samples: Vec<(&str, Vec<u64>)> = vec![
-        ("localization/base+dfsio", base_io.container_ms(false, |c| c.localization_ms)),
-        ("localization/opt+dfsio", opt_io.container_ms(false, |c| c.localization_ms)),
+        (
+            "localization/base+dfsio",
+            base_io.container_ms(false, |c| c.localization_ms),
+        ),
+        (
+            "localization/opt+dfsio",
+            opt_io.container_ms(false, |c| c.localization_ms),
+        ),
         ("total/base+dfsio", base_io.ms(|d| d.total_ms)),
         ("total/opt+dfsio", opt_io.ms(|d| d.total_ms)),
     ];
@@ -156,9 +168,15 @@ pub fn optimizations(scale: Scale, seed: u64) -> Figure {
         id: "opts",
         title: "§V-B proposed optimizations, implemented and measured".into(),
         tables: vec![
-            ("(1) localization service vs dfsIO interference".into(), summary_table(&loc_samples)),
+            (
+                "(1) localization service vs dfsIO interference".into(),
+                summary_table(&loc_samples),
+            ),
             ("(2) JVM reuse".into(), summary_table(&jvm_samples)),
-            ("(3) combined under interference".into(), summary_table(&combined_samples)),
+            (
+                "(3) combined under interference".into(),
+                summary_table(&combined_samples),
+            ),
         ],
         notes,
     }
@@ -181,7 +199,11 @@ mod tests {
             b.p50
         );
         // The public cache means repeat queries skip downloads entirely.
-        assert!(o.min < 0.2, "public-cache hits should be near-instant: {:.2}s", o.min);
+        assert!(
+            o.min < 0.2,
+            "public-cache hits should be near-instant: {:.2}s",
+            o.min
+        );
     }
 
     #[test]

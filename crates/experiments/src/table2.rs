@@ -36,12 +36,7 @@ pub fn scenario(load: f64, scale: Scale, seed: u64) -> ScenarioResult {
         resource_calculator: ResourceCalculator::MemoryOnly,
         ..ClusterConfig::default()
     };
-    run_scenario(
-        cfg,
-        seed,
-        vec![(Millis(100), job)],
-        default_horizon(),
-    )
+    run_scenario(cfg, seed, vec![(Millis(100), job)], default_horizon())
 }
 
 /// Measured throughput (peak 1-second window) at one load level.
@@ -71,12 +66,14 @@ pub fn table2(scale: Scale, seed: u64) -> Figure {
         id: "table2",
         title: "Container allocation throughput vs cluster load".into(),
         tables: vec![("throughput".into(), t)],
-        notes: vec![
-            format!(
-                "throughput grows with load ({}), saturating near the RM batch rate",
-                if monotone { "monotone, as in the paper" } else { "NON-MONOTONE — check calibration" }
-            ),
-        ],
+        notes: vec![format!(
+            "throughput grows with load ({}), saturating near the RM batch rate",
+            if monotone {
+                "monotone, as in the paper"
+            } else {
+                "NON-MONOTONE — check calibration"
+            }
+        )],
     }
 }
 

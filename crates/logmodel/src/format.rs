@@ -99,7 +99,12 @@ pub fn parse_timestamp(s: &str) -> Option<u64> {
         return None;
     }
     let b = s.as_bytes();
-    if b[4] != b'-' || b[7] != b'-' || b[10] != b' ' || b[13] != b':' || b[16] != b':' || b[19] != b','
+    if b[4] != b'-'
+        || b[7] != b'-'
+        || b[10] != b' '
+        || b[13] != b':'
+        || b[16] != b':'
+        || b[19] != b','
     {
         return None;
     }
@@ -159,7 +164,10 @@ mod tests {
     fn epoch_rendering() {
         let e = Epoch::default_run();
         assert_eq!(format_timestamp(&e, TsMs(0)), "2018-03-14 09:00:00,000");
-        assert_eq!(format_timestamp(&e, TsMs(17_123)), "2018-03-14 09:00:17,123");
+        assert_eq!(
+            format_timestamp(&e, TsMs(17_123)),
+            "2018-03-14 09:00:17,123"
+        );
         // Crosses a minute and an hour.
         assert_eq!(
             format_timestamp(&e, TsMs(3_600_000 + 61_005)),
@@ -228,13 +236,16 @@ mod tests {
     fn parse_line_skips_non_log_lines() {
         let e = Epoch::default_run();
         assert_eq!(parse_line(&e, ""), None);
-        assert_eq!(parse_line(&e, "    at java.lang.Thread.run(Thread.java:748)"), None);
-        assert_eq!(parse_line(&e, "SLF4J: Class path contains multiple bindings"), None);
-        // Pre-epoch timestamps are rejected (cannot be mapped to offsets).
         assert_eq!(
-            parse_line(&e, "2018-03-14 08:59:59,999 INFO  C: m"),
+            parse_line(&e, "    at java.lang.Thread.run(Thread.java:748)"),
             None
         );
+        assert_eq!(
+            parse_line(&e, "SLF4J: Class path contains multiple bindings"),
+            None
+        );
+        // Pre-epoch timestamps are rejected (cannot be mapped to offsets).
+        assert_eq!(parse_line(&e, "2018-03-14 08:59:59,999 INFO  C: m"), None);
     }
 
     #[test]

@@ -73,7 +73,9 @@ impl FromStr for ApplicationId {
         let rest = s
             .strip_prefix("application_")
             .ok_or_else(|| err("ApplicationId", s))?;
-        let (ts, seq) = rest.split_once('_').ok_or_else(|| err("ApplicationId", s))?;
+        let (ts, seq) = rest
+            .split_once('_')
+            .ok_or_else(|| err("ApplicationId", s))?;
         Ok(ApplicationId {
             cluster_ts: ts.parse().map_err(|_| err("ApplicationId", s))?,
             seq: seq.parse().map_err(|_| err("ApplicationId", s))?,
@@ -334,7 +336,10 @@ mod tests {
         let n = NodeId(7);
         assert_eq!(n.to_string(), "node07.cluster.local:45454");
         assert_eq!(n.to_string().parse::<NodeId>().unwrap(), n);
-        assert_eq!("node12.cluster.local".parse::<NodeId>().unwrap(), NodeId(12));
+        assert_eq!(
+            "node12.cluster.local".parse::<NodeId>().unwrap(),
+            NodeId(12)
+        );
     }
 
     #[test]
@@ -355,10 +360,7 @@ mod tests {
              which has 3 containers; app {app} total 2"
         );
         let ids = scan_ids(&msg);
-        assert_eq!(
-            ids,
-            vec![ScannedId::Container(cont), ScannedId::App(app)]
-        );
+        assert_eq!(ids, vec![ScannedId::Container(cont), ScannedId::App(app)]);
         assert_eq!(ids[0].app(), app);
     }
 

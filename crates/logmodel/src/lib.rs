@@ -20,11 +20,15 @@
 
 pub mod format;
 pub mod ids;
+pub mod par;
 pub mod record;
 pub mod store;
 
 pub use format::{format_timestamp, parse_line, parse_timestamp, Epoch};
-pub use ids::{scan_ids, AppAttemptId, ApplicationId, ContainerId, IdParseError, NodeId, ScannedId};
+pub use ids::{
+    scan_ids, AppAttemptId, ApplicationId, ContainerId, IdParseError, NodeId, ScannedId,
+};
+pub use par::Parallelism;
 pub use record::{Level, LogRecord, LogSource};
 pub use store::LogStore;
 

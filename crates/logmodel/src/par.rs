@@ -1,0 +1,151 @@
+//! A minimal scoped worker pool for the offline analysis pipeline.
+//!
+//! SDchecker's workload is embarrassingly parallel at two granularities —
+//! per log stream and per application — so all we need is a deterministic
+//! ordered `map` over a work list. This module provides exactly that on
+//! `std::thread::scope` (no external dependencies): results come back in
+//! input order regardless of which worker ran which item, and
+//! `Parallelism::ONE` runs the plain sequential loop on the calling thread
+//! with no pool at all, so the single-threaded path is byte-for-byte the
+//! pre-parallelism code path.
+//!
+//! Later PRs should reuse this instead of hand-rolling thread scopes.
+
+use std::sync::Mutex;
+
+/// How many worker threads a pipeline stage may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism {
+    threads: usize,
+}
+
+impl Parallelism {
+    /// Strictly sequential: run everything on the calling thread.
+    pub const ONE: Parallelism = Parallelism { threads: 1 };
+
+    /// Exactly `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Parallelism {
+        Parallelism {
+            threads: threads.max(1),
+        }
+    }
+
+    /// One worker per available hardware thread.
+    pub fn auto() -> Parallelism {
+        Parallelism::new(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+    }
+
+    /// The configured worker count.
+    pub fn threads(self) -> usize {
+        self.threads
+    }
+
+    /// Whether this configuration runs the sequential code path.
+    pub fn is_sequential(self) -> bool {
+        self.threads == 1
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Parallelism {
+        Parallelism::auto()
+    }
+}
+
+/// Apply `f` to every item, returning results in input order.
+///
+/// With `Parallelism::ONE` (or fewer than two items) this is exactly
+/// `items.into_iter().map(f).collect()` on the calling thread. Otherwise a
+/// scoped pool of `min(threads, items)` workers pulls items off a shared
+/// queue; the pool lives only for the duration of the call, so `f` may
+/// borrow from the caller's stack.
+///
+/// A panic in `f` propagates to the caller once all workers have stopped.
+pub fn map<T, R, F>(par: Parallelism, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    if par.is_sequential() || items.len() < 2 {
+        return items.into_iter().map(f).collect();
+    }
+    let n = items.len();
+    let workers = par.threads().min(n);
+    let queue = Mutex::new(items.into_iter().enumerate());
+    let done: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| {
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    // Take one item per lock so a slow item cannot starve
+                    // the other workers of the rest of the queue.
+                    let Some((idx, item)) = queue.lock().unwrap().next() else {
+                        break;
+                    };
+                    local.push((idx, f(item)));
+                }
+                done.lock().unwrap().append(&mut local);
+            });
+        }
+    });
+    let mut done = done.into_inner().unwrap();
+    debug_assert_eq!(done.len(), n);
+    done.sort_by_key(|(idx, _)| *idx);
+    done.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let items: Vec<u64> = (0..100).collect();
+        let seq = map(Parallelism::ONE, items.clone(), |x| x * x);
+        for threads in [2, 3, 8, 64] {
+            let par = map(Parallelism::new(threads), items.clone(), |x| x * x);
+            assert_eq!(par, seq, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn order_is_input_order_despite_uneven_work() {
+        let items: Vec<usize> = (0..32).collect();
+        let out = map(Parallelism::new(4), items, |i| {
+            if i % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            i
+        });
+        assert_eq!(out, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn borrows_from_caller_stack() {
+        let base = [10u64, 20, 30];
+        let out = map(Parallelism::new(2), vec![0usize, 1, 2], |i| base[i] + 1);
+        assert_eq!(out, vec![11, 21, 31]);
+    }
+
+    #[test]
+    fn empty_and_single_item() {
+        let out: Vec<u32> = map(Parallelism::new(8), Vec::<u32>::new(), |x| x);
+        assert!(out.is_empty());
+        let out = map(Parallelism::new(8), vec![5u32], |x| x + 1);
+        assert_eq!(out, vec![6]);
+    }
+
+    #[test]
+    fn parallelism_clamps_and_defaults() {
+        assert_eq!(Parallelism::new(0).threads(), 1);
+        assert!(Parallelism::ONE.is_sequential());
+        assert!(Parallelism::auto().threads() >= 1);
+        assert!(!Parallelism::new(2).is_sequential());
+    }
+}

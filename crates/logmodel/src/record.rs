@@ -134,7 +134,12 @@ pub struct LogRecord {
 
 impl LogRecord {
     /// Construct a record.
-    pub fn new(ts: TsMs, level: Level, class: impl Into<String>, message: impl Into<String>) -> LogRecord {
+    pub fn new(
+        ts: TsMs,
+        level: Level,
+        class: impl Into<String>,
+        message: impl Into<String>,
+    ) -> LogRecord {
         LogRecord {
             ts,
             level,

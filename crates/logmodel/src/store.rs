@@ -8,9 +8,10 @@
 use std::collections::BTreeMap;
 use std::fs;
 use std::io::{self, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use crate::format::{format_line, parse_line, Epoch};
+use crate::par::{self, Parallelism};
 use crate::record::{Level, LogRecord, LogSource};
 use crate::TsMs;
 
@@ -44,13 +45,7 @@ impl LogStore {
     }
 
     /// Convenience: append an INFO record.
-    pub fn info(
-        &mut self,
-        source: LogSource,
-        ts: TsMs,
-        class: &str,
-        message: impl Into<String>,
-    ) {
+    pub fn info(&mut self, source: LogSource, ts: TsMs, class: &str, message: impl Into<String>) {
         self.push(source, LogRecord::new(ts, Level::Info, class, message));
     }
 
@@ -74,7 +69,8 @@ impl LogStore {
     /// order (which the simulator guarantees is time order).
     pub fn iter_lines(&self) -> impl Iterator<Item = (LogSource, String)> + '_ {
         self.sources.iter().flat_map(move |(src, recs)| {
-            recs.iter().map(move |r| (*src, format_line(&self.epoch, r)))
+            recs.iter()
+                .map(move |r| (*src, format_line(&self.epoch, r)))
         })
     }
 
@@ -114,6 +110,15 @@ impl LogStore {
     /// silently skipped, mirroring how the real tool must tolerate stack
     /// traces and banners.
     pub fn read_dir(dir: &Path) -> io::Result<LogStore> {
+        Self::read_dir_with(dir, Parallelism::ONE)
+    }
+
+    /// [`LogStore::read_dir`] with one parse task per log file spread over
+    /// `par` worker threads. The result is identical for every thread
+    /// count: files are enumerated and merged in sorted-relative-path
+    /// order, and each source's records are stably re-sorted by timestamp
+    /// afterwards (rotated segments `x.log.1` merge into the same source).
+    pub fn read_dir_with(dir: &Path, par: Parallelism) -> io::Result<LogStore> {
         let epoch = match fs::read_to_string(dir.join("epoch.txt")) {
             Ok(s) => Epoch {
                 unix_ms: s.trim().parse().map_err(|e| {
@@ -122,7 +127,11 @@ impl LogStore {
             },
             Err(_) => Epoch::default_run(),
         };
-        let mut store = LogStore::new(epoch);
+        // Enumerate log files first (cheap), then parse them in parallel
+        // (the expensive part). Sorting by relative path pins the merge
+        // order so the store's contents never depend on directory
+        // iteration order or worker scheduling.
+        let mut files: Vec<(LogSource, String, PathBuf)> = Vec::new();
         let mut stack = vec![dir.to_path_buf()];
         while let Some(d) = stack.pop() {
             for entry in fs::read_dir(&d)? {
@@ -140,16 +149,30 @@ impl LogStore {
                 let Some(src) = LogSource::from_rel_path(&rel) else {
                     continue; // epoch.txt, stray files
                 };
+                files.push((src, rel, path));
+            }
+        }
+        files.sort_by(|a, b| a.1.cmp(&b.1));
+
+        let parsed: Vec<io::Result<(LogSource, Vec<LogRecord>)>> =
+            par::map(par, files, |(src, _, path)| {
                 let text = fs::read_to_string(&path)?;
-                for line in text.lines() {
-                    if let Some(rec) = parse_line(&epoch, line) {
-                        store.push(src, rec);
-                    }
-                }
+                let recs = text
+                    .lines()
+                    .filter_map(|line| parse_line(&epoch, line))
+                    .collect();
+                Ok((src, recs))
+            });
+
+        let mut store = LogStore::new(epoch);
+        for result in parsed {
+            let (src, recs) = result?;
+            for rec in recs {
+                store.push(src, rec);
             }
         }
         // Rotated segments (`x.log.1`) merge into the same source but may
-        // arrive in arbitrary directory order; restore time order so
+        // arrive in arbitrary file order; restore time order so
         // first-record semantics (driver/executor FIRST_LOG) hold.
         for recs in store.sources_mut() {
             recs.sort_by_key(|r| r.ts);
@@ -205,7 +228,10 @@ mod tests {
         assert_eq!(s.records(LogSource::ResourceManager).len(), 1);
         let app = ApplicationId::new(s.epoch().unix_ms, 1);
         assert_eq!(s.records(LogSource::Driver(app)).len(), 1);
-        assert_eq!(s.records(LogSource::Driver(ApplicationId::new(1, 9))).len(), 0);
+        assert_eq!(
+            s.records(LogSource::Driver(ApplicationId::new(1, 9))).len(),
+            0
+        );
     }
 
     #[test]

@@ -1,68 +1,125 @@
 //! Property-based tests: every identifier and timestamp format must
 //! round-trip, and ID scanning must find whatever the simulator embeds —
 //! the load-bearing contract between log writer and log miner.
+//!
+//! Properties run as seeded randomized loops over `simkit::SimRng` (the
+//! workspace is dependency-free, so there is no proptest); each case is
+//! deterministic per seed.
 
 use logmodel::{
     format_timestamp, parse_line, parse_timestamp, scan_ids, ApplicationId, ContainerId, Epoch,
     Level, LogRecord, LogSource, NodeId, ScannedId, TsMs,
 };
-use proptest::prelude::*;
+use simkit::SimRng;
 
-proptest! {
-    #[test]
-    fn application_id_roundtrip(ts in 1u64..10_000_000_000_000, seq in 1u32..1_000_000) {
+const CASES: u64 = 256;
+
+fn pick(rng: &mut SimRng, alphabet: &[u8], len_lo: u64, len_hi: u64) -> String {
+    let len = rng.range(len_lo, len_hi);
+    (0..len)
+        .map(|_| alphabet[rng.index(alphabet.len())] as char)
+        .collect()
+}
+
+#[test]
+fn application_id_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = SimRng::new(0x10 + case);
+        let ts = rng.range(1, 10_000_000_000_000);
+        let seq = rng.range(1, 1_000_000) as u32;
         let id = ApplicationId::new(ts, seq);
-        prop_assert_eq!(id.to_string().parse::<ApplicationId>().unwrap(), id);
+        assert_eq!(
+            id.to_string().parse::<ApplicationId>().unwrap(),
+            id,
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn container_id_roundtrip(ts in 1u64..10_000_000_000_000, seq in 1u32..100_000,
-                              attempt in 1u32..99, c in 1u64..10_000_000) {
+#[test]
+fn container_id_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = SimRng::new(0x11 + case);
+        let ts = rng.range(1, 10_000_000_000_000);
+        let seq = rng.range(1, 100_000) as u32;
+        let attempt = rng.range(1, 99) as u32;
+        let c = rng.range(1, 10_000_000);
         let id = ApplicationId::new(ts, seq).attempt(attempt).container(c);
-        prop_assert_eq!(id.to_string().parse::<ContainerId>().unwrap(), id);
+        assert_eq!(
+            id.to_string().parse::<ContainerId>().unwrap(),
+            id,
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn node_id_roundtrip(n in 0u32..10_000) {
-        let id = NodeId(n);
-        prop_assert_eq!(id.to_string().parse::<NodeId>().unwrap(), id);
+#[test]
+fn node_id_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = SimRng::new(0x12 + case);
+        let id = NodeId(rng.below(10_000) as u32);
+        assert_eq!(id.to_string().parse::<NodeId>().unwrap(), id, "case {case}");
     }
+}
 
-    #[test]
-    fn timestamp_roundtrip(offset in 0u64..10_000_000_000) {
+#[test]
+fn timestamp_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = SimRng::new(0x13 + case);
+        let offset = rng.below(10_000_000_000);
         let epoch = Epoch::default_run();
         let s = format_timestamp(&epoch, TsMs(offset));
-        prop_assert_eq!(s.len(), 23);
+        assert_eq!(s.len(), 23, "case {case}");
         let parsed = parse_timestamp(&s).unwrap();
-        prop_assert_eq!(epoch.offset_of(parsed), Some(TsMs(offset)));
+        assert_eq!(epoch.offset_of(parsed), Some(TsMs(offset)), "case {case}");
     }
+}
 
-    /// A log line built from arbitrary (sane) message text parses back to
-    /// the identical record.
-    #[test]
-    fn log_line_roundtrip(
-        offset in 0u64..100_000_000,
-        msg in "[a-zA-Z0-9_ .:=()\\[\\]-]{1,120}",
-        class in "[A-Za-z][A-Za-z0-9]{0,30}",
-    ) {
-        // The format requires "class: message"; messages must not start
-        // with whitespace (trim round-trip) and class must not contain
+/// A log line built from arbitrary (sane) message text parses back to
+/// the identical record.
+#[test]
+fn log_line_roundtrip() {
+    const MSG: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_ .:=()[]-";
+    const CLASS_FIRST: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+    const CLASS_REST: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+    for case in 0..CASES {
+        let mut rng = SimRng::new(0x14 + case);
+        let offset = rng.below(100_000_000);
+        // The format requires "class: message"; messages must not start or
+        // end with whitespace (trim round-trip) and class must not contain
         // ": ".
-        prop_assume!(!msg.starts_with(' ') && !msg.ends_with(' '));
-        prop_assume!(!msg.is_empty());
+        let msg = pick(&mut rng, MSG, 1, 121).trim().to_string();
+        if msg.is_empty() {
+            continue;
+        }
+        let class = format!(
+            "{}{}",
+            pick(&mut rng, CLASS_FIRST, 1, 2),
+            pick(&mut rng, CLASS_REST, 0, 31)
+        );
         let epoch = Epoch::default_run();
-        let rec = LogRecord::new(TsMs(offset), Level::Info, class, msg);
+        let rec = LogRecord::new(TsMs(offset), Level::Info, &class, msg);
         let line = logmodel::format::format_line(&epoch, &rec);
-        prop_assert_eq!(parse_line(&epoch, &line), Some(rec));
+        assert_eq!(
+            parse_line(&epoch, &line),
+            Some(rec),
+            "case {case}: line {line:?}"
+        );
     }
+}
 
-    /// `scan_ids` finds every id embedded in prose, in order.
-    #[test]
-    fn scan_finds_embedded_ids(
-        seqs in prop::collection::vec(1u32..10_000, 1..6),
-        sep in "[a-z ,.()]{1,12}",
-    ) {
-        prop_assume!(!sep.contains("application") && !sep.contains("container"));
+/// `scan_ids` finds every id embedded in prose, in order.
+#[test]
+fn scan_finds_embedded_ids() {
+    const SEP: &[u8] = b"abcdefghijklmnopqrstuvwxyz ,.()";
+    for case in 0..CASES {
+        let mut rng = SimRng::new(0x15 + case);
+        let nids = rng.range(1, 6) as usize;
+        let seqs: Vec<u32> = (0..nids).map(|_| rng.range(1, 10_000) as u32).collect();
+        let sep = pick(&mut rng, SEP, 1, 13);
+        if sep.contains("application") || sep.contains("container") {
+            continue;
+        }
         let cts = 1_521_018_000_000u64;
         let mut text = String::from("prefix ");
         let mut expected = Vec::new();
@@ -72,18 +129,26 @@ proptest! {
                 text.push_str(&id.to_string());
                 expected.push(ScannedId::App(id));
             } else {
-                let id = ApplicationId::new(cts, *s).attempt(1).container(i as u64 + 1);
+                let id = ApplicationId::new(cts, *s)
+                    .attempt(1)
+                    .container(i as u64 + 1);
                 text.push_str(&id.to_string());
                 expected.push(ScannedId::Container(id));
             }
             text.push_str(&sep);
         }
-        prop_assert_eq!(scan_ids(&text), expected);
+        assert_eq!(scan_ids(&text), expected, "case {case}: text {text:?}");
     }
+}
 
-    /// LogSource paths round-trip for arbitrary ids.
-    #[test]
-    fn source_path_roundtrip(seq in 1u32..100_000, c in 1u64..1_000_000, node in 0u32..500) {
+/// LogSource paths round-trip for arbitrary ids.
+#[test]
+fn source_path_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = SimRng::new(0x16 + case);
+        let seq = rng.range(1, 100_000) as u32;
+        let c = rng.range(1, 1_000_000);
+        let node = rng.below(500) as u32;
         let app = ApplicationId::new(1_521_018_000_000, seq);
         for src in [
             LogSource::ResourceManager,
@@ -91,7 +156,11 @@ proptest! {
             LogSource::Driver(app),
             LogSource::Executor(app.attempt(1).container(c)),
         ] {
-            prop_assert_eq!(LogSource::from_rel_path(&src.rel_path()), Some(src));
+            assert_eq!(
+                LogSource::from_rel_path(&src.rel_path()),
+                Some(src),
+                "case {case}"
+            );
         }
     }
 }

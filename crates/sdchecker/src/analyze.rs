@@ -5,12 +5,12 @@ use std::collections::BTreeMap;
 use std::io;
 use std::path::Path;
 
-use logmodel::{ApplicationId, LogStore};
+use logmodel::{par, ApplicationId, LogStore, Parallelism};
 
 use crate::bugs::{find_unused_containers, UnusedContainer};
 use crate::decompose::{decompose, AppDelays};
 use crate::event::SchedEvent;
-use crate::extract::{extract_all, extract_app_names};
+use crate::extract::{extract_all_with, extract_app_names_with};
 use crate::graph::{build_graphs, SchedulingGraph};
 use crate::throughput::{allocation_throughput, Throughput};
 
@@ -21,7 +21,9 @@ pub struct Analysis {
     pub events: Vec<SchedEvent>,
     /// Per-application scheduling graphs.
     pub graphs: BTreeMap<ApplicationId, SchedulingGraph>,
-    /// Per-application delay decompositions (graph order).
+    /// Per-application delay decompositions, in graph (= ascending
+    /// application-id) order. [`Analysis::delays_of`] relies on this
+    /// ordering for its binary search.
     pub delays: Vec<AppDelays>,
     /// Allocated-but-never-used containers across all applications.
     pub unused_containers: Vec<UnusedContainer>,
@@ -31,9 +33,15 @@ pub struct Analysis {
 }
 
 impl Analysis {
-    /// Delay record for one application.
+    /// Delay record for one application. O(log n): `delays` mirrors the
+    /// graph map's ascending application-id order (report rendering calls
+    /// this per app, so a linear scan would make rendering quadratic).
     pub fn delays_of(&self, app: ApplicationId) -> Option<&AppDelays> {
-        self.delays.iter().find(|d| d.app == app)
+        debug_assert!(self.delays.windows(2).all(|w| w[0].app < w[1].app));
+        self.delays
+            .binary_search_by(|d| d.app.cmp(&app))
+            .ok()
+            .map(|i| &self.delays[i])
     }
 
     /// Applications with a complete total-scheduling-delay measurement
@@ -79,23 +87,67 @@ impl Analysis {
     pub fn by_name(&self) -> BTreeMap<String, Vec<&AppDelays>> {
         let mut out: BTreeMap<String, Vec<&AppDelays>> = BTreeMap::new();
         for d in self.complete_delays() {
-            let name = self
-                .name_of(d.app)
-                .unwrap_or("(unnamed)")
-                .to_string();
+            let name = self.name_of(d.app).unwrap_or("(unnamed)").to_string();
             out.entry(name).or_default().push(d);
         }
         out
     }
 }
 
-/// Run the pipeline over an in-memory store.
+/// Run the pipeline over an in-memory store, sequentially.
 pub fn analyze_store(store: &LogStore) -> Analysis {
-    let events = extract_all(store);
-    let graphs = build_graphs(&events);
-    let delays = graphs.values().map(decompose).collect();
-    let unused_containers = graphs.values().flat_map(find_unused_containers).collect();
-    let app_names = extract_app_names(store);
+    analyze_store_with(store, Parallelism::ONE)
+}
+
+/// Run the pipeline over an in-memory store with `par` worker threads.
+///
+/// Parallel at two granularities: extraction shards one `Extractor` pass
+/// per log stream (merged deterministically — see
+/// [`crate::extract::extract_all_with`]), and graph construction, delay
+/// decomposition, and bug finding run one task per application. The result
+/// is identical for every thread count; `Parallelism::ONE` runs the exact
+/// sequential code path on the calling thread.
+pub fn analyze_store_with(store: &LogStore, par: Parallelism) -> Analysis {
+    let events = extract_all_with(store, par);
+    let app_names = extract_app_names_with(store, par);
+    if par.is_sequential() {
+        let graphs = build_graphs(&events);
+        let delays = graphs.values().map(decompose).collect();
+        let unused_containers = graphs.values().flat_map(find_unused_containers).collect();
+        return Analysis {
+            events,
+            graphs,
+            delays,
+            unused_containers,
+            app_names,
+        };
+    }
+    // Partition the (globally sorted) events by owning application; each
+    // application's graph, decomposition, and bug scan are independent, so
+    // they fan out one task per application. BTreeMap partitioning keeps
+    // applications in ascending-id order, matching the sequential path's
+    // graph-map iteration order.
+    let mut by_app: BTreeMap<ApplicationId, Vec<SchedEvent>> = BTreeMap::new();
+    for ev in &events {
+        by_app.entry(ev.app).or_default().push(ev.clone());
+    }
+    let per_app = par::map(par, by_app.into_iter().collect(), |(app, evs)| {
+        let mut graphs = build_graphs(&evs);
+        let graph = graphs
+            .remove(&app)
+            .expect("partitioned events build exactly one graph");
+        let delays = decompose(&graph);
+        let unused = find_unused_containers(&graph);
+        (app, graph, delays, unused)
+    });
+    let mut graphs = BTreeMap::new();
+    let mut delays = Vec::with_capacity(per_app.len());
+    let mut unused_containers = Vec::new();
+    for (app, graph, d, unused) in per_app {
+        graphs.insert(app, graph);
+        delays.push(d);
+        unused_containers.extend(unused);
+    }
     Analysis {
         events,
         graphs,
@@ -106,10 +158,18 @@ pub fn analyze_store(store: &LogStore) -> Analysis {
 }
 
 /// Run the pipeline over a log directory (the CLI path: what the paper's
-/// tool does offline after collecting cluster and application logs).
+/// tool does offline after collecting cluster and application logs),
+/// sequentially.
 pub fn analyze_dir(dir: &Path) -> io::Result<Analysis> {
-    let store = LogStore::read_dir(dir)?;
-    Ok(analyze_store(&store))
+    analyze_dir_with(dir, Parallelism::ONE)
+}
+
+/// [`analyze_dir`] with `par` worker threads: directory ingest parses one
+/// log file per task, then the in-memory analysis fans out per stream and
+/// per application. Identical output for every thread count.
+pub fn analyze_dir_with(dir: &Path, par: Parallelism) -> io::Result<Analysis> {
+    let store = LogStore::read_dir_with(dir, par)?;
+    Ok(analyze_store_with(&store, par))
 }
 
 #[cfg(test)]
@@ -129,14 +189,49 @@ mod tests {
             let am = a.attempt(1).container(1);
             let ex = a.attempt(1).container(2);
             let rm = LogSource::ResourceManager;
-            s.info(rm, TsMs(base + 100), "RMAppImpl", format!("{a} State change from NEW_SAVING to SUBMITTED on event = APP_NEW_SAVED"));
-            s.info(rm, TsMs(base + 120), "RMAppImpl", format!("{a} State change from SUBMITTED to ACCEPTED on event = APP_ACCEPTED"));
-            s.info(rm, TsMs(base + 150), "RMContainerImpl", format!("{am} Container Transitioned from NEW to ALLOCATED"));
-            s.info(rm, TsMs(base + 151), "RMContainerImpl", format!("{am} Container Transitioned from ALLOCATED to ACQUIRED"));
+            s.info(
+                rm,
+                TsMs(base + 100),
+                "RMAppImpl",
+                format!("{a} State change from NEW_SAVING to SUBMITTED on event = APP_NEW_SAVED"),
+            );
+            s.info(
+                rm,
+                TsMs(base + 120),
+                "RMAppImpl",
+                format!("{a} State change from SUBMITTED to ACCEPTED on event = APP_ACCEPTED"),
+            );
+            s.info(
+                rm,
+                TsMs(base + 150),
+                "RMContainerImpl",
+                format!("{am} Container Transitioned from NEW to ALLOCATED"),
+            );
+            s.info(
+                rm,
+                TsMs(base + 151),
+                "RMContainerImpl",
+                format!("{am} Container Transitioned from ALLOCATED to ACQUIRED"),
+            );
             let nm = LogSource::NodeManager(logmodel::NodeId(seq));
-            s.info(nm, TsMs(base + 160), "ContainerImpl", format!("Container {am} transitioned from NEW to LOCALIZING"));
-            s.info(nm, TsMs(base + 700), "ContainerImpl", format!("Container {am} transitioned from LOCALIZING to SCHEDULED"));
-            s.info(nm, TsMs(base + 705), "ContainerImpl", format!("Container {am} transitioned from SCHEDULED to RUNNING"));
+            s.info(
+                nm,
+                TsMs(base + 160),
+                "ContainerImpl",
+                format!("Container {am} transitioned from NEW to LOCALIZING"),
+            );
+            s.info(
+                nm,
+                TsMs(base + 700),
+                "ContainerImpl",
+                format!("Container {am} transitioned from LOCALIZING to SCHEDULED"),
+            );
+            s.info(
+                nm,
+                TsMs(base + 705),
+                "ContainerImpl",
+                format!("Container {am} transitioned from SCHEDULED to RUNNING"),
+            );
             let drv = LogSource::Driver(a);
             s.info(
                 drv,
@@ -144,19 +239,81 @@ mod tests {
                 "ApplicationMaster",
                 format!("Starting ApplicationMaster for tpch-q{seq:02}"),
             );
-            s.info(drv, TsMs(base + 4400), "ApplicationMaster", "Registered with ResourceManager as attempt");
-            s.info(rm, TsMs(base + 4400), "RMAppImpl", format!("{a} State change from ACCEPTED to RUNNING on event = ATTEMPT_REGISTERED"));
-            s.info(drv, TsMs(base + 4401), "YarnAllocator", "START_ALLO Requesting 1 executor containers");
-            s.info(rm, TsMs(base + 4500), "RMContainerImpl", format!("{ex} Container Transitioned from NEW to ALLOCATED"));
-            s.info(rm, TsMs(base + 5400), "RMContainerImpl", format!("{ex} Container Transitioned from ALLOCATED to ACQUIRED"));
-            s.info(drv, TsMs(base + 5400), "YarnAllocator", "END_ALLO All 1 requested executor containers allocated");
-            s.info(nm, TsMs(base + 5420), "ContainerImpl", format!("Container {ex} transitioned from NEW to LOCALIZING"));
-            s.info(nm, TsMs(base + 5920), "ContainerImpl", format!("Container {ex} transitioned from LOCALIZING to SCHEDULED"));
-            s.info(nm, TsMs(base + 5925), "ContainerImpl", format!("Container {ex} transitioned from SCHEDULED to RUNNING"));
+            s.info(
+                drv,
+                TsMs(base + 4400),
+                "ApplicationMaster",
+                "Registered with ResourceManager as attempt",
+            );
+            s.info(
+                rm,
+                TsMs(base + 4400),
+                "RMAppImpl",
+                format!("{a} State change from ACCEPTED to RUNNING on event = ATTEMPT_REGISTERED"),
+            );
+            s.info(
+                drv,
+                TsMs(base + 4401),
+                "YarnAllocator",
+                "START_ALLO Requesting 1 executor containers",
+            );
+            s.info(
+                rm,
+                TsMs(base + 4500),
+                "RMContainerImpl",
+                format!("{ex} Container Transitioned from NEW to ALLOCATED"),
+            );
+            s.info(
+                rm,
+                TsMs(base + 5400),
+                "RMContainerImpl",
+                format!("{ex} Container Transitioned from ALLOCATED to ACQUIRED"),
+            );
+            s.info(
+                drv,
+                TsMs(base + 5400),
+                "YarnAllocator",
+                "END_ALLO All 1 requested executor containers allocated",
+            );
+            s.info(
+                nm,
+                TsMs(base + 5420),
+                "ContainerImpl",
+                format!("Container {ex} transitioned from NEW to LOCALIZING"),
+            );
+            s.info(
+                nm,
+                TsMs(base + 5920),
+                "ContainerImpl",
+                format!("Container {ex} transitioned from LOCALIZING to SCHEDULED"),
+            );
+            s.info(
+                nm,
+                TsMs(base + 5925),
+                "ContainerImpl",
+                format!("Container {ex} transitioned from SCHEDULED to RUNNING"),
+            );
             let exl = LogSource::Executor(ex);
-            s.info(exl, TsMs(base + 6625), "CoarseGrainedExecutorBackend", "Started executor");
-            s.info(exl, TsMs(base + 11_000), "Executor", "Got assigned task 0 in stage 0.0 (TID 0)");
-            s.info(rm, TsMs(base + 40_100), "RMAppImpl", format!("{a} State change from RUNNING to FINAL_SAVING on event = ATTEMPT_UNREGISTERED"));
+            s.info(
+                exl,
+                TsMs(base + 6625),
+                "CoarseGrainedExecutorBackend",
+                "Started executor",
+            );
+            s.info(
+                exl,
+                TsMs(base + 11_000),
+                "Executor",
+                "Got assigned task 0 in stage 0.0 (TID 0)",
+            );
+            s.info(
+                rm,
+                TsMs(base + 40_100),
+                "RMAppImpl",
+                format!(
+                    "{a} State change from RUNNING to FINAL_SAVING on event = ATTEMPT_UNREGISTERED"
+                ),
+            );
         }
         s
     }
@@ -211,7 +368,13 @@ mod tests {
     fn names_mined_and_grouped() {
         let an = analyze_store(&mini_corpus());
         assert_eq!(an.app_names.len(), 2);
-        assert_eq!(an.name_of(ApplicationId::new(an.app_names.keys().next().unwrap().cluster_ts, 1)), Some("tpch-q01"));
+        assert_eq!(
+            an.name_of(ApplicationId::new(
+                an.app_names.keys().next().unwrap().cluster_ts,
+                1
+            )),
+            Some("tpch-q01")
+        );
         let by_name = an.by_name();
         assert_eq!(by_name.len(), 2);
         assert!(by_name.contains_key("tpch-q01"));

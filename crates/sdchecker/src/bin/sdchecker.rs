@@ -1,7 +1,7 @@
 //! The `sdchecker` CLI: offline analysis of a collected log directory.
 //!
 //! ```text
-//! sdchecker <log-dir> [--csv <out.csv>] [--dot <application-id> <out.dot>]
+//! sdchecker <log-dir> [--threads N] [--csv <out.csv>] [--dot <application-id> <out.dot>]
 //! ```
 //!
 //! `<log-dir>` must contain `resourcemanager.log`,
@@ -13,10 +13,10 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use logmodel::ApplicationId;
-use sdchecker::{analyze_dir, full_report, Table};
+use sdchecker::{analyze_dir_with, full_report, Parallelism, Table};
 
 fn usage() -> ExitCode {
-    eprintln!("usage: sdchecker <log-dir> [--csv <out.csv>] [--dot <application-id> <out.dot>] [--timeline <application-id>]");
+    eprintln!("usage: sdchecker <log-dir> [--threads N] [--csv <out.csv>] [--dot <application-id> <out.dot>] [--timeline <application-id>]");
     ExitCode::from(2)
 }
 
@@ -28,9 +28,25 @@ fn main() -> ExitCode {
     let mut csv_out: Option<PathBuf> = None;
     let mut dot_req: Option<(ApplicationId, PathBuf)> = None;
     let mut timeline_req: Option<ApplicationId> = None;
+    let mut par = Parallelism::auto();
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
+            "--threads" => {
+                let Some(n) = args.get(i + 1) else {
+                    return usage();
+                };
+                let Ok(n) = n.parse::<usize>() else {
+                    eprintln!("invalid thread count: {n}");
+                    return ExitCode::from(2);
+                };
+                if n == 0 {
+                    eprintln!("--threads must be at least 1");
+                    return ExitCode::from(2);
+                }
+                par = Parallelism::new(n);
+                i += 2;
+            }
             "--csv" => {
                 let Some(p) = args.get(i + 1) else {
                     return usage();
@@ -67,7 +83,7 @@ fn main() -> ExitCode {
         }
     }
 
-    let analysis = match analyze_dir(&PathBuf::from(dir)) {
+    let analysis = match analyze_dir_with(&PathBuf::from(dir), par) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("failed to read logs from {dir}: {e}");

@@ -36,9 +36,7 @@ pub fn find_unused_containers(g: &SchedulingGraph) -> Vec<UnusedContainer> {
         return Vec::new();
     }
     g.worker_containers()
-        .filter(|c| {
-            c.has(EventKind::ContainerAllocated) && !c.has(EventKind::ExecutorFirstLog)
-        })
+        .filter(|c| c.has(EventKind::ContainerAllocated) && !c.has(EventKind::ExecutorFirstLog))
         .map(|c| UnusedContainer {
             app: g.app,
             cid: c.cid,

@@ -84,7 +84,11 @@ impl EventKind {
         use EventKind::*;
         !matches!(
             self,
-            DriverFirstLog | DriverRegistered | StartAllo | EndAllo | ExecutorFirstLog
+            DriverFirstLog
+                | DriverRegistered
+                | StartAllo
+                | EndAllo
+                | ExecutorFirstLog
                 | TaskAssigned
         )
     }

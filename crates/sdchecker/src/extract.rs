@@ -8,7 +8,7 @@
 //! implemented by emitting `DriverFirstLog`/`ExecutorFirstLog` for the
 //! first record of each driver/executor stream regardless of content.
 
-use logmodel::{scan_ids, ApplicationId, ContainerId, LogRecord, LogSource, NodeId};
+use logmodel::{scan_ids, ApplicationId, ContainerId, LogRecord, LogSource, NodeId, Parallelism};
 
 use crate::event::{EventKind, SchedEvent};
 use crate::pattern::Pat;
@@ -216,13 +216,71 @@ impl Extractor {
 /// Extract all events of a whole [`logmodel::LogStore`], sorted by
 /// timestamp (ties keep stream order).
 pub fn extract_all(store: &logmodel::LogStore) -> Vec<SchedEvent> {
+    extract_all_with(store, Parallelism::ONE)
+}
+
+/// [`extract_all`] sharded across `par` worker threads: one `Extractor`
+/// pass per log stream, then a k-way binary-heap merge of the per-stream
+/// (time-sorted) event vectors.
+///
+/// Determinism guarantee: output is identical for every thread count. The
+/// sequential path concatenates streams in store order and stable-sorts by
+/// timestamp, so ties are ordered by `(stream index, position in stream)`;
+/// the merge reproduces exactly that order by (a) stable-sorting each
+/// stream's events by timestamp (a no-op for the time-ordered streams the
+/// store guarantees) and (b) breaking timestamp ties by stream index, FIFO
+/// within a stream.
+pub fn extract_all_with(store: &logmodel::LogStore, par: Parallelism) -> Vec<SchedEvent> {
     let ex = Extractor::new();
-    let mut events = Vec::new();
-    for src in store.sources() {
-        events.extend(ex.extract_stream(src, store.records(src)));
+    let sources: Vec<LogSource> = store.sources().collect();
+    if par.is_sequential() {
+        let mut events = Vec::new();
+        for src in sources {
+            events.extend(ex.extract_stream(src, store.records(src)));
+        }
+        events.sort_by_key(|e| e.ts);
+        return events;
     }
-    events.sort_by_key(|e| e.ts);
-    events
+    let per_stream: Vec<Vec<SchedEvent>> = logmodel::par::map(par, sources, |src| {
+        let mut evs = ex.extract_stream(src, store.records(src));
+        evs.sort_by_key(|e| e.ts); // stable; no-op on time-ordered streams
+        evs
+    });
+    merge_sorted_streams(per_stream)
+}
+
+/// K-way merge of per-stream time-sorted event vectors, with timestamp
+/// ties broken by stream index (FIFO within a stream). Equivalent to
+/// concatenating the streams in index order and stable-sorting by
+/// timestamp.
+fn merge_sorted_streams(streams: Vec<Vec<SchedEvent>>) -> Vec<SchedEvent> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    let total: usize = streams.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    let mut iters: Vec<std::vec::IntoIter<SchedEvent>> =
+        streams.into_iter().map(Vec::into_iter).collect();
+    // At most one entry per stream is in the heap, so the `(ts, stream)`
+    // key is unique and pop order is fully determined.
+    let mut heap: BinaryHeap<Reverse<(logmodel::TsMs, usize)>> = BinaryHeap::new();
+    let mut heads: Vec<Option<SchedEvent>> = Vec::with_capacity(iters.len());
+    for (i, it) in iters.iter_mut().enumerate() {
+        let head = it.next();
+        if let Some(ev) = &head {
+            heap.push(Reverse((ev.ts, i)));
+        }
+        heads.push(head);
+    }
+    while let Some(Reverse((_, i))) = heap.pop() {
+        let ev = heads[i].take().expect("heap entry without a head");
+        out.push(ev);
+        heads[i] = iters[i].next();
+        if let Some(next) = &heads[i] {
+            heap.push(Reverse((next.ts, i)));
+        }
+    }
+    out
 }
 
 /// Fallback grouping helper for messages whose shape is unknown: find any
@@ -236,19 +294,35 @@ pub fn owning_app(message: &str) -> Option<ApplicationId> {
 /// per-workload (e.g. per-TPC-H-query) breakdowns. Recognizes the banner
 /// shapes Spark's `ApplicationMaster` and MapReduce's `MRAppMaster`
 /// print; unknown banners yield no name (analysis proceeds unnamed).
-pub fn extract_app_names(store: &logmodel::LogStore) -> std::collections::BTreeMap<ApplicationId, String> {
+pub fn extract_app_names(
+    store: &logmodel::LogStore,
+) -> std::collections::BTreeMap<ApplicationId, String> {
+    extract_app_names_with(store, Parallelism::ONE)
+}
+
+/// [`extract_app_names`] with one scan task per driver stream spread over
+/// `par` worker threads. Identical output for every thread count (the map
+/// is keyed by application id).
+pub fn extract_app_names_with(
+    store: &logmodel::LogStore,
+    par: Parallelism,
+) -> std::collections::BTreeMap<ApplicationId, String> {
     let spark = Pat::new("Starting ApplicationMaster for {}");
-    let mut out = std::collections::BTreeMap::new();
-    for src in store.sources() {
-        let LogSource::Driver(app) = src else { continue };
-        for r in store.records(src) {
-            if let Some(caps) = spark.match_str(&r.message) {
-                out.insert(app, caps[0].to_string());
-                break;
-            }
-        }
-    }
-    out
+    let drivers: Vec<ApplicationId> = store
+        .sources()
+        .filter_map(|src| match src {
+            LogSource::Driver(app) => Some(app),
+            _ => None,
+        })
+        .collect();
+    let named: Vec<Option<(ApplicationId, String)>> = logmodel::par::map(par, drivers, |app| {
+        store.records(LogSource::Driver(app)).iter().find_map(|r| {
+            spark
+                .match_str(&r.message)
+                .map(|caps| (app, caps[0].to_string()))
+        })
+    });
+    named.into_iter().flatten().collect()
 }
 
 #[cfg(test)]
@@ -271,11 +345,33 @@ mod tests {
         let ex = Extractor::new();
         let a = app();
         let records = vec![
-            rec(0, "RMAppImpl", format!("{a} State change from NEW to NEW_SAVING on event = START")),
-            rec(5, "RMAppImpl", format!("{a} State change from NEW_SAVING to SUBMITTED on event = APP_NEW_SAVED")),
-            rec(9, "RMAppImpl", format!("{a} State change from SUBMITTED to ACCEPTED on event = APP_ACCEPTED")),
-            rec(900, "RMAppImpl", format!("{a} State change from ACCEPTED to RUNNING on event = ATTEMPT_REGISTERED")),
-            rec(9000, "RMAppImpl", format!("{a} State change from RUNNING to FINAL_SAVING on event = ATTEMPT_UNREGISTERED")),
+            rec(
+                0,
+                "RMAppImpl",
+                format!("{a} State change from NEW to NEW_SAVING on event = START"),
+            ),
+            rec(
+                5,
+                "RMAppImpl",
+                format!("{a} State change from NEW_SAVING to SUBMITTED on event = APP_NEW_SAVED"),
+            ),
+            rec(
+                9,
+                "RMAppImpl",
+                format!("{a} State change from SUBMITTED to ACCEPTED on event = APP_ACCEPTED"),
+            ),
+            rec(
+                900,
+                "RMAppImpl",
+                format!("{a} State change from ACCEPTED to RUNNING on event = ATTEMPT_REGISTERED"),
+            ),
+            rec(
+                9000,
+                "RMAppImpl",
+                format!(
+                    "{a} State change from RUNNING to FINAL_SAVING on event = ATTEMPT_UNREGISTERED"
+                ),
+            ),
         ];
         let evs = ex.extract_stream(LogSource::ResourceManager, &records);
         let kinds: Vec<EventKind> = evs.iter().map(|e| e.kind).collect();
@@ -297,8 +393,16 @@ mod tests {
         let ex = Extractor::new();
         let cid = app().attempt(1).container(2);
         let records = vec![
-            rec(1, "RMContainerImpl", format!("{cid} Container Transitioned from NEW to ALLOCATED")),
-            rec(400, "RMContainerImpl", format!("{cid} Container Transitioned from ALLOCATED to ACQUIRED")),
+            rec(
+                1,
+                "RMContainerImpl",
+                format!("{cid} Container Transitioned from NEW to ALLOCATED"),
+            ),
+            rec(
+                400,
+                "RMContainerImpl",
+                format!("{cid} Container Transitioned from ALLOCATED to ACQUIRED"),
+            ),
         ];
         let evs = ex.extract_stream(LogSource::ResourceManager, &records);
         assert_eq!(evs.len(), 2);
@@ -313,9 +417,21 @@ mod tests {
         let cid = app().attempt(1).container(1);
         let node = NodeId(7);
         let records = vec![
-            rec(10, "ContainerImpl", format!("Container {cid} transitioned from NEW to LOCALIZING")),
-            rec(500, "ContainerImpl", format!("Container {cid} transitioned from LOCALIZING to SCHEDULED")),
-            rec(505, "ContainerImpl", format!("Container {cid} transitioned from SCHEDULED to RUNNING")),
+            rec(
+                10,
+                "ContainerImpl",
+                format!("Container {cid} transitioned from NEW to LOCALIZING"),
+            ),
+            rec(
+                500,
+                "ContainerImpl",
+                format!("Container {cid} transitioned from LOCALIZING to SCHEDULED"),
+            ),
+            rec(
+                505,
+                "ContainerImpl",
+                format!("Container {cid} transitioned from SCHEDULED to RUNNING"),
+            ),
         ];
         let evs = ex.extract_stream(LogSource::NodeManager(node), &records);
         assert_eq!(evs.len(), 3);
@@ -329,9 +445,21 @@ mod tests {
         let a = app();
         let records = vec![
             rec(100, "ApplicationMaster", "some banner line".to_string()),
-            rec(3100, "ApplicationMaster", "Registered with ResourceManager as appattempt".to_string()),
-            rec(3101, "YarnAllocator", "START_ALLO Requesting 4 executor containers".to_string()),
-            rec(4100, "YarnAllocator", "END_ALLO All 4 requested executor containers allocated".to_string()),
+            rec(
+                3100,
+                "ApplicationMaster",
+                "Registered with ResourceManager as appattempt".to_string(),
+            ),
+            rec(
+                3101,
+                "YarnAllocator",
+                "START_ALLO Requesting 4 executor containers".to_string(),
+            ),
+            rec(
+                4100,
+                "YarnAllocator",
+                "END_ALLO All 4 requested executor containers allocated".to_string(),
+            ),
         ];
         let evs = ex.extract_stream(LogSource::Driver(a), &records);
         let kinds: Vec<EventKind> = evs.iter().map(|e| e.kind).collect();
@@ -344,7 +472,11 @@ mod tests {
                 EventKind::EndAllo,
             ]
         );
-        assert_eq!(evs[0].ts, TsMs(100), "first log takes the first record's ts");
+        assert_eq!(
+            evs[0].ts,
+            TsMs(100),
+            "first log takes the first record's ts"
+        );
     }
 
     #[test]
@@ -352,14 +484,28 @@ mod tests {
         let ex = Extractor::new();
         let cid = app().attempt(1).container(3);
         let records = vec![
-            rec(50, "CoarseGrainedExecutorBackend", "Started executor".to_string()),
-            rec(900, "Executor", "Got assigned task 0 in stage 0.0 (TID 0)".to_string()),
-            rec(950, "Executor", "Got assigned task 3 in stage 0.0 (TID 3)".to_string()),
+            rec(
+                50,
+                "CoarseGrainedExecutorBackend",
+                "Started executor".to_string(),
+            ),
+            rec(
+                900,
+                "Executor",
+                "Got assigned task 0 in stage 0.0 (TID 0)".to_string(),
+            ),
+            rec(
+                950,
+                "Executor",
+                "Got assigned task 3 in stage 0.0 (TID 3)".to_string(),
+            ),
         ];
         let evs = ex.extract_stream(LogSource::Executor(cid), &records);
         assert_eq!(evs[0].kind, EventKind::ExecutorFirstLog);
         assert_eq!(
-            evs.iter().filter(|e| e.kind == EventKind::TaskAssigned).count(),
+            evs.iter()
+                .filter(|e| e.kind == EventKind::TaskAssigned)
+                .count(),
             2
         );
     }
@@ -368,11 +514,21 @@ mod tests {
     fn noise_is_ignored() {
         let ex = Extractor::new();
         let records = vec![
-            rec(1, "CapacityScheduler", "Re-sorting assigned queue".to_string()),
+            rec(
+                1,
+                "CapacityScheduler",
+                "Re-sorting assigned queue".to_string(),
+            ),
             rec(2, "RMAppImpl", "Storing application with id".to_string()),
-            rec(3, "RMContainerImpl", "Processing event of type KILL".to_string()),
+            rec(
+                3,
+                "RMContainerImpl",
+                "Processing event of type KILL".to_string(),
+            ),
         ];
-        assert!(ex.extract_stream(LogSource::ResourceManager, &records).is_empty());
+        assert!(ex
+            .extract_stream(LogSource::ResourceManager, &records)
+            .is_empty());
     }
 
     #[test]

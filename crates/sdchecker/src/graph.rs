@@ -25,7 +25,10 @@ pub struct ContainerTrack {
 impl ContainerTrack {
     /// First occurrence of `kind`.
     pub fn first(&self, kind: EventKind) -> Option<TsMs> {
-        self.events.iter().find(|(k, _)| *k == kind).map(|(_, t)| *t)
+        self.events
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, t)| *t)
     }
 
     /// Whether any event of `kind` exists.
@@ -103,7 +106,11 @@ impl SchedulingGraph {
             let mut prev: Option<String> = None;
             for (i, (k, t)) in c.events.iter().enumerate() {
                 let id = format!("c{ci}_{i}");
-                let shape = if k.is_cluster_side() { "box" } else { "ellipse" };
+                let shape = if k.is_cluster_side() {
+                    "box"
+                } else {
+                    "ellipse"
+                };
                 let _ = writeln!(s, "  {id} [shape={shape},label=\"{k:?}\\n@{}ms\"];", t.0);
                 if let Some(p) = prev {
                     let _ = writeln!(s, "  {p} -> {id};");
@@ -219,7 +226,10 @@ mod tests {
         let g = &graphs[&a];
         assert_eq!(g.first(EventKind::AppSubmitted), Some(TsMs(10)));
         assert_eq!(g.first(EventKind::AttemptRegistered), Some(TsMs(4000)));
-        assert_eq!(g.first_worker(EventKind::ExecutorFirstLog), Some(TsMs(7000)));
+        assert_eq!(
+            g.first_worker(EventKind::ExecutorFirstLog),
+            Some(TsMs(7000))
+        );
         assert_eq!(g.last_worker(EventKind::ExecutorFirstLog), Some(TsMs(7900)));
         assert_eq!(g.first(EventKind::EndAllo), None);
     }

@@ -55,12 +55,15 @@ pub mod throughput;
 pub mod timeline;
 pub mod validate;
 
-pub use analyze::{analyze_dir, analyze_store, Analysis};
+pub use analyze::{analyze_dir, analyze_dir_with, analyze_store, analyze_store_with, Analysis};
 pub use bugs::{find_unused_containers, UnusedContainer};
 pub use decompose::{decompose, AppDelays, ContainerDelays};
 pub use event::{EventKind, SchedEvent};
-pub use extract::{extract_all, extract_app_names, Extractor};
+pub use extract::{
+    extract_all, extract_all_with, extract_app_names, extract_app_names_with, Extractor,
+};
 pub use graph::{build_graphs, ContainerTrack, SchedulingGraph};
+pub use logmodel::Parallelism;
 pub use nodes::{per_node, slow_nodes, NodeStats};
 pub use pattern::Pat;
 pub use report::{cdf_table, full_report, ratio_summary_table, summary_table, Table};

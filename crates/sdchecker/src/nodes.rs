@@ -91,11 +91,31 @@ mod tests {
             let slow = node.0 == 2;
             let base = seq as u64 * 20_000;
             let nm = LogSource::NodeManager(node);
-            s.info(nm, TsMs(base), "ContainerImpl", format!("Container {c} transitioned from NEW to LOCALIZING"));
+            s.info(
+                nm,
+                TsMs(base),
+                "ContainerImpl",
+                format!("Container {c} transitioned from NEW to LOCALIZING"),
+            );
             let done = base + if slow { 5_000 } else { 500 };
-            s.info(nm, TsMs(done), "ContainerImpl", format!("Container {c} transitioned from LOCALIZING to SCHEDULED"));
-            s.info(nm, TsMs(done + 5), "ContainerImpl", format!("Container {c} transitioned from SCHEDULED to RUNNING"));
-            s.info(LogSource::Executor(c), TsMs(done + 700), "X", "Started executor");
+            s.info(
+                nm,
+                TsMs(done),
+                "ContainerImpl",
+                format!("Container {c} transitioned from LOCALIZING to SCHEDULED"),
+            );
+            s.info(
+                nm,
+                TsMs(done + 5),
+                "ContainerImpl",
+                format!("Container {c} transitioned from SCHEDULED to RUNNING"),
+            );
+            s.info(
+                LogSource::Executor(c),
+                TsMs(done + 700),
+                "X",
+                "Started executor",
+            );
         }
         s
     }

@@ -150,7 +150,12 @@ mod tests {
             .unwrap();
         assert_eq!(
             caps,
-            vec!["application_1_0001", "SUBMITTED", "ACCEPTED", "APP_ACCEPTED"]
+            vec![
+                "application_1_0001",
+                "SUBMITTED",
+                "ACCEPTED",
+                "APP_ACCEPTED"
+            ]
         );
     }
 
@@ -165,7 +170,10 @@ mod tests {
     #[test]
     fn whole_capture() {
         let p = Pat::new("{}");
-        assert_eq!(p.match_str("anything at all"), Some(vec!["anything at all"]));
+        assert_eq!(
+            p.match_str("anything at all"),
+            Some(vec!["anything at all"])
+        );
     }
 
     #[test]

@@ -223,7 +223,14 @@ pub fn full_report(an: &Analysis) -> String {
     // Per-workload breakdown when driver banners carry names.
     let by_name = an.by_name();
     if by_name.len() > 1 {
-        let mut t = Table::new(&["workload", "n", "total p50", "total p95", "in p50", "out p50"]);
+        let mut t = Table::new(&[
+            "workload",
+            "n",
+            "total p50",
+            "total p95",
+            "in p50",
+            "out p50",
+        ]);
         for (name, group) in &by_name {
             let totals: Vec<u64> = group.iter().filter_map(|d| d.total_ms).collect();
             let ins: Vec<u64> = group.iter().filter_map(|d| d.in_app_ms).collect();
@@ -258,9 +265,16 @@ pub fn full_report(an: &Analysis) -> String {
 
     let anomalies = crate::validate::validate_all(an.graphs.values());
     if anomalies.is_empty() {
-        let _ = writeln!(out, "Corpus validation: clean (no ordering/duplicate/missing anomalies).");
+        let _ = writeln!(
+            out,
+            "Corpus validation: clean (no ordering/duplicate/missing anomalies)."
+        );
     } else {
-        let _ = writeln!(out, "Corpus validation: {} anomalies — timestamps may be untrustworthy:", anomalies.len());
+        let _ = writeln!(
+            out,
+            "Corpus validation: {} anomalies — timestamps may be untrustworthy:",
+            anomalies.len()
+        );
         for a in anomalies.iter().take(20) {
             let _ = writeln!(out, "  {:?}", a);
         }

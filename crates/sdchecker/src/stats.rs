@@ -98,7 +98,12 @@ impl Cdf {
 
     /// Build from millisecond samples, stored in seconds.
     pub fn from_ms(values_ms: &[u64]) -> Cdf {
-        Cdf::from(&values_ms.iter().map(|v| *v as f64 / 1000.0).collect::<Vec<_>>())
+        Cdf::from(
+            &values_ms
+                .iter()
+                .map(|v| *v as f64 / 1000.0)
+                .collect::<Vec<_>>(),
+        )
     }
 
     /// Sample size.

@@ -145,7 +145,10 @@ pub fn ascii_gantt(g: &SchedulingGraph, width: usize) -> String {
             "driver",
             &[
                 (col(Some(start)), Phase::Pending),
-                (col(am.first(EventKind::ContainerLocalizing)), Phase::Starting),
+                (
+                    col(am.first(EventKind::ContainerLocalizing)),
+                    Phase::Starting,
+                ),
                 (col(g.first(EventKind::DriverFirstLog)), Phase::Busy),
             ],
         );
@@ -158,7 +161,10 @@ pub fn ascii_gantt(g: &SchedulingGraph, width: usize) -> String {
             &label,
             &[
                 (col(Some(start)), Phase::Pending),
-                (col(c.first(EventKind::ContainerLocalizing)), Phase::Starting),
+                (
+                    col(c.first(EventKind::ContainerLocalizing)),
+                    Phase::Starting,
+                ),
                 (col(c.first(EventKind::ExecutorFirstLog)), Phase::Idle),
                 (col(c.first(EventKind::TaskAssigned)), Phase::Busy),
             ],
@@ -236,8 +242,14 @@ mod tests {
         // The executor lane must contain an idle stretch followed by busy.
         let exec_line = art.lines().find(|l| l.starts_with("exec")).unwrap();
         let idle = exec_line.matches('-').count();
-        assert!(idle > 5, "expected a visible idle gap (Fig 10): {exec_line}");
-        assert!(exec_line.contains('#'), "busy phase at first task: {exec_line}");
+        assert!(
+            idle > 5,
+            "expected a visible idle gap (Fig 10): {exec_line}"
+        );
+        assert!(
+            exec_line.contains('#'),
+            "busy phase at first task: {exec_line}"
+        );
         // Idle comes before busy.
         assert!(exec_line.find('-').unwrap() < exec_line.find('#').unwrap());
     }

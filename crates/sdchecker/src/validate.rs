@@ -77,7 +77,10 @@ const APP_CHAIN: [(EventKind, EventKind); 6] = [
 const CONTAINER_CHAIN: [(EventKind, EventKind); 6] = [
     (EventKind::ContainerAllocated, EventKind::ContainerAcquired),
     (EventKind::ContainerAcquired, EventKind::ContainerLocalizing),
-    (EventKind::ContainerLocalizing, EventKind::ContainerScheduled),
+    (
+        EventKind::ContainerLocalizing,
+        EventKind::ContainerScheduled,
+    ),
     (EventKind::ContainerScheduled, EventKind::ContainerNmRunning),
     (EventKind::ContainerNmRunning, EventKind::ExecutorFirstLog),
     (EventKind::ExecutorFirstLog, EventKind::TaskAssigned),
@@ -159,16 +162,20 @@ pub fn validate_graph(g: &SchedulingGraph) -> Vec<Anomaly> {
         } else {
             &CONTAINER_CHAIN
         };
-        check_chain(g.app, Some(track.cid), container_firsts(track), chain, &mut out);
+        check_chain(
+            g.app,
+            Some(track.cid),
+            container_firsts(track),
+            chain,
+            &mut out,
+        );
         check_duplicates(g.app, Some(track.cid), &track.events, &mut out);
     }
     out
 }
 
 /// Validate every application in an analysis.
-pub fn validate_all<'a>(
-    graphs: impl IntoIterator<Item = &'a SchedulingGraph>,
-) -> Vec<Anomaly> {
+pub fn validate_all<'a>(graphs: impl IntoIterator<Item = &'a SchedulingGraph>) -> Vec<Anomaly> {
     graphs.into_iter().flat_map(validate_graph).collect()
 }
 
@@ -250,18 +257,30 @@ mod tests {
         use EventKind::*;
         let g = graph(vec![
             ev(1, AppSubmitted, a, None),
-            ev(2, AppSubmitted, a, None), // duplicated SUBMITTED
+            ev(2, AppSubmitted, a, None),      // duplicated SUBMITTED
             ev(3, AttemptRegistered, a, None), // ACCEPTED missing
         ]);
         let anomalies = validate_graph(&g);
-        assert!(anomalies.iter().any(|x| matches!(
-            x.kind,
-            AnomalyKind::DuplicateEvent { kind: AppSubmitted, count: 2 }
-        )), "{anomalies:?}");
-        assert!(anomalies.iter().any(|x| matches!(
-            x.kind,
-            AnomalyKind::MissingPrerequisite { missing: AppAccepted, dependent: AttemptRegistered }
-        )), "{anomalies:?}");
+        assert!(
+            anomalies.iter().any(|x| matches!(
+                x.kind,
+                AnomalyKind::DuplicateEvent {
+                    kind: AppSubmitted,
+                    count: 2
+                }
+            )),
+            "{anomalies:?}"
+        );
+        assert!(
+            anomalies.iter().any(|x| matches!(
+                x.kind,
+                AnomalyKind::MissingPrerequisite {
+                    missing: AppAccepted,
+                    dependent: AttemptRegistered
+                }
+            )),
+            "{anomalies:?}"
+        );
     }
 
     #[test]

@@ -19,26 +19,126 @@ fn write_corpus(dir: &std::path::Path) -> ApplicationId {
     let ex = a.attempt(1).container(2);
     let rm = LogSource::ResourceManager;
     let nm = LogSource::NodeManager(NodeId(2));
-    s.info(rm, TsMs(100), "RMAppImpl", format!("{a} State change from NEW_SAVING to SUBMITTED on event = APP_NEW_SAVED"));
-    s.info(rm, TsMs(120), "RMAppImpl", format!("{a} State change from SUBMITTED to ACCEPTED on event = APP_ACCEPTED"));
-    s.info(rm, TsMs(150), "RMContainerImpl", format!("{am} Container Transitioned from NEW to ALLOCATED"));
-    s.info(rm, TsMs(151), "RMContainerImpl", format!("{am} Container Transitioned from ALLOCATED to ACQUIRED"));
-    s.info(nm, TsMs(160), "ContainerImpl", format!("Container {am} transitioned from NEW to LOCALIZING"));
-    s.info(nm, TsMs(700), "ContainerImpl", format!("Container {am} transitioned from LOCALIZING to SCHEDULED"));
-    s.info(nm, TsMs(705), "ContainerImpl", format!("Container {am} transitioned from SCHEDULED to RUNNING"));
-    s.info(LogSource::Driver(a), TsMs(1400), "ApplicationMaster", "Starting ApplicationMaster");
-    s.info(LogSource::Driver(a), TsMs(4400), "ApplicationMaster", "Registered with ResourceManager");
-    s.info(rm, TsMs(4400), "RMAppImpl", format!("{a} State change from ACCEPTED to RUNNING on event = ATTEMPT_REGISTERED"));
-    s.info(LogSource::Driver(a), TsMs(4401), "YarnAllocator", "START_ALLO Requesting 1 executor containers");
-    s.info(rm, TsMs(4500), "RMContainerImpl", format!("{ex} Container Transitioned from NEW to ALLOCATED"));
-    s.info(rm, TsMs(5400), "RMContainerImpl", format!("{ex} Container Transitioned from ALLOCATED to ACQUIRED"));
-    s.info(LogSource::Driver(a), TsMs(5400), "YarnAllocator", "END_ALLO All requested executor containers allocated");
-    s.info(nm, TsMs(5420), "ContainerImpl", format!("Container {ex} transitioned from NEW to LOCALIZING"));
-    s.info(nm, TsMs(5920), "ContainerImpl", format!("Container {ex} transitioned from LOCALIZING to SCHEDULED"));
-    s.info(nm, TsMs(5925), "ContainerImpl", format!("Container {ex} transitioned from SCHEDULED to RUNNING"));
-    s.info(LogSource::Executor(ex), TsMs(6625), "CoarseGrainedExecutorBackend", "Started executor");
-    s.info(LogSource::Executor(ex), TsMs(11_000), "Executor", "Got assigned task 0 in stage 0.0 (TID 0)");
-    s.info(rm, TsMs(40_100), "RMAppImpl", format!("{a} State change from RUNNING to FINAL_SAVING on event = ATTEMPT_UNREGISTERED"));
+    s.info(
+        rm,
+        TsMs(100),
+        "RMAppImpl",
+        format!("{a} State change from NEW_SAVING to SUBMITTED on event = APP_NEW_SAVED"),
+    );
+    s.info(
+        rm,
+        TsMs(120),
+        "RMAppImpl",
+        format!("{a} State change from SUBMITTED to ACCEPTED on event = APP_ACCEPTED"),
+    );
+    s.info(
+        rm,
+        TsMs(150),
+        "RMContainerImpl",
+        format!("{am} Container Transitioned from NEW to ALLOCATED"),
+    );
+    s.info(
+        rm,
+        TsMs(151),
+        "RMContainerImpl",
+        format!("{am} Container Transitioned from ALLOCATED to ACQUIRED"),
+    );
+    s.info(
+        nm,
+        TsMs(160),
+        "ContainerImpl",
+        format!("Container {am} transitioned from NEW to LOCALIZING"),
+    );
+    s.info(
+        nm,
+        TsMs(700),
+        "ContainerImpl",
+        format!("Container {am} transitioned from LOCALIZING to SCHEDULED"),
+    );
+    s.info(
+        nm,
+        TsMs(705),
+        "ContainerImpl",
+        format!("Container {am} transitioned from SCHEDULED to RUNNING"),
+    );
+    s.info(
+        LogSource::Driver(a),
+        TsMs(1400),
+        "ApplicationMaster",
+        "Starting ApplicationMaster",
+    );
+    s.info(
+        LogSource::Driver(a),
+        TsMs(4400),
+        "ApplicationMaster",
+        "Registered with ResourceManager",
+    );
+    s.info(
+        rm,
+        TsMs(4400),
+        "RMAppImpl",
+        format!("{a} State change from ACCEPTED to RUNNING on event = ATTEMPT_REGISTERED"),
+    );
+    s.info(
+        LogSource::Driver(a),
+        TsMs(4401),
+        "YarnAllocator",
+        "START_ALLO Requesting 1 executor containers",
+    );
+    s.info(
+        rm,
+        TsMs(4500),
+        "RMContainerImpl",
+        format!("{ex} Container Transitioned from NEW to ALLOCATED"),
+    );
+    s.info(
+        rm,
+        TsMs(5400),
+        "RMContainerImpl",
+        format!("{ex} Container Transitioned from ALLOCATED to ACQUIRED"),
+    );
+    s.info(
+        LogSource::Driver(a),
+        TsMs(5400),
+        "YarnAllocator",
+        "END_ALLO All requested executor containers allocated",
+    );
+    s.info(
+        nm,
+        TsMs(5420),
+        "ContainerImpl",
+        format!("Container {ex} transitioned from NEW to LOCALIZING"),
+    );
+    s.info(
+        nm,
+        TsMs(5920),
+        "ContainerImpl",
+        format!("Container {ex} transitioned from LOCALIZING to SCHEDULED"),
+    );
+    s.info(
+        nm,
+        TsMs(5925),
+        "ContainerImpl",
+        format!("Container {ex} transitioned from SCHEDULED to RUNNING"),
+    );
+    s.info(
+        LogSource::Executor(ex),
+        TsMs(6625),
+        "CoarseGrainedExecutorBackend",
+        "Started executor",
+    );
+    s.info(
+        LogSource::Executor(ex),
+        TsMs(11_000),
+        "Executor",
+        "Got assigned task 0 in stage 0.0 (TID 0)",
+    );
+    s.info(
+        rm,
+        TsMs(40_100),
+        "RMAppImpl",
+        format!("{a} State change from RUNNING to FINAL_SAVING on event = ATTEMPT_UNREGISTERED"),
+    );
     s.write_dir(dir).unwrap();
     a
 }
@@ -53,7 +153,11 @@ fn prints_report_for_a_corpus() {
     let _ = std::fs::remove_dir_all(&dir);
     write_corpus(&dir);
     let out = bin().arg(&dir).output().unwrap();
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("SDchecker analysis"), "{stdout}");
     assert!(stdout.contains("applications: 1 (1 with complete scheduling-delay evidence)"));
@@ -76,7 +180,11 @@ fn writes_csv_and_dot() {
         .args(["--dot", &app.to_string(), dot.to_str().unwrap()])
         .output()
         .unwrap();
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let csv_text = std::fs::read_to_string(&csv).unwrap();
     assert!(csv_text.starts_with("app,total_ms"));
     assert!(csv_text.contains("10900"), "{csv_text}");
@@ -87,18 +195,73 @@ fn writes_csv_and_dot() {
 }
 
 #[test]
+fn threads_flag_is_byte_identical() {
+    let dir = tmp("threads");
+    let _ = std::fs::remove_dir_all(&dir);
+    let app = write_corpus(&dir);
+    let mut outputs = Vec::new();
+    for threads in ["1", "4"] {
+        let csv = dir.join(format!("out_{threads}.csv"));
+        let out = bin()
+            .arg(&dir)
+            .args(["--threads", threads])
+            .args(["--csv", csv.to_str().unwrap()])
+            .args([
+                "--dot",
+                &app.to_string(),
+                dir.join(format!("g_{threads}.dot")).to_str().unwrap(),
+            ])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        outputs.push((
+            out.stdout,
+            std::fs::read(&csv).unwrap(),
+            std::fs::read(dir.join(format!("g_{threads}.dot"))).unwrap(),
+        ));
+    }
+    assert_eq!(
+        outputs[0].0, outputs[1].0,
+        "stdout differs between --threads 1 and 4"
+    );
+    assert_eq!(
+        outputs[0].1, outputs[1].1,
+        "csv differs between --threads 1 and 4"
+    );
+    assert_eq!(
+        outputs[0].2, outputs[1].2,
+        "dot differs between --threads 1 and 4"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn rejects_bad_usage() {
     let out = bin().output().unwrap();
     assert_eq!(out.status.code(), Some(2));
     let out = bin().args(["dir", "--bogus"]).output().unwrap();
     assert_eq!(out.status.code(), Some(2));
-    let out = bin().args(["dir", "--dot", "not-an-app-id", "x.dot"]).output().unwrap();
+    let out = bin()
+        .args(["dir", "--dot", "not-an-app-id", "x.dot"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = bin().args(["dir", "--threads", "0"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = bin().args(["dir", "--threads", "many"]).output().unwrap();
     assert_eq!(out.status.code(), Some(2));
 }
 
 #[test]
 fn fails_cleanly_on_missing_dir() {
-    let out = bin().arg("/nonexistent/definitely/missing").output().unwrap();
+    let out = bin()
+        .arg("/nonexistent/definitely/missing")
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("failed to read logs"));
 }

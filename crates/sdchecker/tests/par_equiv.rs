@@ -1,0 +1,203 @@
+//! The parallel pipeline's central property: for arbitrary generated log
+//! corpora, analysis with `threads ∈ {2, 4, 8}` produces exactly the
+//! `threads = 1` result — events order, graphs, delays, unused containers,
+//! and app names. Randomized as seeded loops over `simkit::SimRng`.
+
+use logmodel::{ApplicationId, Epoch, LogSource, LogStore, NodeId, TsMs};
+use sdchecker::{analyze_store, analyze_store_with, Analysis, Parallelism};
+use simkit::SimRng;
+
+/// Generate a random but plausible corpus: `napps` applications spread
+/// over `nnodes` NodeManagers, each with a random container count, random
+/// (and frequently colliding) timestamps, banner lines, and noise records.
+fn random_corpus(rng: &mut SimRng) -> LogStore {
+    let epoch = Epoch::default_run();
+    let mut s = LogStore::new(epoch);
+    let cts = epoch.unix_ms;
+    let napps = rng.range(1, 13) as u32;
+    let nnodes = rng.range(1, 9) as u32;
+    let rm = LogSource::ResourceManager;
+    for seq in 1..=napps {
+        let a = ApplicationId::new(cts, seq);
+        // Coarse timestamps so ties across apps and streams are common —
+        // the case the k-way merge tie-break must get right.
+        let base = rng.below(50) * 100;
+        let t = |rng: &mut SimRng, lo: u64, hi: u64| TsMs(base + rng.range(lo, hi) / 10 * 10);
+        s.info(
+            rm,
+            t(rng, 1, 200),
+            "RMAppImpl",
+            format!("{a} State change from NEW_SAVING to SUBMITTED on event = APP_NEW_SAVED"),
+        );
+        if rng.chance(0.9) {
+            s.info(
+                rm,
+                t(rng, 100, 400),
+                "RMAppImpl",
+                format!("{a} State change from SUBMITTED to ACCEPTED on event = APP_ACCEPTED"),
+            );
+        }
+        if rng.chance(0.3) {
+            s.info(
+                rm,
+                t(rng, 1, 500),
+                "CapacityScheduler",
+                "Re-sorting assigned queue",
+            );
+        }
+        let ncontainers = rng.range(1, 7);
+        for c in 1..=ncontainers {
+            let cid = a.attempt(1).container(c);
+            let node = NodeId(rng.below(nnodes as u64) as u32 + 1);
+            let nm = LogSource::NodeManager(node);
+            s.info(
+                rm,
+                t(rng, 200, 900),
+                "RMContainerImpl",
+                format!("{cid} Container Transitioned from NEW to ALLOCATED"),
+            );
+            if rng.chance(0.85) {
+                s.info(
+                    rm,
+                    t(rng, 300, 1200),
+                    "RMContainerImpl",
+                    format!("{cid} Container Transitioned from ALLOCATED to ACQUIRED"),
+                );
+                s.info(
+                    nm,
+                    t(rng, 400, 1400),
+                    "ContainerImpl",
+                    format!("Container {cid} transitioned from NEW to LOCALIZING"),
+                );
+                s.info(
+                    nm,
+                    t(rng, 500, 2200),
+                    "ContainerImpl",
+                    format!("Container {cid} transitioned from LOCALIZING to SCHEDULED"),
+                );
+                s.info(
+                    nm,
+                    t(rng, 600, 2600),
+                    "ContainerImpl",
+                    format!("Container {cid} transitioned from SCHEDULED to RUNNING"),
+                );
+                if c > 1 && rng.chance(0.8) {
+                    let exl = LogSource::Executor(cid);
+                    s.info(
+                        exl,
+                        t(rng, 700, 3000),
+                        "CoarseGrainedExecutorBackend",
+                        "Started executor",
+                    );
+                    if rng.chance(0.8) {
+                        s.info(
+                            exl,
+                            t(rng, 800, 4000),
+                            "Executor",
+                            format!("Got assigned task 0 in stage 0.0 (TID {c})"),
+                        );
+                    }
+                }
+            }
+        }
+        if rng.chance(0.9) {
+            let drv = LogSource::Driver(a);
+            if rng.chance(0.7) {
+                s.info(
+                    drv,
+                    t(rng, 300, 1500),
+                    "ApplicationMaster",
+                    format!("Starting ApplicationMaster for tpch-q{seq:02}"),
+                );
+            }
+            s.info(
+                drv,
+                t(rng, 400, 2000),
+                "ApplicationMaster",
+                "Registered with ResourceManager as attempt",
+            );
+            s.info(
+                rm,
+                t(rng, 400, 2000),
+                "RMAppImpl",
+                format!("{a} State change from ACCEPTED to RUNNING on event = ATTEMPT_REGISTERED"),
+            );
+            s.info(
+                drv,
+                t(rng, 450, 2100),
+                "YarnAllocator",
+                format!("START_ALLO Requesting {ncontainers} executor containers"),
+            );
+            if rng.chance(0.8) {
+                s.info(
+                    drv,
+                    t(rng, 500, 3000),
+                    "YarnAllocator",
+                    "END_ALLO All requested executor containers allocated",
+                );
+            }
+        }
+        if rng.chance(0.7) {
+            s.info(
+                rm,
+                t(rng, 3000, 9000),
+                "RMAppImpl",
+                format!(
+                    "{a} State change from RUNNING to FINAL_SAVING on event = ATTEMPT_UNREGISTERED"
+                ),
+            );
+        }
+    }
+    s
+}
+
+/// Every observable field of the two analyses must agree. Graphs, delays,
+/// and unused containers compare via their (complete) `Debug` renderings,
+/// which cover every nested field and ordering.
+fn assert_same(seq: &Analysis, par: &Analysis, label: &str) {
+    assert_eq!(seq.events, par.events, "{label}: events (order) diverged");
+    assert_eq!(
+        format!("{:?}", seq.graphs),
+        format!("{:?}", par.graphs),
+        "{label}: graphs diverged"
+    );
+    assert_eq!(
+        format!("{:?}", seq.delays),
+        format!("{:?}", par.delays),
+        "{label}: delays diverged"
+    );
+    assert_eq!(
+        format!("{:?}", seq.unused_containers),
+        format!("{:?}", par.unused_containers),
+        "{label}: unused containers diverged"
+    );
+    assert_eq!(seq.app_names, par.app_names, "{label}: app names diverged");
+}
+
+#[test]
+fn parallel_analysis_equals_sequential() {
+    for case in 0..48u64 {
+        let mut rng = SimRng::new(0xFA11E1 ^ case);
+        let store = random_corpus(&mut rng);
+        let seq = analyze_store(&store);
+        for threads in [2, 4, 8] {
+            let par = analyze_store_with(&store, Parallelism::new(threads));
+            assert_same(&seq, &par, &format!("case {case}, threads {threads}"));
+        }
+    }
+}
+
+#[test]
+fn parallel_dir_analysis_equals_sequential() {
+    let mut rng = SimRng::new(0x0D1B);
+    let store = random_corpus(&mut rng);
+    let dir = std::env::temp_dir().join(format!("sdchecker_pareq_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    store.write_dir(&dir).unwrap();
+    let seq = sdchecker::analyze_dir(&dir).unwrap();
+    for threads in [2, 4, 8] {
+        let par = sdchecker::analyze_dir_with(&dir, Parallelism::new(threads)).unwrap();
+        assert_same(&seq, &par, &format!("dir, threads {threads}"));
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -41,20 +41,12 @@ pub enum Dist {
     Pareto { scale: f64, alpha: f64 },
     /// `base`, clamped into `[lo, hi]`. Keeps log-normal tails from
     /// producing absurd outliers in work items while preserving the bulk.
-    Clamped {
-        base: Box<Dist>,
-        lo: f64,
-        hi: f64,
-    },
+    Clamped { base: Box<Dist>, lo: f64, hi: f64 },
     /// `base + offset` (offset may be negative; results are not clamped).
     Shifted { base: Box<Dist>, offset: f64 },
     /// Draw from `a` with probability `p`, else from `b`. Used for
     /// bimodal effects such as "mostly fast, occasionally very slow".
-    Mix {
-        p: f64,
-        a: Box<Dist>,
-        b: Box<Dist>,
-    },
+    Mix { p: f64, a: Box<Dist>, b: Box<Dist> },
     /// Resample uniformly from observed values (bootstrap). Lets measured
     /// delay populations — e.g. real launch times mined by sdchecker —
     /// drive the simulator directly.
@@ -192,9 +184,7 @@ impl Sample for Dist {
         match self {
             Dist::Const(v) => *v,
             Dist::Uniform { lo, hi } => rng.range_f64(*lo, *hi),
-            Dist::LogNormalMed { median, sigma } => {
-                (median.ln() + sigma * rng.std_normal()).exp()
-            }
+            Dist::LogNormalMed { median, sigma } => (median.ln() + sigma * rng.std_normal()).exp(),
             Dist::Exp { mean } => {
                 let u = (1.0 - rng.f64()).max(f64::MIN_POSITIVE);
                 -mean * u.ln()

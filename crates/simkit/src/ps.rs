@@ -414,7 +414,11 @@ mod tests {
         res.add_flow(Millis(0), 100.0, 1.0, 4.0);
         res.add_flow(Millis(0), 60.0, 1.0, 4.0);
         drain(&mut res, Millis(0));
-        assert!((res.work_done() - 160.0).abs() < 1e-3, "{}", res.work_done());
+        assert!(
+            (res.work_done() - 160.0).abs() < 1e-3,
+            "{}",
+            res.work_done()
+        );
         assert!(res.busy_ms() >= 40.0 - 1e-6, "{}", res.busy_ms());
     }
 

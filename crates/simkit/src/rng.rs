@@ -7,11 +7,10 @@
 //! keeps results stable when one component starts drawing more samples —
 //! adding a draw in the localizer cannot perturb task-duration sampling.
 //!
-//! The generator is `rand::rngs::StdRng` seeded through SplitMix64 so that
-//! closely related `(seed, stream)` pairs still yield well-separated states.
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+//! The generator is xoshiro256++ (Blackman & Vigna), implemented locally so
+//! the workspace has no external dependencies, seeded through SplitMix64 so
+//! that closely related `(seed, stream)` pairs still yield well-separated
+//! states.
 
 /// SplitMix64 finalizer: a cheap, high-quality 64-bit mixer used to derive
 /// substream seeds.
@@ -22,9 +21,43 @@ fn splitmix64(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// xoshiro256++ core state: 4×64 bits, seeded by iterating SplitMix64.
+struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    fn seed_from_u64(seed: u64) -> Xoshiro256 {
+        // Standard recommendation: fill the state with SplitMix64 output so
+        // even all-zero / low-entropy seeds yield a valid (nonzero) state.
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            *w = splitmix64(sm);
+        }
+        Xoshiro256 { s }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.s;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.s = s;
+        result
+    }
+}
+
 /// A deterministic simulation RNG.
 pub struct SimRng {
-    inner: StdRng,
+    inner: Xoshiro256,
     seed: u64,
 }
 
@@ -32,7 +65,7 @@ impl SimRng {
     /// Create the root generator for a run.
     pub fn new(seed: u64) -> SimRng {
         SimRng {
-            inner: StdRng::seed_from_u64(splitmix64(seed)),
+            inner: Xoshiro256::seed_from_u64(splitmix64(seed)),
             seed,
         }
     }
@@ -49,7 +82,7 @@ impl SimRng {
     pub fn fork(&self, stream: u64) -> SimRng {
         let sub = splitmix64(self.seed ^ splitmix64(stream.wrapping_add(0xA5A5_5A5A)));
         SimRng {
-            inner: StdRng::seed_from_u64(sub),
+            inner: Xoshiro256::seed_from_u64(sub),
             seed: sub,
         }
     }
@@ -66,24 +99,37 @@ impl SimRng {
 
     /// Uniform `f64` in `[0, 1)`.
     pub fn f64(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 high-quality bits → the standard [0, 1) mapping.
+        (self.inner.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform `u64` over the full range.
     pub fn u64(&mut self) -> u64 {
-        self.inner.gen::<u64>()
+        self.inner.next_u64()
     }
 
     /// Uniform integer in `[0, n)`. Panics if `n == 0`.
     pub fn below(&mut self, n: u64) -> u64 {
         assert!(n > 0, "below(0)");
-        self.inner.gen_range(0..n)
+        // Lemire's multiply-shift with rejection: exactly uniform.
+        let mut x = self.inner.next_u64();
+        let mut m = (x as u128) * (n as u128);
+        let mut lo = m as u64;
+        if lo < n {
+            let threshold = n.wrapping_neg() % n;
+            while lo < threshold {
+                x = self.inner.next_u64();
+                m = (x as u128) * (n as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
     }
 
     /// Uniform integer in `[lo, hi)`. Panics if the range is empty.
     pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty range {lo}..{hi}");
-        self.inner.gen_range(lo..hi)
+        lo + self.below(hi - lo)
     }
 
     /// Uniform `f64` in `[lo, hi)`.
@@ -100,7 +146,7 @@ impl SimRng {
     /// Pick a uniformly random element index for a slice of length `len`.
     pub fn index(&mut self, len: usize) -> usize {
         assert!(len > 0, "index into empty slice");
-        self.inner.gen_range(0..len)
+        self.below(len as u64) as usize
     }
 
     /// Standard normal variate via Box–Muller (one value per call; the
@@ -207,7 +253,11 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
-        assert_ne!(v, (0..50).collect::<Vec<_>>(), "shuffle left input unchanged");
+        assert_ne!(
+            v,
+            (0..50).collect::<Vec<_>>(),
+            "shuffle left input unchanged"
+        );
     }
 
     #[test]

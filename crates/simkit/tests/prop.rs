@@ -1,7 +1,11 @@
-//! Property-based tests for the DES kernel's core data structures.
+//! Property-based tests for the DES kernel's core data structures,
+//! run as seeded randomized loops over `SimRng` (the workspace is
+//! dependency-free, so there is no proptest); each case is deterministic
+//! per seed.
 
-use proptest::prelude::*;
 use simkit::{Dist, EventQueue, Millis, PsResource, Sample, SimRng};
+
+const CASES: u64 = 200;
 
 /// Drain a resource via the tick protocol, returning completions.
 fn drain(res: &mut PsResource, start: Millis) -> Vec<(u64, Millis)> {
@@ -20,14 +24,23 @@ fn drain(res: &mut PsResource, start: Millis) -> Vec<(u64, Millis)> {
     out
 }
 
-proptest! {
-    /// Work conservation: all submitted work completes, and total work
-    /// done matches the sum of flow sizes.
-    #[test]
-    fn ps_completes_all_work(
-        flows in prop::collection::vec((1.0f64..5_000.0, 1.0f64..4.0, 0.1f64..4.0), 1..20),
-        capacity in 0.5f64..64.0,
-    ) {
+/// Work conservation: all submitted work completes, and total work
+/// done matches the sum of flow sizes.
+#[test]
+fn ps_completes_all_work() {
+    for case in 0..CASES {
+        let mut rng = SimRng::new(0x20 + case);
+        let nflows = rng.range(1, 20) as usize;
+        let flows: Vec<(f64, f64, f64)> = (0..nflows)
+            .map(|_| {
+                (
+                    rng.range_f64(1.0, 5_000.0),
+                    rng.range_f64(1.0, 4.0),
+                    rng.range_f64(0.1, 4.0),
+                )
+            })
+            .collect();
+        let capacity = rng.range_f64(0.5, 64.0);
         let mut res = PsResource::new(capacity);
         let mut expected = 0.0;
         for (work, weight, cap) in &flows {
@@ -35,20 +48,29 @@ proptest! {
             expected += work;
         }
         let done = drain(&mut res, Millis(0));
-        prop_assert_eq!(done.len(), flows.len());
-        prop_assert!((res.work_done() - expected).abs() < 1e-3,
-            "work done {} != submitted {}", res.work_done(), expected);
-        prop_assert_eq!(res.active_flows(), 0);
+        assert_eq!(done.len(), flows.len(), "case {case}");
+        assert!(
+            (res.work_done() - expected).abs() < 1e-3,
+            "case {case}: work done {} != submitted {}",
+            res.work_done(),
+            expected
+        );
+        assert_eq!(res.active_flows(), 0, "case {case}");
     }
+}
 
-    /// No flow finishes earlier than its physically fastest possible time
-    /// (work / min(cap, capacity)) nor later than the fully serialized
-    /// bound (total work / capacity, plus per-flow cap effects).
-    #[test]
-    fn ps_completion_times_within_physical_bounds(
-        flows in prop::collection::vec((10.0f64..2_000.0, 0.1f64..2.0), 1..12),
-        capacity in 1.0f64..16.0,
-    ) {
+/// No flow finishes earlier than its physically fastest possible time
+/// (work / min(cap, capacity)) nor later than the fully serialized
+/// bound (total work / capacity, plus per-flow cap effects).
+#[test]
+fn ps_completion_times_within_physical_bounds() {
+    for case in 0..CASES {
+        let mut rng = SimRng::new(0x21 + case);
+        let nflows = rng.range(1, 12) as usize;
+        let flows: Vec<(f64, f64)> = (0..nflows)
+            .map(|_| (rng.range_f64(10.0, 2_000.0), rng.range_f64(0.1, 2.0)))
+            .collect();
+        let capacity = rng.range_f64(1.0, 16.0);
         let mut res = PsResource::new(capacity);
         let mut ids = Vec::new();
         let mut total_work = 0.0;
@@ -62,39 +84,55 @@ proptest! {
         for (fid, at) in &done {
             let (_, work, cap) = ids.iter().find(|(i, _, _)| i.0 == *fid).unwrap();
             let fastest = work / cap.min(capacity);
-            prop_assert!(
+            assert!(
                 (at.as_f64() + 1.0) >= fastest,
-                "flow finished at {} but needs at least {fastest}", at.as_f64()
+                "case {case}: flow finished at {} but needs at least {fastest}",
+                at.as_f64()
             );
-            prop_assert!(at.as_f64() <= upper, "flow at {} beyond bound {upper}", at.as_f64());
+            assert!(
+                at.as_f64() <= upper,
+                "case {case}: flow at {} beyond bound {upper}",
+                at.as_f64()
+            );
         }
     }
+}
 
-    /// Equal flows submitted together finish together (fairness), and a
-    /// strictly smaller flow never finishes after a bigger equal-cap one.
-    #[test]
-    fn ps_smaller_flows_finish_no_later(
-        works in prop::collection::vec(1.0f64..1_000.0, 2..10),
-        capacity in 1.0f64..8.0,
-    ) {
+/// Equal flows submitted together finish together (fairness), and a
+/// strictly smaller flow never finishes after a bigger equal-cap one.
+#[test]
+fn ps_smaller_flows_finish_no_later() {
+    for case in 0..CASES {
+        let mut rng = SimRng::new(0x22 + case);
+        let nflows = rng.range(2, 10) as usize;
+        let works: Vec<f64> = (0..nflows).map(|_| rng.range_f64(1.0, 1_000.0)).collect();
+        let capacity = rng.range_f64(1.0, 8.0);
         let mut res = PsResource::new(capacity);
-        let ids: Vec<_> = works.iter().map(|w| res.add_flow(Millis(0), *w, 1.0, 1.0)).collect();
+        let ids: Vec<_> = works
+            .iter()
+            .map(|w| res.add_flow(Millis(0), *w, 1.0, 1.0))
+            .collect();
         let done = drain(&mut res, Millis(0));
         for (i, a) in ids.iter().enumerate() {
             for (j, b) in ids.iter().enumerate() {
                 if works[i] < works[j] {
                     let ta = done.iter().find(|(f, _)| f == &a.0).unwrap().1;
                     let tb = done.iter().find(|(f, _)| f == &b.0).unwrap().1;
-                    prop_assert!(ta <= tb, "smaller flow finished later");
+                    assert!(ta <= tb, "case {case}: smaller flow finished later");
                 }
             }
         }
     }
+}
 
-    /// The event queue pops in nondecreasing time order with FIFO ties,
-    /// regardless of push order.
-    #[test]
-    fn queue_pops_sorted_stable(times in prop::collection::vec(0u64..1_000, 1..200)) {
+/// The event queue pops in nondecreasing time order with FIFO ties,
+/// regardless of push order.
+#[test]
+fn queue_pops_sorted_stable() {
+    for case in 0..CASES {
+        let mut rng = SimRng::new(0x23 + case);
+        let n = rng.range(1, 200) as usize;
+        let times: Vec<u64> = (0..n).map(|_| rng.below(1_000)).collect();
         let mut q = EventQueue::new();
         for (i, t) in times.iter().enumerate() {
             q.push(Millis(*t), i);
@@ -102,38 +140,52 @@ proptest! {
         let mut last: Option<(Millis, usize)> = None;
         while let Some((t, i)) = q.pop() {
             if let Some((lt, li)) = last {
-                prop_assert!(t >= lt);
+                assert!(t >= lt, "case {case}");
                 if t == lt {
-                    prop_assert!(i > li, "FIFO violated on tie");
+                    assert!(i > li, "case {case}: FIFO violated on tie");
                 }
             }
             last = Some((t, i));
         }
     }
+}
 
-    /// Distribution samples respect their support.
-    #[test]
-    fn dist_samples_in_support(seed in any::<u64>(), median in 1.0f64..10_000.0, sigma in 0.0f64..1.5) {
+/// Distribution samples respect their support.
+#[test]
+fn dist_samples_in_support() {
+    for case in 0..CASES {
+        let mut seeder = SimRng::new(0x24 + case);
+        let seed = seeder.u64();
+        let median = seeder.range_f64(1.0, 10_000.0);
+        let sigma = seeder.range_f64(0.0, 1.5);
         let mut rng = SimRng::new(seed);
         let ln = Dist::lognormal(median, sigma);
         for _ in 0..50 {
-            prop_assert!(ln.sample(&mut rng) > 0.0);
+            assert!(ln.sample(&mut rng) > 0.0, "case {case}");
         }
         let cl = Dist::lognormal(median, sigma).clamped(median * 0.5, median * 2.0);
         for _ in 0..50 {
             let x = cl.sample(&mut rng);
-            prop_assert!(x >= median * 0.5 && x <= median * 2.0);
+            assert!(x >= median * 0.5 && x <= median * 2.0, "case {case}");
         }
         let pareto = Dist::pareto(median, 1.2);
         for _ in 0..50 {
-            prop_assert!(pareto.sample(&mut rng) >= median);
+            assert!(pareto.sample(&mut rng) >= median, "case {case}");
         }
     }
+}
 
-    /// Forked RNG streams are reproducible and order-independent.
-    #[test]
-    fn rng_forks_reproducible(seed in any::<u64>(), a in 0u64..1000, b in 0u64..1000) {
-        prop_assume!(a != b);
+/// Forked RNG streams are reproducible and order-independent.
+#[test]
+fn rng_forks_reproducible() {
+    for case in 0..CASES {
+        let mut seeder = SimRng::new(0x25 + case);
+        let seed = seeder.u64();
+        let a = seeder.below(1000);
+        let b = seeder.below(1000);
+        if a == b {
+            continue;
+        }
         let root = SimRng::new(seed);
         let mut fa1 = root.fork(a);
         let mut fb = root.fork(b);
@@ -141,24 +193,28 @@ proptest! {
         let xa1 = fa1.u64();
         let _ = fb.u64();
         let xa2 = fa2.u64();
-        prop_assert_eq!(xa1, xa2);
+        assert_eq!(xa1, xa2, "case {case}");
     }
+}
 
-    /// Cancelling a flow returns remaining work consistent with elapsed
-    /// progress (never more than submitted, never negative).
-    #[test]
-    fn ps_cancel_remaining_bounded(
-        work in 100.0f64..10_000.0,
-        cancel_at in 1u64..500,
-        capacity in 0.5f64..8.0,
-    ) {
+/// Cancelling a flow returns remaining work consistent with elapsed
+/// progress (never more than submitted, never negative).
+#[test]
+fn ps_cancel_remaining_bounded() {
+    for case in 0..CASES {
+        let mut rng = SimRng::new(0x26 + case);
+        let work = rng.range_f64(100.0, 10_000.0);
+        let cancel_at = rng.range(1, 500);
+        let capacity = rng.range_f64(0.5, 8.0);
         let mut res = PsResource::new(capacity);
         let id = res.add_flow(Millis(0), work, 1.0, 1.0);
         let left = res.cancel(Millis(cancel_at), id).unwrap();
-        prop_assert!(left >= 0.0 && left <= work);
+        assert!(left >= 0.0 && left <= work, "case {case}");
         let progressed = work - left;
         let max_possible = cancel_at as f64 * capacity.min(1.0);
-        prop_assert!(progressed <= max_possible + 1e-6,
-            "progressed {progressed} > possible {max_possible}");
+        assert!(
+            progressed <= max_possible + 1e-6,
+            "case {case}: progressed {progressed} > possible {max_possible}"
+        );
     }
 }

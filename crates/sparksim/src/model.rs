@@ -198,7 +198,11 @@ mod tests {
         let (logs, summaries) = run_one(profiles::spark_sql_default(2048.0, 4));
         assert_eq!(summaries.len(), 1, "job must complete");
         let s = &summaries[0];
-        assert!(s.runtime() > Millis::from_secs(5), "runtime {}", s.runtime());
+        assert!(
+            s.runtime() > Millis::from_secs(5),
+            "runtime {}",
+            s.runtime()
+        );
         assert!(
             s.runtime() < Millis::from_mins(5),
             "runtime {}",
@@ -209,23 +213,26 @@ mod tests {
         // Table-I evidence, message by message.
         let rm_text = logs.render_source(LogSource::ResourceManager);
         for needle in [
-            "from NEW_SAVING to SUBMITTED",          // 1
-            "from SUBMITTED to ACCEPTED",            // 2
-            "on event = ATTEMPT_REGISTERED",         // 3
-            "from NEW to ALLOCATED",                 // 4
-            "from ALLOCATED to ACQUIRED",            // 5
+            "from NEW_SAVING to SUBMITTED",  // 1
+            "from SUBMITTED to ACCEPTED",    // 2
+            "on event = ATTEMPT_REGISTERED", // 3
+            "from NEW to ALLOCATED",         // 4
+            "from ALLOCATED to ACQUIRED",    // 5
         ] {
             assert!(rm_text.contains(needle), "RM log missing {needle:?}");
         }
         let driver_text = logs.render_source(LogSource::Driver(app));
         for needle in [
-            "Starting ApplicationMaster",            // 9
-            "Registered with ResourceManager",       // 10
-            "START_ALLO",                            // 11
-            "END_ALLO",                              // 12
+            "Starting ApplicationMaster",      // 9
+            "Registered with ResourceManager", // 10
+            "START_ALLO",                      // 11
+            "END_ALLO",                        // 12
             "Final app status: SUCCEEDED",
         ] {
-            assert!(driver_text.contains(needle), "driver log missing {needle:?}");
+            assert!(
+                driver_text.contains(needle),
+                "driver log missing {needle:?}"
+            );
         }
         // Executor logs: 4 executors × (first log 13 + ≥1 task 14).
         let execs: Vec<_> = logs
@@ -426,7 +433,11 @@ mod tests {
         let first_task = d.first_task.unwrap();
         for c in d.containers.iter().filter(|c| !c.is_am) {
             let fl = c.first_log.unwrap();
-            assert!(fl <= first_task, "task assigned before executor {} was up", c.cid);
+            assert!(
+                fl <= first_task,
+                "task assigned before executor {} was up",
+                c.cid
+            );
         }
         // cl (last executor up) must precede the first task under ratio 1.
         assert!(d.cl_ms.unwrap() <= d.total_ms.unwrap());

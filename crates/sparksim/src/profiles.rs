@@ -97,7 +97,11 @@ fn spark_base(label: String, kind: JobKind, executors: u32) -> JobSpec {
 /// The default Spark-SQL (TPC-H-like) job: `input_mb` of table data,
 /// `executors` Spark executors (paper default: 2 GB / 4 executors).
 pub fn spark_sql_default(input_mb: f64, executors: u32) -> JobSpec {
-    let mut s = spark_base(format!("spark-sql-{}mb", input_mb as u64), JobKind::SparkSql, executors);
+    let mut s = spark_base(
+        format!("spark-sql-{}mb", input_mb as u64),
+        JobKind::SparkSql,
+        executors,
+    );
     s.user_init = UserInit {
         files: TPCH_TABLES,
         per_file_cpu_ms: Dist::lognormal(900.0, 0.30),

@@ -16,9 +16,7 @@ use std::collections::{BTreeMap, HashMap};
 
 use logmodel::{ApplicationId, ContainerId, LogSource, LogStore, NodeId, TsMs};
 use simkit::{Millis, Sample, SimRng};
-use yarnsim::{
-    AppNotice, Cluster, InstanceKind, LaunchSpec, LocalResource, Out, Ticket,
-};
+use yarnsim::{AppNotice, Cluster, InstanceKind, LaunchSpec, LocalResource, Out, Ticket};
 
 use crate::job::{Framework, JobSpec, StageSpec};
 
@@ -95,8 +93,13 @@ enum MrPurpose {
     MasterInit,
     /// One stream of a (possibly replicated) task transfer; the task's
     /// CPU phase starts when all streams finish.
-    TaskIo { cid: ContainerId, cpu_ms: f64 },
-    TaskCpu { cid: ContainerId },
+    TaskIo {
+        cid: ContainerId,
+        cpu_ms: f64,
+    },
+    TaskCpu {
+        cid: ContainerId,
+    },
 }
 
 /// Executor state within a Spark run.
@@ -318,10 +321,7 @@ impl SparkRun {
             LogSource::Driver(self.app),
             wx.ts(),
             "ApplicationMaster",
-            format!(
-                "Registered with ResourceManager as {}",
-                self.app.attempt(1)
-            ),
+            format!("Registered with ResourceManager as {}", self.app.attempt(1)),
         );
         wx.cluster.am_register(wx.now, self.app, wx.logs, wx.out);
         // Log message 11 (patched into YarnAllocator by the authors).
@@ -369,7 +369,9 @@ impl SparkRun {
     fn start_user_file_cpu(&mut self, idx: u32, wx: &mut Wx) {
         let (_, node) = self.driver.expect("driver up");
         let work = self.spec.user_init.per_file_cpu_ms.sample(&mut self.rng);
-        let t = wx.cluster.spawn_cpu(wx.now, node, self.app, work, 1.0, wx.out);
+        let t = wx
+            .cluster
+            .spawn_cpu(wx.now, node, self.app, work, 1.0, wx.out);
         let _ = idx;
         self.tickets.insert(t, Purpose::UserFileCpu);
     }
@@ -456,7 +458,9 @@ impl SparkRun {
             let t = wx.cluster.spawn_io(wx.now, node, self.app, io, wx.out);
             self.tickets.insert(t, Purpose::ExecutorSetupIo { cid });
         } else if work > 0.0 {
-            let t = wx.cluster.spawn_cpu(wx.now, node, self.app, work, 1.0, wx.out);
+            let t = wx
+                .cluster
+                .spawn_cpu(wx.now, node, self.app, work, 1.0, wx.out);
             self.tickets.insert(t, Purpose::ExecutorSetup { cid });
         } else {
             let d = self.spec.exec_register_rpc_ms.sample_ms(&mut self.rng);
@@ -488,7 +492,9 @@ impl SparkRun {
                 let (_, node) = self.driver.expect("driver up");
                 let work = self.spec.first_dispatch_overhead_ms.sample(&mut self.rng);
                 self.dispatch_overhead = OverheadState::Running;
-                let t = wx.cluster.spawn_cpu(wx.now, node, self.app, work, 1.0, wx.out);
+                let t = wx
+                    .cluster
+                    .spawn_cpu(wx.now, node, self.app, work, 1.0, wx.out);
                 self.tickets.insert(t, Purpose::DispatchOverhead);
                 return;
             }
@@ -594,7 +600,9 @@ impl SparkRun {
             Purpose::ExecutorSetupIo { cid } => {
                 let node = self.executors[&cid].node;
                 let work = self.spec.executor_setup_cpu_ms.sample(&mut self.rng);
-                let t = wx.cluster.spawn_cpu(wx.now, node, self.app, work, 1.0, wx.out);
+                let t = wx
+                    .cluster
+                    .spawn_cpu(wx.now, node, self.app, work, 1.0, wx.out);
                 self.tickets.insert(t, Purpose::ExecutorSetup { cid });
             }
             Purpose::ExecutorSetup { cid } => {
@@ -815,7 +823,9 @@ impl MrRun {
                 let target = if r == 0 || n_nodes <= 1 {
                     node
                 } else {
-                    logmodel::NodeId((node.0 + 1 + self.rng.below((n_nodes - 1) as u64) as u32) % n_nodes)
+                    logmodel::NodeId(
+                        (node.0 + 1 + self.rng.below((n_nodes - 1) as u64) as u32) % n_nodes,
+                    )
                 };
                 let t = wx
                     .cluster

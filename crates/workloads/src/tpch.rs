@@ -29,28 +29,138 @@ pub struct QueryShape {
 
 /// The 22 query shapes.
 pub const QUERIES: [QueryShape; 22] = [
-    QueryShape { q: 1, cpu_weight: 1.45, join_stages: 1, selectivity: 0.98 },
-    QueryShape { q: 2, cpu_weight: 0.75, join_stages: 3, selectivity: 0.25 },
-    QueryShape { q: 3, cpu_weight: 1.05, join_stages: 2, selectivity: 0.80 },
-    QueryShape { q: 4, cpu_weight: 0.85, join_stages: 2, selectivity: 0.55 },
-    QueryShape { q: 5, cpu_weight: 1.20, join_stages: 3, selectivity: 0.85 },
-    QueryShape { q: 6, cpu_weight: 0.55, join_stages: 1, selectivity: 0.30 },
-    QueryShape { q: 7, cpu_weight: 1.15, join_stages: 3, selectivity: 0.75 },
-    QueryShape { q: 8, cpu_weight: 1.10, join_stages: 3, selectivity: 0.70 },
-    QueryShape { q: 9, cpu_weight: 1.80, join_stages: 3, selectivity: 0.95 },
-    QueryShape { q: 10, cpu_weight: 1.00, join_stages: 2, selectivity: 0.75 },
-    QueryShape { q: 11, cpu_weight: 0.60, join_stages: 2, selectivity: 0.20 },
-    QueryShape { q: 12, cpu_weight: 0.80, join_stages: 2, selectivity: 0.50 },
-    QueryShape { q: 13, cpu_weight: 0.95, join_stages: 2, selectivity: 0.60 },
-    QueryShape { q: 14, cpu_weight: 0.70, join_stages: 2, selectivity: 0.40 },
-    QueryShape { q: 15, cpu_weight: 0.75, join_stages: 2, selectivity: 0.45 },
-    QueryShape { q: 16, cpu_weight: 0.65, join_stages: 2, selectivity: 0.30 },
-    QueryShape { q: 17, cpu_weight: 1.30, join_stages: 2, selectivity: 0.65 },
-    QueryShape { q: 18, cpu_weight: 1.55, join_stages: 3, selectivity: 0.90 },
-    QueryShape { q: 19, cpu_weight: 0.90, join_stages: 1, selectivity: 0.55 },
-    QueryShape { q: 20, cpu_weight: 1.00, join_stages: 3, selectivity: 0.50 },
-    QueryShape { q: 21, cpu_weight: 1.70, join_stages: 3, selectivity: 0.90 },
-    QueryShape { q: 22, cpu_weight: 0.60, join_stages: 2, selectivity: 0.25 },
+    QueryShape {
+        q: 1,
+        cpu_weight: 1.45,
+        join_stages: 1,
+        selectivity: 0.98,
+    },
+    QueryShape {
+        q: 2,
+        cpu_weight: 0.75,
+        join_stages: 3,
+        selectivity: 0.25,
+    },
+    QueryShape {
+        q: 3,
+        cpu_weight: 1.05,
+        join_stages: 2,
+        selectivity: 0.80,
+    },
+    QueryShape {
+        q: 4,
+        cpu_weight: 0.85,
+        join_stages: 2,
+        selectivity: 0.55,
+    },
+    QueryShape {
+        q: 5,
+        cpu_weight: 1.20,
+        join_stages: 3,
+        selectivity: 0.85,
+    },
+    QueryShape {
+        q: 6,
+        cpu_weight: 0.55,
+        join_stages: 1,
+        selectivity: 0.30,
+    },
+    QueryShape {
+        q: 7,
+        cpu_weight: 1.15,
+        join_stages: 3,
+        selectivity: 0.75,
+    },
+    QueryShape {
+        q: 8,
+        cpu_weight: 1.10,
+        join_stages: 3,
+        selectivity: 0.70,
+    },
+    QueryShape {
+        q: 9,
+        cpu_weight: 1.80,
+        join_stages: 3,
+        selectivity: 0.95,
+    },
+    QueryShape {
+        q: 10,
+        cpu_weight: 1.00,
+        join_stages: 2,
+        selectivity: 0.75,
+    },
+    QueryShape {
+        q: 11,
+        cpu_weight: 0.60,
+        join_stages: 2,
+        selectivity: 0.20,
+    },
+    QueryShape {
+        q: 12,
+        cpu_weight: 0.80,
+        join_stages: 2,
+        selectivity: 0.50,
+    },
+    QueryShape {
+        q: 13,
+        cpu_weight: 0.95,
+        join_stages: 2,
+        selectivity: 0.60,
+    },
+    QueryShape {
+        q: 14,
+        cpu_weight: 0.70,
+        join_stages: 2,
+        selectivity: 0.40,
+    },
+    QueryShape {
+        q: 15,
+        cpu_weight: 0.75,
+        join_stages: 2,
+        selectivity: 0.45,
+    },
+    QueryShape {
+        q: 16,
+        cpu_weight: 0.65,
+        join_stages: 2,
+        selectivity: 0.30,
+    },
+    QueryShape {
+        q: 17,
+        cpu_weight: 1.30,
+        join_stages: 2,
+        selectivity: 0.65,
+    },
+    QueryShape {
+        q: 18,
+        cpu_weight: 1.55,
+        join_stages: 3,
+        selectivity: 0.90,
+    },
+    QueryShape {
+        q: 19,
+        cpu_weight: 0.90,
+        join_stages: 1,
+        selectivity: 0.55,
+    },
+    QueryShape {
+        q: 20,
+        cpu_weight: 1.00,
+        join_stages: 3,
+        selectivity: 0.50,
+    },
+    QueryShape {
+        q: 21,
+        cpu_weight: 1.70,
+        join_stages: 3,
+        selectivity: 0.90,
+    },
+    QueryShape {
+        q: 22,
+        cpu_weight: 0.60,
+        join_stages: 2,
+        selectivity: 0.25,
+    },
 ];
 
 /// Build the Spark-SQL job for TPC-H query `q` (1–22) over `input_mb` of

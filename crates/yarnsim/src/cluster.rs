@@ -28,10 +28,10 @@ use std::collections::{BTreeMap, VecDeque};
 use logmodel::{ApplicationId, ContainerId, LogSource, LogStore, NodeId, TsMs};
 use simkit::{Dist, Millis, Sample, SimRng};
 
-use crate::config::{ClusterConfig, ContainerRuntime, OppPlacement, QueuePolicy, ResourceReq, SchedulerKind};
-use crate::effects::{
-    AppNotice, AppSubmission, ClusterEvent, LaunchSpec, Out, Ticket,
+use crate::config::{
+    ClusterConfig, ContainerRuntime, OppPlacement, QueuePolicy, ResourceReq, SchedulerKind,
 };
+use crate::effects::{AppNotice, AppSubmission, ClusterEvent, LaunchSpec, Out, Ticket};
 use crate::node::Node;
 use crate::state::{NmContainerState, RmAppState, RmContainerState, Tracked};
 
@@ -222,7 +222,13 @@ impl Cluster {
         self.next_app_seq += 1;
         let id = ApplicationId::new(self.cluster_ts, self.next_app_seq);
         let mut state = Tracked::new(RmAppState::New);
-        state.transition(RmAppState::NewSaving, "START", &id.to_string(), ts(now), logs);
+        state.transition(
+            RmAppState::NewSaving,
+            "START",
+            &id.to_string(),
+            ts(now),
+            logs,
+        );
         let save = self.sample(&self.cfg.rm_state_store_ms.clone());
         self.apps.insert(
             id,
@@ -247,7 +253,13 @@ impl Cluster {
     /// AMRMClient heartbeat thread starts asynchronously, which is what
     /// gives acquisition delays their uniform-in-[0, interval] spread
     /// (paper Fig 7-(c): "very high variances").
-    pub fn am_register(&mut self, now: Millis, app: ApplicationId, logs: &mut LogStore, out: &mut Out) {
+    pub fn am_register(
+        &mut self,
+        now: Millis,
+        app: ApplicationId,
+        logs: &mut LogStore,
+        out: &mut Out,
+    ) {
         let interval = {
             let a = self.apps.get_mut(&app).expect("unknown app");
             a.state.transition(
@@ -329,12 +341,7 @@ impl Cluster {
 
     /// Release acquired-but-unlaunched containers (the SPARK-21562 path:
     /// Spark over-requested, got the grants, never used them).
-    pub fn release_containers(
-        &mut self,
-        now: Millis,
-        cids: &[ContainerId],
-        logs: &mut LogStore,
-    ) {
+    pub fn release_containers(&mut self, now: Millis, cids: &[ContainerId], logs: &mut LogStore) {
         for cid in cids {
             let Some(c) = self.containers.get_mut(cid) else {
                 continue;
@@ -384,7 +391,10 @@ impl Cluster {
     ) -> Ticket {
         self.next_ticket += 1;
         let ticket = Ticket(self.next_ticket);
-        let flow = self.node_mut(node).cpu.add_flow(now, cpu_ms, threads, threads);
+        let flow = self
+            .node_mut(node)
+            .cpu
+            .add_flow(now, cpu_ms, threads, threads);
         self.cpu_flows
             .insert((node.0, flow.0), FlowPurpose::AppWork { app, ticket });
         self.resched_cpu(node, now, out);
@@ -440,7 +450,12 @@ impl Cluster {
             c.reserved = false;
             r
         };
-        let (node, req, reserved, app) = (node_req_reserved.0, node_req_reserved.1, node_req_reserved.2, node_req_reserved.3);
+        let (node, req, reserved, app) = (
+            node_req_reserved.0,
+            node_req_reserved.1,
+            node_req_reserved.2,
+            node_req_reserved.3,
+        );
         if reserved {
             self.node_mut(node).release(req);
         }
@@ -673,7 +688,13 @@ impl Cluster {
         );
     }
 
-    fn on_am_heartbeat(&mut self, now: Millis, app: ApplicationId, logs: &mut LogStore, out: &mut Out) {
+    fn on_am_heartbeat(
+        &mut self,
+        now: Millis,
+        app: ApplicationId,
+        logs: &mut LogStore,
+        out: &mut Out,
+    ) {
         let Some(a) = self.apps.get_mut(&app) else {
             return;
         };
@@ -791,7 +812,10 @@ impl Cluster {
             rm_state.transition(RmContainerState::Allocated, &cid.to_string(), ts(now), logs);
             rm_state.transition(RmContainerState::Acquired, &cid.to_string(), ts(now), logs);
             self.containers_allocated += 1;
-            self.apps.get_mut(&app).expect("unknown app").live_containers += 1;
+            self.apps
+                .get_mut(&app)
+                .expect("unknown app")
+                .live_containers += 1;
             self.containers.insert(
                 cid,
                 ContainerInfo {
@@ -862,8 +886,8 @@ impl Cluster {
         };
         let mut pending = 0usize;
         for (idx, res) in resources.iter().enumerate() {
-            let cached =
-                self.cfg.localization_cache && self.nodes[node.0 as usize].is_cached(app, &res.name);
+            let cached = self.cfg.localization_cache
+                && self.nodes[node.0 as usize].is_cached(app, &res.name);
             if cached {
                 continue;
             }
@@ -875,8 +899,10 @@ impl Cluster {
                 // NameNode lookup (CPU) then the download (IO).
                 let meta = self.sample(&self.cfg.localize_meta_cpu_ms.clone()).as_f64();
                 let flow = self.node_mut(node).cpu.add_flow(now, meta, 1.0, 1.0);
-                self.cpu_flows
-                    .insert((node.0, flow.0), FlowPurpose::LocalizeMeta { cid, res_idx: idx });
+                self.cpu_flows.insert(
+                    (node.0, flow.0),
+                    FlowPurpose::LocalizeMeta { cid, res_idx: idx },
+                );
                 self.resched_cpu(node, now, out);
             }
         }
@@ -888,7 +914,13 @@ impl Cluster {
 
     /// All localization done: LOCALIZING → SCHEDULED, then hand off to the
     /// launcher (queueing opportunistic containers when the node is full).
-    fn mark_scheduled(&mut self, now: Millis, cid: ContainerId, logs: &mut LogStore, out: &mut Out) {
+    fn mark_scheduled(
+        &mut self,
+        now: Millis,
+        cid: ContainerId,
+        logs: &mut LogStore,
+        out: &mut Out,
+    ) {
         let (node, req, opportunistic) = {
             let c = self.containers.get_mut(&cid).expect("unknown container");
             c.nm_state.as_mut().expect("nm state").transition(
@@ -901,7 +933,9 @@ impl Cluster {
             (c.node, c.req, c.opportunistic)
         };
         if opportunistic {
-            if self.nodes[node.0 as usize].fits(req) && self.nodes[node.0 as usize].opp_queue.is_empty() {
+            if self.nodes[node.0 as usize].fits(req)
+                && self.nodes[node.0 as usize].opp_queue.is_empty()
+            {
                 self.node_mut(node).reserve(req);
                 self.containers.get_mut(&cid).unwrap().reserved = true;
             } else {
@@ -962,7 +996,10 @@ impl Cluster {
             let spec = self.containers[&cid].spec.as_ref().expect("spec");
             (spec.launch_cpu_ms, spec.launch_threads)
         };
-        let flow = self.node_mut(node).cpu.add_flow(now, work, threads, threads);
+        let flow = self
+            .node_mut(node)
+            .cpu
+            .add_flow(now, work, threads, threads);
         self.cpu_flows
             .insert((node.0, flow.0), FlowPurpose::LaunchCpu { cid });
         self.resched_cpu(node, now, out);
@@ -1035,8 +1072,12 @@ impl Cluster {
                     return;
                 };
                 if c.rm_state.get() == RmContainerState::Acquired {
-                    c.rm_state
-                        .transition(RmContainerState::Running, &cid.to_string(), ts(now), logs);
+                    c.rm_state.transition(
+                        RmContainerState::Running,
+                        &cid.to_string(),
+                        ts(now),
+                        logs,
+                    );
                 }
                 let kind = c.spec.as_ref().expect("spec").kind;
                 out.notify(AppNotice::ProcessStarted {
@@ -1053,10 +1094,7 @@ impl Cluster {
     /// containers FIFO while they fit.
     fn drain_opp_queue(&mut self, now: Millis, node: NodeId, out: &mut Out) {
         while let Some(&cid) = self.nodes[node.0 as usize].opp_queue.front() {
-            let info = self
-                .containers
-                .get(&cid)
-                .map(|c| (c.rm_state.get(), c.req));
+            let info = self.containers.get(&cid).map(|c| (c.rm_state.get(), c.req));
             let Some((state, req)) = info else {
                 self.node_mut(node).opp_queue.pop_front();
                 continue;

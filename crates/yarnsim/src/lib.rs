@@ -25,7 +25,10 @@ pub mod state;
 mod tests_protocol;
 
 pub use cluster::Cluster;
-pub use config::{ClusterConfig, ContainerRuntime, DockerConfig, OppPlacement, QueuePolicy, ResourceCalculator, ResourceReq, SchedulerKind};
+pub use config::{
+    ClusterConfig, ContainerRuntime, DockerConfig, OppPlacement, QueuePolicy, ResourceCalculator,
+    ResourceReq, SchedulerKind,
+};
 pub use effects::{
     AppNotice, AppSubmission, ClusterEvent, InstanceKind, LaunchSpec, LocalResource, Out, Ticket,
 };

@@ -114,7 +114,8 @@ impl Node {
 
     /// Whether `(app, name)` is already localized here.
     pub fn is_cached(&self, app: ApplicationId, name: &str) -> bool {
-        self.cache.contains(&(self.cache_app(app), name.to_string()))
+        self.cache
+            .contains(&(self.cache_app(app), name.to_string()))
     }
 
     /// Record `(app, name)` as localized.
@@ -125,7 +126,8 @@ impl Node {
 
     /// Is a download of `(app, name)` already in flight?
     pub fn inflight_contains(&self, app: ApplicationId, name: &str) -> bool {
-        self.inflight.contains_key(&(self.cache_app(app), name.to_string()))
+        self.inflight
+            .contains_key(&(self.cache_app(app), name.to_string()))
     }
 
     /// Start tracking an in-flight download owned by `owner`.

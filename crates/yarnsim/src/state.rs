@@ -214,7 +214,10 @@ impl Tracked<RmContainerState> {
             LogSource::ResourceManager,
             ts,
             "RMContainerImpl",
-            format!("{subject} Container Transitioned from {} to {to}", self.state),
+            format!(
+                "{subject} Container Transitioned from {} to {to}",
+                self.state
+            ),
         );
         self.state = to;
     }
@@ -240,7 +243,10 @@ impl Tracked<NmContainerState> {
             node_log,
             ts,
             "ContainerImpl",
-            format!("Container {subject} transitioned from {} to {to}", self.state),
+            format!(
+                "Container {subject} transitioned from {} to {to}",
+                self.state
+            ),
         );
         self.state = to;
     }
@@ -254,7 +260,16 @@ mod tests {
     #[test]
     fn rm_app_happy_path_is_legal() {
         use RmAppState::*;
-        let path = [New, NewSaving, Submitted, Accepted, Running, FinalSaving, Finishing, Finished];
+        let path = [
+            New,
+            NewSaving,
+            Submitted,
+            Accepted,
+            Running,
+            FinalSaving,
+            Finishing,
+            Finished,
+        ];
         for w in path.windows(2) {
             assert!(w[0].can_go(w[1]), "{} -> {}", w[0], w[1]);
         }
@@ -310,8 +325,20 @@ mod tests {
         let mut logs = LogStore::new(Epoch::default_run());
         let mut st = Tracked::new(NmContainerState::New);
         let src = LogSource::NodeManager(NodeId(2));
-        st.transition(NmContainerState::Localizing, "container_1_0001_01_000001", src, TsMs(1), &mut logs);
-        st.transition(NmContainerState::Scheduled, "container_1_0001_01_000001", src, TsMs(9), &mut logs);
+        st.transition(
+            NmContainerState::Localizing,
+            "container_1_0001_01_000001",
+            src,
+            TsMs(1),
+            &mut logs,
+        );
+        st.transition(
+            NmContainerState::Scheduled,
+            "container_1_0001_01_000001",
+            src,
+            TsMs(9),
+            &mut logs,
+        );
         let recs = logs.records(src);
         assert_eq!(recs.len(), 2);
         assert!(recs[1]

@@ -81,7 +81,10 @@ impl Pump {
         id
     }
 
-    fn with_cluster<R>(&mut self, f: impl FnOnce(&mut Cluster, Millis, &mut LogStore, &mut Out) -> R) -> R {
+    fn with_cluster<R>(
+        &mut self,
+        f: impl FnOnce(&mut Cluster, Millis, &mut LogStore, &mut Out) -> R,
+    ) -> R {
         let mut out = Out::new();
         let r = f(&mut self.cluster, self.now, &mut self.logs, &mut out);
         self.absorb(out);
@@ -132,10 +135,24 @@ fn am_container_full_lifecycle_logs() {
     let mut p = Pump::new(ClusterConfig::default());
     let app = p.submit(spark_submission());
     let notice = p.run_until(
-        |n| matches!(n, AppNotice::ProcessStarted { kind: InstanceKind::SparkDriver, .. }),
+        |n| {
+            matches!(
+                n,
+                AppNotice::ProcessStarted {
+                    kind: InstanceKind::SparkDriver,
+                    ..
+                }
+            )
+        },
         100_000,
     );
-    let AppNotice::ProcessStarted { app: napp, container, node, .. } = notice else {
+    let AppNotice::ProcessStarted {
+        app: napp,
+        container,
+        node,
+        ..
+    } = notice
+    else {
         unreachable!()
     };
     assert_eq!(napp, app);
@@ -183,7 +200,10 @@ fn executors_are_granted_after_registration() {
         c.request_containers(now, app, 4, ResourceReq::SPARK_EXECUTOR, out)
     });
 
-    let notice = p.run_until(|n| matches!(n, AppNotice::ContainersGranted { .. }), 100_000);
+    let notice = p.run_until(
+        |n| matches!(n, AppNotice::ContainersGranted { .. }),
+        100_000,
+    );
     let AppNotice::ContainersGranted { containers, .. } = notice else {
         unreachable!()
     };
@@ -197,7 +217,15 @@ fn executors_are_granted_after_registration() {
     }
     for _ in 0..containers.len() {
         p.run_until(
-            |n| matches!(n, AppNotice::ProcessStarted { kind: InstanceKind::SparkExecutor, .. }),
+            |n| {
+                matches!(
+                    n,
+                    AppNotice::ProcessStarted {
+                        kind: InstanceKind::SparkExecutor,
+                        ..
+                    }
+                )
+            },
             200_000,
         );
         started += 1;
@@ -223,7 +251,10 @@ fn acquisition_waits_for_am_heartbeat() {
     p.with_cluster(|c, now, _l, out| {
         c.request_containers(now, app, 4, ResourceReq::SPARK_EXECUTOR, out)
     });
-    p.run_until(|n| matches!(n, AppNotice::ContainersGranted { .. }), 200_000);
+    p.run_until(
+        |n| matches!(n, AppNotice::ContainersGranted { .. }),
+        200_000,
+    );
 
     // Mine the logs: per executor container, acquired - allocated ∈ (0, 1000].
     let rm = p.logs.records(LogSource::ResourceManager);
@@ -259,15 +290,24 @@ fn localization_cache_dedups_same_node_downloads() {
     p.with_cluster(|c, now, _l, out| {
         c.request_containers(now, app, 1, ResourceReq::SPARK_EXECUTOR, out)
     });
-    let AppNotice::ContainersGranted { containers, .. } =
-        p.run_until(|n| matches!(n, AppNotice::ContainersGranted { .. }), 200_000)
-    else {
+    let AppNotice::ContainersGranted { containers, .. } = p.run_until(
+        |n| matches!(n, AppNotice::ContainersGranted { .. }),
+        200_000,
+    ) else {
         unreachable!()
     };
     let (cid, node) = containers[0];
     p.with_cluster(|c, now, _l, out| c.launch_container(now, cid, executor_launch(), out));
     p.run_until(
-        |n| matches!(n, AppNotice::ProcessStarted { kind: InstanceKind::SparkExecutor, .. }),
+        |n| {
+            matches!(
+                n,
+                AppNotice::ProcessStarted {
+                    kind: InstanceKind::SparkExecutor,
+                    ..
+                }
+            )
+        },
         200_000,
     );
 
@@ -325,9 +365,10 @@ fn opportunistic_allocates_in_milliseconds() {
     p.with_cluster(|c, now, _l, out| {
         c.request_containers(now, app, 4, ResourceReq::SPARK_EXECUTOR, out)
     });
-    let AppNotice::ContainersGranted { containers, .. } =
-        p.run_until(|n| matches!(n, AppNotice::ContainersGranted { .. }), 200_000)
-    else {
+    let AppNotice::ContainersGranted { containers, .. } = p.run_until(
+        |n| matches!(n, AppNotice::ContainersGranted { .. }),
+        200_000,
+    ) else {
         unreachable!()
     };
     assert_eq!(containers.len(), 4);
@@ -357,9 +398,10 @@ fn opportunistic_queues_when_node_full() {
     p.with_cluster(|c, now, _l, out| {
         c.request_containers(now, app, 4, ResourceReq::SPARK_EXECUTOR, out)
     });
-    let AppNotice::ContainersGranted { containers, .. } =
-        p.run_until(|n| matches!(n, AppNotice::ContainersGranted { .. }), 200_000)
-    else {
+    let AppNotice::ContainersGranted { containers, .. } = p.run_until(
+        |n| matches!(n, AppNotice::ContainersGranted { .. }),
+        200_000,
+    ) else {
         unreachable!()
     };
     for (cid, _) in &containers {
@@ -369,7 +411,15 @@ fn opportunistic_queues_when_node_full() {
     let mut started = Vec::new();
     for _ in 0..3 {
         let AppNotice::ProcessStarted { container, .. } = p.run_until(
-            |n| matches!(n, AppNotice::ProcessStarted { kind: InstanceKind::SparkExecutor, .. }),
+            |n| {
+                matches!(
+                    n,
+                    AppNotice::ProcessStarted {
+                        kind: InstanceKind::SparkExecutor,
+                        ..
+                    }
+                )
+            },
             400_000,
         ) else {
             unreachable!()
@@ -391,10 +441,9 @@ fn opportunistic_queues_when_node_full() {
     // Finish one executor: the queued one starts.
     let done = started[0];
     p.with_cluster(|c, now, logs, out| c.finish_container(now, done, logs, out));
-    let AppNotice::ProcessStarted { container, .. } = p.run_until(
-        |n| matches!(n, AppNotice::ProcessStarted { .. }),
-        400_000,
-    ) else {
+    let AppNotice::ProcessStarted { container, .. } =
+        p.run_until(|n| matches!(n, AppNotice::ProcessStarted { .. }), 400_000)
+    else {
         unreachable!()
     };
     assert_eq!(container, queued[0]);
@@ -428,9 +477,10 @@ fn released_containers_show_bug_signature() {
     });
     let mut granted: Vec<(ContainerId, NodeId)> = Vec::new();
     while granted.len() < 6 {
-        let AppNotice::ContainersGranted { containers, .. } =
-            p.run_until(|n| matches!(n, AppNotice::ContainersGranted { .. }), 400_000)
-        else {
+        let AppNotice::ContainersGranted { containers, .. } = p.run_until(
+            |n| matches!(n, AppNotice::ContainersGranted { .. }),
+            400_000,
+        ) else {
             unreachable!()
         };
         granted.extend(containers);
@@ -480,7 +530,10 @@ fn cancel_pending_trims_backlog() {
     p.run_past(p.now + Millis(1_500));
     let backlog = p.cluster.backlog_len();
     assert!(backlog > 0, "remaining ask must reach the backlog");
-    assert!(backlog <= 1900, "cancelled asks must not reappear: {backlog}");
+    assert!(
+        backlog <= 1900,
+        "cancelled asks must not reappear: {backlog}"
+    );
     let cancelled2 = p.cluster.cancel_pending(app, 50);
     assert_eq!(cancelled2, 50);
     assert_eq!(p.cluster.backlog_len(), backlog - 50);
@@ -501,15 +554,19 @@ fn capacity_allocation_quantized_by_am_heartbeat() {
     });
     let mut granted = 0;
     while granted < 4 {
-        let AppNotice::ContainersGranted { containers, .. } =
-            p.run_until(|n| matches!(n, AppNotice::ContainersGranted { .. }), 400_000)
-        else {
+        let AppNotice::ContainersGranted { containers, .. } = p.run_until(
+            |n| matches!(n, AppNotice::ContainersGranted { .. }),
+            400_000,
+        ) else {
             unreachable!()
         };
         granted += containers.len();
     }
     let latency = p.now - t0;
-    assert!(latency > Millis(1), "allocation can't be instant: {latency}");
+    assert!(
+        latency > Millis(1),
+        "allocation can't be instant: {latency}"
+    );
     assert!(
         latency < Millis(2_500),
         "4 executors should be granted within ~2 heartbeats: {latency}"
@@ -600,9 +657,10 @@ fn small_requests_spread_across_nodes() {
     });
     let mut granted: Vec<NodeId> = Vec::new();
     while granted.len() < 4 {
-        let AppNotice::ContainersGranted { containers, .. } =
-            p.run_until(|n| matches!(n, AppNotice::ContainersGranted { .. }), 400_000)
-        else {
+        let AppNotice::ContainersGranted { containers, .. } = p.run_until(
+            |n| matches!(n, AppNotice::ContainersGranted { .. }),
+            400_000,
+        ) else {
             unreachable!()
         };
         granted.extend(containers.iter().map(|(_, n)| *n));
@@ -683,9 +741,10 @@ fn live_container_accounting_balances_on_all_paths() {
         });
         let mut granted: Vec<ContainerId> = Vec::new();
         while granted.len() < 4 {
-            let AppNotice::ContainersGranted { containers, .. } =
-                p.run_until(|n| matches!(n, AppNotice::ContainersGranted { .. }), 400_000)
-            else {
+            let AppNotice::ContainersGranted { containers, .. } = p.run_until(
+                |n| matches!(n, AppNotice::ContainersGranted { .. }),
+                400_000,
+            ) else {
                 unreachable!()
             };
             granted.extend(containers.iter().map(|(c, _)| *c));

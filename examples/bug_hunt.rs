@@ -42,7 +42,10 @@ fn main() {
         if let Some(g) = buggy.analysis.graphs.get(&u.app) {
             let path = std::env::temp_dir().join("sdchecker-bug-graph.dot");
             std::fs::write(&path, g.to_dot()).expect("write dot");
-            println!("\nwrote the affected app's scheduling graph to {}", path.display());
+            println!(
+                "\nwrote the affected app's scheduling graph to {}",
+                path.display()
+            );
         }
     }
 }

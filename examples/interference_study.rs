@@ -47,10 +47,26 @@ fn main() {
     let base = fig12::scenario(0, scale, seed);
     let io = fig12::scenario(100, scale, seed);
     for row in [
-        Row { name: "total", base: p95(&base.ms(|d| d.total_ms)), loaded: p95(&io.ms(|d| d.total_ms)) },
-        Row { name: "out-app", base: p95(&base.ms(|d| d.out_app_ms)), loaded: p95(&io.ms(|d| d.out_app_ms)) },
-        Row { name: "in-app", base: p95(&base.ms(|d| d.in_app_ms)), loaded: p95(&io.ms(|d| d.in_app_ms)) },
-        Row { name: "am", base: p95(&base.ms(|d| d.am_ms)), loaded: p95(&io.ms(|d| d.am_ms)) },
+        Row {
+            name: "total",
+            base: p95(&base.ms(|d| d.total_ms)),
+            loaded: p95(&io.ms(|d| d.total_ms)),
+        },
+        Row {
+            name: "out-app",
+            base: p95(&base.ms(|d| d.out_app_ms)),
+            loaded: p95(&io.ms(|d| d.out_app_ms)),
+        },
+        Row {
+            name: "in-app",
+            base: p95(&base.ms(|d| d.in_app_ms)),
+            loaded: p95(&io.ms(|d| d.in_app_ms)),
+        },
+        Row {
+            name: "am",
+            base: p95(&base.ms(|d| d.am_ms)),
+            loaded: p95(&io.ms(|d| d.am_ms)),
+        },
         Row {
             name: "localize(p50)",
             base: p50(&base.container_ms(false, |c| c.localization_ms)),
@@ -64,10 +80,26 @@ fn main() {
     let base = fig13::scenario(0, scale, seed);
     let cpu = fig13::scenario(16, scale, seed);
     for row in [
-        Row { name: "total", base: p95(&base.ms(|d| d.total_ms)), loaded: p95(&cpu.ms(|d| d.total_ms)) },
-        Row { name: "out-app", base: p95(&base.ms(|d| d.out_app_ms)), loaded: p95(&cpu.ms(|d| d.out_app_ms)) },
-        Row { name: "in-app", base: p95(&base.ms(|d| d.in_app_ms)), loaded: p95(&cpu.ms(|d| d.in_app_ms)) },
-        Row { name: "driver", base: p95(&base.ms(|d| d.driver_ms)), loaded: p95(&cpu.ms(|d| d.driver_ms)) },
+        Row {
+            name: "total",
+            base: p95(&base.ms(|d| d.total_ms)),
+            loaded: p95(&cpu.ms(|d| d.total_ms)),
+        },
+        Row {
+            name: "out-app",
+            base: p95(&base.ms(|d| d.out_app_ms)),
+            loaded: p95(&cpu.ms(|d| d.out_app_ms)),
+        },
+        Row {
+            name: "in-app",
+            base: p95(&base.ms(|d| d.in_app_ms)),
+            loaded: p95(&cpu.ms(|d| d.in_app_ms)),
+        },
+        Row {
+            name: "driver",
+            base: p95(&base.ms(|d| d.driver_ms)),
+            loaded: p95(&cpu.ms(|d| d.driver_ms)),
+        },
         Row {
             name: "localize(p50)",
             base: p50(&base.container_ms(false, |c| c.localization_ms)),

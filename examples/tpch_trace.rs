@@ -55,11 +55,7 @@ fn main() {
     );
 
     // The five worst queries by total scheduling delay, decomposed.
-    let mut worst: Vec<_> = an
-        .delays
-        .iter()
-        .filter(|d| d.total_ms.is_some())
-        .collect();
+    let mut worst: Vec<_> = an.delays.iter().filter(|d| d.total_ms.is_some()).collect();
     worst.sort_by_key(|d| std::cmp::Reverse(d.total_ms));
     let mut t = Table::new(&["app", "query", "total(s)", "am(s)", "in(s)", "out(s)"]);
     for d in worst.iter().take(5) {

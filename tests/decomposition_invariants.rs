@@ -1,9 +1,9 @@
 //! Invariants of the delay decomposition over *real* simulated corpora —
-//! randomized across seeds and job shapes with proptest. These are the
-//! algebraic guarantees downstream analyses rely on.
+//! randomized across seeds and job shapes as seeded loops (each case is a
+//! full simulation; the case budget is kept deliberately small). These are
+//! the algebraic guarantees downstream analyses rely on.
 
-use proptest::prelude::*;
-use simkit::Millis;
+use simkit::{Millis, SimRng};
 use sparksim::{profiles, simulate, JobSpec};
 use yarnsim::ClusterConfig;
 
@@ -18,21 +18,17 @@ fn run_job(spec: JobSpec, seed: u64) -> sdchecker::Analysis {
     sdchecker::analyze_store(&logs)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 24, // each case is a full simulation; keep the budget sane
-        .. ProptestConfig::default()
-    })]
+/// For any completed Spark job: the decomposition identities hold.
+#[test]
+fn spark_delay_algebra() {
+    for case in 0..24u64 {
+        let mut rng = SimRng::new(0xDEC0 + case);
+        let seed = rng.range(1, 5_000);
+        let executors = rng.range(1, 10) as u32;
+        let input_kb = rng.range(64, 8_192); // 64 MB .. 8 GB
+        let files = rng.below(12) as u32;
+        let parallel = rng.chance(0.5);
 
-    /// For any completed Spark job: the decomposition identities hold.
-    #[test]
-    fn spark_delay_algebra(
-        seed in 1u64..5_000,
-        executors in 1u32..10,
-        input_kb in 64u64..8_192, // 64 MB .. 8 GB
-        files in 0u32..12,
-        parallel in any::<bool>(),
-    ) {
         let mut spec = profiles::spark_sql_default(input_kb as f64, executors);
         spec.user_init.files = files;
         spec.user_init.parallel = parallel;
@@ -51,41 +47,56 @@ proptest! {
         let runtime = d.job_runtime_ms.expect("runtime");
 
         // Algebra.
-        prop_assert_eq!(inn, driver + executor);
-        prop_assert_eq!(total, inn + out, "in+out must equal total");
-        prop_assert!(am <= total, "am {am} > total {total}");
-        prop_assert!(cf <= cl, "cf {cf} > cl {cl}");
-        prop_assert!(cf <= total, "first executor up before first task");
-        prop_assert!(total <= runtime, "scheduling ends before the job does");
-        prop_assert!(d.total_over_runtime().unwrap() <= 1.0);
+        assert_eq!(inn, driver + executor, "case {case}");
+        assert_eq!(total, inn + out, "case {case}: in+out must equal total");
+        assert!(am <= total, "case {case}: am {am} > total {total}");
+        assert!(cf <= cl, "case {case}: cf {cf} > cl {cl}");
+        assert!(
+            cf <= total,
+            "case {case}: first executor up before first task"
+        );
+        assert!(
+            total <= runtime,
+            "case {case}: scheduling ends before the job does"
+        );
+        assert!(d.total_over_runtime().unwrap() <= 1.0, "case {case}");
 
         // Containers: 1 AM + `executors` workers, each fully decomposed.
-        prop_assert_eq!(d.containers.len(), executors as usize + 1);
+        assert_eq!(d.containers.len(), executors as usize + 1, "case {case}");
         for c in &d.containers {
             let acq = c.acquisition_ms.expect("acquisition");
-            prop_assert!(acq <= 1_000, "acquisition {acq} beyond AM heartbeat");
+            assert!(
+                acq <= 1_000,
+                "case {case}: acquisition {acq} beyond AM heartbeat"
+            );
             let loc = c.localization_ms.expect("localization");
             // Either a real download (≥ 500 MB at ≤ 1 MB/ms) or a same-node
             // cache hit (near-instant).
-            prop_assert!(
+            assert!(
                 !(100..450).contains(&loc),
-                "localization {loc}ms is neither a download nor a cache hit"
+                "case {case}: localization {loc}ms is neither a download nor a cache hit"
             );
             let launch = c.launching_ms.expect("launching");
-            prop_assert!(launch > 0);
+            assert!(launch > 0, "case {case}");
             let q = c.nm_queue_ms.expect("handoff");
-            prop_assert!(q <= 100, "guaranteed containers never queue: {q}ms");
+            assert!(
+                q <= 100,
+                "case {case}: guaranteed containers never queue: {q}ms"
+            );
         }
     }
+}
 
-    /// Bug emulation invariant: exactly `extra` containers per app are
-    /// wasted, never the needed ones, across schedulers.
-    #[test]
-    fn overallocation_always_detected(
-        seed in 1u64..5_000,
-        extra in 1u32..4,
-        opportunistic in any::<bool>(),
-    ) {
+/// Bug emulation invariant: exactly `extra` containers per app are
+/// wasted, never the needed ones, across schedulers.
+#[test]
+fn overallocation_always_detected() {
+    for case in 0..24u64 {
+        let mut rng = SimRng::new(0xDEC1 + case);
+        let seed = rng.range(1, 5_000);
+        let extra = rng.range(1, 4) as u32;
+        let opportunistic = rng.chance(0.5);
+
         let mut spec = profiles::spark_sql_default(2048.0, 3);
         spec.overalloc_extra = extra;
         let cfg = if opportunistic {
@@ -93,20 +104,31 @@ proptest! {
         } else {
             ClusterConfig::default()
         };
-        let (logs, summaries) = simulate(cfg, seed, vec![(Millis(50), spec)], Millis::from_mins(600));
-        prop_assert_eq!(summaries.len(), 1);
+        let (logs, summaries) =
+            simulate(cfg, seed, vec![(Millis(50), spec)], Millis::from_mins(600));
+        assert_eq!(summaries.len(), 1, "case {case}");
         let an = sdchecker::analyze_store(&logs);
-        prop_assert_eq!(an.unused_containers.len(), extra as usize,
-            "every extra container must be flagged");
+        assert_eq!(
+            an.unused_containers.len(),
+            extra as usize,
+            "case {case}: every extra container must be flagged"
+        );
         for u in &an.unused_containers {
-            prop_assert!(!u.reached_nm, "wasted containers never reach an NM");
+            assert!(
+                !u.reached_nm,
+                "case {case}: wasted containers never reach an NM"
+            );
         }
     }
+}
 
-    /// Localization caching: with the cache disabled, localization can
-    /// only get slower in aggregate (ablation from DESIGN.md).
-    #[test]
-    fn cache_ablation_never_speeds_up(seed in 1u64..2_000) {
+/// Localization caching: with the cache disabled, localization can
+/// only get slower in aggregate (ablation from DESIGN.md).
+#[test]
+fn cache_ablation_never_speeds_up() {
+    for case in 0..12u64 {
+        let mut rng = SimRng::new(0xDEC2 + case);
+        let seed = rng.range(1, 2_000);
         // Single node so executors *must* colocate with the driver and
         // the cache matters.
         let mk_cfg = |cache: bool| ClusterConfig {
@@ -116,7 +138,12 @@ proptest! {
         };
         let spec = profiles::spark_sql_default(512.0, 2);
         let run = |cache: bool| {
-            let (logs, _) = simulate(mk_cfg(cache), seed, vec![(Millis(50), spec.clone())], Millis::from_mins(600));
+            let (logs, _) = simulate(
+                mk_cfg(cache),
+                seed,
+                vec![(Millis(50), spec.clone())],
+                Millis::from_mins(600),
+            );
             let an = sdchecker::analyze_store(&logs);
             an.delays[0]
                 .containers
@@ -126,7 +153,9 @@ proptest! {
         };
         let with_cache = run(true);
         let without = run(false);
-        prop_assert!(without >= with_cache,
-            "disabling the cache cannot reduce total localization: {without} < {with_cache}");
+        assert!(
+            without >= with_cache,
+            "case {case}: disabling the cache cannot reduce total localization: {without} < {with_cache}"
+        );
     }
 }

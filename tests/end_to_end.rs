@@ -139,7 +139,10 @@ fn mixed_framework_corpus_analyzes_cleanly() {
     let analysis = sdchecker::analyze_store(&logs);
     assert_eq!(analysis.graphs.len(), 4);
     let complete = analysis.complete_delays().count();
-    assert_eq!(complete, 2, "only the two Spark jobs have first-task evidence");
+    assert_eq!(
+        complete, 2,
+        "only the two Spark jobs have first-task evidence"
+    );
     // MR jobs still decompose their container-level delays.
     let mr_app = summaries.iter().find(|s| s.kind == "mr-wc").unwrap().app;
     let mr = analysis.delays_of(mr_app).unwrap();
