@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! run_experiments [--quick] [--only fig4,fig12] [--out results/] [--seed N]
+//!                 [--trace-out <trace.json>] [--metrics-out <metrics.json|.prom>]
 //! ```
 //!
 //! Experiments run in parallel (one thread each; every scenario is
@@ -16,11 +17,22 @@ use std::time::Instant;
 
 use experiments::{all_experiments, Figure, Scale};
 
+fn usage_err(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: run_experiments [--quick] [--only ids] [--out dir] [--seed N] \
+         [--trace-out <trace.json>] [--metrics-out <metrics.json|.prom>]"
+    );
+    ExitCode::from(2)
+}
+
 fn main() -> ExitCode {
     let mut scale = Scale::Full;
     let mut out_dir = PathBuf::from("results");
     let mut seed: u64 = 2018;
     let mut only: Option<Vec<String>> = None;
+    let mut trace_out: Option<PathBuf> = None;
+    let mut metrics_out: Option<PathBuf> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -31,32 +43,51 @@ fn main() -> ExitCode {
                 i += 1;
             }
             "--out" => {
-                out_dir = PathBuf::from(args.get(i + 1).expect("--out needs a path"));
+                let Some(p) = args.get(i + 1) else {
+                    return usage_err("--out needs a path");
+                };
+                out_dir = PathBuf::from(p);
                 i += 2;
             }
             "--seed" => {
-                seed = args
-                    .get(i + 1)
-                    .and_then(|s| s.parse().ok())
-                    .expect("--seed needs a number");
+                let Some(s) = args.get(i + 1) else {
+                    return usage_err("--seed needs a number");
+                };
+                let Ok(n) = s.parse() else {
+                    return usage_err(&format!("invalid seed: {s}"));
+                };
+                seed = n;
                 i += 2;
             }
             "--only" => {
-                only = Some(
-                    args.get(i + 1)
-                        .expect("--only needs a list")
-                        .split(',')
-                        .map(str::to_string)
-                        .collect(),
-                );
+                let Some(list) = args.get(i + 1) else {
+                    return usage_err("--only needs a comma-separated id list");
+                };
+                only = Some(list.split(',').map(str::to_string).collect());
+                i += 2;
+            }
+            "--trace-out" => {
+                let Some(p) = args.get(i + 1) else {
+                    return usage_err("--trace-out needs a path");
+                };
+                trace_out = Some(PathBuf::from(p));
+                i += 2;
+            }
+            "--metrics-out" => {
+                let Some(p) = args.get(i + 1) else {
+                    return usage_err("--metrics-out needs a path");
+                };
+                metrics_out = Some(PathBuf::from(p));
                 i += 2;
             }
             other => {
-                eprintln!("unknown argument {other}");
-                eprintln!("usage: run_experiments [--quick] [--only ids] [--out dir] [--seed N]");
-                return ExitCode::from(2);
+                return usage_err(&format!("unknown argument {other}"));
             }
         }
+    }
+
+    if trace_out.is_some() || metrics_out.is_some() {
+        obs::enable();
     }
 
     let todo: Vec<_> = all_experiments()
@@ -67,7 +98,10 @@ fn main() -> ExitCode {
         eprintln!("nothing to run");
         return ExitCode::from(2);
     }
-    std::fs::create_dir_all(&out_dir).expect("create output dir");
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("failed to create {}: {e}", out_dir.display());
+        return ExitCode::FAILURE;
+    }
 
     let started = Instant::now();
     let results: Mutex<Vec<(usize, Figure, f64)>> = Mutex::new(Vec::new());
@@ -75,6 +109,7 @@ fn main() -> ExitCode {
         for (idx, (id, run)) in todo.iter().enumerate() {
             let results = &results;
             s.spawn(move || {
+                let _span = obs::span("experiment").arg("id", id);
                 let t0 = Instant::now();
                 let fig = run(scale, seed);
                 let dt = t0.elapsed().as_secs_f64();
@@ -95,12 +130,25 @@ fn main() -> ExitCode {
     for (_, fig, dt) in &results {
         let rendered = fig.render();
         let path = out_dir.join(format!("{}.txt", fig.id));
-        std::fs::write(&path, &rendered).expect("write artifact");
+        if let Err(e) = std::fs::write(&path, &rendered) {
+            eprintln!("failed to write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
         all.push_str(&rendered);
         all.push_str(&format!("_(generated in {dt:.1}s)_\n\n"));
     }
     let all_path = out_dir.join("ALL.md");
-    std::fs::write(&all_path, &all).expect("write ALL.md");
+    if let Err(e) = std::fs::write(&all_path, &all) {
+        eprintln!("failed to write {}: {e}", all_path.display());
+        return ExitCode::FAILURE;
+    }
+
+    if let Err(e) =
+        obs::export::write_files(obs::global(), trace_out.as_deref(), metrics_out.as_deref())
+    {
+        eprintln!("failed to write observability output: {e}");
+        return ExitCode::FAILURE;
+    }
 
     let mut stdout = std::io::stdout().lock();
     let _ = writeln!(

@@ -6,6 +6,7 @@
 //!       [--scheduler capacity|opportunistic] [--docker]
 //!       [--extra-files-mb MB] [--dfsio-writers N] [--kmeans-apps N]
 //!       [--out <log-dir>] [--timeline]
+//!       [--trace-out <trace.json>] [--metrics-out <metrics.json|.prom>]
 //! ```
 //!
 //! Defaults reproduce the paper's setup: 2 GB input, 4 executors, the
@@ -32,6 +33,8 @@ struct Opts {
     kmeans_apps: u32,
     out: Option<PathBuf>,
     timeline: bool,
+    trace_out: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Opts, String> {
@@ -47,6 +50,8 @@ fn parse_args() -> Result<Opts, String> {
         kmeans_apps: 0,
         out: None,
         timeline: false,
+        trace_out: None,
+        metrics_out: None,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -119,6 +124,14 @@ fn parse_args() -> Result<Opts, String> {
                 o.timeline = true;
                 i += 1;
             }
+            "--trace-out" => {
+                o.trace_out = Some(PathBuf::from(value(&args, i, "--trace-out")?));
+                i += 2;
+            }
+            "--metrics-out" => {
+                o.metrics_out = Some(PathBuf::from(value(&args, i, "--metrics-out")?));
+                i += 2;
+            }
             other => return Err(format!("unknown argument {other}")),
         }
     }
@@ -133,11 +146,16 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: sdsim [--queries N] [--input-mb MB] [--executors N] [--seed S] \
                  [--scheduler capacity|opportunistic] [--docker] [--extra-files-mb MB] \
-                 [--dfsio-writers N] [--kmeans-apps N] [--out <log-dir>] [--timeline]"
+                 [--dfsio-writers N] [--kmeans-apps N] [--out <log-dir>] [--timeline] \
+                 [--trace-out <trace.json>] [--metrics-out <metrics.json|.prom>]"
             );
             return ExitCode::from(2);
         }
     };
+
+    if o.trace_out.is_some() || o.metrics_out.is_some() {
+        obs::enable();
+    }
 
     let mut rng = simkit::SimRng::new(o.seed);
     let mut queries = map_jobs(
@@ -227,6 +245,24 @@ fn main() -> ExitCode {
                 print!("{}", ascii_gantt(g, 100));
             }
         }
+    }
+
+    if let Err(e) = obs::export::write_files(
+        obs::global(),
+        o.trace_out.as_deref(),
+        o.metrics_out.as_deref(),
+    ) {
+        eprintln!("failed to write observability output: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Some(p) = &o.trace_out {
+        eprintln!(
+            "wrote Chrome trace to {} (load in chrome://tracing or ui.perfetto.dev)",
+            p.display()
+        );
+    }
+    if let Some(p) = &o.metrics_out {
+        eprintln!("wrote metrics to {}", p.display());
     }
     ExitCode::SUCCESS
 }

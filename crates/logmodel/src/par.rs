@@ -79,8 +79,10 @@ where
     let queue = Mutex::new(items.into_iter().enumerate());
     let done: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
     std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| {
+        for w in 0..workers {
+            let (queue, done, f) = (&queue, &done, &f);
+            s.spawn(move || {
+                let _span = obs::span("par_worker").arg("worker", w).arg("items", n);
                 let mut local: Vec<(usize, R)> = Vec::new();
                 loop {
                     // Take one item per lock so a slow item cannot starve

@@ -15,6 +15,9 @@ use crate::par::{self, Parallelism};
 use crate::record::{Level, LogRecord, LogSource};
 use crate::TsMs;
 
+/// Histogram bucket bounds for lines-per-log-file during ingest.
+const LINES_PER_FILE_BOUNDS: &[u64] = &[10, 100, 1_000, 10_000, 100_000, 1_000_000];
+
 /// An in-memory collection of log streams, one per [`LogSource`].
 #[derive(Debug)]
 pub struct LogStore {
@@ -119,6 +122,7 @@ impl LogStore {
     /// order, and each source's records are stably re-sorted by timestamp
     /// afterwards (rotated segments `x.log.1` merge into the same source).
     pub fn read_dir_with(dir: &Path, par: Parallelism) -> io::Result<LogStore> {
+        let _span = obs::span("ingest").arg("dir", dir.display());
         let epoch = match fs::read_to_string(dir.join("epoch.txt")) {
             Ok(s) => Epoch {
                 unix_ms: s.trim().parse().map_err(|e| {
@@ -154,13 +158,27 @@ impl LogStore {
         }
         files.sort_by(|a, b| a.1.cmp(&b.1));
 
+        obs::count("ingest_files_total", files.len() as u64);
         let parsed: Vec<io::Result<(LogSource, Vec<LogRecord>)>> =
-            par::map(par, files, |(src, _, path)| {
+            par::map(par, files, |(src, rel, path)| {
+                let span = obs::span("ingest_file").arg("file", &rel);
                 let text = fs::read_to_string(&path)?;
-                let recs = text
+                let mut lines = 0u64;
+                let recs: Vec<LogRecord> = text
                     .lines()
+                    .inspect(|_| lines += 1)
                     .filter_map(|line| parse_line(&epoch, line))
                     .collect();
+                if span.is_active() {
+                    let parsed = recs.len() as u64;
+                    obs::count_labeled("ingest_lines_total", &[("status", "parsed")], parsed);
+                    obs::count_labeled(
+                        "ingest_lines_total",
+                        &[("status", "skipped")],
+                        lines - parsed,
+                    );
+                    obs::observe("ingest_file_lines", LINES_PER_FILE_BOUNDS, lines);
+                }
                 Ok((src, recs))
             });
 

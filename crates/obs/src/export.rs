@@ -1,0 +1,267 @@
+//! Exporters: Chrome trace-event JSON and flat metrics dumps.
+
+use std::fmt::Write as _;
+
+use crate::json::{escape, fmt_f64};
+use crate::metrics::Snapshot;
+
+/// Render the snapshot's spans as Chrome trace-event JSON (the format
+/// `chrome://tracing` and Perfetto load). Spans become complete (`"X"`)
+/// events with microsecond timestamps; thread-name metadata events label
+/// each worker lane.
+pub fn chrome_trace(snap: &Snapshot) -> String {
+    let mut out = String::from("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [");
+    let mut first = true;
+    let mut push = |out: &mut String, ev: String| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("\n  ");
+        out.push_str(&ev);
+    };
+    for (tid, name) in &snap.threads {
+        push(
+            &mut out,
+            format!(
+                "{{\"ph\": \"M\", \"pid\": 1, \"tid\": {tid}, \"name\": \"thread_name\", \
+                 \"args\": {{\"name\": \"{}\"}}}}",
+                escape(name)
+            ),
+        );
+    }
+    for s in &snap.spans {
+        let mut args = String::new();
+        for (i, (k, v)) in s.args.iter().enumerate() {
+            if i > 0 {
+                args.push_str(", ");
+            }
+            let _ = write!(args, "\"{}\": \"{}\"", escape(k), escape(v));
+        }
+        push(
+            &mut out,
+            format!(
+                "{{\"ph\": \"X\", \"pid\": 1, \"tid\": {}, \"name\": \"{}\", \
+                 \"ts\": {}, \"dur\": {}, \"args\": {{{args}}}}}",
+                s.tid,
+                escape(s.name),
+                s.start_us,
+                s.dur_us
+            ),
+        );
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Render the snapshot's metrics (counters, gauges, histograms — no
+/// spans) as a flat JSON object. Key order is the metric keys' sorted
+/// order, so two snapshots with equal metric values render to identical
+/// bytes — the property the golden-file tests pin down.
+pub fn metrics_json(snap: &Snapshot) -> String {
+    let mut out = String::from("{\n  \"counters\": {");
+    for (i, (k, v)) in snap.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\n    \"{}\": {v}", escape(&k.render()));
+    }
+    out.push_str("\n  },\n  \"gauges\": {");
+    for (i, (k, v)) in snap.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\n    \"{}\": {}", escape(&k.render()), fmt_f64(*v));
+    }
+    out.push_str("\n  },\n  \"histograms\": {");
+    for (i, (k, h)) in snap.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let bounds: Vec<String> = h.bounds.iter().map(u64::to_string).collect();
+        let counts: Vec<String> = h.counts.iter().map(u64::to_string).collect();
+        let _ = write!(
+            out,
+            "\n    \"{}\": {{\"bounds\": [{}], \"counts\": [{}], \"sum\": {}, \"count\": {}}}",
+            escape(&k.render()),
+            bounds.join(", "),
+            counts.join(", "),
+            h.sum,
+            h.count
+        );
+    }
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+/// Render the snapshot's metrics in the Prometheus text exposition
+/// format (counters, gauges, and histograms with `_bucket`/`_sum`/
+/// `_count` series).
+pub fn prometheus_text(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    let mut last_name = "";
+    for (k, v) in &snap.counters {
+        if k.name != last_name {
+            let _ = writeln!(out, "# TYPE {} counter", k.name);
+            last_name = k.name;
+        }
+        let _ = writeln!(out, "{} {v}", k.render());
+    }
+    last_name = "";
+    for (k, v) in &snap.gauges {
+        if k.name != last_name {
+            let _ = writeln!(out, "# TYPE {} gauge", k.name);
+            last_name = k.name;
+        }
+        let _ = writeln!(out, "{} {}", k.render(), fmt_f64(*v));
+    }
+    for (k, h) in &snap.histograms {
+        let _ = writeln!(out, "# TYPE {} histogram", k.name);
+        let mut cumulative = 0u64;
+        for (bound, count) in h.bounds.iter().zip(h.counts.iter()) {
+            cumulative += count;
+            let _ = writeln!(out, "{}_bucket{{le=\"{bound}\"}} {cumulative}", k.name);
+        }
+        let _ = writeln!(out, "{}_bucket{{le=\"+Inf\"}} {}", k.name, h.count);
+        let _ = writeln!(out, "{}_sum {}", k.name, h.sum);
+        let _ = writeln!(out, "{}_count {}", k.name, h.count);
+    }
+    out
+}
+
+/// Snapshot `recorder` once and write the requested files: the Chrome
+/// trace to `trace`, and metrics to `metrics` — Prometheus text when the
+/// metrics extension is `.prom` or `.txt`, the JSON dump otherwise. The
+/// shared back-end of every binary's `--trace-out`/`--metrics-out` flags.
+pub fn write_files(
+    recorder: &crate::Recorder,
+    trace: Option<&std::path::Path>,
+    metrics: Option<&std::path::Path>,
+) -> std::io::Result<()> {
+    if trace.is_none() && metrics.is_none() {
+        return Ok(());
+    }
+    let snap = recorder.snapshot();
+    if let Some(path) = trace {
+        std::fs::write(path, chrome_trace(&snap))?;
+    }
+    if let Some(path) = metrics {
+        let text = match path.extension().and_then(|e| e.to_str()) {
+            Some("prom") | Some("txt") => prometheus_text(&snap),
+            _ => metrics_json(&snap),
+        };
+        std::fs::write(path, text)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::recorder::Recorder;
+
+    fn sample() -> Snapshot {
+        let r = Recorder::new();
+        r.enable();
+        r.count_labeled("ev_total", &[("kind", "A")], 3);
+        r.count("lines_total", 7);
+        r.gauge_set("ratio", 2.5);
+        r.gauge_max("hwm", 9.0);
+        r.observe("sizes", &[10, 100], 5);
+        r.observe("sizes", &[10, 100], 500);
+        {
+            let _outer = r.span("outer").arg("file", "a \"quoted\" name");
+            let _inner = r.span("inner");
+        }
+        r.snapshot()
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_x_events() {
+        let trace = chrome_trace(&sample());
+        let doc = json::parse(&trace).expect("trace must parse");
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let xs: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+            .collect();
+        assert_eq!(xs.len(), 2);
+        assert!(xs.iter().any(|e| {
+            e.get("name").and_then(|n| n.as_str()) == Some("outer")
+                && e.get("args")
+                    .and_then(|a| a.get("file"))
+                    .and_then(|f| f.as_str())
+                    == Some("a \"quoted\" name")
+        }));
+        // One thread-name metadata event for the recording thread.
+        assert!(events
+            .iter()
+            .any(|e| e.get("ph").and_then(|p| p.as_str()) == Some("M")));
+    }
+
+    #[test]
+    fn metrics_json_is_valid_and_deterministic() {
+        let a = metrics_json(&sample());
+        let b = metrics_json(&sample());
+        assert_eq!(a, b, "same metric values must render identically");
+        let doc = json::parse(&a).expect("metrics must parse");
+        assert_eq!(
+            doc.get("counters")
+                .unwrap()
+                .get("ev_total{kind=\"A\"}")
+                .unwrap()
+                .as_f64(),
+            Some(3.0)
+        );
+        assert_eq!(
+            doc.get("gauges").unwrap().get("ratio").unwrap().as_f64(),
+            Some(2.5)
+        );
+        let h = doc.get("histograms").unwrap().get("sizes").unwrap();
+        assert_eq!(h.get("count").unwrap().as_f64(), Some(2.0));
+        assert_eq!(h.get("counts").unwrap().as_arr().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn prometheus_text_has_type_lines_and_series() {
+        let text = prometheus_text(&sample());
+        assert!(text.contains("# TYPE ev_total counter"));
+        assert!(text.contains("ev_total{kind=\"A\"} 3"));
+        assert!(text.contains("# TYPE ratio gauge"));
+        assert!(text.contains("ratio 2.5"));
+        assert!(text.contains("sizes_bucket{le=\"10\"} 1"));
+        assert!(text.contains("sizes_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("sizes_sum 505"));
+        assert!(text.contains("sizes_count 2"));
+    }
+
+    #[test]
+    fn write_files_picks_format_by_extension() {
+        let r = Recorder::new();
+        r.enable();
+        r.count("n_total", 4);
+        let dir = std::env::temp_dir().join(format!("obs_export_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("trace.json");
+        let mjson = dir.join("metrics.json");
+        let mprom = dir.join("metrics.prom");
+        write_files(&r, Some(&trace), Some(&mjson)).unwrap();
+        write_files(&r, None, Some(&mprom)).unwrap();
+        let t = std::fs::read_to_string(&trace).unwrap();
+        assert!(json::parse(&t).is_ok());
+        let j = std::fs::read_to_string(&mjson).unwrap();
+        assert!(json::parse(&j).unwrap().get("counters").is_some());
+        let p = std::fs::read_to_string(&mprom).unwrap();
+        assert!(p.contains("n_total 4"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_snapshot_exports_parse() {
+        let snap = Snapshot::default();
+        assert!(json::parse(&chrome_trace(&snap)).is_ok());
+        assert!(json::parse(&metrics_json(&snap)).is_ok());
+        assert_eq!(prometheus_text(&snap), "");
+    }
+}

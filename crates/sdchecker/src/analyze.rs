@@ -10,7 +10,7 @@ use logmodel::{par, ApplicationId, LogStore, Parallelism};
 use crate::bugs::{find_unused_containers, UnusedContainer};
 use crate::decompose::{decompose, AppDelays};
 use crate::event::SchedEvent;
-use crate::extract::{extract_all_with, extract_app_names_with};
+use crate::extract::{extract_all_cov_with, extract_app_names_with, ParseCoverage};
 use crate::graph::{build_graphs, SchedulingGraph};
 use crate::throughput::{allocation_throughput, Throughput};
 
@@ -30,6 +30,9 @@ pub struct Analysis {
     /// Application display names mined from driver banners (e.g. the
     /// TPC-H query label), where available.
     pub app_names: BTreeMap<ApplicationId, String>,
+    /// How much of the corpus the extraction rules understood, per log
+    /// family (matched / unmatched / ignored lines).
+    pub coverage: ParseCoverage,
 }
 
 impl Analysis {
@@ -108,18 +111,30 @@ pub fn analyze_store(store: &LogStore) -> Analysis {
 /// is identical for every thread count; `Parallelism::ONE` runs the exact
 /// sequential code path on the calling thread.
 pub fn analyze_store_with(store: &LogStore, par: Parallelism) -> Analysis {
-    let events = extract_all_with(store, par);
+    let _span = obs::span("analyze");
+    let (events, coverage) = extract_all_cov_with(store, par);
     let app_names = extract_app_names_with(store, par);
     if par.is_sequential() {
-        let graphs = build_graphs(&events);
-        let delays = graphs.values().map(decompose).collect();
-        let unused_containers = graphs.values().flat_map(find_unused_containers).collect();
+        let graphs = {
+            let _s = obs::span("graph_build");
+            build_graphs(&events)
+        };
+        let delays: Vec<AppDelays> = {
+            let _s = obs::span("decompose");
+            graphs.values().map(decompose).collect()
+        };
+        let unused_containers: Vec<UnusedContainer> = {
+            let _s = obs::span("bug_detect");
+            graphs.values().flat_map(find_unused_containers).collect()
+        };
+        flush_analysis_metrics(graphs.len(), unused_containers.len());
         return Analysis {
             events,
             graphs,
             delays,
             unused_containers,
             app_names,
+            coverage,
         };
     }
     // Partition the (globally sorted) events by owning application; each
@@ -132,6 +147,7 @@ pub fn analyze_store_with(store: &LogStore, par: Parallelism) -> Analysis {
         by_app.entry(ev.app).or_default().push(ev.clone());
     }
     let per_app = par::map(par, by_app.into_iter().collect(), |(app, evs)| {
+        let _span = obs::span("analyze_app").arg("app", app);
         let mut graphs = build_graphs(&evs);
         let graph = graphs
             .remove(&app)
@@ -148,12 +164,23 @@ pub fn analyze_store_with(store: &LogStore, par: Parallelism) -> Analysis {
         delays.push(d);
         unused_containers.extend(unused);
     }
+    flush_analysis_metrics(graphs.len(), unused_containers.len());
     Analysis {
         events,
         graphs,
         delays,
         unused_containers,
         app_names,
+        coverage,
+    }
+}
+
+/// Corpus-level analysis counters (no-ops when recording is disabled;
+/// both are pure functions of the corpus, so exports stay deterministic).
+fn flush_analysis_metrics(apps: usize, unused: usize) {
+    if obs::enabled() {
+        obs::count("analyze_apps_total", apps as u64);
+        obs::count("unused_containers_total", unused as u64);
     }
 }
 
@@ -380,6 +407,18 @@ mod tests {
         assert!(by_name.contains_key("tpch-q01"));
         assert!(by_name.contains_key("tpch-q02"));
         assert_eq!(by_name["tpch-q01"].len(), 1);
+    }
+
+    #[test]
+    fn coverage_rides_along_and_is_thread_count_independent() {
+        use crate::extract::SourceKind;
+        let store = mini_corpus();
+        let an = analyze_store(&store);
+        assert!(an.coverage.get(SourceKind::ResourceManager).matched > 0);
+        assert!(an.coverage.get(SourceKind::NodeManager).matched > 0);
+        assert_eq!(an.coverage.total().unmatched, 0);
+        let par = analyze_store_with(&store, Parallelism::new(4));
+        assert_eq!(par.coverage, an.coverage);
     }
 
     #[test]

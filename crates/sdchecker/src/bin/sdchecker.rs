@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! sdchecker <log-dir> [--threads N] [--csv <out.csv>] [--dot <application-id> <out.dot>]
+//!           [--timeline <application-id>] [--trace-out <trace.json>]
+//!           [--metrics-out <metrics.json|.prom>] [--quiet]
 //! ```
 //!
 //! `<log-dir>` must contain `resourcemanager.log`,
@@ -15,19 +17,34 @@ use std::process::ExitCode;
 use logmodel::ApplicationId;
 use sdchecker::{analyze_dir_with, full_report, Parallelism, Table};
 
+const USAGE: &str = "usage: sdchecker <log-dir> [--threads N] [--csv <out.csv>] \
+[--dot <application-id> <out.dot>] [--timeline <application-id>] \
+[--trace-out <trace.json>] [--metrics-out <metrics.json|.prom>] [--quiet]";
+
 fn usage() -> ExitCode {
-    eprintln!("usage: sdchecker <log-dir> [--threads N] [--csv <out.csv>] [--dot <application-id> <out.dot>] [--timeline <application-id>]");
+    eprintln!("{USAGE}");
     ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
     let Some(dir) = args.first() else {
         return usage();
     };
+    if dir.starts_with('-') {
+        eprintln!("expected <log-dir> as the first argument, got {dir}");
+        return usage();
+    }
     let mut csv_out: Option<PathBuf> = None;
     let mut dot_req: Option<(ApplicationId, PathBuf)> = None;
     let mut timeline_req: Option<ApplicationId> = None;
+    let mut trace_out: Option<PathBuf> = None;
+    let mut metrics_out: Option<PathBuf> = None;
+    let mut quiet = false;
     let mut par = Parallelism::auto();
     let mut i = 1;
     while i < args.len() {
@@ -76,11 +93,33 @@ fn main() -> ExitCode {
                 timeline_req = Some(app);
                 i += 2;
             }
+            "--trace-out" => {
+                let Some(p) = args.get(i + 1) else {
+                    return usage();
+                };
+                trace_out = Some(PathBuf::from(p));
+                i += 2;
+            }
+            "--metrics-out" => {
+                let Some(p) = args.get(i + 1) else {
+                    return usage();
+                };
+                metrics_out = Some(PathBuf::from(p));
+                i += 2;
+            }
+            "--quiet" => {
+                quiet = true;
+                i += 1;
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 return usage();
             }
         }
+    }
+
+    if trace_out.is_some() || metrics_out.is_some() {
+        obs::enable();
     }
 
     let analysis = match analyze_dir_with(&PathBuf::from(dir), par) {
@@ -127,7 +166,9 @@ fn main() -> ExitCode {
             eprintln!("failed to write {}: {e}", path.display());
             return ExitCode::FAILURE;
         }
-        eprintln!("wrote per-application CSV to {}", path.display());
+        if !quiet {
+            eprintln!("wrote per-application CSV to {}", path.display());
+        }
     }
 
     if let Some(app) = timeline_req {
@@ -148,7 +189,27 @@ fn main() -> ExitCode {
             eprintln!("failed to write {}: {e}", path.display());
             return ExitCode::FAILURE;
         }
-        eprintln!("wrote scheduling graph to {}", path.display());
+        if !quiet {
+            eprintln!("wrote scheduling graph to {}", path.display());
+        }
+    }
+
+    if let Err(e) =
+        obs::export::write_files(obs::global(), trace_out.as_deref(), metrics_out.as_deref())
+    {
+        eprintln!("failed to write observability output: {e}");
+        return ExitCode::FAILURE;
+    }
+    if !quiet {
+        if let Some(p) = &trace_out {
+            eprintln!(
+                "wrote Chrome trace to {} (load in chrome://tracing or ui.perfetto.dev)",
+                p.display()
+            );
+        }
+        if let Some(p) = &metrics_out {
+            eprintln!("wrote metrics to {}", p.display());
+        }
     }
     ExitCode::SUCCESS
 }

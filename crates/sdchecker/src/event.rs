@@ -56,6 +56,57 @@ pub enum EventKind {
 }
 
 impl EventKind {
+    /// Every kind, in Table-I-then-terminal order (for iteration in
+    /// reports and tests).
+    pub const ALL: [EventKind; 19] = [
+        EventKind::AppSubmitted,
+        EventKind::AppAccepted,
+        EventKind::AttemptRegistered,
+        EventKind::AppUnregistered,
+        EventKind::AppFinished,
+        EventKind::ContainerAllocated,
+        EventKind::ContainerAcquired,
+        EventKind::ContainerRmRunning,
+        EventKind::ContainerCompleted,
+        EventKind::ContainerLocalizing,
+        EventKind::ContainerScheduled,
+        EventKind::ContainerNmRunning,
+        EventKind::ContainerDone,
+        EventKind::DriverFirstLog,
+        EventKind::DriverRegistered,
+        EventKind::StartAllo,
+        EventKind::EndAllo,
+        EventKind::ExecutorFirstLog,
+        EventKind::TaskAssigned,
+    ];
+
+    /// Stable display/metric name (used as the `kind` label of the
+    /// `extract_events_total` counter).
+    pub fn name(self) -> &'static str {
+        use EventKind::*;
+        match self {
+            AppSubmitted => "AppSubmitted",
+            AppAccepted => "AppAccepted",
+            AttemptRegistered => "AttemptRegistered",
+            AppUnregistered => "AppUnregistered",
+            AppFinished => "AppFinished",
+            ContainerAllocated => "ContainerAllocated",
+            ContainerAcquired => "ContainerAcquired",
+            ContainerRmRunning => "ContainerRmRunning",
+            ContainerCompleted => "ContainerCompleted",
+            ContainerLocalizing => "ContainerLocalizing",
+            ContainerScheduled => "ContainerScheduled",
+            ContainerNmRunning => "ContainerNmRunning",
+            ContainerDone => "ContainerDone",
+            DriverFirstLog => "DriverFirstLog",
+            DriverRegistered => "DriverRegistered",
+            StartAllo => "StartAllo",
+            EndAllo => "EndAllo",
+            ExecutorFirstLog => "ExecutorFirstLog",
+            TaskAssigned => "TaskAssigned",
+        }
+    }
+
     /// Table-I log-message number, if this kind has one.
     pub fn table1_number(self) -> Option<u8> {
         use EventKind::*;
@@ -140,6 +191,16 @@ mod tests {
         }
         assert_eq!(AppFinished.table1_number(), None);
         assert_eq!(ContainerDone.table1_number(), None);
+    }
+
+    #[test]
+    fn names_are_unique_and_cover_all() {
+        let names: std::collections::BTreeSet<&str> =
+            EventKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), EventKind::ALL.len());
+        for k in EventKind::ALL {
+            assert_eq!(format!("{k:?}"), k.name());
+        }
     }
 
     #[test]

@@ -8,10 +8,194 @@
 //! implemented by emitting `DriverFirstLog`/`ExecutorFirstLog` for the
 //! first record of each driver/executor stream regardless of content.
 
+use std::collections::BTreeMap;
+
 use logmodel::{scan_ids, ApplicationId, ContainerId, LogRecord, LogSource, NodeId, Parallelism};
 
 use crate::event::{EventKind, SchedEvent};
 use crate::pattern::Pat;
+
+/// The full RMApp state alphabet (hadoop `RMAppState`). Transitions into
+/// any of these that carry no Table-I meaning (e.g. NEW → NEW_SAVING) are
+/// *recognized* — deliberately skipped, not parse failures.
+const RM_APP_STATES: &[&str] = &[
+    "NEW",
+    "NEW_SAVING",
+    "SUBMITTED",
+    "ACCEPTED",
+    "RUNNING",
+    "FINAL_SAVING",
+    "FINISHING",
+    "FINISHED",
+];
+
+/// The full RMContainer state alphabet (hadoop `RMContainerState`).
+const RM_CONTAINER_STATES: &[&str] = &["NEW", "ALLOCATED", "ACQUIRED", "RUNNING", "COMPLETED"];
+
+/// The full NM-side container state alphabet (hadoop `ContainerState`).
+const NM_CONTAINER_STATES: &[&str] = &["NEW", "LOCALIZING", "SCHEDULED", "RUNNING", "DONE"];
+
+/// Histogram bucket bounds for events-per-stream.
+const EVENTS_PER_STREAM_BOUNDS: &[u64] = &[1, 4, 16, 64, 256, 1024, 4096];
+
+/// How one log line fared against the extraction rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Outcome {
+    /// A scheduling event was emitted, or the line is a recognized
+    /// transition the rules deliberately skip (e.g. NEW → NEW_SAVING).
+    Matched,
+    /// The line is transition-shaped but carries an unparseable global id
+    /// or a state outside the known alphabet — the schema-drift signal
+    /// that extraction rules no longer cover the log format.
+    Unmatched,
+    /// Unrelated noise: scheduler chatter, banners, stack traces.
+    Ignored,
+}
+
+/// Per-stream line-classification tallies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoverageCounts {
+    /// Lines that produced an event or are recognized benign transitions.
+    pub matched: u64,
+    /// Transition-shaped lines the rules failed to understand.
+    pub unmatched: u64,
+    /// Everything else (noise the extractor never tries to interpret).
+    pub ignored: u64,
+}
+
+impl CoverageCounts {
+    fn tally(&mut self, outcome: Outcome) {
+        match outcome {
+            Outcome::Matched => self.matched += 1,
+            Outcome::Unmatched => self.unmatched += 1,
+            Outcome::Ignored => self.ignored += 1,
+        }
+    }
+
+    /// Element-wise sum.
+    pub fn add(&mut self, other: CoverageCounts) {
+        self.matched += other.matched;
+        self.unmatched += other.unmatched;
+        self.ignored += other.ignored;
+    }
+
+    /// Fraction of classified (non-ignored) lines the rules understood:
+    /// `matched / (matched + unmatched)`. `1.0` when nothing classified.
+    pub fn coverage(&self) -> f64 {
+        let classified = self.matched + self.unmatched;
+        if classified == 0 {
+            1.0
+        } else {
+            self.matched as f64 / classified as f64
+        }
+    }
+}
+
+/// Coverage granularity: the four log families of the corpus layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SourceKind {
+    /// `resourcemanager.log` (RMApp + RMContainer state machines).
+    ResourceManager,
+    /// `nodemanager-node*.log` (NM container state machine).
+    NodeManager,
+    /// `apps/<appId>/driver.log`.
+    Driver,
+    /// `apps/<appId>/executor-*.log`.
+    Executor,
+}
+
+impl SourceKind {
+    /// All kinds, in summary-line order.
+    pub const ALL: [SourceKind; 4] = [
+        SourceKind::ResourceManager,
+        SourceKind::NodeManager,
+        SourceKind::Driver,
+        SourceKind::Executor,
+    ];
+
+    /// The family a concrete stream belongs to.
+    pub fn of(source: LogSource) -> SourceKind {
+        match source {
+            LogSource::ResourceManager => SourceKind::ResourceManager,
+            LogSource::NodeManager(_) => SourceKind::NodeManager,
+            LogSource::Driver(_) => SourceKind::Driver,
+            LogSource::Executor(_) => SourceKind::Executor,
+        }
+    }
+
+    /// Stable display/metric name (the `source` label of
+    /// `parse_lines_total`).
+    pub fn name(self) -> &'static str {
+        match self {
+            SourceKind::ResourceManager => "resourcemanager",
+            SourceKind::NodeManager => "nodemanager",
+            SourceKind::Driver => "driver",
+            SourceKind::Executor => "executor",
+        }
+    }
+
+    /// Whether this family's scheduling-relevant messages are
+    /// transition-shaped, i.e. whether `unmatched` is a meaningful
+    /// schema-drift signal. Driver/executor matching is prefix-based with
+    /// no such signal, so only RM/NM coverage gates delay trust.
+    pub fn is_scheduling_relevant(self) -> bool {
+        matches!(self, SourceKind::ResourceManager | SourceKind::NodeManager)
+    }
+}
+
+/// Parse-coverage tallies for a whole corpus, per log family.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ParseCoverage {
+    per_source: BTreeMap<SourceKind, CoverageCounts>,
+}
+
+impl ParseCoverage {
+    /// Fold one stream's tallies into its family.
+    pub fn record(&mut self, kind: SourceKind, counts: CoverageCounts) {
+        self.per_source.entry(kind).or_default().add(counts);
+    }
+
+    /// Fold another corpus' coverage in.
+    pub fn merge(&mut self, other: &ParseCoverage) {
+        for (kind, counts) in &other.per_source {
+            self.record(*kind, *counts);
+        }
+    }
+
+    /// The tallies of one family (zero if absent).
+    pub fn get(&self, kind: SourceKind) -> CoverageCounts {
+        self.per_source.get(&kind).copied().unwrap_or_default()
+    }
+
+    /// All present families and their tallies, in [`SourceKind`] order.
+    pub fn iter(&self) -> impl Iterator<Item = (SourceKind, CoverageCounts)> + '_ {
+        self.per_source.iter().map(|(k, c)| (*k, *c))
+    }
+
+    /// Grand total over all families.
+    pub fn total(&self) -> CoverageCounts {
+        let mut t = CoverageCounts::default();
+        for (_, c) in self.iter() {
+            t.add(c);
+        }
+        t
+    }
+
+    /// The one-line summary every `sdchecker` run prints.
+    pub fn summary_line(&self) -> String {
+        if self.per_source.is_empty() {
+            return "Parse coverage: no log lines".to_string();
+        }
+        let parts: Vec<String> = self
+            .iter()
+            .map(|(k, c)| format!("{} {}/{}/{}", k.name(), c.matched, c.unmatched, c.ignored))
+            .collect();
+        format!(
+            "Parse coverage (matched/unmatched/ignored): {}",
+            parts.join(", ")
+        )
+    }
+}
 
 /// Compiled rule set for all Table-I messages.
 pub struct Extractor {
@@ -39,40 +223,51 @@ impl Extractor {
     /// Extract the events of one log stream. `records` must be the full
     /// stream in order (first-log detection needs index 0).
     pub fn extract_stream(&self, source: LogSource, records: &[LogRecord]) -> Vec<SchedEvent> {
+        self.extract_stream_counted(source, records).0
+    }
+
+    /// [`Extractor::extract_stream`] plus a per-line classification tally
+    /// (the parse-coverage signal).
+    pub fn extract_stream_counted(
+        &self,
+        source: LogSource,
+        records: &[LogRecord],
+    ) -> (Vec<SchedEvent>, CoverageCounts) {
         let mut out = Vec::new();
+        let mut cov = CoverageCounts::default();
         match source {
             LogSource::ResourceManager => {
                 for r in records {
-                    self.extract_rm(r, &mut out);
+                    cov.tally(self.extract_rm(r, &mut out));
                 }
             }
             LogSource::NodeManager(node) => {
                 for r in records {
-                    self.extract_nm(node, r, &mut out);
+                    cov.tally(self.extract_nm(node, r, &mut out));
                 }
             }
             LogSource::Driver(app) => {
                 for (i, r) in records.iter().enumerate() {
-                    self.extract_driver(app, i == 0, r, &mut out);
+                    cov.tally(self.extract_driver(app, i == 0, r, &mut out));
                 }
             }
             LogSource::Executor(cid) => {
                 for (i, r) in records.iter().enumerate() {
-                    self.extract_executor(cid, i == 0, r, &mut out);
+                    cov.tally(self.extract_executor(cid, i == 0, r, &mut out));
                 }
             }
         }
-        out
+        (out, cov)
     }
 
-    fn extract_rm(&self, r: &LogRecord, out: &mut Vec<SchedEvent>) {
+    fn extract_rm(&self, r: &LogRecord, out: &mut Vec<SchedEvent>) -> Outcome {
         match r.class.as_str() {
             "RMAppImpl" => {
                 let Some(caps) = self.rm_app.match_str(&r.message) else {
-                    return;
+                    return Outcome::Ignored;
                 };
                 let Ok(app) = caps[0].parse::<ApplicationId>() else {
-                    return;
+                    return Outcome::Unmatched;
                 };
                 let kind = match caps[2] {
                     "SUBMITTED" => EventKind::AppSubmitted,
@@ -80,7 +275,10 @@ impl Extractor {
                     "RUNNING" if caps[3] == "ATTEMPT_REGISTERED" => EventKind::AttemptRegistered,
                     "FINAL_SAVING" => EventKind::AppUnregistered,
                     "FINISHED" => EventKind::AppFinished,
-                    _ => return,
+                    // In-alphabet transitions with no Table-I meaning
+                    // (NEW_SAVING, FINISHING, RUNNING on other events).
+                    s if RM_APP_STATES.contains(&s) => return Outcome::Matched,
+                    _ => return Outcome::Unmatched,
                 };
                 out.push(SchedEvent {
                     ts: r.ts,
@@ -90,20 +288,22 @@ impl Extractor {
                     node: None,
                     source: LogSource::ResourceManager,
                 });
+                Outcome::Matched
             }
             "RMContainerImpl" => {
                 let Some(caps) = self.rm_container.match_str(&r.message) else {
-                    return;
+                    return Outcome::Ignored;
                 };
                 let Ok(cid) = caps[0].parse::<ContainerId>() else {
-                    return;
+                    return Outcome::Unmatched;
                 };
                 let kind = match caps[2] {
                     "ALLOCATED" => EventKind::ContainerAllocated,
                     "ACQUIRED" => EventKind::ContainerAcquired,
                     "RUNNING" => EventKind::ContainerRmRunning,
                     "COMPLETED" => EventKind::ContainerCompleted,
-                    _ => return,
+                    s if RM_CONTAINER_STATES.contains(&s) => return Outcome::Matched,
+                    _ => return Outcome::Unmatched,
                 };
                 out.push(SchedEvent {
                     ts: r.ts,
@@ -113,27 +313,29 @@ impl Extractor {
                     node: None,
                     source: LogSource::ResourceManager,
                 });
+                Outcome::Matched
             }
-            _ => {}
+            _ => Outcome::Ignored,
         }
     }
 
-    fn extract_nm(&self, node: NodeId, r: &LogRecord, out: &mut Vec<SchedEvent>) {
+    fn extract_nm(&self, node: NodeId, r: &LogRecord, out: &mut Vec<SchedEvent>) -> Outcome {
         if r.class != "ContainerImpl" {
-            return;
+            return Outcome::Ignored;
         }
         let Some(caps) = self.nm_container.match_str(&r.message) else {
-            return;
+            return Outcome::Ignored;
         };
         let Ok(cid) = caps[0].parse::<ContainerId>() else {
-            return;
+            return Outcome::Unmatched;
         };
         let kind = match caps[2] {
             "LOCALIZING" => EventKind::ContainerLocalizing,
             "SCHEDULED" => EventKind::ContainerScheduled,
             "RUNNING" => EventKind::ContainerNmRunning,
             "DONE" => EventKind::ContainerDone,
-            _ => return,
+            s if NM_CONTAINER_STATES.contains(&s) => return Outcome::Matched,
+            _ => return Outcome::Unmatched,
         };
         out.push(SchedEvent {
             ts: r.ts,
@@ -143,6 +345,7 @@ impl Extractor {
             node: Some(node),
             source: LogSource::NodeManager(node),
         });
+        Outcome::Matched
     }
 
     fn extract_driver(
@@ -151,7 +354,7 @@ impl Extractor {
         is_first: bool,
         r: &LogRecord,
         out: &mut Vec<SchedEvent>,
-    ) {
+    ) -> Outcome {
         let src = LogSource::Driver(app);
         if is_first {
             out.push(SchedEvent {
@@ -170,7 +373,11 @@ impl Extractor {
         } else if r.message.starts_with("END_ALLO") {
             EventKind::EndAllo
         } else {
-            return;
+            return if is_first {
+                Outcome::Matched
+            } else {
+                Outcome::Ignored
+            };
         };
         out.push(SchedEvent {
             ts: r.ts,
@@ -180,6 +387,7 @@ impl Extractor {
             node: None,
             source: src,
         });
+        Outcome::Matched
     }
 
     fn extract_executor(
@@ -188,7 +396,7 @@ impl Extractor {
         is_first: bool,
         r: &LogRecord,
         out: &mut Vec<SchedEvent>,
-    ) {
+    ) -> Outcome {
         let src = LogSource::Executor(cid);
         if is_first {
             out.push(SchedEvent {
@@ -209,6 +417,11 @@ impl Extractor {
                 node: None,
                 source: src,
             });
+            Outcome::Matched
+        } else if is_first {
+            Outcome::Matched
+        } else {
+            Outcome::Ignored
         }
     }
 }
@@ -219,34 +432,79 @@ pub fn extract_all(store: &logmodel::LogStore) -> Vec<SchedEvent> {
     extract_all_with(store, Parallelism::ONE)
 }
 
-/// [`extract_all`] sharded across `par` worker threads: one `Extractor`
+/// [`extract_all`] sharded across `par` worker threads. See
+/// [`extract_all_cov_with`] for the determinism guarantee.
+pub fn extract_all_with(store: &logmodel::LogStore, par: Parallelism) -> Vec<SchedEvent> {
+    extract_all_cov_with(store, par).0
+}
+
+/// [`extract_all_with`] plus corpus-wide parse coverage: one `Extractor`
 /// pass per log stream, then a k-way binary-heap merge of the per-stream
 /// (time-sorted) event vectors.
 ///
-/// Determinism guarantee: output is identical for every thread count. The
-/// sequential path concatenates streams in store order and stable-sorts by
-/// timestamp, so ties are ordered by `(stream index, position in stream)`;
-/// the merge reproduces exactly that order by (a) stable-sorting each
-/// stream's events by timestamp (a no-op for the time-ordered streams the
-/// store guarantees) and (b) breaking timestamp ties by stream index, FIFO
-/// within a stream.
-pub fn extract_all_with(store: &logmodel::LogStore, par: Parallelism) -> Vec<SchedEvent> {
+/// Determinism guarantee: output is identical for every thread count. Each
+/// stream's events are (a) stable-sorted by timestamp (a no-op for the
+/// time-ordered streams the store guarantees) and (b) merged with
+/// timestamp ties broken by stream index, FIFO within a stream — exactly
+/// the order concatenating streams in store order and stable-sorting by
+/// timestamp would produce. With `Parallelism::ONE` the per-stream passes
+/// run sequentially on the calling thread. Coverage tallies are sums, so
+/// they are thread-count-independent too.
+pub fn extract_all_cov_with(
+    store: &logmodel::LogStore,
+    par: Parallelism,
+) -> (Vec<SchedEvent>, ParseCoverage) {
+    let _span = obs::span("extract");
     let ex = Extractor::new();
     let sources: Vec<LogSource> = store.sources().collect();
-    if par.is_sequential() {
-        let mut events = Vec::new();
-        for src in sources {
-            events.extend(ex.extract_stream(src, store.records(src)));
-        }
-        events.sort_by_key(|e| e.ts);
-        return events;
+    let per_stream: Vec<(SourceKind, Vec<SchedEvent>, CoverageCounts)> =
+        logmodel::par::map(par, sources, |src| {
+            let span = obs::span("extract_stream").arg("source", src.rel_path());
+            let (mut evs, cov) = ex.extract_stream_counted(src, store.records(src));
+            evs.sort_by_key(|e| e.ts); // stable; no-op on time-ordered streams
+            if span.is_active() {
+                flush_stream_metrics(src, &evs, cov);
+            }
+            (SourceKind::of(src), evs, cov)
+        });
+    let mut coverage = ParseCoverage::default();
+    let mut streams = Vec::with_capacity(per_stream.len());
+    for (kind, evs, cov) in per_stream {
+        coverage.record(kind, cov);
+        streams.push(evs);
     }
-    let per_stream: Vec<Vec<SchedEvent>> = logmodel::par::map(par, sources, |src| {
-        let mut evs = ex.extract_stream(src, store.records(src));
-        evs.sort_by_key(|e| e.ts); // stable; no-op on time-ordered streams
-        evs
-    });
-    merge_sorted_streams(per_stream)
+    (merge_sorted_streams(streams), coverage)
+}
+
+/// Flush one stream's extraction counters into the global recorder
+/// (called only when recording is enabled). Counter totals are pure
+/// functions of the corpus, so metric exports are byte-identical for
+/// every worker count.
+fn flush_stream_metrics(src: LogSource, evs: &[SchedEvent], cov: CoverageCounts) {
+    let mut per_kind: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for e in evs {
+        *per_kind.entry(e.kind.name()).or_insert(0) += 1;
+    }
+    for (kind, n) in per_kind {
+        obs::count_labeled("extract_events_total", &[("kind", kind)], n);
+    }
+    let source = SourceKind::of(src).name();
+    for (status, n) in [
+        ("matched", cov.matched),
+        ("unmatched", cov.unmatched),
+        ("ignored", cov.ignored),
+    ] {
+        obs::count_labeled(
+            "parse_lines_total",
+            &[("source", source), ("status", status)],
+            n,
+        );
+    }
+    obs::observe(
+        "extract_stream_events",
+        EVENTS_PER_STREAM_BOUNDS,
+        evs.len() as u64,
+    );
 }
 
 /// K-way merge of per-stream time-sorted event vectors, with timestamp
@@ -307,6 +565,7 @@ pub fn extract_app_names_with(
     store: &logmodel::LogStore,
     par: Parallelism,
 ) -> std::collections::BTreeMap<ApplicationId, String> {
+    let _span = obs::span("extract_app_names");
     let spark = Pat::new("Starting ApplicationMaster for {}");
     let drivers: Vec<ApplicationId> = store
         .sources()
@@ -547,6 +806,129 @@ mod tests {
         assert!(evs[0].ts <= evs[1].ts);
         assert_eq!(evs[0].kind, EventKind::AppSubmitted);
         assert_eq!(evs[1].kind, EventKind::DriverFirstLog);
+    }
+
+    #[test]
+    fn coverage_classifies_matched_unmatched_ignored() {
+        let ex = Extractor::new();
+        let a = app();
+        let records = vec![
+            // matched: emits an event
+            rec(
+                5,
+                "RMAppImpl",
+                format!("{a} State change from NEW_SAVING to SUBMITTED on event = APP_NEW_SAVED"),
+            ),
+            // matched: recognized benign transition (no event emitted)
+            rec(
+                1,
+                "RMAppImpl",
+                format!("{a} State change from NEW to NEW_SAVING on event = START"),
+            ),
+            // unmatched: transition into a state outside the alphabet
+            rec(
+                9,
+                "RMAppImpl",
+                format!("{a} State change from RUNNING to KILLED on event = KILL"),
+            ),
+            // unmatched: transition-shaped but the id does not parse
+            rec(
+                10,
+                "RMAppImpl",
+                "garbage_id State change from NEW to SUBMITTED on event = START".to_string(),
+            ),
+            // ignored: non-transition chatter from a scheduling class
+            rec(2, "RMAppImpl", "Storing application with id".to_string()),
+            // ignored: unrelated class
+            rec(3, "CapacityScheduler", "Re-sorting queues".to_string()),
+        ];
+        let (evs, cov) = ex.extract_stream_counted(LogSource::ResourceManager, &records);
+        assert_eq!(evs.len(), 1);
+        assert_eq!(
+            cov,
+            CoverageCounts {
+                matched: 2,
+                unmatched: 2,
+                ignored: 2,
+            }
+        );
+        assert_eq!(cov.coverage(), 0.5);
+    }
+
+    #[test]
+    fn nm_unknown_state_is_unmatched() {
+        let ex = Extractor::new();
+        let cid = app().attempt(1).container(1);
+        let records = vec![
+            rec(
+                1,
+                "ContainerImpl",
+                format!("Container {cid} transitioned from NEW to LOCALIZING"),
+            ),
+            rec(
+                2,
+                "ContainerImpl",
+                format!("Container {cid} transitioned from LOCALIZING to PAUSED"),
+            ),
+        ];
+        let (_, cov) = ex.extract_stream_counted(LogSource::NodeManager(NodeId(1)), &records);
+        assert_eq!((cov.matched, cov.unmatched), (1, 1));
+    }
+
+    #[test]
+    fn driver_and_executor_first_lines_count_matched() {
+        let ex = Extractor::new();
+        let a = app();
+        let records = vec![
+            rec(1, "ApplicationMaster", "banner".to_string()),
+            rec(2, "ApplicationMaster", "other chatter".to_string()),
+        ];
+        let (evs, cov) = ex.extract_stream_counted(LogSource::Driver(a), &records);
+        assert_eq!(evs.len(), 1); // DriverFirstLog
+        assert_eq!((cov.matched, cov.unmatched, cov.ignored), (1, 0, 1));
+        assert_eq!(cov.coverage(), 1.0);
+    }
+
+    #[test]
+    fn corpus_coverage_merges_per_family() {
+        let mut store = LogStore::new(Epoch::default_run());
+        let a = app();
+        store.info(LogSource::Driver(a), TsMs(500), "X", "hello");
+        store.info(
+            LogSource::ResourceManager,
+            TsMs(5),
+            "RMAppImpl",
+            format!("{a} State change from NEW_SAVING to SUBMITTED on event = APP_NEW_SAVED"),
+        );
+        let (evs, cov) = extract_all_cov_with(&store, Parallelism::ONE);
+        assert_eq!(evs.len(), 2);
+        assert_eq!(cov.get(SourceKind::ResourceManager).matched, 1);
+        assert_eq!(cov.get(SourceKind::Driver).matched, 1);
+        assert_eq!(cov.total().matched, 2);
+        let line = cov.summary_line();
+        assert!(line.contains("resourcemanager 1/0/0"), "{line}");
+        assert!(line.contains("driver 1/0/0"), "{line}");
+        // Coverage sums are thread-count-independent.
+        for threads in [2, 4] {
+            let (_, c2) = extract_all_cov_with(&store, Parallelism::new(threads));
+            assert_eq!(c2, cov, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn source_kind_names_and_relevance() {
+        assert_eq!(
+            SourceKind::of(LogSource::ResourceManager).name(),
+            "resourcemanager"
+        );
+        assert!(SourceKind::ResourceManager.is_scheduling_relevant());
+        assert!(SourceKind::NodeManager.is_scheduling_relevant());
+        assert!(!SourceKind::Driver.is_scheduling_relevant());
+        assert!(!SourceKind::Executor.is_scheduling_relevant());
+        assert_eq!(
+            ParseCoverage::default().summary_line(),
+            "Parse coverage: no log lines"
+        );
     }
 
     #[test]

@@ -298,6 +298,10 @@ pub fn full_report(an: &Analysis) -> String {
             );
         }
     }
+    let _ = writeln!(out, "{}", an.coverage.summary_line());
+    for w in crate::validate::coverage_warnings(&an.coverage) {
+        let _ = writeln!(out, "  {w}");
+    }
     out
 }
 

@@ -21,6 +21,7 @@
 use logmodel::{ApplicationId, ContainerId};
 
 use crate::event::EventKind;
+use crate::extract::{ParseCoverage, SourceKind};
 use crate::graph::{ContainerTrack, SchedulingGraph};
 
 /// What went wrong.
@@ -179,6 +180,32 @@ pub fn validate_all<'a>(graphs: impl IntoIterator<Item = &'a SchedulingGraph>) -
     graphs.into_iter().flat_map(validate_graph).collect()
 }
 
+/// Warnings for incomplete parse coverage of scheduling-relevant message
+/// classes (the RM/NM state transitions every delay component is computed
+/// from). Below-100% coverage there means the extraction rules no longer
+/// understand the log format — new states, changed message shapes — and
+/// delays may be computed from an incomplete event set.
+pub fn coverage_warnings(cov: &ParseCoverage) -> Vec<String> {
+    let mut out = Vec::new();
+    for kind in SourceKind::ALL {
+        if !kind.is_scheduling_relevant() {
+            continue;
+        }
+        let c = cov.get(kind);
+        if c.unmatched > 0 {
+            out.push(format!(
+                "coverage warning: {} understood {:.1}% of scheduling-relevant lines \
+                 ({} unmatched of {}) — extraction rules may be out of date",
+                kind.name(),
+                100.0 * c.coverage(),
+                c.unmatched,
+                c.matched + c.unmatched,
+            ));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -296,6 +323,44 @@ mod tests {
             ev(605, ContainerNmRunning, a, Some(am)),
         ]);
         assert_eq!(validate_graph(&g), vec![]);
+    }
+
+    #[test]
+    fn coverage_warnings_fire_only_on_relevant_unmatched() {
+        use crate::extract::CoverageCounts;
+        let mut cov = ParseCoverage::default();
+        cov.record(
+            SourceKind::ResourceManager,
+            CoverageCounts {
+                matched: 3,
+                unmatched: 1,
+                ignored: 10,
+            },
+        );
+        cov.record(
+            SourceKind::Driver,
+            CoverageCounts {
+                matched: 1,
+                unmatched: 5, // not scheduling-relevant: no warning
+                ignored: 0,
+            },
+        );
+        let warnings = coverage_warnings(&cov);
+        assert_eq!(warnings.len(), 1, "{warnings:?}");
+        assert!(warnings[0].contains("resourcemanager"), "{warnings:?}");
+        assert!(warnings[0].contains("75.0%"), "{warnings:?}");
+        // Full coverage: silence.
+        let mut clean = ParseCoverage::default();
+        clean.record(
+            SourceKind::NodeManager,
+            CoverageCounts {
+                matched: 7,
+                unmatched: 0,
+                ignored: 2,
+            },
+        );
+        assert!(coverage_warnings(&clean).is_empty());
+        assert!(coverage_warnings(&ParseCoverage::default()).is_empty());
     }
 
     #[test]

@@ -12,8 +12,14 @@ fn bin() -> Command {
 
 /// A complete single-app corpus with known delays.
 fn write_corpus(dir: &std::path::Path) -> ApplicationId {
+    let mut s = LogStore::new(Epoch::default_run());
+    let a = populate_app1(&mut s);
+    s.write_dir(dir).unwrap();
+    a
+}
+
+fn populate_app1(s: &mut LogStore) -> ApplicationId {
     let epoch = Epoch::default_run();
-    let mut s = LogStore::new(epoch);
     let a = ApplicationId::new(epoch.unix_ms, 1);
     let am = a.attempt(1).container(1);
     let ex = a.attempt(1).container(2);
@@ -139,8 +145,77 @@ fn write_corpus(dir: &std::path::Path) -> ApplicationId {
         "RMAppImpl",
         format!("{a} State change from RUNNING to FINAL_SAVING on event = ATTEMPT_UNREGISTERED"),
     );
-    s.write_dir(dir).unwrap();
     a
+}
+
+/// `write_corpus` plus a second, time-shifted application and one
+/// schema-drift line (an RM app state outside the known alphabet), so
+/// parse-coverage metrics exercise all three statuses.
+fn write_two_app_corpus(dir: &std::path::Path) -> ApplicationId {
+    let epoch = Epoch::default_run();
+    let mut s = LogStore::new(epoch);
+    let first = populate_app1(&mut s);
+    let a = ApplicationId::new(epoch.unix_ms, 2);
+    let am = a.attempt(1).container(1);
+    let rm = LogSource::ResourceManager;
+    let nm = LogSource::NodeManager(NodeId(3));
+    s.info(
+        rm,
+        TsMs(50_100),
+        "RMAppImpl",
+        format!("{a} State change from NEW_SAVING to SUBMITTED on event = APP_NEW_SAVED"),
+    );
+    s.info(
+        rm,
+        TsMs(50_120),
+        "RMAppImpl",
+        format!("{a} State change from SUBMITTED to ACCEPTED on event = APP_ACCEPTED"),
+    );
+    s.info(
+        rm,
+        TsMs(50_150),
+        "RMContainerImpl",
+        format!("{am} Container Transitioned from NEW to ALLOCATED"),
+    );
+    s.info(
+        rm,
+        TsMs(50_151),
+        "RMContainerImpl",
+        format!("{am} Container Transitioned from ALLOCATED to ACQUIRED"),
+    );
+    s.info(
+        nm,
+        TsMs(50_160),
+        "ContainerImpl",
+        format!("Container {am} transitioned from NEW to LOCALIZING"),
+    );
+    s.info(
+        nm,
+        TsMs(50_700),
+        "ContainerImpl",
+        format!("Container {am} transitioned from LOCALIZING to SCHEDULED"),
+    );
+    s.info(
+        nm,
+        TsMs(50_705),
+        "ContainerImpl",
+        format!("Container {am} transitioned from SCHEDULED to RUNNING"),
+    );
+    s.info(
+        LogSource::Driver(a),
+        TsMs(51_400),
+        "ApplicationMaster",
+        "Starting ApplicationMaster",
+    );
+    // Schema drift: a state SDchecker's extraction rules don't know.
+    s.info(
+        rm,
+        TsMs(90_000),
+        "RMAppImpl",
+        format!("{a} State change from ACCEPTED to KILLED on event = KILL"),
+    );
+    s.write_dir(dir).unwrap();
+    first
 }
 
 fn tmp(name: &str) -> PathBuf {
@@ -239,6 +314,264 @@ fn threads_flag_is_byte_identical() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// Golden-file test: on a fixed two-app corpus at `--threads 1`, the
+/// metrics JSON must be byte-for-byte stable. Refresh the committed file
+/// with `UPDATE_GOLDEN=1 cargo test -p sdchecker --test cli` after an
+/// intentional metric change.
+#[test]
+fn metrics_json_matches_golden() {
+    let dir = tmp("golden");
+    let _ = std::fs::remove_dir_all(&dir);
+    write_two_app_corpus(&dir);
+    let metrics = dir.join("metrics.json");
+    let out = bin()
+        .arg(&dir)
+        .args(["--threads", "1", "--quiet"])
+        .args(["--metrics-out", metrics.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let got = std::fs::read_to_string(&metrics).unwrap();
+
+    // Structural checks first, so the test still explains itself when the
+    // golden file is being regenerated.
+    let doc = obs::json::parse(&got).expect("metrics must be valid JSON");
+    let counters = doc.get("counters").unwrap();
+    let counter = |key: &str| {
+        counters
+            .get(key)
+            .unwrap_or_else(|| panic!("missing counter {key} in {got}"))
+            .as_f64()
+            .unwrap()
+    };
+    assert_eq!(counter("analyze_apps_total"), 2.0);
+    // One schema-drift line in the RM log (ACCEPTED -> KILLED).
+    assert_eq!(
+        counter("parse_lines_total{source=\"resourcemanager\",status=\"unmatched\"}"),
+        1.0
+    );
+    assert_eq!(counter("extract_events_total{kind=\"AppSubmitted\"}"), 2.0);
+    // sdchecker runs never touch the simulator, so no sim metrics (and in
+    // particular no wall-clock-derived gauges) may leak into the export.
+    assert!(!got.contains("sim_"), "{got}");
+
+    let golden = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/metrics.json");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(golden.parent().unwrap()).unwrap();
+        std::fs::write(&golden, &got).unwrap();
+    }
+    let want = std::fs::read_to_string(&golden).expect("golden file missing; see test doc");
+    assert_eq!(
+        got, want,
+        "metrics JSON drifted from tests/golden/metrics.json"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Counter totals are pure functions of the corpus: the exported metrics
+/// file must be byte-identical no matter how many worker threads ran.
+#[test]
+fn metrics_are_identical_across_thread_counts() {
+    let dir = tmp("mthreads");
+    let _ = std::fs::remove_dir_all(&dir);
+    write_two_app_corpus(&dir);
+    let mut files = Vec::new();
+    for threads in ["1", "2", "4", "8"] {
+        let metrics = dir.join(format!("metrics_{threads}.json"));
+        let out = bin()
+            .arg(&dir)
+            .args(["--threads", threads, "--quiet"])
+            .args(["--metrics-out", metrics.to_str().unwrap()])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        files.push((threads, std::fs::read(&metrics).unwrap()));
+    }
+    for (threads, bytes) in &files[1..] {
+        assert_eq!(
+            &files[0].1, bytes,
+            "metrics differ between --threads 1 and --threads {threads}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The Chrome trace must be valid JSON with complete (`"X"`) events that
+/// nest properly within each thread lane, plus thread-name metadata.
+#[test]
+fn chrome_trace_is_structurally_valid() {
+    let dir = tmp("trace");
+    let _ = std::fs::remove_dir_all(&dir);
+    write_two_app_corpus(&dir);
+    let trace = dir.join("trace.json");
+    let out = bin()
+        .arg(&dir)
+        .args(["--threads", "1", "--quiet"])
+        .args(["--trace-out", trace.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&trace).unwrap();
+    let doc = obs::json::parse(&text).expect("trace must be valid JSON");
+    let events = doc.get("traceEvents").unwrap().as_arr().unwrap().to_vec();
+
+    assert!(
+        events.iter().any(|e| {
+            e.get("ph").and_then(|p| p.as_str()) == Some("M")
+                && e.get("name").and_then(|n| n.as_str()) == Some("thread_name")
+        }),
+        "no thread_name metadata event"
+    );
+
+    // Collect complete events as (tid, name, start, end).
+    let mut spans: Vec<(u64, String, u64, u64)> = Vec::new();
+    for e in &events {
+        if e.get("ph").and_then(|p| p.as_str()) != Some("X") {
+            continue;
+        }
+        let tid = e.get("tid").unwrap().as_f64().unwrap() as u64;
+        let name = e.get("name").unwrap().as_str().unwrap().to_string();
+        let ts = e.get("ts").unwrap().as_f64().unwrap() as u64;
+        let dur = e.get("dur").unwrap().as_f64().unwrap() as u64;
+        spans.push((tid, name, ts, ts + dur));
+    }
+    for stage in ["ingest", "extract", "analyze", "graph_build", "decompose"] {
+        assert!(
+            spans.iter().any(|(_, n, _, _)| n == stage),
+            "missing {stage} span; have: {:?}",
+            spans.iter().map(|(_, n, _, _)| n).collect::<Vec<_>>()
+        );
+    }
+    // Within a thread lane, any two spans must be nested or disjoint —
+    // partially overlapping intervals would render as a corrupt flame.
+    for (i, a) in spans.iter().enumerate() {
+        for b in &spans[i + 1..] {
+            if a.0 != b.0 {
+                continue;
+            }
+            let disjoint = a.3 <= b.2 || b.3 <= a.2;
+            let nested = (a.2 <= b.2 && b.3 <= a.3) || (b.2 <= a.2 && a.3 <= b.3);
+            assert!(
+                disjoint || nested,
+                "spans {:?} and {:?} partially overlap on tid {}",
+                a,
+                b,
+                a.0
+            );
+        }
+    }
+    // The extract stage must sit inside the analyze span on its thread.
+    let analyze = spans.iter().find(|(_, n, _, _)| n == "analyze").unwrap();
+    let extract = spans.iter().find(|(_, n, _, _)| n == "extract").unwrap();
+    assert_eq!(analyze.0, extract.0, "analyze/extract on different threads");
+    assert!(
+        analyze.2 <= extract.2 && extract.3 <= analyze.3,
+        "extract span not nested inside analyze"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// `.prom`/`.txt` metrics paths switch the export to Prometheus text.
+#[test]
+fn prom_extension_selects_prometheus_text() {
+    let dir = tmp("prom");
+    let _ = std::fs::remove_dir_all(&dir);
+    write_corpus(&dir);
+    let metrics = dir.join("metrics.prom");
+    let out = bin()
+        .arg(&dir)
+        .args(["--threads", "1", "--quiet"])
+        .args(["--metrics-out", metrics.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = std::fs::read_to_string(&metrics).unwrap();
+    assert!(text.contains("# TYPE analyze_apps_total counter"), "{text}");
+    assert!(text.contains("analyze_apps_total 1"), "{text}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Every report ends with the per-source parse-coverage summary, and
+/// unmatched scheduling-relevant lines raise a drift warning.
+#[test]
+fn report_includes_parse_coverage_and_drift_warning() {
+    let dir = tmp("coverage");
+    let _ = std::fs::remove_dir_all(&dir);
+    write_two_app_corpus(&dir);
+    let out = bin().arg(&dir).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("Parse coverage (matched/unmatched/ignored):"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("coverage warning: resourcemanager"),
+        "{stdout}"
+    );
+
+    // The clean single-app corpus must not warn.
+    let clean = tmp("coverage_clean");
+    let _ = std::fs::remove_dir_all(&clean);
+    write_corpus(&clean);
+    let out = bin().arg(&clean).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Parse coverage"), "{stdout}");
+    assert!(!stdout.contains("coverage warning"), "{stdout}");
+    std::fs::remove_dir_all(&dir).unwrap();
+    std::fs::remove_dir_all(&clean).unwrap();
+}
+
+/// `--quiet` silences the informational stderr lines but not the report.
+#[test]
+fn quiet_suppresses_info_lines() {
+    let dir = tmp("quiet");
+    let _ = std::fs::remove_dir_all(&dir);
+    write_corpus(&dir);
+    let csv = dir.join("out.csv");
+    let loud = bin()
+        .arg(&dir)
+        .args(["--csv", csv.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(loud.status.success());
+    assert!(String::from_utf8_lossy(&loud.stderr).contains("wrote per-application CSV"));
+
+    let quiet = bin()
+        .arg(&dir)
+        .args(["--csv", csv.to_str().unwrap(), "--quiet"])
+        .output()
+        .unwrap();
+    assert!(quiet.status.success());
+    assert!(
+        quiet.stderr.is_empty(),
+        "--quiet left stderr output: {}",
+        String::from_utf8_lossy(&quiet.stderr)
+    );
+    assert_eq!(loud.stdout, quiet.stdout, "--quiet must not change stdout");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn help_exits_zero() {
+    let out = bin().arg("--help").output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("usage: sdchecker"));
+}
+
 #[test]
 fn rejects_bad_usage() {
     let out = bin().output().unwrap();
@@ -253,6 +586,14 @@ fn rejects_bad_usage() {
     let out = bin().args(["dir", "--threads", "0"]).output().unwrap();
     assert_eq!(out.status.code(), Some(2));
     let out = bin().args(["dir", "--threads", "many"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    // A flag where the log directory should be.
+    let out = bin().args(["--quiet"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    // Observability flags with missing values.
+    let out = bin().args(["dir", "--trace-out"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = bin().args(["dir", "--metrics-out"]).output().unwrap();
     assert_eq!(out.status.code(), Some(2));
 }
 

@@ -16,6 +16,13 @@ pub trait Model {
 
     /// React to `ev`; schedule follow-ups through `ctx`.
     fn handle(&mut self, ev: Self::Event, ctx: &mut Ctx<Self::Event>);
+
+    /// Short stable label for `ev`, used as the `kind` label of the
+    /// engine's `sim_events_total` counter. Models with one event family
+    /// may keep the default.
+    fn event_label(_ev: &Self::Event) -> &'static str {
+        "event"
+    }
 }
 
 /// Handler-side view of the kernel: the current time, the RNG, and a buffer
@@ -50,6 +57,30 @@ impl<'a, E> Ctx<'a, E> {
     }
 }
 
+/// Engine-local run statistics, accumulated per step and flushed to the
+/// recorder in one batch at the end of each `run_*` call — the shared
+/// registry is never touched on the per-event hot path.
+struct EngineStats {
+    per_kind: std::collections::BTreeMap<&'static str, u64>,
+    queue_hwm: u64,
+    /// Wall-clock start of the current recording window (first recorded
+    /// step since the last flush).
+    wall_start: Option<std::time::Instant>,
+    /// Accumulated wall time of flushed windows, in microseconds.
+    wall_us: u64,
+}
+
+impl EngineStats {
+    const fn new() -> EngineStats {
+        EngineStats {
+            per_kind: std::collections::BTreeMap::new(),
+            queue_hwm: 0,
+            wall_start: None,
+            wall_us: 0,
+        }
+    }
+}
+
 /// The simulation engine.
 pub struct Engine<M: Model> {
     model: M,
@@ -57,6 +88,8 @@ pub struct Engine<M: Model> {
     rng: SimRng,
     now: Millis,
     processed: u64,
+    recorder: &'static obs::Recorder,
+    stats: EngineStats,
 }
 
 impl<M: Model> Engine<M> {
@@ -68,7 +101,16 @@ impl<M: Model> Engine<M> {
             rng: SimRng::new(seed),
             now: Millis::ZERO,
             processed: 0,
+            recorder: obs::global(),
+            stats: EngineStats::new(),
         }
+    }
+
+    /// Redirect this engine's instrumentation to `recorder` instead of
+    /// the process-wide default (tests inject a leaked local recorder to
+    /// stay isolated from the global one).
+    pub fn set_recorder(&mut self, recorder: &'static obs::Recorder) {
+        self.recorder = recorder;
     }
 
     /// Current simulation time.
@@ -108,11 +150,18 @@ impl<M: Model> Engine<M> {
 
     /// Process a single event. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
+        let recording = self.recorder.is_enabled();
         let Some((at, ev)) = self.queue.pop() else {
             return false;
         };
         debug_assert!(at >= self.now, "time went backwards");
         self.now = at;
+        if recording {
+            if self.stats.wall_start.is_none() {
+                self.stats.wall_start = Some(std::time::Instant::now());
+            }
+            *self.stats.per_kind.entry(M::event_label(&ev)).or_insert(0) += 1;
+        }
         let mut ctx = Ctx {
             now: self.now,
             rng: &mut self.rng,
@@ -122,24 +171,58 @@ impl<M: Model> Engine<M> {
         for (t, e) in ctx.pending {
             self.queue.push(t, e);
         }
+        if recording {
+            self.stats.queue_hwm = self.stats.queue_hwm.max(self.queue.len() as u64);
+        }
         self.processed += 1;
         true
     }
 
+    /// Flush locally accumulated run statistics into the recorder:
+    /// `sim_events_total{kind}`, the `sim_queue_depth_hwm` high-water
+    /// mark, and the simulated-vs-wall-time gauges (`sim_time_ms`,
+    /// `sim_wall_ms`, and their ratio `sim_speedup`). Called at the end
+    /// of every `run_*`; idempotent, and a no-op while disabled.
+    pub fn flush_stats(&mut self) {
+        if !self.recorder.is_enabled() {
+            return;
+        }
+        for (kind, n) in std::mem::take(&mut self.stats.per_kind) {
+            self.recorder
+                .count_labeled("sim_events_total", &[("kind", kind)], n);
+        }
+        self.recorder
+            .gauge_max("sim_queue_depth_hwm", self.stats.queue_hwm as f64);
+        if let Some(t0) = self.stats.wall_start.take() {
+            self.stats.wall_us += t0.elapsed().as_micros() as u64;
+        }
+        let wall_ms = self.stats.wall_us as f64 / 1000.0;
+        self.recorder.gauge_set("sim_time_ms", self.now.0 as f64);
+        self.recorder.gauge_set("sim_wall_ms", wall_ms);
+        if wall_ms > 0.0 {
+            self.recorder
+                .gauge_set("sim_speedup", self.now.0 as f64 / wall_ms);
+        }
+    }
+
     /// Run until the queue empties.
     pub fn run_to_completion(&mut self) {
+        let _span = self.recorder.span("sim_run");
         while self.step() {}
+        self.flush_stats();
     }
 
     /// Run until the queue empties or the clock passes `horizon`
     /// (events strictly after `horizon` are left unprocessed).
     pub fn run_until(&mut self, horizon: Millis) {
+        let _span = self.recorder.span("sim_run").arg("horizon_ms", horizon.0);
         while let Some(t) = self.queue.peek_time() {
             if t > horizon {
                 break;
             }
             self.step();
         }
+        self.flush_stats();
     }
 
     /// Run at most `limit` further events; returns how many were processed.
@@ -149,6 +232,7 @@ impl<M: Model> Engine<M> {
         while n < limit && self.step() {
             n += 1;
         }
+        self.flush_stats();
         n
     }
 }
@@ -177,6 +261,12 @@ mod tests {
                         ctx.schedule_in(Millis(5), Ev::Chain(n - 1));
                     }
                 }
+            }
+        }
+        fn event_label(ev: &Ev) -> &'static str {
+            match ev {
+                Ev::Tag(_) => "tag",
+                Ev::Chain(_) => "chain",
             }
         }
     }
@@ -246,6 +336,42 @@ mod tests {
         e.schedule_at(Millis(100), PEv::Trigger);
         e.run_to_completion();
         assert_eq!(e.model().fired_at, Some(Millis(100)));
+    }
+
+    #[test]
+    fn stats_flush_to_injected_recorder() {
+        // A leaked local recorder keeps this test isolated from the
+        // process-wide one (which stays disabled across the test suite).
+        let rec: &'static obs::Recorder = Box::leak(Box::new(obs::Recorder::new()));
+        rec.enable();
+        let mut e = Engine::new(Echo { seen: vec![] }, 0);
+        e.set_recorder(rec);
+        e.schedule_at(Millis(30), Ev::Tag(7));
+        e.schedule_at(Millis(0), Ev::Chain(2));
+        e.run_to_completion();
+        let snap = rec.snapshot();
+        assert_eq!(
+            snap.counter_labeled("sim_events_total", &[("kind", "chain")]),
+            3
+        );
+        assert_eq!(
+            snap.counter_labeled("sim_events_total", &[("kind", "tag")]),
+            1
+        );
+        assert!(snap.gauge("sim_queue_depth_hwm").unwrap() >= 1.0);
+        assert_eq!(snap.gauge("sim_time_ms"), Some(30.0));
+        assert!(snap.gauge("sim_wall_ms").is_some());
+        assert!(snap.spans.iter().any(|s| s.name == "sim_run"));
+    }
+
+    #[test]
+    fn default_event_label_is_event() {
+        struct One;
+        impl Model for One {
+            type Event = ();
+            fn handle(&mut self, _: (), _: &mut Ctx<()>) {}
+        }
+        assert_eq!(One::event_label(&()), "event");
     }
 
     #[test]

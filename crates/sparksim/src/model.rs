@@ -152,6 +152,14 @@ impl Model for World {
             ctx.schedule_at(t, Ev::Run(e));
         }
     }
+
+    fn event_label(ev: &Ev) -> &'static str {
+        match ev {
+            Ev::Cluster(_) => "cluster",
+            Ev::Submit(_) => "submit",
+            Ev::Run(_) => "run",
+        }
+    }
 }
 
 /// Convenience runner: build a world, schedule `arrivals`, and run to
