@@ -2,12 +2,19 @@
 //!
 //! ```text
 //! run_experiments [--quick] [--only fig4,fig12] [--out results/] [--seed N]
-//!                 [--trace-out <trace.json>] [--metrics-out <metrics.json|.prom>]
+//!                 [--trace-out <trace.json>] [--app-trace-out <apptrace.json>]
+//!                 [--report-json <report.json>] [--metrics-out <metrics.json|.prom>]
+//!                 [--quiet]
 //! ```
 //!
 //! Experiments run in parallel (one thread each; every scenario is
 //! internally deterministic and independently seeded). Each artifact is
 //! written to `<out>/<id>.txt`; a combined `ALL.md` concatenates them.
+//!
+//! `--report-json` streams every analyzed application's delay components
+//! through mergeable quantile sketches while the experiments run, then
+//! writes fleet-wide percentiles; `--app-trace-out` simulates a small
+//! reference scenario and exports its app-time scheduling trace.
 
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -15,14 +22,18 @@ use std::process::ExitCode;
 use std::sync::Mutex;
 use std::time::Instant;
 
+use experiments::harness::{default_horizon, run_scenario, scenario_rng};
 use experiments::{all_experiments, Figure, Scale};
+use workloads::{tpch_stream, TraceParams};
+use yarnsim::ClusterConfig;
+
+const USAGE: &str = "usage: run_experiments [--quick] [--only ids] [--out dir] [--seed N] \
+[--trace-out <trace.json>] [--app-trace-out <apptrace.json>] \
+[--report-json <report.json>] [--metrics-out <metrics.json|.prom>] [--quiet]";
 
 fn usage_err(msg: &str) -> ExitCode {
     eprintln!("error: {msg}");
-    eprintln!(
-        "usage: run_experiments [--quick] [--only ids] [--out dir] [--seed N] \
-         [--trace-out <trace.json>] [--metrics-out <metrics.json|.prom>]"
-    );
+    eprintln!("{USAGE}");
     ExitCode::from(2)
 }
 
@@ -32,9 +43,16 @@ fn main() -> ExitCode {
     let mut seed: u64 = 2018;
     let mut only: Option<Vec<String>> = None;
     let mut trace_out: Option<PathBuf> = None;
+    let mut app_trace_out: Option<PathBuf> = None;
+    let mut report_json_out: Option<PathBuf> = None;
     let mut metrics_out: Option<PathBuf> = None;
+    let mut quiet = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -73,6 +91,20 @@ fn main() -> ExitCode {
                 trace_out = Some(PathBuf::from(p));
                 i += 2;
             }
+            "--app-trace-out" => {
+                let Some(p) = args.get(i + 1) else {
+                    return usage_err("--app-trace-out needs a path");
+                };
+                app_trace_out = Some(PathBuf::from(p));
+                i += 2;
+            }
+            "--report-json" => {
+                let Some(p) = args.get(i + 1) else {
+                    return usage_err("--report-json needs a path");
+                };
+                report_json_out = Some(PathBuf::from(p));
+                i += 2;
+            }
             "--metrics-out" => {
                 let Some(p) = args.get(i + 1) else {
                     return usage_err("--metrics-out needs a path");
@@ -80,13 +112,19 @@ fn main() -> ExitCode {
                 metrics_out = Some(PathBuf::from(p));
                 i += 2;
             }
+            "--quiet" => {
+                quiet = true;
+                i += 1;
+            }
             other => {
                 return usage_err(&format!("unknown argument {other}"));
             }
         }
     }
 
-    if trace_out.is_some() || metrics_out.is_some() {
+    // --report-json needs the analysis pipeline's streamed delay sketches,
+    // which only record while the global recorder is enabled.
+    if trace_out.is_some() || metrics_out.is_some() || report_json_out.is_some() {
         obs::enable();
     }
 
@@ -113,10 +151,12 @@ fn main() -> ExitCode {
                 let t0 = Instant::now();
                 let fig = run(scale, seed);
                 let dt = t0.elapsed().as_secs_f64();
-                eprintln!(
-                    "[{:>6.1}s] {id} done ({dt:.1}s)",
-                    started.elapsed().as_secs_f64()
-                );
+                if !quiet {
+                    eprintln!(
+                        "[{:>6.1}s] {id} done ({dt:.1}s)",
+                        started.elapsed().as_secs_f64()
+                    );
+                }
                 results.lock().unwrap().push((idx, fig, dt));
             });
         }
@@ -143,6 +183,35 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    if let Some(path) = &app_trace_out {
+        // A small reference scenario in its own right: enough applications
+        // to show lane structure in Perfetto without a giant trace.
+        let mut rng = scenario_rng(seed);
+        let arrivals = tpch_stream(8, 2048.0, 4, &TraceParams::moderate(), &mut rng);
+        let r = run_scenario(ClusterConfig::default(), seed, arrivals, default_horizon());
+        if let Err(e) = std::fs::write(path, sdchecker::corpus_app_trace(&r.analysis)) {
+            eprintln!("failed to write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        if !quiet {
+            eprintln!(
+                "wrote app-time scheduling trace to {} (load in ui.perfetto.dev)",
+                path.display()
+            );
+        }
+    }
+
+    if let Some(path) = &report_json_out {
+        let json = fleet_report_json(&results, scale, seed, started.elapsed().as_secs_f64());
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("failed to write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        if !quiet {
+            eprintln!("wrote fleet report to {}", path.display());
+        }
+    }
+
     if let Err(e) =
         obs::export::write_files(obs::global(), trace_out.as_deref(), metrics_out.as_deref())
     {
@@ -150,13 +219,80 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    let mut stdout = std::io::stdout().lock();
-    let _ = writeln!(
-        stdout,
-        "wrote {} artifacts to {} in {:.1}s",
-        results.len(),
-        out_dir.display(),
-        started.elapsed().as_secs_f64()
-    );
+    if !quiet {
+        let mut stdout = std::io::stdout().lock();
+        let _ = writeln!(
+            stdout,
+            "wrote {} artifacts to {} in {:.1}s",
+            results.len(),
+            out_dir.display(),
+            started.elapsed().as_secs_f64()
+        );
+    }
     ExitCode::SUCCESS
+}
+
+/// Fleet-wide machine-readable report: which experiments ran, plus the
+/// per-component delay percentiles streamed through the global recorder's
+/// mergeable sketches while every scenario's corpus was analyzed.
+fn fleet_report_json(
+    results: &[(usize, Figure, f64)],
+    scale: Scale,
+    seed: u64,
+    secs: f64,
+) -> String {
+    use std::fmt::Write as _;
+    let snap = obs::global().snapshot();
+    let mut out = String::from("{\n  \"schema\": \"run-experiments-report-v1\",\n");
+    let _ = writeln!(
+        out,
+        "  \"scale\": \"{}\",",
+        match scale {
+            Scale::Full => "full",
+            Scale::Quick => "quick",
+        }
+    );
+    let _ = writeln!(out, "  \"seed\": {seed},");
+    let _ = writeln!(out, "  \"wall_seconds\": {},", obs::json::fmt_f64(secs));
+    out.push_str("  \"experiments\": [");
+    for (i, (_, fig, dt)) in results.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"id\": \"{}\", \"seconds\": {}}}",
+            obs::json::escape(fig.id),
+            obs::json::fmt_f64(*dt)
+        );
+    }
+    out.push_str("\n  ],\n  \"fleet\": {\n");
+    for (i, metric) in ["app_delay_ms", "container_delay_ms"].iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        let _ = write!(out, "    \"{metric}\": {{");
+        let mut first = true;
+        for (k, s) in snap.sketches.iter().filter(|(k, _)| k.name == *metric) {
+            let component = k
+                .labels
+                .iter()
+                .find(|(l, _)| *l == "component")
+                .map(|(_, v)| v.as_str())
+                .unwrap_or("unlabeled");
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "\n      \"{}\": {}",
+                obs::json::escape(component),
+                obs::export::sketch_json(s)
+            );
+        }
+        out.push_str("\n    }");
+    }
+    out.push_str("\n  }\n}\n");
+    out
 }

@@ -6,7 +6,9 @@
 //!       [--scheduler capacity|opportunistic] [--docker]
 //!       [--extra-files-mb MB] [--dfsio-writers N] [--kmeans-apps N]
 //!       [--out <log-dir>] [--timeline]
-//!       [--trace-out <trace.json>] [--metrics-out <metrics.json|.prom>]
+//!       [--trace-out <trace.json>] [--app-trace-out <apptrace.json>]
+//!       [--report-json <report.json>] [--metrics-out <metrics.json|.prom>]
+//!       [--quiet]
 //! ```
 //!
 //! Defaults reproduce the paper's setup: 2 GB input, 4 executors, the
@@ -21,6 +23,12 @@ use sparksim::{profiles, simulate};
 use workloads::{map_jobs, merge, shifted, tpch_stream, TraceParams};
 use yarnsim::{ClusterConfig, ContainerRuntime};
 
+const USAGE: &str = "usage: sdsim [--queries N] [--input-mb MB] [--executors N] [--seed S] \
+[--scheduler capacity|opportunistic] [--docker] [--extra-files-mb MB] \
+[--dfsio-writers N] [--kmeans-apps N] [--out <log-dir>] [--timeline] \
+[--trace-out <trace.json>] [--app-trace-out <apptrace.json>] \
+[--report-json <report.json>] [--metrics-out <metrics.json|.prom>] [--quiet]";
+
 struct Opts {
     queries: usize,
     input_mb: f64,
@@ -34,7 +42,10 @@ struct Opts {
     out: Option<PathBuf>,
     timeline: bool,
     trace_out: Option<PathBuf>,
+    app_trace_out: Option<PathBuf>,
+    report_json_out: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
+    quiet: bool,
 }
 
 fn parse_args() -> Result<Opts, String> {
@@ -51,7 +62,10 @@ fn parse_args() -> Result<Opts, String> {
         out: None,
         timeline: false,
         trace_out: None,
+        app_trace_out: None,
+        report_json_out: None,
         metrics_out: None,
+        quiet: false,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -128,9 +142,21 @@ fn parse_args() -> Result<Opts, String> {
                 o.trace_out = Some(PathBuf::from(value(&args, i, "--trace-out")?));
                 i += 2;
             }
+            "--app-trace-out" => {
+                o.app_trace_out = Some(PathBuf::from(value(&args, i, "--app-trace-out")?));
+                i += 2;
+            }
+            "--report-json" => {
+                o.report_json_out = Some(PathBuf::from(value(&args, i, "--report-json")?));
+                i += 2;
+            }
             "--metrics-out" => {
                 o.metrics_out = Some(PathBuf::from(value(&args, i, "--metrics-out")?));
                 i += 2;
+            }
+            "--quiet" => {
+                o.quiet = true;
+                i += 1;
             }
             other => return Err(format!("unknown argument {other}")),
         }
@@ -139,16 +165,15 @@ fn parse_args() -> Result<Opts, String> {
 }
 
 fn main() -> ExitCode {
+    if std::env::args().skip(1).any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
     let o = match parse_args() {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!(
-                "usage: sdsim [--queries N] [--input-mb MB] [--executors N] [--seed S] \
-                 [--scheduler capacity|opportunistic] [--docker] [--extra-files-mb MB] \
-                 [--dfsio-writers N] [--kmeans-apps N] [--out <log-dir>] [--timeline] \
-                 [--trace-out <trace.json>] [--metrics-out <metrics.json|.prom>]"
-            );
+            eprintln!("{USAGE}");
             return ExitCode::from(2);
         }
     };
@@ -194,38 +219,44 @@ fn main() -> ExitCode {
         ClusterConfig::default()
     };
 
-    eprintln!(
-        "simulating {} TPC-H queries ({} MB, {} executors, {}{}{}) ...",
-        o.queries,
-        o.input_mb,
-        o.executors,
-        if o.opportunistic {
-            "opportunistic"
-        } else {
-            "capacity"
-        },
-        if o.docker { ", docker" } else { "" },
-        if o.dfsio_writers > 0 || o.kmeans_apps > 0 {
-            ", with interference"
-        } else {
-            ""
-        },
-    );
+    if !o.quiet {
+        eprintln!(
+            "simulating {} TPC-H queries ({} MB, {} executors, {}{}{}) ...",
+            o.queries,
+            o.input_mb,
+            o.executors,
+            if o.opportunistic {
+                "opportunistic"
+            } else {
+                "capacity"
+            },
+            if o.docker { ", docker" } else { "" },
+            if o.dfsio_writers > 0 || o.kmeans_apps > 0 {
+                ", with interference"
+            } else {
+                ""
+            },
+        );
+    }
     let t0 = std::time::Instant::now();
     let (logs, summaries) = simulate(cfg, o.seed, arrivals, Millis::from_mins(24 * 60));
-    eprintln!(
-        "simulated {} jobs / {} log records in {:.2?}",
-        summaries.len(),
-        logs.total_records(),
-        t0.elapsed()
-    );
+    if !o.quiet {
+        eprintln!(
+            "simulated {} jobs / {} log records in {:.2?}",
+            summaries.len(),
+            logs.total_records(),
+            t0.elapsed()
+        );
+    }
 
     if let Some(dir) = &o.out {
         if let Err(e) = logs.write_dir(dir) {
             eprintln!("failed to write logs to {}: {e}", dir.display());
             return ExitCode::FAILURE;
         }
-        eprintln!("wrote log corpus to {}", dir.display());
+        if !o.quiet {
+            eprintln!("wrote log corpus to {}", dir.display());
+        }
     }
 
     let analysis = analyze_store(&logs);
@@ -247,6 +278,28 @@ fn main() -> ExitCode {
         }
     }
 
+    if let Some(p) = &o.app_trace_out {
+        if let Err(e) = std::fs::write(p, sdchecker::corpus_app_trace(&analysis)) {
+            eprintln!("failed to write {}: {e}", p.display());
+            return ExitCode::FAILURE;
+        }
+        if !o.quiet {
+            eprintln!(
+                "wrote app-time scheduling trace to {} (load in ui.perfetto.dev)",
+                p.display()
+            );
+        }
+    }
+    if let Some(p) = &o.report_json_out {
+        if let Err(e) = std::fs::write(p, sdchecker::report_json(&analysis)) {
+            eprintln!("failed to write {}: {e}", p.display());
+            return ExitCode::FAILURE;
+        }
+        if !o.quiet {
+            eprintln!("wrote machine-readable report to {}", p.display());
+        }
+    }
+
     if let Err(e) = obs::export::write_files(
         obs::global(),
         o.trace_out.as_deref(),
@@ -255,14 +308,16 @@ fn main() -> ExitCode {
         eprintln!("failed to write observability output: {e}");
         return ExitCode::FAILURE;
     }
-    if let Some(p) = &o.trace_out {
-        eprintln!(
-            "wrote Chrome trace to {} (load in chrome://tracing or ui.perfetto.dev)",
-            p.display()
-        );
-    }
-    if let Some(p) = &o.metrics_out {
-        eprintln!("wrote metrics to {}", p.display());
+    if !o.quiet {
+        if let Some(p) = &o.trace_out {
+            eprintln!(
+                "wrote Chrome trace to {} (load in chrome://tracing or ui.perfetto.dev)",
+                p.display()
+            );
+        }
+        if let Some(p) = &o.metrics_out {
+            eprintln!("wrote metrics to {}", p.display());
+        }
     }
     ExitCode::SUCCESS
 }

@@ -4,54 +4,157 @@ use std::fmt::Write as _;
 
 use crate::json::{escape, fmt_f64};
 use crate::metrics::Snapshot;
+use crate::sketch::QuantileSketch;
 
-/// Render the snapshot's spans as Chrome trace-event JSON (the format
-/// `chrome://tracing` and Perfetto load). Spans become complete (`"X"`)
-/// events with microsecond timestamps; thread-name metadata events label
+/// Incremental writer for the Chrome trace-event JSON format (the format
+/// `chrome://tracing` and <https://ui.perfetto.dev> load).
+///
+/// The writer is clock-agnostic: callers supply every timestamp as plain
+/// microseconds, so the same format serves both wall-clock pipeline
+/// traces ([`chrome_trace`], anchored at recorder enable time) and
+/// *simulated-time* application traces (`sdchecker`'s app trace, anchored
+/// at the log epoch). Events carry an explicit `pid` so one file can hold
+/// many processes — Perfetto renders each as its own collapsible track
+/// group.
+#[derive(Debug)]
+pub struct TraceEvents {
+    out: String,
+    any: bool,
+}
+
+impl Default for TraceEvents {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceEvents {
+    /// An empty trace document.
+    pub fn new() -> TraceEvents {
+        TraceEvents {
+            out: String::from("{\"displayTimeUnit\": \"ms\", \"traceEvents\": ["),
+            any: false,
+        }
+    }
+
+    fn push(&mut self, ev: std::fmt::Arguments<'_>) {
+        if self.any {
+            self.out.push(',');
+        }
+        self.any = true;
+        self.out.push_str("\n  ");
+        let _ = self.out.write_fmt(ev);
+    }
+
+    fn fmt_args(args: &[(&str, String)]) -> String {
+        let mut s = String::new();
+        for (i, (k, v)) in args.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(s, "\"{}\": \"{}\"", escape(k), escape(v));
+        }
+        s
+    }
+
+    /// Name a process lane (`ph:"M"` metadata).
+    pub fn process_name(&mut self, pid: u64, name: &str) {
+        self.push(format_args!(
+            "{{\"ph\": \"M\", \"pid\": {pid}, \"name\": \"process_name\", \
+             \"args\": {{\"name\": \"{}\"}}}}",
+            escape(name)
+        ));
+    }
+
+    /// Name a thread lane within a process (`ph:"M"` metadata).
+    pub fn thread_name(&mut self, pid: u64, tid: u64, name: &str) {
+        self.push(format_args!(
+            "{{\"ph\": \"M\", \"pid\": {pid}, \"tid\": {tid}, \"name\": \"thread_name\", \
+             \"args\": {{\"name\": \"{}\"}}}}",
+            escape(name)
+        ));
+    }
+
+    /// A complete slice (`ph:"X"`): `ts`/`dur` in microseconds on
+    /// whatever clock the caller uses throughout the document.
+    pub fn complete(
+        &mut self,
+        pid: u64,
+        tid: u64,
+        name: &str,
+        ts_us: u64,
+        dur_us: u64,
+        args: &[(&str, String)],
+    ) {
+        self.push(format_args!(
+            "{{\"ph\": \"X\", \"pid\": {pid}, \"tid\": {tid}, \"name\": \"{}\", \
+             \"ts\": {ts_us}, \"dur\": {dur_us}, \"args\": {{{}}}}}",
+            escape(name),
+            Self::fmt_args(args)
+        ));
+    }
+
+    /// Start of a flow arrow (`ph:"s"`). `id` pairs it with the matching
+    /// [`TraceEvents::flow_end`]; the point must lie inside a slice on
+    /// `(pid, tid)` for renderers to anchor the arrow.
+    pub fn flow_start(&mut self, pid: u64, tid: u64, id: u64, name: &str, ts_us: u64) {
+        self.push(format_args!(
+            "{{\"ph\": \"s\", \"pid\": {pid}, \"tid\": {tid}, \"cat\": \"flow\", \
+             \"id\": {id}, \"name\": \"{}\", \"ts\": {ts_us}}}",
+            escape(name)
+        ));
+    }
+
+    /// End of a flow arrow (`ph:"f"`, binding to the enclosing slice).
+    pub fn flow_end(&mut self, pid: u64, tid: u64, id: u64, name: &str, ts_us: u64) {
+        self.push(format_args!(
+            "{{\"ph\": \"f\", \"bp\": \"e\", \"pid\": {pid}, \"tid\": {tid}, \
+             \"cat\": \"flow\", \"id\": {id}, \"name\": \"{}\", \"ts\": {ts_us}}}",
+            escape(name)
+        ));
+    }
+
+    /// Close the document and return the JSON text.
+    pub fn finish(mut self) -> String {
+        self.out.push_str("\n]}\n");
+        self.out
+    }
+}
+
+/// Render the snapshot's spans as Chrome trace-event JSON. Spans become
+/// complete (`"X"`) events with wall-clock microsecond timestamps
+/// (offsets from recorder enable time); thread-name metadata events label
 /// each worker lane.
 pub fn chrome_trace(snap: &Snapshot) -> String {
-    let mut out = String::from("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [");
-    let mut first = true;
-    let mut push = |out: &mut String, ev: String| {
-        if !first {
-            out.push(',');
-        }
-        first = false;
-        out.push_str("\n  ");
-        out.push_str(&ev);
-    };
+    let mut t = TraceEvents::new();
     for (tid, name) in &snap.threads {
-        push(
-            &mut out,
-            format!(
-                "{{\"ph\": \"M\", \"pid\": 1, \"tid\": {tid}, \"name\": \"thread_name\", \
-                 \"args\": {{\"name\": \"{}\"}}}}",
-                escape(name)
-            ),
-        );
+        t.thread_name(1, *tid, name);
     }
     for s in &snap.spans {
-        let mut args = String::new();
-        for (i, (k, v)) in s.args.iter().enumerate() {
-            if i > 0 {
-                args.push_str(", ");
-            }
-            let _ = write!(args, "\"{}\": \"{}\"", escape(k), escape(v));
-        }
-        push(
-            &mut out,
-            format!(
-                "{{\"ph\": \"X\", \"pid\": 1, \"tid\": {}, \"name\": \"{}\", \
-                 \"ts\": {}, \"dur\": {}, \"args\": {{{args}}}}}",
-                s.tid,
-                escape(s.name),
-                s.start_us,
-                s.dur_us
-            ),
-        );
+        t.complete(1, s.tid, s.name, s.start_us, s.dur_us, &s.args);
     }
-    out.push_str("\n]}\n");
-    out
+    t.finish()
+}
+
+/// Render one quantile sketch as a JSON object (count, sum, min, max,
+/// mean, and the standard percentile ladder). Deterministic bytes for
+/// equal sketches; `null` fields when the sketch is empty.
+pub fn sketch_json(s: &QuantileSketch) -> String {
+    let opt_u = |v: Option<u64>| v.map(|x| x.to_string()).unwrap_or_else(|| "null".into());
+    let opt_f = |v: Option<f64>| v.map(fmt_f64).unwrap_or_else(|| "null".into());
+    format!(
+        "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"mean\": {}, \
+         \"p50\": {}, \"p90\": {}, \"p95\": {}, \"p99\": {}}}",
+        s.count(),
+        s.sum(),
+        opt_u(s.min()),
+        opt_u(s.max()),
+        opt_f(s.mean()),
+        opt_f(s.quantile(0.5)),
+        opt_f(s.quantile(0.9)),
+        opt_f(s.quantile(0.95)),
+        opt_f(s.quantile(0.99)),
+    )
 }
 
 /// Render the snapshot's metrics (counters, gauges, histograms — no
@@ -90,6 +193,13 @@ pub fn metrics_json(snap: &Snapshot) -> String {
             h.count
         );
     }
+    out.push_str("\n  },\n  \"sketches\": {");
+    for (i, (k, s)) in snap.sketches.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\n    \"{}\": {}", escape(&k.render()), sketch_json(s));
+    }
     out.push_str("\n  }\n}\n");
     out
 }
@@ -125,6 +235,27 @@ pub fn prometheus_text(snap: &Snapshot) -> String {
         let _ = writeln!(out, "{}_bucket{{le=\"+Inf\"}} {}", k.name, h.count);
         let _ = writeln!(out, "{}_sum {}", k.name, h.sum);
         let _ = writeln!(out, "{}_count {}", k.name, h.count);
+    }
+    last_name = "";
+    for (k, s) in &snap.sketches {
+        if k.name != last_name {
+            let _ = writeln!(out, "# TYPE {} summary", k.name);
+            last_name = k.name;
+        }
+        for (q, v) in [
+            (0.5, s.quantile(0.5)),
+            (0.95, s.quantile(0.95)),
+            (0.99, s.quantile(0.99)),
+        ] {
+            let Some(v) = v else { continue };
+            let mut labeled = k.clone();
+            labeled.labels.push(("quantile", format!("{q}")));
+            let _ = writeln!(out, "{} {}", labeled.render(), fmt_f64(v));
+        }
+        // `_sum`/`_count` suffix the metric name, keeping the labels.
+        let labels = k.render().strip_prefix(k.name).unwrap_or("").to_string();
+        let _ = writeln!(out, "{}_sum{labels} {}", k.name, s.sum());
+        let _ = writeln!(out, "{}_count{labels} {}", k.name, s.count());
     }
     out
 }
@@ -263,5 +394,65 @@ mod tests {
         assert!(json::parse(&chrome_trace(&snap)).is_ok());
         assert!(json::parse(&metrics_json(&snap)).is_ok());
         assert_eq!(prometheus_text(&snap), "");
+    }
+
+    #[test]
+    fn trace_events_writer_builds_valid_documents() {
+        let mut t = TraceEvents::new();
+        t.process_name(7, "application_42");
+        t.thread_name(7, 0, "app");
+        t.complete(7, 0, "total", 1_000, 5_000, &[("cid", "c1".to_string())]);
+        t.flow_start(7, 0, 99, "critical", 2_000);
+        t.flow_end(7, 1, 99, "critical", 3_000);
+        let doc = json::parse(&t.finish()).expect("must parse");
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(events.len(), 5);
+        let x = events
+            .iter()
+            .find(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+            .unwrap();
+        assert_eq!(x.get("ts").unwrap().as_f64(), Some(1000.0));
+        assert_eq!(x.get("dur").unwrap().as_f64(), Some(5000.0));
+        assert_eq!(
+            x.get("args").unwrap().get("cid").unwrap().as_str(),
+            Some("c1")
+        );
+        let f = events
+            .iter()
+            .find(|e| e.get("ph").and_then(|p| p.as_str()) == Some("f"))
+            .unwrap();
+        assert_eq!(f.get("bp").and_then(|b| b.as_str()), Some("e"));
+        assert_eq!(f.get("id").unwrap().as_f64(), Some(99.0));
+    }
+
+    #[test]
+    fn empty_trace_events_document_parses() {
+        assert!(json::parse(&TraceEvents::new().finish()).is_ok());
+    }
+
+    #[test]
+    fn sketches_export_in_json_and_prometheus() {
+        let r = Recorder::new();
+        r.enable();
+        for v in 1..=100u64 {
+            r.sketch_observe_labeled("delay_ms", &[("component", "total")], v * 10);
+        }
+        let snap = r.snapshot();
+        let j = metrics_json(&snap);
+        let doc = json::parse(&j).expect("metrics must parse");
+        let s = doc
+            .get("sketches")
+            .unwrap()
+            .get("delay_ms{component=\"total\"}")
+            .unwrap();
+        assert_eq!(s.get("count").unwrap().as_f64(), Some(100.0));
+        assert_eq!(s.get("min").unwrap().as_f64(), Some(10.0));
+        assert_eq!(s.get("max").unwrap().as_f64(), Some(1000.0));
+        let p95 = s.get("p95").unwrap().as_f64().unwrap();
+        assert!((p95 - 950.5).abs() / 950.5 < 0.01, "p95 {p95}");
+        let p = prometheus_text(&snap);
+        assert!(p.contains("# TYPE delay_ms summary"));
+        assert!(p.contains("delay_ms{component=\"total\",quantile=\"0.5\"}"));
+        assert!(p.contains("delay_ms_count{component=\"total\"} 100"));
     }
 }

@@ -50,10 +50,12 @@ pub mod export;
 pub mod json;
 pub mod metrics;
 pub mod recorder;
+pub mod sketch;
 
-pub use export::{chrome_trace, metrics_json, prometheus_text};
+pub use export::{chrome_trace, metrics_json, prometheus_text, TraceEvents};
 pub use metrics::{Histogram, MetricKey, Snapshot, SpanRecord};
 pub use recorder::{Recorder, SpanGuard};
+pub use sketch::QuantileSketch;
 
 /// The process-wide recorder all library instrumentation targets.
 static GLOBAL: Recorder = Recorder::new();
@@ -105,6 +107,18 @@ pub fn gauge_set(name: &'static str, v: f64) {
 /// Observe into a histogram on the global recorder.
 pub fn observe(name: &'static str, bounds: &'static [u64], v: u64) {
     GLOBAL.observe(name, bounds, v);
+}
+
+/// Observe into a quantile sketch on the global recorder.
+#[inline]
+pub fn sketch_observe(name: &'static str, v: u64) {
+    GLOBAL.sketch_observe(name, v);
+}
+
+/// Observe into a labeled quantile sketch on the global recorder.
+#[inline]
+pub fn sketch_observe_labeled(name: &'static str, labels: &[(&'static str, &str)], v: u64) {
+    GLOBAL.sketch_observe_labeled(name, labels, v);
 }
 
 #[cfg(test)]

@@ -10,6 +10,8 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
+use crate::sketch::QuantileSketch;
+
 /// A metric identity: name plus ordered labels.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct MetricKey {
@@ -127,6 +129,8 @@ pub struct Snapshot {
     pub gauges: BTreeMap<MetricKey, f64>,
     /// Fixed-bucket histograms (bucket-wise summed).
     pub histograms: BTreeMap<MetricKey, Histogram>,
+    /// Quantile sketches (bucket-wise summed, order-independent).
+    pub sketches: BTreeMap<MetricKey, QuantileSketch>,
     /// All completed spans, sorted by `(start_us, tid, name)`.
     pub spans: Vec<SpanRecord>,
     /// `(tid, thread name)` for every thread that recorded anything.
@@ -153,6 +157,20 @@ impl Snapshot {
     /// Gauge value, if present.
     pub fn gauge(&self, name: &'static str) -> Option<f64> {
         self.gauges.get(&MetricKey::plain(name)).copied()
+    }
+
+    /// Quantile sketch for a plain key, if present.
+    pub fn sketch(&self, name: &'static str) -> Option<&QuantileSketch> {
+        self.sketches.get(&MetricKey::plain(name))
+    }
+
+    /// Quantile sketch for a labeled key, if present.
+    pub fn sketch_labeled(
+        &self,
+        name: &'static str,
+        labels: &[(&'static str, &str)],
+    ) -> Option<&QuantileSketch> {
+        self.sketches.get(&MetricKey::labeled(name, labels))
     }
 
     /// Sum of one counter name across all label combinations.

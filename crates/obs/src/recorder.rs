@@ -18,6 +18,7 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use crate::metrics::{Histogram, MetricKey, Snapshot, SpanRecord};
+use crate::sketch::QuantileSketch;
 
 /// Shard count. A small power of two: enough that a worker pool on a
 /// typical machine rarely collides, cheap to merge at snapshot time.
@@ -29,6 +30,7 @@ struct ShardState {
     gauges_max: std::collections::BTreeMap<MetricKey, f64>,
     gauges_set: std::collections::BTreeMap<MetricKey, (u64, f64)>,
     histograms: std::collections::BTreeMap<MetricKey, Histogram>,
+    sketches: std::collections::BTreeMap<MetricKey, QuantileSketch>,
     spans: Vec<SpanRecord>,
     threads: Vec<(u64, String)>,
 }
@@ -45,6 +47,7 @@ impl Shard {
                 gauges_max: std::collections::BTreeMap::new(),
                 gauges_set: std::collections::BTreeMap::new(),
                 histograms: std::collections::BTreeMap::new(),
+                sketches: std::collections::BTreeMap::new(),
                 spans: Vec::new(),
                 threads: Vec::new(),
             }),
@@ -252,6 +255,35 @@ impl Recorder {
             .observe(v);
     }
 
+    /// Observe `v` into an unbounded-range quantile sketch. Unlike
+    /// [`Recorder::observe`], no bucket bounds are needed: the sketch
+    /// covers the whole `u64` range at a fixed relative accuracy.
+    pub fn sketch_observe(&self, name: &'static str, v: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.sketch_key(MetricKey::plain(name), v);
+    }
+
+    /// Observe `v` into a labeled quantile sketch.
+    pub fn sketch_observe_labeled(
+        &self,
+        name: &'static str,
+        labels: &[(&'static str, &str)],
+        v: u64,
+    ) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.sketch_key(MetricKey::labeled(name, labels), v);
+    }
+
+    fn sketch_key(&self, key: MetricKey, v: u64) {
+        let tid = self.tid();
+        let mut st = self.shard(tid).state.lock().unwrap();
+        st.sketches.entry(key).or_default().observe(v);
+    }
+
     /// Aggregate every shard into one immutable snapshot. Counter,
     /// histogram, and gauge values are independent of which thread
     /// recorded what; only span timings and thread ids vary run to run.
@@ -281,6 +313,12 @@ impl Recorder {
                     .entry(k.clone())
                     .and_modify(|acc| acc.merge(h))
                     .or_insert_with(|| h.clone());
+            }
+            for (k, s) in &st.sketches {
+                snap.sketches
+                    .entry(k.clone())
+                    .and_modify(|acc| acc.merge(s))
+                    .or_insert_with(|| s.clone());
             }
             snap.spans.extend(st.spans.iter().cloned());
             snap.threads.extend(st.threads.iter().cloned());
@@ -426,6 +464,42 @@ mod tests {
         assert_eq!(h.counts, vec![4, 4, 4]);
         assert_eq!(h.count, 12);
         assert_eq!(h.sum, 4 * 551);
+    }
+
+    #[test]
+    fn sketches_merge_across_threads_deterministically() {
+        let single = {
+            let r = Recorder::new();
+            r.enable();
+            for v in 0..800u64 {
+                r.sketch_observe_labeled("delay_ms", &[("component", "total")], (v * 13) % 5000);
+            }
+            r.snapshot()
+                .sketch_labeled("delay_ms", &[("component", "total")])
+                .cloned()
+                .unwrap()
+        };
+        let sharded = {
+            let r = Recorder::new();
+            r.enable();
+            let rr = &r;
+            std::thread::scope(|s| {
+                for t in 0..8u64 {
+                    s.spawn(move || {
+                        for i in 0..100u64 {
+                            let v = ((t * 100 + i) * 13) % 5000;
+                            rr.sketch_observe_labeled("delay_ms", &[("component", "total")], v);
+                        }
+                    });
+                }
+            });
+            r.snapshot()
+                .sketch_labeled("delay_ms", &[("component", "total")])
+                .cloned()
+                .unwrap()
+        };
+        assert_eq!(single, sharded, "sketch must not depend on sharding");
+        assert_eq!(single.count(), 800);
     }
 
     #[test]

@@ -1,0 +1,310 @@
+//! A mergeable fixed-size quantile sketch for fleet-scale delay
+//! populations.
+//!
+//! [`QuantileSketch`] is a DDSketch-style log-bucketed histogram over
+//! `u64` samples (milliseconds, in this workspace): bucket `k` covers the
+//! geometric interval `(γ^(k-1), γ^k]` with `γ = (1+α)/(1−α)` for the
+//! relative accuracy `α = 0.5 %`. That gives three properties the raw
+//! [`Histogram`](crate::Histogram) lacks:
+//!
+//! * **bounded relative error** — any quantile estimate is within `α` of
+//!   an actual sample value near that rank, independent of the value
+//!   range, so p50/p95/p99 of scheduling delays from 1 ms to days stay
+//!   within 1 % of the exact order statistics;
+//! * **fixed size** — the bucket array never grows past
+//!   [`QuantileSketch::BUCKETS`] entries no matter how many samples
+//!   stream in, so a fleet of millions of applications aggregates in a
+//!   few tens of kilobytes without retaining raw samples;
+//! * **deterministic, order-independent merge** — [`merge`] is a
+//!   bucket-wise sum plus min/max/count/sum folds, exactly like the
+//!   sharded counter registry: any merge tree over any shard partition of
+//!   the same sample multiset produces the same sketch, which is what
+//!   lets worker pools stream observations and still export identical
+//!   bytes for every thread count.
+//!
+//! [`merge`]: QuantileSketch::merge
+
+/// Relative accuracy target: quantile estimates are within this fraction
+/// of a true sample value at the queried rank.
+pub const SKETCH_ALPHA: f64 = 0.005;
+
+/// A mergeable, fixed-size quantile sketch over `u64` samples.
+///
+/// ```
+/// use obs::QuantileSketch;
+/// let mut a = QuantileSketch::new();
+/// let mut b = QuantileSketch::new();
+/// for v in 1..=500u64 {
+///     a.observe(v);
+/// }
+/// for v in 501..=1000u64 {
+///     b.observe(v);
+/// }
+/// a.merge(&b);
+/// let p50 = a.quantile(0.5).unwrap();
+/// assert!((p50 - 500.5).abs() / 500.5 < 0.01);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantileSketch {
+    /// Bucket counts: `counts[0]` is the exact-zero bucket, `counts[k]`
+    /// (k ≥ 1) counts samples in `(γ^(k-2), γ^(k-1)]`, with the last
+    /// bucket absorbing overflow. Allocated lazily on first observation.
+    counts: Vec<u64>,
+    /// Number of samples.
+    count: u64,
+    /// Sum of samples (for the mean).
+    sum: u64,
+    /// Exact minimum sample.
+    min: u64,
+    /// Exact maximum sample.
+    max: u64,
+}
+
+impl Default for QuantileSketch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl QuantileSketch {
+    /// Fixed bucket-array size: one zero bucket plus enough log-spaced
+    /// buckets to cover the whole `u64` range at [`SKETCH_ALPHA`]
+    /// accuracy (`ln(2^64)/ln γ ≈ 4436`), rounded up.
+    pub const BUCKETS: usize = 4440;
+
+    /// An empty sketch.
+    pub const fn new() -> QuantileSketch {
+        QuantileSketch {
+            counts: Vec::new(),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn ln_gamma() -> f64 {
+        ((1.0 + SKETCH_ALPHA) / (1.0 - SKETCH_ALPHA)).ln()
+    }
+
+    /// Bucket index of a sample.
+    fn key(v: u64) -> usize {
+        if v == 0 {
+            return 0;
+        }
+        // ceil(log_γ v), clamped into the fixed array; v = 1 maps to
+        // bucket 1.
+        let k = ((v as f64).ln() / Self::ln_gamma()).ceil() as i64;
+        (1 + k.max(0) as usize).min(Self::BUCKETS - 1)
+    }
+
+    /// Representative value of a bucket: the geometric midpoint of its
+    /// interval, within `α` of every sample the bucket holds.
+    fn representative(key: usize) -> f64 {
+        if key == 0 {
+            return 0.0;
+        }
+        ((key as f64 - 1.5) * Self::ln_gamma()).exp()
+    }
+
+    /// Record one sample.
+    pub fn observe(&mut self, v: u64) {
+        if self.counts.is_empty() {
+            self.counts = vec![0; Self::BUCKETS];
+        }
+        self.counts[Self::key(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Fold another sketch in. Order-independent: any merge order over
+    /// the same sample multiset yields an identical sketch.
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        if other.count == 0 {
+            return;
+        }
+        if self.counts.is_empty() {
+            self.counts = vec![0; Self::BUCKETS];
+        }
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += *b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Exact minimum, `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Exact maximum, `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Arithmetic mean, `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Bucket representative at a zero-based integer rank.
+    fn value_at_rank(&self, rank: u64) -> f64 {
+        let mut cum = 0u64;
+        for (k, c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum > rank {
+                return Self::representative(k);
+            }
+        }
+        self.max as f64
+    }
+
+    /// Quantile estimate (`q` in `[0, 1]`), `None` when empty. Mirrors
+    /// the linear interpolation of `percentile_sorted` on bucket
+    /// representatives, with the exact min/max pinning the extremes.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        if q == 0.0 {
+            return Some(self.min as f64);
+        }
+        if q == 1.0 || self.count == 1 {
+            return Some(self.max as f64);
+        }
+        let pos = q * (self.count - 1) as f64;
+        let lo = pos.floor() as u64;
+        let hi = pos.ceil() as u64;
+        let frac = pos - lo as f64;
+        let vlo = self.value_at_rank(lo);
+        let vhi = if hi == lo {
+            vlo
+        } else {
+            self.value_at_rank(hi)
+        };
+        let v = vlo + (vhi - vlo) * frac;
+        Some(v.clamp(self.min as f64, self.max as f64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sketch_has_no_quantiles() {
+        let s = QuantileSketch::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.mean(), None);
+    }
+
+    #[test]
+    fn extremes_are_exact() {
+        let mut s = QuantileSketch::new();
+        for v in [7, 123, 99_000, 3] {
+            s.observe(v);
+        }
+        assert_eq!(s.min(), Some(3));
+        assert_eq!(s.max(), Some(99_000));
+        assert_eq!(s.quantile(0.0), Some(3.0));
+        assert_eq!(s.quantile(1.0), Some(99_000.0));
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.sum(), 99_133);
+    }
+
+    #[test]
+    fn quantiles_track_order_statistics_within_alpha() {
+        // A 1..=10_000 grid: every quantile is known exactly.
+        let mut s = QuantileSketch::new();
+        for v in 1..=10_000u64 {
+            s.observe(v);
+        }
+        for (q, want) in [
+            (0.5, 5000.5),
+            (0.9, 9000.1),
+            (0.95, 9500.05),
+            (0.99, 9900.01),
+        ] {
+            let got = s.quantile(q).unwrap();
+            let rel = (got - want).abs() / want;
+            assert!(rel < 0.01, "q={q}: got {got}, want {want}, rel {rel}");
+        }
+    }
+
+    #[test]
+    fn zero_values_have_their_own_bucket() {
+        let mut s = QuantileSketch::new();
+        for _ in 0..10 {
+            s.observe(0);
+        }
+        s.observe(1000);
+        assert_eq!(s.quantile(0.5), Some(0.0));
+        assert_eq!(s.max(), Some(1000));
+    }
+
+    #[test]
+    fn merge_is_order_independent_and_exactly_equal() {
+        let vals: Vec<u64> = (0..500u64).map(|i| (i * 37 + 11) % 10_000).collect();
+        let mut whole = QuantileSketch::new();
+        for v in &vals {
+            whole.observe(*v);
+        }
+        // Partition into 7 shards, merge in two different orders.
+        let mut shards: Vec<QuantileSketch> = (0..7).map(|_| QuantileSketch::new()).collect();
+        for (i, v) in vals.iter().enumerate() {
+            shards[i % 7].observe(*v);
+        }
+        let mut fwd = QuantileSketch::new();
+        for s in &shards {
+            fwd.merge(s);
+        }
+        let mut rev = QuantileSketch::new();
+        for s in shards.iter().rev() {
+            rev.merge(s);
+        }
+        assert_eq!(fwd, rev, "merge order must not matter");
+        assert_eq!(fwd, whole, "sharded merge must equal single-stream");
+    }
+
+    #[test]
+    fn merging_empty_is_identity() {
+        let mut s = QuantileSketch::new();
+        s.observe(42);
+        let before = s.clone();
+        s.merge(&QuantileSketch::new());
+        assert_eq!(s, before);
+        let mut e = QuantileSketch::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn huge_values_clamp_into_overflow_bucket() {
+        let mut s = QuantileSketch::new();
+        s.observe(u64::MAX);
+        s.observe(u64::MAX - 1);
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.quantile(1.0), Some(u64::MAX as f64));
+        // Estimates stay finite and clamped to the observed range.
+        let q = s.quantile(0.5).unwrap();
+        assert!(q.is_finite() && q <= u64::MAX as f64);
+    }
+}

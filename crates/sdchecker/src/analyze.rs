@@ -128,6 +128,7 @@ pub fn analyze_store_with(store: &LogStore, par: Parallelism) -> Analysis {
             graphs.values().flat_map(find_unused_containers).collect()
         };
         flush_analysis_metrics(graphs.len(), unused_containers.len());
+        stream_delay_sketches(&delays);
         return Analysis {
             events,
             graphs,
@@ -165,6 +166,7 @@ pub fn analyze_store_with(store: &LogStore, par: Parallelism) -> Analysis {
         unused_containers.extend(unused);
     }
     flush_analysis_metrics(graphs.len(), unused_containers.len());
+    stream_delay_sketches(&delays);
     Analysis {
         events,
         graphs,
@@ -181,6 +183,33 @@ fn flush_analysis_metrics(apps: usize, unused: usize) {
     if obs::enabled() {
         obs::count("analyze_apps_total", apps as u64);
         obs::count("unused_containers_total", unused as u64);
+    }
+}
+
+/// Stream every decomposed delay component into the global quantile
+/// sketches (`app_delay_ms{component=…}` / `container_delay_ms{…}`).
+/// This is how `run_experiments` aggregates fleet percentiles across an
+/// unbounded number of applications without retaining raw samples: the
+/// sketch merge is order-independent, so the exported quantiles are
+/// identical for every thread count. A no-op when recording is disabled.
+fn stream_delay_sketches(delays: &[AppDelays]) {
+    if !obs::enabled() {
+        return;
+    }
+    use crate::decompose::{APP_COMPONENTS, CONTAINER_COMPONENTS};
+    for d in delays {
+        for (name, f) in APP_COMPONENTS.iter() {
+            if let Some(v) = f(d) {
+                obs::sketch_observe_labeled("app_delay_ms", &[("component", name)], v);
+            }
+        }
+        for c in &d.containers {
+            for (name, f) in CONTAINER_COMPONENTS.iter() {
+                if let Some(v) = f(c) {
+                    obs::sketch_observe_labeled("container_delay_ms", &[("component", name)], v);
+                }
+            }
+        }
     }
 }
 

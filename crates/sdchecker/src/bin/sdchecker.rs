@@ -3,6 +3,7 @@
 //! ```text
 //! sdchecker <log-dir> [--threads N] [--csv <out.csv>] [--dot <application-id> <out.dot>]
 //!           [--timeline <application-id>] [--trace-out <trace.json>]
+//!           [--app-trace-out <apptrace.json>] [--report-json <report.json>]
 //!           [--metrics-out <metrics.json|.prom>] [--quiet]
 //! ```
 //!
@@ -19,7 +20,8 @@ use sdchecker::{analyze_dir_with, full_report, Parallelism, Table};
 
 const USAGE: &str = "usage: sdchecker <log-dir> [--threads N] [--csv <out.csv>] \
 [--dot <application-id> <out.dot>] [--timeline <application-id>] \
-[--trace-out <trace.json>] [--metrics-out <metrics.json|.prom>] [--quiet]";
+[--trace-out <trace.json>] [--app-trace-out <apptrace.json>] \
+[--report-json <report.json>] [--metrics-out <metrics.json|.prom>] [--quiet]";
 
 fn usage() -> ExitCode {
     eprintln!("{USAGE}");
@@ -43,6 +45,8 @@ fn main() -> ExitCode {
     let mut dot_req: Option<(ApplicationId, PathBuf)> = None;
     let mut timeline_req: Option<ApplicationId> = None;
     let mut trace_out: Option<PathBuf> = None;
+    let mut app_trace_out: Option<PathBuf> = None;
+    let mut report_json_out: Option<PathBuf> = None;
     let mut metrics_out: Option<PathBuf> = None;
     let mut quiet = false;
     let mut par = Parallelism::auto();
@@ -98,6 +102,20 @@ fn main() -> ExitCode {
                     return usage();
                 };
                 trace_out = Some(PathBuf::from(p));
+                i += 2;
+            }
+            "--app-trace-out" => {
+                let Some(p) = args.get(i + 1) else {
+                    return usage();
+                };
+                app_trace_out = Some(PathBuf::from(p));
+                i += 2;
+            }
+            "--report-json" => {
+                let Some(p) = args.get(i + 1) else {
+                    return usage();
+                };
+                report_json_out = Some(PathBuf::from(p));
                 i += 2;
             }
             "--metrics-out" => {
@@ -191,6 +209,29 @@ fn main() -> ExitCode {
         }
         if !quiet {
             eprintln!("wrote scheduling graph to {}", path.display());
+        }
+    }
+
+    if let Some(path) = &app_trace_out {
+        if let Err(e) = std::fs::write(path, sdchecker::corpus_app_trace(&analysis)) {
+            eprintln!("failed to write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        if !quiet {
+            eprintln!(
+                "wrote app-time scheduling trace to {} (load in ui.perfetto.dev)",
+                path.display()
+            );
+        }
+    }
+
+    if let Some(path) = &report_json_out {
+        if let Err(e) = std::fs::write(path, sdchecker::report_json(&analysis)) {
+            eprintln!("failed to write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        if !quiet {
+            eprintln!("wrote machine-readable report to {}", path.display());
         }
     }
 

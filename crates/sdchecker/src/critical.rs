@@ -1,0 +1,352 @@
+//! Critical-path extraction: *which* component chain made the first task
+//! late.
+//!
+//! The decomposition in [`decompose`](crate::decompose) reports every
+//! component of every container, but scheduling delay is a chain, not a
+//! sum over all containers: the first user task waits on exactly one
+//! sequence of milestones — app admission, the AM container's
+//! allocation/localization/launch, driver initialization, then the same
+//! chain for the *earliest-working* executor. This module walks that
+//! chain through the scheduling graph and attributes each millisecond of
+//! `submitted → first task` to exactly one named component, so the
+//! segments **tile** the end-to-end scheduling delay: durations are
+//! monotone, non-overlapping, and sum to `AppDelays::total_ms` exactly.
+//!
+//! A milestone missing from the logs (schema drift, crashed run, a
+//! non-Spark app) simply donates its time to the next observed milestone,
+//! keeping the tiling invariant under partial evidence.
+
+use logmodel::{ApplicationId, TsMs};
+
+use crate::event::EventKind;
+use crate::graph::SchedulingGraph;
+use crate::report::Table;
+
+/// One tile of the critical path: `component` blames the interval
+/// `[from, to]` on a named delay source at a named entity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CriticalSegment {
+    /// Delay-component name (e.g. `am_localization`, `executor_idle`).
+    pub component: &'static str,
+    /// Entity the time was spent at: `app`, or a container id.
+    pub entity: String,
+    /// Segment start (log time).
+    pub from: TsMs,
+    /// Segment end (log time); `to >= from`.
+    pub to: TsMs,
+}
+
+impl CriticalSegment {
+    /// Segment duration in milliseconds.
+    pub fn dur_ms(&self) -> u64 {
+        self.to.since(self.from)
+    }
+}
+
+/// The critical path of one application: an ordered tiling of
+/// `submitted → first task` by named components.
+#[derive(Debug, Clone)]
+pub struct CriticalPath {
+    /// The application.
+    pub app: ApplicationId,
+    /// Ordered, contiguous segments; `segments[i].to ==
+    /// segments[i+1].from`.
+    pub segments: Vec<CriticalSegment>,
+    /// End-to-end scheduling delay (equals the sum of segment durations).
+    pub total_ms: u64,
+}
+
+impl CriticalPath {
+    /// A segment's share of the total, in percent (0 when total is 0).
+    pub fn blame_pct(&self, seg: &CriticalSegment) -> f64 {
+        if self.total_ms == 0 {
+            return 0.0;
+        }
+        seg.dur_ms() as f64 * 100.0 / self.total_ms as f64
+    }
+
+    /// The segment with the largest share (ties: earliest wins).
+    pub fn dominant(&self) -> Option<&CriticalSegment> {
+        self.segments.iter().max_by(|a, b| {
+            a.dur_ms().cmp(&b.dur_ms()).then(b.from.cmp(&a.from)) // earlier beats later on ties
+        })
+    }
+
+    /// Render as an ASCII table (component, entity, interval, duration,
+    /// blame %).
+    pub fn render(&self) -> String {
+        let mut t = Table::new(&["component", "entity", "from_ms", "to_ms", "dur_ms", "blame"]);
+        for seg in &self.segments {
+            t.row(vec![
+                seg.component.to_string(),
+                seg.entity.clone(),
+                seg.from.0.to_string(),
+                seg.to.0.to_string(),
+                seg.dur_ms().to_string(),
+                format!("{:5.1}%", self.blame_pct(seg)),
+            ]);
+        }
+        t.render()
+    }
+}
+
+/// The milestone chain from submission to the first user task, in causal
+/// order. Returns `(component, entity, timestamp)` triples; a `None`
+/// timestamp means the milestone left no log evidence.
+fn milestones(g: &SchedulingGraph) -> Vec<(&'static str, String, Option<TsMs>)> {
+    use EventKind::*;
+    let am = g.am_container();
+    let am_entity = || {
+        am.map(|c| c.cid.to_string())
+            .unwrap_or_else(|| "app".to_string())
+    };
+    // The critical executor: the worker whose first TaskAssigned is the
+    // application's first task (ties broken by container id, matching the
+    // `min` in decompose).
+    let crit = g
+        .worker_containers()
+        .filter_map(|c| c.first(TaskAssigned).map(|t| (t, c)))
+        .min_by_key(|(t, c)| (*t, c.cid))
+        .map(|(_, c)| c);
+    let crit_entity = || {
+        crit.map(|c| c.cid.to_string())
+            .unwrap_or_else(|| "app".to_string())
+    };
+    let am_first = |kind| am.and_then(|c| c.first(kind));
+    let crit_first = |kind| crit.and_then(|c| c.first(kind));
+    vec![
+        ("admission", "app".to_string(), g.first(AppAccepted)),
+        ("am_allocation", am_entity(), am_first(ContainerAllocated)),
+        ("am_acquisition", am_entity(), am_first(ContainerAcquired)),
+        ("am_dispatch", am_entity(), am_first(ContainerLocalizing)),
+        ("am_localization", am_entity(), am_first(ContainerScheduled)),
+        ("am_launching", am_entity(), g.first(DriverFirstLog)),
+        ("driver_init", "app".to_string(), g.first(DriverRegistered)),
+        ("allocation", crit_entity(), crit_first(ContainerAllocated)),
+        ("acquisition", crit_entity(), crit_first(ContainerAcquired)),
+        ("dispatch", crit_entity(), crit_first(ContainerLocalizing)),
+        (
+            "localization",
+            crit_entity(),
+            crit_first(ContainerScheduled),
+        ),
+        ("launching", crit_entity(), crit_first(ExecutorFirstLog)),
+        ("executor_idle", crit_entity(), crit_first(TaskAssigned)),
+    ]
+}
+
+/// Extract the critical path of one application's scheduling graph, or
+/// `None` when the graph never reached a first user task (no submission
+/// or no worker `TaskAssigned`).
+///
+/// Invariants (property-tested in `tests/critical_path.rs`):
+/// * segments are monotone and contiguous (`to[i] == from[i+1]`);
+/// * the first segment starts at `AppSubmitted`, the last ends at the
+///   first worker `TaskAssigned`;
+/// * durations sum to `AppDelays::total_ms` exactly;
+/// * every segment endpoint is a timestamp of a real graph event.
+pub fn critical_path(g: &SchedulingGraph) -> Option<CriticalPath> {
+    let submitted = g.first(EventKind::AppSubmitted)?;
+    let first_task = g
+        .worker_containers()
+        .filter_map(|c| c.first(EventKind::TaskAssigned))
+        .min()?;
+    let mut segments = Vec::new();
+    let mut last = submitted;
+    for (component, entity, at) in milestones(g) {
+        let Some(at) = at else { continue };
+        // Out-of-order milestones (clock skew across sources, or a
+        // milestone logged before the previous one resolved) cannot be
+        // on the dominating chain; the next in-order milestone absorbs
+        // their interval.
+        if at <= last || at > first_task {
+            continue;
+        }
+        segments.push(CriticalSegment {
+            component,
+            entity,
+            from: last,
+            to: at,
+        });
+        last = at;
+    }
+    debug_assert_eq!(
+        last, first_task,
+        "chain must terminate at the first task assignment"
+    );
+    Some(CriticalPath {
+        app: g.app,
+        segments,
+        total_ms: first_task.since(submitted),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::SchedEvent;
+    use crate::graph::build_graphs;
+    use logmodel::{ApplicationId, ContainerId, LogSource};
+
+    const CTS: u64 = 1_521_018_000_000;
+
+    fn mk(
+        ts: u64,
+        kind: EventKind,
+        app: ApplicationId,
+        container: Option<ContainerId>,
+    ) -> SchedEvent {
+        SchedEvent {
+            ts: TsMs(ts),
+            kind,
+            app,
+            container,
+            node: None,
+            source: LogSource::ResourceManager,
+        }
+    }
+
+    /// The same full timeline as `decompose`'s tests: every milestone
+    /// observed, delays known exactly.
+    fn full_graph() -> SchedulingGraph {
+        use EventKind::*;
+        let a = ApplicationId::new(CTS, 1);
+        let am = a.attempt(1).container(1);
+        let e1 = a.attempt(1).container(2);
+        let e2 = a.attempt(1).container(3);
+        let evs = vec![
+            mk(1_000, AppSubmitted, a, None),
+            mk(1_020, AppAccepted, a, None),
+            mk(1_100, ContainerAllocated, a, Some(am)),
+            mk(1_101, ContainerAcquired, a, Some(am)),
+            mk(1_110, ContainerLocalizing, a, Some(am)),
+            mk(1_700, ContainerScheduled, a, Some(am)),
+            mk(2_400, DriverFirstLog, a, None),
+            mk(5_400, DriverRegistered, a, None),
+            mk(5_400, AttemptRegistered, a, None),
+            mk(5_600, ContainerAllocated, a, Some(e1)),
+            mk(5_650, ContainerAllocated, a, Some(e2)),
+            mk(6_400, ContainerAcquired, a, Some(e1)),
+            mk(6_420, ContainerLocalizing, a, Some(e1)),
+            mk(6_920, ContainerScheduled, a, Some(e1)),
+            mk(7_620, ExecutorFirstLog, a, Some(e1)),
+            mk(7_930, ExecutorFirstLog, a, Some(e2)),
+            mk(13_000, TaskAssigned, a, Some(e1)),
+        ];
+        build_graphs(&evs).remove(&a).unwrap()
+    }
+
+    #[test]
+    fn full_chain_tiles_the_total_delay() {
+        let g = full_graph();
+        let p = critical_path(&g).unwrap();
+        assert_eq!(p.total_ms, 12_000);
+        let sum: u64 = p.segments.iter().map(|s| s.dur_ms()).sum();
+        assert_eq!(sum, p.total_ms, "segments must tile submitted→task");
+        assert_eq!(p.segments.first().unwrap().from, TsMs(1_000));
+        assert_eq!(p.segments.last().unwrap().to, TsMs(13_000));
+        for w in p.segments.windows(2) {
+            assert_eq!(w[0].to, w[1].from, "segments must be contiguous");
+        }
+        // The full chain in order.
+        let names: Vec<&str> = p.segments.iter().map(|s| s.component).collect();
+        assert_eq!(
+            names,
+            [
+                "admission",
+                "am_allocation",
+                "am_acquisition",
+                "am_dispatch",
+                "am_localization",
+                "am_launching",
+                "driver_init",
+                "allocation",
+                "acquisition",
+                "dispatch",
+                "localization",
+                "launching",
+                "executor_idle",
+            ]
+        );
+        // The dominant component of this timeline is the executor idling
+        // before its first task (13_000 − 7_620 = 5_380 ms).
+        assert_eq!(p.dominant().unwrap().component, "executor_idle");
+        let blame = p.blame_pct(p.dominant().unwrap());
+        assert!((blame - 5_380.0 * 100.0 / 12_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn critical_container_is_the_first_tasked_worker() {
+        use EventKind::*;
+        let a = ApplicationId::new(CTS, 2);
+        let e1 = a.attempt(1).container(2);
+        let e2 = a.attempt(1).container(3);
+        let evs = vec![
+            mk(0, AppSubmitted, a, None),
+            mk(100, ContainerAllocated, a, Some(e1)),
+            mk(110, ContainerAllocated, a, Some(e2)),
+            mk(500, ExecutorFirstLog, a, Some(e1)),
+            mk(400, ExecutorFirstLog, a, Some(e2)),
+            // e2 gets the first task even though e1 allocated first.
+            mk(900, TaskAssigned, a, Some(e2)),
+            mk(2_000, TaskAssigned, a, Some(e1)),
+        ];
+        let g = build_graphs(&evs).remove(&a).unwrap();
+        let p = critical_path(&g).unwrap();
+        assert_eq!(p.total_ms, 900);
+        for s in &p.segments {
+            if s.component == "launching" || s.component == "executor_idle" {
+                assert_eq!(s.entity, e2.to_string(), "blame must follow e2");
+            }
+        }
+        assert_eq!(p.segments.last().unwrap().to, TsMs(900));
+    }
+
+    #[test]
+    fn missing_milestones_donate_time_to_the_next() {
+        use EventKind::*;
+        let a = ApplicationId::new(CTS, 3);
+        let e1 = a.attempt(1).container(2);
+        // No AM events at all, no localization: a sparse MapReduce-style
+        // log. Tiling must still hold.
+        let evs = vec![
+            mk(0, AppSubmitted, a, None),
+            mk(3_000, ContainerAllocated, a, Some(e1)),
+            mk(4_000, ExecutorFirstLog, a, Some(e1)),
+            mk(4_500, TaskAssigned, a, Some(e1)),
+        ];
+        let g = build_graphs(&evs).remove(&a).unwrap();
+        let p = critical_path(&g).unwrap();
+        let sum: u64 = p.segments.iter().map(|s| s.dur_ms()).sum();
+        assert_eq!(sum, 4_500);
+        let names: Vec<&str> = p.segments.iter().map(|s| s.component).collect();
+        assert_eq!(names, ["allocation", "launching", "executor_idle"]);
+    }
+
+    #[test]
+    fn no_task_means_no_critical_path() {
+        use EventKind::*;
+        let a = ApplicationId::new(CTS, 4);
+        let evs = vec![mk(0, AppSubmitted, a, None), mk(10, AppAccepted, a, None)];
+        let g = build_graphs(&evs).remove(&a).unwrap();
+        assert!(critical_path(&g).is_none());
+    }
+
+    #[test]
+    fn path_total_matches_decompose_total() {
+        let g = full_graph();
+        let p = critical_path(&g).unwrap();
+        let d = crate::decompose::decompose(&g);
+        assert_eq!(Some(p.total_ms), d.total_ms);
+    }
+
+    #[test]
+    fn render_shows_components_and_blame() {
+        let g = full_graph();
+        let p = critical_path(&g).unwrap();
+        let text = p.render();
+        assert!(text.contains("executor_idle"));
+        assert!(text.contains('%'));
+        assert!(text.contains("blame"));
+    }
+}

@@ -98,6 +98,36 @@ impl AppDelays {
     }
 }
 
+/// A named delay-component accessor over [`AppDelays`].
+pub type AppComponent = (&'static str, fn(&AppDelays) -> Option<u64>);
+
+/// A named delay-component accessor over [`ContainerDelays`].
+pub type ContainerComponent = (&'static str, fn(&ContainerDelays) -> Option<u64>);
+
+/// The named per-application components, with accessors — the one list
+/// every aggregator (report tables, JSON export, fleet sketches) walks,
+/// so component naming stays consistent across outputs.
+pub const APP_COMPONENTS: [AppComponent; 10] = [
+    ("total", |d| d.total_ms),
+    ("am", |d| d.am_ms),
+    ("cf", |d| d.cf_ms),
+    ("cl", |d| d.cl_ms),
+    ("in_app", |d| d.in_app_ms),
+    ("out_app", |d| d.out_app_ms),
+    ("driver", |d| d.driver_ms),
+    ("executor", |d| d.executor_ms),
+    ("alloc", |d| d.alloc_ms),
+    ("job_runtime", |d| d.job_runtime_ms),
+];
+
+/// The named per-container components, with accessors.
+pub const CONTAINER_COMPONENTS: [ContainerComponent; 4] = [
+    ("acquisition", |c| c.acquisition_ms),
+    ("localization", |c| c.localization_ms),
+    ("launching", |c| c.launching_ms),
+    ("nm_queue", |c| c.nm_queue_ms),
+];
+
 fn diff(later: Option<TsMs>, earlier: Option<TsMs>) -> Option<u64> {
     match (later, earlier) {
         (Some(l), Some(e)) => Some(l.since(e)),

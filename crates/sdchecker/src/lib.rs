@@ -42,7 +42,9 @@
 //! ```
 
 pub mod analyze;
+pub mod apptrace;
 pub mod bugs;
+pub mod critical;
 pub mod decompose;
 pub mod event;
 pub mod extract;
@@ -56,7 +58,9 @@ pub mod timeline;
 pub mod validate;
 
 pub use analyze::{analyze_dir, analyze_dir_with, analyze_store, analyze_store_with, Analysis};
+pub use apptrace::{app_trace_into, corpus_app_trace};
 pub use bugs::{find_unused_containers, UnusedContainer};
+pub use critical::{critical_path, CriticalPath, CriticalSegment};
 pub use decompose::{decompose, AppDelays, ContainerDelays};
 pub use event::{EventKind, SchedEvent};
 pub use extract::{
@@ -66,7 +70,7 @@ pub use graph::{build_graphs, ContainerTrack, SchedulingGraph};
 pub use logmodel::Parallelism;
 pub use nodes::{per_node, slow_nodes, NodeStats};
 pub use pattern::Pat;
-pub use report::{cdf_table, full_report, ratio_summary_table, summary_table, Table};
+pub use report::{cdf_table, full_report, ratio_summary_table, report_json, summary_table, Table};
 pub use stats::{percentile, Cdf, Summary};
 pub use throughput::{allocation_throughput, Throughput};
 pub use timeline::{ascii_gantt, timeline, timeline_csv, TimelineEntry};

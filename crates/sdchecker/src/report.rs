@@ -220,6 +220,57 @@ pub fn full_report(an: &Analysis) -> String {
     out.push_str(&summary_table(&cont_samples).render());
     let _ = writeln!(out);
 
+    // Critical-path blame: which component chain owns the
+    // submitted→first-task interval, aggregated, then one exemplar path.
+    let paths: Vec<crate::critical::CriticalPath> = an
+        .graphs
+        .values()
+        .filter_map(crate::critical::critical_path)
+        .collect();
+    if !paths.is_empty() {
+        let mut agg: std::collections::BTreeMap<&'static str, (u64, u64, f64)> =
+            std::collections::BTreeMap::new();
+        for p in &paths {
+            for seg in &p.segments {
+                let e = agg.entry(seg.component).or_insert((0, 0, 0.0));
+                e.0 += 1;
+                e.1 += seg.dur_ms();
+                e.2 += p.blame_pct(seg);
+            }
+        }
+        let mut rows: Vec<_> = agg.into_iter().collect();
+        rows.sort_by(|a, b| b.1 .1.cmp(&a.1 .1).then(a.0.cmp(b.0)));
+        let mut t = Table::new(&["component", "apps", "mean_ms", "mean_blame"]);
+        for (component, (n, sum_ms, sum_pct)) in rows {
+            t.row(vec![
+                component.to_string(),
+                n.to_string(),
+                format!("{:.0}", sum_ms as f64 / n as f64),
+                format!("{:.1}%", sum_pct / n as f64),
+            ]);
+        }
+        let _ = writeln!(
+            out,
+            "Critical-path blame across {} applications (share of submitted→first-task)",
+            paths.len()
+        );
+        out.push_str(&t.render());
+        let _ = writeln!(out);
+
+        // The median-total application's full path, as the exemplar.
+        let mut by_total: Vec<&crate::critical::CriticalPath> = paths.iter().collect();
+        by_total.sort_by_key(|p| (p.total_ms, p.app));
+        let median = by_total[by_total.len() / 2];
+        let _ = writeln!(
+            out,
+            "Critical path — {} (median total, {} s)",
+            median.app,
+            secs(median.total_ms as f64 / 1000.0)
+        );
+        out.push_str(&median.render());
+        let _ = writeln!(out);
+    }
+
     // Per-workload breakdown when driver banners carry names.
     let by_name = an.by_name();
     if by_name.len() > 1 {
@@ -302,6 +353,172 @@ pub fn full_report(an: &Analysis) -> String {
     for w in crate::validate::coverage_warnings(&an.coverage) {
         let _ = writeln!(out, "  {w}");
     }
+    out
+}
+
+/// The machine-readable analysis report: per-application decomposition,
+/// critical path, and fleet-level component sketches, as one JSON
+/// document. Byte-stable for a given corpus — map keys follow fixed
+/// orders and floats render via `fmt_f64` — so the golden-file test can
+/// pin the exact bytes. The back-end of every binary's `--report-json`.
+pub fn report_json(an: &Analysis) -> String {
+    use crate::decompose::{APP_COMPONENTS, CONTAINER_COMPONENTS};
+    use obs::export::sketch_json;
+    use obs::json::{escape, fmt_f64};
+    use obs::QuantileSketch;
+
+    let opt_u = |v: Option<u64>| v.map(|x| x.to_string()).unwrap_or_else(|| "null".into());
+    let opt_s = |v: Option<&str>| {
+        v.map(|s| format!("\"{}\"", escape(s)))
+            .unwrap_or_else(|| "null".into())
+    };
+
+    let mut out = String::from("{\n  \"schema\": \"sdchecker-report-v1\",\n  \"applications\": [");
+    for (i, g) in an.graphs.values().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\n    {{\n      \"app\": \"{}\",", g.app);
+        let _ = write!(out, "\n      \"name\": {},", opt_s(an.name_of(g.app)));
+        out.push_str("\n      \"delays\": {");
+        if let Some(d) = an.delays_of(g.app) {
+            for (j, (name, f)) in APP_COMPONENTS.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "\"{name}_ms\": {}", opt_u(f(d)));
+            }
+            out.push_str("},\n      \"containers\": [");
+            for (j, c) in d.containers.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "\n        {{\"cid\": \"{}\", \"is_am\": {}, \"node\": {}",
+                    c.cid,
+                    c.is_am,
+                    opt_s(c.node.map(|n| n.to_string()).as_deref()),
+                );
+                for (name, f) in CONTAINER_COMPONENTS.iter() {
+                    let _ = write!(out, ", \"{name}_ms\": {}", opt_u(f(c)));
+                }
+                out.push('}');
+            }
+            out.push_str("\n      ],");
+        } else {
+            out.push_str("},\n      \"containers\": [],");
+        }
+        match crate::critical::critical_path(g) {
+            Some(p) => {
+                let _ = write!(
+                    out,
+                    "\n      \"critical_path\": {{\"total_ms\": {}, \"segments\": [",
+                    p.total_ms
+                );
+                for (j, seg) in p.segments.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(
+                        out,
+                        "\n        {{\"component\": \"{}\", \"entity\": \"{}\", \
+                         \"from_ms\": {}, \"to_ms\": {}, \"dur_ms\": {}, \"blame_pct\": {}}}",
+                        seg.component,
+                        escape(&seg.entity),
+                        seg.from.0,
+                        seg.to.0,
+                        seg.dur_ms(),
+                        fmt_f64((p.blame_pct(seg) * 10.0).round() / 10.0),
+                    );
+                }
+                out.push_str("\n      ]}\n    }");
+            }
+            None => out.push_str("\n      \"critical_path\": null\n    }"),
+        }
+    }
+    out.push_str("\n  ],\n  \"fleet\": {");
+    let _ = write!(
+        out,
+        "\n    \"applications\": {},\n    \"complete\": {},",
+        an.graphs.len(),
+        an.complete_delays().count()
+    );
+    out.push_str("\n    \"app_components_ms\": {");
+    for (j, (name, f)) in APP_COMPONENTS.iter().enumerate() {
+        if j > 0 {
+            out.push(',');
+        }
+        let mut s = QuantileSketch::new();
+        for d in &an.delays {
+            if let Some(v) = f(d) {
+                s.observe(v);
+            }
+        }
+        let rendered = if s.count() == 0 {
+            "null".to_string()
+        } else {
+            sketch_json(&s)
+        };
+        let _ = write!(out, "\n      \"{name}\": {rendered}");
+    }
+    out.push_str("\n    },\n    \"container_components_ms\": {");
+    for (j, (name, f)) in CONTAINER_COMPONENTS.iter().enumerate() {
+        if j > 0 {
+            out.push(',');
+        }
+        let mut s = QuantileSketch::new();
+        for c in an.delays.iter().flat_map(|d| d.containers.iter()) {
+            if let Some(v) = f(c) {
+                s.observe(v);
+            }
+        }
+        let rendered = if s.count() == 0 {
+            "null".to_string()
+        } else {
+            sketch_json(&s)
+        };
+        let _ = write!(out, "\n      \"{name}\": {rendered}");
+    }
+    out.push_str("\n    },\n    \"critical_blame\": {");
+    let mut agg: std::collections::BTreeMap<&'static str, (u64, u64, f64)> =
+        std::collections::BTreeMap::new();
+    for g in an.graphs.values() {
+        if let Some(p) = crate::critical::critical_path(g) {
+            for seg in &p.segments {
+                let e = agg.entry(seg.component).or_insert((0, 0, 0.0));
+                e.0 += 1;
+                e.1 += seg.dur_ms();
+                e.2 += p.blame_pct(seg);
+            }
+        }
+    }
+    for (j, (component, (n, sum_ms, sum_pct))) in agg.iter().enumerate() {
+        if j > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n      \"{component}\": {{\"count\": {n}, \"mean_ms\": {}, \"mean_pct\": {}}}",
+            fmt_f64((*sum_ms as f64 / *n as f64 * 10.0).round() / 10.0),
+            fmt_f64((sum_pct / *n as f64 * 10.0).round() / 10.0),
+        );
+    }
+    out.push_str("\n    }\n  },\n  \"coverage\": {");
+    for (j, (kind, c)) in an.coverage.iter().enumerate() {
+        if j > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    \"{}\": {{\"matched\": {}, \"unmatched\": {}, \"ignored\": {}}}",
+            kind.name(),
+            c.matched,
+            c.unmatched,
+            c.ignored
+        );
+    }
+    out.push_str("\n  }\n}\n");
     out
 }
 

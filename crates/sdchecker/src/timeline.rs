@@ -64,13 +64,19 @@ pub fn timeline_csv(g: &SchedulingGraph) -> String {
     out
 }
 
-/// Gantt lane phases for the ASCII rendering.
+/// Gantt lane phases for the ASCII rendering, named after the delay
+/// components of [`decompose`](crate::decompose) so the ASCII view and
+/// the Perfetto app trace agree on vocabulary.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Phase {
-    /// Waiting for allocation/acquisition ( `.` ).
+    /// Waiting for the RM to allocate ( `.` ).
     Pending,
-    /// Localizing + launching ( `=` ).
-    Starting,
+    /// ALLOCATED → LOCALIZING: the acquisition delay ( `a` ).
+    Acquisition,
+    /// LOCALIZING → SCHEDULED: the localization delay ( `l` ).
+    Localization,
+    /// SCHEDULED → first instance log: the launching delay ( `=` ).
+    Launching,
     /// Process up but no task yet — the paper's *idleness* ( `-` ).
     Idle,
     /// Running tasks / doing work ( `#` ).
@@ -81,7 +87,9 @@ impl Phase {
     fn glyph(self) -> char {
         match self {
             Phase::Pending => '.',
-            Phase::Starting => '=',
+            Phase::Acquisition => 'a',
+            Phase::Localization => 'l',
+            Phase::Launching => '=',
             Phase::Idle => '-',
             Phase::Busy => '#',
         }
@@ -112,7 +120,8 @@ pub fn ascii_gantt(g: &SchedulingGraph, width: usize) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{} — {} ms from SUBMITTED to first task ( . pending  = starting  - idle  # busy )",
+        "{} — {} ms from SUBMITTED to first task \
+         ( . pending  a acquisition  l localization  = launching  - idle  # busy )",
         g.app, span
     );
     let mut lane = |label: &str, marks: &[(Option<usize>, Phase)]| {
@@ -138,23 +147,31 @@ pub fn ascii_gantt(g: &SchedulingGraph, width: usize) -> String {
         let _ = writeln!(out, "{label:<14} |{}|", cells.iter().collect::<String>());
     };
 
-    // Driver lane: pending → starting (localize+launch) → busy (init) →
-    // busy continues after registration (user init).
+    // Driver lane: pending → acquisition → localization → launching →
+    // busy (driver init; continues after registration with user init).
     if let Some(am) = g.am_container() {
         lane(
             "driver",
             &[
                 (col(Some(start)), Phase::Pending),
                 (
+                    col(am.first(EventKind::ContainerAllocated)),
+                    Phase::Acquisition,
+                ),
+                (
                     col(am.first(EventKind::ContainerLocalizing)),
-                    Phase::Starting,
+                    Phase::Localization,
+                ),
+                (
+                    col(am.first(EventKind::ContainerScheduled)),
+                    Phase::Launching,
                 ),
                 (col(g.first(EventKind::DriverFirstLog)), Phase::Busy),
             ],
         );
     }
-    // Executor lanes: pending → starting → idle (the Fig 10 gap) → busy at
-    // first task.
+    // Executor lanes: pending → acquisition → localization → launching →
+    // idle (the Fig 10 gap) → busy at first task.
     for c in g.worker_containers() {
         let label = format!("exec {:06}", c.cid.seq);
         lane(
@@ -162,8 +179,16 @@ pub fn ascii_gantt(g: &SchedulingGraph, width: usize) -> String {
             &[
                 (col(Some(start)), Phase::Pending),
                 (
+                    col(c.first(EventKind::ContainerAllocated)),
+                    Phase::Acquisition,
+                ),
+                (
                     col(c.first(EventKind::ContainerLocalizing)),
-                    Phase::Starting,
+                    Phase::Localization,
+                ),
+                (
+                    col(c.first(EventKind::ContainerScheduled)),
+                    Phase::Launching,
                 ),
                 (col(c.first(EventKind::ExecutorFirstLog)), Phase::Idle),
                 (col(c.first(EventKind::TaskAssigned)), Phase::Busy),
@@ -252,6 +277,21 @@ mod tests {
         );
         // Idle comes before busy.
         assert!(exec_line.find('-').unwrap() < exec_line.find('#').unwrap());
+    }
+
+    #[test]
+    fn gantt_labels_delay_components() {
+        let g = sample();
+        let art = ascii_gantt(&g, 80);
+        assert!(art.contains("a acquisition"), "legend names components");
+        assert!(art.contains("l localization"));
+        let exec_line = art.lines().find(|l| l.starts_with("exec")).unwrap();
+        let cells = exec_line.split('|').nth(1).unwrap();
+        assert!(cells.contains('a'), "acquisition phase: {exec_line}");
+        assert!(cells.contains('l'), "localization phase: {exec_line}");
+        // Phases appear in causal order.
+        assert!(cells.find('a').unwrap() < cells.find('l').unwrap());
+        assert!(cells.find('l').unwrap() < cells.find('-').unwrap());
     }
 
     #[test]

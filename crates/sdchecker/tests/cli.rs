@@ -595,6 +595,178 @@ fn rejects_bad_usage() {
     assert_eq!(out.status.code(), Some(2));
     let out = bin().args(["dir", "--metrics-out"]).output().unwrap();
     assert_eq!(out.status.code(), Some(2));
+    let out = bin().args(["dir", "--app-trace-out"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = bin().args(["dir", "--report-json"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+/// Golden-file test: on the fixed two-app corpus, `--report-json` must be
+/// byte-for-byte stable (it is consumed by scripts and diffed in CI).
+/// Refresh with `UPDATE_GOLDEN=1 cargo test -p sdchecker --test cli` after
+/// an intentional schema change.
+#[test]
+fn report_json_matches_golden() {
+    let dir = tmp("report_json");
+    let _ = std::fs::remove_dir_all(&dir);
+    write_two_app_corpus(&dir);
+    let report = dir.join("report.json");
+    let out = bin()
+        .arg(&dir)
+        .args(["--threads", "1", "--quiet"])
+        .args(["--report-json", report.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let got = std::fs::read_to_string(&report).unwrap();
+
+    // Structural checks first, so failures explain themselves even while
+    // the golden file is being regenerated.
+    let doc = obs::json::parse(&got).expect("report must be valid JSON");
+    assert_eq!(
+        doc.get("schema").unwrap().as_str(),
+        Some("sdchecker-report-v1")
+    );
+    let apps = doc.get("applications").unwrap().as_arr().unwrap().to_vec();
+    assert_eq!(apps.len(), 2);
+    // App 1 is complete: known end-to-end delay, and the critical path's
+    // segment durations must sum to it exactly.
+    let complete = apps
+        .iter()
+        .find(|a| {
+            a.get("critical_path")
+                .and_then(|c| c.get("segments"))
+                .is_some()
+        })
+        .expect("one app with a critical path");
+    let delays = complete.get("delays").unwrap();
+    assert_eq!(delays.get("total_ms").unwrap().as_f64(), Some(10_900.0));
+    let crit = complete.get("critical_path").unwrap();
+    assert_eq!(crit.get("total_ms").unwrap().as_f64(), Some(10_900.0));
+    let segs = crit.get("segments").unwrap().as_arr().unwrap();
+    let sum: f64 = segs
+        .iter()
+        .map(|s| s.get("dur_ms").unwrap().as_f64().unwrap())
+        .sum();
+    assert_eq!(sum, 10_900.0, "critical path must tile the total delay");
+    // Fleet sketches cover the same population.
+    let fleet = doc.get("fleet").unwrap();
+    assert_eq!(fleet.get("applications").unwrap().as_f64(), Some(2.0));
+    let total = fleet
+        .get("app_components_ms")
+        .unwrap()
+        .get("total")
+        .unwrap();
+    assert_eq!(total.get("count").unwrap().as_f64(), Some(1.0));
+
+    let golden = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/report.json");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(golden.parent().unwrap()).unwrap();
+        std::fs::write(&golden, &got).unwrap();
+    }
+    let want = std::fs::read_to_string(&golden).expect("golden file missing; see test doc");
+    assert_eq!(
+        got, want,
+        "report JSON drifted from tests/golden/report.json"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The app-time trace must be valid JSON whose complete events nest
+/// properly within every (pid, tid) lane, carry sim-time timestamps, and
+/// include per-process metadata naming each application.
+#[test]
+fn app_trace_is_structurally_valid() {
+    let dir = tmp("apptrace");
+    let _ = std::fs::remove_dir_all(&dir);
+    write_two_app_corpus(&dir);
+    let trace = dir.join("apptrace.json");
+    let out = bin()
+        .arg(&dir)
+        .args(["--threads", "1", "--quiet"])
+        .args(["--app-trace-out", trace.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&trace).unwrap();
+    let doc = obs::json::parse(&text).expect("app trace must be valid JSON");
+    let events = doc.get("traceEvents").unwrap().as_arr().unwrap().to_vec();
+
+    // One process per application, named after it.
+    let process_names: Vec<String> = events
+        .iter()
+        .filter(|e| e.get("name").and_then(|n| n.as_str()) == Some("process_name"))
+        .filter_map(|e| e.get("args")?.get("name")?.as_str().map(str::to_string))
+        .collect();
+    assert_eq!(process_names.len(), 2, "{process_names:?}");
+    assert!(process_names.iter().all(|n| n.contains("application_")));
+
+    // Collect complete events as (pid, tid, name, start, end).
+    let mut spans: Vec<(u64, u64, String, u64, u64)> = Vec::new();
+    for e in &events {
+        if e.get("ph").and_then(|p| p.as_str()) != Some("X") {
+            continue;
+        }
+        let pid = e.get("pid").unwrap().as_f64().unwrap() as u64;
+        let tid = e.get("tid").unwrap().as_f64().unwrap() as u64;
+        let name = e.get("name").unwrap().as_str().unwrap().to_string();
+        let ts = e.get("ts").unwrap().as_f64().unwrap() as u64;
+        let dur = e.get("dur").unwrap().as_f64().unwrap() as u64;
+        spans.push((pid, tid, name, ts, ts + dur));
+    }
+    // App 1 submitted at 100 ms log time → 100_000 µs in the trace.
+    let total = spans
+        .iter()
+        .find(|(_, _, n, _, _)| n == "total_scheduling_delay")
+        .expect("total_scheduling_delay slice");
+    assert_eq!(total.3, 100_000, "trace must use log time, not wall time");
+    assert_eq!(total.4 - total.3, 10_900_000);
+
+    // Within each (pid, tid) lane, slices must be nested or disjoint.
+    for (i, a) in spans.iter().enumerate() {
+        for b in &spans[i + 1..] {
+            if (a.0, a.1) != (b.0, b.1) {
+                continue;
+            }
+            let disjoint = a.4 <= b.3 || b.4 <= a.3;
+            let nested = (a.3 <= b.3 && b.4 <= a.4) || (b.3 <= a.3 && a.4 <= b.4);
+            assert!(
+                disjoint || nested,
+                "slices {a:?} and {b:?} partially overlap in lane ({}, {})",
+                a.0,
+                a.1
+            );
+        }
+    }
+
+    // The critical-path lane (tid 3 in every process) tiles the full
+    // delay and is linked by flow arrows.
+    let crit: Vec<_> = spans
+        .iter()
+        .filter(|(pid, tid, _, _, _)| *pid == 1 && *tid == 3)
+        .collect();
+    assert!(!crit.is_empty(), "no critical-path slices");
+    let crit_sum: u64 = crit.iter().map(|(_, _, _, s, e)| e - s).sum();
+    assert_eq!(crit_sum, 10_900_000, "critical lane must tile the delay");
+    let flow_starts = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("s"))
+        .count();
+    let flow_ends = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("f"))
+        .count();
+    assert_eq!(flow_starts, flow_ends);
+    assert!(flow_starts > 0, "critical path must be linked by flows");
+    std::fs::remove_dir_all(&dir).unwrap();
 }
 
 #[test]

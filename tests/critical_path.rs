@@ -1,0 +1,154 @@
+//! Properties of the critical-path extraction and the fleet quantile
+//! sketches over *real* simulated corpora — seeded loops like
+//! `decomposition_invariants`, each case a full simulation.
+
+use obs::QuantileSketch;
+use sdchecker::{critical_path, Summary};
+use simkit::{Millis, SimRng};
+use sparksim::simulate;
+use workloads::{tpch_stream, TraceParams};
+use yarnsim::ClusterConfig;
+
+/// For every completed application in a simulated corpus: the critical
+/// path is a monotone, contiguous tiling of submitted → first task whose
+/// segment boundaries are real graph events and whose durations sum to
+/// the decomposed end-to-end scheduling delay.
+#[test]
+fn critical_path_tiles_the_delay_across_corpora() {
+    for case in 0..8u64 {
+        let mut rng = SimRng::new(0xC217 + case);
+        let seed = rng.range(1, 5_000);
+        let queries = rng.range(3, 8) as usize;
+        let executors = rng.range(1, 6) as u32;
+        let opportunistic = rng.chance(0.5);
+
+        let arrivals = tpch_stream(
+            queries,
+            2048.0,
+            executors,
+            &TraceParams::moderate(),
+            &mut rng,
+        );
+        let cfg = if opportunistic {
+            ClusterConfig::default().with_opportunistic()
+        } else {
+            ClusterConfig::default()
+        };
+        let (logs, _) = simulate(cfg, seed, arrivals, Millis::from_mins(600));
+        let an = sdchecker::analyze_store(&logs);
+        assert_eq!(an.graphs.len(), queries, "case {case}");
+
+        for d in &an.delays {
+            let g = &an.graphs[&d.app];
+            let Some(total) = d.total_ms else {
+                assert!(
+                    critical_path(g).is_none(),
+                    "case {case}: path without a first task"
+                );
+                continue;
+            };
+            let p =
+                critical_path(g).unwrap_or_else(|| panic!("case {case}: no path for {}", d.app));
+            assert_eq!(p.total_ms, total, "case {case}");
+            assert!(!p.segments.is_empty(), "case {case}");
+
+            // Monotone and contiguous: each segment starts where the
+            // previous one ended, and time never flows backwards.
+            for seg in &p.segments {
+                assert!(seg.from <= seg.to, "case {case}: {seg:?}");
+            }
+            for w in p.segments.windows(2) {
+                assert_eq!(w[0].to, w[1].from, "case {case}: gap in the tiling");
+            }
+
+            // The tiling covers submitted → first task exactly, so the
+            // durations sum to the decomposed total delay.
+            let sum: u64 = p.segments.iter().map(|s| s.dur_ms()).sum();
+            assert_eq!(sum, total, "case {case}: tiling must sum to total");
+            let blame: f64 = p.segments.iter().map(|s| p.blame_pct(s)).sum();
+            assert!(
+                (blame - 100.0).abs() < 1e-6,
+                "case {case}: blame sums to {blame}%"
+            );
+
+            // Every segment boundary is the timestamp of a real event in
+            // the scheduling graph — no invented instants.
+            let mut event_ts: Vec<logmodel::TsMs> = g.app_events.iter().map(|(_, t)| *t).collect();
+            for c in g.containers.values() {
+                event_ts.extend(c.events.iter().map(|(_, t)| *t));
+            }
+            for seg in &p.segments {
+                for t in [seg.from, seg.to] {
+                    assert!(
+                        event_ts.contains(&t),
+                        "case {case}: boundary {t:?} is not a graph event"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Fleet-sketch acceptance: on a 1 000-app population, the streaming
+/// sketch's percentiles match the exact `Summary` percentiles within 1 %,
+/// no matter how the stream is sharded or in what order shards merge.
+#[test]
+fn sketch_matches_exact_summary_on_1k_apps() {
+    // Per-app scheduling delays spanning the realistic range (sub-second
+    // to minutes), heavy-tailed like the paper's populations.
+    let mut rng = SimRng::new(0x5CE7C4);
+    let values: Vec<u64> = (0..1_000)
+        .map(|_| {
+            let base = rng.range(300, 30_000);
+            if rng.chance(0.1) {
+                base * rng.range(2, 10) // tail
+            } else {
+                base
+            }
+        })
+        .collect();
+    let exact = Summary::from_ms(&values).unwrap();
+
+    let check = |s: &QuantileSketch, what: &str| {
+        for (q, want_s) in [(0.5, exact.p50), (0.95, exact.p95), (0.99, exact.p99)] {
+            let got_s = s.quantile(q).unwrap() / 1_000.0; // ms → s like Summary
+            let rel = (got_s - want_s).abs() / want_s;
+            assert!(
+                rel <= 0.01,
+                "{what}: p{} off by {:.3}% ({got_s} vs {want_s})",
+                q * 100.0,
+                rel * 100.0
+            );
+        }
+        assert_eq!(s.count(), 1_000, "{what}");
+        assert_eq!(s.min(), Some(*values.iter().min().unwrap()), "{what}");
+        assert_eq!(s.max(), Some(*values.iter().max().unwrap()), "{what}");
+    };
+
+    // Single stream.
+    let mut single = QuantileSketch::new();
+    for v in &values {
+        single.observe(*v);
+    }
+    check(&single, "single stream");
+
+    // Sharded round-robin across varying worker counts, merged forward
+    // and backward: identical to the single stream, bit for bit.
+    for shards in [2usize, 3, 7, 16] {
+        let mut parts = vec![QuantileSketch::new(); shards];
+        for (i, v) in values.iter().enumerate() {
+            parts[i % shards].observe(*v);
+        }
+        let mut fwd = QuantileSketch::new();
+        for p in &parts {
+            fwd.merge(p);
+        }
+        let mut rev = QuantileSketch::new();
+        for p in parts.iter().rev() {
+            rev.merge(p);
+        }
+        assert_eq!(fwd, single, "{shards} shards (forward merge)");
+        assert_eq!(rev, single, "{shards} shards (reverse merge)");
+        check(&fwd, &format!("{shards} shards"));
+    }
+}
