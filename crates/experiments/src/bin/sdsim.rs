@@ -5,6 +5,8 @@
 //! sdsim [--queries N] [--input-mb MB] [--executors N] [--seed S]
 //!       [--scheduler capacity|opportunistic] [--docker]
 //!       [--extra-files-mb MB] [--dfsio-writers N] [--kmeans-apps N]
+//!       [--launch-failure-rate P] [--localization-failure-rate P]
+//!       [--node-loss MS:NODE] [--fault-seed S]
 //!       [--out <log-dir>] [--timeline]
 //!       [--trace-out <trace.json>] [--app-trace-out <apptrace.json>]
 //!       [--report-json <report.json>] [--metrics-out <metrics.json|.prom>]
@@ -12,7 +14,11 @@
 //! ```
 //!
 //! Defaults reproduce the paper's setup: 2 GB input, 4 executors, the
-//! Capacity Scheduler on a 25-node cluster.
+//! Capacity Scheduler on a 25-node cluster. The fault flags inject
+//! container launch/localization failures and scripted node loss; with
+//! all of them at their defaults the run is byte-identical to a faultless
+//! build, and the analysis end reports what broke (the report's
+//! `failures` section and the `analyze_*`/`sim_faults_total` metrics).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -25,7 +31,9 @@ use yarnsim::{ClusterConfig, ContainerRuntime};
 
 const USAGE: &str = "usage: sdsim [--queries N] [--input-mb MB] [--executors N] [--seed S] \
 [--scheduler capacity|opportunistic] [--docker] [--extra-files-mb MB] \
-[--dfsio-writers N] [--kmeans-apps N] [--out <log-dir>] [--timeline] \
+[--dfsio-writers N] [--kmeans-apps N] \
+[--launch-failure-rate P] [--localization-failure-rate P] \
+[--node-loss MS:NODE] [--fault-seed S] [--out <log-dir>] [--timeline] \
 [--trace-out <trace.json>] [--app-trace-out <apptrace.json>] \
 [--report-json <report.json>] [--metrics-out <metrics.json|.prom>] [--quiet]";
 
@@ -39,6 +47,7 @@ struct Opts {
     extra_files_mb: f64,
     dfsio_writers: u32,
     kmeans_apps: u32,
+    faults: yarnsim::FaultConfig,
     out: Option<PathBuf>,
     timeline: bool,
     trace_out: Option<PathBuf>,
@@ -59,6 +68,7 @@ fn parse_args() -> Result<Opts, String> {
         extra_files_mb: 0.0,
         dfsio_writers: 0,
         kmeans_apps: 0,
+        faults: yarnsim::FaultConfig::default(),
         out: None,
         timeline: false,
         trace_out: None,
@@ -126,6 +136,37 @@ fn parse_args() -> Result<Opts, String> {
             }
             "--kmeans-apps" => {
                 o.kmeans_apps = value(&args, i, "--kmeans-apps")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
+                i += 2;
+            }
+            "--launch-failure-rate" => {
+                o.faults.launch_failure_rate = value(&args, i, "--launch-failure-rate")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
+                i += 2;
+            }
+            "--localization-failure-rate" => {
+                o.faults.localization_failure_rate =
+                    value(&args, i, "--localization-failure-rate")?
+                        .parse()
+                        .map_err(|e| format!("{e}"))?;
+                i += 2;
+            }
+            "--node-loss" => {
+                // MS:NODE — at time MS the NM on node index NODE is lost.
+                let v = value(&args, i, "--node-loss")?;
+                let (ms, node) = v
+                    .split_once(':')
+                    .ok_or_else(|| format!("--node-loss wants MS:NODE, got {v}"))?;
+                o.faults.node_loss.push((
+                    Millis(ms.parse().map_err(|e| format!("{e}"))?),
+                    node.parse().map_err(|e| format!("{e}"))?,
+                ));
+                i += 2;
+            }
+            "--fault-seed" => {
+                o.faults.fault_seed = value(&args, i, "--fault-seed")?
                     .parse()
                     .map_err(|e| format!("{e}"))?;
                 i += 2;
@@ -213,11 +254,12 @@ fn main() -> ExitCode {
     }
     let arrivals = merge(streams);
 
-    let cfg = if o.opportunistic {
+    let mut cfg = if o.opportunistic {
         ClusterConfig::default().with_opportunistic()
     } else {
         ClusterConfig::default()
     };
+    cfg.faults = o.faults.clone();
 
     if !o.quiet {
         eprintln!(
@@ -237,6 +279,15 @@ fn main() -> ExitCode {
                 ""
             },
         );
+        if o.faults.any_enabled() {
+            eprintln!(
+                "fault injection on: launch {:.1}%, localization {:.1}%, {} scripted node losses (fault seed {})",
+                o.faults.launch_failure_rate * 100.0,
+                o.faults.localization_failure_rate * 100.0,
+                o.faults.node_loss.len(),
+                o.faults.fault_seed,
+            );
+        }
     }
     let t0 = std::time::Instant::now();
     let (logs, summaries) = simulate(cfg, o.seed, arrivals, Millis::from_mins(24 * 60));

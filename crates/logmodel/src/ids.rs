@@ -88,7 +88,7 @@ impl FromStr for ApplicationId {
 pub struct AppAttemptId {
     /// The owning application.
     pub app: ApplicationId,
-    /// 1-based attempt number (always 1 in this study — no AM retries).
+    /// 1-based attempt number (>1 when the AM was retried after failure).
     pub attempt: u32,
 }
 

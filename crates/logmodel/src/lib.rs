@@ -18,12 +18,14 @@
 //! *text* through this crate's parsers, exactly as the paper's tool
 //! consumes collected log files.
 
+pub mod corrupt;
 pub mod format;
 pub mod ids;
 pub mod par;
 pub mod record;
 pub mod store;
 
+pub use corrupt::{corrupt_dir, CorruptConfig, CorruptReport, Rng64};
 pub use format::{format_timestamp, parse_line, parse_timestamp, Epoch};
 pub use ids::{
     scan_ids, AppAttemptId, ApplicationId, ContainerId, IdParseError, NodeId, ScannedId,

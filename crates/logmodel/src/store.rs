@@ -162,7 +162,13 @@ impl LogStore {
         let parsed: Vec<io::Result<(LogSource, Vec<LogRecord>)>> =
             par::map(par, files, |(src, rel, path)| {
                 let span = obs::span("ingest_file").arg("file", &rel);
-                let text = fs::read_to_string(&path)?;
+                // Lossy decode: damaged collections carry garbage bytes
+                // (bit rot, partially-overwritten blocks), and a hard
+                // UTF-8 error here would reject the whole corpus over one
+                // bad sector. Replacement characters make the affected
+                // line unparseable, so it is skipped like any other
+                // malformed line.
+                let text = String::from_utf8_lossy(&fs::read(&path)?).into_owned();
                 let mut lines = 0u64;
                 let recs: Vec<LogRecord> = text
                     .lines()

@@ -8,7 +8,7 @@ use std::path::Path;
 use logmodel::{par, ApplicationId, LogStore, Parallelism};
 
 use crate::bugs::{find_unused_containers, UnusedContainer};
-use crate::decompose::{decompose, AppDelays};
+use crate::decompose::{decompose, AppDelays, AppOutcome};
 use crate::event::SchedEvent;
 use crate::extract::{extract_all_cov_with, extract_app_names_with, ParseCoverage};
 use crate::graph::{build_graphs, SchedulingGraph};
@@ -95,6 +95,42 @@ impl Analysis {
         }
         out
     }
+
+    /// How many applications ended in each terminal outcome. Every
+    /// application in the corpus lands in exactly one bucket, so the
+    /// counts sum to `delays.len()` — the conservation property the
+    /// corruption fuzz harness checks.
+    pub fn outcome_counts(&self) -> BTreeMap<AppOutcome, u64> {
+        let mut out = BTreeMap::new();
+        for d in &self.delays {
+            *out.entry(d.outcome).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// Applications whose AM was retried at least once.
+    pub fn retried_apps(&self) -> impl Iterator<Item = &AppDelays> {
+        self.delays.iter().filter(|d| d.attempts > 1)
+    }
+
+    /// Total wall-clock time burned inside failed AM attempts across the
+    /// corpus, in ms.
+    pub fn total_wasted_ms(&self) -> u64 {
+        self.delays.iter().map(|d| d.wasted_ms).sum()
+    }
+
+    /// Whether the corpus shows any hard failure evidence: a failed or
+    /// killed application, a retried AM, wasted delay in dead attempts,
+    /// or transition-shaped lines with corrupt ids. Truncated apps alone
+    /// do not count — a log capture that simply stops early is not a
+    /// cluster failure.
+    pub fn has_failures(&self) -> bool {
+        self.delays.iter().any(|d| {
+            matches!(d.outcome, AppOutcome::Failed | AppOutcome::Killed)
+                || d.attempts > 1
+                || d.wasted_ms > 0
+        }) || self.coverage.total().anomalous > 0
+    }
 }
 
 /// Run the pipeline over an in-memory store, sequentially.
@@ -128,6 +164,7 @@ pub fn analyze_store_with(store: &LogStore, par: Parallelism) -> Analysis {
             graphs.values().flat_map(find_unused_containers).collect()
         };
         flush_analysis_metrics(graphs.len(), unused_containers.len());
+        flush_failure_metrics(&delays);
         stream_delay_sketches(&delays);
         return Analysis {
             events,
@@ -166,6 +203,7 @@ pub fn analyze_store_with(store: &LogStore, par: Parallelism) -> Analysis {
         unused_containers.extend(unused);
     }
     flush_analysis_metrics(graphs.len(), unused_containers.len());
+    flush_failure_metrics(&delays);
     stream_delay_sketches(&delays);
     Analysis {
         events,
@@ -183,6 +221,34 @@ fn flush_analysis_metrics(apps: usize, unused: usize) {
     if obs::enabled() {
         obs::count("analyze_apps_total", apps as u64);
         obs::count("unused_containers_total", unused as u64);
+    }
+}
+
+/// Failure-side counters. Each series is emitted only when nonzero so a
+/// fault-free corpus exports byte-identical metrics to builds that predate
+/// fault awareness. Truncated apps deliberately get no series: a log
+/// capture that stops early is routine (the golden corpora contain one),
+/// not failure evidence.
+fn flush_failure_metrics(delays: &[AppDelays]) {
+    if !obs::enabled() {
+        return;
+    }
+    let mut by_outcome: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for d in delays {
+        if matches!(d.outcome, AppOutcome::Failed | AppOutcome::Killed) {
+            *by_outcome.entry(d.outcome.label()).or_insert(0) += 1;
+        }
+    }
+    for (label, n) in by_outcome {
+        obs::count_labeled("analyze_app_outcomes_total", &[("outcome", label)], n);
+    }
+    let retried = delays.iter().filter(|d| d.attempts > 1).count() as u64;
+    if retried > 0 {
+        obs::count("analyze_retried_apps_total", retried);
+    }
+    let wasted: u64 = delays.iter().map(|d| d.wasted_ms).sum();
+    if wasted > 0 {
+        obs::count("analyze_wasted_delay_ms_total", wasted);
     }
 }
 
@@ -455,5 +521,16 @@ mod tests {
         let an = analyze_store(&mini_corpus());
         let t = an.allocation_throughput(1000);
         assert_eq!(t.total, 4); // 2 apps × (AM + executor)
+    }
+
+    #[test]
+    fn outcome_accounting_conserves_every_app() {
+        let an = analyze_store(&mini_corpus());
+        let counts = an.outcome_counts();
+        assert_eq!(counts.values().sum::<u64>(), an.delays.len() as u64);
+        assert_eq!(counts.get(&AppOutcome::Completed), Some(&2));
+        assert_eq!(an.retried_apps().count(), 0);
+        assert_eq!(an.total_wasted_ms(), 0);
+        assert!(!an.has_failures());
     }
 }

@@ -151,6 +151,11 @@ pub fn critical_path(g: &SchedulingGraph) -> Option<CriticalPath> {
         .worker_containers()
         .filter_map(|c| c.first(EventKind::TaskAssigned))
         .min()?;
+    // Corrupt or clock-skewed evidence can place the first task before
+    // submission; no causal chain exists through such a graph.
+    if first_task < submitted {
+        return None;
+    }
     let mut segments = Vec::new();
     let mut last = submitted;
     for (component, entity, at) in milestones(g) {
@@ -170,10 +175,17 @@ pub fn critical_path(g: &SchedulingGraph) -> Option<CriticalPath> {
         });
         last = at;
     }
-    debug_assert_eq!(
-        last, first_task,
-        "chain must terminate at the first task assignment"
-    );
+    // On well-formed graphs the chain always terminates at the first task
+    // (the `executor_idle` milestone *is* that timestamp). Damaged logs
+    // can leave a gap; attribute it explicitly rather than under-tiling.
+    if last < first_task {
+        segments.push(CriticalSegment {
+            component: "unattributed",
+            entity: "app".to_string(),
+            from: last,
+            to: first_task,
+        });
+    }
     Some(CriticalPath {
         app: g.app,
         segments,
@@ -328,6 +340,21 @@ mod tests {
         use EventKind::*;
         let a = ApplicationId::new(CTS, 4);
         let evs = vec![mk(0, AppSubmitted, a, None), mk(10, AppAccepted, a, None)];
+        let g = build_graphs(&evs).remove(&a).unwrap();
+        assert!(critical_path(&g).is_none());
+    }
+
+    #[test]
+    fn task_before_submission_yields_no_path() {
+        use EventKind::*;
+        // A corrupt corpus can timestamp the task before SUBMITTED; no
+        // causal chain exists and the extractor must not panic.
+        let a = ApplicationId::new(CTS, 5);
+        let e1 = a.attempt(1).container(2);
+        let evs = vec![
+            mk(5, TaskAssigned, a, Some(e1)),
+            mk(10, AppSubmitted, a, None),
+        ];
         let g = build_graphs(&evs).remove(&a).unwrap();
         assert!(critical_path(&g).is_none());
     }

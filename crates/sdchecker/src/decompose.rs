@@ -37,6 +37,49 @@ pub struct ContainerDelays {
     pub first_log: Option<TsMs>,
 }
 
+/// Terminal outcome of an application, classified from its RM app-state
+/// evidence. Anything short of a terminal state — typically a log that
+/// stops mid-run (collection cut off, node lost, corpus truncated) — is
+/// `Truncated`, and its delays are *partial*: components up to the last
+/// observed milestone are still reported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AppOutcome {
+    /// The AM unregistered cleanly (or the app reached FINISHED).
+    Completed,
+    /// Every AM attempt failed; the app reached FAILED.
+    Failed,
+    /// The app was killed.
+    Killed,
+    /// No terminal evidence — the log ends mid-flight.
+    Truncated,
+}
+
+impl AppOutcome {
+    /// Stable display name (used in reports and the JSON export).
+    pub fn label(self) -> &'static str {
+        match self {
+            AppOutcome::Completed => "completed",
+            AppOutcome::Failed => "failed",
+            AppOutcome::Killed => "killed",
+            AppOutcome::Truncated => "truncated",
+        }
+    }
+
+    fn classify(g: &SchedulingGraph) -> AppOutcome {
+        if g.first(EventKind::AppFailed).is_some() {
+            AppOutcome::Failed
+        } else if g.first(EventKind::AppKilled).is_some() {
+            AppOutcome::Killed
+        } else if g.first(EventKind::AppUnregistered).is_some()
+            || g.first(EventKind::AppFinished).is_some()
+        {
+            AppOutcome::Completed
+        } else {
+            AppOutcome::Truncated
+        }
+    }
+}
+
 /// Per-application delay decomposition.
 #[derive(Debug, Clone)]
 pub struct AppDelays {
@@ -67,8 +110,18 @@ pub struct AppDelays {
     pub job_runtime_ms: Option<u64>,
     /// First task assignment timestamp.
     pub first_task: Option<TsMs>,
-    /// Per-container components.
+    /// Per-container components. Includes containers of earlier failed AM
+    /// attempts; compare each `cid`'s attempt number against `attempts`
+    /// to tell wasted work apart from the final attempt.
     pub containers: Vec<ContainerDelays>,
+    /// Terminal outcome classified from RM evidence.
+    pub outcome: AppOutcome,
+    /// Highest AM attempt number observed (>1 means the AM was retried).
+    pub attempts: u32,
+    /// Delay spent on failed AM attempts: the summed observed span (first
+    /// to last event) of every container belonging to a non-final
+    /// attempt. Zero for single-attempt apps.
+    pub wasted_ms: u64,
 }
 
 impl AppDelays {
@@ -177,11 +230,14 @@ pub fn decompose(g: &SchedulingGraph) -> AppDelays {
         _ => None,
     };
 
+    let last_attempt = g.last_attempt();
     let containers = g
         .containers
         .values()
         .map(|track| {
-            let first_log = if track.is_am() {
+            // The per-app driver log belongs to the final attempt's AM;
+            // an earlier attempt's AM must not claim its first line.
+            let first_log = if track.is_am() && track.cid.attempt.attempt == last_attempt {
                 driver_first
             } else {
                 track.first(EventKind::ExecutorFirstLog)
@@ -189,6 +245,14 @@ pub fn decompose(g: &SchedulingGraph) -> AppDelays {
             decompose_container(track, first_log)
         })
         .collect();
+    let wasted_ms = g
+        .failed_attempt_containers()
+        .filter_map(|c| {
+            let first = c.events.first().map(|(_, t)| *t)?;
+            let last = c.events.last().map(|(_, t)| *t)?;
+            Some(last.since(first))
+        })
+        .sum();
 
     AppDelays {
         app: g.app,
@@ -205,6 +269,9 @@ pub fn decompose(g: &SchedulingGraph) -> AppDelays {
         job_runtime_ms: diff(g.first(EventKind::AppUnregistered), submitted),
         first_task,
         containers,
+        outcome: AppOutcome::classify(g),
+        attempts: last_attempt,
+        wasted_ms,
     }
 }
 
@@ -326,6 +393,94 @@ mod tests {
         assert_eq!(d.alloc_ms, None);
         assert_eq!(d.total_over_runtime(), None);
         assert_eq!(d.cl_minus_cf_ms(), None);
+    }
+
+    #[test]
+    fn outcomes_classify_from_terminal_evidence() {
+        let d = decompose(&timeline());
+        assert_eq!(d.outcome, AppOutcome::Completed);
+        assert_eq!(d.attempts, 1);
+        assert_eq!(d.wasted_ms, 0);
+
+        let a = ApplicationId::new(CTS, 9);
+        let mk = |ts: u64, kind| SchedEvent {
+            ts: TsMs(ts),
+            kind,
+            app: a,
+            container: None,
+            node: None,
+            source: LogSource::ResourceManager,
+        };
+        let failed = build_graphs(&[mk(1, EventKind::AppSubmitted), mk(2, EventKind::AppFailed)])
+            .remove(&a)
+            .unwrap();
+        assert_eq!(decompose(&failed).outcome, AppOutcome::Failed);
+        let killed = build_graphs(&[mk(1, EventKind::AppSubmitted), mk(2, EventKind::AppKilled)])
+            .remove(&a)
+            .unwrap();
+        assert_eq!(decompose(&killed).outcome, AppOutcome::Killed);
+        let truncated = build_graphs(&[mk(1, EventKind::AppSubmitted)])
+            .remove(&a)
+            .unwrap();
+        assert_eq!(decompose(&truncated).outcome, AppOutcome::Truncated);
+    }
+
+    #[test]
+    fn retried_app_reports_wasted_delay_and_partial_components() {
+        let a = ApplicationId::new(CTS, 4);
+        let am1 = a.attempt(1).container(1);
+        let am2 = a.attempt(2).container(1);
+        let e2 = a.attempt(2).container(2);
+        let mk = |ts: u64, kind, container: Option<ContainerId>| SchedEvent {
+            ts: TsMs(ts),
+            kind,
+            app: a,
+            container,
+            node: None,
+            source: LogSource::ResourceManager,
+        };
+        use EventKind::*;
+        let evs = vec![
+            mk(1_000, AppSubmitted, None),
+            // Attempt 1: AM allocated, localizes, dies before the driver
+            // ever logs — 500 ms of wasted scheduling work.
+            mk(1_100, ContainerAllocated, Some(am1)),
+            mk(1_200, ContainerLocalizing, Some(am1)),
+            mk(1_600, ContainerDone, Some(am1)),
+            // Attempt 2 runs through to a task.
+            mk(2_000, ContainerAllocated, Some(am2)),
+            mk(2_500, ContainerScheduled, Some(am2)),
+            mk(3_000, DriverFirstLog, None),
+            mk(4_000, DriverRegistered, None),
+            mk(4_000, AttemptRegistered, None),
+            mk(4_100, ContainerAllocated, Some(e2)),
+            mk(5_000, ExecutorFirstLog, Some(e2)),
+            mk(6_000, TaskAssigned, Some(e2)),
+            mk(9_000, AppUnregistered, None),
+        ];
+        let g = build_graphs(&evs).remove(&a).unwrap();
+        let d = decompose(&g);
+        assert_eq!(d.outcome, AppOutcome::Completed);
+        assert_eq!(d.attempts, 2);
+        assert_eq!(d.wasted_ms, 500, "attempt-1 AM span 1100..1600");
+        // Delay anchors ignore the dead attempt's containers.
+        assert_eq!(d.total_ms, Some(5_000));
+        assert_eq!(d.am_ms, Some(3_000));
+        assert_eq!(d.cf_ms, Some(4_000));
+        // The dead AM must not claim the (attempt-2) driver's first log.
+        let dead_am = d.containers.iter().find(|c| c.cid == am1).unwrap();
+        assert_eq!(dead_am.launching_ms, None);
+        assert_eq!(dead_am.first_log, None);
+        let live_am = d.containers.iter().find(|c| c.cid == am2).unwrap();
+        assert_eq!(live_am.launching_ms, Some(500));
+    }
+
+    #[test]
+    fn outcome_labels_are_stable() {
+        assert_eq!(AppOutcome::Completed.label(), "completed");
+        assert_eq!(AppOutcome::Failed.label(), "failed");
+        assert_eq!(AppOutcome::Killed.label(), "killed");
+        assert_eq!(AppOutcome::Truncated.label(), "truncated");
     }
 
     #[test]

@@ -21,6 +21,10 @@ pub enum EventKind {
     AppUnregistered,
     /// `RMAppImpl` reached FINISHED.
     AppFinished,
+    /// `RMAppImpl` reached FAILED: every AM attempt failed. Terminal.
+    AppFailed,
+    /// `RMAppImpl` reached KILLED: the app was killed. Terminal.
+    AppKilled,
 
     /// 4 — `RMContainerImpl` reached ALLOCATED.
     ContainerAllocated,
@@ -58,12 +62,14 @@ pub enum EventKind {
 impl EventKind {
     /// Every kind, in Table-I-then-terminal order (for iteration in
     /// reports and tests).
-    pub const ALL: [EventKind; 19] = [
+    pub const ALL: [EventKind; 21] = [
         EventKind::AppSubmitted,
         EventKind::AppAccepted,
         EventKind::AttemptRegistered,
         EventKind::AppUnregistered,
         EventKind::AppFinished,
+        EventKind::AppFailed,
+        EventKind::AppKilled,
         EventKind::ContainerAllocated,
         EventKind::ContainerAcquired,
         EventKind::ContainerRmRunning,
@@ -90,6 +96,8 @@ impl EventKind {
             AttemptRegistered => "AttemptRegistered",
             AppUnregistered => "AppUnregistered",
             AppFinished => "AppFinished",
+            AppFailed => "AppFailed",
+            AppKilled => "AppKilled",
             ContainerAllocated => "ContainerAllocated",
             ContainerAcquired => "ContainerAcquired",
             ContainerRmRunning => "ContainerRmRunning",
@@ -191,6 +199,8 @@ mod tests {
         }
         assert_eq!(AppFinished.table1_number(), None);
         assert_eq!(ContainerDone.table1_number(), None);
+        assert_eq!(AppFailed.table1_number(), None);
+        assert_eq!(AppKilled.table1_number(), None);
     }
 
     #[test]

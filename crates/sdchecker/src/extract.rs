@@ -27,13 +27,30 @@ const RM_APP_STATES: &[&str] = &[
     "FINAL_SAVING",
     "FINISHING",
     "FINISHED",
+    "FAILED",
+    "KILLED",
 ];
 
 /// The full RMContainer state alphabet (hadoop `RMContainerState`).
-const RM_CONTAINER_STATES: &[&str] = &["NEW", "ALLOCATED", "ACQUIRED", "RUNNING", "COMPLETED"];
+const RM_CONTAINER_STATES: &[&str] = &[
+    "NEW",
+    "ALLOCATED",
+    "ACQUIRED",
+    "RUNNING",
+    "COMPLETED",
+    "KILLED",
+];
 
 /// The full NM-side container state alphabet (hadoop `ContainerState`).
-const NM_CONTAINER_STATES: &[&str] = &["NEW", "LOCALIZING", "SCHEDULED", "RUNNING", "DONE"];
+const NM_CONTAINER_STATES: &[&str] = &[
+    "NEW",
+    "LOCALIZING",
+    "SCHEDULED",
+    "RUNNING",
+    "DONE",
+    "LOCALIZATION_FAILED",
+    "EXITED_WITH_FAILURE",
+];
 
 /// Histogram bucket bounds for events-per-stream.
 const EVENTS_PER_STREAM_BOUNDS: &[u64] = &[1, 4, 16, 64, 256, 1024, 4096];
@@ -44,10 +61,14 @@ enum Outcome {
     /// A scheduling event was emitted, or the line is a recognized
     /// transition the rules deliberately skip (e.g. NEW → NEW_SAVING).
     Matched,
-    /// The line is transition-shaped but carries an unparseable global id
-    /// or a state outside the known alphabet — the schema-drift signal
-    /// that extraction rules no longer cover the log format.
+    /// The line is transition-shaped but names a state outside the known
+    /// alphabet — the schema-drift signal that extraction rules no longer
+    /// cover the log format.
     Unmatched,
+    /// The line is transition-shaped but carries a global id that does not
+    /// parse — evidence of log corruption (truncation, interleaving)
+    /// rather than schema drift.
+    Anomalous,
     /// Unrelated noise: scheduler chatter, banners, stack traces.
     Ignored,
 }
@@ -57,8 +78,11 @@ enum Outcome {
 pub struct CoverageCounts {
     /// Lines that produced an event or are recognized benign transitions.
     pub matched: u64,
-    /// Transition-shaped lines the rules failed to understand.
+    /// Transition-shaped lines naming states outside the known alphabet.
     pub unmatched: u64,
+    /// Transition-shaped lines whose global id failed to parse (corrupt
+    /// or truncated ids — a log-damage signal, not schema drift).
+    pub anomalous: u64,
     /// Everything else (noise the extractor never tries to interpret).
     pub ignored: u64,
 }
@@ -68,6 +92,7 @@ impl CoverageCounts {
         match outcome {
             Outcome::Matched => self.matched += 1,
             Outcome::Unmatched => self.unmatched += 1,
+            Outcome::Anomalous => self.anomalous += 1,
             Outcome::Ignored => self.ignored += 1,
         }
     }
@@ -76,13 +101,15 @@ impl CoverageCounts {
     pub fn add(&mut self, other: CoverageCounts) {
         self.matched += other.matched;
         self.unmatched += other.unmatched;
+        self.anomalous += other.anomalous;
         self.ignored += other.ignored;
     }
 
     /// Fraction of classified (non-ignored) lines the rules understood:
-    /// `matched / (matched + unmatched)`. `1.0` when nothing classified.
+    /// `matched / (matched + unmatched + anomalous)`. `1.0` when nothing
+    /// classified.
     pub fn coverage(&self) -> f64 {
-        let classified = self.matched + self.unmatched;
+        let classified = self.matched + self.unmatched + self.anomalous;
         if classified == 0 {
             1.0
         } else {
@@ -181,10 +208,31 @@ impl ParseCoverage {
         t
     }
 
-    /// The one-line summary every `sdchecker` run prints.
+    /// The one-line summary every `sdchecker` run prints. The `anomalous`
+    /// column only appears when some line actually fell in that bucket, so
+    /// clean corpora keep the historical three-column format.
     pub fn summary_line(&self) -> String {
         if self.per_source.is_empty() {
             return "Parse coverage: no log lines".to_string();
+        }
+        if self.total().anomalous > 0 {
+            let parts: Vec<String> = self
+                .iter()
+                .map(|(k, c)| {
+                    format!(
+                        "{} {}/{}/{}/{}",
+                        k.name(),
+                        c.matched,
+                        c.unmatched,
+                        c.anomalous,
+                        c.ignored
+                    )
+                })
+                .collect();
+            return format!(
+                "Parse coverage (matched/unmatched/anomalous/ignored): {}",
+                parts.join(", ")
+            );
         }
         let parts: Vec<String> = self
             .iter()
@@ -267,14 +315,22 @@ impl Extractor {
                     return Outcome::Ignored;
                 };
                 let Ok(app) = caps[0].parse::<ApplicationId>() else {
-                    return Outcome::Unmatched;
+                    return Outcome::Anomalous;
                 };
                 let kind = match caps[2] {
                     "SUBMITTED" => EventKind::AppSubmitted,
                     "ACCEPTED" => EventKind::AppAccepted,
                     "RUNNING" if caps[3] == "ATTEMPT_REGISTERED" => EventKind::AttemptRegistered,
-                    "FINAL_SAVING" => EventKind::AppUnregistered,
+                    // FINAL_SAVING marks completion only on a clean AM
+                    // unregister; the same state is entered on
+                    // ATTEMPT_FAILED/KILL, which must not look like a
+                    // finished job.
+                    "FINAL_SAVING" if caps[3] == "ATTEMPT_UNREGISTERED" => {
+                        EventKind::AppUnregistered
+                    }
                     "FINISHED" => EventKind::AppFinished,
+                    "FAILED" => EventKind::AppFailed,
+                    "KILLED" => EventKind::AppKilled,
                     // In-alphabet transitions with no Table-I meaning
                     // (NEW_SAVING, FINISHING, RUNNING on other events).
                     s if RM_APP_STATES.contains(&s) => return Outcome::Matched,
@@ -295,7 +351,7 @@ impl Extractor {
                     return Outcome::Ignored;
                 };
                 let Ok(cid) = caps[0].parse::<ContainerId>() else {
-                    return Outcome::Unmatched;
+                    return Outcome::Anomalous;
                 };
                 let kind = match caps[2] {
                     "ALLOCATED" => EventKind::ContainerAllocated,
@@ -327,7 +383,7 @@ impl Extractor {
             return Outcome::Ignored;
         };
         let Ok(cid) = caps[0].parse::<ContainerId>() else {
-            return Outcome::Unmatched;
+            return Outcome::Anomalous;
         };
         let kind = match caps[2] {
             "LOCALIZING" => EventKind::ContainerLocalizing,
@@ -498,6 +554,15 @@ fn flush_stream_metrics(src: LogSource, evs: &[SchedEvent], cov: CoverageCounts)
             "parse_lines_total",
             &[("source", source), ("status", status)],
             n,
+        );
+    }
+    // The anomalous series only exists on damaged corpora, keeping clean
+    // metric exports byte-identical to what they were before the bucket.
+    if cov.anomalous > 0 {
+        obs::count_labeled(
+            "parse_lines_total",
+            &[("source", source), ("status", "anomalous")],
+            cov.anomalous,
         );
     }
     obs::observe(
@@ -829,9 +894,9 @@ mod tests {
             rec(
                 9,
                 "RMAppImpl",
-                format!("{a} State change from RUNNING to KILLED on event = KILL"),
+                format!("{a} State change from RUNNING to ZOMBIE on event = KILL"),
             ),
-            // unmatched: transition-shaped but the id does not parse
+            // anomalous: transition-shaped but the id does not parse
             rec(
                 10,
                 "RMAppImpl",
@@ -848,11 +913,118 @@ mod tests {
             cov,
             CoverageCounts {
                 matched: 2,
-                unmatched: 2,
+                unmatched: 1,
+                anomalous: 1,
                 ignored: 2,
             }
         );
         assert_eq!(cov.coverage(), 0.5);
+    }
+
+    #[test]
+    fn rm_failure_chain_extracts_terminal_events() {
+        let ex = Extractor::new();
+        let a = app();
+        let records = vec![
+            // Retry: the app bounces back to ACCEPTED (duplicate event ok).
+            rec(
+                100,
+                "RMAppImpl",
+                format!("{a} State change from RUNNING to ACCEPTED on event = ATTEMPT_FAILED"),
+            ),
+            // Exhaustion path: FINAL_SAVING on ATTEMPT_FAILED is *not* a
+            // clean unregister...
+            rec(
+                200,
+                "RMAppImpl",
+                format!("{a} State change from ACCEPTED to FINAL_SAVING on event = ATTEMPT_FAILED"),
+            ),
+            // ...and the terminal states map to their own events.
+            rec(
+                300,
+                "RMAppImpl",
+                format!("{a} State change from FINAL_SAVING to FAILED on event = APP_UPDATE_SAVED"),
+            ),
+            rec(
+                400,
+                "RMAppImpl",
+                format!("{a} State change from FINAL_SAVING to KILLED on event = APP_UPDATE_SAVED"),
+            ),
+        ];
+        let (evs, cov) = ex.extract_stream_counted(LogSource::ResourceManager, &records);
+        let kinds: Vec<EventKind> = evs.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EventKind::AppAccepted,
+                EventKind::AppFailed,
+                EventKind::AppKilled,
+            ]
+        );
+        assert_eq!(cov.unmatched, 0, "failure states are in the alphabet");
+    }
+
+    #[test]
+    fn failure_side_states_are_recognized_not_drift() {
+        let ex = Extractor::new();
+        let cid = app().attempt(1).container(2);
+        let rm_records = vec![rec(
+            1,
+            "RMContainerImpl",
+            format!("{cid} Container Transitioned from RUNNING to KILLED"),
+        )];
+        let (evs, cov) = ex.extract_stream_counted(LogSource::ResourceManager, &rm_records);
+        assert!(evs.is_empty(), "KILLED is benign-matched, no event");
+        assert_eq!((cov.matched, cov.unmatched), (1, 0));
+
+        let nm_records = vec![
+            rec(
+                1,
+                "ContainerImpl",
+                format!("Container {cid} transitioned from LOCALIZING to LOCALIZATION_FAILED"),
+            ),
+            rec(
+                2,
+                "ContainerImpl",
+                format!("Container {cid} transitioned from RUNNING to EXITED_WITH_FAILURE"),
+            ),
+        ];
+        let (evs, cov) = ex.extract_stream_counted(LogSource::NodeManager(NodeId(1)), &nm_records);
+        assert!(evs.is_empty());
+        assert_eq!((cov.matched, cov.unmatched), (2, 0));
+    }
+
+    #[test]
+    fn anomalous_column_appears_only_when_nonzero() {
+        let mut clean = ParseCoverage::default();
+        clean.record(
+            SourceKind::ResourceManager,
+            CoverageCounts {
+                matched: 3,
+                unmatched: 1,
+                anomalous: 0,
+                ignored: 2,
+            },
+        );
+        assert_eq!(
+            clean.summary_line(),
+            "Parse coverage (matched/unmatched/ignored): resourcemanager 3/1/2"
+        );
+        let mut damaged = clean.clone();
+        damaged.record(
+            SourceKind::NodeManager,
+            CoverageCounts {
+                matched: 5,
+                unmatched: 0,
+                anomalous: 2,
+                ignored: 0,
+            },
+        );
+        assert_eq!(
+            damaged.summary_line(),
+            "Parse coverage (matched/unmatched/anomalous/ignored): \
+             resourcemanager 3/1/0/2, nodemanager 5/0/2/0"
+        );
     }
 
     #[test]

@@ -63,14 +63,54 @@ impl SchedulingGraph {
             .map(|(_, t)| *t)
     }
 
-    /// The AM container's track, if it was allocated.
-    pub fn am_container(&self) -> Option<&ContainerTrack> {
-        self.containers.values().find(|c| c.is_am())
+    /// The highest AM attempt number observed among this app's
+    /// containers (1 when no containers exist). Under AM retry, each
+    /// attempt gets its own container id namespace, so the maximum
+    /// attempt is the one that (if anything did) made progress.
+    pub fn last_attempt(&self) -> u32 {
+        self.containers
+            .keys()
+            .map(|c| c.attempt.attempt)
+            .max()
+            .unwrap_or(1)
     }
 
-    /// Worker (non-AM) container tracks, in id order.
+    /// Distinct AM attempt numbers observed, ascending.
+    pub fn attempts(&self) -> Vec<u32> {
+        let mut seen: Vec<u32> = self.containers.keys().map(|c| c.attempt.attempt).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        if seen.is_empty() {
+            seen.push(1);
+        }
+        seen
+    }
+
+    /// Container tracks of earlier (failed) attempts — the work a retried
+    /// application wasted before its final attempt.
+    pub fn failed_attempt_containers(&self) -> impl Iterator<Item = &ContainerTrack> {
+        let last = self.last_attempt();
+        self.containers
+            .values()
+            .filter(move |c| c.cid.attempt.attempt < last)
+    }
+
+    /// The AM container's track, if it was allocated. With multiple AM
+    /// attempts, the final attempt's AM — the one delay analysis is
+    /// anchored to.
+    pub fn am_container(&self) -> Option<&ContainerTrack> {
+        let last = self.last_attempt();
+        self.containers
+            .values()
+            .find(|c| c.is_am() && c.cid.attempt.attempt == last)
+    }
+
+    /// Worker (non-AM) container tracks of the final attempt, in id order.
     pub fn worker_containers(&self) -> impl Iterator<Item = &ContainerTrack> {
-        self.containers.values().filter(|c| !c.is_am())
+        let last = self.last_attempt();
+        self.containers
+            .values()
+            .filter(move |c| !c.is_am() && c.cid.attempt.attempt == last)
     }
 
     /// Earliest `kind` across worker containers.
@@ -260,6 +300,43 @@ mod tests {
         assert_eq!(graphs.len(), 2);
         assert_eq!(graphs[&a].first(EventKind::AppSubmitted), Some(TsMs(1)));
         assert_eq!(graphs[&b].first(EventKind::AppSubmitted), Some(TsMs(2)));
+    }
+
+    #[test]
+    fn multi_attempt_graph_anchors_on_final_attempt() {
+        let a = ApplicationId::new(CTS, 1);
+        let am1 = a.attempt(1).container(1);
+        let am2 = a.attempt(2).container(1);
+        let e2 = a.attempt(2).container(2);
+        let evs = vec![
+            ev(10, EventKind::AppSubmitted, a, None),
+            // Attempt 1 got its AM allocated, then died.
+            ev(40, EventKind::ContainerAllocated, a, Some(am1)),
+            ev(300, EventKind::ContainerDone, a, Some(am1)),
+            // Attempt 2 runs to a task.
+            ev(500, EventKind::ContainerAllocated, a, Some(am2)),
+            ev(900, EventKind::ContainerAllocated, a, Some(e2)),
+            ev(2000, EventKind::TaskAssigned, a, Some(e2)),
+        ];
+        let graphs = build_graphs(&evs);
+        let g = &graphs[&a];
+        assert_eq!(g.last_attempt(), 2);
+        assert_eq!(g.attempts(), vec![1, 2]);
+        assert_eq!(g.am_container().unwrap().cid, am2);
+        let workers: Vec<ContainerId> = g.worker_containers().map(|c| c.cid).collect();
+        assert_eq!(workers, vec![e2], "attempt-1 containers are not workers");
+        let failed: Vec<ContainerId> = g.failed_attempt_containers().map(|c| c.cid).collect();
+        assert_eq!(failed, vec![am1]);
+    }
+
+    #[test]
+    fn single_attempt_graph_has_no_failed_containers() {
+        let (a, evs) = sample_events();
+        let graphs = build_graphs(&evs);
+        let g = &graphs[&a];
+        assert_eq!(g.last_attempt(), 1);
+        assert_eq!(g.attempts(), vec![1]);
+        assert_eq!(g.failed_attempt_containers().count(), 0);
     }
 
     #[test]

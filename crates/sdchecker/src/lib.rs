@@ -61,7 +61,7 @@ pub use analyze::{analyze_dir, analyze_dir_with, analyze_store, analyze_store_wi
 pub use apptrace::{app_trace_into, corpus_app_trace};
 pub use bugs::{find_unused_containers, UnusedContainer};
 pub use critical::{critical_path, CriticalPath, CriticalSegment};
-pub use decompose::{decompose, AppDelays, ContainerDelays};
+pub use decompose::{decompose, AppDelays, AppOutcome, ContainerDelays};
 pub use event::{EventKind, SchedEvent};
 pub use extract::{
     extract_all, extract_all_with, extract_app_names, extract_app_names_with, Extractor,

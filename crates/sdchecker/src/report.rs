@@ -4,6 +4,7 @@
 use std::fmt::Write as _;
 
 use crate::analyze::Analysis;
+use crate::decompose::{AppDelays, AppOutcome};
 use crate::stats::{Cdf, Summary};
 
 /// A simple fixed-width text table builder.
@@ -166,6 +167,20 @@ pub fn cdf_table(samples: &[(&str, Vec<u64>)], quantiles: &[f64]) -> Table {
         t.row(row);
     }
     t
+}
+
+/// Applications carrying hard failure evidence: a failed/killed terminal
+/// state, a retried AM, or wasted delay inside dead attempts. Truncated
+/// apps are excluded — an incomplete capture is not a failure.
+fn failing_apps(an: &Analysis) -> Vec<&AppDelays> {
+    an.delays
+        .iter()
+        .filter(|d| {
+            matches!(d.outcome, AppOutcome::Failed | AppOutcome::Killed)
+                || d.attempts > 1
+                || d.wasted_ms > 0
+        })
+        .collect()
 }
 
 /// The full text report the `sdchecker` CLI prints for a corpus.
@@ -331,6 +346,39 @@ pub fn full_report(an: &Analysis) -> String {
         }
         if anomalies.len() > 20 {
             let _ = writeln!(out, "  ... and {} more", anomalies.len() - 20);
+        }
+    }
+    // Failure summary, only when the corpus carries hard failure
+    // evidence — a fault-free corpus renders byte-identically to builds
+    // that predate fault awareness.
+    if an.has_failures() {
+        let counts = an.outcome_counts();
+        let failed = counts.get(&AppOutcome::Failed).copied().unwrap_or(0);
+        let killed = counts.get(&AppOutcome::Killed).copied().unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "Failures: {} failed, {} killed, {} retried AMs, {} s wasted in dead attempts",
+            failed,
+            killed,
+            an.retried_apps().count(),
+            secs(an.total_wasted_ms() as f64 / 1000.0)
+        );
+        for d in failing_apps(an) {
+            let _ = writeln!(
+                out,
+                "  {} outcome={} attempts={} wasted={} s",
+                d.app,
+                d.outcome.label(),
+                d.attempts,
+                secs(d.wasted_ms as f64 / 1000.0)
+            );
+        }
+        let anomalous = an.coverage.total().anomalous;
+        if anomalous > 0 {
+            let _ = writeln!(
+                out,
+                "  {anomalous} transition-shaped lines with corrupt ids (events lost to log damage)"
+            );
         }
     }
     if an.unused_containers.is_empty() {
@@ -504,19 +552,58 @@ pub fn report_json(an: &Analysis) -> String {
             fmt_f64((sum_pct / *n as f64 * 10.0).round() / 10.0),
         );
     }
-    out.push_str("\n    }\n  },\n  \"coverage\": {");
+    out.push_str("\n    }\n  },");
+    // The failures section exists only when the corpus carries hard
+    // failure evidence (failed/killed apps, AM retries, wasted delay, or
+    // corrupt-id lines); a fault-free corpus keeps the exact pre-fault
+    // document bytes. Truncated apps alone do not create the section.
+    if an.has_failures() {
+        let counts = an.outcome_counts();
+        let failed = counts.get(&AppOutcome::Failed).copied().unwrap_or(0);
+        let killed = counts.get(&AppOutcome::Killed).copied().unwrap_or(0);
+        let _ = write!(
+            out,
+            "\n  \"failures\": {{\n    \"failed\": {failed},\n    \"killed\": {killed},\
+             \n    \"retried_apps\": {},\n    \"wasted_ms_total\": {},\
+             \n    \"anomalous_lines\": {},\n    \"apps\": [",
+            an.retried_apps().count(),
+            an.total_wasted_ms(),
+            an.coverage.total().anomalous,
+        );
+        for (j, d) in failing_apps(an).iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n      {{\"app\": \"{}\", \"outcome\": \"{}\", \"attempts\": {}, \
+                 \"wasted_ms\": {}}}",
+                d.app,
+                d.outcome.label(),
+                d.attempts,
+                d.wasted_ms,
+            );
+        }
+        out.push_str("\n    ]\n  },");
+    }
+    out.push_str("\n  \"coverage\": {");
     for (j, (kind, c)) in an.coverage.iter().enumerate() {
         if j > 0 {
             out.push(',');
         }
+        // The anomalous count appears only when nonzero so undamaged
+        // sources keep their historical key set.
         let _ = write!(
             out,
-            "\n    \"{}\": {{\"matched\": {}, \"unmatched\": {}, \"ignored\": {}}}",
+            "\n    \"{}\": {{\"matched\": {}, \"unmatched\": {}, ",
             kind.name(),
             c.matched,
             c.unmatched,
-            c.ignored
         );
+        if c.anomalous > 0 {
+            let _ = write!(out, "\"anomalous\": {}, ", c.anomalous);
+        }
+        let _ = write!(out, "\"ignored\": {}}}", c.ignored);
     }
     out.push_str("\n  }\n}\n");
     out
@@ -560,6 +647,78 @@ mod tests {
         let t = summary_table(&[("full", vec![1000, 2000]), ("empty", vec![])]);
         assert_eq!(t.len(), 1);
         assert!(t.render().contains("full"));
+    }
+
+    #[test]
+    fn failures_section_gates_on_hard_evidence() {
+        use logmodel::{ApplicationId, Epoch, LogSource, LogStore, TsMs};
+        let epoch = Epoch::default_run();
+        let cts = epoch.unix_ms;
+        let rm = LogSource::ResourceManager;
+
+        // Clean app → no failures section anywhere.
+        let mut clean = LogStore::new(epoch);
+        let a = ApplicationId::new(cts, 1);
+        clean.info(
+            rm,
+            TsMs(100),
+            "RMAppImpl",
+            format!("{a} State change from NEW_SAVING to SUBMITTED on event = APP_NEW_SAVED"),
+        );
+        clean.info(
+            rm,
+            TsMs(900),
+            "RMAppImpl",
+            format!(
+                "{a} State change from RUNNING to FINAL_SAVING on event = ATTEMPT_UNREGISTERED"
+            ),
+        );
+        let an = crate::analyze_store(&clean);
+        assert!(!an.has_failures());
+        assert!(!report_json(&an).contains("\"failures\""));
+        assert!(!full_report(&an).contains("Failures:"));
+
+        // Failed app → failures section with the terminal outcome.
+        let mut broken = LogStore::new(epoch);
+        let b = ApplicationId::new(cts, 2);
+        broken.info(
+            rm,
+            TsMs(100),
+            "RMAppImpl",
+            format!("{b} State change from NEW_SAVING to SUBMITTED on event = APP_NEW_SAVED"),
+        );
+        broken.info(
+            rm,
+            TsMs(5_000),
+            "RMAppImpl",
+            format!("{b} State change from FINAL_SAVING to FAILED on event = APP_UPDATE_SAVED"),
+        );
+        let an = crate::analyze_store(&broken);
+        assert!(an.has_failures());
+        let json = report_json(&an);
+        assert!(json.contains("\"failures\""), "{json}");
+        assert!(json.contains("\"failed\": 1"), "{json}");
+        assert!(json.contains("\"outcome\": \"failed\""), "{json}");
+        let text = full_report(&an);
+        assert!(text.contains("Failures: 1 failed, 0 killed"), "{text}");
+    }
+
+    #[test]
+    fn truncated_apps_do_not_create_failures_section() {
+        use logmodel::{ApplicationId, Epoch, LogSource, LogStore, TsMs};
+        let epoch = Epoch::default_run();
+        let mut s = LogStore::new(epoch);
+        let a = ApplicationId::new(epoch.unix_ms, 1);
+        s.info(
+            LogSource::ResourceManager,
+            TsMs(100),
+            "RMAppImpl",
+            format!("{a} State change from NEW_SAVING to SUBMITTED on event = APP_NEW_SAVED"),
+        );
+        let an = crate::analyze_store(&s);
+        assert_eq!(an.delays[0].outcome, AppOutcome::Truncated);
+        assert!(!an.has_failures());
+        assert!(!report_json(&an).contains("\"failures\""));
     }
 
     #[test]

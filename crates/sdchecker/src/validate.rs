@@ -10,7 +10,8 @@
 //! * **ordering violations** — a causally later state logged with an
 //!   earlier timestamp (clock skew between daemons, or log truncation);
 //! * **duplicate transitions** — the same state reached twice (log
-//!   duplication, AM retries this tool does not model);
+//!   duplication; app-scoped repeats are expected and tolerated when the
+//!   graph shows a retried AM attempt);
 //! * **broken chains** — a state reached without its prerequisite ever
 //!   appearing (lost log files).
 //!
@@ -92,6 +93,20 @@ fn may_repeat(kind: EventKind) -> bool {
     matches!(kind, EventKind::TaskAssigned)
 }
 
+/// App-scoped kinds that legitimately repeat when the AM was retried:
+/// the RM bounces the app back to ACCEPTED and the whole
+/// registration/allocation protocol replays under the new attempt.
+fn may_repeat_on_retry(kind: EventKind) -> bool {
+    matches!(
+        kind,
+        EventKind::AppAccepted
+            | EventKind::AttemptRegistered
+            | EventKind::DriverRegistered
+            | EventKind::StartAllo
+            | EventKind::EndAllo
+    )
+}
+
 fn check_chain(
     app: ApplicationId,
     container: Option<ContainerId>,
@@ -127,6 +142,7 @@ fn check_duplicates(
     app: ApplicationId,
     container: Option<ContainerId>,
     events: &[(EventKind, logmodel::TsMs)],
+    retried: bool,
     out: &mut Vec<Anomaly>,
 ) {
     let mut counts: std::collections::HashMap<EventKind, usize> = std::collections::HashMap::new();
@@ -135,7 +151,7 @@ fn check_duplicates(
     }
     let mut dups: Vec<(EventKind, usize)> = counts
         .into_iter()
-        .filter(|(k, c)| *c > 1 && !may_repeat(*k))
+        .filter(|(k, c)| *c > 1 && !may_repeat(*k) && !(retried && may_repeat_on_retry(*k)))
         .collect();
     dups.sort_by_key(|(k, _)| format!("{k:?}"));
     for (kind, count) in dups {
@@ -154,8 +170,9 @@ fn container_firsts(track: &ContainerTrack) -> impl Fn(EventKind) -> Option<logm
 /// Validate one application's scheduling graph.
 pub fn validate_graph(g: &SchedulingGraph) -> Vec<Anomaly> {
     let mut out = Vec::new();
+    let retried = g.last_attempt() > 1;
     check_chain(g.app, None, |k| g.first(k), &APP_CHAIN, &mut out);
-    check_duplicates(g.app, None, &g.app_events, &mut out);
+    check_duplicates(g.app, None, &g.app_events, retried, &mut out);
     for track in g.containers.values() {
         // The AM container has no executor log; skip the executor links.
         let chain: &[(EventKind, EventKind)] = if track.is_am() {
@@ -170,7 +187,7 @@ pub fn validate_graph(g: &SchedulingGraph) -> Vec<Anomaly> {
             chain,
             &mut out,
         );
-        check_duplicates(g.app, Some(track.cid), &track.events, &mut out);
+        check_duplicates(g.app, Some(track.cid), &track.events, false, &mut out);
     }
     out
 }
@@ -199,7 +216,15 @@ pub fn coverage_warnings(cov: &ParseCoverage) -> Vec<String> {
                 kind.name(),
                 100.0 * c.coverage(),
                 c.unmatched,
-                c.matched + c.unmatched,
+                c.matched + c.unmatched + c.anomalous,
+            ));
+        }
+        if c.anomalous > 0 {
+            out.push(format!(
+                "coverage warning: {} has {} transition-shaped lines with corrupt ids \
+                 — log damage suspected; affected events are missing from the analysis",
+                kind.name(),
+                c.anomalous,
             ));
         }
     }
@@ -334,6 +359,7 @@ mod tests {
             CoverageCounts {
                 matched: 3,
                 unmatched: 1,
+                anomalous: 0,
                 ignored: 10,
             },
         );
@@ -342,6 +368,7 @@ mod tests {
             CoverageCounts {
                 matched: 1,
                 unmatched: 5, // not scheduling-relevant: no warning
+                anomalous: 0,
                 ignored: 0,
             },
         );
@@ -356,11 +383,74 @@ mod tests {
             CoverageCounts {
                 matched: 7,
                 unmatched: 0,
+                anomalous: 0,
                 ignored: 2,
             },
         );
         assert!(coverage_warnings(&clean).is_empty());
         assert!(coverage_warnings(&ParseCoverage::default()).is_empty());
+    }
+
+    #[test]
+    fn anomalous_ids_raise_a_damage_warning() {
+        use crate::extract::CoverageCounts;
+        let mut cov = ParseCoverage::default();
+        cov.record(
+            SourceKind::NodeManager,
+            CoverageCounts {
+                matched: 10,
+                unmatched: 0,
+                anomalous: 3,
+                ignored: 0,
+            },
+        );
+        let warnings = coverage_warnings(&cov);
+        assert_eq!(warnings.len(), 1, "{warnings:?}");
+        assert!(warnings[0].contains("corrupt ids"), "{warnings:?}");
+        assert!(warnings[0].contains("nodemanager"), "{warnings:?}");
+    }
+
+    #[test]
+    fn retried_app_duplicates_are_tolerated() {
+        let a = ApplicationId::new(CTS, 7);
+        let am1 = a.attempt(1).container(1);
+        let am2 = a.attempt(2).container(1);
+        use EventKind::*;
+        // AM retry: ACCEPTED and the registration replay appear twice at
+        // the app scope; the attempt-2 container id marks the graph as
+        // retried, so no duplicate anomaly may fire for them.
+        let g = graph(vec![
+            ev(1, AppSubmitted, a, None),
+            ev(2, AppAccepted, a, None),
+            ev(10, ContainerAllocated, a, Some(am1)),
+            ev(100, AttemptRegistered, a, None),
+            ev(200, AppAccepted, a, None), // bounced back on ATTEMPT_FAILED
+            ev(210, ContainerAllocated, a, Some(am2)),
+            ev(300, AttemptRegistered, a, None),
+        ]);
+        assert_eq!(validate_graph(&g), vec![]);
+
+        // The same duplicates in a single-attempt graph are still flagged.
+        let b = ApplicationId::new(CTS, 8);
+        let bam = b.attempt(1).container(1);
+        let g = graph(vec![
+            ev(1, AppSubmitted, b, None),
+            ev(2, AppAccepted, b, None),
+            ev(10, ContainerAllocated, b, Some(bam)),
+            ev(100, AttemptRegistered, b, None),
+            ev(200, AppAccepted, b, None),
+        ]);
+        let anomalies = validate_graph(&g);
+        assert!(
+            anomalies.iter().any(|x| matches!(
+                x.kind,
+                AnomalyKind::DuplicateEvent {
+                    kind: AppAccepted,
+                    count: 2
+                }
+            )),
+            "{anomalies:?}"
+        );
     }
 
     #[test]

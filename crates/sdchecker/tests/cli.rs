@@ -208,11 +208,12 @@ fn write_two_app_corpus(dir: &std::path::Path) -> ApplicationId {
         "Starting ApplicationMaster",
     );
     // Schema drift: a state SDchecker's extraction rules don't know.
+    // (KILLED is a recognized terminal state now, so an invented one.)
     s.info(
         rm,
         TsMs(90_000),
         "RMAppImpl",
-        format!("{a} State change from ACCEPTED to KILLED on event = KILL"),
+        format!("{a} State change from ACCEPTED to ZOMBIE on event = KILL"),
     );
     s.write_dir(dir).unwrap();
     first
@@ -349,7 +350,7 @@ fn metrics_json_matches_golden() {
             .unwrap()
     };
     assert_eq!(counter("analyze_apps_total"), 2.0);
-    // One schema-drift line in the RM log (ACCEPTED -> KILLED).
+    // One schema-drift line in the RM log (ACCEPTED -> ZOMBIE).
     assert_eq!(
         counter("parse_lines_total{source=\"resourcemanager\",status=\"unmatched\"}"),
         1.0

@@ -1,0 +1,109 @@
+//! Golden tests over the checked-in damaged corpus at `tests/corpus/`:
+//! a mixed fleet (clean app, failed app with a retried AM, truncated app)
+//! whose files additionally carry hand-placed damage — a driver log cut
+//! mid-line and a garbage line in the ResourceManager log. SDchecker must
+//! produce the exact partial report pinned in `tests/golden/` — no panic,
+//! every application accounted for.
+//!
+//! Refresh the corpus and goldens together after an intentional change:
+//! `UPDATE_GOLDEN=1 cargo test -p sdchecker --test corpus`.
+
+mod common;
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+use logmodel::{Epoch, LogStore};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sdchecker"))
+}
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+fn golden(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(format!("tests/golden/{name}"))
+}
+
+/// Regenerate `tests/corpus/` deterministically: write the mixed fleet,
+/// then apply the hand-placed damage. Only runs under `UPDATE_GOLDEN=1`;
+/// normal runs read the checked-in files.
+fn regenerate_corpus(dir: &PathBuf) {
+    let _ = fs::remove_dir_all(dir);
+    let mut s = LogStore::new(Epoch::default_run());
+    let (_a1, _a2, a3) = common::populate_faulty_fleet(&mut s);
+    s.write_dir(dir).unwrap();
+    // The truncated app's driver log is cut mid-line (collection died).
+    let drv = dir.join(format!("apps/{a3}/driver.log"));
+    let bytes = fs::read(&drv).unwrap();
+    fs::write(&drv, &bytes[..bytes.len() - 30]).unwrap();
+    // A stretch of the RM log was overwritten with garbage (bit rot).
+    let rm = dir.join("resourcemanager.log");
+    let mut rm_bytes = fs::read(&rm).unwrap();
+    rm_bytes.extend_from_slice(b"#### corrupted sector: not a log line at all ####\n");
+    fs::write(&rm, rm_bytes).unwrap();
+}
+
+#[test]
+fn damaged_corpus_produces_golden_partial_report() {
+    let dir = corpus_dir();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        regenerate_corpus(&dir);
+    }
+    assert!(
+        dir.join("epoch.txt").exists(),
+        "checked-in corpus missing; regenerate with UPDATE_GOLDEN=1"
+    );
+
+    let tmp = std::env::temp_dir().join(format!("sdchecker_corpus_{}", std::process::id()));
+    let _ = fs::remove_dir_all(&tmp);
+    fs::create_dir_all(&tmp).unwrap();
+    let report = tmp.join("report.json");
+    let out = bin()
+        .arg(&dir)
+        .args(["--threads", "1"])
+        .args(["--report-json", report.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "sdchecker must survive the damaged corpus; stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    let json = fs::read_to_string(&report).unwrap();
+
+    // Structural checks before the byte comparison, so failures explain
+    // themselves while goldens are being regenerated.
+    let doc = obs::json::parse(&json).expect("report must be valid JSON");
+    let apps = doc.get("applications").unwrap().as_arr().unwrap().to_vec();
+    assert_eq!(apps.len(), 3, "all three applications accounted for");
+    let fleet = doc.get("fleet").unwrap();
+    assert_eq!(fleet.get("applications").unwrap().as_f64(), Some(3.0));
+    let failures = doc
+        .get("failures")
+        .expect("hard failure evidence must create the failures section");
+    assert_eq!(failures.get("failed").unwrap().as_f64(), Some(1.0));
+    assert_eq!(failures.get("killed").unwrap().as_f64(), Some(0.0));
+    assert_eq!(failures.get("retried_apps").unwrap().as_f64(), Some(1.0));
+    assert_eq!(failures.get("anomalous_lines").unwrap().as_f64(), Some(1.0));
+    assert!(text.contains("Failures: 1 failed, 0 killed, 1 retried AMs"));
+    assert!(
+        text.contains("anomalous"),
+        "coverage summary must show the anomalous column: {text}"
+    );
+
+    for (name, got) in [("corpus_report.txt", &text), ("corpus_report.json", &json)] {
+        let path = golden(name);
+        if std::env::var_os("UPDATE_GOLDEN").is_some() {
+            fs::create_dir_all(path.parent().unwrap()).unwrap();
+            fs::write(&path, got).unwrap();
+        }
+        let want = fs::read_to_string(&path).expect("golden file missing; see test doc");
+        assert_eq!(got, &want, "{name} drifted from tests/golden/{name}");
+    }
+    fs::remove_dir_all(&tmp).unwrap();
+}

@@ -1,0 +1,132 @@
+//! Seeded corruption fuzzing of the `sdchecker` binary: damage a corpus
+//! with `logmodel::corrupt_dir` under fixed seeds and assert the
+//! robustness contract — the analyzer exits cleanly on every seed, emits
+//! valid JSON, and accounts for each application it can still see exactly
+//! once. Fixed seeds keep runs reproducible (CI runs this exact set); a
+//! failure replays from its seed bit-for-bit.
+
+mod common;
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+use logmodel::{corrupt_dir, CorruptConfig, Epoch, LogStore};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sdchecker"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("sdchecker_fuzz_{name}_{}", std::process::id()))
+}
+
+/// Write a fresh mixed-fleet corpus (clean + failed + truncated apps).
+fn write_fleet(dir: &PathBuf) {
+    let _ = fs::remove_dir_all(dir);
+    let mut s = LogStore::new(Epoch::default_run());
+    common::populate_faulty_fleet(&mut s);
+    s.write_dir(dir).unwrap();
+}
+
+/// Run the binary over `dir` and enforce the contract: clean exit, valid
+/// JSON report, unique app ids, fleet count consistent with the app list,
+/// and failure counters that never exceed the population.
+fn check_contract(dir: &PathBuf, label: &str) {
+    let report = dir.join("report.json");
+    let out = bin()
+        .arg(dir)
+        .args(["--threads", "2", "--quiet"])
+        .args(["--report-json", report.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "[{label}] analyzer must exit cleanly on damaged input; stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = fs::read_to_string(&report).unwrap();
+    let doc = obs::json::parse(&json)
+        .unwrap_or_else(|e| panic!("[{label}] report must stay valid JSON: {e:?}"));
+    let apps = doc.get("applications").unwrap().as_arr().unwrap().to_vec();
+    let mut ids: Vec<String> = apps
+        .iter()
+        .map(|a| a.get("app").unwrap().as_str().unwrap().to_string())
+        .collect();
+    let n = ids.len();
+    ids.sort();
+    ids.dedup();
+    assert_eq!(ids.len(), n, "[{label}] every app accounted exactly once");
+    assert_eq!(
+        doc.get("fleet")
+            .unwrap()
+            .get("applications")
+            .unwrap()
+            .as_f64(),
+        Some(n as f64),
+        "[{label}] fleet count must match the application list"
+    );
+    if let Some(failures) = doc.get("failures") {
+        let failed = failures.get("failed").unwrap().as_f64().unwrap();
+        let killed = failures.get("killed").unwrap().as_f64().unwrap();
+        let retried = failures.get("retried_apps").unwrap().as_f64().unwrap();
+        assert!(
+            failed + killed <= n as f64 && retried <= n as f64,
+            "[{label}] failure counters bounded by the population"
+        );
+        for f in failures.get("apps").unwrap().as_arr().unwrap() {
+            let outcome = f.get("outcome").unwrap().as_str().unwrap();
+            assert!(
+                ["completed", "failed", "killed", "truncated"].contains(&outcome),
+                "[{label}] unknown outcome label {outcome}"
+            );
+        }
+    }
+}
+
+/// The undamaged fleet itself must satisfy the contract and surface its
+/// known failures (baseline for the corruption sweep below).
+#[test]
+fn pristine_fleet_reports_failures() {
+    let dir = tmp("pristine");
+    write_fleet(&dir);
+    check_contract(&dir, "pristine");
+    let json = fs::read_to_string(dir.join("report.json")).unwrap();
+    let doc = obs::json::parse(&json).unwrap();
+    let failures = doc.get("failures").expect("fleet has a failed app");
+    assert_eq!(failures.get("failed").unwrap().as_f64(), Some(1.0));
+    assert_eq!(failures.get("retried_apps").unwrap().as_f64(), Some(1.0));
+    assert_eq!(failures.get("anomalous_lines").unwrap().as_f64(), Some(1.0));
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Default damage profile across fixed seeds: no panic, conservation
+/// holds on every one.
+#[test]
+fn corrupted_corpora_never_panic_default_profile() {
+    for seed in [7u64, 21, 99, 1234, 31337] {
+        let dir = tmp(&format!("d{seed}"));
+        write_fleet(&dir);
+        let report = corrupt_dir(&dir, seed, &CorruptConfig::default()).unwrap();
+        check_contract(&dir, &format!("default seed {seed} ({report:?})"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+/// Severe damage profile: most files hit, many lines mangled. The
+/// analyzer may lose applications entirely but must never crash or
+/// double-count what remains.
+#[test]
+fn corrupted_corpora_never_panic_severe_profile() {
+    for seed in [3u64, 58, 777, 9001, 123_456_789] {
+        let dir = tmp(&format!("s{seed}"));
+        write_fleet(&dir);
+        let report = corrupt_dir(&dir, seed, &CorruptConfig::severe()).unwrap();
+        assert!(
+            report.files_damaged > 0,
+            "severe profile should always land damage"
+        );
+        check_contract(&dir, &format!("severe seed {seed} ({report:?})"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

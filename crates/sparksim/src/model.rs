@@ -88,7 +88,10 @@ impl World {
         match n {
             AppNotice::ContainersGranted { app, .. }
             | AppNotice::ProcessStarted { app, .. }
-            | AppNotice::WorkDone { app, .. } => *app,
+            | AppNotice::WorkDone { app, .. }
+            | AppNotice::ProcessFailed { app, .. }
+            | AppNotice::AttemptRetry { app, .. }
+            | AppNotice::AppFailed { app } => *app,
         }
     }
 }
@@ -475,5 +478,69 @@ mod tests {
             "under dfsIO the query ({}) must be slower than alone ({lone})",
             sql.runtime()
         );
+    }
+
+    #[test]
+    fn am_retry_job_still_completes_and_is_slower() {
+        // Attempt 1's AM is scripted to die at launch; attempt 2 must
+        // replay the whole protocol, register as attempt 2, and finish —
+        // later than the fault-free run.
+        let (_, clean) = run_one(profiles::spark_sql_default(2048.0, 4));
+        let cfg = ClusterConfig {
+            faults: yarnsim::FaultConfig {
+                scripted_am_failures: vec![(1, 1)],
+                ..yarnsim::FaultConfig::default()
+            },
+            ..ClusterConfig::default()
+        };
+        let (logs, sums) = simulate(
+            cfg,
+            42,
+            vec![(Millis(100), profiles::spark_sql_default(2048.0, 4))],
+            Millis::from_mins(240),
+        );
+        assert_eq!(sums.len(), 1, "retried job must still complete");
+        let s = &sums[0];
+        assert!(!s.failed);
+        assert!(
+            s.finished_at > clean[0].finished_at,
+            "retry must not speed the job up: {} vs clean {}",
+            s.finished_at,
+            clean[0].finished_at
+        );
+        let driver_text = logs.render_source(LogSource::Driver(s.app));
+        assert!(
+            driver_text.contains(&format!(
+                "Registered with ResourceManager as {}",
+                s.app.attempt(2)
+            )),
+            "driver must register under attempt 2"
+        );
+        let rm_text = logs.render_source(LogSource::ResourceManager);
+        assert!(rm_text.contains("from LAUNCHED to FAILED on event = CONTAINER_FINISHED"));
+        assert!(rm_text.contains("from FINISHING to FINISHED"));
+    }
+
+    #[test]
+    fn am_exhaustion_marks_job_failed() {
+        // Every localization fails: both attempts die and the summary
+        // reports a FAILED application instead of hanging forever.
+        let cfg = ClusterConfig {
+            faults: yarnsim::FaultConfig {
+                localization_failure_rate: 1.0,
+                ..yarnsim::FaultConfig::default()
+            },
+            ..ClusterConfig::default()
+        };
+        let (logs, sums) = simulate(
+            cfg,
+            42,
+            vec![(Millis(100), profiles::spark_sql_default(2048.0, 4))],
+            Millis::from_mins(240),
+        );
+        assert_eq!(sums.len(), 1);
+        assert!(sums[0].failed);
+        let rm_text = logs.render_source(LogSource::ResourceManager);
+        assert!(rm_text.contains("from FINAL_SAVING to FAILED"));
     }
 }

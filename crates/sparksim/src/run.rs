@@ -63,8 +63,11 @@ pub struct JobSummary {
     pub kind: &'static str,
     /// Submission time.
     pub submitted_at: Millis,
-    /// Completion time (AM unregistered).
+    /// Completion time (AM unregistered, or attempts exhausted).
     pub finished_at: Millis,
+    /// True when the application terminated FAILED (AM attempts
+    /// exhausted under fault injection) instead of finishing cleanly.
+    pub failed: bool,
 }
 
 impl JobSummary {
@@ -153,6 +156,7 @@ impl Run {
                 kind: r.spec.kind.tag(),
                 submitted_at: r.submit_at,
                 finished_at: t,
+                failed: r.failed,
             }),
             Run::Mr(r) => r.finished_at.map(|t| JobSummary {
                 app: r.app,
@@ -160,6 +164,7 @@ impl Run {
                 kind: r.spec.kind.tag(),
                 submitted_at: r.submit_at,
                 finished_at: t,
+                failed: r.failed,
             }),
         }
     }
@@ -201,6 +206,10 @@ pub struct SparkRun {
     dispatch_cursor: usize,
     dispatch_overhead: OverheadState,
     tickets: HashMap<Ticket, Purpose>,
+    /// Current AM attempt (bumped by [`AppNotice::AttemptRetry`]).
+    attempt: u32,
+    /// Terminally FAILED (attempts exhausted).
+    failed: bool,
     /// Set when the AM unregistered.
     pub(crate) finished_at: Option<Millis>,
 }
@@ -235,6 +244,8 @@ impl SparkRun {
             dispatch_cursor: 0,
             dispatch_overhead: OverheadState::NotStarted,
             tickets: HashMap::new(),
+            attempt: 1,
+            failed: false,
             finished_at: None,
         }
     }
@@ -276,6 +287,88 @@ impl SparkRun {
                 self.on_granted(containers, wx);
             }
             AppNotice::WorkDone { ticket, .. } => self.on_work_done(ticket, wx),
+            AppNotice::ProcessFailed { container, .. } => self.on_process_failed(container, wx),
+            AppNotice::AttemptRetry { new_attempt, .. } => self.on_attempt_retry(new_attempt),
+            AppNotice::AppFailed { .. } => self.on_app_failed(wx),
+        }
+    }
+
+    /// A worker container died (launch/localization failure or node loss):
+    /// forget it, reclaim any tasks that were running on it, and ask the
+    /// scheduler for a replacement — what Spark's `YarnAllocator` does on
+    /// a completed-with-failure container report.
+    fn on_process_failed(&mut self, cid: ContainerId, wx: &mut Wx) {
+        if self.finished_at.is_some() {
+            return;
+        }
+        let Some(e) = self.executors.remove(&cid) else {
+            return;
+        };
+        if e.registered {
+            self.registered = self.registered.saturating_sub(1);
+        }
+        self.launched = self.launched.saturating_sub(1);
+        let lost: Vec<Ticket> = self
+            .tickets
+            .iter()
+            .filter(|(_, p)| {
+                matches!(p,
+                    Purpose::ExecutorSetupIo { cid: c }
+                    | Purpose::ExecutorSetup { cid: c }
+                    | Purpose::TaskIo { cid: c, .. }
+                    | Purpose::TaskCpu { cid: c } if *c == cid)
+            })
+            .map(|(t, _)| *t)
+            .collect();
+        for t in lost {
+            if let Some(Purpose::TaskIo { .. } | Purpose::TaskCpu { .. }) = self.tickets.remove(&t)
+            {
+                // The task never finished: put it back on the stage.
+                self.stage_dispatched = self.stage_dispatched.saturating_sub(1);
+            }
+        }
+        wx.cluster
+            .request_containers(wx.now, self.app, 1, self.spec.executor_resource, wx.out);
+        self.maybe_dispatch(wx);
+    }
+
+    /// The RM restarted our AM (attempt N failed, attempt N+1 launching):
+    /// reset all protocol state; the submission→launch sequence replays.
+    fn on_attempt_retry(&mut self, new_attempt: u32) {
+        if self.finished_at.is_some() {
+            return;
+        }
+        self.attempt = new_attempt;
+        self.driver = None;
+        self.executors.clear();
+        self.launched = 0;
+        self.registered = 0;
+        self.end_allo_logged = false;
+        self.user_init_started = false;
+        self.user_files_done = 0;
+        self.user_init_done = false;
+        self.stage_idx = 0;
+        self.stage_dispatched = 0;
+        self.stage_completed = 0;
+        self.dispatch_cursor = 0;
+        self.dispatch_overhead = OverheadState::NotStarted;
+        self.tickets.clear();
+    }
+
+    /// Attempts exhausted: the application is terminally FAILED.
+    fn on_app_failed(&mut self, wx: &mut Wx) {
+        if self.finished_at.is_some() {
+            return;
+        }
+        self.failed = true;
+        self.finished_at = Some(wx.now);
+        if self.driver.is_some() {
+            wx.logs.info(
+                LogSource::Driver(self.app),
+                wx.ts(),
+                "ApplicationMaster",
+                format!("Final app status: FAILED for {}", self.spec.label),
+            );
         }
     }
 
@@ -321,7 +414,10 @@ impl SparkRun {
             LogSource::Driver(self.app),
             wx.ts(),
             "ApplicationMaster",
-            format!("Registered with ResourceManager as {}", self.app.attempt(1)),
+            format!(
+                "Registered with ResourceManager as {}",
+                self.app.attempt(self.attempt)
+            ),
         );
         wx.cluster.am_register(wx.now, self.app, wx.logs, wx.out);
         // Log message 11 (patched into YarnAllocator by the authors).
@@ -441,6 +537,11 @@ impl SparkRun {
     }
 
     fn on_executor_started(&mut self, cid: ContainerId, node: NodeId, wx: &mut Wx) {
+        // The executor may already have been reclaimed by a fault between
+        // launch and process start.
+        if !self.executors.contains_key(&cid) {
+            return;
+        }
         debug_assert_eq!(self.executors[&cid].node, node);
         // Log message 13: executor's first log line (its own log file).
         wx.logs.info(
@@ -522,7 +623,9 @@ impl SparkRun {
                     break;
                 }
                 let cid = cids[(self.dispatch_cursor + off) % cids.len()];
-                let e = self.executors.get_mut(&cid).unwrap();
+                let Some(e) = self.executors.get_mut(&cid) else {
+                    continue;
+                };
                 if !e.registered || e.free_slots == 0 {
                     continue;
                 }
@@ -598,7 +701,9 @@ impl SparkRun {
             Purpose::UserFileIo { idx } => self.start_user_file_cpu(idx, wx),
             Purpose::UserFileCpu => self.on_user_file_done(wx),
             Purpose::ExecutorSetupIo { cid } => {
-                let node = self.executors[&cid].node;
+                let Some(node) = self.executors.get(&cid).map(|e| e.node) else {
+                    return;
+                };
                 let work = self.spec.executor_setup_cpu_ms.sample(&mut self.rng);
                 let t = wx
                     .cluster
@@ -617,7 +722,9 @@ impl SparkRun {
                 self.maybe_dispatch(wx);
             }
             Purpose::TaskIo { cid, cpu_ms } => {
-                let node = self.executors[&cid].node;
+                let Some(node) = self.executors.get(&cid).map(|e| e.node) else {
+                    return;
+                };
                 let t = wx.cluster.spawn_cpu(
                     wx.now,
                     node,
@@ -668,6 +775,8 @@ pub struct MrRun {
     stage_launched: u32,
     stage_completed: u32,
     tickets: HashMap<Ticket, MrPurpose>,
+    /// Terminally FAILED (attempts exhausted).
+    failed: bool,
     pub(crate) finished_at: Option<Millis>,
 }
 
@@ -685,6 +794,7 @@ impl MrRun {
             stage_launched: 0,
             stage_completed: 0,
             tickets: HashMap::new(),
+            failed: false,
             finished_at: None,
         }
     }
@@ -734,6 +844,60 @@ impl MrRun {
             },
             AppNotice::ContainersGranted { containers, .. } => self.on_granted(containers, wx),
             AppNotice::WorkDone { ticket, .. } => self.on_work_done(ticket, wx),
+            AppNotice::ProcessFailed { container, .. } => self.on_process_failed(container, wx),
+            AppNotice::AttemptRetry { .. } => self.on_attempt_retry(),
+            AppNotice::AppFailed { .. } => self.on_app_failed(wx),
+        }
+    }
+
+    /// A task container died: drop its bookkeeping and re-request one
+    /// container so the stage can still complete.
+    fn on_process_failed(&mut self, cid: ContainerId, wx: &mut Wx) {
+        if self.finished_at.is_some() {
+            return;
+        }
+        if self.task_nodes.remove(&cid).is_none() {
+            return;
+        }
+        self.task_io_pending.remove(&cid);
+        self.tickets.retain(|_, p| {
+            !matches!(p,
+                MrPurpose::TaskIo { cid: c, .. } | MrPurpose::TaskCpu { cid: c } if *c == cid)
+        });
+        self.stage_launched = self.stage_launched.saturating_sub(1);
+        wx.cluster
+            .request_containers(wx.now, self.app, 1, self.spec.executor_resource, wx.out);
+    }
+
+    /// The RM restarted our AM: reset protocol state and replay the job
+    /// from the master launch.
+    fn on_attempt_retry(&mut self) {
+        if self.finished_at.is_some() {
+            return;
+        }
+        self.master = None;
+        self.task_nodes.clear();
+        self.task_io_pending.clear();
+        self.stage_idx = 0;
+        self.stage_launched = 0;
+        self.stage_completed = 0;
+        self.tickets.clear();
+    }
+
+    /// Attempts exhausted: the application is terminally FAILED.
+    fn on_app_failed(&mut self, wx: &mut Wx) {
+        if self.finished_at.is_some() {
+            return;
+        }
+        self.failed = true;
+        self.finished_at = Some(wx.now);
+        if self.master.is_some() {
+            wx.logs.info(
+                LogSource::Driver(self.app),
+                wx.ts(),
+                "MRAppMaster",
+                format!("Job {} failed with state FAILED", self.spec.label),
+            );
         }
     }
 
@@ -864,13 +1028,19 @@ impl MrRun {
                 self.request_stage(wx);
             }
             MrPurpose::TaskIo { cid, cpu_ms } => {
-                let pending = self.task_io_pending.get_mut(&cid).expect("pending io");
+                // The task may have been reclaimed by a fault in between;
+                // its replica streams then complete into the void.
+                let Some(pending) = self.task_io_pending.get_mut(&cid) else {
+                    return;
+                };
                 *pending -= 1;
                 if *pending > 0 {
                     return;
                 }
                 self.task_io_pending.remove(&cid);
-                let node = self.task_nodes[&cid];
+                let Some(&node) = self.task_nodes.get(&cid) else {
+                    return;
+                };
                 let t = wx.cluster.spawn_cpu(
                     wx.now,
                     node,

@@ -31,7 +31,10 @@ use simkit::{Dist, Millis, Sample, SimRng};
 use crate::config::{
     ClusterConfig, ContainerRuntime, OppPlacement, QueuePolicy, ResourceReq, SchedulerKind,
 };
-use crate::effects::{AppNotice, AppSubmission, ClusterEvent, LaunchSpec, Out, Ticket};
+use crate::effects::{
+    AppNotice, AppSubmission, ClusterEvent, FailureKind, LaunchSpec, Out, Ticket,
+};
+use crate::faults::{FaultCounts, FaultPlan};
 use crate::node::Node;
 use crate::state::{NmContainerState, RmAppState, RmContainerState, Tracked};
 
@@ -56,6 +59,11 @@ struct RmApp {
     state: Tracked<RmAppState>,
     submission: AppSubmission,
     am_container: Option<ContainerId>,
+    /// Current AM attempt (1-based; bumps on YARN-style AM retry).
+    attempt: u32,
+    /// Terminally failed (attempts exhausted): the final state-store write
+    /// lands on FAILED instead of FINISHED.
+    failed: bool,
     /// Container asks waiting for the next AM heartbeat to reach the RM
     /// (the allocate() protocol: asks ride heartbeats).
     pending_asks: Vec<(u32, ResourceReq)>,
@@ -123,6 +131,8 @@ pub struct Cluster {
     rng_sched: SimRng,
     rng_lat: SimRng,
     containers_allocated: u64,
+    faults: FaultPlan,
+    fault_counts: FaultCounts,
 }
 
 impl Cluster {
@@ -130,6 +140,7 @@ impl Cluster {
     /// epoch's unix-ms); `seed` drives scheduler/latency randomness.
     pub fn new(cfg: ClusterConfig, cluster_ts: u64, seed: u64) -> Cluster {
         let root = SimRng::new(seed);
+        let faults = FaultPlan::new(cfg.faults.clone(), &root);
         let nodes = (0..cfg.nodes).map(|i| Node::new(NodeId(i), &cfg)).collect();
         Cluster {
             cfg,
@@ -146,6 +157,8 @@ impl Cluster {
             rng_sched: root.fork_named("scheduler"),
             rng_lat: root.fork_named("latency"),
             containers_allocated: 0,
+            faults,
+            fault_counts: FaultCounts::default(),
         }
     }
 
@@ -158,6 +171,11 @@ impl Cluster {
         for (i, node) in self.nodes.iter().enumerate() {
             let offset = interval * i as u64 / n.max(1);
             out.at(Millis(offset), ClusterEvent::NmHeartbeat(node.id));
+        }
+        for &(at, idx) in self.faults.node_loss() {
+            if (idx as usize) < self.nodes.len() {
+                out.at(at, ClusterEvent::NodeLost(NodeId(idx)));
+            }
         }
     }
 
@@ -236,6 +254,8 @@ impl Cluster {
                 state,
                 submission,
                 am_container: None,
+                attempt: 1,
+                failed: false,
                 pending_asks: Vec::new(),
                 newly_allocated: Vec::new(),
                 next_container_seq: 1,
@@ -346,8 +366,8 @@ impl Cluster {
             let Some(c) = self.containers.get_mut(cid) else {
                 continue;
             };
-            if c.nm_state.is_some() {
-                continue; // already launching; too late to release silently
+            if c.nm_state.is_some() || c.rm_state.get().is_terminal() {
+                continue; // already launching (or already dead)
             }
             c.rm_state
                 .transition(RmContainerState::Completed, &cid.to_string(), ts(now), logs);
@@ -530,6 +550,272 @@ impl Cluster {
     }
 
     // ------------------------------------------------------------------
+    // Fault handling
+    // ------------------------------------------------------------------
+
+    /// Totals of injected faults so far (for metrics and sweeps).
+    pub fn fault_counts(&self) -> FaultCounts {
+        self.fault_counts
+    }
+
+    fn container_dead(&self, cid: ContainerId) -> bool {
+        self.containers
+            .get(&cid)
+            .map(|c| c.rm_state.get().is_terminal())
+            .unwrap_or(true)
+    }
+
+    /// A container died abnormally: NM-side failure transitions (unless
+    /// the node itself is gone — a lost node's log simply truncates),
+    /// RM-side KILLED, resource release, and routing — an AM container
+    /// failure becomes an attempt failure, a worker failure a
+    /// [`AppNotice::ProcessFailed`] the application layer can react to.
+    fn fail_container(
+        &mut self,
+        now: Millis,
+        cid: ContainerId,
+        kind: FailureKind,
+        logs: &mut LogStore,
+        out: &mut Out,
+    ) {
+        match kind {
+            FailureKind::Localization => self.fault_counts.localization_failures += 1,
+            FailureKind::Launch => self.fault_counts.launch_failures += 1,
+            FailureKind::NodeLost => self.fault_counts.killed_by_node_loss += 1,
+        }
+        obs::count_labeled("sim_faults_total", &[("kind", kind.label())], 1);
+        let (app, node, req, reserved) = {
+            let c = self.containers.get_mut(&cid).expect("unknown container");
+            if kind != FailureKind::NodeLost {
+                if let Some(nm) = c.nm_state.as_mut() {
+                    let src = LogSource::NodeManager(c.node);
+                    match nm.get() {
+                        NmContainerState::Localizing => {
+                            nm.transition(
+                                NmContainerState::LocalizationFailed,
+                                &cid.to_string(),
+                                src,
+                                ts(now),
+                                logs,
+                            );
+                            nm.transition(
+                                NmContainerState::Done,
+                                &cid.to_string(),
+                                src,
+                                ts(now),
+                                logs,
+                            );
+                        }
+                        NmContainerState::Running => {
+                            nm.transition(
+                                NmContainerState::ExitedWithFailure,
+                                &cid.to_string(),
+                                src,
+                                ts(now),
+                                logs,
+                            );
+                            nm.transition(
+                                NmContainerState::Done,
+                                &cid.to_string(),
+                                src,
+                                ts(now),
+                                logs,
+                            );
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            if !c.rm_state.get().is_terminal() {
+                c.rm_state
+                    .transition(RmContainerState::Killed, &cid.to_string(), ts(now), logs);
+            }
+            let r = (c.app, c.node, c.req, c.reserved);
+            c.reserved = false;
+            r
+        };
+        if reserved && self.nodes[node.0 as usize].alive {
+            self.node_mut(node).release(req);
+        }
+        if let Some(a) = self.apps.get_mut(&app) {
+            a.live_containers = a.live_containers.saturating_sub(1);
+        }
+        self.drain_opp_queue(now, node, out);
+        let is_am = self
+            .apps
+            .get(&app)
+            .map(|a| a.am_container == Some(cid))
+            .unwrap_or(false);
+        if is_am {
+            self.fail_am_attempt(now, app, logs, out);
+        } else {
+            out.notify(AppNotice::ProcessFailed {
+                app,
+                container: cid,
+                node,
+                kind,
+            });
+        }
+    }
+
+    /// Kill a container as collateral of an attempt failure: terminal
+    /// transitions and resource release, no notice (the application layer
+    /// learns about the whole attempt via [`AppNotice::AttemptRetry`]).
+    fn kill_container(
+        &mut self,
+        now: Millis,
+        cid: ContainerId,
+        logs: &mut LogStore,
+        out: &mut Out,
+    ) {
+        let (node, req, reserved) = {
+            let Some(c) = self.containers.get_mut(&cid) else {
+                return;
+            };
+            if c.rm_state.get().is_terminal() {
+                return;
+            }
+            if let Some(nm) = c.nm_state.as_mut() {
+                if nm.get() == NmContainerState::Running && self.nodes[c.node.0 as usize].alive {
+                    nm.transition(
+                        NmContainerState::Done,
+                        &cid.to_string(),
+                        LogSource::NodeManager(c.node),
+                        ts(now),
+                        logs,
+                    );
+                }
+            }
+            c.rm_state
+                .transition(RmContainerState::Killed, &cid.to_string(), ts(now), logs);
+            let r = (c.node, c.req, c.reserved);
+            c.reserved = false;
+            r
+        };
+        if reserved && self.nodes[node.0 as usize].alive {
+            self.node_mut(node).release(req);
+        }
+        self.drain_opp_queue(now, node, out);
+    }
+
+    /// YARN-style AM failure handling: tear down the attempt's containers,
+    /// then either start attempt N+1 (re-running the AM scheduling/launch
+    /// protocol) or — attempts exhausted — drive the application to
+    /// terminal FAILED.
+    fn fail_am_attempt(
+        &mut self,
+        now: Millis,
+        app: ApplicationId,
+        logs: &mut LogStore,
+        out: &mut Out,
+    ) {
+        self.cancel_pending(app, u32::MAX);
+        let victims: Vec<ContainerId> = self
+            .containers
+            .values()
+            .filter(|c| c.app == app && !c.rm_state.get().is_terminal())
+            .map(|c| c.id)
+            .collect();
+        for v in victims {
+            self.kill_container(now, v, logs, out);
+        }
+        let max = self.faults.max_am_attempts();
+        let (attempt, am_req) = {
+            let a = self.apps.get_mut(&app).expect("unknown app");
+            a.heartbeating = false;
+            a.am_container = None;
+            a.newly_allocated.clear();
+            a.pending_asks.clear();
+            (a.attempt, a.submission.am_resource)
+        };
+        logs.info(
+            LogSource::ResourceManager,
+            ts(now),
+            "RMAppAttemptImpl",
+            format!(
+                "{} State change from LAUNCHED to FAILED on event = CONTAINER_FINISHED",
+                app.attempt(attempt)
+            ),
+        );
+        if attempt < max {
+            let a = self.apps.get_mut(&app).expect("unknown app");
+            if a.state.get() == RmAppState::Running {
+                // Registered AMs fall back to ACCEPTED while the next
+                // attempt launches; unregistered ones never left it.
+                a.state.transition(
+                    RmAppState::Accepted,
+                    "ATTEMPT_FAILED",
+                    &app.to_string(),
+                    ts(now),
+                    logs,
+                );
+            }
+            a.attempt = attempt + 1;
+            a.next_container_seq = 1;
+            self.fault_counts.am_retries += 1;
+            obs::count_labeled("sim_faults_total", &[("kind", "am_retry")], 1);
+            self.backlog.push_back(PendingReq {
+                app,
+                remaining: 1,
+                req: am_req,
+                is_am: true,
+            });
+            out.notify(AppNotice::AttemptRetry {
+                app,
+                new_attempt: attempt + 1,
+            });
+        } else {
+            let a = self.apps.get_mut(&app).expect("unknown app");
+            a.alive = false;
+            a.failed = true;
+            a.state.transition(
+                RmAppState::FinalSaving,
+                "ATTEMPT_FAILED",
+                &app.to_string(),
+                ts(now),
+                logs,
+            );
+            self.fault_counts.apps_failed += 1;
+            obs::count_labeled("sim_faults_total", &[("kind", "app_failed")], 1);
+            let d = self.sample(&self.cfg.rm_state_store_ms.clone());
+            out.at(now + d, ClusterEvent::RmAppFinalSaved(app));
+            out.notify(AppNotice::AppFailed { app });
+            for n in &mut self.nodes {
+                n.forget_app(app);
+            }
+        }
+    }
+
+    /// Scripted node loss: the NM stops heartbeating (its log truncates),
+    /// the RM expires it and kills every container it hosted.
+    fn on_node_lost(&mut self, now: Millis, node: NodeId, logs: &mut LogStore, out: &mut Out) {
+        if !self.nodes[node.0 as usize].alive {
+            return;
+        }
+        self.nodes[node.0 as usize].alive = false;
+        self.fault_counts.nodes_lost += 1;
+        obs::count_labeled("sim_faults_total", &[("kind", "node_lost")], 1);
+        logs.info(
+            LogSource::ResourceManager,
+            ts(now),
+            "RMNodeImpl",
+            format!("Deactivating Node {node} as it is now LOST"),
+        );
+        let victims: Vec<ContainerId> = self
+            .containers
+            .values()
+            .filter(|c| c.node == node && !c.rm_state.get().is_terminal())
+            .map(|c| c.id)
+            .collect();
+        for cid in victims {
+            if self.container_dead(cid) {
+                continue; // killed transitively by an earlier AM failure
+            }
+            self.fail_container(now, cid, FailureKind::NodeLost, logs, out);
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Event handling
     // ------------------------------------------------------------------
 
@@ -608,21 +894,32 @@ impl Cluster {
             ClusterEvent::NmHandoff(cid) => self.on_nm_handoff(now, cid, logs, out),
             ClusterEvent::RmAppFinalSaved(app) => {
                 let a = self.apps.get_mut(&app).expect("unknown app");
-                a.state.transition(
-                    RmAppState::Finishing,
-                    "APP_UPDATE_SAVED",
-                    &app.to_string(),
-                    ts(now),
-                    logs,
-                );
-                a.state.transition(
-                    RmAppState::Finished,
-                    "ATTEMPT_FINISHED",
-                    &app.to_string(),
-                    ts(now),
-                    logs,
-                );
+                if a.failed {
+                    a.state.transition(
+                        RmAppState::Failed,
+                        "APP_UPDATE_SAVED",
+                        &app.to_string(),
+                        ts(now),
+                        logs,
+                    );
+                } else {
+                    a.state.transition(
+                        RmAppState::Finishing,
+                        "APP_UPDATE_SAVED",
+                        &app.to_string(),
+                        ts(now),
+                        logs,
+                    );
+                    a.state.transition(
+                        RmAppState::Finished,
+                        "ATTEMPT_FINISHED",
+                        &app.to_string(),
+                        ts(now),
+                        logs,
+                    );
+                }
             }
+            ClusterEvent::NodeLost(node) => self.on_node_lost(now, node, logs, out),
         }
     }
 
@@ -633,6 +930,9 @@ impl Cluster {
     /// small requests scatter across nodes the way block locality scatters
     /// them on a real cluster).
     fn on_nm_heartbeat(&mut self, now: Millis, node: NodeId, logs: &mut LogStore, out: &mut Out) {
+        if !self.nodes[node.0 as usize].alive {
+            return; // lost node: heartbeats stop, nothing is assigned
+        }
         // Fair Scheduler: serve the most starved application first by
         // rotating it to the backlog's front. FIFO leaves arrival order.
         if self.cfg.queue_policy == QueuePolicy::Fair && self.backlog.len() > 1 {
@@ -739,7 +1039,7 @@ impl Cluster {
         out: &mut Out,
     ) -> ContainerId {
         let a = self.apps.get_mut(&app).expect("unknown app");
-        let cid = app.attempt(1).container(a.next_container_seq);
+        let cid = app.attempt(a.attempt).container(a.next_container_seq);
         a.next_container_seq += 1;
         let mut rm_state = Tracked::new(RmContainerState::New);
         rm_state.transition(RmContainerState::Allocated, &cid.to_string(), ts(now), logs);
@@ -806,7 +1106,7 @@ impl Cluster {
                 }
             }
             let a = self.apps.get_mut(&app).expect("unknown app");
-            let cid = app.attempt(1).container(a.next_container_seq);
+            let cid = app.attempt(a.attempt).container(a.next_container_seq);
             a.next_container_seq += 1;
             let mut rm_state = Tracked::new(RmContainerState::New);
             rm_state.transition(RmContainerState::Allocated, &cid.to_string(), ts(now), logs);
@@ -839,15 +1139,28 @@ impl Cluster {
         });
     }
 
+    /// A uniformly random live node. Re-draws on lost nodes (extra draws
+    /// only happen after a scripted node loss); falls back to node 0 when
+    /// every node is dead.
+    fn random_live_node(&mut self) -> NodeId {
+        let n = self.nodes.len() as u64;
+        for _ in 0..4 * self.nodes.len().max(1) {
+            let id = NodeId(self.rng_sched.below(n) as u32);
+            if self.nodes[id.0 as usize].alive {
+                return id;
+            }
+        }
+        NodeId(0)
+    }
+
     /// Distributed-scheduler node selection.
     fn pick_opportunistic_node(&mut self) -> NodeId {
-        let n = self.nodes.len() as u64;
         match self.cfg.opp_placement {
-            OppPlacement::Random => NodeId(self.rng_sched.below(n) as u32),
+            OppPlacement::Random => self.random_live_node(),
             OppPlacement::PowerOfChoices(d) => {
-                let mut best = NodeId(self.rng_sched.below(n) as u32);
+                let mut best = self.random_live_node();
                 for _ in 1..d.max(1) {
-                    let cand = NodeId(self.rng_sched.below(n) as u32);
+                    let cand = self.random_live_node();
                     let (bq, cq) = (
                         self.nodes[best.0 as usize].opp_queue.len(),
                         self.nodes[cand.0 as usize].opp_queue.len(),
@@ -884,6 +1197,16 @@ impl Cluster {
                 c.spec.as_ref().expect("spec").localization.clone(),
             )
         };
+        if self.faults.enabled() && self.faults.localization_fails(cid) {
+            logs.info(
+                LogSource::NodeManager(node),
+                ts(now),
+                "ResourceLocalizationService",
+                format!("Localizer failed for {cid}"),
+            );
+            self.fail_container(now, cid, FailureKind::Localization, logs, out);
+            return;
+        }
         let mut pending = 0usize;
         for (idx, res) in resources.iter().enumerate() {
             let cached = self.cfg.localization_cache
@@ -923,6 +1246,9 @@ impl Cluster {
     ) {
         let (node, req, opportunistic) = {
             let c = self.containers.get_mut(&cid).expect("unknown container");
+            if c.rm_state.get().is_terminal() {
+                return; // killed while localizing (node loss, AM retry)
+            }
             c.nm_state.as_mut().expect("nm state").transition(
                 NmContainerState::Scheduled,
                 &cid.to_string(),
@@ -952,6 +1278,9 @@ impl Cluster {
     fn on_nm_handoff(&mut self, now: Millis, cid: ContainerId, logs: &mut LogStore, out: &mut Out) {
         let (node, runtime) = {
             let c = self.containers.get_mut(&cid).expect("unknown container");
+            if c.rm_state.get().is_terminal() {
+                return; // killed while queued (node loss, AM retry)
+            }
             c.nm_state.as_mut().expect("nm state").transition(
                 NmContainerState::Running,
                 &cid.to_string(),
@@ -961,6 +1290,16 @@ impl Cluster {
             );
             (c.node, c.spec.as_ref().expect("spec").runtime)
         };
+        if self.faults.enabled() && self.faults.launch_fails(cid) {
+            logs.info(
+                LogSource::NodeManager(node),
+                ts(now),
+                "ContainerLaunch",
+                format!("Container exited with a non-zero exit code 1: {cid}"),
+            );
+            self.fail_container(now, cid, FailureKind::Launch, logs, out);
+            return;
+        }
         match runtime {
             ContainerRuntime::Docker => {
                 let mb = self.cfg.docker.image_mb * self.cfg.docker.read_fraction;
@@ -1015,6 +1354,9 @@ impl Cluster {
     ) {
         match purpose {
             FlowPurpose::AppWork { app, ticket } => {
+                if !self.nodes[node.0 as usize].alive {
+                    return; // work died with the node
+                }
                 out.notify(AppNotice::WorkDone { app, ticket });
             }
             FlowPurpose::LocalizeMeta { cid, res_idx } => {
@@ -1024,6 +1366,9 @@ impl Cluster {
                 let Some(c) = self.containers.get(&cid) else {
                     return;
                 };
+                if c.rm_state.get().is_terminal() {
+                    return; // owner died while the lookup ran
+                }
                 let mb = c.spec.as_ref().expect("spec").localization[res_idx].mb;
                 let cap = self.cfg.io_single_flow_mb_per_ms;
                 let purpose = FlowPurpose::LocalizeIo { cid, res_idx };
@@ -1051,6 +1396,9 @@ impl Cluster {
                     let Some(wc) = self.containers.get_mut(&w) else {
                         continue;
                     };
+                    if wc.rm_state.get().is_terminal() {
+                        continue; // waiter died while the download ran
+                    }
                     debug_assert!(wc.pending_local > 0);
                     wc.pending_local -= 1;
                     if wc.pending_local == 0 {
@@ -1059,18 +1407,34 @@ impl Cluster {
                 }
             }
             FlowPurpose::DockerIo { cid } => {
+                if self.container_dead(cid) {
+                    return;
+                }
                 let setup = self.sample(&self.cfg.docker.setup_cpu_ms.clone()).as_f64();
                 let flow = self.node_mut(node).cpu.add_flow(now, setup, 1.0, 1.0);
                 self.cpu_flows
                     .insert((node.0, flow.0), FlowPurpose::DockerCpu { cid });
                 self.resched_cpu(node, now, out);
             }
-            FlowPurpose::DockerCpu { cid } => self.start_jvm(now, cid, node, out),
-            FlowPurpose::LaunchIo { cid } => self.start_jvm_cpu(now, cid, node, out),
+            FlowPurpose::DockerCpu { cid } => {
+                if self.container_dead(cid) {
+                    return;
+                }
+                self.start_jvm(now, cid, node, out)
+            }
+            FlowPurpose::LaunchIo { cid } => {
+                if self.container_dead(cid) {
+                    return;
+                }
+                self.start_jvm_cpu(now, cid, node, out)
+            }
             FlowPurpose::LaunchCpu { cid } => {
                 let Some(c) = self.containers.get_mut(&cid) else {
                     return;
                 };
+                if c.rm_state.get().is_terminal() {
+                    return; // died while the JVM was starting
+                }
                 if c.rm_state.get() == RmContainerState::Acquired {
                     c.rm_state.transition(
                         RmContainerState::Running,
@@ -1093,14 +1457,17 @@ impl Cluster {
     /// After capacity freed on `node`, start queued opportunistic
     /// containers FIFO while they fit.
     fn drain_opp_queue(&mut self, now: Millis, node: NodeId, out: &mut Out) {
+        if !self.nodes[node.0 as usize].alive {
+            return; // lost node starts nothing
+        }
         while let Some(&cid) = self.nodes[node.0 as usize].opp_queue.front() {
             let info = self.containers.get(&cid).map(|c| (c.rm_state.get(), c.req));
             let Some((state, req)) = info else {
                 self.node_mut(node).opp_queue.pop_front();
                 continue;
             };
-            if state == RmContainerState::Completed {
-                // Owner finished while queued.
+            if state.is_terminal() {
+                // Owner finished (or was killed) while queued.
                 self.node_mut(node).opp_queue.pop_front();
                 continue;
             }

@@ -12,6 +12,8 @@
 
 use simkit::Dist;
 
+use crate::faults::FaultConfig;
+
 /// Which scheduler the ResourceManager runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SchedulerKind {
@@ -196,6 +198,11 @@ pub struct ClusterConfig {
     /// allocator skips to another node (usize::MAX = unbounded, the
     /// behaviour the paper measured with 53 s queueing delays).
     pub opp_queue_cap: usize,
+
+    /// Fault injection (launch/localization failures, node loss, scripted
+    /// AM-attempt failures). Disabled by default — a default-config run is
+    /// byte-identical to a build without fault support.
+    pub faults: FaultConfig,
 }
 
 impl Default for ClusterConfig {
@@ -224,6 +231,7 @@ impl Default for ClusterConfig {
             public_localization_cache: false,
             localization_store_mb_per_ms: None,
             opp_queue_cap: usize::MAX,
+            faults: FaultConfig::default(),
         }
     }
 }

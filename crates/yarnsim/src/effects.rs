@@ -140,6 +140,33 @@ pub enum ClusterEvent {
     NmHandoff(ContainerId),
     /// Final state-store write for a finishing application.
     RmAppFinalSaved(ApplicationId),
+    /// Scripted fault: the node's NodeManager stops heartbeating; the RM
+    /// expires it and kills every container it was hosting.
+    NodeLost(NodeId),
+}
+
+/// Why a container died before doing useful work (fault injection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// Resource download failed (NM `LOCALIZING → LOCALIZATION_FAILED`).
+    Localization,
+    /// Launch script / JVM exited with a non-zero code
+    /// (NM `RUNNING → EXITED_WITH_FAILURE`).
+    Launch,
+    /// The hosting node was lost (NM heartbeat expiry; RM kills the
+    /// container).
+    NodeLost,
+}
+
+impl FailureKind {
+    /// Short label used in metrics.
+    pub fn label(self) -> &'static str {
+        match self {
+            FailureKind::Localization => "localization",
+            FailureKind::Launch => "launch",
+            FailureKind::NodeLost => "node_lost",
+        }
+    }
 }
 
 /// Notices raised to the application layer.
@@ -172,6 +199,34 @@ pub enum AppNotice {
         app: ApplicationId,
         /// The handle returned by `spawn_cpu` / `spawn_io`.
         ticket: Ticket,
+    },
+    /// A container died before (or instead of) reaching a useful running
+    /// state. For non-AM containers the application layer may re-request a
+    /// replacement; AM failures are handled by the RM (see
+    /// [`AppNotice::AttemptRetry`] / [`AppNotice::AppFailed`]).
+    ProcessFailed {
+        /// Owning application.
+        app: ApplicationId,
+        /// The dead container.
+        container: ContainerId,
+        /// Where it ran.
+        node: NodeId,
+        /// What went wrong.
+        kind: FailureKind,
+    },
+    /// The application's AM attempt failed and the RM is starting a new
+    /// attempt: the application layer must reset its protocol state and
+    /// will see the submission→launch sequence again for `new_attempt`.
+    AttemptRetry {
+        /// Owning application.
+        app: ApplicationId,
+        /// The attempt number now being launched (2, 3, ...).
+        new_attempt: u32,
+    },
+    /// The application exhausted its AM attempts and is terminally FAILED.
+    AppFailed {
+        /// Owning application.
+        app: ApplicationId,
     },
 }
 

@@ -19,6 +19,7 @@
 pub mod cluster;
 pub mod config;
 pub mod effects;
+pub mod faults;
 pub mod node;
 pub mod state;
 #[cfg(test)]
@@ -30,6 +31,8 @@ pub use config::{
     ResourceReq, SchedulerKind,
 };
 pub use effects::{
-    AppNotice, AppSubmission, ClusterEvent, InstanceKind, LaunchSpec, LocalResource, Out, Ticket,
+    AppNotice, AppSubmission, ClusterEvent, FailureKind, InstanceKind, LaunchSpec, LocalResource,
+    Out, Ticket,
 };
+pub use faults::{FaultConfig, FaultPlan};
 pub use state::{NmContainerState, RmAppState, RmContainerState};

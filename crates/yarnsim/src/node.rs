@@ -13,6 +13,9 @@ use crate::config::{ClusterConfig, ResourceCalculator, ResourceReq};
 pub struct Node {
     /// Identity.
     pub id: NodeId,
+    /// False once the NM is lost (heartbeat expiry, fault injection): the
+    /// node stops heartbeating and the schedulers skip it.
+    pub alive: bool,
     /// Shared CPU pool: capacity = vcores (cpu-ms of work per wall ms).
     pub cpu: PsResource,
     /// Shared IO channel (disk + NIC folded, see DESIGN.md).
@@ -43,6 +46,7 @@ impl Node {
     pub fn new(id: NodeId, cfg: &ClusterConfig) -> Node {
         Node {
             id,
+            alive: true,
             cpu: PsResource::new(cfg.vcores_per_node as f64),
             io: PsResource::new(cfg.io_capacity_mb_per_ms),
             total_vcores: cfg.vcores_per_node,

@@ -28,6 +28,8 @@ pub enum RmAppState {
     Finishing,
     /// Done.
     Finished,
+    /// Terminal failure: every AM attempt failed.
+    Failed,
 }
 
 impl fmt::Display for RmAppState {
@@ -41,13 +43,16 @@ impl fmt::Display for RmAppState {
             RmAppState::FinalSaving => "FINAL_SAVING",
             RmAppState::Finishing => "FINISHING",
             RmAppState::Finished => "FINISHED",
+            RmAppState::Failed => "FAILED",
         };
         f.write_str(s)
     }
 }
 
 impl RmAppState {
-    /// Legal next states.
+    /// Legal next states. `Running → Accepted` is YARN's AM-retry path
+    /// (event `ATTEMPT_FAILED` with attempts remaining);
+    /// `Accepted/Running → FinalSaving → Failed` is attempt exhaustion.
     pub fn can_go(self, to: RmAppState) -> bool {
         use RmAppState::*;
         matches!(
@@ -59,6 +64,9 @@ impl RmAppState {
                 | (Running, FinalSaving)
                 | (FinalSaving, Finishing)
                 | (Finishing, Finished)
+                | (Running, Accepted)
+                | (Accepted, FinalSaving)
+                | (FinalSaving, Failed)
         )
     }
 }
@@ -76,6 +84,8 @@ pub enum RmContainerState {
     Running,
     /// Finished or released.
     Completed,
+    /// Forcibly terminated (node loss, attempt cleanup).
+    Killed,
 }
 
 impl fmt::Display for RmContainerState {
@@ -86,15 +96,22 @@ impl fmt::Display for RmContainerState {
             RmContainerState::Acquired => "ACQUIRED",
             RmContainerState::Running => "RUNNING",
             RmContainerState::Completed => "COMPLETED",
+            RmContainerState::Killed => "KILLED",
         };
         f.write_str(s)
     }
 }
 
 impl RmContainerState {
+    /// Whether the container can never run again.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, RmContainerState::Completed | RmContainerState::Killed)
+    }
+
     /// Legal next states. `Allocated → Completed` covers the
     /// never-acquired containers of the SPARK-21562 bug; `Acquired →
-    /// Completed` covers cancelled-before-running.
+    /// Completed` covers cancelled-before-running. Any live state may go
+    /// to `Killed` (node loss, failed-attempt cleanup).
     pub fn can_go(self, to: RmContainerState) -> bool {
         use RmContainerState::*;
         matches!(
@@ -105,6 +122,9 @@ impl RmContainerState {
                 | (Running, Completed)
                 | (Allocated, Completed)
                 | (Acquired, Completed)
+                | (Allocated, Killed)
+                | (Acquired, Killed)
+                | (Running, Killed)
         )
     }
 }
@@ -122,6 +142,10 @@ pub enum NmContainerState {
     Running,
     /// Process exited.
     Done,
+    /// Resource download failed.
+    LocalizationFailed,
+    /// Process exited with a non-zero code.
+    ExitedWithFailure,
 }
 
 impl fmt::Display for NmContainerState {
@@ -132,18 +156,29 @@ impl fmt::Display for NmContainerState {
             NmContainerState::Scheduled => "SCHEDULED",
             NmContainerState::Running => "RUNNING",
             NmContainerState::Done => "DONE",
+            NmContainerState::LocalizationFailed => "LOCALIZATION_FAILED",
+            NmContainerState::ExitedWithFailure => "EXITED_WITH_FAILURE",
         };
         f.write_str(s)
     }
 }
 
 impl NmContainerState {
-    /// Legal next states.
+    /// Legal next states, including the two failure exits
+    /// (`LOCALIZING → LOCALIZATION_FAILED → DONE`,
+    /// `RUNNING → EXITED_WITH_FAILURE → DONE`).
     pub fn can_go(self, to: NmContainerState) -> bool {
         use NmContainerState::*;
         matches!(
             (self, to),
-            (New, Localizing) | (Localizing, Scheduled) | (Scheduled, Running) | (Running, Done)
+            (New, Localizing)
+                | (Localizing, Scheduled)
+                | (Scheduled, Running)
+                | (Running, Done)
+                | (Localizing, LocalizationFailed)
+                | (LocalizationFailed, Done)
+                | (Running, ExitedWithFailure)
+                | (ExitedWithFailure, Done)
         )
     }
 }
@@ -279,8 +314,27 @@ mod tests {
     fn rm_app_illegal_jumps_rejected() {
         use RmAppState::*;
         assert!(!New.can_go(Running));
-        assert!(!Running.can_go(Accepted));
         assert!(!Finished.can_go(New));
+        assert!(!Failed.can_go(Accepted));
+    }
+
+    #[test]
+    fn failure_paths_are_legal() {
+        use RmAppState as A;
+        // AM retry: back to ACCEPTED; exhaustion: through FINAL_SAVING.
+        assert!(A::Running.can_go(A::Accepted));
+        assert!(A::Accepted.can_go(A::FinalSaving));
+        assert!(A::FinalSaving.can_go(A::Failed));
+        use RmContainerState as C;
+        assert!(C::Running.can_go(C::Killed));
+        assert!(C::Allocated.can_go(C::Killed));
+        assert!(!C::Killed.can_go(C::Running));
+        use NmContainerState as N;
+        assert!(N::Localizing.can_go(N::LocalizationFailed));
+        assert!(N::LocalizationFailed.can_go(N::Done));
+        assert!(N::Running.can_go(N::ExitedWithFailure));
+        assert!(N::ExitedWithFailure.can_go(N::Done));
+        assert!(!N::Scheduled.can_go(N::ExitedWithFailure));
     }
 
     #[test]

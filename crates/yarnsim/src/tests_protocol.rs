@@ -10,6 +10,7 @@ use crate::config::{ClusterConfig, ContainerRuntime, ResourceReq};
 use crate::effects::{
     AppNotice, AppSubmission, ClusterEvent, InstanceKind, LaunchSpec, LocalResource, Out,
 };
+use crate::faults::FaultConfig;
 
 /// Minimal deterministic event pump around a [`Cluster`].
 struct Pump {
@@ -719,6 +720,193 @@ fn fair_policy_equalizes_grants_across_apps() {
         fair <= fifo,
         "fair policy must not serve the small app later: fair {fair}ms vs fifo {fifo}ms"
     );
+}
+
+#[test]
+fn am_attempt_failure_retries_and_second_attempt_succeeds() {
+    // Script the AM of app 1 to fail its first attempt at launch. The RM
+    // must retry: attempt 2's AM container (…_02_000001) launches, the app
+    // registers, runs, and finishes — and every delay is no smaller than
+    // in the fault-free run.
+    fn time_to_am_up(faults: FaultConfig) -> (u64, crate::faults::FaultCounts) {
+        let cfg = ClusterConfig {
+            faults,
+            ..ClusterConfig::default()
+        };
+        let mut p = Pump::new(cfg);
+        let app = p.submit(spark_submission());
+        let AppNotice::ProcessStarted { container, .. } = p.run_until(
+            |n| {
+                matches!(
+                    n,
+                    AppNotice::ProcessStarted {
+                        kind: InstanceKind::SparkDriver,
+                        ..
+                    }
+                )
+            },
+            400_000,
+        ) else {
+            unreachable!()
+        };
+        assert!(container.is_am());
+        let up = p.now.as_u64();
+        // The app still completes normally from here.
+        p.with_cluster(|c, now, logs, out| c.am_register(now, app, logs, out));
+        p.with_cluster(|c, now, logs, out| c.finish_application(now, app, logs, out));
+        p.run_past(p.now + Millis(5_000));
+        let rm = messages_about(&p.logs, LogSource::ResourceManager, "to FINISHED");
+        assert_eq!(rm.len(), 1, "retried app must still reach FINISHED");
+        (up, p.cluster.fault_counts())
+    }
+
+    let faulty = FaultConfig {
+        scripted_am_failures: vec![(1, 1)],
+        ..FaultConfig::default()
+    };
+    let (clean_up, clean_counts) = time_to_am_up(FaultConfig::default());
+    let (retry_up, retry_counts) = time_to_am_up(faulty.clone());
+
+    assert!(!clean_counts.any());
+    assert_eq!(retry_counts.am_retries, 1);
+    assert_eq!(retry_counts.apps_failed, 0);
+    // Attempt 2 re-runs the whole submission→launch protocol, so the AM
+    // comes up strictly later than in the fault-free run (monotonicity).
+    assert!(
+        retry_up > clean_up,
+        "retry must not be faster: {retry_up} ms vs clean {clean_up} ms"
+    );
+
+    // Log evidence: the failed attempt leaves the RMAppAttemptImpl line and
+    // the second attempt's AM container id carries attempt number 2.
+    let cfg = ClusterConfig {
+        faults: faulty,
+        ..ClusterConfig::default()
+    };
+    let mut p = Pump::new(cfg);
+    let app = p.submit(spark_submission());
+    let retry = p.run_until(|n| matches!(n, AppNotice::AttemptRetry { .. }), 400_000);
+    let AppNotice::AttemptRetry { new_attempt, .. } = retry else {
+        unreachable!()
+    };
+    assert_eq!(new_attempt, 2);
+    let AppNotice::ProcessStarted { container, .. } =
+        p.run_until(|n| matches!(n, AppNotice::ProcessStarted { .. }), 400_000)
+    else {
+        unreachable!()
+    };
+    assert_eq!(container, app.attempt(2).container(1));
+    let failed_attempt = messages_about(
+        &p.logs,
+        LogSource::ResourceManager,
+        "from LAUNCHED to FAILED on event = CONTAINER_FINISHED",
+    );
+    assert_eq!(failed_attempt.len(), 1);
+    assert!(failed_attempt[0].contains(&app.attempt(1).to_string()));
+}
+
+#[test]
+fn am_attempt_exhaustion_fails_the_application() {
+    // Every localization fails: attempt 1 and attempt 2 both die, the app
+    // transitions ACCEPTED → FINAL_SAVING → FAILED.
+    let cfg = ClusterConfig {
+        faults: FaultConfig {
+            localization_failure_rate: 1.0,
+            ..FaultConfig::default()
+        },
+        ..ClusterConfig::default()
+    };
+    let mut p = Pump::new(cfg);
+    let app = p.submit(spark_submission());
+    let failed = p.run_until(|n| matches!(n, AppNotice::AppFailed { .. }), 400_000);
+    let AppNotice::AppFailed { app: napp } = failed else {
+        unreachable!()
+    };
+    assert_eq!(napp, app);
+    // The FINAL_SAVING → FAILED hop rides a scheduled store-write event.
+    p.run_past(p.now + Millis(5_000));
+    let counts = p.cluster.fault_counts();
+    assert_eq!(counts.apps_failed, 1);
+    assert_eq!(counts.am_retries, 1);
+    assert!(counts.localization_failures >= 2);
+    let rm = messages_about(&p.logs, LogSource::ResourceManager, &app.to_string());
+    assert!(rm
+        .iter()
+        .any(|m| m.contains("from ACCEPTED to FINAL_SAVING on event = ATTEMPT_FAILED")));
+    assert!(rm.iter().any(|m| m.contains("from FINAL_SAVING to FAILED")));
+    // NM-side evidence of the localizer failures.
+    let mut localizer_lines = 0;
+    for node in 0..p.cluster.node_count() {
+        localizer_lines += messages_about(
+            &p.logs,
+            LogSource::NodeManager(NodeId(node as u32)),
+            "Localizer failed",
+        )
+        .len();
+    }
+    assert!(localizer_lines >= 2);
+}
+
+#[test]
+fn node_loss_deactivates_node_and_kills_its_containers() {
+    // Single node, scripted to die at t=60s while the app runs: the RM
+    // logs the LOST transition, the NM log truncates, and the node's
+    // containers are reclaimed.
+    let cfg = ClusterConfig {
+        nodes: 1,
+        faults: FaultConfig {
+            node_loss: vec![(Millis(60_000), 0)],
+            ..FaultConfig::default()
+        },
+        ..ClusterConfig::default()
+    };
+    let mut p = Pump::new(cfg);
+    let app = p.submit(spark_submission());
+    p.run_until(|n| matches!(n, AppNotice::ProcessStarted { .. }), 400_000);
+    p.with_cluster(|c, now, logs, out| c.am_register(now, app, logs, out));
+    p.run_past(Millis(90_000));
+    let counts = p.cluster.fault_counts();
+    assert_eq!(counts.nodes_lost, 1);
+    assert!(counts.killed_by_node_loss >= 1);
+    let deactivated = messages_about(&p.logs, LogSource::ResourceManager, "as it is now LOST");
+    assert_eq!(deactivated.len(), 1);
+    // The NM's log simply stops: nothing at or after the loss instant.
+    let last_nm_ts = p
+        .logs
+        .records(LogSource::NodeManager(NodeId(0)))
+        .iter()
+        .map(|r| r.ts)
+        .max()
+        .unwrap();
+    assert!(last_nm_ts.0 <= 60_000, "NM logged after loss: {last_nm_ts}");
+}
+
+#[test]
+fn disabled_faults_leave_logs_byte_identical() {
+    // An explicitly default fault config must not perturb the simulation
+    // in any way: the logs of two runs (one constructed with the field
+    // untouched, one with FaultConfig::default() spelled out) match.
+    fn run_logs(cfg: ClusterConfig) -> Vec<String> {
+        let mut p = Pump::new(cfg);
+        let app = p.submit(spark_submission());
+        p.run_until(|n| matches!(n, AppNotice::ProcessStarted { .. }), 400_000);
+        p.with_cluster(|c, now, logs, out| c.am_register(now, app, logs, out));
+        p.with_cluster(|c, now, _l, out| {
+            c.request_containers(now, app, 4, ResourceReq::SPARK_EXECUTOR, out)
+        });
+        p.run_past(p.now + Millis(10_000));
+        let mut lines = Vec::new();
+        for r in p.logs.records(LogSource::ResourceManager) {
+            lines.push(format!("{} {}", r.ts, r.message));
+        }
+        lines
+    }
+    let a = run_logs(ClusterConfig::default());
+    let b = run_logs(ClusterConfig {
+        faults: FaultConfig::default(),
+        ..ClusterConfig::default()
+    });
+    assert_eq!(a, b);
 }
 
 #[test]
