@@ -61,7 +61,7 @@ fn main() {
     });
     bench("analyze_store", 20, || analyze_store(&logs).delays.len());
 
-    let pat = Pat::new("{} State change from {} to {} on event = {}");
+    let pat = Pat::new_static(sdchecker::schema::RM_APP_TEMPLATE);
     let msg = "application_1521018000000_0042 State change from SUBMITTED to ACCEPTED on event = APP_ACCEPTED";
     bench("pattern_match", 20, || {
         let mut n = 0usize;

@@ -23,6 +23,7 @@ pub mod format;
 pub mod ids;
 pub mod par;
 pub mod record;
+pub mod schema;
 pub mod store;
 
 pub use corrupt::{corrupt_dir, CorruptConfig, CorruptReport, Rng64};

@@ -187,9 +187,12 @@ pub fn analyze_store_with(store: &LogStore, par: Parallelism) -> Analysis {
     let per_app = par::map(par, by_app.into_iter().collect(), |(app, evs)| {
         let _span = obs::span("analyze_app").arg("app", app);
         let mut graphs = build_graphs(&evs);
+        // Partitioned events build exactly one graph; if that invariant
+        // ever breaks, analyze the app as event-free rather than abort
+        // the whole corpus (partial-decomposition semantics).
         let graph = graphs
             .remove(&app)
-            .expect("partitioned events build exactly one graph");
+            .unwrap_or_else(|| SchedulingGraph::empty(app));
         let delays = decompose(&graph);
         let unused = find_unused_containers(&graph);
         (app, graph, delays, unused)

@@ -18,7 +18,7 @@ use crate::pattern::Pat;
 /// The full RMApp state alphabet (hadoop `RMAppState`). Transitions into
 /// any of these that carry no Table-I meaning (e.g. NEW → NEW_SAVING) are
 /// *recognized* — deliberately skipped, not parse failures.
-const RM_APP_STATES: &[&str] = &[
+pub const RM_APP_STATES: &[&str] = &[
     "NEW",
     "NEW_SAVING",
     "SUBMITTED",
@@ -32,7 +32,7 @@ const RM_APP_STATES: &[&str] = &[
 ];
 
 /// The full RMContainer state alphabet (hadoop `RMContainerState`).
-const RM_CONTAINER_STATES: &[&str] = &[
+pub const RM_CONTAINER_STATES: &[&str] = &[
     "NEW",
     "ALLOCATED",
     "ACQUIRED",
@@ -42,7 +42,7 @@ const RM_CONTAINER_STATES: &[&str] = &[
 ];
 
 /// The full NM-side container state alphabet (hadoop `ContainerState`).
-const NM_CONTAINER_STATES: &[&str] = &[
+pub const NM_CONTAINER_STATES: &[&str] = &[
     "NEW",
     "LOCALIZING",
     "SCHEDULED",
@@ -174,6 +174,10 @@ impl SourceKind {
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ParseCoverage {
     per_source: BTreeMap<SourceKind, CoverageCounts>,
+    /// First unmatched message seen per family (streams are folded in
+    /// store order, so this is thread-count-independent). Feeds the
+    /// schema-drift warning's "resembles known rule X" diagnostic.
+    unmatched_examples: BTreeMap<SourceKind, String>,
 }
 
 impl ParseCoverage {
@@ -182,10 +186,24 @@ impl ParseCoverage {
         self.per_source.entry(kind).or_default().add(counts);
     }
 
+    /// Keep `message` as the family's unmatched exemplar if it is the
+    /// first one seen.
+    pub fn note_unmatched_example(&mut self, kind: SourceKind, message: String) {
+        self.unmatched_examples.entry(kind).or_insert(message);
+    }
+
+    /// The first unmatched message recorded for a family, if any.
+    pub fn unmatched_example(&self, kind: SourceKind) -> Option<&str> {
+        self.unmatched_examples.get(&kind).map(String::as_str)
+    }
+
     /// Fold another corpus' coverage in.
     pub fn merge(&mut self, other: &ParseCoverage) {
         for (kind, counts) in &other.per_source {
             self.record(*kind, *counts);
+        }
+        for (kind, msg) in &other.unmatched_examples {
+            self.note_unmatched_example(*kind, msg.clone());
         }
     }
 
@@ -259,12 +277,13 @@ impl Default for Extractor {
 }
 
 impl Extractor {
-    /// Compile the rule set.
+    /// Compile the rule set from the declarative table in
+    /// [`crate::schema`].
     pub fn new() -> Extractor {
         Extractor {
-            rm_app: Pat::new("{} State change from {} to {} on event = {}"),
-            rm_container: Pat::new("{} Container Transitioned from {} to {}"),
-            nm_container: Pat::new("Container {} transitioned from {} to {}"),
+            rm_app: Pat::new_static(crate::schema::RM_APP_TEMPLATE),
+            rm_container: Pat::new_static(crate::schema::RM_CONTAINER_TEMPLATE),
+            nm_container: Pat::new_static(crate::schema::NM_CONTAINER_TEMPLATE),
         }
     }
 
@@ -281,31 +300,54 @@ impl Extractor {
         source: LogSource,
         records: &[LogRecord],
     ) -> (Vec<SchedEvent>, CoverageCounts) {
+        let (evs, cov, _) = self.extract_stream_scan(source, records);
+        (evs, cov)
+    }
+
+    /// [`Extractor::extract_stream_counted`] plus the first *unmatched*
+    /// message of the stream — the exemplar the schema-drift warning
+    /// names a nearest known rule for.
+    pub fn extract_stream_scan(
+        &self,
+        source: LogSource,
+        records: &[LogRecord],
+    ) -> (Vec<SchedEvent>, CoverageCounts, Option<String>) {
         let mut out = Vec::new();
         let mut cov = CoverageCounts::default();
+        let mut example = None;
+        let mut tally = |cov: &mut CoverageCounts, r: &LogRecord, outcome: Outcome| {
+            if outcome == Outcome::Unmatched && example.is_none() {
+                example = Some(r.message.clone());
+            }
+            cov.tally(outcome);
+        };
         match source {
             LogSource::ResourceManager => {
                 for r in records {
-                    cov.tally(self.extract_rm(r, &mut out));
+                    let o = self.extract_rm(r, &mut out);
+                    tally(&mut cov, r, o);
                 }
             }
             LogSource::NodeManager(node) => {
                 for r in records {
-                    cov.tally(self.extract_nm(node, r, &mut out));
+                    let o = self.extract_nm(node, r, &mut out);
+                    tally(&mut cov, r, o);
                 }
             }
             LogSource::Driver(app) => {
                 for (i, r) in records.iter().enumerate() {
-                    cov.tally(self.extract_driver(app, i == 0, r, &mut out));
+                    let o = self.extract_driver(app, i == 0, r, &mut out);
+                    tally(&mut cov, r, o);
                 }
             }
             LogSource::Executor(cid) => {
                 for (i, r) in records.iter().enumerate() {
-                    cov.tally(self.extract_executor(cid, i == 0, r, &mut out));
+                    let o = self.extract_executor(cid, i == 0, r, &mut out);
+                    tally(&mut cov, r, o);
                 }
             }
         }
-        (out, cov)
+        (out, cov, example)
     }
 
     fn extract_rm(&self, r: &LogRecord, out: &mut Vec<SchedEvent>) -> Outcome {
@@ -422,11 +464,14 @@ impl Extractor {
                 source: src,
             });
         }
-        let kind = if r.message.starts_with("Registered with ResourceManager") {
+        let kind = if r
+            .message
+            .starts_with(crate::schema::DRIVER_REGISTERED_PREFIX)
+        {
             EventKind::DriverRegistered
-        } else if r.message.starts_with("START_ALLO") {
+        } else if r.message.starts_with(crate::schema::START_ALLO_PREFIX) {
             EventKind::StartAllo
-        } else if r.message.starts_with("END_ALLO") {
+        } else if r.message.starts_with(crate::schema::END_ALLO_PREFIX) {
             EventKind::EndAllo
         } else {
             return if is_first {
@@ -464,7 +509,7 @@ impl Extractor {
                 source: src,
             });
         }
-        if r.message.starts_with("Got assigned task") {
+        if r.message.starts_with(crate::schema::TASK_ASSIGNED_PREFIX) {
             out.push(SchedEvent {
                 ts: r.ts,
                 kind: EventKind::TaskAssigned,
@@ -513,20 +558,23 @@ pub fn extract_all_cov_with(
     let _span = obs::span("extract");
     let ex = Extractor::new();
     let sources: Vec<LogSource> = store.sources().collect();
-    let per_stream: Vec<(SourceKind, Vec<SchedEvent>, CoverageCounts)> =
-        logmodel::par::map(par, sources, |src| {
-            let span = obs::span("extract_stream").arg("source", src.rel_path());
-            let (mut evs, cov) = ex.extract_stream_counted(src, store.records(src));
-            evs.sort_by_key(|e| e.ts); // stable; no-op on time-ordered streams
-            if span.is_active() {
-                flush_stream_metrics(src, &evs, cov);
-            }
-            (SourceKind::of(src), evs, cov)
-        });
+    type StreamScan = (SourceKind, Vec<SchedEvent>, CoverageCounts, Option<String>);
+    let per_stream: Vec<StreamScan> = logmodel::par::map(par, sources, |src| {
+        let span = obs::span("extract_stream").arg("source", src.rel_path());
+        let (mut evs, cov, example) = ex.extract_stream_scan(src, store.records(src));
+        evs.sort_by_key(|e| e.ts); // stable; no-op on time-ordered streams
+        if span.is_active() {
+            flush_stream_metrics(src, &evs, cov);
+        }
+        (SourceKind::of(src), evs, cov, example)
+    });
     let mut coverage = ParseCoverage::default();
     let mut streams = Vec::with_capacity(per_stream.len());
-    for (kind, evs, cov) in per_stream {
+    for (kind, evs, cov, example) in per_stream {
         coverage.record(kind, cov);
+        if let Some(msg) = example {
+            coverage.note_unmatched_example(kind, msg);
+        }
         streams.push(evs);
     }
     (merge_sorted_streams(streams), coverage)
@@ -596,7 +644,10 @@ fn merge_sorted_streams(streams: Vec<Vec<SchedEvent>>) -> Vec<SchedEvent> {
         heads.push(head);
     }
     while let Some(Reverse((_, i))) = heap.pop() {
-        let ev = heads[i].take().expect("heap entry without a head");
+        let Some(ev) = heads[i].take() else {
+            debug_assert!(false, "heap entry without a head");
+            continue;
+        };
         out.push(ev);
         heads[i] = iters[i].next();
         if let Some(next) = &heads[i] {
@@ -631,7 +682,7 @@ pub fn extract_app_names_with(
     par: Parallelism,
 ) -> std::collections::BTreeMap<ApplicationId, String> {
     let _span = obs::span("extract_app_names");
-    let spark = Pat::new("Starting ApplicationMaster for {}");
+    let spark = Pat::new_static(crate::schema::SPARK_APP_NAME_TEMPLATE);
     let drivers: Vec<ApplicationId> = store
         .sources()
         .filter_map(|src| match src {

@@ -55,6 +55,16 @@ pub struct SchedulingGraph {
 }
 
 impl SchedulingGraph {
+    /// An event-free graph for `app` — the graceful-degradation target
+    /// when an application contributed no usable events.
+    pub fn empty(app: ApplicationId) -> SchedulingGraph {
+        SchedulingGraph {
+            app,
+            app_events: Vec::new(),
+            containers: BTreeMap::new(),
+        }
+    }
+
     /// First occurrence of an app-scoped `kind`.
     pub fn first(&self, kind: EventKind) -> Option<TsMs> {
         self.app_events

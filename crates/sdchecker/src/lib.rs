@@ -52,6 +52,7 @@ pub mod graph;
 pub mod nodes;
 pub mod pattern;
 pub mod report;
+pub mod schema;
 pub mod stats;
 pub mod throughput;
 pub mod timeline;

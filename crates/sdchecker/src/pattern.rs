@@ -11,7 +11,7 @@
 
 /// A compiled pattern: literal segments with `{}` capture holes between
 /// them.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Pat {
     /// Literal segments; captures sit between consecutive segments.
     segments: Vec<String>,
@@ -21,16 +21,42 @@ pub struct Pat {
     trailing_capture: bool,
 }
 
+/// Why a pattern failed to compile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatError {
+    /// The pattern contains adjacent captures (`"{}{}"` anywhere,
+    /// including at the very start or end), which cannot be delimited.
+    AdjacentCaptures {
+        /// The offending pattern text.
+        pattern: String,
+    },
+}
+
+impl std::fmt::Display for PatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PatError::AdjacentCaptures { pattern } => {
+                write!(f, "adjacent captures in pattern {pattern:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PatError {}
+
 impl Pat {
     /// Compile a pattern. `{}` marks a capture; everything else is
-    /// matched literally. Adjacent captures (`"{}{}"`) are rejected
-    /// because they cannot be delimited.
-    pub fn new(pattern: &str) -> Pat {
+    /// matched literally. Adjacent captures are rejected because they
+    /// cannot be delimited; two captures are adjacent exactly when the
+    /// pattern contains the substring `"{}{}"`, so the check is
+    /// position-independent (start, interior, and end alike).
+    pub fn new(pattern: &str) -> Result<Pat, PatError> {
+        if pattern.contains("{}{}") {
+            return Err(PatError::AdjacentCaptures {
+                pattern: pattern.to_string(),
+            });
+        }
         let parts: Vec<&str> = pattern.split("{}").collect();
-        assert!(
-            parts.iter().skip(1).rev().skip(1).all(|p| !p.is_empty()),
-            "adjacent captures in pattern {pattern:?}"
-        );
         let leading_capture = parts.first().is_some_and(|p| p.is_empty()) && parts.len() > 1;
         let trailing_capture = parts.last().is_some_and(|p| p.is_empty()) && parts.len() > 1;
         let segments = parts
@@ -38,11 +64,46 @@ impl Pat {
             .filter(|p| !p.is_empty())
             .map(str::to_string)
             .collect();
-        Pat {
+        Ok(Pat {
             segments,
             leading_capture,
             trailing_capture,
+        })
+    }
+
+    /// Compile a pattern known valid at authoring time (the declarative
+    /// tables in [`crate::schema`]). Panics on an invalid pattern — the
+    /// one deliberate panic site in this crate, covered by `sdlint`'s
+    /// allowlist and exercised against every table entry in tests.
+    pub fn new_static(pattern: &'static str) -> Pat {
+        match Pat::new(pattern) {
+            Ok(p) => p,
+            Err(e) => panic!("static pattern table entry invalid: {e}"),
         }
+    }
+
+    /// Substitute `caps` into the pattern's holes, producing the exact
+    /// text [`Pat::match_str`] would capture them back out of. Returns
+    /// `None` on arity mismatch.
+    pub fn render(&self, caps: &[&str]) -> Option<String> {
+        if caps.len() != self.captures() {
+            return None;
+        }
+        let mut caps = caps.iter();
+        let mut out = String::new();
+        if self.leading_capture || (self.segments.is_empty() && self.trailing_capture) {
+            out.push_str(caps.next()?);
+        }
+        for (i, seg) in self.segments.iter().enumerate() {
+            if i > 0 {
+                out.push_str(caps.next()?);
+            }
+            out.push_str(seg);
+        }
+        if self.trailing_capture && !self.segments.is_empty() {
+            out.push_str(caps.next()?);
+        }
+        Some(out)
     }
 
     /// Number of captures this pattern produces.
@@ -112,7 +173,7 @@ mod tests {
 
     #[test]
     fn literal_only() {
-        let p = Pat::new("exact text");
+        let p = Pat::new("exact text").unwrap();
         assert_eq!(p.captures(), 0);
         assert_eq!(p.match_str("exact text"), Some(vec![]));
         assert_eq!(p.match_str("exact text!"), None);
@@ -121,7 +182,7 @@ mod tests {
 
     #[test]
     fn single_capture_middle() {
-        let p = Pat::new("from {} to SCHEDULED");
+        let p = Pat::new("from {} to SCHEDULED").unwrap();
         assert_eq!(p.captures(), 1);
         assert_eq!(
             p.match_str("from LOCALIZING to SCHEDULED"),
@@ -132,7 +193,7 @@ mod tests {
 
     #[test]
     fn multi_capture_container_transition() {
-        let p = Pat::new("Container {} transitioned from {} to {}");
+        let p = Pat::new("Container {} transitioned from {} to {}").unwrap();
         let caps = p
             .match_str("Container container_1_0001_01_000002 transitioned from NEW to LOCALIZING")
             .unwrap();
@@ -144,7 +205,7 @@ mod tests {
 
     #[test]
     fn rm_app_state_change() {
-        let p = Pat::new("{} State change from {} to {} on event = {}");
+        let p = Pat::new("{} State change from {} to {} on event = {}").unwrap();
         let caps = p
             .match_str("application_1_0001 State change from SUBMITTED to ACCEPTED on event = APP_ACCEPTED")
             .unwrap();
@@ -161,7 +222,7 @@ mod tests {
 
     #[test]
     fn leading_and_trailing_captures() {
-        let p = Pat::new("{} middle {}");
+        let p = Pat::new("{} middle {}").unwrap();
         assert_eq!(p.captures(), 2);
         assert_eq!(p.match_str("a middle b"), Some(vec!["a", "b"]));
         assert_eq!(p.match_str(" middle "), Some(vec!["", ""]));
@@ -169,7 +230,7 @@ mod tests {
 
     #[test]
     fn whole_capture() {
-        let p = Pat::new("{}");
+        let p = Pat::new("{}").unwrap();
         assert_eq!(
             p.match_str("anything at all"),
             Some(vec!["anything at all"])
@@ -178,27 +239,63 @@ mod tests {
 
     #[test]
     fn non_greedy_takes_first_delimiter() {
-        let p = Pat::new("a {} b {}");
+        let p = Pat::new("a {} b {}").unwrap();
         // The first capture stops at the first " b ".
         assert_eq!(p.match_str("a x b y b z"), Some(vec!["x", "y b z"]));
     }
 
     #[test]
     fn anchored_at_start() {
-        let p = Pat::new("START_ALLO Requesting {} executor containers");
+        let p = Pat::new("START_ALLO Requesting {} executor containers").unwrap();
         assert!(p.is_match("START_ALLO Requesting 4 executor containers"));
         assert!(!p.is_match("xx START_ALLO Requesting 4 executor containers"));
     }
 
     #[test]
-    #[should_panic(expected = "adjacent captures")]
-    fn adjacent_captures_rejected() {
-        Pat::new("a {}{} b");
+    fn adjacent_captures_rejected_everywhere() {
+        // Interior, start, end, and bare — every placement is an error.
+        for bad in ["a {}{} b", "{}{} b", "a {}{}", "{}{}", "a {}{}{} b"] {
+            assert_eq!(
+                Pat::new(bad),
+                Err(PatError::AdjacentCaptures {
+                    pattern: bad.to_string()
+                }),
+                "{bad:?} must be rejected"
+            );
+        }
+        let err = Pat::new("{}{}").unwrap_err();
+        assert!(err.to_string().contains("adjacent captures"));
+    }
+
+    #[test]
+    #[should_panic(expected = "static pattern table entry invalid")]
+    fn new_static_panics_on_bad_pattern() {
+        Pat::new_static("{}{}");
+    }
+
+    #[test]
+    fn render_round_trips() {
+        let p = Pat::new("Container {} transitioned from {} to {}").unwrap();
+        let text = p.render(&["c_1", "NEW", "LOCALIZING"]).unwrap();
+        assert_eq!(text, "Container c_1 transitioned from NEW to LOCALIZING");
+        assert_eq!(
+            p.match_str(&text).unwrap(),
+            vec!["c_1", "NEW", "LOCALIZING"]
+        );
+        // Arity mismatch refuses to render.
+        assert_eq!(p.render(&["c_1"]), None);
+        // Leading/trailing captures and the bare-capture pattern.
+        let lt = Pat::new("{} mid {}").unwrap();
+        assert_eq!(lt.render(&["a", "b"]).unwrap(), "a mid b");
+        let whole = Pat::new("{}").unwrap();
+        assert_eq!(whole.render(&["everything"]).unwrap(), "everything");
+        let lit = Pat::new("no holes").unwrap();
+        assert_eq!(lit.render(&[]).unwrap(), "no holes");
     }
 
     #[test]
     fn empty_pattern_matches_empty() {
-        let p = Pat::new("");
+        let p = Pat::new("").unwrap();
         assert_eq!(p.match_str(""), Some(vec![]));
         assert_eq!(p.match_str("x"), None);
     }

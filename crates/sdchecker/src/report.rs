@@ -162,7 +162,10 @@ pub fn cdf_table(samples: &[(&str, Vec<u64>)], quantiles: &[f64]) -> Table {
         }
         let mut row = vec![label.to_string()];
         for q in quantiles {
-            row.push(secs(cdf.quantile(*q).unwrap()));
+            match cdf.quantile(*q) {
+                Some(v) => row.push(secs(v)),
+                None => row.push("-".to_string()),
+            }
         }
         t.row(row);
     }

@@ -33,7 +33,7 @@ impl Summary {
             return None;
         }
         let mut sorted: Vec<f64> = values.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         let n = sorted.len();
         let mean = sorted.iter().sum::<f64>() / n as f64;
         let var = sorted.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
@@ -77,7 +77,7 @@ pub fn percentile(values: &[f64], q: f64) -> Option<f64> {
         return None;
     }
     let mut sorted: Vec<f64> = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     Some(percentile_sorted(&sorted, q))
 }
 
@@ -92,7 +92,7 @@ impl Cdf {
     /// Build from a sample.
     pub fn from(values: &[f64]) -> Cdf {
         let mut v = values.to_vec();
-        v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+        v.sort_by(|a, b| a.total_cmp(b));
         Cdf { values: v }
     }
 

@@ -36,7 +36,8 @@ pub fn allocation_throughput(events: &[SchedEvent], window_ms: u64) -> Throughpu
             window_ms,
         };
     }
-    let span_ms = times.last().unwrap().since(times[0]).max(1);
+    let last = times.last().copied().unwrap_or(times[0]);
+    let span_ms = last.since(times[0]).max(1);
     let mean_per_sec = total as f64 * 1000.0 / span_ms as f64;
 
     // Sliding window: two pointers over the sorted timestamps.

@@ -210,14 +210,30 @@ pub fn coverage_warnings(cov: &ParseCoverage) -> Vec<String> {
         }
         let c = cov.get(kind);
         if c.unmatched > 0 {
-            out.push(format!(
+            let mut warning = format!(
                 "coverage warning: {} understood {:.1}% of scheduling-relevant lines \
                  ({} unmatched of {}) — extraction rules may be out of date",
                 kind.name(),
                 100.0 * c.coverage(),
                 c.unmatched,
                 c.matched + c.unmatched + c.anomalous,
-            ));
+            );
+            // Name the known rule the drifted lines most resemble, so the
+            // report says *which* message shape changed, not just that
+            // something did.
+            if let Some(example) = cov.unmatched_example(kind) {
+                match crate::schema::closest_pattern(example) {
+                    Some((rule, score)) if score >= 0.5 => {
+                        warning.push_str(&format!(
+                            "; e.g. {example:?} resembles rule `{}` ({})",
+                            rule.name,
+                            rule.kind_text(),
+                        ));
+                    }
+                    _ => warning.push_str(&format!("; e.g. {example:?} resembles no known rule")),
+                }
+            }
+            out.push(warning);
         }
         if c.anomalous > 0 {
             out.push(format!(
@@ -389,6 +405,50 @@ mod tests {
         );
         assert!(coverage_warnings(&clean).is_empty());
         assert!(coverage_warnings(&ParseCoverage::default()).is_empty());
+    }
+
+    #[test]
+    fn drift_warning_names_the_nearest_rule() {
+        use crate::extract::CoverageCounts;
+        let mut cov = ParseCoverage::default();
+        cov.record(
+            SourceKind::ResourceManager,
+            CoverageCounts {
+                matched: 9,
+                unmatched: 1,
+                anomalous: 0,
+                ignored: 0,
+            },
+        );
+        cov.note_unmatched_example(
+            SourceKind::ResourceManager,
+            "app_1 State change from ACCEPTED to WAITING on event = APP_PAUSED".to_string(),
+        );
+        let warnings = coverage_warnings(&cov);
+        assert_eq!(warnings.len(), 1, "{warnings:?}");
+        assert!(
+            warnings[0].contains("resembles rule `rm_app_transition`"),
+            "{warnings:?}"
+        );
+        assert!(warnings[0].contains("WAITING"), "{warnings:?}");
+
+        // An example resembling nothing says so instead of guessing.
+        let mut far = ParseCoverage::default();
+        far.record(
+            SourceKind::NodeManager,
+            CoverageCounts {
+                matched: 1,
+                unmatched: 1,
+                anomalous: 0,
+                ignored: 0,
+            },
+        );
+        far.note_unmatched_example(SourceKind::NodeManager, "gibberish".to_string());
+        let warnings = coverage_warnings(&far);
+        assert!(
+            warnings[0].contains("resembles no known rule"),
+            "{warnings:?}"
+        );
     }
 
     #[test]

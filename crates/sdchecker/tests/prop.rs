@@ -47,7 +47,7 @@ fn pattern_recovers_captures() {
                 text.push_str(&caps[i]);
             }
         }
-        let pat = Pat::new(&pattern);
+        let pat = Pat::new(&pattern).unwrap();
         let got = pat.match_str(&text);
         assert_eq!(
             got,

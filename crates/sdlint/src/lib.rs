@@ -1,0 +1,93 @@
+//! # sdlint — static verification of the emitter↔parser contract
+//!
+//! SDchecker's premise is that scheduler logs are a reliable mirror of
+//! the state machines that emit them (paper §III-A / Table I). That only
+//! holds while the simulator's emitted message vocabulary and the
+//! analyzer's extraction rules agree — an agreement that used to be
+//! implicit and only falsifiable at runtime, when some corpus happened to
+//! exercise a drifted template.
+//!
+//! `sdlint` makes the contract machine-checked, with three checkers:
+//!
+//! * [`conformance`] — cross-checks the emitted-template tables
+//!   (`yarnsim::schema`, `sparksim::schema`) against the extraction-rule
+//!   table (`sdchecker::schema`): every scheduling-relevant template must
+//!   be matched by exactly one rule (no misses, no shadowing), noise must
+//!   be matched by none, and every rule must have an emitter or an
+//!   explicit `external_only` annotation.
+//! * [`machines`] + [`modelcheck`] — verifies the reified state machines
+//!   (reachability, dead-ends, terminal exits) and model-checks small
+//!   simulated configurations end to end: per-entity transition chains,
+//!   monotone timestamps, and critical-path tiling.
+//! * [`panics`] — a source-scanning audit denying `unwrap`/`expect`/
+//!   `panic!` in library code outside tests and `debug_assert`-gated
+//!   paths, with an explicit burn-down allowlist.
+//!
+//! Run it as `cargo run -p sdlint` (CI gate), or via the test suite
+//! (`cargo test -p sdlint`), which additionally mutation-tests the
+//! checkers themselves.
+
+pub mod conformance;
+pub mod machines;
+pub mod modelcheck;
+pub mod panics;
+
+/// One verification failure. `sdlint` reports findings; it never panics
+/// (it has to pass its own audit).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Which checker produced it (`conformance`, `machines`,
+    /// `modelcheck`, `panics`).
+    pub checker: &'static str,
+    /// Human-readable diagnostic, naming the offending template/rule/
+    /// file and — where applicable — the closest near-miss.
+    pub message: String,
+}
+
+impl Finding {
+    /// Build a finding.
+    pub fn new(checker: &'static str, message: impl Into<String>) -> Finding {
+        Finding {
+            checker,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.checker, self.message)
+    }
+}
+
+/// The full emitted-template inventory: cluster half plus application
+/// half.
+pub fn all_emitted_templates() -> Vec<logmodel::schema::MsgTemplate> {
+    let mut out = Vec::new();
+    out.extend_from_slice(yarnsim::schema::emitted_templates());
+    out.extend_from_slice(sparksim::schema::emitted_templates());
+    out
+}
+
+/// Run every checker against the real tables and the repository rooted
+/// at `repo_root` (the panic audit reads sources from disk; the other
+/// checkers are pure).
+pub fn run_all(repo_root: &std::path::Path) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    findings.extend(conformance::check(
+        &all_emitted_templates(),
+        sdchecker::schema::patterns(),
+    ));
+    findings.extend(machines::check(&yarnsim::schema::machines()));
+    findings.extend(modelcheck::check());
+    findings.extend(panics::check(repo_root));
+    findings
+}
+
+/// The repository root when running from a workspace checkout
+/// (`crates/sdlint` → two levels up).
+pub fn default_repo_root() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+}

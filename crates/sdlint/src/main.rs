@@ -1,0 +1,15 @@
+//! CLI entry point: run every checker and exit nonzero on any finding.
+
+fn main() {
+    let root = sdlint::default_repo_root();
+    let findings = sdlint::run_all(&root);
+    if findings.is_empty() {
+        println!("sdlint: all checks passed (conformance, machines, modelcheck, panics)");
+        return;
+    }
+    eprintln!("sdlint: {} finding(s)", findings.len());
+    for f in &findings {
+        eprintln!("  {f}");
+    }
+    std::process::exit(1);
+}

@@ -1,0 +1,329 @@
+//! Checker 3: panic/invariant audit.
+//!
+//! Scans every library source file under `crates/*/src` and denies
+//! `unwrap`/`expect`/`panic!` (and friends) outside tests,
+//! `debug_assert`-gated lines, and binaries. Remaining sites live in
+//! `crates/sdlint/allowlist.txt` as a two-way ratchet: going over the
+//! allowed count is a violation, and burning a site down without
+//! shrinking the allowlist is flagged too, so the budget only moves
+//! deliberately.
+//!
+//! This is a std-only textual scan, not a parse: `#[cfg(test)] mod`
+//! blocks are stripped by brace matching, files pulled in via
+//! `#[cfg(test)] mod name;` are skipped entirely, and comment-only
+//! lines are ignored. That is deliberately conservative — string
+//! literals containing a needle count against the file, which keeps
+//! the scanner simple and the failure mode noisy rather than silent.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::Finding;
+
+const CHECKER: &str = "panics";
+
+/// The denied constructs. Assembled at runtime so this file does not
+/// flag itself.
+fn needles() -> Vec<String> {
+    let bang = "!(";
+    vec![
+        format!(".{}()", "unwrap"),
+        format!(".{}(", "expect"),
+        format!("{}{bang}", "panic"),
+        format!("{}{bang}", "unreachable"),
+        format!("{}{bang}", "todo"),
+        format!("{}{bang}", "unimplemented"),
+    ]
+}
+
+/// Strip `#[cfg(test)] mod ... { ... }` blocks from `source` by brace
+/// matching, and collect the names of `#[cfg(test)] mod name;` file
+/// references so the caller can skip those files.
+fn strip_test_blocks(source: &str) -> (String, Vec<String>) {
+    let mut out = String::with_capacity(source.len());
+    let mut test_mod_files = Vec::new();
+    let mut lines = source.lines().peekable();
+    while let Some(line) = lines.next() {
+        if line.trim_start().starts_with("#[cfg(test)]") {
+            // The attribute may gate a `mod x;` (external file), a
+            // `mod x { ... }` block, or a single item; consume
+            // accordingly.
+            let Some(next) = lines.peek() else { break };
+            let trimmed = next.trim_start();
+            if trimmed.starts_with("mod ") && trimmed.trim_end().ends_with(';') {
+                let name = trimmed
+                    .trim_end()
+                    .trim_end_matches(';')
+                    .trim_start_matches("mod ")
+                    .trim();
+                test_mod_files.push(format!("{name}.rs"));
+                lines.next();
+                continue;
+            }
+            // Block or item: swallow lines until braces balance. Depth
+            // only starts counting once the first `{` appears, so a
+            // one-line gated item without braces is consumed as-is.
+            let mut depth: i64 = 0;
+            let mut opened = false;
+            for body in lines.by_ref() {
+                for ch in body.chars() {
+                    match ch {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                if opened && depth <= 0 {
+                    break;
+                }
+                if !opened {
+                    break;
+                }
+            }
+            continue;
+        }
+        out.push_str(line);
+        out.push('\n');
+    }
+    (out, test_mod_files)
+}
+
+/// Count denied sites in one file's (already test-stripped) source.
+fn count_sites(source: &str, needles: &[String]) -> usize {
+    let mut count = 0;
+    for line in source.lines() {
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("//") || trimmed.contains("debug_assert") {
+            continue;
+        }
+        for n in needles {
+            count += line.matches(n.as_str()).count();
+        }
+    }
+    count
+}
+
+/// Recursively collect library `.rs` files under `dir`, skipping `bin/`
+/// directories, `main.rs`, and any file named in a `#[cfg(test)] mod`
+/// reference discovered so far (second pass filters those).
+fn collect_rs_files(dir: &Path, out: &mut Vec<std::path::PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "bin" {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") && name != "main.rs" {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Parse `allowlist.txt`: `<repo-relative path> <count>` per line, `#`
+/// comments and blank lines ignored.
+fn parse_allowlist(text: &str) -> Result<BTreeMap<String, usize>, String> {
+    let mut out = BTreeMap::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(path), Some(count)) = (parts.next(), parts.next()) else {
+            return Err(format!(
+                "allowlist line {}: expected `<path> <count>`",
+                i + 1
+            ));
+        };
+        let count: usize = count
+            .parse()
+            .map_err(|_| format!("allowlist line {}: bad count {count:?}", i + 1))?;
+        out.insert(path.to_string(), count);
+    }
+    Ok(out)
+}
+
+/// Audit panic sites across the workspace rooted at `repo_root`.
+pub fn check(repo_root: &Path) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let needles = needles();
+
+    let allowlist_path = repo_root.join("crates/sdlint/allowlist.txt");
+    let allowlist = match std::fs::read_to_string(&allowlist_path) {
+        Ok(text) => match parse_allowlist(&text) {
+            Ok(a) => a,
+            Err(e) => {
+                findings.push(Finding::new(CHECKER, e));
+                return findings;
+            }
+        },
+        Err(e) => {
+            findings.push(Finding::new(
+                CHECKER,
+                format!("cannot read {}: {e}", allowlist_path.display()),
+            ));
+            return findings;
+        }
+    };
+
+    let crates_dir = repo_root.join("crates");
+    let mut crate_dirs: Vec<_> = match std::fs::read_dir(&crates_dir) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect(),
+        Err(e) => {
+            findings.push(Finding::new(
+                CHECKER,
+                format!("cannot read {}: {e}", crates_dir.display()),
+            ));
+            return findings;
+        }
+    };
+    crate_dirs.sort();
+
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+    for crate_dir in &crate_dirs {
+        let src = crate_dir.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        if let Err(e) = collect_rs_files(&src, &mut files) {
+            findings.push(Finding::new(
+                CHECKER,
+                format!("cannot walk {}: {e}", src.display()),
+            ));
+            continue;
+        }
+        files.sort();
+        // First pass: find files that are test-only (`#[cfg(test)] mod x;`).
+        let mut stripped: Vec<(std::path::PathBuf, String)> = Vec::new();
+        let mut test_files: Vec<String> = Vec::new();
+        for f in &files {
+            match std::fs::read_to_string(f) {
+                Ok(text) => {
+                    let (body, mods) = strip_test_blocks(&text);
+                    test_files.extend(mods);
+                    stripped.push((f.clone(), body));
+                }
+                Err(e) => findings.push(Finding::new(
+                    CHECKER,
+                    format!("cannot read {}: {e}", f.display()),
+                )),
+            }
+        }
+        for (f, body) in stripped {
+            let fname = f
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            if test_files.contains(&fname) {
+                continue;
+            }
+            let n = count_sites(&body, &needles);
+            if n > 0 {
+                let rel = f
+                    .strip_prefix(repo_root)
+                    .unwrap_or(&f)
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                *counts.entry(rel).or_default() += n;
+            }
+        }
+    }
+
+    // Two-way ratchet against the allowlist.
+    for (file, found) in &counts {
+        let allowed = allowlist.get(file).copied().unwrap_or(0);
+        if *found > allowed {
+            findings.push(Finding::new(
+                CHECKER,
+                format!(
+                    "{file}: {found} panic sites (unwrap/expect/panic!/unreachable!/\
+                     todo!/unimplemented!) but allowlist permits {allowed} — \
+                     handle the error or raise the budget in crates/sdlint/allowlist.txt"
+                ),
+            ));
+        } else if *found < allowed {
+            findings.push(Finding::new(
+                CHECKER,
+                format!(
+                    "{file}: allowlist permits {allowed} panic sites but only {found} \
+                     remain — ratchet crates/sdlint/allowlist.txt down so the \
+                     burn-down sticks"
+                ),
+            ));
+        }
+    }
+    for (file, allowed) in &allowlist {
+        if !counts.contains_key(file) {
+            findings.push(Finding::new(
+                CHECKER,
+                format!(
+                    "{file}: allowlisted for {allowed} panic sites but none found \
+                     (file clean or gone) — remove the stale allowlist entry"
+                ),
+            ));
+        }
+    }
+
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repo_passes_audit() {
+        let findings = check(&crate::default_repo_root());
+        assert!(findings.is_empty(), "{findings:#?}");
+    }
+
+    #[test]
+    fn test_blocks_are_stripped() {
+        let src =
+            "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() { x.unwrap(); }\n}\nfn c() {}\n";
+        let (body, mods) = strip_test_blocks(src);
+        assert!(mods.is_empty());
+        assert!(body.contains("fn a()"));
+        assert!(body.contains("fn c()"));
+        assert_eq!(count_sites(&body, &needles()), 0);
+    }
+
+    #[test]
+    fn test_mod_file_refs_are_collected() {
+        let src = "mod real;\n#[cfg(test)]\nmod tests_protocol;\n";
+        let (_, mods) = strip_test_blocks(src);
+        assert_eq!(mods, vec!["tests_protocol.rs".to_string()]);
+    }
+
+    #[test]
+    fn denied_sites_are_counted() {
+        let needles = needles();
+        let src = format!(
+            "let a = x.{}();\n// x.{}();\ndebug_assert!(y.{}() > 0);\n",
+            "unwrap", "unwrap", "unwrap"
+        );
+        assert_eq!(count_sites(&src, &needles), 1);
+    }
+
+    #[test]
+    fn allowlist_parses_and_rejects_garbage() {
+        let good = "# comment\ncrates/a/src/lib.rs 3\n\ncrates/b/src/x.rs 0\n";
+        let map = parse_allowlist(good).unwrap();
+        assert_eq!(map.get("crates/a/src/lib.rs"), Some(&3));
+        assert!(parse_allowlist("crates/a/src/lib.rs notanumber").is_err());
+        assert!(parse_allowlist("just-a-path").is_err());
+    }
+}

@@ -1,0 +1,158 @@
+//! Mutation tests: prove the checkers actually detect drift.
+//!
+//! Each test takes the *real* tables, breaks exactly one thing the way a
+//! careless edit would, and asserts the checker produces a finding that
+//! names the broken template/rule and points at the nearest match —
+//! i.e. the diagnostic a developer would need to fix the drift.
+
+use logmodel::schema::MsgTemplate;
+use sdlint::{conformance, machines};
+
+/// The real tables produce zero findings — the merge gate.
+#[test]
+fn repo_is_clean() {
+    let findings = sdlint::run_all(&sdlint::default_repo_root());
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+fn mutate_template(name: &str, f: impl FnOnce(&mut MsgTemplate)) -> Vec<MsgTemplate> {
+    let mut templates = sdlint::all_emitted_templates();
+    let t = templates
+        .iter_mut()
+        .find(|t| t.name == name)
+        .unwrap_or_else(|| panic!("no template named {name}"));
+    f(t);
+    templates
+}
+
+/// Breaking one word of an emitted message template must fail
+/// conformance with a diagnostic naming the template AND the nearest
+/// extraction rule.
+#[test]
+fn broken_template_names_template_and_nearest_rule() {
+    // The careless edit: "State change" becomes "Statechange" in the
+    // RM app emitter. Byte-for-byte the extractor no longer matches.
+    let templates = mutate_template("rm_app_state_change", |t| {
+        t.template = "{} Statechange from {} to {} on event = {}";
+    });
+    let findings = conformance::check(&templates, sdchecker::schema::patterns());
+    assert!(!findings.is_empty(), "mutation went undetected");
+    let f = &findings[0];
+    assert!(
+        f.message.contains("rm_app_state_change"),
+        "diagnostic must name the broken template: {f}"
+    );
+    assert!(
+        f.message.contains("rm_app_transition"),
+        "diagnostic must name the nearest extraction rule: {f}"
+    );
+    assert!(
+        f.message.contains("affinity"),
+        "diagnostic must quantify the near-miss: {f}"
+    );
+}
+
+/// Mislabeling noise as an Event (an emitter the extractor was never
+/// taught) is caught, with the source file in the diagnostic.
+#[test]
+fn unparsed_event_template_is_caught() {
+    let templates = mutate_template("rm_node_lost", |t| {
+        t.disposition = logmodel::schema::Disposition::Event;
+    });
+    let findings = conformance::check(&templates, sdchecker::schema::patterns());
+    assert!(
+        findings.iter().any(|f| f.message.contains("rm_node_lost")
+            && f.message.contains("matches no extraction rule")
+            && f.message.contains(t_file("rm_node_lost"))),
+        "{findings:#?}"
+    );
+}
+
+/// A template drifting into another rule's shape (shadowing) is caught
+/// as ambiguity.
+#[test]
+fn shadowed_template_is_caught() {
+    // Make the RM app emitter produce container-transition-shaped text
+    // under the container class: now two container entities log the
+    // same shape and the rule table cannot say which rule wins.
+    let templates = mutate_template("rm_app_state_change", |t| {
+        t.class = "RMContainerImpl";
+        t.template = "{} Container Transitioned from {} to {}";
+    });
+    let findings = conformance::check(&templates, sdchecker::schema::patterns());
+    // Not ambiguous per se (one rule fires) — but the app-transition
+    // rule has lost its emitter, which the reverse direction reports.
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.message.contains("rm_app_transition") && f.message.contains("no emitter")),
+        "{findings:#?}"
+    );
+}
+
+/// A rule with no emitter and no `external_only` annotation is dead
+/// weight and flagged.
+#[test]
+fn dead_rule_is_caught() {
+    let mut templates = sdlint::all_emitted_templates();
+    templates.retain(|t| t.name != "spark_task_assigned");
+    let findings = conformance::check(&templates, sdchecker::schema::patterns());
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.message.contains("task_assigned") && f.message.contains("no emitter")),
+        "{findings:#?}"
+    );
+}
+
+/// Cutting a transition edge strands downstream states — the machine
+/// checker must name the stranded state.
+#[test]
+fn stranded_state_is_caught() {
+    let mut specs = yarnsim::schema::machines();
+    let m = specs
+        .iter_mut()
+        .find(|m| m.name == "RMContainerImpl")
+        .expect("RMContainerImpl spec");
+    let running = m.index_of("RUNNING").expect("RUNNING state");
+    for row in &mut m.can_go {
+        row[running] = false;
+    }
+    let findings = machines::check(&specs);
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.message.contains("RMContainerImpl")
+                && f.message.contains("RUNNING")
+                && f.message.contains("unreachable")),
+        "{findings:#?}"
+    );
+}
+
+/// A state escaping the extractor's alphabet is flagged before any log
+/// is ever parsed.
+#[test]
+fn out_of_alphabet_state_is_caught() {
+    let mut specs = yarnsim::schema::machines();
+    let m = specs
+        .iter_mut()
+        .find(|m| m.name == "RMAppImpl")
+        .expect("RMAppImpl spec");
+    let finished = m.index_of("FINISHED").expect("FINISHED state");
+    m.states[finished] = "COMPLETED"; // renamed in the emitter, not the parser
+    let findings = machines::check(&specs);
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.message.contains("COMPLETED") && f.message.contains("alphabet")),
+        "{findings:#?}"
+    );
+}
+
+fn t_file(name: &str) -> &'static str {
+    sdlint::all_emitted_templates()
+        .iter()
+        .find(|t| t.name == name)
+        .map(|t| t.file)
+        .unwrap_or("")
+}

@@ -16,6 +16,7 @@ pub mod job;
 pub mod model;
 pub mod profiles;
 pub mod run;
+pub mod schema;
 
 pub use job::{Framework, JobKind, JobSpec, StageSpec, UserInit};
 pub use model::{simulate, Ev, World};

@@ -363,11 +363,12 @@ impl SparkRun {
         self.failed = true;
         self.finished_at = Some(wx.now);
         if self.driver.is_some() {
+            let t = &crate::schema::SPARK_APP_FAILED;
             wx.logs.info(
                 LogSource::Driver(self.app),
                 wx.ts(),
-                "ApplicationMaster",
-                format!("Final app status: FAILED for {}", self.spec.label),
+                t.class,
+                t.msg(&[&self.spec.label]),
             );
         }
     }
@@ -389,11 +390,12 @@ impl SparkRun {
     fn on_driver_started(&mut self, cid: ContainerId, node: NodeId, wx: &mut Wx) {
         self.driver = Some((cid, node));
         // Log message 9: the driver's first log line.
+        let t = &crate::schema::SPARK_AM_START;
         wx.logs.info(
             LogSource::Driver(self.app),
             wx.ts(),
-            "ApplicationMaster",
-            format!("Starting ApplicationMaster for {}", self.spec.label),
+            t.class,
+            t.msg(&[&self.spec.label]),
         );
         // SparkContext + RM client initialization (driver delay, §IV-D).
         let work = self.spec.driver_init_cpu_ms.sample(&mut self.rng);
@@ -410,23 +412,22 @@ impl SparkRun {
 
     fn on_driver_registered(&mut self, wx: &mut Wx) {
         // Log message 10.
+        let t = &crate::schema::SPARK_AM_REGISTERED;
         wx.logs.info(
             LogSource::Driver(self.app),
             wx.ts(),
-            "ApplicationMaster",
-            format!(
-                "Registered with ResourceManager as {}",
-                self.app.attempt(self.attempt)
-            ),
+            t.class,
+            t.msg(&[&self.app.attempt(self.attempt)]),
         );
         wx.cluster.am_register(wx.now, self.app, wx.logs, wx.out);
         // Log message 11 (patched into YarnAllocator by the authors).
         let req = self.spec.requested_executors();
+        let t = &crate::schema::SPARK_START_ALLO;
         wx.logs.info(
             LogSource::Driver(self.app),
             wx.ts(),
-            "YarnAllocator",
-            format!("START_ALLO Requesting {req} executor containers"),
+            t.class,
+            t.msg(&[&req]),
         );
         wx.cluster
             .request_containers(wx.now, self.app, req, self.spec.executor_resource, wx.out);
@@ -516,14 +517,12 @@ impl SparkRun {
                 if self.launched == self.spec.num_executors && !self.end_allo_logged {
                     self.end_allo_logged = true;
                     // Log message 12.
+                    let t = &crate::schema::SPARK_END_ALLO;
                     wx.logs.info(
                         LogSource::Driver(self.app),
                         wx.ts(),
-                        "YarnAllocator",
-                        format!(
-                            "END_ALLO All {} requested executor containers allocated",
-                            self.spec.num_executors
-                        ),
+                        t.class,
+                        t.msg(&[&self.spec.num_executors]),
                     );
                 }
             } else {
@@ -544,11 +543,12 @@ impl SparkRun {
         }
         debug_assert_eq!(self.executors[&cid].node, node);
         // Log message 13: executor's first log line (its own log file).
+        let t = &crate::schema::SPARK_EXECUTOR_STARTED;
         wx.logs.info(
             LogSource::Executor(cid),
             wx.ts(),
-            "CoarseGrainedExecutorBackend",
-            format!("Started executor for {} on {}", self.app, node),
+            t.class,
+            t.msg(&[&self.app, &node]),
         );
         // Executor-side setup (RPC env, BlockManager, classloading) burns
         // IO then CPU on the executor's node before the registration RPC
@@ -643,14 +643,12 @@ impl SparkRun {
                 self.dispatch_cursor = (self.dispatch_cursor + off + 1) % cids.len();
                 // Log message 14 (first occurrence per executor is what
                 // SDchecker uses; Spark logs every assignment).
+                let t = &crate::schema::SPARK_TASK_ASSIGNED;
                 wx.logs.info(
                     LogSource::Executor(cid),
                     wx.ts(),
-                    "Executor",
-                    format!(
-                        "Got assigned task {tid} in stage {}.0 (TID {tid})",
-                        self.stage_idx
-                    ),
+                    t.class,
+                    t.msg(&[&tid, &self.stage_idx, &tid]),
                 );
                 let cpu_ms = cpu_dist.sample(&mut self.rng) * warm;
                 if io_mb > 0.0 {
@@ -744,11 +742,12 @@ impl SparkRun {
             return;
         }
         self.finished_at = Some(wx.now);
+        let t = &crate::schema::SPARK_APP_SUCCEEDED;
         wx.logs.info(
             LogSource::Driver(self.app),
             wx.ts(),
-            "ApplicationMaster",
-            format!("Final app status: SUCCEEDED for {}", self.spec.label),
+            t.class,
+            t.msg(&[&self.spec.label]),
         );
         wx.cluster
             .finish_application(wx.now, self.app, wx.logs, wx.out);
@@ -892,22 +891,24 @@ impl MrRun {
         self.failed = true;
         self.finished_at = Some(wx.now);
         if self.master.is_some() {
+            let t = &crate::schema::MR_JOB_FAILED;
             wx.logs.info(
                 LogSource::Driver(self.app),
                 wx.ts(),
-                "MRAppMaster",
-                format!("Job {} failed with state FAILED", self.spec.label),
+                t.class,
+                t.msg(&[&self.spec.label]),
             );
         }
     }
 
     fn on_master_started(&mut self, cid: ContainerId, node: NodeId, wx: &mut Wx) {
         self.master = Some((cid, node));
+        let t = &crate::schema::MR_AM_START;
         wx.logs.info(
             LogSource::Driver(self.app),
             wx.ts(),
-            "MRAppMaster",
-            format!("Created MRAppMaster for application {}", self.app),
+            t.class,
+            t.msg(&[&self.app]),
         );
         let work = self.spec.driver_init_cpu_ms.sample(&mut self.rng);
         let t = wx.cluster.spawn_cpu(
@@ -967,11 +968,12 @@ impl MrRun {
     }
 
     fn on_task_started(&mut self, cid: ContainerId, node: NodeId, wx: &mut Wx) {
+        let t = &crate::schema::MR_TASK_STARTED;
         wx.logs.info(
             LogSource::Executor(cid),
             wx.ts(),
-            "YarnChild",
-            format!("Starting task for {} on {}", self.app, node),
+            t.class,
+            t.msg(&[&self.app, &node]),
         );
         let stage = &self.spec.stages[self.stage_idx];
         let cpu_ms = stage.task_cpu_ms.sample(&mut self.rng);
@@ -1018,12 +1020,9 @@ impl MrRun {
         }
         match p {
             MrPurpose::MasterInit => {
-                wx.logs.info(
-                    LogSource::Driver(self.app),
-                    wx.ts(),
-                    "MRAppMaster",
-                    "Registered with ResourceManager".to_string(),
-                );
+                let t = &crate::schema::MR_AM_REGISTERED;
+                wx.logs
+                    .info(LogSource::Driver(self.app), wx.ts(), t.class, t.msg(&[]));
                 wx.cluster.am_register(wx.now, self.app, wx.logs, wx.out);
                 self.request_stage(wx);
             }
@@ -1070,11 +1069,12 @@ impl MrRun {
             return;
         }
         self.finished_at = Some(wx.now);
+        let t = &crate::schema::MR_JOB_SUCCEEDED;
         wx.logs.info(
             LogSource::Driver(self.app),
             wx.ts(),
-            "MRAppMaster",
-            format!("Job {} completed successfully", self.spec.label),
+            t.class,
+            t.msg(&[&self.spec.label]),
         );
         wx.cluster
             .finish_application(wx.now, self.app, wx.logs, wx.out);

@@ -728,14 +728,12 @@ impl Cluster {
             a.pending_asks.clear();
             (a.attempt, a.submission.am_resource)
         };
+        let t = &crate::schema::RM_ATTEMPT_FAILED;
         logs.info(
             LogSource::ResourceManager,
             ts(now),
-            "RMAppAttemptImpl",
-            format!(
-                "{} State change from LAUNCHED to FAILED on event = CONTAINER_FINISHED",
-                app.attempt(attempt)
-            ),
+            t.class,
+            t.msg(&[&app.attempt(attempt)]),
         );
         if attempt < max {
             let a = self.apps.get_mut(&app).expect("unknown app");
@@ -795,11 +793,12 @@ impl Cluster {
         self.nodes[node.0 as usize].alive = false;
         self.fault_counts.nodes_lost += 1;
         obs::count_labeled("sim_faults_total", &[("kind", "node_lost")], 1);
+        let t = &crate::schema::RM_NODE_LOST;
         logs.info(
             LogSource::ResourceManager,
             ts(now),
-            "RMNodeImpl",
-            format!("Deactivating Node {node} as it is now LOST"),
+            t.class,
+            t.msg(&[&node]),
         );
         let victims: Vec<ContainerId> = self
             .containers
@@ -1198,11 +1197,12 @@ impl Cluster {
             )
         };
         if self.faults.enabled() && self.faults.localization_fails(cid) {
+            let t = &crate::schema::NM_LOCALIZER_FAILED;
             logs.info(
                 LogSource::NodeManager(node),
                 ts(now),
-                "ResourceLocalizationService",
-                format!("Localizer failed for {cid}"),
+                t.class,
+                t.msg(&[&cid]),
             );
             self.fail_container(now, cid, FailureKind::Localization, logs, out);
             return;
@@ -1291,11 +1291,12 @@ impl Cluster {
             (c.node, c.spec.as_ref().expect("spec").runtime)
         };
         if self.faults.enabled() && self.faults.launch_fails(cid) {
+            let t = &crate::schema::NM_LAUNCH_FAILED;
             logs.info(
                 LogSource::NodeManager(node),
                 ts(now),
-                "ContainerLaunch",
-                format!("Container exited with a non-zero exit code 1: {cid}"),
+                t.class,
+                t.msg(&[&cid]),
             );
             self.fail_container(now, cid, FailureKind::Launch, logs, out);
             return;

@@ -21,6 +21,7 @@ pub mod config;
 pub mod effects;
 pub mod faults;
 pub mod node;
+pub mod schema;
 pub mod state;
 #[cfg(test)]
 mod tests_protocol;

@@ -141,13 +141,16 @@ impl Node {
         debug_assert!(prev.is_none(), "duplicate in-flight download");
     }
 
-    /// Add a waiter to an in-flight download.
+    /// Add a waiter to an in-flight download. If the download is not in
+    /// flight (e.g. it completed on the same tick) the waiter simply is
+    /// not blocked, so this degrades to a no-op.
     pub fn inflight_wait(&mut self, app: ApplicationId, name: &str, waiter: ContainerId) {
         let key = (self.cache_app(app), name.to_string());
-        self.inflight
-            .get_mut(&key)
-            .expect("no such in-flight download")
-            .push(waiter);
+        if let Some(waiters) = self.inflight.get_mut(&key) {
+            waiters.push(waiter);
+        } else {
+            debug_assert!(false, "no such in-flight download");
+        }
     }
 
     /// Complete an in-flight download: caches the resource and returns all

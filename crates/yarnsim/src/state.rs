@@ -34,7 +34,27 @@ pub enum RmAppState {
 
 impl fmt::Display for RmAppState {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
+        f.write_str(self.as_str())
+    }
+}
+
+impl RmAppState {
+    /// Every state, in lifecycle order (`ALL[0]` is the initial state).
+    pub const ALL: [RmAppState; 9] = [
+        RmAppState::New,
+        RmAppState::NewSaving,
+        RmAppState::Submitted,
+        RmAppState::Accepted,
+        RmAppState::Running,
+        RmAppState::FinalSaving,
+        RmAppState::Finishing,
+        RmAppState::Finished,
+        RmAppState::Failed,
+    ];
+
+    /// The log spelling of the state.
+    pub fn as_str(self) -> &'static str {
+        match self {
             RmAppState::New => "NEW",
             RmAppState::NewSaving => "NEW_SAVING",
             RmAppState::Submitted => "SUBMITTED",
@@ -44,12 +64,14 @@ impl fmt::Display for RmAppState {
             RmAppState::Finishing => "FINISHING",
             RmAppState::Finished => "FINISHED",
             RmAppState::Failed => "FAILED",
-        };
-        f.write_str(s)
+        }
     }
-}
 
-impl RmAppState {
+    /// Whether the application can never progress again.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, RmAppState::Finished | RmAppState::Failed)
+    }
+
     /// Legal next states. `Running → Accepted` is YARN's AM-retry path
     /// (event `ATTEMPT_FAILED` with attempts remaining);
     /// `Accepted/Running → FinalSaving → Failed` is attempt exhaustion.
@@ -90,19 +112,33 @@ pub enum RmContainerState {
 
 impl fmt::Display for RmContainerState {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
+        f.write_str(self.as_str())
+    }
+}
+
+impl RmContainerState {
+    /// Every state, in lifecycle order (`ALL[0]` is the initial state).
+    pub const ALL: [RmContainerState; 6] = [
+        RmContainerState::New,
+        RmContainerState::Allocated,
+        RmContainerState::Acquired,
+        RmContainerState::Running,
+        RmContainerState::Completed,
+        RmContainerState::Killed,
+    ];
+
+    /// The log spelling of the state.
+    pub fn as_str(self) -> &'static str {
+        match self {
             RmContainerState::New => "NEW",
             RmContainerState::Allocated => "ALLOCATED",
             RmContainerState::Acquired => "ACQUIRED",
             RmContainerState::Running => "RUNNING",
             RmContainerState::Completed => "COMPLETED",
             RmContainerState::Killed => "KILLED",
-        };
-        f.write_str(s)
+        }
     }
-}
 
-impl RmContainerState {
     /// Whether the container can never run again.
     pub fn is_terminal(self) -> bool {
         matches!(self, RmContainerState::Completed | RmContainerState::Killed)
@@ -150,7 +186,25 @@ pub enum NmContainerState {
 
 impl fmt::Display for NmContainerState {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
+        f.write_str(self.as_str())
+    }
+}
+
+impl NmContainerState {
+    /// Every state, in lifecycle order (`ALL[0]` is the initial state).
+    pub const ALL: [NmContainerState; 7] = [
+        NmContainerState::New,
+        NmContainerState::Localizing,
+        NmContainerState::Scheduled,
+        NmContainerState::Running,
+        NmContainerState::Done,
+        NmContainerState::LocalizationFailed,
+        NmContainerState::ExitedWithFailure,
+    ];
+
+    /// The log spelling of the state.
+    pub fn as_str(self) -> &'static str {
+        match self {
             NmContainerState::New => "NEW",
             NmContainerState::Localizing => "LOCALIZING",
             NmContainerState::Scheduled => "SCHEDULED",
@@ -158,12 +212,14 @@ impl fmt::Display for NmContainerState {
             NmContainerState::Done => "DONE",
             NmContainerState::LocalizationFailed => "LOCALIZATION_FAILED",
             NmContainerState::ExitedWithFailure => "EXITED_WITH_FAILURE",
-        };
-        f.write_str(s)
+        }
     }
-}
 
-impl NmContainerState {
+    /// Whether the container's lifecycle is over.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, NmContainerState::Done)
+    }
+
     /// Legal next states, including the two failure exits
     /// (`LOCALIZING → LOCALIZATION_FAILED → DONE`,
     /// `RUNNING → EXITED_WITH_FAILURE → DONE`).
@@ -217,14 +273,12 @@ impl Tracked<RmAppState> {
             "illegal RMApp transition {} -> {to}",
             self.state
         );
+        let t = &crate::schema::RM_APP_STATE_CHANGE;
         logs.info(
             LogSource::ResourceManager,
             ts,
-            "RMAppImpl",
-            format!(
-                "{subject} State change from {} to {to} on event = {event}",
-                self.state
-            ),
+            t.class,
+            t.msg(&[&subject, &self.state, &to, &event]),
         );
         self.state = to;
     }
@@ -245,14 +299,12 @@ impl Tracked<RmContainerState> {
             "illegal RMContainer transition {} -> {to}",
             self.state
         );
+        let t = &crate::schema::RM_CONTAINER_TRANSITION;
         logs.info(
             LogSource::ResourceManager,
             ts,
-            "RMContainerImpl",
-            format!(
-                "{subject} Container Transitioned from {} to {to}",
-                self.state
-            ),
+            t.class,
+            t.msg(&[&subject, &self.state, &to]),
         );
         self.state = to;
     }
@@ -274,15 +326,8 @@ impl Tracked<NmContainerState> {
             "illegal NmContainer transition {} -> {to}",
             self.state
         );
-        logs.info(
-            node_log,
-            ts,
-            "ContainerImpl",
-            format!(
-                "Container {subject} transitioned from {} to {to}",
-                self.state
-            ),
-        );
+        let t = &crate::schema::NM_CONTAINER_TRANSITION;
+        logs.info(node_log, ts, t.class, t.msg(&[&subject, &self.state, &to]));
         self.state = to;
     }
 }
