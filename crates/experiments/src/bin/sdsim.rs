@@ -8,6 +8,7 @@
 //!       [--launch-failure-rate P] [--localization-failure-rate P]
 //!       [--node-loss MS:NODE] [--fault-seed S]
 //!       [--out <log-dir>] [--timeline]
+//!       [--stream-to <log-dir>] [--rate R] [--stream-flush-every N]
 //!       [--trace-out <trace.json>] [--app-trace-out <apptrace.json>]
 //!       [--report-json <report.json>] [--metrics-out <metrics.json|.prom>]
 //!       [--quiet]
@@ -19,9 +20,21 @@
 //! all of them at their defaults the run is byte-identical to a faultless
 //! build, and the analysis end reports what broke (the report's
 //! `failures` section and the `analyze_*`/`sim_faults_total` metrics).
+//!
+//! `--stream-to` replays the simulated corpus *live*: log lines are
+//! appended to the directory in arrival (simulated-time) order, paced at
+//! `--rate` records/second (0 = as fast as possible), with writers
+//! flushed so a tailing consumer (`sdcheckerd`) sees an endless-stream
+//! workload. In this mode sdsim skips its own batch analysis.
 
-use std::path::PathBuf;
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use logmodel::{format_line, LogSource, LogStore};
 
 use sdchecker::{analyze_store, ascii_gantt, full_report};
 use simkit::Millis;
@@ -34,6 +47,7 @@ const USAGE: &str = "usage: sdsim [--queries N] [--input-mb MB] [--executors N] 
 [--dfsio-writers N] [--kmeans-apps N] \
 [--launch-failure-rate P] [--localization-failure-rate P] \
 [--node-loss MS:NODE] [--fault-seed S] [--out <log-dir>] [--timeline] \
+[--stream-to <log-dir>] [--rate R] [--stream-flush-every N] \
 [--trace-out <trace.json>] [--app-trace-out <apptrace.json>] \
 [--report-json <report.json>] [--metrics-out <metrics.json|.prom>] [--quiet]";
 
@@ -50,6 +64,9 @@ struct Opts {
     faults: yarnsim::FaultConfig,
     out: Option<PathBuf>,
     timeline: bool,
+    stream_to: Option<PathBuf>,
+    rate: f64,
+    stream_flush_every: u64,
     trace_out: Option<PathBuf>,
     app_trace_out: Option<PathBuf>,
     report_json_out: Option<PathBuf>,
@@ -71,6 +88,9 @@ fn parse_args() -> Result<Opts, String> {
         faults: yarnsim::FaultConfig::default(),
         out: None,
         timeline: false,
+        stream_to: None,
+        rate: 0.0,
+        stream_flush_every: 64,
         trace_out: None,
         app_trace_out: None,
         report_json_out: None,
@@ -179,6 +199,28 @@ fn parse_args() -> Result<Opts, String> {
                 o.timeline = true;
                 i += 1;
             }
+            "--stream-to" => {
+                o.stream_to = Some(PathBuf::from(value(&args, i, "--stream-to")?));
+                i += 2;
+            }
+            "--rate" => {
+                o.rate = value(&args, i, "--rate")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
+                if o.rate < 0.0 || !o.rate.is_finite() {
+                    return Err("--rate must be a finite non-negative number".to_string());
+                }
+                i += 2;
+            }
+            "--stream-flush-every" => {
+                o.stream_flush_every = value(&args, i, "--stream-flush-every")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
+                if o.stream_flush_every == 0 {
+                    return Err("--stream-flush-every must be at least 1".to_string());
+                }
+                i += 2;
+            }
             "--trace-out" => {
                 o.trace_out = Some(PathBuf::from(value(&args, i, "--trace-out")?));
                 i += 2;
@@ -203,6 +245,70 @@ fn parse_args() -> Result<Opts, String> {
         }
     }
     Ok(o)
+}
+
+/// Replay the simulated corpus into `dir` as a live log stream: lines
+/// appended in global simulated-time order (the order a collector on the
+/// real cluster would observe them), paced at `rate` records/second
+/// (0 = unpaced), with `epoch.txt` written first so a tail started at any
+/// point anchors timestamps correctly. Writers are flushed every
+/// `flush_every` records and before every pacing sleep, so a concurrent
+/// tailer's view is never more than one flush interval stale.
+fn stream_logs(logs: &LogStore, dir: &Path, rate: f64, flush_every: u64) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    fs::write(dir.join("epoch.txt"), format!("{}\n", logs.epoch().unix_ms))?;
+    let epoch = *logs.epoch();
+    let records = logs.records_by_time();
+    let mut writers: BTreeMap<LogSource, BufWriter<fs::File>> = BTreeMap::new();
+    let start = Instant::now();
+    let mut since_flush: u64 = 0;
+    for (i, (src, rec)) in records.iter().enumerate() {
+        if rate > 0.0 {
+            let due = start + Duration::from_secs_f64(i as f64 / rate);
+            let mut flushed = false;
+            loop {
+                let now = Instant::now();
+                if now >= due {
+                    break;
+                }
+                if !flushed {
+                    for w in writers.values_mut() {
+                        w.flush()?;
+                    }
+                    since_flush = 0;
+                    flushed = true;
+                }
+                std::thread::sleep((due - now).min(Duration::from_millis(50)));
+            }
+        }
+        let w = match writers.entry(*src) {
+            std::collections::btree_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::btree_map::Entry::Vacant(e) => {
+                let path = dir.join(src.rel_path());
+                if let Some(parent) = path.parent() {
+                    fs::create_dir_all(parent)?;
+                }
+                e.insert(BufWriter::new(
+                    fs::OpenOptions::new()
+                        .create(true)
+                        .append(true)
+                        .open(path)?,
+                ))
+            }
+        };
+        writeln!(w, "{}", format_line(&epoch, rec))?;
+        since_flush += 1;
+        if since_flush >= flush_every {
+            for w in writers.values_mut() {
+                w.flush()?;
+            }
+            since_flush = 0;
+        }
+    }
+    for w in writers.values_mut() {
+        w.flush()?;
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -308,6 +414,30 @@ fn main() -> ExitCode {
         if !o.quiet {
             eprintln!("wrote log corpus to {}", dir.display());
         }
+    }
+
+    if let Some(dir) = &o.stream_to {
+        if !o.quiet {
+            eprintln!(
+                "streaming {} records to {} at {} ...",
+                logs.total_records(),
+                dir.display(),
+                if o.rate > 0.0 {
+                    format!("{} records/s", o.rate)
+                } else {
+                    "full speed".to_string()
+                },
+            );
+        }
+        if let Err(e) = stream_logs(&logs, dir, o.rate, o.stream_flush_every) {
+            eprintln!("failed to stream logs to {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        if !o.quiet {
+            eprintln!("stream complete: {}", dir.display());
+        }
+        // Streaming mode hands analysis off to the tailing consumer.
+        return ExitCode::SUCCESS;
     }
 
     let analysis = analyze_store(&logs);

@@ -27,7 +27,7 @@ pub mod schema;
 pub mod store;
 
 pub use corrupt::{corrupt_dir, CorruptConfig, CorruptReport, Rng64};
-pub use format::{format_timestamp, parse_line, parse_timestamp, Epoch};
+pub use format::{format_line, format_timestamp, parse_line, parse_timestamp, Epoch};
 pub use ids::{
     scan_ids, AppAttemptId, ApplicationId, ContainerId, IdParseError, NodeId, ScannedId,
 };

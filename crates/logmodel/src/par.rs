@@ -32,11 +32,22 @@ impl Parallelism {
 
     /// One worker per available hardware thread.
     pub fn auto() -> Parallelism {
-        Parallelism::new(
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
-        )
+        Parallelism::new(Self::hardware_threads())
+    }
+
+    /// The machine's available hardware parallelism (1 when unknown).
+    pub fn hardware_threads() -> usize {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+
+    /// `requested` workers clamped to the hardware parallelism. More
+    /// workers than hardware threads only adds scheduling overhead
+    /// (benchmarks show a net slowdown), so binaries route `--threads`
+    /// through here and report requested vs effective separately.
+    pub fn clamped(requested: usize) -> Parallelism {
+        Parallelism::new(requested.max(1).min(Self::hardware_threads()))
     }
 
     /// The configured worker count.
@@ -149,5 +160,15 @@ mod tests {
         assert!(Parallelism::ONE.is_sequential());
         assert!(Parallelism::auto().threads() >= 1);
         assert!(!Parallelism::new(2).is_sequential());
+    }
+
+    #[test]
+    fn clamped_never_exceeds_hardware() {
+        let hw = Parallelism::hardware_threads();
+        assert!(hw >= 1);
+        assert_eq!(Parallelism::clamped(0).threads(), 1);
+        assert_eq!(Parallelism::clamped(1).threads(), 1);
+        assert_eq!(Parallelism::clamped(hw).threads(), hw);
+        assert_eq!(Parallelism::clamped(hw + 100).threads(), hw);
     }
 }

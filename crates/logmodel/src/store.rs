@@ -209,6 +209,21 @@ impl LogStore {
     fn sources_mut(&mut self) -> impl Iterator<Item = &mut Vec<LogRecord>> {
         self.sources.values_mut()
     }
+
+    /// Every record of every source, globally ordered by timestamp (ties
+    /// broken by source order, then append order). This is the order a
+    /// live cluster would emit the lines in, so streamed log emission
+    /// (`sdsim --stream-to`) replays it for a realistic tail workload.
+    pub fn records_by_time(&self) -> Vec<(LogSource, &LogRecord)> {
+        let mut all: Vec<(LogSource, &LogRecord)> = self
+            .sources
+            .iter()
+            .flat_map(|(src, recs)| recs.iter().map(move |r| (*src, r)))
+            .collect();
+        // Stable sort: equal (ts, source) pairs keep append order.
+        all.sort_by_key(|(src, r)| (r.ts, *src));
+        all
+    }
 }
 
 #[cfg(test)]
@@ -305,6 +320,24 @@ mod tests {
         assert_eq!(recs[0].message, "older");
         assert_eq!(recs[1].message, "newer");
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn records_by_time_is_globally_ordered() {
+        let s = sample_store();
+        let ordered = s.records_by_time();
+        assert_eq!(ordered.len(), 3);
+        assert!(ordered.windows(2).all(|w| w[0].1.ts <= w[1].1.ts));
+        assert_eq!(ordered[0].0, LogSource::ResourceManager);
+        assert_eq!(ordered[0].1.ts, TsMs(10));
+        assert_eq!(ordered[2].1.ts, TsMs(1200));
+        // Equal timestamps fall back to source order (RM before NM).
+        let mut tied = LogStore::new(Epoch::default_run());
+        tied.info(LogSource::NodeManager(NodeId(1)), TsMs(5), "X", "nm");
+        tied.info(LogSource::ResourceManager, TsMs(5), "X", "rm");
+        let ordered = tied.records_by_time();
+        assert_eq!(ordered[0].1.message, "rm");
+        assert_eq!(ordered[1].1.message, "nm");
     }
 
     #[test]

@@ -1,10 +1,93 @@
 //! Exporters: Chrome trace-event JSON and flat metrics dumps.
 
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::sync::Mutex;
 
 use crate::json::{escape, fmt_f64};
-use crate::metrics::Snapshot;
+use crate::metrics::{MetricKey, Snapshot};
 use crate::sketch::QuantileSketch;
+
+/// Registered `# HELP` strings, keyed by metric family name. Filled by
+/// [`describe`]; families without an entry fall back to their own name
+/// so every exposition family still carries a HELP line.
+static HELP_REGISTRY: Mutex<BTreeMap<&'static str, &'static str>> = Mutex::new(BTreeMap::new());
+
+/// Register the `# HELP` text for a metric family. Call once at startup
+/// (idempotent — later calls overwrite). Unregistered families export
+/// with their name as the help text.
+pub fn describe(name: &'static str, help: &'static str) {
+    let mut reg = HELP_REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+    reg.insert(name, help);
+}
+
+/// Escape a label value for the Prometheus text exposition format:
+/// backslash, double quote, and newline must be backslash-escaped.
+pub fn prom_escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape `# HELP` text (backslash and newline only; quotes are legal).
+pub fn prom_escape_help(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a key's label set as `{k="v",...}` with Prometheus escaping
+/// (empty string when there are no labels).
+fn prom_labels(labels: &[(&'static str, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{}\"", prom_escape_label(v));
+    }
+    out.push('}');
+    out
+}
+
+/// Render a full series identity (`name{labels}`) with Prometheus
+/// escaping.
+fn prom_series(k: &MetricKey) -> String {
+    format!("{}{}", k.name, prom_labels(&k.labels))
+}
+
+/// Write the `# HELP` + `# TYPE` header for a family, once per name.
+fn write_family_header(
+    out: &mut String,
+    last_name: &mut &'static str,
+    name: &'static str,
+    kind: &str,
+) {
+    if name == *last_name {
+        return;
+    }
+    *last_name = name;
+    let reg = HELP_REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+    let help = reg.get(name).copied().unwrap_or(name);
+    let _ = writeln!(out, "# HELP {name} {}", prom_escape_help(help));
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
 
 /// Incremental writer for the Chrome trace-event JSON format (the format
 /// `chrome://tracing` and <https://ui.perfetto.dev> load).
@@ -205,43 +288,53 @@ pub fn metrics_json(snap: &Snapshot) -> String {
 }
 
 /// Render the snapshot's metrics in the Prometheus text exposition
-/// format (counters, gauges, and histograms with `_bucket`/`_sum`/
-/// `_count` series).
+/// format (version 0.0.4): every family gets `# HELP`/`# TYPE` lines,
+/// label values are escaped per the spec, histograms emit cumulative
+/// `_bucket`/`_sum`/`_count` series that keep their key's labels, and
+/// sketches export as summaries with `quantile` labels.
 pub fn prometheus_text(snap: &Snapshot) -> String {
     let mut out = String::new();
-    let mut last_name = "";
+    let mut last_name: &'static str = "";
     for (k, v) in &snap.counters {
-        if k.name != last_name {
-            let _ = writeln!(out, "# TYPE {} counter", k.name);
-            last_name = k.name;
-        }
-        let _ = writeln!(out, "{} {v}", k.render());
+        write_family_header(&mut out, &mut last_name, k.name, "counter");
+        let _ = writeln!(out, "{} {v}", prom_series(k));
     }
     last_name = "";
     for (k, v) in &snap.gauges {
-        if k.name != last_name {
-            let _ = writeln!(out, "# TYPE {} gauge", k.name);
-            last_name = k.name;
-        }
-        let _ = writeln!(out, "{} {}", k.render(), fmt_f64(*v));
+        write_family_header(&mut out, &mut last_name, k.name, "gauge");
+        let _ = writeln!(out, "{} {}", prom_series(k), fmt_f64(*v));
     }
+    last_name = "";
     for (k, h) in &snap.histograms {
-        let _ = writeln!(out, "# TYPE {} histogram", k.name);
+        write_family_header(&mut out, &mut last_name, k.name, "histogram");
         let mut cumulative = 0u64;
         for (bound, count) in h.bounds.iter().zip(h.counts.iter()) {
             cumulative += count;
-            let _ = writeln!(out, "{}_bucket{{le=\"{bound}\"}} {cumulative}", k.name);
+            let mut labeled = k.clone();
+            labeled.labels.push(("le", bound.to_string()));
+            let _ = writeln!(
+                out,
+                "{}_bucket{} {cumulative}",
+                k.name,
+                prom_labels(&labeled.labels)
+            );
         }
-        let _ = writeln!(out, "{}_bucket{{le=\"+Inf\"}} {}", k.name, h.count);
-        let _ = writeln!(out, "{}_sum {}", k.name, h.sum);
-        let _ = writeln!(out, "{}_count {}", k.name, h.count);
+        let mut labeled = k.clone();
+        labeled.labels.push(("le", "+Inf".to_string()));
+        let _ = writeln!(
+            out,
+            "{}_bucket{} {}",
+            k.name,
+            prom_labels(&labeled.labels),
+            h.count
+        );
+        let labels = prom_labels(&k.labels);
+        let _ = writeln!(out, "{}_sum{labels} {}", k.name, h.sum);
+        let _ = writeln!(out, "{}_count{labels} {}", k.name, h.count);
     }
     last_name = "";
     for (k, s) in &snap.sketches {
-        if k.name != last_name {
-            let _ = writeln!(out, "# TYPE {} summary", k.name);
-            last_name = k.name;
-        }
+        write_family_header(&mut out, &mut last_name, k.name, "summary");
         for (q, v) in [
             (0.5, s.quantile(0.5)),
             (0.95, s.quantile(0.95)),
@@ -250,10 +343,10 @@ pub fn prometheus_text(snap: &Snapshot) -> String {
             let Some(v) = v else { continue };
             let mut labeled = k.clone();
             labeled.labels.push(("quantile", format!("{q}")));
-            let _ = writeln!(out, "{} {}", labeled.render(), fmt_f64(v));
+            let _ = writeln!(out, "{} {}", prom_series(&labeled), fmt_f64(v));
         }
         // `_sum`/`_count` suffix the metric name, keeping the labels.
-        let labels = k.render().strip_prefix(k.name).unwrap_or("").to_string();
+        let labels = prom_labels(&k.labels);
         let _ = writeln!(out, "{}_sum{labels} {}", k.name, s.sum());
         let _ = writeln!(out, "{}_count{labels} {}", k.name, s.count());
     }
@@ -365,6 +458,59 @@ mod tests {
         assert!(text.contains("sizes_bucket{le=\"+Inf\"} 2"));
         assert!(text.contains("sizes_sum 505"));
         assert!(text.contains("sizes_count 2"));
+    }
+
+    #[test]
+    fn prometheus_text_emits_help_for_every_family() {
+        describe("ev_total", "extraction events by kind");
+        let text = prometheus_text(&sample());
+        // Registered family gets its description; the rest fall back to
+        // the family name, but every family must carry a HELP line.
+        assert!(text.contains("# HELP ev_total extraction events by kind"));
+        for family in ["lines_total", "ratio", "hwm", "sizes"] {
+            assert!(
+                text.contains(&format!("# HELP {family} ")),
+                "missing HELP for {family}:\n{text}"
+            );
+        }
+        // HELP precedes TYPE for the same family.
+        let help_at = text.find("# HELP ev_total").unwrap();
+        let type_at = text.find("# TYPE ev_total").unwrap();
+        assert!(help_at < type_at);
+    }
+
+    #[test]
+    fn prometheus_text_escapes_label_values() {
+        let r = Recorder::new();
+        r.enable();
+        r.count_labeled("esc_total", &[("path", "a\\b\"c\nd")], 1);
+        let text = prometheus_text(&r.snapshot());
+        assert!(
+            text.contains("esc_total{path=\"a\\\\b\\\"c\\nd\"} 1"),
+            "bad escaping:\n{text}"
+        );
+        assert_eq!(prom_escape_label("plain"), "plain");
+        assert_eq!(prom_escape_label("a\\b"), "a\\\\b");
+        assert_eq!(prom_escape_label("q\"q"), "q\\\"q");
+        assert_eq!(prom_escape_label("n\nn"), "n\\nn");
+        assert_eq!(prom_escape_help("h\\x\ny"), "h\\\\x\\ny");
+    }
+
+    #[test]
+    fn prometheus_histogram_buckets_keep_labels() {
+        let mut snap = Snapshot::default();
+        let mut h = crate::metrics::Histogram::new(&[10, 100]);
+        h.observe(5);
+        h.observe(50);
+        snap.histograms
+            .insert(MetricKey::labeled("lat_ms", &[("stage", "extract")]), h);
+        let text = prometheus_text(&snap);
+        assert!(text.contains("lat_ms_bucket{stage=\"extract\",le=\"10\"} 1"));
+        assert!(text.contains("lat_ms_bucket{stage=\"extract\",le=\"+Inf\"} 2"));
+        assert!(text.contains("lat_ms_sum{stage=\"extract\"} 55"));
+        assert!(text.contains("lat_ms_count{stage=\"extract\"} 2"));
+        // One header pair even though labeled keys could repeat the name.
+        assert_eq!(text.matches("# TYPE lat_ms histogram").count(), 1);
     }
 
     #[test]

@@ -1,0 +1,107 @@
+//! Gauges sampled from closures at scrape time.
+//!
+//! The recorder's `gauge_set`/`gauge_max` push values when something
+//! happens. Lag-style metrics ("bytes behind the tail", "apps currently
+//! in flight") are the opposite: they have a current value at all times
+//! and the interesting moment is the *scrape*, not the update. A
+//! [`GaugeRegistry`] holds `Fn() -> f64` closures and folds their live
+//! values into a [`Snapshot`] just before it is rendered, so `/metrics`
+//! always reports the instantaneous state without the producer having
+//! to publish on every change.
+
+use std::sync::Mutex;
+
+use crate::metrics::{MetricKey, Snapshot};
+
+type GaugeFn = Box<dyn Fn() -> f64 + Send + Sync>;
+
+/// A set of late-bound gauges, each evaluated when sampled.
+#[derive(Default)]
+pub struct GaugeRegistry {
+    entries: Mutex<Vec<(MetricKey, GaugeFn)>>,
+}
+
+impl GaugeRegistry {
+    /// An empty registry.
+    pub fn new() -> GaugeRegistry {
+        GaugeRegistry::default()
+    }
+
+    /// Register an unlabeled gauge backed by `f`.
+    pub fn register(&self, name: &'static str, f: impl Fn() -> f64 + Send + Sync + 'static) {
+        self.register_labeled(name, &[], f);
+    }
+
+    /// Register a labeled gauge backed by `f`. Registering the same
+    /// name + labels twice keeps both entries; the later one wins at
+    /// sample time, so re-registration behaves like replacement.
+    pub fn register_labeled(
+        &self,
+        name: &'static str,
+        labels: &[(&'static str, &str)],
+        f: impl Fn() -> f64 + Send + Sync + 'static,
+    ) {
+        let key = MetricKey::labeled(name, labels);
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        entries.push((key, Box::new(f)));
+    }
+
+    /// Evaluate every registered gauge and merge the values into `snap`
+    /// (overwriting any pushed gauge with the same key).
+    pub fn sample_into(&self, snap: &mut Snapshot) {
+        let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        for (key, f) in entries.iter() {
+            snap.gauges.insert(key.clone(), f());
+        }
+    }
+
+    /// Number of registered gauges.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl std::fmt::Debug for GaugeRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GaugeRegistry")
+            .field("entries", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn samples_live_values_into_snapshot() {
+        let reg = GaugeRegistry::new();
+        assert!(reg.is_empty());
+        let lag = Arc::new(AtomicU64::new(7));
+        let lag2 = Arc::clone(&lag);
+        reg.register("tail_lag_bytes", move || {
+            lag2.load(Ordering::Relaxed) as f64
+        });
+        reg.register_labeled("tail_lag_ms", &[("source", "rm")], || 3.0);
+        assert_eq!(reg.len(), 2);
+
+        let mut snap = Snapshot::default();
+        reg.sample_into(&mut snap);
+        let bytes_key = MetricKey::plain("tail_lag_bytes");
+        assert_eq!(snap.gauges.get(&bytes_key), Some(&7.0));
+
+        lag.store(42, Ordering::Relaxed);
+        reg.sample_into(&mut snap);
+        assert_eq!(snap.gauges.get(&bytes_key), Some(&42.0));
+
+        let ms_key = MetricKey::labeled("tail_lag_ms", &[("source", "rm")]);
+        assert_eq!(snap.gauges.get(&ms_key), Some(&3.0));
+    }
+}

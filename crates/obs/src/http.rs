@@ -1,0 +1,286 @@
+//! A tiny dependency-free HTTP/1.1 server for observability endpoints.
+//!
+//! `sdcheckerd` (and anything else that wants a scrape surface) needs
+//! exactly one thing from HTTP: answer small GET requests with small
+//! text bodies. This module provides that on `std::net::TcpListener`
+//! alone — no async runtime, no external crates — with a cooperative
+//! shutdown flag so a daemon can stop serving cleanly on SIGTERM.
+//!
+//! The server is deliberately minimal: requests are parsed to a method
+//! and a path (query strings and headers beyond the terminating blank
+//! line are ignored), every response carries `Content-Length` and
+//! `Connection: close`, and each connection is handled inline on the
+//! serving thread. A Prometheus scraper or a `curl` loop is the intended
+//! client, not a browser fleet.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// The content type Prometheus expects from a `/metrics` endpoint
+/// (text exposition format version 0.0.4).
+pub const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// Maximum bytes of request head (request line + headers) we accept.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// How long one connection may take to deliver its request head.
+const READ_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// How often the accept loop wakes to check the shutdown flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+
+/// A parsed request: method and path, nothing more.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// `GET`, `HEAD`, ... (uppercased as sent).
+    pub method: String,
+    /// The request target, e.g. `/metrics` (query string stripped).
+    pub path: String,
+}
+
+/// A response to write back: status, content type, body.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: String,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A `200 OK` response.
+    pub fn ok(content_type: &str, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status: 200,
+            content_type: content_type.to_string(),
+            body: body.into(),
+        }
+    }
+
+    /// A `200 OK` JSON response.
+    pub fn json(body: impl Into<Vec<u8>>) -> Response {
+        Response::ok("application/json", body)
+    }
+
+    /// A plain-text response with an arbitrary status code.
+    pub fn text(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8".to_string(),
+            body: body.into(),
+        }
+    }
+
+    /// The stock `404 Not Found` response.
+    pub fn not_found() -> Response {
+        Response::text(404, "not found\n")
+    }
+
+    fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            503 => "Service Unavailable",
+            _ => "Response",
+        }
+    }
+}
+
+/// A bound listener serving requests until a shutdown flag is raised.
+#[derive(Debug)]
+pub struct HttpServer {
+    listener: TcpListener,
+}
+
+impl HttpServer {
+    /// Bind to `addr` (e.g. `127.0.0.1:0` for an ephemeral port).
+    pub fn bind(addr: &str) -> io::Result<HttpServer> {
+        let listener = TcpListener::bind(addr)?;
+        // Non-blocking accept so the serve loop can observe `stop`
+        // between connections instead of parking forever in accept(2).
+        listener.set_nonblocking(true)?;
+        Ok(HttpServer { listener })
+    }
+
+    /// The actual bound address (resolves port 0 to the assigned port).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serve requests until `stop` turns true. Each accepted connection
+    /// is parsed, handed to `handler`, answered, and closed; connection-
+    /// level errors (malformed requests, client hangups) are answered
+    /// with `400` where possible and never abort the loop.
+    pub fn serve<F>(&self, stop: &AtomicBool, handler: F) -> io::Result<()>
+    where
+        F: Fn(&Request) -> Response,
+    {
+        while !stop.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    // Best effort per connection: a broken client must
+                    // not take the scrape endpoint down.
+                    let _ = handle_connection(stream, &handler);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Read the request head, dispatch to the handler, write the response.
+fn handle_connection<F>(mut stream: TcpStream, handler: &F) -> io::Result<()>
+where
+    F: Fn(&Request) -> Response,
+{
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    let head = match read_head(&mut stream) {
+        Ok(head) => head,
+        Err(_) => {
+            let _ = write_response(&mut stream, &Response::text(400, "bad request\n"));
+            return Ok(());
+        }
+    };
+    let response = match parse_request(&head) {
+        Some(req) if req.method == "GET" || req.method == "HEAD" => handler(&req),
+        Some(_) => Response::text(405, "method not allowed\n"),
+        None => Response::text(400, "bad request\n"),
+    };
+    write_response(&mut stream, &response)
+}
+
+/// Read bytes until the `\r\n\r\n` head terminator (or a size/time cap).
+fn read_head(stream: &mut TcpStream) -> io::Result<Vec<u8>> {
+    let mut head = Vec::with_capacity(256);
+    let mut chunk = [0u8; 1024];
+    loop {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed before request head",
+            ));
+        }
+        head.extend_from_slice(&chunk[..n]);
+        if head.windows(4).any(|w| w == b"\r\n\r\n") || head.windows(2).any(|w| w == b"\n\n") {
+            return Ok(head);
+        }
+        if head.len() > MAX_HEAD_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "request head too large",
+            ));
+        }
+    }
+}
+
+/// Parse `METHOD /path HTTP/1.x` out of the request head.
+fn parse_request(head: &[u8]) -> Option<Request> {
+    let text = String::from_utf8_lossy(head);
+    let line = text.lines().next()?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next()?.to_string();
+    let target = parts.next()?;
+    let version = parts.next()?;
+    if !version.starts_with("HTTP/") {
+        return None;
+    }
+    // Strip any query string; the endpoints here take no parameters.
+    let path = target.split('?').next().unwrap_or(target).to_string();
+    if !path.starts_with('/') {
+        return None;
+    }
+    Some(Request { method, path })
+}
+
+/// Write the status line, minimal headers, and body.
+fn write_response(stream: &mut TcpStream, r: &Response) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        r.status,
+        r.reason(),
+        r.content_type,
+        r.body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&r.body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    fn roundtrip(addr: SocketAddr, raw: &str) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(raw.as_bytes()).unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_and_shuts_down() {
+        let server = HttpServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            server
+                .serve(&stop2, |req| match req.path.as_str() {
+                    "/metrics" => Response::ok(PROMETHEUS_CONTENT_TYPE, "x_total 1\n"),
+                    "/health" => Response::json("{\"ok\": true}"),
+                    _ => Response::not_found(),
+                })
+                .unwrap();
+        });
+
+        let got = roundtrip(addr, "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(got.starts_with("HTTP/1.1 200 OK\r\n"), "{got}");
+        assert!(
+            got.contains("Content-Type: text/plain; version=0.0.4; charset=utf-8"),
+            "{got}"
+        );
+        assert!(got.ends_with("x_total 1\n"), "{got}");
+
+        let got = roundtrip(addr, "GET /health?verbose=1 HTTP/1.1\r\n\r\n");
+        assert!(got.contains("application/json"), "{got}");
+        assert!(got.ends_with("{\"ok\": true}"), "{got}");
+
+        let got = roundtrip(addr, "GET /nope HTTP/1.1\r\n\r\n");
+        assert!(got.starts_with("HTTP/1.1 404 Not Found\r\n"), "{got}");
+
+        let got = roundtrip(addr, "POST /metrics HTTP/1.1\r\n\r\n");
+        assert!(got.starts_with("HTTP/1.1 405"), "{got}");
+
+        let got = roundtrip(addr, "garbage\r\n\r\n");
+        assert!(got.starts_with("HTTP/1.1 400"), "{got}");
+
+        stop.store(true, Ordering::SeqCst);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn parse_request_shapes() {
+        let req = parse_request(b"GET /report.json?x=1 HTTP/1.1\r\nHost: h\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/report.json");
+        assert!(parse_request(b"GET\r\n\r\n").is_none());
+        assert!(parse_request(b"GET /x SMTP/1.0\r\n\r\n").is_none());
+        assert!(parse_request(b"GET relative HTTP/1.0\r\n\r\n").is_none());
+    }
+}

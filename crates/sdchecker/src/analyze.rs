@@ -186,15 +186,7 @@ pub fn analyze_store_with(store: &LogStore, par: Parallelism) -> Analysis {
     }
     let per_app = par::map(par, by_app.into_iter().collect(), |(app, evs)| {
         let _span = obs::span("analyze_app").arg("app", app);
-        let mut graphs = build_graphs(&evs);
-        // Partitioned events build exactly one graph; if that invariant
-        // ever breaks, analyze the app as event-free rather than abort
-        // the whole corpus (partial-decomposition semantics).
-        let graph = graphs
-            .remove(&app)
-            .unwrap_or_else(|| SchedulingGraph::empty(app));
-        let delays = decompose(&graph);
-        let unused = find_unused_containers(&graph);
+        let (graph, delays, unused) = analyze_app_events(app, &evs);
         (app, graph, delays, unused)
     });
     let mut graphs = BTreeMap::new();
@@ -216,6 +208,27 @@ pub fn analyze_store_with(store: &LogStore, par: Parallelism) -> Analysis {
         app_names,
         coverage,
     }
+}
+
+/// Analyze one application from its (time-sorted) event slice: build
+/// the scheduling graph, decompose delays, and scan for unused
+/// containers. This is the per-app unit both the parallel batch path
+/// and the incremental (tailing) pipeline retire applications through,
+/// which is what keeps their per-app results identical.
+pub fn analyze_app_events(
+    app: ApplicationId,
+    events: &[SchedEvent],
+) -> (SchedulingGraph, AppDelays, Vec<UnusedContainer>) {
+    let mut graphs = build_graphs(events);
+    // Partitioned events build exactly one graph; if that invariant
+    // ever breaks, analyze the app as event-free rather than abort
+    // the whole corpus (partial-decomposition semantics).
+    let graph = graphs
+        .remove(&app)
+        .unwrap_or_else(|| SchedulingGraph::empty(app));
+    let delays = decompose(&graph);
+    let unused = find_unused_containers(&graph);
+    (graph, delays, unused)
 }
 
 /// Corpus-level analysis counters (no-ops when recording is disabled;
@@ -265,21 +278,83 @@ fn stream_delay_sketches(delays: &[AppDelays]) {
     if !obs::enabled() {
         return;
     }
-    use crate::decompose::{APP_COMPONENTS, CONTAINER_COMPONENTS};
     for d in delays {
-        for (name, f) in APP_COMPONENTS.iter() {
-            if let Some(v) = f(d) {
-                obs::sketch_observe_labeled("app_delay_ms", &[("component", name)], v);
-            }
+        stream_one_delay_sketches(d);
+    }
+}
+
+/// Stream one application's delay components into the global sketches.
+/// The incremental pipeline calls this at retirement time, so a live
+/// `/metrics` scrape sees the same `app_delay_ms`/`container_delay_ms`
+/// summaries a batch run would export at end-of-run.
+pub(crate) fn stream_one_delay_sketches(d: &AppDelays) {
+    use crate::decompose::{APP_COMPONENTS, CONTAINER_COMPONENTS};
+    for (name, f) in APP_COMPONENTS.iter() {
+        if let Some(v) = f(d) {
+            obs::sketch_observe_labeled("app_delay_ms", &[("component", name)], v);
         }
-        for c in &d.containers {
-            for (name, f) in CONTAINER_COMPONENTS.iter() {
-                if let Some(v) = f(c) {
-                    obs::sketch_observe_labeled("container_delay_ms", &[("component", name)], v);
-                }
+    }
+    for c in &d.containers {
+        for (name, f) in CONTAINER_COMPONENTS.iter() {
+            if let Some(v) = f(c) {
+                obs::sketch_observe_labeled("container_delay_ms", &[("component", name)], v);
             }
         }
     }
+}
+
+/// Register `# HELP` strings for every metric family the pipeline can
+/// emit, so Prometheus exposition is self-describing. Binaries call
+/// this once at startup; it is idempotent.
+pub fn describe_metrics() {
+    obs::describe("ingest_files_total", "Log files discovered during ingest");
+    obs::describe(
+        "ingest_lines_total",
+        "Ingested log lines by parse status (parsed/skipped)",
+    );
+    obs::describe("ingest_file_lines", "Lines per ingested log file");
+    obs::describe(
+        "extract_events_total",
+        "Scheduling events extracted, by event kind",
+    );
+    obs::describe(
+        "parse_lines_total",
+        "Log lines classified by the extraction rules, by source family and status",
+    );
+    obs::describe("extract_stream_events", "Extracted events per log stream");
+    obs::describe("analyze_apps_total", "Applications analyzed");
+    obs::describe(
+        "unused_containers_total",
+        "Containers allocated by the RM but never used by the app (SPARK-21562 signature)",
+    );
+    obs::describe(
+        "analyze_app_outcomes_total",
+        "Applications that ended in a hard failure outcome (failed/killed)",
+    );
+    obs::describe(
+        "analyze_retried_apps_total",
+        "Applications whose ApplicationMaster was retried at least once",
+    );
+    obs::describe(
+        "analyze_wasted_delay_ms_total",
+        "Wall-clock time burned inside failed AM attempts, in ms",
+    );
+    obs::describe(
+        "app_delay_ms",
+        "Per-application scheduling-delay components, in ms",
+    );
+    obs::describe(
+        "container_delay_ms",
+        "Per-container scheduling-delay components, in ms",
+    );
+    obs::describe(
+        "analyze_threads_requested",
+        "Worker threads requested via --threads (or auto)",
+    );
+    obs::describe(
+        "analyze_threads_effective",
+        "Worker threads actually used after clamping to hardware parallelism",
+    );
 }
 
 /// Run the pipeline over a log directory (the CLI path: what the paper's

@@ -50,6 +50,7 @@ fn main() -> ExitCode {
     let mut metrics_out: Option<PathBuf> = None;
     let mut quiet = false;
     let mut par = Parallelism::auto();
+    let mut requested_threads: Option<usize> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -65,7 +66,12 @@ fn main() -> ExitCode {
                     eprintln!("--threads must be at least 1");
                     return ExitCode::from(2);
                 }
-                par = Parallelism::new(n);
+                // Oversubscribing the analysis pool only adds scheduling
+                // overhead (the benches show a net slowdown), so clamp to
+                // hardware parallelism; requested vs effective counts are
+                // both recorded in the metrics export.
+                requested_threads = Some(n);
+                par = Parallelism::clamped(n);
                 i += 2;
             }
             "--csv" => {
@@ -136,8 +142,23 @@ fn main() -> ExitCode {
         }
     }
 
+    if let Some(n) = requested_threads {
+        if par.threads() < n && !quiet {
+            eprintln!(
+                "note: --threads {n} clamped to {} (hardware parallelism)",
+                par.threads()
+            );
+        }
+    }
+
     if trace_out.is_some() || metrics_out.is_some() {
         obs::enable();
+        sdchecker::describe_metrics();
+        obs::gauge_set(
+            "analyze_threads_requested",
+            requested_threads.unwrap_or_else(|| par.threads()) as f64,
+        );
+        obs::gauge_set("analyze_threads_effective", par.threads() as f64);
     }
 
     let analysis = match analyze_dir_with(&PathBuf::from(dir), par) {

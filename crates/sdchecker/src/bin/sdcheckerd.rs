@@ -1,0 +1,538 @@
+//! `sdcheckerd` — the always-on SDchecker service.
+//!
+//! Tails a growing log directory (the layout `logmodel::LogStore::write_dir`
+//! produces, which a live collector or `sdsim --stream-to` appends to),
+//! analyzes and retires each application the moment its evidence completes,
+//! and serves the current state over HTTP:
+//!
+//! ```text
+//! sdcheckerd <watch-dir> [--listen ADDR] [--port-file PATH] [--poll-ms N]
+//!            [--settle-ms N] [--idle-timeout-ms N] [--final-report PATH]
+//!            [--run-for-ms N] [--quiet]
+//! ```
+//!
+//! Endpoints:
+//!
+//! * `GET /metrics`     — Prometheus text exposition (format 0.0.4) of the
+//!   live counters, gauges, and delay-component quantile sketches.
+//! * `GET /report.json` — current fleet report snapshot
+//!   (schema `sdcheckerd-report-v1`).
+//! * `GET /healthz`     — liveness: per-source tail lag, apps
+//!   in-flight/retired/truncated, last-progress watchdog.
+//! * `GET /readyz`      — 200 once the first poll completed, 503 before.
+//! * `GET /buildinfo`   — name/version.
+//!
+//! On SIGTERM/SIGINT the daemon performs one final poll, flushes held-back
+//! partial lines, retires everything in flight, writes `--final-report`
+//! (if given), and exits 0 — the final report matches what batch
+//! `sdchecker` computes over the finished directory.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use obs::{GaugeRegistry, HttpServer, Request, Response, PROMETHEUS_CONTENT_TYPE};
+use sdchecker::{DirTailer, IncrementalAnalyzer, IncrementalConfig, RetiredApp};
+
+const USAGE: &str = "usage: sdcheckerd <watch-dir> [--listen ADDR] [--port-file PATH] \
+[--poll-ms N] [--settle-ms N] [--idle-timeout-ms N] [--final-report PATH] \
+[--run-for-ms N] [--quiet]";
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    extern "C" fn on_signal(_sig: i32) {
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    unsafe {
+        signal(2, on_signal); // SIGINT
+        signal(15, on_signal); // SIGTERM
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
+/// Health state the poll loop publishes and the HTTP thread reads.
+#[derive(Debug, Default, Clone)]
+struct Health {
+    ready: bool,
+    polls: u64,
+    records: u64,
+    in_flight: u64,
+    retired: u64,
+    truncated: u64,
+    complete: u64,
+    late_events: u64,
+    sources: u64,
+    lag_bytes: u64,
+    lag_ms: u64,
+    events_buffered: u64,
+    watermark_ms: Option<u64>,
+}
+
+struct Shared {
+    report: Mutex<String>,
+    health: Mutex<Health>,
+    /// Last wall-clock instant a poll made progress (read records or
+    /// retired an app) — the watchdog `/healthz` ages against.
+    last_progress: Mutex<Instant>,
+    started: Instant,
+}
+
+impl Shared {
+    fn health(&self) -> Health {
+        self.health
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+}
+
+fn describe_daemon_metrics() {
+    obs::describe("sdcheckerd_polls_total", "Tail polls performed");
+    obs::describe("sdcheckerd_poll_errors_total", "Tail polls that failed");
+    obs::describe("sdcheckerd_records_total", "Log records ingested");
+    obs::describe(
+        "sdcheckerd_read_bytes_total",
+        "Bytes read from tailed log files",
+    );
+    obs::describe(
+        "sdcheckerd_apps_retired_total",
+        "Applications retired (analysis complete, evidence dropped)",
+    );
+    obs::describe(
+        "sdcheckerd_apps_forced_total",
+        "Applications force-retired by the idle timeout",
+    );
+    obs::describe(
+        "sdcheckerd_late_events_total",
+        "Events that arrived after their application retired",
+    );
+    obs::describe(
+        "sdcheckerd_apps_in_flight",
+        "Applications currently buffered awaiting retirement",
+    );
+    obs::describe(
+        "sdcheckerd_events_buffered",
+        "Events currently buffered across in-flight applications",
+    );
+    obs::describe(
+        "sdcheckerd_tail_sources",
+        "Log files currently tracked by the tailer",
+    );
+    obs::describe(
+        "sdcheckerd_tail_lag_bytes",
+        "Bytes on disk not yet consumed into records",
+    );
+    obs::describe(
+        "sdcheckerd_tail_lag_ms",
+        "Largest per-source log-time lag behind the watermark, in ms",
+    );
+    obs::describe(
+        "sdcheckerd_uptime_seconds",
+        "Seconds since the daemon started",
+    );
+}
+
+fn healthz_json(h: &Health, progress_age_ms: u64, uptime_ms: u64) -> String {
+    let status = if h.ready { "ok" } else { "starting" };
+    format!(
+        "{{\"status\": \"{status}\", \"ready\": {}, \"uptime_ms\": {uptime_ms}, \
+         \"polls\": {}, \"records\": {}, \"in_flight\": {}, \"retired\": {}, \
+         \"truncated\": {}, \"complete\": {}, \"late_events\": {}, \
+         \"events_buffered\": {}, \"sources\": {}, \"lag_bytes\": {}, \
+         \"lag_ms\": {}, \"watermark_ms\": {}, \"last_progress_ms\": {progress_age_ms}}}\n",
+        h.ready,
+        h.polls,
+        h.records,
+        h.in_flight,
+        h.retired,
+        h.truncated,
+        h.complete,
+        h.late_events,
+        h.events_buffered,
+        h.sources,
+        h.lag_bytes,
+        h.lag_ms,
+        h.watermark_ms
+            .map(|w| w.to_string())
+            .unwrap_or_else(|| "null".into()),
+    )
+}
+
+fn handle(req: &Request, shared: &Shared, gauges: &GaugeRegistry) -> Response {
+    match req.path.as_str() {
+        "/metrics" => {
+            let mut snap = obs::global().snapshot();
+            gauges.sample_into(&mut snap);
+            Response::ok(PROMETHEUS_CONTENT_TYPE, obs::prometheus_text(&snap))
+        }
+        "/report.json" => {
+            let report = shared.report.lock().unwrap_or_else(|e| e.into_inner());
+            Response::json(report.clone())
+        }
+        "/healthz" => {
+            let h = shared.health();
+            let age = shared
+                .last_progress
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .elapsed()
+                .as_millis() as u64;
+            let uptime = shared.started.elapsed().as_millis() as u64;
+            Response::json(healthz_json(&h, age, uptime))
+        }
+        "/readyz" => {
+            if shared.health().ready {
+                Response::json("{\"ready\": true}\n")
+            } else {
+                Response {
+                    status: 503,
+                    content_type: "application/json".to_string(),
+                    body: b"{\"ready\": false}\n".to_vec(),
+                }
+            }
+        }
+        "/buildinfo" => Response::json(format!(
+            "{{\"name\": \"sdcheckerd\", \"version\": \"{}\", \
+             \"report_schema\": \"sdcheckerd-report-v1\"}}\n",
+            env!("CARGO_PKG_VERSION"),
+        )),
+        _ => Response::not_found(),
+    }
+}
+
+/// Publish the current pipeline state for the HTTP thread.
+fn refresh(
+    shared: &Shared,
+    tailer: &DirTailer,
+    analyzer: &IncrementalAnalyzer,
+    polls: u64,
+    records: u64,
+    ready: bool,
+) {
+    let lag = tailer.lag();
+    let stats = tailer.stats();
+    let report = analyzer.live_report_json(Some((&lag, &stats)));
+    *shared.report.lock().unwrap_or_else(|e| e.into_inner()) = report;
+    let h = Health {
+        ready,
+        polls,
+        records,
+        in_flight: analyzer.in_flight() as u64,
+        retired: analyzer.retired(),
+        truncated: analyzer.truncated(),
+        complete: analyzer.complete(),
+        late_events: analyzer.late_events(),
+        sources: lag.sources,
+        lag_bytes: lag.bytes,
+        lag_ms: lag.max_ms,
+        events_buffered: analyzer.events_buffered() as u64,
+        watermark_ms: analyzer.watermark().map(|w| w.0),
+    };
+    *shared.health.lock().unwrap_or_else(|e| e.into_inner()) = h;
+}
+
+fn note_retirements(retired: &[RetiredApp], quiet: bool) {
+    for r in retired {
+        obs::count("sdcheckerd_apps_retired_total", 1);
+        if r.forced {
+            obs::count("sdcheckerd_apps_forced_total", 1);
+        }
+        if !quiet {
+            let name = r.name.as_deref().unwrap_or("(unnamed)");
+            let total = r
+                .delays
+                .total_ms
+                .map(|t| format!("{t} ms total delay"))
+                .unwrap_or_else(|| "no complete delay".into());
+            eprintln!(
+                "retired {} [{name}]: {}, {total}{}",
+                r.app,
+                r.delays.outcome.label(),
+                if r.unused > 0 {
+                    format!(", {} unused containers", r.unused)
+                } else {
+                    String::new()
+                },
+            );
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let Some(dir) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    if dir.starts_with('-') {
+        eprintln!("expected <watch-dir> as the first argument, got {dir}");
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    }
+    let dir = PathBuf::from(dir);
+    let mut listen = "127.0.0.1:9464".to_string();
+    let mut port_file: Option<PathBuf> = None;
+    let mut poll_ms: u64 = 200;
+    let mut cfg = IncrementalConfig::default();
+    let mut final_report: Option<PathBuf> = None;
+    let mut run_for_ms: Option<u64> = None;
+    let mut quiet = false;
+    let mut i = 1;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        match flag {
+            "--quiet" => {
+                quiet = true;
+                i += 1;
+                continue;
+            }
+            "--listen" | "--port-file" | "--poll-ms" | "--settle-ms" | "--idle-timeout-ms"
+            | "--final-report" | "--run-for-ms" => {}
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+        let Some(value) = args.get(i + 1) else {
+            eprintln!("{flag} requires a value");
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        };
+        let parse_u64 = |v: &str| -> Option<u64> { v.parse().ok() };
+        match flag {
+            "--listen" => listen = value.clone(),
+            "--port-file" => port_file = Some(PathBuf::from(value)),
+            "--final-report" => final_report = Some(PathBuf::from(value)),
+            "--poll-ms" => match parse_u64(value) {
+                Some(n) if n > 0 => poll_ms = n,
+                _ => {
+                    eprintln!("invalid --poll-ms value: {value}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--settle-ms" => match parse_u64(value) {
+                Some(n) => cfg.settle_ms = n,
+                None => {
+                    eprintln!("invalid --settle-ms value: {value}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--idle-timeout-ms" => match parse_u64(value) {
+                Some(n) => cfg.idle_timeout_ms = n,
+                None => {
+                    eprintln!("invalid --idle-timeout-ms value: {value}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--run-for-ms" => match parse_u64(value) {
+                Some(n) => run_for_ms = Some(n),
+                None => {
+                    eprintln!("invalid --run-for-ms value: {value}");
+                    return ExitCode::from(2);
+                }
+            },
+            _ => {}
+        }
+        i += 2;
+    }
+
+    obs::enable();
+    sdchecker::describe_metrics();
+    describe_daemon_metrics();
+    install_signal_handlers();
+
+    let mut tailer = match DirTailer::new(&dir) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot tail {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut analyzer = IncrementalAnalyzer::new(cfg);
+
+    let server = match HttpServer::bind(&listen) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot listen on {listen}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = match server.local_addr() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("cannot resolve listen address: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(p) = &port_file {
+        if let Err(e) = std::fs::write(p, format!("{addr}\n")) {
+            eprintln!("cannot write port file {}: {e}", p.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    if !quiet {
+        eprintln!(
+            "sdcheckerd: watching {} — listening on http://{addr} \
+             (/metrics /report.json /healthz /readyz /buildinfo)",
+            dir.display()
+        );
+    }
+
+    let shared = Arc::new(Shared {
+        report: Mutex::new("{\"schema\": \"sdcheckerd-report-v1\"}\n".to_string()),
+        health: Mutex::new(Health::default()),
+        last_progress: Mutex::new(Instant::now()),
+        started: Instant::now(),
+    });
+    let gauges = Arc::new(GaugeRegistry::new());
+    {
+        let s = Arc::clone(&shared);
+        gauges.register("sdcheckerd_apps_in_flight", move || {
+            s.health().in_flight as f64
+        });
+        let s = Arc::clone(&shared);
+        gauges.register("sdcheckerd_events_buffered", move || {
+            s.health().events_buffered as f64
+        });
+        let s = Arc::clone(&shared);
+        gauges.register("sdcheckerd_tail_sources", move || s.health().sources as f64);
+        let s = Arc::clone(&shared);
+        gauges.register("sdcheckerd_tail_lag_bytes", move || {
+            s.health().lag_bytes as f64
+        });
+        let s = Arc::clone(&shared);
+        gauges.register("sdcheckerd_tail_lag_ms", move || s.health().lag_ms as f64);
+        let s = Arc::clone(&shared);
+        gauges.register("sdcheckerd_uptime_seconds", move || {
+            s.started.elapsed().as_secs_f64()
+        });
+    }
+
+    let http_thread = {
+        let shared = Arc::clone(&shared);
+        let gauges = Arc::clone(&gauges);
+        std::thread::spawn(move || server.serve(&SHUTDOWN, |req| handle(req, &shared, &gauges)))
+    };
+
+    let deadline = run_for_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+    let mut polls: u64 = 0;
+    let mut records: u64 = 0;
+    let mut read_bytes_prev: u64 = 0;
+    let mut late_prev: u64 = 0;
+    while !SHUTDOWN.load(Ordering::SeqCst) {
+        if let Some(d) = deadline {
+            if Instant::now() >= d {
+                SHUTDOWN.store(true, Ordering::SeqCst);
+                break;
+            }
+        }
+        polls += 1;
+        obs::count("sdcheckerd_polls_total", 1);
+        let batch = match tailer.poll() {
+            Ok(b) => b,
+            Err(e) => {
+                obs::count("sdcheckerd_poll_errors_total", 1);
+                if !quiet {
+                    eprintln!("poll error: {e}");
+                }
+                Vec::new()
+            }
+        };
+        let n = batch.len() as u64;
+        records += n;
+        obs::count("sdcheckerd_records_total", n);
+        for (src, rec) in &batch {
+            analyzer.ingest(*src, rec);
+        }
+        let stats = tailer.stats();
+        obs::count(
+            "sdcheckerd_read_bytes_total",
+            stats.read_bytes.saturating_sub(read_bytes_prev),
+        );
+        read_bytes_prev = stats.read_bytes;
+        let retired = analyzer.drain_ready();
+        note_retirements(&retired, quiet);
+        obs::count(
+            "sdcheckerd_late_events_total",
+            analyzer.late_events().saturating_sub(late_prev),
+        );
+        late_prev = analyzer.late_events();
+        if n > 0 || !retired.is_empty() {
+            *shared
+                .last_progress
+                .lock()
+                .unwrap_or_else(|e| e.into_inner()) = Instant::now();
+        }
+        refresh(&shared, &tailer, &analyzer, polls, records, true);
+        // Sleep in short slices so SIGTERM turns around quickly.
+        let mut slept = 0;
+        while slept < poll_ms && !SHUTDOWN.load(Ordering::SeqCst) {
+            let slice = (poll_ms - slept).min(25);
+            std::thread::sleep(Duration::from_millis(slice));
+            slept += slice;
+        }
+    }
+
+    // Drain: one final poll picks up everything flushed before the signal,
+    // held-back partial lines become final records (batch parity for a
+    // stream whose last line lacks a newline), and every in-flight app
+    // retires.
+    if let Ok(batch) = tailer.poll() {
+        records += batch.len() as u64;
+        obs::count("sdcheckerd_records_total", batch.len() as u64);
+        for (src, rec) in &batch {
+            analyzer.ingest(*src, rec);
+        }
+    }
+    let tail_end = tailer.flush_partial();
+    records += tail_end.len() as u64;
+    obs::count("sdcheckerd_records_total", tail_end.len() as u64);
+    for (src, rec) in &tail_end {
+        analyzer.ingest(*src, rec);
+    }
+    let retired = analyzer.finish();
+    note_retirements(&retired, quiet);
+    refresh(&shared, &tailer, &analyzer, polls, records, true);
+    if let Some(p) = &final_report {
+        let report = shared
+            .report
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
+        if let Err(e) = std::fs::write(p, report) {
+            eprintln!("cannot write final report {}: {e}", p.display());
+            return ExitCode::FAILURE;
+        }
+        if !quiet {
+            eprintln!("wrote final report to {}", p.display());
+        }
+    }
+    SHUTDOWN.store(true, Ordering::SeqCst);
+    let _ = http_thread.join();
+    if !quiet {
+        eprintln!(
+            "sdcheckerd: {} polls, {} records, {} apps retired ({} truncated), \
+             {} in flight at shutdown",
+            polls,
+            records,
+            analyzer.retired(),
+            analyzer.truncated(),
+            analyzer.in_flight(),
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -57,7 +57,7 @@ const EVENTS_PER_STREAM_BOUNDS: &[u64] = &[1, 4, 16, 64, 256, 1024, 4096];
 
 /// How one log line fared against the extraction rules.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Outcome {
+pub enum Outcome {
     /// A scheduling event was emitted, or the line is a recognized
     /// transition the rules deliberately skip (e.g. NEW → NEW_SAVING).
     Matched,
@@ -88,7 +88,8 @@ pub struct CoverageCounts {
 }
 
 impl CoverageCounts {
-    fn tally(&mut self, outcome: Outcome) {
+    /// Count one line's classification.
+    pub fn tally(&mut self, outcome: Outcome) {
         match outcome {
             Outcome::Matched => self.matched += 1,
             Outcome::Unmatched => self.unmatched += 1,
@@ -263,6 +264,34 @@ impl ParseCoverage {
     }
 }
 
+/// Incremental extraction position within one log stream.
+///
+/// The only cross-record state extraction needs is *whether the stream
+/// has produced a record yet* (the §III-B first-log rule for driver and
+/// executor streams). A cursor captures that, so a tailing consumer can
+/// feed records one at a time — across any number of polls — and get
+/// exactly the events a whole-stream batch scan would emit.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamCursor {
+    source: LogSource,
+    seen_first: bool,
+}
+
+impl StreamCursor {
+    /// A cursor at the start of `source`'s stream.
+    pub fn new(source: LogSource) -> StreamCursor {
+        StreamCursor {
+            source,
+            seen_first: false,
+        }
+    }
+
+    /// The stream this cursor tracks.
+    pub fn source(&self) -> LogSource {
+        self.source
+    }
+}
+
 /// Compiled rule set for all Table-I messages.
 pub struct Extractor {
     rm_app: Pat,
@@ -315,39 +344,37 @@ impl Extractor {
         let mut out = Vec::new();
         let mut cov = CoverageCounts::default();
         let mut example = None;
-        let mut tally = |cov: &mut CoverageCounts, r: &LogRecord, outcome: Outcome| {
+        let mut cursor = StreamCursor::new(source);
+        for r in records {
+            let outcome = self.extract_record(&mut cursor, r, &mut out);
             if outcome == Outcome::Unmatched && example.is_none() {
                 example = Some(r.message.clone());
             }
             cov.tally(outcome);
-        };
-        match source {
-            LogSource::ResourceManager => {
-                for r in records {
-                    let o = self.extract_rm(r, &mut out);
-                    tally(&mut cov, r, o);
-                }
-            }
-            LogSource::NodeManager(node) => {
-                for r in records {
-                    let o = self.extract_nm(node, r, &mut out);
-                    tally(&mut cov, r, o);
-                }
-            }
-            LogSource::Driver(app) => {
-                for (i, r) in records.iter().enumerate() {
-                    let o = self.extract_driver(app, i == 0, r, &mut out);
-                    tally(&mut cov, r, o);
-                }
-            }
-            LogSource::Executor(cid) => {
-                for (i, r) in records.iter().enumerate() {
-                    let o = self.extract_executor(cid, i == 0, r, &mut out);
-                    tally(&mut cov, r, o);
-                }
-            }
         }
         (out, cov, example)
+    }
+
+    /// Extract one record at the cursor's position, appending any events
+    /// to `out` and advancing the cursor. Feeding a stream's records
+    /// through this one at a time — in any poll chunking — yields
+    /// exactly the events and classifications of a whole-stream scan;
+    /// this is the primitive the incremental (tailing) pipeline is built
+    /// on.
+    pub fn extract_record(
+        &self,
+        cursor: &mut StreamCursor,
+        r: &LogRecord,
+        out: &mut Vec<SchedEvent>,
+    ) -> Outcome {
+        let is_first = !cursor.seen_first;
+        cursor.seen_first = true;
+        match cursor.source {
+            LogSource::ResourceManager => self.extract_rm(r, out),
+            LogSource::NodeManager(node) => self.extract_nm(node, r, out),
+            LogSource::Driver(app) => self.extract_driver(app, is_first, r, out),
+            LogSource::Executor(cid) => self.extract_executor(cid, is_first, r, out),
+        }
     }
 
     fn extract_rm(&self, r: &LogRecord, out: &mut Vec<SchedEvent>) -> Outcome {
@@ -1152,6 +1179,48 @@ mod tests {
             ParseCoverage::default().summary_line(),
             "Parse coverage: no log lines"
         );
+    }
+
+    #[test]
+    fn record_at_a_time_matches_stream_scan() {
+        let ex = Extractor::new();
+        let a = app();
+        for src in [
+            LogSource::ResourceManager,
+            LogSource::Driver(a),
+            LogSource::Executor(a.attempt(1).container(2)),
+        ] {
+            let records = vec![
+                rec(1, "ApplicationMaster", "banner line".to_string()),
+                rec(
+                    5,
+                    "RMAppImpl",
+                    format!(
+                        "{a} State change from NEW_SAVING to SUBMITTED on event = APP_NEW_SAVED"
+                    ),
+                ),
+                rec(
+                    9,
+                    "ApplicationMaster",
+                    "Registered with ResourceManager as appattempt".to_string(),
+                ),
+                rec(
+                    12,
+                    "Executor",
+                    "Got assigned task 0 in stage 0.0 (TID 0)".to_string(),
+                ),
+            ];
+            let (batch_evs, batch_cov, _) = ex.extract_stream_scan(src, &records);
+            let mut cursor = StreamCursor::new(src);
+            assert_eq!(cursor.source(), src);
+            let mut evs = Vec::new();
+            let mut cov = CoverageCounts::default();
+            for r in &records {
+                cov.tally(ex.extract_record(&mut cursor, r, &mut evs));
+            }
+            assert_eq!(evs, batch_evs, "source {src:?}");
+            assert_eq!(cov, batch_cov, "source {src:?}");
+        }
     }
 
     #[test]

@@ -1,0 +1,854 @@
+//! Incremental analysis: consume records as they arrive, retire
+//! applications as their evidence completes.
+//!
+//! The batch pipeline holds a whole corpus in memory, extracts every
+//! event, and analyzes at end-of-run. An always-on service cannot do
+//! that — its input never ends. [`IncrementalAnalyzer`] restructures the
+//! same pipeline around per-application lifecycle:
+//!
+//! 1. **Ingest** — records are fed one at a time (in per-stream order,
+//!    which the tailing reader guarantees) through
+//!    [`Extractor::extract_record`] with a [`StreamCursor`] per stream,
+//!    so extraction is exactly what a whole-stream batch scan produces.
+//!    Events are bucketed by owning application.
+//! 2. **Retire** — once an application shows terminal evidence
+//!    (unregistered / finished / failed / killed) and the record
+//!    watermark has advanced `settle_ms` past it — long enough for the
+//!    cross-stream stragglers of that app (executor task lines, NM DONE
+//!    transitions) to land — its events are stable-sorted by
+//!    `(ts, source)` and pushed through the same per-application unit
+//!    the parallel batch path uses ([`analyze_app_events`]). That sort
+//!    reproduces the batch k-way merge order within one application, so
+//!    a retired app's delays are **identical** to what a batch run over
+//!    the finished corpus computes. An idle timeout (measured in *log
+//!    time* against the watermark, so it is deterministic under replay)
+//!    force-retires stragglers whose streams simply stop, classifying
+//!    them `Truncated` exactly as batch does for a cut-off corpus.
+//! 3. **Aggregate** — retirement folds the app into fleet-level
+//!    [`QuantileSketch`]es, outcome counts, and critical-path blame,
+//!    then *drops the raw events*: memory is bounded by the number of
+//!    in-flight applications, not the length of the run.
+//!
+//! [`IncrementalAnalyzer::live_report_json`] renders the current fleet
+//! state in the same shape as the batch report's `fleet` section, so a
+//! dashboard scraping the daemon mid-run reads the same numbers a batch
+//! report over the same (finished) corpus would show.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+use logmodel::{ApplicationId, LogRecord, LogSource, TsMs};
+use obs::QuantileSketch;
+
+use crate::analyze::{analyze_app_events, stream_one_delay_sketches};
+use crate::critical::critical_path;
+use crate::decompose::{AppDelays, AppOutcome, APP_COMPONENTS, CONTAINER_COMPONENTS};
+use crate::event::{EventKind, SchedEvent};
+use crate::extract::{CoverageCounts, Extractor, Outcome, ParseCoverage, SourceKind, StreamCursor};
+use crate::pattern::Pat;
+use crate::tail::{TailLag, TailStats};
+
+/// Retirement policy for the incremental pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct IncrementalConfig {
+    /// How far (in log-time ms) the record watermark must advance past an
+    /// application's terminal event before it retires — the grace window
+    /// for cross-stream stragglers of that application.
+    pub settle_ms: u64,
+    /// Force-retire an application whose streams have been silent for
+    /// this long in log time (0 disables). Without terminal evidence it
+    /// classifies as `Truncated`, exactly as batch does for a corpus
+    /// that stops mid-run.
+    pub idle_timeout_ms: u64,
+}
+
+impl Default for IncrementalConfig {
+    fn default() -> IncrementalConfig {
+        IncrementalConfig {
+            settle_ms: 2_000,
+            idle_timeout_ms: 60_000,
+        }
+    }
+}
+
+/// One in-flight application's buffered evidence.
+#[derive(Debug, Default)]
+struct AppState {
+    events: Vec<SchedEvent>,
+    /// Latest terminal-event timestamp (retirement anchor).
+    terminal_ts: Option<TsMs>,
+    /// Latest event timestamp (idle detection).
+    last_event_ts: Option<TsMs>,
+}
+
+/// A retired application: the per-app analysis the batch pipeline would
+/// have produced for it.
+#[derive(Debug)]
+pub struct RetiredApp {
+    /// The application.
+    pub app: ApplicationId,
+    /// Display name mined from the driver banner, if seen.
+    pub name: Option<String>,
+    /// Full delay decomposition (identical to the batch result).
+    pub delays: AppDelays,
+    /// Allocated-but-never-used containers (SPARK-21562 signature).
+    pub unused: usize,
+    /// Whether the idle timeout (rather than terminal evidence) forced
+    /// this retirement.
+    pub forced: bool,
+}
+
+/// Fleet-level aggregates over retired applications. Bounded state: one
+/// sketch per delay component plus a handful of counters, regardless of
+/// how many applications have passed through.
+#[derive(Debug)]
+struct FleetAgg {
+    retired: u64,
+    complete: u64,
+    forced: u64,
+    outcomes: BTreeMap<&'static str, u64>,
+    retried_apps: u64,
+    wasted_ms_total: u64,
+    unused_containers: u64,
+    events_total: u64,
+    app_sketches: Vec<QuantileSketch>,
+    container_sketches: Vec<QuantileSketch>,
+    blame: BTreeMap<&'static str, (u64, u64, f64)>,
+}
+
+impl FleetAgg {
+    fn new() -> FleetAgg {
+        FleetAgg {
+            retired: 0,
+            complete: 0,
+            forced: 0,
+            outcomes: BTreeMap::new(),
+            retried_apps: 0,
+            wasted_ms_total: 0,
+            unused_containers: 0,
+            events_total: 0,
+            app_sketches: APP_COMPONENTS
+                .iter()
+                .map(|_| QuantileSketch::new())
+                .collect(),
+            container_sketches: CONTAINER_COMPONENTS
+                .iter()
+                .map(|_| QuantileSketch::new())
+                .collect(),
+            blame: BTreeMap::new(),
+        }
+    }
+}
+
+/// The incremental ingest → extract → analyze pipeline. See the module
+/// docs for the lifecycle.
+pub struct IncrementalAnalyzer {
+    ex: Extractor,
+    spark_name: Pat,
+    cfg: IncrementalConfig,
+    cursors: BTreeMap<LogSource, StreamCursor>,
+    cov: ParseCoverage,
+    apps: BTreeMap<ApplicationId, AppState>,
+    names: BTreeMap<ApplicationId, String>,
+    retired_ids: BTreeSet<ApplicationId>,
+    late_events: u64,
+    watermark: Option<TsMs>,
+    fleet: FleetAgg,
+}
+
+impl Default for IncrementalAnalyzer {
+    fn default() -> Self {
+        Self::new(IncrementalConfig::default())
+    }
+}
+
+impl IncrementalAnalyzer {
+    /// A fresh pipeline with the given retirement policy.
+    pub fn new(cfg: IncrementalConfig) -> IncrementalAnalyzer {
+        IncrementalAnalyzer {
+            ex: Extractor::new(),
+            spark_name: Pat::new_static(crate::schema::SPARK_APP_NAME_TEMPLATE),
+            cfg,
+            cursors: BTreeMap::new(),
+            cov: ParseCoverage::default(),
+            apps: BTreeMap::new(),
+            names: BTreeMap::new(),
+            retired_ids: BTreeSet::new(),
+            late_events: 0,
+            watermark: None,
+            fleet: FleetAgg::new(),
+        }
+    }
+
+    /// Consume one record. Records must arrive in order *within* each
+    /// stream (any interleaving across streams is fine) — the contract
+    /// [`crate::tail::DirTailer::poll`] provides.
+    pub fn ingest(&mut self, source: LogSource, r: &LogRecord) {
+        let cursor = self
+            .cursors
+            .entry(source)
+            .or_insert_with(|| StreamCursor::new(source));
+        let mut events = Vec::new();
+        let outcome = self.ex.extract_record(cursor, r, &mut events);
+        let kind = SourceKind::of(source);
+        let mut one = CoverageCounts::default();
+        one.tally(outcome);
+        self.cov.record(kind, one);
+        if outcome == Outcome::Unmatched {
+            self.cov.note_unmatched_example(kind, r.message.clone());
+        }
+        self.watermark = Some(self.watermark.map_or(r.ts, |w| w.max(r.ts)));
+        if obs::enabled() {
+            let status = match outcome {
+                Outcome::Matched => "matched",
+                Outcome::Unmatched => "unmatched",
+                Outcome::Anomalous => "anomalous",
+                Outcome::Ignored => "ignored",
+            };
+            obs::count_labeled(
+                "parse_lines_total",
+                &[("source", kind.name()), ("status", status)],
+                1,
+            );
+            for ev in &events {
+                obs::count_labeled("extract_events_total", &[("kind", ev.kind.name())], 1);
+            }
+        }
+        if let LogSource::Driver(app) = source {
+            if !self.names.contains_key(&app) && !self.retired_ids.contains(&app) {
+                if let Some(caps) = self.spark_name.match_str(&r.message) {
+                    self.names.insert(app, caps[0].to_string());
+                }
+            }
+        }
+        for ev in events {
+            if self.retired_ids.contains(&ev.app) {
+                // Evidence arrived after the app retired (settle window
+                // too short, or a very late stream). Counted, not
+                // re-analyzed: retirement is final.
+                self.late_events += 1;
+                continue;
+            }
+            let state = self.apps.entry(ev.app).or_default();
+            if matches!(
+                ev.kind,
+                EventKind::AppUnregistered
+                    | EventKind::AppFinished
+                    | EventKind::AppFailed
+                    | EventKind::AppKilled
+            ) {
+                state.terminal_ts = Some(state.terminal_ts.map_or(ev.ts, |t| t.max(ev.ts)));
+            }
+            state.last_event_ts = Some(state.last_event_ts.map_or(ev.ts, |t| t.max(ev.ts)));
+            state.events.push(ev);
+        }
+    }
+
+    /// Retire every application whose evidence is complete (terminal
+    /// event + settle window) or whose streams have gone idle past the
+    /// timeout. Returns the retired apps in ascending-id order.
+    pub fn drain_ready(&mut self) -> Vec<RetiredApp> {
+        let Some(watermark) = self.watermark else {
+            return Vec::new();
+        };
+        let ready: Vec<(ApplicationId, bool)> = self
+            .apps
+            .iter()
+            .filter_map(|(app, state)| {
+                if let Some(t) = state.terminal_ts {
+                    if watermark.since(t) >= self.cfg.settle_ms {
+                        return Some((*app, false));
+                    }
+                }
+                if self.cfg.idle_timeout_ms > 0 {
+                    if let Some(last) = state.last_event_ts {
+                        if watermark.since(last) >= self.cfg.idle_timeout_ms {
+                            return Some((*app, true));
+                        }
+                    }
+                }
+                None
+            })
+            .collect();
+        ready
+            .into_iter()
+            .map(|(app, forced)| self.retire(app, forced))
+            .collect()
+    }
+
+    /// Retire everything still in flight, regardless of settle windows.
+    /// Call at shutdown: the result matches batch analysis of the corpus
+    /// as it stands.
+    pub fn finish(&mut self) -> Vec<RetiredApp> {
+        let remaining: Vec<ApplicationId> = self.apps.keys().copied().collect();
+        remaining
+            .into_iter()
+            .map(|app| self.retire(app, false))
+            .collect()
+    }
+
+    fn retire(&mut self, app: ApplicationId, forced: bool) -> RetiredApp {
+        let mut state = self.apps.remove(&app).unwrap_or_default();
+        self.retired_ids.insert(app);
+        // Stable sort by (ts, source) reproduces the batch k-way merge
+        // order within one application: the merge emits by timestamp with
+        // ties broken by stream index, streams are enumerated in
+        // `LogSource` order, and the per-stream event order survives the
+        // stable sort.
+        state.events.sort_by_key(|e| (e.ts, e.source));
+        let (graph, delays, unused) = analyze_app_events(app, &state.events);
+        let f = &mut self.fleet;
+        f.retired += 1;
+        if forced {
+            f.forced += 1;
+        }
+        if delays.total_ms.is_some() {
+            f.complete += 1;
+        }
+        *f.outcomes.entry(delays.outcome.label()).or_insert(0) += 1;
+        if delays.attempts > 1 {
+            f.retried_apps += 1;
+        }
+        f.wasted_ms_total += delays.wasted_ms;
+        f.unused_containers += unused.len() as u64;
+        f.events_total += state.events.len() as u64;
+        for (i, (_, acc)) in APP_COMPONENTS.iter().enumerate() {
+            if let Some(v) = acc(&delays) {
+                f.app_sketches[i].observe(v);
+            }
+        }
+        for c in &delays.containers {
+            for (i, (_, acc)) in CONTAINER_COMPONENTS.iter().enumerate() {
+                if let Some(v) = acc(c) {
+                    f.container_sketches[i].observe(v);
+                }
+            }
+        }
+        if let Some(p) = critical_path(&graph) {
+            for seg in &p.segments {
+                let e = f.blame.entry(seg.component).or_insert((0, 0, 0.0));
+                e.0 += 1;
+                e.1 += seg.dur_ms();
+                e.2 += p.blame_pct(seg);
+            }
+        }
+        if obs::enabled() {
+            obs::count("analyze_apps_total", 1);
+            obs::count("unused_containers_total", unused.len() as u64);
+            if matches!(delays.outcome, AppOutcome::Failed | AppOutcome::Killed) {
+                obs::count_labeled(
+                    "analyze_app_outcomes_total",
+                    &[("outcome", delays.outcome.label())],
+                    1,
+                );
+            }
+            if delays.attempts > 1 {
+                obs::count("analyze_retried_apps_total", 1);
+            }
+            if delays.wasted_ms > 0 {
+                obs::count("analyze_wasted_delay_ms_total", delays.wasted_ms);
+            }
+            stream_one_delay_sketches(&delays);
+        }
+        RetiredApp {
+            app,
+            name: self.names.remove(&app),
+            delays,
+            unused: unused.len(),
+            forced,
+        }
+    }
+
+    /// Applications currently buffered (memory is proportional to this).
+    pub fn in_flight(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// Applications retired so far.
+    pub fn retired(&self) -> u64 {
+        self.fleet.retired
+    }
+
+    /// Retired applications that classified as `Truncated`.
+    pub fn truncated(&self) -> u64 {
+        self.fleet
+            .outcomes
+            .get(AppOutcome::Truncated.label())
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Retired applications with a complete total-delay measurement.
+    pub fn complete(&self) -> u64 {
+        self.fleet.complete
+    }
+
+    /// Events that arrived for an already-retired application.
+    pub fn late_events(&self) -> u64 {
+        self.late_events
+    }
+
+    /// The newest record timestamp ingested.
+    pub fn watermark(&self) -> Option<TsMs> {
+        self.watermark
+    }
+
+    /// Parse coverage over everything ingested so far.
+    pub fn coverage(&self) -> &ParseCoverage {
+        &self.cov
+    }
+
+    /// Events currently buffered across all in-flight applications.
+    pub fn events_buffered(&self) -> usize {
+        self.apps.values().map(|s| s.events.len()).sum()
+    }
+
+    /// The current fleet snapshot as one JSON document (schema
+    /// `sdcheckerd-report-v1`). Mirrors the batch report's `fleet` and
+    /// `coverage` sections — same component names, same sketch summary
+    /// shape, same blame aggregation — plus live-only state: in-flight
+    /// counts, outcome tallies, and (when provided) tailing lag.
+    pub fn live_report_json(&self, tail: Option<(&TailLag, &TailStats)>) -> String {
+        use obs::export::sketch_json;
+        use obs::json::fmt_f64;
+
+        let f = &self.fleet;
+        let mut out = String::from("{\n  \"schema\": \"sdcheckerd-report-v1\",\n  \"fleet\": {");
+        let _ = write!(
+            out,
+            "\n    \"applications\": {},\n    \"retired\": {},\n    \"in_flight\": {},\
+             \n    \"complete\": {},\n    \"forced_retirements\": {},\n    \"late_events\": {},",
+            f.retired + self.apps.len() as u64,
+            f.retired,
+            self.apps.len(),
+            f.complete,
+            f.forced,
+            self.late_events,
+        );
+        out.push_str("\n    \"outcomes\": {");
+        for (j, (label, n)) in f.outcomes.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{label}\": {n}");
+        }
+        out.push_str("},");
+        let _ = write!(
+            out,
+            "\n    \"retried_apps\": {},\n    \"wasted_ms_total\": {},\
+             \n    \"unused_containers\": {},\n    \"events_analyzed\": {},",
+            f.retried_apps, f.wasted_ms_total, f.unused_containers, f.events_total,
+        );
+        out.push_str("\n    \"app_components_ms\": {");
+        for (j, (name, _)) in APP_COMPONENTS.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let s = &f.app_sketches[j];
+            let rendered = if s.count() == 0 {
+                "null".to_string()
+            } else {
+                sketch_json(s)
+            };
+            let _ = write!(out, "\n      \"{name}\": {rendered}");
+        }
+        out.push_str("\n    },\n    \"container_components_ms\": {");
+        for (j, (name, _)) in CONTAINER_COMPONENTS.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let s = &f.container_sketches[j];
+            let rendered = if s.count() == 0 {
+                "null".to_string()
+            } else {
+                sketch_json(s)
+            };
+            let _ = write!(out, "\n      \"{name}\": {rendered}");
+        }
+        out.push_str("\n    },\n    \"critical_blame\": {");
+        for (j, (component, (n, sum_ms, sum_pct))) in f.blame.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n      \"{component}\": {{\"count\": {n}, \"mean_ms\": {}, \"mean_pct\": {}}}",
+                fmt_f64((*sum_ms as f64 / *n as f64 * 10.0).round() / 10.0),
+                fmt_f64((sum_pct / *n as f64 * 10.0).round() / 10.0),
+            );
+        }
+        out.push_str("\n    }\n  },\n  \"coverage\": {");
+        for (j, (kind, c)) in self.cov.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    \"{}\": {{\"matched\": {}, \"unmatched\": {}, ",
+                kind.name(),
+                c.matched,
+                c.unmatched,
+            );
+            if c.anomalous > 0 {
+                let _ = write!(out, "\"anomalous\": {}, ", c.anomalous);
+            }
+            let _ = write!(out, "\"ignored\": {}}}", c.ignored);
+        }
+        out.push_str("\n  },");
+        let _ = write!(
+            out,
+            "\n  \"watermark_ms\": {},",
+            self.watermark
+                .map(|w| w.0.to_string())
+                .unwrap_or_else(|| "null".into())
+        );
+        match tail {
+            Some((lag, stats)) => {
+                let _ = write!(
+                    out,
+                    "\n  \"tail\": {{\"sources\": {}, \"lag_bytes\": {}, \"lag_ms\": {}, \
+                     \"polls\": {}, \"read_bytes\": {}, \"parsed_lines\": {}, \
+                     \"skipped_lines\": {}, \"resets\": {}}}",
+                    lag.sources,
+                    lag.bytes,
+                    lag.max_ms,
+                    stats.polls,
+                    stats.read_bytes,
+                    stats.parsed_lines,
+                    stats.skipped_lines,
+                    stats.resets,
+                );
+            }
+            None => out.push_str("\n  \"tail\": null"),
+        }
+        out.push_str("\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::analyze_store;
+    use logmodel::{Epoch, LogStore, NodeId};
+
+    /// A complete one-app corpus (the same event chain the analyze tests
+    /// use): SUBMITTED → … → first task → unregister.
+    fn one_app_corpus(seq: u32, base: u64) -> LogStore {
+        let epoch = Epoch::default_run();
+        let mut s = LogStore::new(epoch);
+        let a = ApplicationId::new(epoch.unix_ms, seq);
+        let am = a.attempt(1).container(1);
+        let ex = a.attempt(1).container(2);
+        let rm = LogSource::ResourceManager;
+        s.info(
+            rm,
+            TsMs(base + 100),
+            "RMAppImpl",
+            format!("{a} State change from NEW_SAVING to SUBMITTED on event = APP_NEW_SAVED"),
+        );
+        s.info(
+            rm,
+            TsMs(base + 120),
+            "RMAppImpl",
+            format!("{a} State change from SUBMITTED to ACCEPTED on event = APP_ACCEPTED"),
+        );
+        s.info(
+            rm,
+            TsMs(base + 150),
+            "RMContainerImpl",
+            format!("{am} Container Transitioned from NEW to ALLOCATED"),
+        );
+        s.info(
+            rm,
+            TsMs(base + 151),
+            "RMContainerImpl",
+            format!("{am} Container Transitioned from ALLOCATED to ACQUIRED"),
+        );
+        let nm = LogSource::NodeManager(NodeId(1));
+        s.info(
+            nm,
+            TsMs(base + 160),
+            "ContainerImpl",
+            format!("Container {am} transitioned from NEW to LOCALIZING"),
+        );
+        s.info(
+            nm,
+            TsMs(base + 700),
+            "ContainerImpl",
+            format!("Container {am} transitioned from LOCALIZING to SCHEDULED"),
+        );
+        s.info(
+            nm,
+            TsMs(base + 705),
+            "ContainerImpl",
+            format!("Container {am} transitioned from SCHEDULED to RUNNING"),
+        );
+        let drv = LogSource::Driver(a);
+        s.info(
+            drv,
+            TsMs(base + 1400),
+            "ApplicationMaster",
+            format!("Starting ApplicationMaster for tpch-q{seq:02}"),
+        );
+        s.info(
+            drv,
+            TsMs(base + 4400),
+            "ApplicationMaster",
+            "Registered with ResourceManager as attempt",
+        );
+        s.info(
+            rm,
+            TsMs(base + 4400),
+            "RMAppImpl",
+            format!("{a} State change from ACCEPTED to RUNNING on event = ATTEMPT_REGISTERED"),
+        );
+        s.info(
+            drv,
+            TsMs(base + 4401),
+            "YarnAllocator",
+            "START_ALLO Requesting 1 executor containers",
+        );
+        s.info(
+            rm,
+            TsMs(base + 4500),
+            "RMContainerImpl",
+            format!("{ex} Container Transitioned from NEW to ALLOCATED"),
+        );
+        s.info(
+            rm,
+            TsMs(base + 5400),
+            "RMContainerImpl",
+            format!("{ex} Container Transitioned from ALLOCATED to ACQUIRED"),
+        );
+        s.info(
+            drv,
+            TsMs(base + 5400),
+            "YarnAllocator",
+            "END_ALLO All 1 requested executor containers allocated",
+        );
+        s.info(
+            nm,
+            TsMs(base + 5420),
+            "ContainerImpl",
+            format!("Container {ex} transitioned from NEW to LOCALIZING"),
+        );
+        s.info(
+            nm,
+            TsMs(base + 5920),
+            "ContainerImpl",
+            format!("Container {ex} transitioned from LOCALIZING to SCHEDULED"),
+        );
+        s.info(
+            nm,
+            TsMs(base + 5925),
+            "ContainerImpl",
+            format!("Container {ex} transitioned from SCHEDULED to RUNNING"),
+        );
+        let exl = LogSource::Executor(ex);
+        s.info(
+            exl,
+            TsMs(base + 6625),
+            "CoarseGrainedExecutorBackend",
+            "Started executor",
+        );
+        s.info(
+            exl,
+            TsMs(base + 11_000),
+            "Executor",
+            "Got assigned task 0 in stage 0.0 (TID 0)",
+        );
+        s.info(
+            rm,
+            TsMs(base + 40_100),
+            "RMAppImpl",
+            format!(
+                "{a} State change from RUNNING to FINAL_SAVING on event = ATTEMPT_UNREGISTERED"
+            ),
+        );
+        s
+    }
+
+    fn assert_delays_eq(a: &AppDelays, b: &AppDelays) {
+        for (name, f) in APP_COMPONENTS.iter() {
+            assert_eq!(f(a), f(b), "component {name}");
+        }
+        assert_eq!(a.outcome, b.outcome);
+        assert_eq!(a.attempts, b.attempts);
+        assert_eq!(a.wasted_ms, b.wasted_ms);
+        assert_eq!(a.containers.len(), b.containers.len());
+    }
+
+    #[test]
+    fn retired_app_matches_batch_analysis() {
+        let store = one_app_corpus(1, 0);
+        let batch = analyze_store(&store);
+        let mut inc = IncrementalAnalyzer::new(IncrementalConfig {
+            settle_ms: 0,
+            idle_timeout_ms: 0,
+        });
+        for (src, r) in store.records_by_time() {
+            inc.ingest(src, r);
+        }
+        let retired = inc.drain_ready();
+        assert_eq!(retired.len(), 1);
+        assert_eq!(inc.in_flight(), 0);
+        assert_eq!(inc.events_buffered(), 0, "events dropped at retirement");
+        assert_delays_eq(&retired[0].delays, &batch.delays[0]);
+        assert_eq!(retired[0].name.as_deref(), Some("tpch-q01"));
+        assert_eq!(retired[0].unused, batch.unused_containers.len());
+        assert!(!retired[0].forced);
+        assert_eq!(inc.coverage(), &batch.coverage);
+        assert_eq!(inc.complete(), 1);
+        assert_eq!(inc.truncated(), 0);
+    }
+
+    #[test]
+    fn settle_window_defers_retirement_until_watermark_passes() {
+        let store = one_app_corpus(1, 0);
+        let mut inc = IncrementalAnalyzer::new(IncrementalConfig {
+            settle_ms: 5_000,
+            idle_timeout_ms: 0,
+        });
+        for (src, r) in store.records_by_time() {
+            inc.ingest(src, r);
+        }
+        // Terminal at 40_100, watermark at 40_100: settle not elapsed.
+        assert!(inc.drain_ready().is_empty());
+        assert_eq!(inc.in_flight(), 1);
+        // A later record (any stream) advances the watermark past it.
+        inc.ingest(
+            LogSource::ResourceManager,
+            &logmodel::LogRecord::new(
+                TsMs(45_200),
+                logmodel::Level::Info,
+                "CapacityScheduler",
+                "tick".to_string(),
+            ),
+        );
+        let retired = inc.drain_ready();
+        assert_eq!(retired.len(), 1);
+        assert_eq!(retired[0].delays.outcome, AppOutcome::Completed);
+    }
+
+    #[test]
+    fn idle_timeout_force_retires_truncated_stragglers() {
+        let epoch = Epoch::default_run();
+        let a = ApplicationId::new(epoch.unix_ms, 7);
+        let mut inc = IncrementalAnalyzer::new(IncrementalConfig {
+            settle_ms: 0,
+            idle_timeout_ms: 10_000,
+        });
+        inc.ingest(
+            LogSource::ResourceManager,
+            &logmodel::LogRecord::new(
+                TsMs(100),
+                logmodel::Level::Info,
+                "RMAppImpl",
+                format!("{a} State change from NEW_SAVING to SUBMITTED on event = APP_NEW_SAVED"),
+            ),
+        );
+        assert!(inc.drain_ready().is_empty(), "not idle yet");
+        // The stream goes quiet; unrelated chatter moves the watermark.
+        inc.ingest(
+            LogSource::ResourceManager,
+            &logmodel::LogRecord::new(
+                TsMs(20_000),
+                logmodel::Level::Info,
+                "CapacityScheduler",
+                "tick".to_string(),
+            ),
+        );
+        let retired = inc.drain_ready();
+        assert_eq!(retired.len(), 1);
+        assert!(retired[0].forced);
+        assert_eq!(retired[0].delays.outcome, AppOutcome::Truncated);
+        assert_eq!(inc.truncated(), 1);
+    }
+
+    #[test]
+    fn late_events_for_retired_apps_are_counted_not_reanalyzed() {
+        let store = one_app_corpus(1, 0);
+        let mut inc = IncrementalAnalyzer::new(IncrementalConfig {
+            settle_ms: 0,
+            idle_timeout_ms: 0,
+        });
+        for (src, r) in store.records_by_time() {
+            inc.ingest(src, r);
+        }
+        assert_eq!(inc.drain_ready().len(), 1);
+        let a = ApplicationId::new(Epoch::default_run().unix_ms, 1);
+        inc.ingest(
+            LogSource::ResourceManager,
+            &logmodel::LogRecord::new(
+                TsMs(50_000),
+                logmodel::Level::Info,
+                "RMAppImpl",
+                format!("{a} State change from SUBMITTED to ACCEPTED on event = APP_ACCEPTED"),
+            ),
+        );
+        assert_eq!(inc.late_events(), 1);
+        assert_eq!(inc.in_flight(), 0);
+        assert_eq!(inc.retired(), 1);
+    }
+
+    #[test]
+    fn finish_retires_everything_in_flight() {
+        let store = one_app_corpus(2, 0);
+        let mut inc = IncrementalAnalyzer::default();
+        for (src, r) in store.records_by_time() {
+            inc.ingest(src, r);
+        }
+        // Default settle window has not elapsed past the terminal event.
+        assert_eq!(inc.in_flight(), 1);
+        let retired = inc.finish();
+        assert_eq!(retired.len(), 1);
+        assert_eq!(retired[0].delays.outcome, AppOutcome::Completed);
+        assert_eq!(retired[0].name.as_deref(), Some("tpch-q02"));
+        assert_eq!(inc.in_flight(), 0);
+    }
+
+    #[test]
+    fn live_report_mirrors_fleet_shape() {
+        let store = one_app_corpus(1, 0);
+        let mut inc = IncrementalAnalyzer::new(IncrementalConfig {
+            settle_ms: 0,
+            idle_timeout_ms: 0,
+        });
+        for (src, r) in store.records_by_time() {
+            inc.ingest(src, r);
+        }
+        inc.drain_ready();
+        let doc = inc.live_report_json(None);
+        let v = obs::json::parse(&doc).expect("live report parses");
+        assert_eq!(
+            v.get("schema").and_then(|s| s.as_str()),
+            Some("sdcheckerd-report-v1")
+        );
+        let fleet = v.get("fleet").expect("fleet section");
+        assert_eq!(fleet.get("retired").and_then(|n| n.as_f64()), Some(1.0));
+        assert_eq!(
+            fleet
+                .get("outcomes")
+                .and_then(|o| o.get("completed"))
+                .and_then(|n| n.as_f64()),
+            Some(1.0)
+        );
+        // Fleet sketches carry the same component keys as the batch
+        // report, and a retired app's total shows up in them.
+        let total = fleet
+            .get("app_components_ms")
+            .and_then(|m| m.get("total"))
+            .and_then(|s| s.get("count"))
+            .and_then(|n| n.as_f64());
+        assert_eq!(total, Some(1.0));
+        assert!(
+            v.get("coverage")
+                .and_then(|c| c.get("resourcemanager"))
+                .and_then(|c| c.get("matched"))
+                .is_some(),
+            "coverage section present"
+        );
+        assert!(doc.contains("\"tail\": null"));
+    }
+}

@@ -49,16 +49,21 @@ pub mod decompose;
 pub mod event;
 pub mod extract;
 pub mod graph;
+pub mod incremental;
 pub mod nodes;
 pub mod pattern;
 pub mod report;
 pub mod schema;
 pub mod stats;
+pub mod tail;
 pub mod throughput;
 pub mod timeline;
 pub mod validate;
 
-pub use analyze::{analyze_dir, analyze_dir_with, analyze_store, analyze_store_with, Analysis};
+pub use analyze::{
+    analyze_app_events, analyze_dir, analyze_dir_with, analyze_store, analyze_store_with,
+    describe_metrics, Analysis,
+};
 pub use apptrace::{app_trace_into, corpus_app_trace};
 pub use bugs::{find_unused_containers, UnusedContainer};
 pub use critical::{critical_path, CriticalPath, CriticalSegment};
@@ -66,13 +71,16 @@ pub use decompose::{decompose, AppDelays, AppOutcome, ContainerDelays};
 pub use event::{EventKind, SchedEvent};
 pub use extract::{
     extract_all, extract_all_with, extract_app_names, extract_app_names_with, Extractor,
+    StreamCursor,
 };
 pub use graph::{build_graphs, ContainerTrack, SchedulingGraph};
+pub use incremental::{IncrementalAnalyzer, IncrementalConfig, RetiredApp};
 pub use logmodel::Parallelism;
 pub use nodes::{per_node, slow_nodes, NodeStats};
 pub use pattern::Pat;
 pub use report::{cdf_table, full_report, ratio_summary_table, report_json, summary_table, Table};
 pub use stats::{percentile, Cdf, Summary};
+pub use tail::{DirTailer, SourceLag, TailLag, TailStats};
 pub use throughput::{allocation_throughput, Throughput};
 pub use timeline::{ascii_gantt, timeline, timeline_csv, TimelineEntry};
 pub use validate::{validate_all, validate_graph, Anomaly, AnomalyKind};

@@ -1,0 +1,510 @@
+//! Tailing log ingestion: offset-tracking readers over a growing corpus
+//! directory.
+//!
+//! Batch ingestion ([`logmodel::LogStore::read_dir_with`]) reads a
+//! finished corpus once. A live cluster never finishes: log files grow
+//! while the analyzer watches, new application directories appear as
+//! jobs are submitted, and a writer may be mid-line when a poll happens.
+//! [`DirTailer`] handles all of that with three pieces of per-file
+//! state:
+//!
+//! * a **byte offset** of how far the file has been read — each poll
+//!   reads only appended bytes;
+//! * a **partial-line buffer** — bytes after the last newline are held
+//!   back until the line completes, so a poll landing mid-line (or
+//!   mid-UTF-8-sequence — multi-byte encodings never contain a `\n`
+//!   byte, so byte-level splitting is decode-safe) never produces a
+//!   corrupt record;
+//! * **rescan discovery** — every poll re-walks the directory, so
+//!   sources that appear later (new apps, new nodes) are picked up in
+//!   sorted-relative-path order, the same enumeration order batch
+//!   ingest pins.
+//!
+//! Lines are parsed with the same [`logmodel::parse_line`] and the same
+//! lossy UTF-8 decoding as batch ingest; a file that shrinks (rotation,
+//! truncation) resets its offset and is re-read. The net guarantee,
+//! pinned by the incremental property test: replaying a tailed corpus
+//! in *any* append chunking yields exactly the records batch ingest
+//! reads from the finished directory.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::{self, Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+
+use logmodel::{parse_line, Epoch, LogRecord, LogSource, TsMs};
+
+/// Cumulative tailing statistics across all polls.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TailStats {
+    /// Polls performed.
+    pub polls: u64,
+    /// Log files currently tracked.
+    pub files: u64,
+    /// Bytes read from disk.
+    pub read_bytes: u64,
+    /// Lines parsed into records.
+    pub parsed_lines: u64,
+    /// Complete lines that did not parse (banners, junk, stack traces).
+    pub skipped_lines: u64,
+    /// Files that shrank and were reset to offset 0.
+    pub resets: u64,
+}
+
+/// Live lag of the tail against the directory, sampled at call time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TailLag {
+    /// Tracked log files.
+    pub sources: u64,
+    /// Bytes on disk not yet consumed into records (including held-back
+    /// partial lines).
+    pub bytes: u64,
+    /// Largest per-source log-time lag: how far the quietest source's
+    /// last record trails the global watermark, in ms.
+    pub max_ms: u64,
+}
+
+/// One tracked source's lag, for per-source health reporting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceLag {
+    /// Relative path under the watch directory.
+    pub rel: String,
+    /// Bytes on disk not yet consumed into records.
+    pub bytes: u64,
+    /// Log-time lag behind the global watermark, in ms.
+    pub ms: u64,
+}
+
+/// Per-file tail state.
+#[derive(Debug)]
+struct FileTail {
+    source: LogSource,
+    path: PathBuf,
+    /// Bytes read from the file so far (next read starts here).
+    offset: u64,
+    /// Bytes read but not yet terminated by a newline.
+    partial: Vec<u8>,
+    /// Timestamp of the last record this file produced.
+    last_ts: Option<TsMs>,
+}
+
+/// An incremental reader over a corpus directory that is being appended
+/// to. See the module docs for the model.
+#[derive(Debug)]
+pub struct DirTailer {
+    dir: PathBuf,
+    /// Resolved once: from `epoch.txt` when present at first need,
+    /// [`Epoch::default_run`] otherwise — the same fallback as batch.
+    epoch: Option<Epoch>,
+    files: BTreeMap<String, FileTail>,
+    stats: TailStats,
+    watermark: Option<TsMs>,
+}
+
+impl DirTailer {
+    /// Start tailing `dir`. Errors immediately when the directory does
+    /// not exist — a daemon pointed at a typo must fail loudly, not
+    /// poll an empty void forever.
+    pub fn new(dir: &Path) -> io::Result<DirTailer> {
+        if !dir.is_dir() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("watch directory {} does not exist", dir.display()),
+            ));
+        }
+        Ok(DirTailer {
+            dir: dir.to_path_buf(),
+            epoch: None,
+            files: BTreeMap::new(),
+            stats: TailStats::default(),
+            watermark: None,
+        })
+    }
+
+    /// The corpus epoch: read from `epoch.txt` once available, the
+    /// default run epoch otherwise.
+    pub fn epoch(&self) -> Epoch {
+        self.epoch.unwrap_or_else(Epoch::default_run)
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> TailStats {
+        self.stats
+    }
+
+    /// The newest record timestamp seen across all sources.
+    pub fn watermark(&self) -> Option<TsMs> {
+        self.watermark
+    }
+
+    /// Rescan the directory and read everything appended since the last
+    /// poll. Returns the new complete-line records in per-file order
+    /// (files in sorted relative-path order, records in file order).
+    pub fn poll(&mut self) -> io::Result<Vec<(LogSource, LogRecord)>> {
+        self.stats.polls += 1;
+        self.resolve_epoch()?;
+        self.discover()?;
+        let epoch = self.epoch();
+        let mut out = Vec::new();
+        for tail in self.files.values_mut() {
+            // A vanished file keeps its state; it may reappear (rotation
+            // shuffles) and partial evidence is better than a hard stop.
+            let Ok(meta) = fs::metadata(&tail.path) else {
+                continue;
+            };
+            let len = meta.len();
+            if len < tail.offset {
+                // Truncated or replaced: start over from the top.
+                tail.offset = 0;
+                tail.partial.clear();
+                self.stats.resets += 1;
+            }
+            if len == tail.offset {
+                continue;
+            }
+            let mut f = fs::File::open(&tail.path)?;
+            f.seek(SeekFrom::Start(tail.offset))?;
+            let mut fresh = Vec::with_capacity((len - tail.offset) as usize);
+            let n = f.take(len - tail.offset).read_to_end(&mut fresh)? as u64;
+            tail.offset += n;
+            self.stats.read_bytes += n;
+            tail.partial.extend_from_slice(&fresh);
+            drain_complete_lines(&epoch, tail, &mut self.stats, &mut self.watermark, &mut out);
+        }
+        Ok(out)
+    }
+
+    /// Treat any held-back partial bytes as final lines (a finished
+    /// stream's last line may lack a trailing newline, which batch
+    /// ingest accepts). Call once at shutdown, after the final poll.
+    pub fn flush_partial(&mut self) -> Vec<(LogSource, LogRecord)> {
+        let epoch = self.epoch();
+        let mut out = Vec::new();
+        for tail in self.files.values_mut() {
+            if tail.partial.is_empty() {
+                continue;
+            }
+            let bytes = std::mem::take(&mut tail.partial);
+            emit_line(
+                &epoch,
+                tail,
+                &bytes,
+                &mut self.stats,
+                &mut self.watermark,
+                &mut out,
+            );
+        }
+        out
+    }
+
+    /// Current lag against the directory (fresh `stat` per file).
+    pub fn lag(&self) -> TailLag {
+        let mut lag = TailLag::default();
+        for s in self.source_lags() {
+            lag.sources += 1;
+            lag.bytes += s.bytes;
+            lag.max_ms = lag.max_ms.max(s.ms);
+        }
+        lag
+    }
+
+    /// Per-source lag, in sorted relative-path order.
+    pub fn source_lags(&self) -> Vec<SourceLag> {
+        let watermark = self.watermark.map_or(0, |w| w.0);
+        self.files
+            .iter()
+            .map(|(rel, tail)| {
+                let disk = fs::metadata(&tail.path).map_or(tail.offset, |m| m.len());
+                let behind = disk.saturating_sub(tail.offset) + tail.partial.len() as u64;
+                let ms = watermark.saturating_sub(tail.last_ts.map_or(watermark, |t| t.0));
+                SourceLag {
+                    rel: rel.clone(),
+                    bytes: behind,
+                    ms,
+                }
+            })
+            .collect()
+    }
+
+    /// Load `epoch.txt` once it exists (the simulator writes it before
+    /// any log line, so a tail started early still anchors correctly).
+    fn resolve_epoch(&mut self) -> io::Result<()> {
+        if self.epoch.is_some() {
+            return Ok(());
+        }
+        match fs::read_to_string(self.dir.join("epoch.txt")) {
+            Ok(s) => {
+                let unix_ms = s.trim().parse().map_err(|e| {
+                    io::Error::new(io::ErrorKind::InvalidData, format!("bad epoch.txt: {e}"))
+                })?;
+                self.epoch = Some(Epoch { unix_ms });
+                Ok(())
+            }
+            Err(_) => Ok(()),
+        }
+    }
+
+    /// Walk the directory and start tracking any new log files.
+    fn discover(&mut self) -> io::Result<()> {
+        let mut stack = vec![self.dir.clone()];
+        while let Some(d) = stack.pop() {
+            for entry in fs::read_dir(&d)? {
+                let entry = entry?;
+                let path = entry.path();
+                if path.is_dir() {
+                    stack.push(path);
+                    continue;
+                }
+                let rel = path
+                    .strip_prefix(&self.dir)
+                    .map_err(|e| io::Error::other(e.to_string()))?
+                    .to_string_lossy()
+                    .into_owned();
+                if self.files.contains_key(&rel) {
+                    continue;
+                }
+                let Some(source) = LogSource::from_rel_path(&rel) else {
+                    continue; // epoch.txt, stray files
+                };
+                self.files.insert(
+                    rel,
+                    FileTail {
+                        source,
+                        path,
+                        offset: 0,
+                        partial: Vec::new(),
+                        last_ts: None,
+                    },
+                );
+            }
+        }
+        self.stats.files = self.files.len() as u64;
+        Ok(())
+    }
+}
+
+/// Split `tail.partial` at its last newline: complete lines become
+/// records, the remainder stays buffered.
+fn drain_complete_lines(
+    epoch: &Epoch,
+    tail: &mut FileTail,
+    stats: &mut TailStats,
+    watermark: &mut Option<TsMs>,
+    out: &mut Vec<(LogSource, LogRecord)>,
+) {
+    let Some(last_nl) = tail.partial.iter().rposition(|b| *b == b'\n') else {
+        return;
+    };
+    let rest = tail.partial.split_off(last_nl + 1);
+    let complete = std::mem::replace(&mut tail.partial, rest);
+    for line in complete.split(|b| *b == b'\n') {
+        if line.is_empty() {
+            continue; // the trailing empty slice after the final newline
+        }
+        emit_line(epoch, tail, line, stats, watermark, out);
+    }
+}
+
+/// Decode and parse one complete line, mirroring batch ingest: lossy
+/// UTF-8, `\r` tolerated, unparseable lines counted and skipped.
+fn emit_line(
+    epoch: &Epoch,
+    tail: &mut FileTail,
+    line: &[u8],
+    stats: &mut TailStats,
+    watermark: &mut Option<TsMs>,
+    out: &mut Vec<(LogSource, LogRecord)>,
+) {
+    let line = match line.last() {
+        Some(b'\r') => &line[..line.len() - 1],
+        _ => line,
+    };
+    let text = String::from_utf8_lossy(line);
+    match parse_line(epoch, &text) {
+        Some(rec) => {
+            stats.parsed_lines += 1;
+            tail.last_ts = Some(rec.ts);
+            *watermark = Some(watermark.map_or(rec.ts, |w| w.max(rec.ts)));
+            out.push((tail.source, rec));
+        }
+        None => stats.skipped_lines += 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("sdtail_{name}_{}", std::process::id()))
+    }
+
+    fn write_epoch(dir: &Path) {
+        fs::create_dir_all(dir).unwrap();
+        fs::write(
+            dir.join("epoch.txt"),
+            format!("{}\n", Epoch::default_run().unix_ms),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn missing_directory_is_an_error() {
+        let err = DirTailer::new(&tmp("missing/not/there")).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+        assert!(err.to_string().contains("does not exist"));
+    }
+
+    #[test]
+    fn tails_appends_and_buffers_partial_lines() {
+        let dir = tmp("appends");
+        let _ = fs::remove_dir_all(&dir);
+        write_epoch(&dir);
+        let rm = dir.join("resourcemanager.log");
+        fs::write(&rm, "2018-03-14 09:00:00,100 INFO  X: one\n").unwrap();
+
+        let mut t = DirTailer::new(&dir).unwrap();
+        let recs = t.poll().unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].0, LogSource::ResourceManager);
+        assert_eq!(recs[0].1.message, "one");
+        assert_eq!(t.watermark(), Some(TsMs(100)));
+
+        // Append a line in two chunks: nothing emitted until the newline.
+        let mut f = fs::OpenOptions::new().append(true).open(&rm).unwrap();
+        f.write_all(b"2018-03-14 09:00:00,200 INFO  X: tw").unwrap();
+        f.flush().unwrap();
+        assert!(t.poll().unwrap().is_empty());
+        assert!(t.lag().bytes > 0, "partial bytes count as lag");
+        f.write_all(b"o\n").unwrap();
+        f.flush().unwrap();
+        let recs = t.poll().unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].1.message, "two");
+        assert_eq!(t.lag().bytes, 0);
+        assert_eq!(t.stats().parsed_lines, 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn discovers_new_sources_on_rescan() {
+        let dir = tmp("discover");
+        let _ = fs::remove_dir_all(&dir);
+        write_epoch(&dir);
+        fs::write(
+            dir.join("resourcemanager.log"),
+            "2018-03-14 09:00:00,100 INFO  X: rm\n",
+        )
+        .unwrap();
+        let mut t = DirTailer::new(&dir).unwrap();
+        assert_eq!(t.poll().unwrap().len(), 1);
+
+        // A new application directory appears mid-run.
+        let app_dir = dir.join("apps/application_1521018000000_0001");
+        fs::create_dir_all(&app_dir).unwrap();
+        fs::write(
+            app_dir.join("driver.log"),
+            "2018-03-14 09:00:01,000 INFO  Y: drv\njunk line\n",
+        )
+        .unwrap();
+        let recs = t.poll().unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].1.message, "drv");
+        assert!(matches!(recs[0].0, LogSource::Driver(_)));
+        assert_eq!(t.stats().skipped_lines, 1);
+        assert_eq!(t.stats().files, 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn shrunk_file_resets_and_rereads() {
+        let dir = tmp("shrink");
+        let _ = fs::remove_dir_all(&dir);
+        write_epoch(&dir);
+        let rm = dir.join("resourcemanager.log");
+        fs::write(&rm, "2018-03-14 09:00:00,100 INFO  X: aaaa aaaa\n").unwrap();
+        let mut t = DirTailer::new(&dir).unwrap();
+        assert_eq!(t.poll().unwrap().len(), 1);
+        fs::write(&rm, "2018-03-14 09:00:00,300 INFO  X: b\n").unwrap();
+        let recs = t.poll().unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].1.message, "b");
+        assert_eq!(t.stats().resets, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mid_utf8_split_is_decode_safe() {
+        let dir = tmp("utf8");
+        let _ = fs::remove_dir_all(&dir);
+        write_epoch(&dir);
+        let rm = dir.join("resourcemanager.log");
+        let line = "2018-03-14 09:00:00,100 INFO  X: r\u{00e9}sum\u{00e9} \u{2713}\n";
+        let bytes = line.as_bytes();
+        // Split in the middle of the two-byte 'é' sequence.
+        let cut = line.find('\u{00e9}').unwrap() + 1;
+        fs::write(&rm, &bytes[..cut]).unwrap();
+        let mut t = DirTailer::new(&dir).unwrap();
+        assert!(t.poll().unwrap().is_empty());
+        let mut f = fs::OpenOptions::new().append(true).open(&rm).unwrap();
+        f.write_all(&bytes[cut..]).unwrap();
+        f.flush().unwrap();
+        let recs = t.poll().unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].1.message, "r\u{00e9}sum\u{00e9} \u{2713}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn flush_partial_emits_unterminated_final_line() {
+        let dir = tmp("flush");
+        let _ = fs::remove_dir_all(&dir);
+        write_epoch(&dir);
+        fs::write(
+            dir.join("resourcemanager.log"),
+            "2018-03-14 09:00:00,100 INFO  X: done", // no trailing newline
+        )
+        .unwrap();
+        let mut t = DirTailer::new(&dir).unwrap();
+        assert!(t.poll().unwrap().is_empty());
+        let recs = t.flush_partial();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].1.message, "done");
+        assert!(t.flush_partial().is_empty(), "flush is idempotent");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn source_lag_tracks_quiet_streams_in_log_time() {
+        let dir = tmp("lagms");
+        let _ = fs::remove_dir_all(&dir);
+        write_epoch(&dir);
+        fs::write(
+            dir.join("resourcemanager.log"),
+            "2018-03-14 09:00:00,100 INFO  X: rm\n",
+        )
+        .unwrap();
+        fs::write(
+            dir.join("nodemanager-node01.log"),
+            "2018-03-14 09:00:02,600 INFO  Y: nm\n",
+        )
+        .unwrap();
+        let mut t = DirTailer::new(&dir).unwrap();
+        t.poll().unwrap();
+        let lags = t.source_lags();
+        assert_eq!(lags.len(), 2);
+        let rm = lags
+            .iter()
+            .find(|l| l.rel == "resourcemanager.log")
+            .unwrap();
+        let nm = lags
+            .iter()
+            .find(|l| l.rel == "nodemanager-node01.log")
+            .unwrap();
+        assert_eq!(rm.ms, 2_500, "rm trails the nm watermark");
+        assert_eq!(nm.ms, 0);
+        assert_eq!(t.lag().max_ms, 2_500);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

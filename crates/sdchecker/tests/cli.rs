@@ -375,11 +375,21 @@ fn metrics_json_matches_golden() {
 
 /// Counter totals are pure functions of the corpus: the exported metrics
 /// file must be byte-identical no matter how many worker threads ran.
+/// (The `analyze_threads_requested`/`_effective` gauges record the thread
+/// configuration itself, so those lines are stripped before comparing.)
 #[test]
 fn metrics_are_identical_across_thread_counts() {
     let dir = tmp("mthreads");
     let _ = std::fs::remove_dir_all(&dir);
     write_two_app_corpus(&dir);
+    let strip_thread_gauges = |bytes: Vec<u8>| -> Vec<u8> {
+        let text = String::from_utf8(bytes).unwrap();
+        text.lines()
+            .filter(|l| !l.contains("analyze_threads_"))
+            .collect::<Vec<_>>()
+            .join("\n")
+            .into_bytes()
+    };
     let mut files = Vec::new();
     for threads in ["1", "2", "4", "8"] {
         let metrics = dir.join(format!("metrics_{threads}.json"));
@@ -394,7 +404,10 @@ fn metrics_are_identical_across_thread_counts() {
             "stderr: {}",
             String::from_utf8_lossy(&out.stderr)
         );
-        files.push((threads, std::fs::read(&metrics).unwrap()));
+        files.push((
+            threads,
+            strip_thread_gauges(std::fs::read(&metrics).unwrap()),
+        ));
     }
     for (threads, bytes) in &files[1..] {
         assert_eq!(

@@ -1,0 +1,276 @@
+//! End-to-end tests of the `sdcheckerd` daemon: spawn the real binary on
+//! an ephemeral port, talk to it over a raw `TcpStream` (no HTTP client
+//! crate — the server is std-only and so is the test), and check the
+//! full lifecycle: readiness, live retirement, the Prometheus and JSON
+//! surfaces, and a clean SIGTERM shutdown with a flushed final report.
+
+mod common;
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use logmodel::{Epoch, LogStore};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sdcheckerd"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("sdcheckerd_test_{name}_{}", std::process::id()))
+}
+
+/// Kill the daemon if a test panics before shutting it down.
+struct Daemon(Child);
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+/// One blocking HTTP/1.1 GET. Returns (status, headers, body).
+fn http_get(addr: &str, path: &str) -> (u16, String, Vec<u8>) {
+    let mut s = TcpStream::connect(addr).unwrap();
+    write!(
+        s,
+        "GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut raw = Vec::new();
+    s.read_to_end(&mut raw).unwrap();
+    let split = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("no header/body separator");
+    let head = String::from_utf8_lossy(&raw[..split]).into_owned();
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .expect("no status code")
+        .parse()
+        .unwrap();
+    (status, head, raw[split + 4..].to_vec())
+}
+
+/// Poll `f` until it returns `Some`, failing after ~10 s.
+fn wait_for<T>(what: &str, mut f: impl FnMut() -> Option<T>) -> T {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if let Some(v) = f() {
+            return v;
+        }
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+fn spawn_daemon(dir: &std::path::Path, extra: &[&str]) -> (Daemon, String) {
+    let port_file = dir.join("port.txt");
+    let child = bin()
+        .arg(dir)
+        .args(["--listen", "127.0.0.1:0", "--poll-ms", "50", "--quiet"])
+        .args(["--port-file", port_file.to_str().unwrap()])
+        .args(extra)
+        .stdin(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    let daemon = Daemon(child);
+    let addr = wait_for("port file", || {
+        std::fs::read_to_string(&port_file)
+            .ok()
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+    });
+    (daemon, addr)
+}
+
+#[test]
+fn serves_live_endpoints_and_retires_apps() {
+    let dir = tmp("endpoints");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut logs = LogStore::new(Epoch::default_run());
+    common::populate_faulty_fleet(&mut logs);
+    logs.write_dir(&dir).unwrap();
+
+    let final_report = dir.join("final.json");
+    let (mut daemon, addr) = spawn_daemon(
+        &dir,
+        &[
+            "--settle-ms",
+            "0",
+            "--idle-timeout-ms",
+            "0",
+            "--final-report",
+            final_report.to_str().unwrap(),
+        ],
+    );
+
+    // Readiness flips once the first poll lands.
+    wait_for("readyz", || {
+        let (status, _, _) = http_get(&addr, "/readyz");
+        (status == 200).then_some(())
+    });
+
+    // The two apps with terminal evidence retire live; the truncated one
+    // stays buffered (idle timeout off).
+    let health = wait_for("live retirement", || {
+        let (status, _, body) = http_get(&addr, "/healthz");
+        assert_eq!(status, 200);
+        let doc = obs::json::parse(&String::from_utf8_lossy(&body)).unwrap();
+        let retired = doc.get("retired").unwrap().as_f64().unwrap();
+        (retired == 2.0).then_some(doc)
+    });
+    let n = |k: &str| health.get(k).unwrap().as_f64().unwrap();
+    assert_eq!(health.get("status").unwrap().as_str(), Some("ok"));
+    assert_eq!(n("in_flight"), 1.0, "truncated app must stay buffered");
+    assert!(n("records") > 0.0);
+    assert!(n("polls") > 0.0);
+    assert!(n("sources") > 0.0);
+    assert_eq!(n("lag_bytes"), 0.0, "fully caught up");
+
+    // Prometheus surface: conformant content type, HELP/TYPE per family.
+    let (status, head, body) = http_get(&addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(
+        head.to_ascii_lowercase()
+            .contains("content-type: text/plain; version=0.0.4; charset=utf-8"),
+        "{head}"
+    );
+    let text = String::from_utf8(body).unwrap();
+    for family in [
+        "sdcheckerd_polls_total",
+        "sdcheckerd_records_total",
+        "sdcheckerd_apps_retired_total",
+        "sdcheckerd_apps_in_flight",
+        "sdcheckerd_tail_lag_bytes",
+        "sdcheckerd_uptime_seconds",
+    ] {
+        assert!(
+            text.contains(&format!("# HELP {family} ")),
+            "{family}: {text}"
+        );
+        assert!(
+            text.contains(&format!("# TYPE {family} ")),
+            "{family}: {text}"
+        );
+    }
+    assert!(text.contains("sdcheckerd_apps_retired_total 2"), "{text}");
+    assert!(text.contains("parse_lines_total{"), "{text}");
+
+    // Live report: the daemon schema, with fleet and tail sections.
+    let (status, _, body) = http_get(&addr, "/report.json");
+    assert_eq!(status, 200);
+    let doc = obs::json::parse(&String::from_utf8_lossy(&body)).unwrap();
+    assert_eq!(
+        doc.get("schema").unwrap().as_str(),
+        Some("sdcheckerd-report-v1")
+    );
+    let fleet = doc.get("fleet").unwrap();
+    assert_eq!(fleet.get("retired").unwrap().as_f64(), Some(2.0));
+    assert_eq!(fleet.get("in_flight").unwrap().as_f64(), Some(1.0));
+    let tail = doc.get("tail").unwrap();
+    assert!(tail.get("parsed_lines").unwrap().as_f64().unwrap() > 0.0);
+
+    let (status, _, body) = http_get(&addr, "/buildinfo");
+    assert_eq!(status, 200);
+    let doc = obs::json::parse(&String::from_utf8_lossy(&body)).unwrap();
+    assert_eq!(doc.get("name").unwrap().as_str(), Some("sdcheckerd"));
+
+    let (status, _, _) = http_get(&addr, "/no-such-endpoint");
+    assert_eq!(status, 404);
+
+    // SIGTERM: clean exit, everything in flight force-retired, final
+    // report flushed to disk.
+    #[cfg(unix)]
+    {
+        let pid = daemon.0.id().to_string();
+        assert!(Command::new("kill")
+            .args(["-TERM", &pid])
+            .status()
+            .unwrap()
+            .success());
+        let status = daemon.0.wait().unwrap();
+        assert!(status.success(), "SIGTERM must exit 0, got {status:?}");
+        let text = std::fs::read_to_string(&final_report).unwrap();
+        let doc = obs::json::parse(&text).expect("final report must be valid JSON");
+        let fleet = doc.get("fleet").unwrap();
+        assert_eq!(fleet.get("retired").unwrap().as_f64(), Some(3.0));
+        assert_eq!(fleet.get("in_flight").unwrap().as_f64(), Some(0.0));
+        let outcomes = fleet.get("outcomes").unwrap();
+        assert_eq!(outcomes.get("truncated").unwrap().as_f64(), Some(1.0));
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn run_for_ms_bounds_the_daemon_lifetime() {
+    let dir = tmp("runfor");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut logs = LogStore::new(Epoch::default_run());
+    common::populate_faulty_fleet(&mut logs);
+    logs.write_dir(&dir).unwrap();
+
+    let final_report = dir.join("final.json");
+    let (mut daemon, _addr) = spawn_daemon(
+        &dir,
+        &[
+            "--run-for-ms",
+            "400",
+            "--settle-ms",
+            "0",
+            "--final-report",
+            final_report.to_str().unwrap(),
+        ],
+    );
+    let status = wait_for("self-timed exit", || daemon.0.try_wait().unwrap());
+    assert!(status.success());
+    let doc = obs::json::parse(&std::fs::read_to_string(&final_report).unwrap()).unwrap();
+    assert_eq!(
+        doc.get("fleet").unwrap().get("retired").unwrap().as_f64(),
+        Some(3.0),
+        "finish() must retire the whole fleet"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn help_exits_zero() {
+    let out = bin().arg("--help").output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("usage: sdcheckerd"));
+}
+
+#[test]
+fn rejects_bad_usage() {
+    let out = bin().output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = bin().args(["dir", "--bogus"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = bin().args(["--quiet"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "flag where watch-dir should be");
+    let out = bin().args(["dir", "--poll-ms"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "missing value");
+    let out = bin().args(["dir", "--poll-ms", "soon"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = bin().args(["dir", "--poll-ms", "0"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = bin().args(["dir", "--settle-ms", "-3"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn missing_watch_directory_fails_fast() {
+    let out = bin()
+        .args(["/nonexistent/definitely/missing", "--listen", "127.0.0.1:0"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "must fail, not hang");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("cannot tail"), "{err}");
+    assert!(err.contains("does not exist"), "{err}");
+}

@@ -1,0 +1,303 @@
+//! Property test for incremental ingestion: a corpus streamed through
+//! [`DirTailer`] in *randomized append chunkings* — including splits
+//! mid-line and mid-UTF-8-sequence — must reproduce batch ingestion
+//! record for record, and the incremental analyzer must retire every
+//! application with exactly the delays batch analysis computes.
+//!
+//! This is the contract that makes `sdcheckerd` trustworthy: no append
+//! pattern a log writer can produce may change the analysis.
+
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+
+use logmodel::{ApplicationId, Epoch, LogRecord, LogSource, LogStore, NodeId, Parallelism, TsMs};
+use sdchecker::{
+    analyze_dir_with, analyze_store_with, report_json, DirTailer, IncrementalAnalyzer,
+    IncrementalConfig,
+};
+use simkit::SimRng;
+
+/// One complete application lifecycle (submission through unregister),
+/// time-shifted by `base` ms. `name` adds the Spark AM banner the
+/// app-name miner looks for.
+fn populate_app(s: &mut LogStore, num: u32, node: u32, base: u64, name: Option<&str>) {
+    let epoch = Epoch::default_run();
+    let a = ApplicationId::new(epoch.unix_ms, num);
+    let am = a.attempt(1).container(1);
+    let ex = a.attempt(1).container(2);
+    let rm = LogSource::ResourceManager;
+    let nm = LogSource::NodeManager(NodeId(node));
+    let t = |off: u64| TsMs(base + off);
+    s.info(
+        rm,
+        t(100),
+        "RMAppImpl",
+        format!("{a} State change from NEW_SAVING to SUBMITTED on event = APP_NEW_SAVED"),
+    );
+    s.info(
+        rm,
+        t(120),
+        "RMAppImpl",
+        format!("{a} State change from SUBMITTED to ACCEPTED on event = APP_ACCEPTED"),
+    );
+    s.info(
+        rm,
+        t(150),
+        "RMContainerImpl",
+        format!("{am} Container Transitioned from NEW to ALLOCATED"),
+    );
+    s.info(
+        rm,
+        t(151),
+        "RMContainerImpl",
+        format!("{am} Container Transitioned from ALLOCATED to ACQUIRED"),
+    );
+    s.info(
+        nm,
+        t(160),
+        "ContainerImpl",
+        format!("Container {am} transitioned from NEW to LOCALIZING"),
+    );
+    s.info(
+        nm,
+        t(700),
+        "ContainerImpl",
+        format!("Container {am} transitioned from LOCALIZING to SCHEDULED"),
+    );
+    s.info(
+        nm,
+        t(705),
+        "ContainerImpl",
+        format!("Container {am} transitioned from SCHEDULED to RUNNING"),
+    );
+    s.info(
+        LogSource::Driver(a),
+        t(1400),
+        "ApplicationMaster",
+        "Starting ApplicationMaster",
+    );
+    if let Some(n) = name {
+        s.info(
+            LogSource::Driver(a),
+            t(1401),
+            "ApplicationMaster",
+            format!("Starting ApplicationMaster for {n}"),
+        );
+    }
+    s.info(
+        LogSource::Driver(a),
+        t(4400),
+        "ApplicationMaster",
+        "Registered with ResourceManager",
+    );
+    s.info(
+        rm,
+        t(4400),
+        "RMAppImpl",
+        format!("{a} State change from ACCEPTED to RUNNING on event = ATTEMPT_REGISTERED"),
+    );
+    s.info(
+        LogSource::Driver(a),
+        t(4401),
+        "YarnAllocator",
+        "START_ALLO Requesting 1 executor containers",
+    );
+    s.info(
+        rm,
+        t(4500),
+        "RMContainerImpl",
+        format!("{ex} Container Transitioned from NEW to ALLOCATED"),
+    );
+    s.info(
+        rm,
+        t(5400),
+        "RMContainerImpl",
+        format!("{ex} Container Transitioned from ALLOCATED to ACQUIRED"),
+    );
+    s.info(
+        LogSource::Driver(a),
+        t(5400),
+        "YarnAllocator",
+        "END_ALLO All requested executor containers allocated",
+    );
+    s.info(
+        nm,
+        t(5420),
+        "ContainerImpl",
+        format!("Container {ex} transitioned from NEW to LOCALIZING"),
+    );
+    s.info(
+        nm,
+        t(5920),
+        "ContainerImpl",
+        format!("Container {ex} transitioned from LOCALIZING to SCHEDULED"),
+    );
+    s.info(
+        nm,
+        t(5925),
+        "ContainerImpl",
+        format!("Container {ex} transitioned from SCHEDULED to RUNNING"),
+    );
+    s.info(
+        LogSource::Executor(ex),
+        t(6625),
+        "CoarseGrainedExecutorBackend",
+        "Started executor",
+    );
+    s.info(
+        LogSource::Executor(ex),
+        t(11_000),
+        "Executor",
+        "Got assigned task 0 in stage 0.0 (TID 0)",
+    );
+    s.info(
+        rm,
+        t(40_100),
+        "RMAppImpl",
+        format!("{a} State change from RUNNING to FINAL_SAVING on event = ATTEMPT_UNREGISTERED"),
+    );
+}
+
+/// Two complete applications; the second carries a multi-byte UTF-8
+/// application name so random byte-level chunking is guaranteed to land
+/// inside encoded sequences.
+fn corpus() -> LogStore {
+    let mut s = LogStore::new(Epoch::default_run());
+    populate_app(&mut s, 1, 2, 0, None);
+    populate_app(
+        &mut s,
+        2,
+        3,
+        50_000,
+        Some("TPC-H r\u{00e9}sum\u{e9} \u{2713} replay"),
+    );
+    s
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("sdchecker_inctest_{name}_{}", std::process::id()))
+}
+
+#[test]
+fn tailed_ingest_matches_batch_for_any_append_chunking() {
+    let logs = corpus();
+
+    // Batch gold: write the finished corpus, analyze it, pin the report.
+    let batch_dir = tmp("batch");
+    let _ = fs::remove_dir_all(&batch_dir);
+    logs.write_dir(&batch_dir).unwrap();
+    let batch = analyze_dir_with(&batch_dir, Parallelism::ONE).unwrap();
+    let gold = report_json(&batch);
+
+    for trial in 0u64..5 {
+        let mut rng = SimRng::new(0xD1CE + trial);
+        let dir = tmp(&format!("stream_{trial}"));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("epoch.txt"), format!("{}\n", logs.epoch().unix_ms)).unwrap();
+
+        // Full byte blob per source file; the RM log (sorted last) loses
+        // its final newline so `flush_partial` gets exercised.
+        let mut blobs: Vec<(PathBuf, Vec<u8>, usize)> = logs
+            .sources()
+            .map(|src| {
+                let mut bytes = logs.render_source(src).into_bytes();
+                if src == LogSource::ResourceManager {
+                    assert_eq!(bytes.pop(), Some(b'\n'));
+                }
+                (dir.join(src.rel_path()), bytes, 0)
+            })
+            .collect();
+        for (path, _, _) in &blobs {
+            fs::create_dir_all(path.parent().unwrap()).unwrap();
+            fs::write(path, b"").unwrap();
+        }
+
+        let mut tailer = DirTailer::new(&dir).unwrap();
+        // Huge settle window: arrival order is adversarial here (a whole
+        // file can land before another starts), so apps must only retire
+        // at finish(), once all evidence is in.
+        let mut inc = IncrementalAnalyzer::new(IncrementalConfig {
+            settle_ms: u64::MAX,
+            idle_timeout_ms: 0,
+        });
+        let mut rebuilt = LogStore::new(*logs.epoch());
+        let feed = |recs: Vec<(LogSource, LogRecord)>,
+                    rebuilt: &mut LogStore,
+                    inc: &mut IncrementalAnalyzer| {
+            for (src, rec) in recs {
+                inc.ingest(src, &rec);
+                rebuilt.push(src, rec);
+            }
+        };
+
+        // Append 1..=19-byte chunks to randomly chosen files, polling
+        // the tailer at random points in between.
+        loop {
+            let pending: Vec<usize> = blobs
+                .iter()
+                .enumerate()
+                .filter(|(_, (_, bytes, pos))| pos < &bytes.len())
+                .map(|(i, _)| i)
+                .collect();
+            if pending.is_empty() {
+                break;
+            }
+            let pick = pending[rng.below(pending.len() as u64) as usize];
+            let (path, bytes, pos) = &mut blobs[pick];
+            let n = (1 + rng.below(19) as usize).min(bytes.len() - *pos);
+            let mut f = fs::OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&bytes[*pos..*pos + n]).unwrap();
+            *pos += n;
+            if rng.below(4) == 0 {
+                feed(tailer.poll().unwrap(), &mut rebuilt, &mut inc);
+                assert!(inc.drain_ready().is_empty(), "nothing may retire early");
+            }
+        }
+        feed(tailer.poll().unwrap(), &mut rebuilt, &mut inc);
+        feed(tailer.flush_partial(), &mut rebuilt, &mut inc);
+
+        // (a) No append pattern may lose, duplicate, or garble a line:
+        // the rebuilt store's report is byte-identical to batch.
+        let stats = tailer.stats();
+        assert_eq!(
+            stats.parsed_lines as usize,
+            logs.total_records(),
+            "trial {trial}"
+        );
+        assert_eq!(stats.skipped_lines, 0, "trial {trial}");
+        let re = analyze_store_with(&rebuilt, Parallelism::ONE);
+        assert_eq!(
+            report_json(&re),
+            gold,
+            "trial {trial}: report diverged from batch"
+        );
+
+        // (b) Incremental retirement reproduces the batch decomposition.
+        let mut retired = inc.finish();
+        retired.sort_by_key(|r| r.app);
+        assert_eq!(inc.in_flight(), 0);
+        assert_eq!(inc.late_events(), 0);
+        assert_eq!(
+            format!(
+                "{:?}",
+                retired.iter().map(|r| &r.delays).collect::<Vec<_>>()
+            ),
+            format!("{:?}", batch.delays.iter().collect::<Vec<_>>()),
+            "trial {trial}: delays diverged from batch"
+        );
+        for r in &retired {
+            assert!(!r.forced, "trial {trial}: {} was force-retired", r.app);
+            assert_eq!(
+                r.name.as_ref(),
+                batch.app_names.get(&r.app),
+                "trial {trial}"
+            );
+        }
+        assert_eq!(inc.coverage(), &batch.coverage, "trial {trial}");
+
+        fs::remove_dir_all(&dir).unwrap();
+    }
+    fs::remove_dir_all(&batch_dir).unwrap();
+}
