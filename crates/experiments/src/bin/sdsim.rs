@@ -43,8 +43,8 @@ use workloads::{map_jobs, merge, shifted, tpch_stream, TraceParams};
 use yarnsim::{ClusterConfig, ContainerRuntime};
 
 const USAGE: &str = "usage: sdsim [--queries N] [--input-mb MB] [--executors N] [--seed S] \
-[--scheduler capacity|opportunistic] [--docker] [--extra-files-mb MB] \
-[--dfsio-writers N] [--kmeans-apps N] \
+[--scheduler capacity|opportunistic] [--arrivals moderate|bursty] [--docker] \
+[--extra-files-mb MB] [--dfsio-writers N] [--kmeans-apps N] \
 [--launch-failure-rate P] [--localization-failure-rate P] \
 [--node-loss MS:NODE] [--fault-seed S] [--out <log-dir>] [--timeline] \
 [--stream-to <log-dir>] [--rate R] [--stream-flush-every N] \
@@ -57,6 +57,7 @@ struct Opts {
     executors: u32,
     seed: u64,
     opportunistic: bool,
+    bursty: bool,
     docker: bool,
     extra_files_mb: f64,
     dfsio_writers: u32,
@@ -81,6 +82,7 @@ fn parse_args() -> Result<Opts, String> {
         executors: 4,
         seed: 2018,
         opportunistic: false,
+        bursty: false,
         docker: false,
         extra_files_mb: 0.0,
         dfsio_writers: 0,
@@ -135,6 +137,14 @@ fn parse_args() -> Result<Opts, String> {
                     "capacity" => false,
                     "opportunistic" => true,
                     other => return Err(format!("unknown scheduler {other}")),
+                };
+                i += 2;
+            }
+            "--arrivals" => {
+                o.bursty = match value(&args, i, "--arrivals")?.as_str() {
+                    "moderate" => false,
+                    "bursty" => true,
+                    other => return Err(format!("unknown arrival process {other}")),
                 };
                 i += 2;
             }
@@ -335,7 +345,11 @@ fn main() -> ExitCode {
             o.queries,
             o.input_mb,
             o.executors,
-            &TraceParams::moderate(),
+            &if o.bursty {
+                TraceParams::bursty()
+            } else {
+                TraceParams::moderate()
+            },
             &mut rng,
         ),
         |j| {

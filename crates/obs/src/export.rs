@@ -221,13 +221,16 @@ pub fn chrome_trace(snap: &Snapshot) -> String {
 
 /// Render one quantile sketch as a JSON object (count, sum, min, max,
 /// mean, and the standard percentile ladder). Deterministic bytes for
-/// equal sketches; `null` fields when the sketch is empty.
+/// equal sketches; `null` fields when the sketch is empty. Sketches
+/// holding exemplars grow an `exemplars` array (worst labeled samples
+/// first); exemplar-free sketches render exactly as before, so existing
+/// golden files are untouched.
 pub fn sketch_json(s: &QuantileSketch) -> String {
     let opt_u = |v: Option<u64>| v.map(|x| x.to_string()).unwrap_or_else(|| "null".into());
     let opt_f = |v: Option<f64>| v.map(fmt_f64).unwrap_or_else(|| "null".into());
-    format!(
+    let mut out = format!(
         "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"mean\": {}, \
-         \"p50\": {}, \"p90\": {}, \"p95\": {}, \"p99\": {}}}",
+         \"p50\": {}, \"p90\": {}, \"p95\": {}, \"p99\": {}",
         s.count(),
         s.sum(),
         opt_u(s.min()),
@@ -237,7 +240,24 @@ pub fn sketch_json(s: &QuantileSketch) -> String {
         opt_f(s.quantile(0.9)),
         opt_f(s.quantile(0.95)),
         opt_f(s.quantile(0.99)),
-    )
+    );
+    if !s.exemplars().is_empty() {
+        out.push_str(", \"exemplars\": [");
+        for (i, e) in s.exemplars().iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(
+                out,
+                "{{\"value\": {}, \"label\": \"{}\"}}",
+                e.value,
+                escape(&e.label)
+            );
+        }
+        out.push(']');
+    }
+    out.push('}');
+    out
 }
 
 /// Render the snapshot's metrics (counters, gauges, histograms — no
@@ -494,6 +514,73 @@ mod tests {
         assert_eq!(prom_escape_label("q\"q"), "q\\\"q");
         assert_eq!(prom_escape_label("n\nn"), "n\\nn");
         assert_eq!(prom_escape_help("h\\x\ny"), "h\\\\x\\ny");
+    }
+
+    #[test]
+    fn prometheus_text_escapes_hostile_names_on_every_series_shape() {
+        // App/node names mined from logs can carry backslashes, quotes,
+        // and newlines, and they reach label values on counters, gauges,
+        // histograms, and summaries alike. Every exposition shape must
+        // escape them per the 0.0.4 text format.
+        let hostile = "app \"q\\1\"\nrm";
+        let mut snap = Snapshot::default();
+        snap.counters
+            .insert(MetricKey::labeled("apps_total", &[("name", hostile)]), 1);
+        snap.gauges
+            .insert(MetricKey::labeled("app_lag", &[("name", hostile)]), 2.0);
+        let mut h = crate::metrics::Histogram::new(&[10]);
+        h.observe(5);
+        snap.histograms
+            .insert(MetricKey::labeled("app_hist", &[("name", hostile)]), h);
+        let mut s = QuantileSketch::new();
+        s.observe(7);
+        snap.sketches
+            .insert(MetricKey::labeled("app_delay", &[("name", hostile)]), s);
+        let text = prometheus_text(&snap);
+        let escaped = "name=\"app \\\"q\\\\1\\\"\\nrm\"";
+        for family in ["apps_total", "app_lag", "app_hist_bucket", "app_delay_sum"] {
+            assert!(
+                text.lines()
+                    .any(|l| l.starts_with(family) && l.contains(escaped)),
+                "{family} series not escaped:\n{text}"
+            );
+        }
+        // The raw newline never leaks: every non-comment line is a
+        // well-formed `series value` pair with an even quote count.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert!(!line.is_empty(), "blank line mid-exposition:\n{text}");
+            assert_eq!(
+                line.matches('"').count() % 2,
+                0,
+                "unbalanced quotes in {line:?}"
+            );
+            assert!(
+                line.rsplit(' ')
+                    .next()
+                    .is_some_and(|v| v.parse::<f64>().is_ok()),
+                "line does not end in a value: {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sketch_json_renders_escaped_exemplars() {
+        let mut s = QuantileSketch::new();
+        s.observe_exemplar(1200, "application_1 \"résumé\"\\n");
+        s.observe_exemplar(300, "application_2");
+        let j = sketch_json(&s);
+        let doc = json::parse(&j).expect("sketch JSON with exemplars must parse");
+        let ex = doc.get("exemplars").unwrap().as_arr().unwrap();
+        assert_eq!(ex.len(), 2);
+        assert_eq!(ex[0].get("value").unwrap().as_f64(), Some(1200.0));
+        assert_eq!(
+            ex[0].get("label").unwrap().as_str(),
+            Some("application_1 \"résumé\"\\n")
+        );
+        // Exemplar-free sketches keep the legacy shape byte-for-byte.
+        let mut plain = QuantileSketch::new();
+        plain.observe(5);
+        assert!(!sketch_json(&plain).contains("exemplars"));
     }
 
     #[test]

@@ -28,6 +28,17 @@
 /// of a true sample value at the queried rank.
 pub const SKETCH_ALPHA: f64 = 0.005;
 
+/// One exemplar: a concrete labeled sample retained alongside the
+/// aggregate, so a tail quantile can be traced back to the instance that
+/// produced it (the app id, in this workspace).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Exemplar {
+    /// The sample value.
+    pub value: u64,
+    /// Caller-supplied identity of the sample's origin.
+    pub label: String,
+}
+
 /// A mergeable, fixed-size quantile sketch over `u64` samples.
 ///
 /// ```
@@ -58,6 +69,11 @@ pub struct QuantileSketch {
     min: u64,
     /// Exact maximum sample.
     max: u64,
+    /// Largest labeled samples seen, sorted by `(value desc, label asc)`
+    /// and truncated to [`QuantileSketch::EXEMPLAR_SLOTS`]. Kept as a
+    /// pure function of the offered multiset, so observation and merge
+    /// order never change which exemplars survive.
+    exemplars: Vec<Exemplar>,
 }
 
 impl Default for QuantileSketch {
@@ -72,6 +88,10 @@ impl QuantileSketch {
     /// accuracy (`ln(2^64)/ln γ ≈ 4436`), rounded up.
     pub const BUCKETS: usize = 4440;
 
+    /// Number of exemplar slots a sketch retains: the top samples by
+    /// `(value desc, label asc)`.
+    pub const EXEMPLAR_SLOTS: usize = 4;
+
     /// An empty sketch.
     pub const fn new() -> QuantileSketch {
         QuantileSketch {
@@ -80,6 +100,7 @@ impl QuantileSketch {
             sum: 0,
             min: u64::MAX,
             max: 0,
+            exemplars: Vec::new(),
         }
     }
 
@@ -119,6 +140,41 @@ impl QuantileSketch {
         self.max = self.max.max(v);
     }
 
+    /// Record one sample and offer it as an exemplar under `label`. The
+    /// sample lands in the aggregate exactly as [`observe`] would put it
+    /// there; the `(value, label)` pair additionally competes for the
+    /// fixed exemplar slots.
+    ///
+    /// [`observe`]: QuantileSketch::observe
+    pub fn observe_exemplar(&mut self, v: u64, label: &str) {
+        self.observe(v);
+        self.offer_exemplar(Exemplar {
+            value: v,
+            label: label.to_string(),
+        });
+    }
+
+    /// Slot an exemplar candidate in: keep the top
+    /// [`EXEMPLAR_SLOTS`](QuantileSketch::EXEMPLAR_SLOTS) of the offered
+    /// multiset under `(value desc, label asc)`. Greedy top-K over a
+    /// total order is order-independent, which keeps merged exports
+    /// byte-identical for every shard partition.
+    fn offer_exemplar(&mut self, e: Exemplar) {
+        let pos = self
+            .exemplars
+            .partition_point(|x| x.value > e.value || (x.value == e.value && x.label < e.label));
+        if pos >= Self::EXEMPLAR_SLOTS {
+            return;
+        }
+        self.exemplars.insert(pos, e);
+        self.exemplars.truncate(Self::EXEMPLAR_SLOTS);
+    }
+
+    /// The retained exemplars, best (largest value) first.
+    pub fn exemplars(&self) -> &[Exemplar] {
+        &self.exemplars
+    }
+
     /// Fold another sketch in. Order-independent: any merge order over
     /// the same sample multiset yields an identical sketch.
     pub fn merge(&mut self, other: &QuantileSketch) {
@@ -135,6 +191,9 @@ impl QuantileSketch {
         self.sum = self.sum.saturating_add(other.sum);
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+        for e in &other.exemplars {
+            self.offer_exemplar(e.clone());
+        }
     }
 
     /// Number of samples.
@@ -294,6 +353,60 @@ mod tests {
         let mut e = QuantileSketch::new();
         e.merge(&before);
         assert_eq!(e, before);
+    }
+
+    #[test]
+    fn exemplars_keep_the_top_slots_in_any_order() {
+        let offers: Vec<(u64, String)> = (0..40u64)
+            .map(|i| ((i * 31) % 100, format!("app_{i:02}")))
+            .collect();
+        let mut fwd = QuantileSketch::new();
+        for (v, l) in &offers {
+            fwd.observe_exemplar(*v, l);
+        }
+        let mut rev = QuantileSketch::new();
+        for (v, l) in offers.iter().rev() {
+            rev.observe_exemplar(*v, l);
+        }
+        assert_eq!(fwd, rev, "exemplar retention must be order-independent");
+        assert_eq!(fwd.exemplars().len(), QuantileSketch::EXEMPLAR_SLOTS);
+        // The retained set is exactly the top-K of the offered multiset.
+        let mut sorted = offers.clone();
+        sorted.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        for (slot, (v, l)) in fwd.exemplars().iter().zip(sorted.iter()) {
+            assert_eq!((slot.value, slot.label.as_str()), (*v, l.as_str()));
+        }
+        // Values are non-increasing, ties broken by label.
+        for w in fwd.exemplars().windows(2) {
+            assert!(w[0].value >= w[1].value);
+        }
+    }
+
+    #[test]
+    fn exemplars_merge_like_observations() {
+        let offers: Vec<(u64, String)> =
+            (0..30u64).map(|i| (i * 7 % 50, format!("a{i}"))).collect();
+        let mut whole = QuantileSketch::new();
+        for (v, l) in &offers {
+            whole.observe_exemplar(*v, l);
+        }
+        let mut shards: Vec<QuantileSketch> = (0..3).map(|_| QuantileSketch::new()).collect();
+        for (i, (v, l)) in offers.iter().enumerate() {
+            shards[i % 3].observe_exemplar(*v, l);
+        }
+        let mut merged = QuantileSketch::new();
+        for s in shards.iter().rev() {
+            merged.merge(s);
+        }
+        assert_eq!(merged, whole, "sharded exemplars must equal single-stream");
+    }
+
+    #[test]
+    fn plain_observe_keeps_exemplars_empty() {
+        let mut s = QuantileSketch::new();
+        s.observe(5);
+        s.observe(10);
+        assert!(s.exemplars().is_empty());
     }
 
     #[test]

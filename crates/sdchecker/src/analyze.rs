@@ -5,7 +5,7 @@ use std::collections::BTreeMap;
 use std::io;
 use std::path::Path;
 
-use logmodel::{par, ApplicationId, LogStore, Parallelism};
+use logmodel::{par, ApplicationId, LogStore, Parallelism, TsMs};
 
 use crate::bugs::{find_unused_containers, UnusedContainer};
 use crate::decompose::{decompose, AppDelays, AppOutcome};
@@ -33,6 +33,12 @@ pub struct Analysis {
     /// How much of the corpus the extraction rules understood, per log
     /// family (matched / unmatched / ignored lines).
     pub coverage: ParseCoverage,
+    /// The newest record timestamp in the corpus — the log-time
+    /// watermark batch analysis ends at. `None` for an empty corpus.
+    /// The incremental pipeline's `finish()` retires at exactly this
+    /// instant, which is what makes batch wide-event lines byte-equal
+    /// to a tailed run's.
+    pub watermark: Option<TsMs>,
 }
 
 impl Analysis {
@@ -148,6 +154,10 @@ pub fn analyze_store(store: &LogStore) -> Analysis {
 /// sequential code path on the calling thread.
 pub fn analyze_store_with(store: &LogStore, par: Parallelism) -> Analysis {
     let _span = obs::span("analyze");
+    let watermark = store
+        .sources()
+        .flat_map(|s| store.records(s).iter().map(|r| r.ts))
+        .max();
     let (events, coverage) = extract_all_cov_with(store, par);
     let app_names = extract_app_names_with(store, par);
     if par.is_sequential() {
@@ -173,6 +183,7 @@ pub fn analyze_store_with(store: &LogStore, par: Parallelism) -> Analysis {
             unused_containers,
             app_names,
             coverage,
+            watermark,
         };
     }
     // Partition the (globally sorted) events by owning application; each
@@ -207,6 +218,7 @@ pub fn analyze_store_with(store: &LogStore, par: Parallelism) -> Analysis {
         unused_containers,
         app_names,
         coverage,
+        watermark,
     }
 }
 

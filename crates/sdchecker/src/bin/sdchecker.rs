@@ -4,7 +4,8 @@
 //! sdchecker <log-dir> [--threads N] [--csv <out.csv>] [--dot <application-id> <out.dot>]
 //!           [--timeline <application-id>] [--trace-out <trace.json>]
 //!           [--app-trace-out <apptrace.json>] [--report-json <report.json>]
-//!           [--metrics-out <metrics.json|.prom>] [--quiet]
+//!           [--metrics-out <metrics.json|.prom>] [--wide-events-out <events.jsonl>]
+//!           [--quiet]
 //! ```
 //!
 //! `<log-dir>` must contain `resourcemanager.log`,
@@ -21,7 +22,8 @@ use sdchecker::{analyze_dir_with, full_report, Parallelism, Table};
 const USAGE: &str = "usage: sdchecker <log-dir> [--threads N] [--csv <out.csv>] \
 [--dot <application-id> <out.dot>] [--timeline <application-id>] \
 [--trace-out <trace.json>] [--app-trace-out <apptrace.json>] \
-[--report-json <report.json>] [--metrics-out <metrics.json|.prom>] [--quiet]";
+[--report-json <report.json>] [--metrics-out <metrics.json|.prom>] \
+[--wide-events-out <events.jsonl>] [--quiet]";
 
 fn usage() -> ExitCode {
     eprintln!("{USAGE}");
@@ -48,6 +50,7 @@ fn main() -> ExitCode {
     let mut app_trace_out: Option<PathBuf> = None;
     let mut report_json_out: Option<PathBuf> = None;
     let mut metrics_out: Option<PathBuf> = None;
+    let mut wide_events_out: Option<PathBuf> = None;
     let mut quiet = false;
     let mut par = Parallelism::auto();
     let mut requested_threads: Option<usize> = None;
@@ -129,6 +132,13 @@ fn main() -> ExitCode {
                     return usage();
                 };
                 metrics_out = Some(PathBuf::from(p));
+                i += 2;
+            }
+            "--wide-events-out" => {
+                let Some(p) = args.get(i + 1) else {
+                    return usage();
+                };
+                wide_events_out = Some(PathBuf::from(p));
                 i += 2;
             }
             "--quiet" => {
@@ -241,6 +251,20 @@ fn main() -> ExitCode {
         if !quiet {
             eprintln!(
                 "wrote app-time scheduling trace to {} (load in ui.perfetto.dev)",
+                path.display()
+            );
+        }
+    }
+
+    if let Some(path) = &wide_events_out {
+        if let Err(e) = std::fs::write(path, sdchecker::wide_events_for_analysis(&analysis)) {
+            eprintln!("failed to write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        if !quiet {
+            eprintln!(
+                "wrote {} wide-events-v1 lines to {}",
+                analysis.delays.len(),
                 path.display()
             );
         }

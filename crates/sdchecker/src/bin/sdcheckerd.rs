@@ -7,38 +7,70 @@
 //!
 //! ```text
 //! sdcheckerd <watch-dir> [--listen ADDR] [--port-file PATH] [--poll-ms N]
-//!            [--settle-ms N] [--idle-timeout-ms N] [--final-report PATH]
+//!            [--settle-ms N] [--idle-timeout-ms N] [--exemplar-slots N]
+//!            [--slo-ms N] [--no-alerts] [--alerts-out PATH]
+//!            [--wide-events-out PATH] [--final-report PATH]
 //!            [--run-for-ms N] [--quiet]
 //! ```
 //!
 //! Endpoints:
 //!
 //! * `GET /metrics`     — Prometheus text exposition (format 0.0.4) of the
-//!   live counters, gauges, and delay-component quantile sketches.
+//!   live counters, gauges, delay-component quantile sketches, daemon
+//!   self-metrics, and `sd_alert_firing{rule}` flags.
 //! * `GET /report.json` — current fleet report snapshot
 //!   (schema `sdcheckerd-report-v1`).
+//! * `GET /alerts`      — SLO rule states and the transition log
+//!   (schema `sdcheckerd-alerts-v1`).
+//! * `GET /exemplars`   — worst-apps-per-component reservoir with full
+//!   per-app detail (schema `sdcheckerd-exemplars-v1`).
+//! * `GET /exemplars/<app>/trace.json` — on-demand Perfetto trace of one
+//!   promoted tail app, rebuilt from its retained events.
 //! * `GET /healthz`     — liveness: per-source tail lag, apps
 //!   in-flight/retired/truncated, last-progress watchdog.
 //! * `GET /readyz`      — 200 once the first poll completed, 503 before.
 //! * `GET /buildinfo`   — name/version.
 //!
+//! `--wide-events-out` appends one canonical `wide-events-v1` JSONL line
+//! per retirement (see `sdchecker::wide`). The file is deterministic in
+//! log time — identical for any poll cadence or append chunking — and
+//! each line's `retire_ms` is the app's logical retirement instant.
+//! Apps drained at shutdown are stamped with the final watermark, which
+//! is exactly the stamp batch `sdchecker --wide-events-out` uses, so a
+//! run whose apps all retire at `finish()` is byte-identical to the
+//! batch file.
+//!
 //! On SIGTERM/SIGINT the daemon performs one final poll, flushes held-back
-//! partial lines, retires everything in flight, writes `--final-report`
-//! (if given), and exits 0 — the final report matches what batch
-//! `sdchecker` computes over the finished directory.
+//! partial lines, retires everything in flight, resolves open alerts,
+//! writes `--final-report` / `--alerts-out` (if given), and exits 0 — the
+//! final report matches what batch `sdchecker` computes over the finished
+//! directory.
 
+use std::collections::BTreeMap;
+use std::io::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use logmodel::TsMs;
 use obs::{GaugeRegistry, HttpServer, Request, Response, PROMETHEUS_CONTENT_TYPE};
-use sdchecker::{DirTailer, IncrementalAnalyzer, IncrementalConfig, RetiredApp};
+use sdchecker::{
+    default_rules, AlertEngine, DirTailer, IncrementalAnalyzer, IncrementalConfig, Outcome,
+    RetiredApp, Transition,
+};
 
 const USAGE: &str = "usage: sdcheckerd <watch-dir> [--listen ADDR] [--port-file PATH] \
-[--poll-ms N] [--settle-ms N] [--idle-timeout-ms N] [--final-report PATH] \
+[--poll-ms N] [--settle-ms N] [--idle-timeout-ms N] [--exemplar-slots N] [--slo-ms N] \
+[--no-alerts] [--alerts-out PATH] [--wide-events-out PATH] [--final-report PATH] \
 [--run-for-ms N] [--quiet]";
+
+/// Alert rules are evaluated at this log-time quantum.
+const ALERT_EVAL_MS: u64 = 1_000;
+
+/// Per-poll duration histogram bounds, ms.
+const POLL_DURATION_BOUNDS: &[u64] = &[1, 2, 5, 10, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000];
 
 static SHUTDOWN: AtomicBool = AtomicBool::new(false);
 
@@ -75,6 +107,8 @@ struct Health {
     lag_ms: u64,
     events_buffered: u64,
     watermark_ms: Option<u64>,
+    exemplar_apps: u64,
+    exemplar_events: u64,
 }
 
 struct Shared {
@@ -84,6 +118,15 @@ struct Shared {
     /// retired an app) — the watchdog `/healthz` ages against.
     last_progress: Mutex<Instant>,
     started: Instant,
+    /// Rendered `/alerts` document (schema `sdcheckerd-alerts-v1`).
+    alerts: Mutex<String>,
+    /// Per-rule firing flags for the `sd_alert_firing{rule}` gauges.
+    firing: Mutex<BTreeMap<String, bool>>,
+    /// Rendered `/exemplars` index (schema `sdcheckerd-exemplars-v1`).
+    exemplars: Mutex<String>,
+    /// Pre-rendered Perfetto traces of every promoted app, rebuilt when
+    /// the reservoir generation changes.
+    exemplar_traces: Mutex<BTreeMap<String, String>>,
 }
 
 impl Shared {
@@ -139,6 +182,52 @@ fn describe_daemon_metrics() {
         "sdcheckerd_uptime_seconds",
         "Seconds since the daemon started",
     );
+    obs::describe(
+        "process_uptime_seconds",
+        "Seconds since the daemon process started",
+    );
+    obs::describe(
+        "sdcheckerd_poll_duration_ms",
+        "Wall-clock duration of each tail poll (read + ingest + drain), ms",
+    );
+    obs::describe(
+        "sdcheckerd_http_requests_total",
+        "HTTP requests served, by (bucketed) path",
+    );
+    obs::describe(
+        "sdcheckerd_exemplar_apps",
+        "Retired applications held in memory as tail exemplars",
+    );
+    obs::describe(
+        "sdcheckerd_exemplar_events",
+        "Events retained across all promoted tail exemplars",
+    );
+    obs::describe(
+        "sdcheckerd_alert_transitions_total",
+        "Alert rule state transitions (pending/firing/resolved)",
+    );
+    obs::describe(
+        "sd_alert_firing",
+        "1 while the named alert rule is firing, else 0",
+    );
+}
+
+/// Bucket request paths to a bounded label set (app ids would blow up
+/// series cardinality).
+fn metric_path(path: &str) -> &'static str {
+    match path {
+        "/metrics" => "/metrics",
+        "/report.json" => "/report.json",
+        "/healthz" => "/healthz",
+        "/readyz" => "/readyz",
+        "/buildinfo" => "/buildinfo",
+        "/alerts" => "/alerts",
+        "/exemplars" => "/exemplars",
+        p if p.starts_with("/exemplars/") && p.ends_with("/trace.json") => {
+            "/exemplars/{app}/trace.json"
+        }
+        _ => "other",
+    }
 }
 
 fn healthz_json(h: &Health, progress_age_ms: u64, uptime_ms: u64) -> String {
@@ -168,6 +257,11 @@ fn healthz_json(h: &Health, progress_age_ms: u64, uptime_ms: u64) -> String {
 }
 
 fn handle(req: &Request, shared: &Shared, gauges: &GaugeRegistry) -> Response {
+    obs::count_labeled(
+        "sdcheckerd_http_requests_total",
+        &[("path", metric_path(&req.path))],
+        1,
+    );
     match req.path.as_str() {
         "/metrics" => {
             let mut snap = obs::global().snapshot();
@@ -177,6 +271,25 @@ fn handle(req: &Request, shared: &Shared, gauges: &GaugeRegistry) -> Response {
         "/report.json" => {
             let report = shared.report.lock().unwrap_or_else(|e| e.into_inner());
             Response::json(report.clone())
+        }
+        "/alerts" => {
+            let alerts = shared.alerts.lock().unwrap_or_else(|e| e.into_inner());
+            Response::json(alerts.clone())
+        }
+        "/exemplars" => {
+            let ex = shared.exemplars.lock().unwrap_or_else(|e| e.into_inner());
+            Response::json(ex.clone())
+        }
+        p if p.starts_with("/exemplars/") && p.ends_with("/trace.json") => {
+            let app = &p["/exemplars/".len()..p.len() - "/trace.json".len()];
+            let traces = shared
+                .exemplar_traces
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            match traces.get(app) {
+                Some(t) => Response::json(t.clone()),
+                None => Response::not_found(),
+            }
         }
         "/healthz" => {
             let h = shared.health();
@@ -236,6 +349,8 @@ fn refresh(
         lag_ms: lag.max_ms,
         events_buffered: analyzer.events_buffered() as u64,
         watermark_ms: analyzer.watermark().map(|w| w.0),
+        exemplar_apps: analyzer.exemplars().promoted_apps() as u64,
+        exemplar_events: analyzer.exemplars().events_retained() as u64,
     };
     *shared.health.lock().unwrap_or_else(|e| e.into_inner()) = h;
 }
@@ -267,6 +382,75 @@ fn note_retirements(retired: &[RetiredApp], quiet: bool) {
     }
 }
 
+/// Feed a batch of retirements into the alert engine and the wide-events
+/// file (both optional).
+fn record_retirements(
+    retired: &[RetiredApp],
+    engine: &mut Option<AlertEngine>,
+    wide_file: &mut Option<std::io::BufWriter<std::fs::File>>,
+) {
+    for r in retired {
+        if let Some(e) = engine.as_mut() {
+            e.observe_retirement(r.retire_ms, &r.delays);
+        }
+        if let Some(w) = wide_file.as_mut() {
+            let _ = w.write_all(r.wide_event.as_bytes());
+            let _ = w.write_all(b"\n");
+        }
+    }
+    if !retired.is_empty() {
+        if let Some(w) = wide_file.as_mut() {
+            let _ = w.flush();
+        }
+    }
+}
+
+/// Log and count alert transitions.
+fn note_transitions(transitions: &[Transition], quiet: bool) {
+    obs::count(
+        "sdcheckerd_alert_transitions_total",
+        transitions.len() as u64,
+    );
+    if quiet {
+        return;
+    }
+    for t in transitions {
+        eprintln!(
+            "alert {} {} at {} ms (value {:.1})",
+            t.rule,
+            t.verb(),
+            t.at.0,
+            t.value,
+        );
+    }
+}
+
+/// Publish the `/alerts` document and per-rule firing flags.
+fn publish_alerts(shared: &Shared, engine: &AlertEngine) {
+    *shared.alerts.lock().unwrap_or_else(|e| e.into_inner()) = engine.alerts_json();
+    let mut map = shared.firing.lock().unwrap_or_else(|e| e.into_inner());
+    for (name, f) in engine.firing() {
+        map.insert(name.to_string(), f);
+    }
+}
+
+/// Re-render the `/exemplars` index and per-app traces. Called only when
+/// the reservoir generation changes, so steady state does no rebuild work.
+fn publish_exemplars(shared: &Shared, analyzer: &IncrementalAnalyzer) {
+    let ex = analyzer.exemplars();
+    let mut traces = BTreeMap::new();
+    for p in ex.iter() {
+        if let Some(t) = ex.trace_json(p.app) {
+            traces.insert(p.app.to_string(), t);
+        }
+    }
+    *shared.exemplars.lock().unwrap_or_else(|e| e.into_inner()) = ex.index_json();
+    *shared
+        .exemplar_traces
+        .lock()
+        .unwrap_or_else(|e| e.into_inner()) = traces;
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
@@ -290,6 +474,10 @@ fn main() -> ExitCode {
     let mut final_report: Option<PathBuf> = None;
     let mut run_for_ms: Option<u64> = None;
     let mut quiet = false;
+    let mut slo_ms: u64 = 60_000;
+    let mut no_alerts = false;
+    let mut alerts_out: Option<PathBuf> = None;
+    let mut wide_events_out: Option<PathBuf> = None;
     let mut i = 1;
     while i < args.len() {
         let flag = args[i].as_str();
@@ -299,7 +487,13 @@ fn main() -> ExitCode {
                 i += 1;
                 continue;
             }
+            "--no-alerts" => {
+                no_alerts = true;
+                i += 1;
+                continue;
+            }
             "--listen" | "--port-file" | "--poll-ms" | "--settle-ms" | "--idle-timeout-ms"
+            | "--exemplar-slots" | "--slo-ms" | "--alerts-out" | "--wide-events-out"
             | "--final-report" | "--run-for-ms" => {}
             other => {
                 eprintln!("unknown argument: {other}");
@@ -338,6 +532,22 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--exemplar-slots" => match value.parse::<usize>() {
+                Ok(n) => cfg.exemplar_slots = n,
+                Err(_) => {
+                    eprintln!("invalid --exemplar-slots value: {value}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--slo-ms" => match parse_u64(value) {
+                Some(n) if n > 0 => slo_ms = n,
+                _ => {
+                    eprintln!("invalid --slo-ms value: {value}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--alerts-out" => alerts_out = Some(PathBuf::from(value)),
+            "--wide-events-out" => wide_events_out = Some(PathBuf::from(value)),
             "--run-for-ms" => match parse_u64(value) {
                 Some(n) => run_for_ms = Some(n),
                 None => {
@@ -363,6 +573,21 @@ fn main() -> ExitCode {
         }
     };
     let mut analyzer = IncrementalAnalyzer::new(cfg);
+    let mut engine = if no_alerts {
+        None
+    } else {
+        Some(AlertEngine::new(default_rules(slo_ms), ALERT_EVAL_MS))
+    };
+    let mut wide_file = match &wide_events_out {
+        Some(p) => match std::fs::File::create(p) {
+            Ok(f) => Some(std::io::BufWriter::new(f)),
+            Err(e) => {
+                eprintln!("cannot create wide-events file {}: {e}", p.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
 
     let server = match HttpServer::bind(&listen) {
         Ok(s) => s,
@@ -392,11 +617,24 @@ fn main() -> ExitCode {
         );
     }
 
+    let initial_alerts = engine.as_ref().map_or_else(
+        || "{\"schema\": \"sdcheckerd-alerts-v1\", \"rules\": [], \"transitions\": []}\n".into(),
+        |e| e.alerts_json(),
+    );
+    let initial_firing: BTreeMap<String, bool> = engine
+        .as_ref()
+        .map(|e| e.firing().map(|(n, f)| (n.to_string(), f)).collect())
+        .unwrap_or_default();
+    let rule_names: Vec<String> = initial_firing.keys().cloned().collect();
     let shared = Arc::new(Shared {
         report: Mutex::new("{\"schema\": \"sdcheckerd-report-v1\"}\n".to_string()),
         health: Mutex::new(Health::default()),
         last_progress: Mutex::new(Instant::now()),
         started: Instant::now(),
+        alerts: Mutex::new(initial_alerts),
+        firing: Mutex::new(initial_firing),
+        exemplars: Mutex::new(analyzer.exemplars().index_json()),
+        exemplar_traces: Mutex::new(BTreeMap::new()),
     });
     let gauges = Arc::new(GaugeRegistry::new());
     {
@@ -420,6 +658,30 @@ fn main() -> ExitCode {
         gauges.register("sdcheckerd_uptime_seconds", move || {
             s.started.elapsed().as_secs_f64()
         });
+        let s = Arc::clone(&shared);
+        gauges.register("process_uptime_seconds", move || {
+            s.started.elapsed().as_secs_f64()
+        });
+        let s = Arc::clone(&shared);
+        gauges.register("sdcheckerd_exemplar_apps", move || {
+            s.health().exemplar_apps as f64
+        });
+        let s = Arc::clone(&shared);
+        gauges.register("sdcheckerd_exemplar_events", move || {
+            s.health().exemplar_events as f64
+        });
+        for name in &rule_names {
+            let s = Arc::clone(&shared);
+            let rule = name.clone();
+            gauges.register_labeled("sd_alert_firing", &[("rule", name)], move || {
+                let map = s.firing.lock().unwrap_or_else(|e| e.into_inner());
+                if map.get(&rule).copied().unwrap_or(false) {
+                    1.0
+                } else {
+                    0.0
+                }
+            });
+        }
     }
 
     let http_thread = {
@@ -433,6 +695,7 @@ fn main() -> ExitCode {
     let mut records: u64 = 0;
     let mut read_bytes_prev: u64 = 0;
     let mut late_prev: u64 = 0;
+    let mut exemplar_gen: u64 = analyzer.exemplars().generation();
     while !SHUTDOWN.load(Ordering::SeqCst) {
         if let Some(d) = deadline {
             if Instant::now() >= d {
@@ -442,6 +705,7 @@ fn main() -> ExitCode {
         }
         polls += 1;
         obs::count("sdcheckerd_polls_total", 1);
+        let poll_started = Instant::now();
         let batch = match tailer.poll() {
             Ok(b) => b,
             Err(e) => {
@@ -456,7 +720,11 @@ fn main() -> ExitCode {
         records += n;
         obs::count("sdcheckerd_records_total", n);
         for (src, rec) in &batch {
-            analyzer.ingest(*src, rec);
+            if analyzer.ingest(*src, rec) == Outcome::Anomalous {
+                if let Some(e) = engine.as_mut() {
+                    e.observe_anomalous(rec.ts);
+                }
+            }
         }
         let stats = tailer.stats();
         obs::count(
@@ -466,6 +734,7 @@ fn main() -> ExitCode {
         read_bytes_prev = stats.read_bytes;
         let retired = analyzer.drain_ready();
         note_retirements(&retired, quiet);
+        record_retirements(&retired, &mut engine, &mut wide_file);
         obs::count(
             "sdcheckerd_late_events_total",
             analyzer.late_events().saturating_sub(late_prev),
@@ -477,7 +746,24 @@ fn main() -> ExitCode {
                 .lock()
                 .unwrap_or_else(|e| e.into_inner()) = Instant::now();
         }
+        if let Some(e) = engine.as_mut() {
+            e.set_live_lag(tailer.lag().bytes);
+            if let Some(w) = analyzer.watermark() {
+                let transitions = e.advance(w);
+                note_transitions(&transitions, quiet);
+            }
+            publish_alerts(&shared, e);
+        }
+        if analyzer.exemplars().generation() != exemplar_gen {
+            exemplar_gen = analyzer.exemplars().generation();
+            publish_exemplars(&shared, &analyzer);
+        }
         refresh(&shared, &tailer, &analyzer, polls, records, true);
+        obs::observe(
+            "sdcheckerd_poll_duration_ms",
+            POLL_DURATION_BOUNDS,
+            poll_started.elapsed().as_millis() as u64,
+        );
         // Sleep in short slices so SIGTERM turns around quickly.
         let mut slept = 0;
         while slept < poll_ms && !SHUTDOWN.load(Ordering::SeqCst) {
@@ -495,18 +781,60 @@ fn main() -> ExitCode {
         records += batch.len() as u64;
         obs::count("sdcheckerd_records_total", batch.len() as u64);
         for (src, rec) in &batch {
-            analyzer.ingest(*src, rec);
+            if analyzer.ingest(*src, rec) == Outcome::Anomalous {
+                if let Some(e) = engine.as_mut() {
+                    e.observe_anomalous(rec.ts);
+                }
+            }
         }
     }
     let tail_end = tailer.flush_partial();
     records += tail_end.len() as u64;
     obs::count("sdcheckerd_records_total", tail_end.len() as u64);
     for (src, rec) in &tail_end {
-        analyzer.ingest(*src, rec);
+        if analyzer.ingest(*src, rec) == Outcome::Anomalous {
+            if let Some(e) = engine.as_mut() {
+                e.observe_anomalous(rec.ts);
+            }
+        }
     }
     let retired = analyzer.finish();
     note_retirements(&retired, quiet);
+    record_retirements(&retired, &mut engine, &mut wide_file);
+    if let Some(e) = engine.as_mut() {
+        // Evaluate one interval past the final watermark so the samples
+        // stamped by finish() get a tick, then resolve whatever is left
+        // open — the transition log always ends at rest.
+        let end = TsMs(
+            analyzer
+                .watermark()
+                .map_or(0, |w| w.0)
+                .saturating_add(ALERT_EVAL_MS),
+        );
+        e.set_live_lag(0);
+        let mut transitions = e.advance(end);
+        transitions.extend(e.close_out(end));
+        note_transitions(&transitions, quiet);
+        publish_alerts(&shared, e);
+    }
+    if analyzer.exemplars().generation() != exemplar_gen {
+        publish_exemplars(&shared, &analyzer);
+    }
     refresh(&shared, &tailer, &analyzer, polls, records, true);
+    if let Some(p) = &alerts_out {
+        if let Some(e) = &engine {
+            if let Err(err) = std::fs::write(p, e.alerts_json()) {
+                eprintln!("cannot write alerts file {}: {err}", p.display());
+                return ExitCode::FAILURE;
+            }
+            if !quiet {
+                eprintln!("wrote alerts to {}", p.display());
+            }
+        }
+    }
+    if let Some(w) = wide_file.as_mut() {
+        let _ = w.flush();
+    }
     if let Some(p) = &final_report {
         let report = shared
             .report

@@ -44,9 +44,11 @@ use crate::analyze::{analyze_app_events, stream_one_delay_sketches};
 use crate::critical::critical_path;
 use crate::decompose::{AppDelays, AppOutcome, APP_COMPONENTS, CONTAINER_COMPONENTS};
 use crate::event::{EventKind, SchedEvent};
+use crate::exemplars::{PromotedApp, TailExemplars};
 use crate::extract::{CoverageCounts, Extractor, Outcome, ParseCoverage, SourceKind, StreamCursor};
 use crate::pattern::Pat;
 use crate::tail::{TailLag, TailStats};
+use crate::wide::{wide_event_line, WideEventInput};
 
 /// Retirement policy for the incremental pipeline.
 #[derive(Debug, Clone, Copy)]
@@ -60,6 +62,9 @@ pub struct IncrementalConfig {
     /// classifies as `Truncated`, exactly as batch does for a corpus
     /// that stops mid-run.
     pub idle_timeout_ms: u64,
+    /// Worst-apps-per-component slots in the tail-exemplar reservoir
+    /// (0 disables promotion; see [`TailExemplars`]).
+    pub exemplar_slots: usize,
 }
 
 impl Default for IncrementalConfig {
@@ -67,6 +72,7 @@ impl Default for IncrementalConfig {
         IncrementalConfig {
             settle_ms: 2_000,
             idle_timeout_ms: 60_000,
+            exemplar_slots: 3,
         }
     }
 }
@@ -96,6 +102,16 @@ pub struct RetiredApp {
     /// Whether the idle timeout (rather than terminal evidence) forced
     /// this retirement.
     pub forced: bool,
+    /// The **logical** retirement instant, in log time: the earliest
+    /// watermark at which this app's retirement became due (terminal +
+    /// settle, last event + idle timeout, or the final watermark for
+    /// [`IncrementalAnalyzer::finish`]). A pure function of the corpus —
+    /// never of poll cadence — which is what keeps the wide-event file
+    /// byte-identical across replays.
+    pub retire_ms: TsMs,
+    /// The canonical `wide-events-v1` line for this retirement (no
+    /// trailing newline).
+    pub wide_event: String,
 }
 
 /// Fleet-level aggregates over retired applications. Bounded state: one
@@ -154,6 +170,7 @@ pub struct IncrementalAnalyzer {
     late_events: u64,
     watermark: Option<TsMs>,
     fleet: FleetAgg,
+    exemplars: TailExemplars,
 }
 
 impl Default for IncrementalAnalyzer {
@@ -177,13 +194,16 @@ impl IncrementalAnalyzer {
             late_events: 0,
             watermark: None,
             fleet: FleetAgg::new(),
+            exemplars: TailExemplars::new(cfg.exemplar_slots),
         }
     }
 
     /// Consume one record. Records must arrive in order *within* each
     /// stream (any interleaving across streams is fine) — the contract
-    /// [`crate::tail::DirTailer::poll`] provides.
-    pub fn ingest(&mut self, source: LogSource, r: &LogRecord) {
+    /// [`crate::tail::DirTailer::poll`] provides. Returns the parse
+    /// outcome so callers can react per record (the daemon feeds
+    /// `Anomalous` into its corrupt-line alert rule).
+    pub fn ingest(&mut self, source: LogSource, r: &LogRecord) -> Outcome {
         let cursor = self
             .cursors
             .entry(source)
@@ -242,52 +262,73 @@ impl IncrementalAnalyzer {
             state.last_event_ts = Some(state.last_event_ts.map_or(ev.ts, |t| t.max(ev.ts)));
             state.events.push(ev);
         }
+        outcome
     }
 
     /// Retire every application whose evidence is complete (terminal
     /// event + settle window) or whose streams have gone idle past the
-    /// timeout. Returns the retired apps in ascending-id order.
+    /// timeout.
+    ///
+    /// Each retirement is stamped with its **logical due time** — the
+    /// earliest watermark that could have retired it — and the batch is
+    /// returned sorted by `(due, app)`. Both are pure functions of the
+    /// corpus, so the retirement *sequence* (and everything derived
+    /// from it: wide-event file order, exemplar offers, alert samples)
+    /// is identical however the input was chunked or how often this
+    /// was polled.
     pub fn drain_ready(&mut self) -> Vec<RetiredApp> {
         let Some(watermark) = self.watermark else {
             return Vec::new();
         };
-        let ready: Vec<(ApplicationId, bool)> = self
+        let mut ready: Vec<(TsMs, ApplicationId, bool)> = self
             .apps
             .iter()
             .filter_map(|(app, state)| {
-                if let Some(t) = state.terminal_ts {
-                    if watermark.since(t) >= self.cfg.settle_ms {
-                        return Some((*app, false));
-                    }
+                // Candidate due times; `saturating_add` keeps
+                // `u64::MAX` windows meaning "never".
+                let settled = state
+                    .terminal_ts
+                    .map(|t| t.0.saturating_add(self.cfg.settle_ms))
+                    .filter(|&due| watermark.0 >= due);
+                let idle = if self.cfg.idle_timeout_ms > 0 {
+                    state
+                        .last_event_ts
+                        .map(|t| t.0.saturating_add(self.cfg.idle_timeout_ms))
+                        .filter(|&due| watermark.0 >= due)
+                } else {
+                    None
+                };
+                // Earliest wins; a tie prefers the terminal (unforced)
+                // reading.
+                match (settled, idle) {
+                    (Some(s), Some(i)) if i < s => Some((TsMs(i), *app, true)),
+                    (Some(s), _) => Some((TsMs(s), *app, false)),
+                    (None, Some(i)) => Some((TsMs(i), *app, true)),
+                    (None, None) => None,
                 }
-                if self.cfg.idle_timeout_ms > 0 {
-                    if let Some(last) = state.last_event_ts {
-                        if watermark.since(last) >= self.cfg.idle_timeout_ms {
-                            return Some((*app, true));
-                        }
-                    }
-                }
-                None
             })
             .collect();
+        ready.sort_by_key(|&(due, app, _)| (due, app));
         ready
             .into_iter()
-            .map(|(app, forced)| self.retire(app, forced))
+            .map(|(due, app, forced)| self.retire(app, forced, due))
             .collect()
     }
 
-    /// Retire everything still in flight, regardless of settle windows.
-    /// Call at shutdown: the result matches batch analysis of the corpus
-    /// as it stands.
+    /// Retire everything still in flight, regardless of settle windows,
+    /// stamped at the final watermark. Call at shutdown: the result
+    /// matches batch analysis of the corpus as it stands (including its
+    /// wide-event lines — batch stamps the same watermark).
     pub fn finish(&mut self) -> Vec<RetiredApp> {
+        let watermark = self.watermark.unwrap_or(TsMs::ZERO);
         let remaining: Vec<ApplicationId> = self.apps.keys().copied().collect();
         remaining
             .into_iter()
-            .map(|app| self.retire(app, false))
+            .map(|app| self.retire(app, false, watermark))
             .collect()
     }
 
-    fn retire(&mut self, app: ApplicationId, forced: bool) -> RetiredApp {
+    fn retire(&mut self, app: ApplicationId, forced: bool, retire_ms: TsMs) -> RetiredApp {
         let mut state = self.apps.remove(&app).unwrap_or_default();
         self.retired_ids.insert(app);
         // Stable sort by (ts, source) reproduces the batch k-way merge
@@ -297,6 +338,9 @@ impl IncrementalAnalyzer {
         // stable sort.
         state.events.sort_by_key(|e| (e.ts, e.source));
         let (graph, delays, unused) = analyze_app_events(app, &state.events);
+        let critical = critical_path(&graph);
+        let name = self.names.remove(&app);
+        let app_label = app.to_string();
         let f = &mut self.fleet;
         f.retired += 1;
         if forced {
@@ -314,17 +358,18 @@ impl IncrementalAnalyzer {
         f.events_total += state.events.len() as u64;
         for (i, (_, acc)) in APP_COMPONENTS.iter().enumerate() {
             if let Some(v) = acc(&delays) {
-                f.app_sketches[i].observe(v);
+                f.app_sketches[i].observe_exemplar(v, &app_label);
             }
         }
         for c in &delays.containers {
+            let cid_label = c.cid.to_string();
             for (i, (_, acc)) in CONTAINER_COMPONENTS.iter().enumerate() {
                 if let Some(v) = acc(c) {
-                    f.container_sketches[i].observe(v);
+                    f.container_sketches[i].observe_exemplar(v, &cid_label);
                 }
             }
         }
-        if let Some(p) = critical_path(&graph) {
+        if let Some(p) = &critical {
             for seg in &p.segments {
                 let e = f.blame.entry(seg.component).or_insert((0, 0, 0.0));
                 e.0 += 1;
@@ -350,12 +395,37 @@ impl IncrementalAnalyzer {
             }
             stream_one_delay_sketches(&delays);
         }
+        let wide_event = wide_event_line(&WideEventInput {
+            app,
+            name: name.as_deref(),
+            delays: &delays,
+            critical: critical.as_ref(),
+            unused_containers: unused.len(),
+            events: state.events.len(),
+            forced,
+            retire_ms,
+            last_event_ms: state.last_event_ts,
+        });
+        // Offer the app to the tail reservoir: if it ranks, its events
+        // survive retirement (promoted for on-demand traces); otherwise
+        // they are dropped here, as ever.
+        self.exemplars.offer(PromotedApp {
+            app,
+            name: name.clone(),
+            delays: delays.clone(),
+            critical,
+            events: state.events,
+            forced,
+            retire_ms,
+        });
         RetiredApp {
             app,
-            name: self.names.remove(&app),
+            name,
             delays,
             unused: unused.len(),
             forced,
+            retire_ms,
+            wide_event,
         }
     }
 
@@ -401,6 +471,12 @@ impl IncrementalAnalyzer {
     /// Events currently buffered across all in-flight applications.
     pub fn events_buffered(&self) -> usize {
         self.apps.values().map(|s| s.events.len()).sum()
+    }
+
+    /// The tail-exemplar reservoir: worst retired apps per component,
+    /// evidence retained. See [`TailExemplars`].
+    pub fn exemplars(&self) -> &TailExemplars {
+        &self.exemplars
     }
 
     /// The current fleet snapshot as one JSON document (schema
@@ -686,6 +762,7 @@ mod tests {
         let mut inc = IncrementalAnalyzer::new(IncrementalConfig {
             settle_ms: 0,
             idle_timeout_ms: 0,
+            exemplar_slots: 3,
         });
         for (src, r) in store.records_by_time() {
             inc.ingest(src, r);
@@ -709,6 +786,7 @@ mod tests {
         let mut inc = IncrementalAnalyzer::new(IncrementalConfig {
             settle_ms: 5_000,
             idle_timeout_ms: 0,
+            exemplar_slots: 3,
         });
         for (src, r) in store.records_by_time() {
             inc.ingest(src, r);
@@ -738,6 +816,7 @@ mod tests {
         let mut inc = IncrementalAnalyzer::new(IncrementalConfig {
             settle_ms: 0,
             idle_timeout_ms: 10_000,
+            exemplar_slots: 3,
         });
         inc.ingest(
             LogSource::ResourceManager,
@@ -772,6 +851,7 @@ mod tests {
         let mut inc = IncrementalAnalyzer::new(IncrementalConfig {
             settle_ms: 0,
             idle_timeout_ms: 0,
+            exemplar_slots: 3,
         });
         for (src, r) in store.records_by_time() {
             inc.ingest(src, r);
@@ -814,6 +894,7 @@ mod tests {
         let mut inc = IncrementalAnalyzer::new(IncrementalConfig {
             settle_ms: 0,
             idle_timeout_ms: 0,
+            exemplar_slots: 3,
         });
         for (src, r) in store.records_by_time() {
             inc.ingest(src, r);

@@ -41,12 +41,14 @@
 //! assert!(analysis.delays[0].total_ms.is_none()); // no first task yet
 //! ```
 
+pub mod alerts;
 pub mod analyze;
 pub mod apptrace;
 pub mod bugs;
 pub mod critical;
 pub mod decompose;
 pub mod event;
+pub mod exemplars;
 pub mod extract;
 pub mod graph;
 pub mod incremental;
@@ -59,7 +61,9 @@ pub mod tail;
 pub mod throughput;
 pub mod timeline;
 pub mod validate;
+pub mod wide;
 
+pub use alerts::{default_rules, AlertEngine, AlertRule, AlertState, RuleKind, Transition};
 pub use analyze::{
     analyze_app_events, analyze_dir, analyze_dir_with, analyze_store, analyze_store_with,
     describe_metrics, Analysis,
@@ -69,8 +73,9 @@ pub use bugs::{find_unused_containers, UnusedContainer};
 pub use critical::{critical_path, CriticalPath, CriticalSegment};
 pub use decompose::{decompose, AppDelays, AppOutcome, ContainerDelays};
 pub use event::{EventKind, SchedEvent};
+pub use exemplars::{PromotedApp, TailExemplars};
 pub use extract::{
-    extract_all, extract_all_with, extract_app_names, extract_app_names_with, Extractor,
+    extract_all, extract_all_with, extract_app_names, extract_app_names_with, Extractor, Outcome,
     StreamCursor,
 };
 pub use graph::{build_graphs, ContainerTrack, SchedulingGraph};
@@ -84,3 +89,4 @@ pub use tail::{DirTailer, SourceLag, TailLag, TailStats};
 pub use throughput::{allocation_throughput, Throughput};
 pub use timeline::{ascii_gantt, timeline, timeline_csv, TimelineEntry};
 pub use validate::{validate_all, validate_graph, Anomaly, AnomalyKind};
+pub use wide::{wide_event_line, wide_events_for_analysis, WideEventInput, WIDE_EVENTS_SCHEMA};

@@ -1,0 +1,306 @@
+//! Wide events: one canonical structured JSONL line per retired
+//! application.
+//!
+//! Aggregates (sketches, counters) answer "how bad is the tail"; a wide
+//! event answers "which app, and why" — after the fact, without
+//! rerunning analysis. Every retirement emits exactly one line carrying
+//! the full delay decomposition, per-container breakdown, critical-path
+//! blame, outcome, attempts, wasted time, and the retirement lag. The
+//! line is **canonical**: key order is fixed, floats render through
+//! [`obs::json::fmt_f64`], and the retirement instant is *logical* (log
+//! time, not wall time), so the same corpus produces byte-identical
+//! lines at any poll cadence, append chunking, or `--threads` setting —
+//! and a daemon run whose apps drain at `finish()` matches batch
+//! [`wide_events_for_analysis`] byte for byte.
+//!
+//! Schema `wide-events-v1` (one JSON object per line):
+//!
+//! | key                 | type          | meaning |
+//! |---------------------|---------------|---------|
+//! | `schema`            | string        | always `"wide-events-v1"` |
+//! | `app`               | string        | YARN application id |
+//! | `name`              | string\|null  | mined display name (TPC-H query label) |
+//! | `outcome`           | string        | `completed` / `failed` / `killed` / `truncated` |
+//! | `forced`            | bool          | idle-timeout (not terminal-evidence) retirement |
+//! | `attempts`          | number        | AM attempts observed |
+//! | `wasted_ms`         | number        | delay burned in dead AM attempts |
+//! | `unused_containers` | number        | allocated-but-never-used containers |
+//! | `events`            | number        | extracted events analyzed for this app |
+//! | `submitted_ms`      | number\|null  | submission instant (log time) |
+//! | `first_task_ms`     | number\|null  | first task launch (log time) |
+//! | `retire_ms`         | number        | logical retirement instant (log time) |
+//! | `lag_ms`            | number        | `retire_ms` minus the app's last event |
+//! | `components`        | object        | all ten `APP_COMPONENTS`, ms or null |
+//! | `containers`        | array         | per-container component breakdown |
+//! | `blame`             | object\|null  | critical path: dominant, segments, pct |
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use logmodel::{ApplicationId, TsMs};
+use obs::json::{escape, fmt_f64};
+
+use crate::analyze::Analysis;
+use crate::critical::{critical_path, CriticalPath};
+use crate::decompose::{AppDelays, APP_COMPONENTS, CONTAINER_COMPONENTS};
+
+/// Schema tag stamped on every wide-event line.
+pub const WIDE_EVENTS_SCHEMA: &str = "wide-events-v1";
+
+/// Everything one wide-event line is rendered from. Borrowed: the
+/// incremental pipeline builds the line at retirement, before the app's
+/// buffered state is dropped.
+#[derive(Debug)]
+pub struct WideEventInput<'a> {
+    /// The retiring application.
+    pub app: ApplicationId,
+    /// Mined display name, if a driver banner was seen.
+    pub name: Option<&'a str>,
+    /// Full delay decomposition.
+    pub delays: &'a AppDelays,
+    /// Critical path, when the app reached its first task.
+    pub critical: Option<&'a CriticalPath>,
+    /// Allocated-but-never-used container count.
+    pub unused_containers: usize,
+    /// Extracted events analyzed.
+    pub events: usize,
+    /// Idle-timeout retirement (no terminal evidence).
+    pub forced: bool,
+    /// Logical retirement instant (log time).
+    pub retire_ms: TsMs,
+    /// The app's newest event timestamp.
+    pub last_event_ms: Option<TsMs>,
+}
+
+fn opt_u64(v: Option<u64>) -> String {
+    v.map_or_else(|| "null".to_string(), |n| n.to_string())
+}
+
+fn opt_ts(v: Option<TsMs>) -> String {
+    opt_u64(v.map(|t| t.0))
+}
+
+fn pct1(v: f64) -> String {
+    fmt_f64((v * 10.0).round() / 10.0)
+}
+
+/// Render one canonical `wide-events-v1` line (no trailing newline).
+pub fn wide_event_line(w: &WideEventInput<'_>) -> String {
+    let d = w.delays;
+    let mut out = String::with_capacity(512);
+    let _ = write!(
+        out,
+        "{{\"schema\": \"{WIDE_EVENTS_SCHEMA}\", \"app\": \"{}\", \"name\": {}, \
+         \"outcome\": \"{}\", \"forced\": {}, \"attempts\": {}, \"wasted_ms\": {}, \
+         \"unused_containers\": {}, \"events\": {}, \"submitted_ms\": {}, \
+         \"first_task_ms\": {}, \"retire_ms\": {}, \"lag_ms\": {}",
+        w.app,
+        w.name
+            .map_or_else(|| "null".to_string(), |n| format!("\"{}\"", escape(n))),
+        d.outcome.label(),
+        w.forced,
+        d.attempts,
+        d.wasted_ms,
+        w.unused_containers,
+        w.events,
+        opt_ts(d.submitted),
+        opt_ts(d.first_task),
+        w.retire_ms.0,
+        w.last_event_ms.map_or(0, |t| w.retire_ms.since(t)),
+    );
+    out.push_str(", \"components\": {");
+    for (j, (name, acc)) in APP_COMPONENTS.iter().enumerate() {
+        if j > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "\"{name}\": {}", opt_u64(acc(d)));
+    }
+    out.push_str("}, \"containers\": [");
+    for (j, c) in d.containers.iter().enumerate() {
+        if j > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(
+            out,
+            "{{\"cid\": \"{}\", \"is_am\": {}, \"node\": {}",
+            c.cid,
+            c.is_am,
+            c.node
+                .map_or_else(|| "null".to_string(), |n| format!("\"{n}\"")),
+        );
+        for (name, acc) in CONTAINER_COMPONENTS.iter() {
+            let _ = write!(out, ", \"{name}_ms\": {}", opt_u64(acc(c)));
+        }
+        out.push('}');
+    }
+    out.push_str("], \"blame\": ");
+    match w.critical {
+        Some(p) => {
+            let dominant = p.dominant();
+            let _ = write!(
+                out,
+                "{{\"dominant\": {}, \"dominant_pct\": {}, \"total_ms\": {}, \"segments\": [",
+                dominant.map_or_else(|| "null".to_string(), |s| format!("\"{}\"", s.component)),
+                dominant.map_or_else(|| "null".to_string(), |s| pct1(p.blame_pct(s))),
+                p.total_ms,
+            );
+            for (j, seg) in p.segments.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(
+                    out,
+                    "{{\"component\": \"{}\", \"entity\": \"{}\", \"dur_ms\": {}, \"pct\": {}}}",
+                    seg.component,
+                    escape(&seg.entity),
+                    seg.dur_ms(),
+                    pct1(p.blame_pct(seg)),
+                );
+            }
+            out.push_str("]}");
+        }
+        None => out.push_str("null"),
+    }
+    out.push('}');
+    debug_assert!(!out.contains('\n'), "wide event must be a single line");
+    out
+}
+
+/// Render the whole corpus as wide-event lines (newline-terminated, one
+/// per application, ascending application id). The retirement instant
+/// for every app is the corpus watermark — exactly what a tailed run
+/// that ends in [`crate::IncrementalAnalyzer::finish`] stamps, so batch
+/// output is byte-equal to the daemon's `--wide-events-out` file for the
+/// same (settled) corpus.
+pub fn wide_events_for_analysis(an: &Analysis) -> String {
+    let retire_ms = an.watermark.unwrap_or(TsMs::ZERO);
+    // One pass over the (time-sorted) events: per-app count and newest
+    // timestamp.
+    let mut per_app: BTreeMap<ApplicationId, (usize, TsMs)> = BTreeMap::new();
+    for ev in &an.events {
+        let e = per_app.entry(ev.app).or_insert((0, ev.ts));
+        e.0 += 1;
+        e.1 = e.1.max(ev.ts);
+    }
+    let mut unused: BTreeMap<ApplicationId, usize> = BTreeMap::new();
+    for u in &an.unused_containers {
+        *unused.entry(u.app).or_insert(0) += 1;
+    }
+    let mut out = String::new();
+    for d in &an.delays {
+        let critical = an.graphs.get(&d.app).and_then(critical_path);
+        let (events, last) = per_app
+            .get(&d.app)
+            .map_or((0, None), |&(n, ts)| (n, Some(ts)));
+        out.push_str(&wide_event_line(&WideEventInput {
+            app: d.app,
+            name: an.name_of(d.app),
+            delays: d,
+            critical: critical.as_ref(),
+            unused_containers: unused.get(&d.app).copied().unwrap_or(0),
+            events,
+            forced: false,
+            retire_ms,
+            last_event_ms: last,
+        }));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::analyze_store;
+    use crate::decompose::AppOutcome;
+    use logmodel::{Epoch, LogSource, LogStore, NodeId};
+
+    fn corpus() -> LogStore {
+        let epoch = Epoch::default_run();
+        let mut s = LogStore::new(epoch);
+        let a = ApplicationId::new(epoch.unix_ms, 1);
+        let am = a.attempt(1).container(1);
+        let rm = LogSource::ResourceManager;
+        s.info(
+            rm,
+            TsMs(100),
+            "RMAppImpl",
+            format!("{a} State change from NEW_SAVING to SUBMITTED on event = APP_NEW_SAVED"),
+        );
+        s.info(
+            rm,
+            TsMs(150),
+            "RMContainerImpl",
+            format!("{am} Container Transitioned from NEW to ALLOCATED"),
+        );
+        s.info(
+            LogSource::NodeManager(NodeId(1)),
+            TsMs(200),
+            "ContainerImpl",
+            format!("Container {am} transitioned from NEW to LOCALIZING"),
+        );
+        s.info(
+            rm,
+            TsMs(5_000),
+            "RMAppImpl",
+            format!(
+                "{a} State change from RUNNING to FINAL_SAVING on event = ATTEMPT_UNREGISTERED"
+            ),
+        );
+        s
+    }
+
+    #[test]
+    fn lines_are_valid_single_line_json_with_the_schema_tag() {
+        let an = analyze_store(&corpus());
+        let text = wide_events_for_analysis(&an);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), an.delays.len());
+        for line in lines {
+            let doc = obs::json::parse(line).expect("line parses");
+            assert_eq!(
+                doc.get("schema").and_then(|s| s.as_str()),
+                Some(WIDE_EVENTS_SCHEMA)
+            );
+            assert_eq!(
+                doc.get("retire_ms").and_then(|n| n.as_f64()),
+                Some(an.watermark.unwrap().0 as f64)
+            );
+            let comps = doc.get("components").expect("components object");
+            for (name, _) in APP_COMPONENTS.iter() {
+                assert!(comps.get(name).is_some(), "component key {name}");
+            }
+            assert!(doc.get("containers").unwrap().as_arr().is_some());
+        }
+    }
+
+    #[test]
+    fn hostile_names_are_escaped() {
+        let epoch = Epoch::default_run();
+        let app = ApplicationId::new(epoch.unix_ms, 9);
+        // An event-free app decomposes to the all-null truncated record.
+        let (_, delays, _) = crate::analyze::analyze_app_events(app, &[]);
+        assert_eq!(delays.outcome, AppOutcome::Truncated);
+        let line = wide_event_line(&WideEventInput {
+            app,
+            name: Some("q \"7\"\\x\nnewline"),
+            delays: &delays,
+            critical: None,
+            unused_containers: 0,
+            events: 1,
+            forced: true,
+            retire_ms: TsMs(10),
+            last_event_ms: Some(TsMs(4)),
+        });
+        assert!(!line.contains('\n'), "{line}");
+        let doc = obs::json::parse(&line).expect("parses");
+        assert_eq!(
+            doc.get("name").and_then(|s| s.as_str()),
+            Some("q \"7\"\\x\nnewline")
+        );
+        assert_eq!(doc.get("lag_ms").and_then(|n| n.as_f64()), Some(6.0));
+        assert_eq!(doc.get("forced").and_then(|b| b.as_f64()), None);
+        assert!(line.contains("\"forced\": true"));
+        assert!(line.contains("\"blame\": null"));
+    }
+}

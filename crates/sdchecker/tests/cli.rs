@@ -373,6 +373,58 @@ fn metrics_json_matches_golden() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// Golden-file test: the canonical `wide-events-v1` JSONL over the fixed
+/// two-app corpus is byte-for-byte stable — the external contract of the
+/// wide-event emitter. Refresh with `UPDATE_GOLDEN=1 cargo test -p
+/// sdchecker --test cli` after an intentional change, and bump
+/// `WIDE_EVENTS_SCHEMA` if the line shape changed.
+#[test]
+fn wide_events_jsonl_matches_golden() {
+    let dir = tmp("wide_golden");
+    let _ = std::fs::remove_dir_all(&dir);
+    write_two_app_corpus(&dir);
+    let events = dir.join("events.jsonl");
+    let out = bin()
+        .arg(&dir)
+        .args(["--threads", "1", "--quiet"])
+        .args(["--wide-events-out", events.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let got = std::fs::read_to_string(&events).unwrap();
+
+    // Structural checks first: one line per application, each a complete
+    // JSON object carrying the schema tag and every component key.
+    assert_eq!(got.lines().count(), 2);
+    for line in got.lines() {
+        let doc = obs::json::parse(line).expect("each wide-event line must be valid JSON");
+        assert_eq!(doc.get("schema").unwrap().as_str(), Some("wide-events-v1"));
+        assert!(doc.get("app").is_some(), "{line}");
+        assert!(doc.get("retire_ms").is_some(), "{line}");
+        let components = doc.get("components").unwrap();
+        for key in ["total", "am", "out_app", "alloc", "job_runtime"] {
+            assert!(components.get(key).is_some(), "missing {key} in {line}");
+        }
+        assert!(doc.get("blame").is_some(), "{line}");
+    }
+
+    let golden = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/wide_events.jsonl");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(golden.parent().unwrap()).unwrap();
+        std::fs::write(&golden, &got).unwrap();
+    }
+    let want = std::fs::read_to_string(&golden).expect("golden file missing; see test doc");
+    assert_eq!(
+        got, want,
+        "wide events drifted from tests/golden/wide_events.jsonl"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 /// Counter totals are pure functions of the corpus: the exported metrics
 /// file must be byte-identical no matter how many worker threads ran.
 /// (The `analyze_threads_requested`/`_effective` gauges record the thread

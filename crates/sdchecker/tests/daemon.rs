@@ -208,6 +208,128 @@ fn serves_live_endpoints_and_retires_apps() {
 }
 
 #[test]
+fn serves_alerts_exemplars_and_wide_events() {
+    let dir = tmp("tailsurface");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut logs = LogStore::new(Epoch::default_run());
+    common::populate_faulty_fleet(&mut logs);
+    logs.write_dir(&dir).unwrap();
+
+    let wide_out = dir.join("events.jsonl");
+    let alerts_out = dir.join("alerts.json");
+    let (mut daemon, addr) = spawn_daemon(
+        &dir,
+        &[
+            "--settle-ms",
+            "0",
+            "--idle-timeout-ms",
+            "0",
+            "--slo-ms",
+            "1",
+            "--wide-events-out",
+            wide_out.to_str().unwrap(),
+            "--alerts-out",
+            alerts_out.to_str().unwrap(),
+        ],
+    );
+
+    // Two apps retire live; their exemplars appear.
+    wait_for("live retirement", || {
+        let (status, _, body) = http_get(&addr, "/healthz");
+        assert_eq!(status, 200);
+        let doc = obs::json::parse(&String::from_utf8_lossy(&body)).unwrap();
+        (doc.get("retired").unwrap().as_f64() == Some(2.0)).then_some(())
+    });
+
+    // /alerts: the rule table with per-rule states.
+    let (status, _, body) = http_get(&addr, "/alerts");
+    assert_eq!(status, 200);
+    let doc = obs::json::parse(&String::from_utf8_lossy(&body)).unwrap();
+    assert_eq!(
+        doc.get("schema").unwrap().as_str(),
+        Some("sdcheckerd-alerts-v1")
+    );
+    let body_text = String::from_utf8(body).unwrap();
+    for rule in ["total_p99_slo", "total_burn_rate", "tail_lag"] {
+        assert!(body_text.contains(rule), "{body_text}");
+    }
+
+    // /exemplars: every retired app of this tiny fleet is promoted, and
+    // each promoted app serves an on-demand Perfetto trace.
+    let (status, _, body) = http_get(&addr, "/exemplars");
+    assert_eq!(status, 200);
+    let index = String::from_utf8(body).unwrap();
+    let doc = obs::json::parse(&index).unwrap();
+    assert_eq!(
+        doc.get("schema").unwrap().as_str(),
+        Some("sdcheckerd-exemplars-v1")
+    );
+    let app = index
+        .split('"')
+        .find(|s| s.starts_with("application_"))
+        .expect("at least one promoted app in the index")
+        .to_string();
+    let (status, _, body) = http_get(&addr, &format!("/exemplars/{app}/trace.json"));
+    assert_eq!(status, 200);
+    let trace = String::from_utf8(body).unwrap();
+    assert!(trace.contains("traceEvents"), "{trace}");
+    let (status, _, _) = http_get(&addr, "/exemplars/application_0_9999/trace.json");
+    assert_eq!(status, 404);
+
+    // Daemon self-metrics and alert gauges on /metrics.
+    let (_, _, body) = http_get(&addr, "/metrics");
+    let text = String::from_utf8(body).unwrap();
+    for family in [
+        "process_uptime_seconds",
+        "sdcheckerd_poll_duration_ms",
+        "sdcheckerd_http_requests_total",
+        "sdcheckerd_exemplar_apps",
+        "sd_alert_firing",
+    ] {
+        assert!(text.contains(&format!("# HELP {family} ")), "{family}");
+    }
+    assert!(
+        text.contains("sd_alert_firing{rule=\"total_p99_slo\"}"),
+        "{text}"
+    );
+    assert!(
+        text.contains("sdcheckerd_http_requests_total{path=\"/alerts\"}"),
+        "{text}"
+    );
+
+    // SIGTERM: the wide-events file ends with one line per retired app,
+    // and the alerts file records a closed-out engine.
+    #[cfg(unix)]
+    {
+        let pid = daemon.0.id().to_string();
+        assert!(Command::new("kill")
+            .args(["-TERM", &pid])
+            .status()
+            .unwrap()
+            .success());
+        let status = daemon.0.wait().unwrap();
+        assert!(status.success(), "SIGTERM must exit 0, got {status:?}");
+        let wide = std::fs::read_to_string(&wide_out).unwrap();
+        assert_eq!(wide.lines().count(), 3, "one wide event per retirement");
+        for line in wide.lines() {
+            let doc = obs::json::parse(line).unwrap();
+            assert_eq!(doc.get("schema").unwrap().as_str(), Some("wide-events-v1"));
+        }
+        let alerts = std::fs::read_to_string(&alerts_out).unwrap();
+        let doc = obs::json::parse(&alerts).unwrap();
+        assert_eq!(
+            doc.get("schema").unwrap().as_str(),
+            Some("sdcheckerd-alerts-v1")
+        );
+        assert!(
+            !alerts.contains("\"state\": \"firing\""),
+            "close_out must resolve every rule: {alerts}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn run_for_ms_bounds_the_daemon_lifetime() {
     let dir = tmp("runfor");
     let _ = std::fs::remove_dir_all(&dir);

@@ -13,8 +13,8 @@ use std::path::PathBuf;
 
 use logmodel::{ApplicationId, Epoch, LogRecord, LogSource, LogStore, NodeId, Parallelism, TsMs};
 use sdchecker::{
-    analyze_dir_with, analyze_store_with, report_json, DirTailer, IncrementalAnalyzer,
-    IncrementalConfig,
+    analyze_dir_with, analyze_store_with, report_json, wide_events_for_analysis, AlertEngine,
+    AlertRule, DirTailer, IncrementalAnalyzer, IncrementalConfig, RuleKind,
 };
 use simkit::SimRng;
 
@@ -189,6 +189,8 @@ fn tailed_ingest_matches_batch_for_any_append_chunking() {
     logs.write_dir(&batch_dir).unwrap();
     let batch = analyze_dir_with(&batch_dir, Parallelism::ONE).unwrap();
     let gold = report_json(&batch);
+    let mut exemplar_gold: Option<String> = None;
+    let mut alerts_gold: Option<Vec<String>> = None;
 
     for trial in 0u64..5 {
         let mut rng = SimRng::new(0xD1CE + trial);
@@ -221,6 +223,7 @@ fn tailed_ingest_matches_batch_for_any_append_chunking() {
         let mut inc = IncrementalAnalyzer::new(IncrementalConfig {
             settle_ms: u64::MAX,
             idle_timeout_ms: 0,
+            exemplar_slots: 3,
         });
         let mut rebuilt = LogStore::new(*logs.epoch());
         let feed = |recs: Vec<(LogSource, LogRecord)>,
@@ -297,7 +300,178 @@ fn tailed_ingest_matches_batch_for_any_append_chunking() {
         }
         assert_eq!(inc.coverage(), &batch.coverage, "trial {trial}");
 
+        // (c) The wide-event lines are byte-identical to what batch
+        // analysis emits over the finished corpus — same canonical
+        // line, same order, same retire watermark.
+        let mut wide = String::new();
+        for r in &retired {
+            wide.push_str(&r.wide_event);
+            wide.push('\n');
+        }
+        assert_eq!(
+            wide,
+            wide_events_for_analysis(&batch),
+            "trial {trial}: wide events diverged from batch"
+        );
+
+        // (d) The tail-exemplar reservoir is chunking-invariant: same
+        // promoted set, same rankings, same rendered index every trial.
+        let index = inc.exemplars().index_json();
+        assert!(inc.exemplars().promoted_apps() > 0, "trial {trial}");
+        match &exemplar_gold {
+            None => exemplar_gold = Some(index),
+            Some(gold) => assert_eq!(
+                &index, gold,
+                "trial {trial}: exemplar index diverged across chunkings"
+            ),
+        }
+
+        // (e) Alert transitions are chunking-invariant: replay this
+        // trial's retirements through a fresh engine, run the daemon's
+        // shutdown sequence, and pin the transition log.
+        let mut engine = AlertEngine::new(
+            vec![AlertRule {
+                name: "total_p99_test".into(),
+                for_ms: 0,
+                kind: RuleKind::ComponentQuantile {
+                    component: "total",
+                    q: 0.99,
+                    threshold_ms: 1_000,
+                    window_ms: 60_000,
+                    min_count: 1,
+                },
+            }],
+            1_000,
+        );
+        let watermark = retired.iter().map(|r| r.retire_ms).max().unwrap();
+        for r in &retired {
+            engine.observe_retirement(r.retire_ms, &r.delays);
+        }
+        let end = TsMs(watermark.0 + 1_000);
+        let mut transitions = engine.advance(end);
+        transitions.extend(engine.close_out(end));
+        let log: Vec<String> = transitions
+            .iter()
+            .map(|t| format!("{} {} at {}", t.rule, t.verb(), t.at.0))
+            .collect();
+        assert!(
+            log.iter().any(|l| l.contains("firing")),
+            "trial {trial}: slow apps must trip the test rule, got {log:?}"
+        );
+        assert!(
+            log.last().is_some_and(|l| l.contains("resolved")),
+            "trial {trial}: close_out must resolve, got {log:?}"
+        );
+        match &alerts_gold {
+            None => alerts_gold = Some(log),
+            Some(gold) => assert_eq!(
+                &log, gold,
+                "trial {trial}: alert transitions diverged across chunkings"
+            ),
+        }
+
         fs::remove_dir_all(&dir).unwrap();
     }
+    fs::remove_dir_all(&batch_dir).unwrap();
+}
+
+/// A copytruncate rotation (file shrinks, tailer resets and re-reads)
+/// combined with 3-byte appends that split every multi-byte UTF-8
+/// sequence in the app name must leave the exemplar reservoir's retained
+/// events intact: each promoted app's on-demand trace is byte-identical
+/// to the trace batch analysis builds from the finished corpus.
+#[test]
+fn copytruncate_and_mid_utf8_chunks_keep_exemplar_traces_batch_identical() {
+    let logs = corpus();
+    let batch_dir = tmp("trace_batch");
+    let _ = fs::remove_dir_all(&batch_dir);
+    logs.write_dir(&batch_dir).unwrap();
+    let batch = analyze_dir_with(&batch_dir, Parallelism::ONE).unwrap();
+
+    let dir = tmp("trace_stream");
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    fs::write(dir.join("epoch.txt"), format!("{}\n", logs.epoch().unix_ms)).unwrap();
+
+    // Lay out every source in full, except: the RM log starts as its
+    // first ~60 % (cut at a line boundary) so the later rewrite is a
+    // genuine shrink, and the UTF-8-named app's driver log starts empty
+    // and is drip-fed below.
+    let rm_path = dir.join(LogSource::ResourceManager.rel_path());
+    let rm_bytes = logs.render_source(LogSource::ResourceManager).into_bytes();
+    let cut = rm_bytes[..rm_bytes.len() * 3 / 5]
+        .iter()
+        .rposition(|&b| b == b'\n')
+        .unwrap()
+        + 1;
+    let utf8_driver = logs
+        .sources()
+        .find(|s| matches!(s, LogSource::Driver(a) if a.seq == 2))
+        .unwrap();
+    let drv_path = dir.join(utf8_driver.rel_path());
+    let drv_bytes = logs.render_source(utf8_driver).into_bytes();
+    for src in logs.sources() {
+        let path = dir.join(src.rel_path());
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        if src == LogSource::ResourceManager {
+            fs::write(&path, &rm_bytes[..cut]).unwrap();
+        } else if src == utf8_driver {
+            fs::write(&path, b"").unwrap();
+        } else {
+            fs::write(&path, logs.render_source(src)).unwrap();
+        }
+    }
+
+    let mut tailer = DirTailer::new(&dir).unwrap();
+    let mut inc = IncrementalAnalyzer::new(IncrementalConfig {
+        settle_ms: u64::MAX,
+        idle_timeout_ms: 0,
+        exemplar_slots: 3,
+    });
+    let ingest = |recs: Vec<(LogSource, LogRecord)>, inc: &mut IncrementalAnalyzer| {
+        for (src, rec) in recs {
+            inc.ingest(src, &rec);
+        }
+    };
+    ingest(tailer.poll().unwrap(), &mut inc);
+
+    // Copytruncate: the consumed prefix vanishes and only the remainder
+    // is left — a shorter file, so the tailer must reset to offset 0.
+    fs::write(&rm_path, &rm_bytes[cut..]).unwrap();
+    ingest(tailer.poll().unwrap(), &mut inc);
+    assert_eq!(tailer.stats().resets, 1);
+
+    // Drip the driver log three bytes at a time: the 2-byte 'é' and the
+    // 3-byte '✓' in the app name are guaranteed to straddle appends.
+    for chunk in drv_bytes.chunks(3) {
+        let mut f = fs::OpenOptions::new().append(true).open(&drv_path).unwrap();
+        f.write_all(chunk).unwrap();
+        ingest(tailer.poll().unwrap(), &mut inc);
+    }
+    ingest(tailer.flush_partial(), &mut inc);
+    assert!(inc.drain_ready().is_empty());
+
+    let mut retired = inc.finish();
+    retired.sort_by_key(|r| r.app);
+    assert_eq!(retired.len(), 2);
+    assert_eq!(tailer.stats().skipped_lines, 0);
+    assert_eq!(inc.exemplars().promoted_apps(), 2);
+
+    for r in &retired {
+        let got = inc
+            .exemplars()
+            .trace_json(r.app)
+            .expect("fleet of 2 with k = 3: every app is promoted");
+        let g = batch.graphs.get(&r.app).unwrap();
+        let mut t = obs::export::TraceEvents::new();
+        sdchecker::app_trace_into(
+            &mut t,
+            g,
+            r.app.seq as u64,
+            batch.app_names.get(&r.app).map(|s| s.as_str()),
+        );
+        assert_eq!(got, t.finish(), "exemplar trace diverged for {}", r.app);
+    }
+    fs::remove_dir_all(&dir).unwrap();
     fs::remove_dir_all(&batch_dir).unwrap();
 }

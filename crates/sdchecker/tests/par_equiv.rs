@@ -172,6 +172,12 @@ fn assert_same(seq: &Analysis, par: &Analysis, label: &str) {
         "{label}: unused containers diverged"
     );
     assert_eq!(seq.app_names, par.app_names, "{label}: app names diverged");
+    assert_eq!(seq.watermark, par.watermark, "{label}: watermark diverged");
+    assert_eq!(
+        sdchecker::wide_events_for_analysis(seq),
+        sdchecker::wide_events_for_analysis(par),
+        "{label}: wide events diverged"
+    );
 }
 
 #[test]

@@ -43,6 +43,22 @@ impl TraceParams {
         }
     }
 
+    /// A heavy-burst calibration for tail studies: near-simultaneous
+    /// submissions within a burst (mean 120 ms gap), bursts reaching the
+    /// cap of 10, and long quiet inter-burst valleys. The mix produces
+    /// pronounced out-application tail delay — many AMs racing for
+    /// containers at once — while staying below sustained overload, so
+    /// SLO burn-rate alerts fire during bursts and resolve in valleys.
+    pub fn bursty() -> TraceParams {
+        TraceParams {
+            intra_gap_ms: 120.0,
+            burst_scale: 4.0,
+            burst_alpha: 1.1,
+            inter_gap_scale_ms: 20_000.0,
+            inter_gap_alpha: 1.3,
+        }
+    }
+
     /// Scale all gaps by `k` (>1 = sparser trace, lighter load). Useful
     /// for sweeps where jobs grow (Fig 5's 200 GB point would otherwise
     /// saturate the cluster, which the paper explicitly avoids).
