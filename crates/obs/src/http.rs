@@ -25,8 +25,15 @@ pub const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=ut
 /// Maximum bytes of request head (request line + headers) we accept.
 const MAX_HEAD_BYTES: usize = 16 * 1024;
 
-/// How long one connection may take to deliver its request head.
+/// How long one connection may take to deliver its *entire* request
+/// head. This is an overall deadline, not a per-read timeout: a client
+/// trickling one byte every 1.9 s can otherwise hold the single-threaded
+/// accept loop hostage indefinitely.
 const READ_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// How long writing one response may take before the connection is
+/// abandoned (a client that never drains its receive buffer).
+const WRITE_TIMEOUT: Duration = Duration::from_secs(2);
 
 /// How often the accept loop wakes to check the shutdown flag.
 const ACCEPT_POLL: Duration = Duration::from_millis(25);
@@ -86,6 +93,8 @@ impl Response {
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            408 => "Request Timeout",
+            431 => "Request Header Fields Too Large",
             503 => "Service Unavailable",
             _ => "Response",
         }
@@ -140,16 +149,26 @@ impl HttpServer {
 }
 
 /// Read the request head, dispatch to the handler, write the response.
+/// Abusive clients get a status, not a hung listener: a head that takes
+/// longer than [`READ_TIMEOUT`] in total draws `408`, one larger than
+/// [`MAX_HEAD_BYTES`] draws `431`, anything else malformed draws `400`.
 fn handle_connection<F>(mut stream: TcpStream, handler: &F) -> io::Result<()>
 where
     F: Fn(&Request) -> Response,
 {
     stream.set_nonblocking(false)?;
-    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
     let head = match read_head(&mut stream) {
         Ok(head) => head,
-        Err(_) => {
-            let _ = write_response(&mut stream, &Response::text(400, "bad request\n"));
+        Err(e) => {
+            let response = match e.kind() {
+                io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock => {
+                    Response::text(408, "request timeout\n")
+                }
+                io::ErrorKind::InvalidData => Response::text(431, "request head too large\n"),
+                _ => Response::text(400, "bad request\n"),
+            };
+            let _ = write_response(&mut stream, &response);
             return Ok(());
         }
     };
@@ -162,11 +181,38 @@ where
 }
 
 /// Read bytes until the `\r\n\r\n` head terminator (or a size/time cap).
+///
+/// The per-read timeout shrinks toward an overall [`READ_TIMEOUT`]
+/// deadline, so slow-loris clients (one byte per read, each just under
+/// the per-read limit) still get cut off at the deadline with a
+/// `TimedOut` error rather than dripping forever.
 fn read_head(stream: &mut TcpStream) -> io::Result<Vec<u8>> {
+    let deadline = std::time::Instant::now() + READ_TIMEOUT;
     let mut head = Vec::with_capacity(256);
     let mut chunk = [0u8; 1024];
     loop {
-        let n = stream.read(&mut chunk)?;
+        let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+        if remaining.is_zero() {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "request head deadline exceeded",
+            ));
+        }
+        // set_read_timeout rejects a zero Duration; the guard above
+        // keeps `remaining` positive.
+        stream.set_read_timeout(Some(remaining))?;
+        let n = match stream.read(&mut chunk) {
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "request head deadline exceeded",
+                ));
+            }
+            Err(e) => return Err(e),
+        };
         if n == 0 {
             return Err(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
@@ -269,6 +315,56 @@ mod tests {
 
         let got = roundtrip(addr, "garbage\r\n\r\n");
         assert!(got.starts_with("HTTP/1.1 400"), "{got}");
+
+        stop.store(true, Ordering::SeqCst);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn abusive_clients_get_statuses_not_hung_threads() {
+        let server = HttpServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            server.serve(&stop2, |_| Response::json("{}")).unwrap();
+        });
+
+        // A half-open socket: the client sends a partial request line and
+        // then goes silent. The server must answer 408 at the overall
+        // deadline instead of waiting on the connection forever.
+        let started = std::time::Instant::now();
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"GET /metrics HT").unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 408 Request Timeout\r\n"), "{out}");
+        assert!(
+            started.elapsed() < READ_TIMEOUT + Duration::from_secs(3),
+            "half-open connection held the listener for {:?}",
+            started.elapsed()
+        );
+
+        // And with the listener back, a normal request still works.
+        let got = roundtrip(addr, "GET / HTTP/1.1\r\n\r\n");
+        assert!(got.starts_with("HTTP/1.1 200 OK\r\n"), "{got}");
+
+        // An oversized head draws 431, not an unbounded buffer.
+        let mut s = TcpStream::connect(addr).unwrap();
+        let filler = format!("GET / HTTP/1.1\r\nX-Filler: {}\r\n", "a".repeat(1000));
+        let mut sent = 0;
+        while sent <= MAX_HEAD_BYTES {
+            if s.write_all(filler.as_bytes()).is_err() {
+                break; // server already answered and closed
+            }
+            sent += filler.len();
+        }
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        assert!(
+            out.starts_with("HTTP/1.1 431 Request Header Fields Too Large\r\n"),
+            "{out}"
+        );
 
         stop.store(true, Ordering::SeqCst);
         handle.join().unwrap();

@@ -59,7 +59,7 @@ pub use gauges::GaugeRegistry;
 pub use http::{HttpServer, Request, Response, PROMETHEUS_CONTENT_TYPE};
 pub use metrics::{Histogram, MetricKey, Snapshot, SpanRecord};
 pub use recorder::{Recorder, SpanGuard};
-pub use sketch::{Exemplar, QuantileSketch};
+pub use sketch::{Exemplar, QuantileSketch, SketchCodecError};
 
 /// The process-wide recorder all library instrumentation targets.
 static GLOBAL: Recorder = Recorder::new();

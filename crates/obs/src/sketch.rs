@@ -28,6 +28,61 @@
 /// of a true sample value at the queried rank.
 pub const SKETCH_ALPHA: f64 = 0.005;
 
+/// Version tag of the [`QuantileSketch::to_bytes`] wire format.
+const SKETCH_WIRE_VERSION: u8 = 1;
+
+/// A malformed [`QuantileSketch`] byte image. Decoding never panics: a
+/// truncated, oversized, or internally inconsistent buffer surfaces
+/// here so callers (checkpoint restore, for one) can degrade instead of
+/// crash.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SketchCodecError(String);
+
+impl std::fmt::Display for SketchCodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sketch decode: {}", self.0)
+    }
+}
+
+impl std::error::Error for SketchCodecError {}
+
+/// Little cursor over a byte buffer for [`QuantileSketch::from_bytes`].
+struct SketchReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SketchReader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SketchCodecError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| SketchCodecError("truncated buffer".into()))?;
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, SketchCodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, SketchCodecError> {
+        let b = self.take(4)?;
+        let mut a = [0u8; 4];
+        a.copy_from_slice(b);
+        Ok(u32::from_le_bytes(a))
+    }
+
+    fn u64(&mut self) -> Result<u64, SketchCodecError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+}
+
 /// One exemplar: a concrete labeled sample retained alongside the
 /// aggregate, so a tail quantile can be traced back to the instance that
 /// produced it (the app id, in this workspace).
@@ -259,6 +314,140 @@ impl QuantileSketch {
         let v = vlo + (vhi - vlo) * frac;
         Some(v.clamp(self.min as f64, self.max as f64))
     }
+
+    /// Serialize to a self-contained byte image (std-only, no external
+    /// codec). The bucket array is written sparsely as `(index, count)`
+    /// pairs — most of the 4440 buckets are zero in practice — so a
+    /// typical fleet sketch is a few hundred bytes. The image is
+    /// versioned; [`from_bytes`](QuantileSketch::from_bytes) rejects
+    /// anything it cannot reproduce exactly.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        out.push(SKETCH_WIRE_VERSION);
+        out.extend_from_slice(&self.count.to_le_bytes());
+        out.extend_from_slice(&self.sum.to_le_bytes());
+        out.extend_from_slice(&self.min.to_le_bytes());
+        out.extend_from_slice(&self.max.to_le_bytes());
+        out.extend_from_slice(&(self.exemplars.len() as u32).to_le_bytes());
+        for e in &self.exemplars {
+            out.extend_from_slice(&e.value.to_le_bytes());
+            out.extend_from_slice(&(e.label.len() as u32).to_le_bytes());
+            out.extend_from_slice(e.label.as_bytes());
+        }
+        let nonzero: Vec<(usize, u64)> = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(k, c)| (k, *c))
+            .collect();
+        out.extend_from_slice(&(nonzero.len() as u32).to_le_bytes());
+        for (k, c) in nonzero {
+            out.extend_from_slice(&(k as u32).to_le_bytes());
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+        out
+    }
+
+    /// Reconstruct a sketch from [`to_bytes`](QuantileSketch::to_bytes)
+    /// output. Round-trips exactly: `from_bytes(s.to_bytes()) == s` for
+    /// every reachable sketch, including the lazily-unallocated empty
+    /// one. A damaged buffer yields an error, never a panic and never a
+    /// silently wrong sketch.
+    pub fn from_bytes(bytes: &[u8]) -> Result<QuantileSketch, SketchCodecError> {
+        let mut r = SketchReader { buf: bytes, pos: 0 };
+        let version = r.u8()?;
+        if version != SKETCH_WIRE_VERSION {
+            return Err(SketchCodecError(format!(
+                "unsupported wire version {version}"
+            )));
+        }
+        let count = r.u64()?;
+        let sum = r.u64()?;
+        let min = r.u64()?;
+        let max = r.u64()?;
+        let n_ex = r.u32()? as usize;
+        if n_ex > Self::EXEMPLAR_SLOTS {
+            return Err(SketchCodecError(format!("{n_ex} exemplars exceeds slots")));
+        }
+        let mut exemplars = Vec::with_capacity(n_ex);
+        for _ in 0..n_ex {
+            let value = r.u64()?;
+            let len = r.u32()? as usize;
+            let label = std::str::from_utf8(r.take(len)?)
+                .map_err(|_| SketchCodecError("exemplar label is not UTF-8".into()))?
+                .to_string();
+            exemplars.push(Exemplar { value, label });
+        }
+        for w in exemplars.windows(2) {
+            let ordered =
+                w[0].value > w[1].value || (w[0].value == w[1].value && w[0].label < w[1].label);
+            if !ordered {
+                return Err(SketchCodecError("exemplars out of order".into()));
+            }
+        }
+        let n_buckets = r.u32()? as usize;
+        if n_buckets > Self::BUCKETS {
+            return Err(SketchCodecError(format!(
+                "{n_buckets} bucket entries exceeds {}",
+                Self::BUCKETS
+            )));
+        }
+        let mut counts = Vec::new();
+        let mut bucket_total = 0u64;
+        let mut prev_key: Option<usize> = None;
+        for _ in 0..n_buckets {
+            let k = r.u32()? as usize;
+            let c = r.u64()?;
+            if k >= Self::BUCKETS {
+                return Err(SketchCodecError(format!("bucket index {k} out of range")));
+            }
+            if prev_key.is_some_and(|p| k <= p) {
+                return Err(SketchCodecError("bucket indices not increasing".into()));
+            }
+            if c == 0 {
+                return Err(SketchCodecError("zero bucket count encoded".into()));
+            }
+            prev_key = Some(k);
+            if counts.is_empty() {
+                counts = vec![0; Self::BUCKETS];
+            }
+            counts[k] = c;
+            bucket_total = bucket_total
+                .checked_add(c)
+                .ok_or_else(|| SketchCodecError("bucket counts overflow".into()))?;
+        }
+        if bucket_total != count {
+            return Err(SketchCodecError(format!(
+                "bucket total {bucket_total} disagrees with count {count}"
+            )));
+        }
+        if count == 0 && (min != u64::MAX || max != 0 || !exemplars.is_empty()) {
+            return Err(SketchCodecError("non-canonical empty sketch".into()));
+        }
+        if count > 0 && min > max {
+            return Err(SketchCodecError("min exceeds max".into()));
+        }
+        if r.pos != bytes.len() {
+            return Err(SketchCodecError("trailing bytes".into()));
+        }
+        Ok(QuantileSketch {
+            counts,
+            count,
+            sum,
+            min,
+            max,
+            exemplars,
+        })
+    }
+
+    /// Decode a serialized sketch and [`merge`](QuantileSketch::merge)
+    /// it in, without the caller materializing the intermediate value.
+    pub fn merge_from_bytes(&mut self, bytes: &[u8]) -> Result<(), SketchCodecError> {
+        let other = Self::from_bytes(bytes)?;
+        self.merge(&other);
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -407,6 +596,75 @@ mod tests {
         s.observe(5);
         s.observe(10);
         assert!(s.exemplars().is_empty());
+    }
+
+    #[test]
+    fn byte_round_trip_is_exact() {
+        let mut s = QuantileSketch::new();
+        for v in [0, 1, 7, 123, 99_000, u64::MAX] {
+            s.observe(v);
+        }
+        s.observe_exemplar(5_000, "application_1_0001");
+        s.observe_exemplar(9_000, "application_1_0002");
+        let back = QuantileSketch::from_bytes(&s.to_bytes()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn empty_sketch_round_trips_to_canonical_empty() {
+        let s = QuantileSketch::new();
+        let back = QuantileSketch::from_bytes(&s.to_bytes()).unwrap();
+        assert_eq!(back, s);
+        // The lazily-unallocated bucket array is preserved, so equality
+        // with a fresh sketch (not just value equality) holds.
+        assert_eq!(back, QuantileSketch::new());
+    }
+
+    #[test]
+    fn merge_from_bytes_equals_plain_merge() {
+        let mut a = QuantileSketch::new();
+        let mut b = QuantileSketch::new();
+        for v in 0..200u64 {
+            a.observe(v * 13 % 999);
+            b.observe_exemplar(v * 7 % 777, &format!("app{v}"));
+        }
+        let mut via_bytes = a.clone();
+        via_bytes.merge_from_bytes(&b.to_bytes()).unwrap();
+        let mut direct = a.clone();
+        direct.merge(&b);
+        assert_eq!(via_bytes, direct);
+    }
+
+    #[test]
+    fn damaged_buffers_error_instead_of_panicking() {
+        let mut s = QuantileSketch::new();
+        for v in [3, 9, 81, 6561] {
+            s.observe_exemplar(v, "x");
+        }
+        let good = s.to_bytes();
+        assert!(QuantileSketch::from_bytes(&[]).is_err(), "empty buffer");
+        for cut in 1..good.len() {
+            assert!(
+                QuantileSketch::from_bytes(&good[..cut]).is_err(),
+                "truncation at {cut} must not decode"
+            );
+        }
+        let mut version = good.clone();
+        version[0] = 99;
+        assert!(QuantileSketch::from_bytes(&version).is_err(), "bad version");
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(
+            QuantileSketch::from_bytes(&trailing).is_err(),
+            "trailing bytes"
+        );
+        // Flip the stored count so it disagrees with the bucket totals.
+        let mut skew = good.clone();
+        skew[1] ^= 0xff;
+        assert!(
+            QuantileSketch::from_bytes(&skew).is_err(),
+            "count/bucket disagreement"
+        );
     }
 
     #[test]

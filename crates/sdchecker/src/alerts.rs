@@ -172,6 +172,34 @@ struct RuleRuntime {
     last_value: Option<f64>,
 }
 
+/// Plain serializable image of an [`AlertEngine`]'s mutable state, for
+/// checkpointing. The rule *table* is not serialized — it is daemon
+/// configuration; the snapshot names the rules it was taken over and
+/// [`AlertEngine::apply_snapshot`] refuses a mismatch. The live tailer
+/// lag is wall-clock state and deliberately excluded.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct EngineSnapshot {
+    /// Evaluation cadence the snapshot was taken under.
+    pub eval_interval_ms: u64,
+    /// Rule names, in table order.
+    pub rule_names: Vec<String>,
+    /// Per-rule `(state, pending_since, last_value)`, in table order.
+    pub runtime: Vec<(AlertState, Option<TsMs>, Option<f64>)>,
+    /// Last evaluated tick index.
+    pub last_tick: Option<u64>,
+    /// Retirement samples, oldest first; each row in
+    /// [`APP_COMPONENTS`] order.
+    pub samples: Vec<(TsMs, Vec<Option<u64>>)>,
+    /// Anomalous-line timestamps, oldest first.
+    pub anomalous: Vec<TsMs>,
+    /// Oldest data instant ever observed.
+    pub earliest_data: Option<TsMs>,
+    /// The bounded transition log, oldest first.
+    pub transitions: Vec<Transition>,
+    /// Transitions ever recorded.
+    pub transitions_total: u64,
+}
+
 /// The rule evaluator. Feed it retirements and anomalous lines as they
 /// happen, then [`AlertEngine::advance`] to the new watermark after
 /// every drain; collect [`Transition`]s as they occur.
@@ -516,6 +544,82 @@ impl AlertEngine {
                 self.push_transition(tr);
             }
         }
+    }
+
+    /// Capture the engine's mutable state for a checkpoint (the rule
+    /// table itself is configuration, not state).
+    pub(crate) fn snapshot(&self) -> EngineSnapshot {
+        EngineSnapshot {
+            eval_interval_ms: self.eval_interval_ms,
+            rule_names: self.rules.iter().map(|r| r.name.clone()).collect(),
+            runtime: self
+                .runtime
+                .iter()
+                .map(|rt| (rt.state, rt.pending_since, rt.last_value))
+                .collect(),
+            last_tick: self.last_tick,
+            samples: self
+                .samples
+                .iter()
+                .map(|(ts, row)| (*ts, row.to_vec()))
+                .collect(),
+            anomalous: self.anomalous.iter().copied().collect(),
+            earliest_data: self.earliest_data,
+            transitions: self.transitions.iter().cloned().collect(),
+            transitions_total: self.transitions_total,
+        }
+    }
+
+    /// Restore a checkpointed snapshot into this engine. All-or-nothing:
+    /// every validation (matching cadence, matching rule table, sample
+    /// rows of the right width) happens before any mutation, so a
+    /// rejected snapshot leaves the engine exactly as it was — which is
+    /// what lets checkpoint recovery fall back to an older generation.
+    /// `live_lag_bytes` is untouched (wall-clock state).
+    pub(crate) fn apply_snapshot(&mut self, snap: EngineSnapshot) -> Result<(), String> {
+        if snap.eval_interval_ms != self.eval_interval_ms {
+            return Err(format!(
+                "snapshot eval interval {} ms, engine {} ms",
+                snap.eval_interval_ms, self.eval_interval_ms
+            ));
+        }
+        let names: Vec<String> = self.rules.iter().map(|r| r.name.clone()).collect();
+        if snap.rule_names != names {
+            return Err(format!(
+                "snapshot rules {:?} do not match engine rules {:?}",
+                snap.rule_names, names
+            ));
+        }
+        if snap.runtime.len() != self.rules.len() {
+            return Err(format!(
+                "snapshot has {} rule runtimes, engine {} rules",
+                snap.runtime.len(),
+                self.rules.len()
+            ));
+        }
+        let mut samples = VecDeque::with_capacity(snap.samples.len());
+        for (ts, row) in snap.samples {
+            let row: [Option<u64>; APP_COMPONENTS.len()] = row
+                .try_into()
+                .map_err(|r: Vec<Option<u64>>| format!("sample row of width {}", r.len()))?;
+            samples.push_back((ts, row));
+        }
+        self.runtime = snap
+            .runtime
+            .into_iter()
+            .map(|(state, pending_since, last_value)| RuleRuntime {
+                state,
+                pending_since,
+                last_value,
+            })
+            .collect();
+        self.last_tick = snap.last_tick;
+        self.samples = samples;
+        self.anomalous = snap.anomalous.into();
+        self.earliest_data = snap.earliest_data;
+        self.transitions = snap.transitions.into();
+        self.transitions_total = snap.transitions_total;
+        Ok(())
     }
 
     /// `(rule name, firing?)` for every rule — the

@@ -10,6 +10,8 @@
 //!            [--settle-ms N] [--idle-timeout-ms N] [--exemplar-slots N]
 //!            [--slo-ms N] [--no-alerts] [--alerts-out PATH]
 //!            [--wide-events-out PATH] [--final-report PATH]
+//!            [--checkpoint-dir PATH] [--checkpoint-interval-ms N]
+//!            [--resume|--no-resume] [--fsync-outputs]
 //!            [--run-for-ms N] [--quiet]
 //! ```
 //!
@@ -28,6 +30,8 @@
 //!   promoted tail app, rebuilt from its retained events.
 //! * `GET /healthz`     — liveness: per-source tail lag, apps
 //!   in-flight/retired/truncated, last-progress watchdog.
+//! * `GET /checkpointz` — crash-only checkpoint status: directory,
+//!   cadence, last-write age/size, restart lineage.
 //! * `GET /readyz`      — 200 once the first poll completed, 503 before.
 //! * `GET /buildinfo`   — name/version.
 //!
@@ -45,6 +49,17 @@
 //! writes `--final-report` / `--alerts-out` (if given), and exits 0 — the
 //! final report matches what batch `sdchecker` computes over the finished
 //! directory.
+//!
+//! With `--checkpoint-dir` the daemon is **crash-only**: it periodically
+//! serializes its full state (tail offsets and partial lines, in-flight
+//! apps, fleet aggregates, exemplars, alert lifecycles, the wide-events
+//! emission cursor) into an atomically-replaced `checkpoint-v1` file
+//! (see `sdchecker::checkpoint`). On restart it restores the newest
+//! intact generation and replays only bytes past the checkpointed
+//! offsets, so a SIGKILLed run resumed this way produces the same
+//! report, wide-events file, and alert log as one that was never
+//! killed. A damaged checkpoint degrades to cold-start with a loud
+//! warning.
 
 use std::collections::BTreeMap;
 use std::io::Write as _;
@@ -56,6 +71,7 @@ use std::time::{Duration, Instant};
 
 use logmodel::TsMs;
 use obs::{GaugeRegistry, HttpServer, Request, Response, PROMETHEUS_CONTENT_TYPE};
+use sdchecker::checkpoint::{self, CfgFingerprint, CheckpointStore, SaveInputs};
 use sdchecker::{
     default_rules, AlertEngine, DirTailer, IncrementalAnalyzer, IncrementalConfig, Outcome,
     RetiredApp, Transition,
@@ -64,7 +80,8 @@ use sdchecker::{
 const USAGE: &str = "usage: sdcheckerd <watch-dir> [--listen ADDR] [--port-file PATH] \
 [--poll-ms N] [--settle-ms N] [--idle-timeout-ms N] [--exemplar-slots N] [--slo-ms N] \
 [--no-alerts] [--alerts-out PATH] [--wide-events-out PATH] [--final-report PATH] \
-[--run-for-ms N] [--quiet]";
+[--checkpoint-dir PATH] [--checkpoint-interval-ms N] [--resume|--no-resume] \
+[--fsync-outputs] [--run-for-ms N] [--quiet]";
 
 /// Alert rules are evaluated at this log-time quantum.
 const ALERT_EVAL_MS: u64 = 1_000;
@@ -111,6 +128,23 @@ struct Health {
     exemplar_events: u64,
 }
 
+/// Checkpoint status the poll loop publishes for `/checkpointz` and the
+/// `sd_checkpoint_*` gauges.
+#[derive(Debug, Default, Clone)]
+struct CkptStatus {
+    enabled: bool,
+    dir: String,
+    interval_ms: u64,
+    /// Whether this process restored state from a checkpoint.
+    resumed: bool,
+    /// Which generation was restored (`current` / `previous`), if any.
+    generation: Option<String>,
+    writes_total: u64,
+    recoveries_total: u64,
+    /// Size of the newest checkpoint this lineage knows about, bytes.
+    bytes: u64,
+}
+
 struct Shared {
     report: Mutex<String>,
     health: Mutex<Health>,
@@ -127,6 +161,10 @@ struct Shared {
     /// Pre-rendered Perfetto traces of every promoted app, rebuilt when
     /// the reservoir generation changes.
     exemplar_traces: Mutex<BTreeMap<String, String>>,
+    /// Crash-only checkpoint status (`/checkpointz`).
+    ckpt: Mutex<CkptStatus>,
+    /// Wall-clock instant of the last successful checkpoint write.
+    ckpt_written: Mutex<Option<Instant>>,
 }
 
 impl Shared {
@@ -135,6 +173,17 @@ impl Shared {
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .clone()
+    }
+
+    fn ckpt(&self) -> CkptStatus {
+        self.ckpt.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    fn ckpt_age_ms(&self) -> Option<u64> {
+        self.ckpt_written
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .map(|t| t.elapsed().as_millis() as u64)
     }
 }
 
@@ -210,6 +259,26 @@ fn describe_daemon_metrics() {
         "sd_alert_firing",
         "1 while the named alert rule is firing, else 0",
     );
+    obs::describe(
+        "sd_tail_files_removed_total",
+        "Tracked log files that vanished from disk and were dropped",
+    );
+    obs::describe(
+        "sd_checkpoint_writes_total",
+        "Checkpoints written by this daemon lineage (survives restarts)",
+    );
+    obs::describe(
+        "sd_checkpoint_recoveries_total",
+        "Restarts this daemon lineage has survived via checkpoint restore",
+    );
+    obs::describe(
+        "sd_checkpoint_age_ms",
+        "Milliseconds since the last successful checkpoint write",
+    );
+    obs::describe(
+        "sd_checkpoint_bytes",
+        "Size of the newest checkpoint, in bytes",
+    );
 }
 
 /// Bucket request paths to a bounded label set (app ids would blow up
@@ -219,6 +288,7 @@ fn metric_path(path: &str) -> &'static str {
         "/metrics" => "/metrics",
         "/report.json" => "/report.json",
         "/healthz" => "/healthz",
+        "/checkpointz" => "/checkpointz",
         "/readyz" => "/readyz",
         "/buildinfo" => "/buildinfo",
         "/alerts" => "/alerts",
@@ -290,6 +360,27 @@ fn handle(req: &Request, shared: &Shared, gauges: &GaugeRegistry) -> Response {
                 Some(t) => Response::json(t.clone()),
                 None => Response::not_found(),
             }
+        }
+        "/checkpointz" => {
+            let c = shared.ckpt();
+            let age = shared.ckpt_age_ms();
+            Response::json(format!(
+                "{{\"schema\": \"sdcheckerd-checkpoint-v1\", \"enabled\": {}, \
+                 \"dir\": {:?}, \"interval_ms\": {}, \"resumed\": {}, \
+                 \"generation\": {}, \"writes_total\": {}, \"recoveries_total\": {}, \
+                 \"bytes\": {}, \"age_ms\": {}}}\n",
+                c.enabled,
+                c.dir,
+                c.interval_ms,
+                c.resumed,
+                c.generation
+                    .as_ref()
+                    .map_or("null".to_string(), |g| format!("{g:?}")),
+                c.writes_total,
+                c.recoveries_total,
+                c.bytes,
+                age.map_or("null".to_string(), |a| a.to_string()),
+            ))
         }
         "/healthz" => {
             let h = shared.health();
@@ -382,26 +473,152 @@ fn note_retirements(retired: &[RetiredApp], quiet: bool) {
     }
 }
 
+/// The wide-events JSONL output with its crash-safety bookkeeping: the
+/// checkpoint records `bytes` as the emission cursor, and a resumed run
+/// truncates the file back to that cursor so replayed retirements
+/// append exactly the lines the killed run still owed — no duplicates,
+/// no torn tails.
+struct WideOut {
+    w: std::io::BufWriter<std::fs::File>,
+    /// Bytes emitted (and flushed by the next checkpoint) so far.
+    bytes: u64,
+    fsync: bool,
+}
+
+impl WideOut {
+    fn append(&mut self, line: &str) {
+        let _ = self.w.write_all(line.as_bytes());
+        let _ = self.w.write_all(b"\n");
+        self.bytes += line.len() as u64 + 1;
+    }
+
+    fn flush(&mut self) {
+        let _ = self.w.flush();
+        if self.fsync {
+            let _ = self.w.get_ref().sync_all();
+        }
+    }
+}
+
+/// Open the wide-events file. A cold start truncates it; a resumed run
+/// opens read-write and cuts it back to the checkpointed emission
+/// cursor — dropping both torn tail lines and post-checkpoint lines the
+/// replay will re-emit identically — then appends from there.
+fn open_wide(
+    path: &std::path::Path,
+    resume_cursor: Option<u64>,
+    fsync: bool,
+) -> std::io::Result<WideOut> {
+    use std::io::Seek as _;
+    let Some(cursor) = resume_cursor else {
+        return Ok(WideOut {
+            w: std::io::BufWriter::new(std::fs::File::create(path)?),
+            bytes: 0,
+            fsync,
+        });
+    };
+    let mut f = std::fs::OpenOptions::new()
+        .read(true)
+        .write(true)
+        .create(true)
+        .truncate(false)
+        .open(path)?;
+    let len = f.metadata()?.len();
+    if len < cursor {
+        eprintln!(
+            "sdcheckerd: wide-events file {} holds {len} bytes but the checkpoint \
+             recorded {cursor}; earlier lines are lost and will not be re-emitted",
+            path.display(),
+        );
+    }
+    let cut = cursor.min(len);
+    f.set_len(cut)?;
+    f.seek(std::io::SeekFrom::End(0))?;
+    Ok(WideOut {
+        w: std::io::BufWriter::new(f),
+        bytes: cut,
+        fsync,
+    })
+}
+
+/// Write `bytes` at `path` atomically (temp file + rename) so a crash
+/// mid-write can never leave a torn report or alert log behind.
+fn write_atomic(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut tmp_name = path.as_os_str().to_owned();
+    tmp_name.push(".tmp");
+    let tmp = PathBuf::from(tmp_name);
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
 /// Feed a batch of retirements into the alert engine and the wide-events
 /// file (both optional).
 fn record_retirements(
     retired: &[RetiredApp],
     engine: &mut Option<AlertEngine>,
-    wide_file: &mut Option<std::io::BufWriter<std::fs::File>>,
+    wide_file: &mut Option<WideOut>,
 ) {
     for r in retired {
         if let Some(e) = engine.as_mut() {
             e.observe_retirement(r.retire_ms, &r.delays);
         }
         if let Some(w) = wide_file.as_mut() {
-            let _ = w.write_all(r.wide_event.as_bytes());
-            let _ = w.write_all(b"\n");
+            w.append(&r.wide_event);
         }
     }
     if !retired.is_empty() {
         if let Some(w) = wide_file.as_mut() {
-            let _ = w.flush();
+            w.flush();
         }
+    }
+}
+
+/// Serialize the full daemon state into the checkpoint store and
+/// publish the outcome. A failed save is loud but non-fatal — the
+/// previous generation is still on disk.
+#[allow(clippy::too_many_arguments)]
+fn save_checkpoint(
+    store: &CheckpointStore,
+    shared: &Shared,
+    tailer: &DirTailer,
+    analyzer: &IncrementalAnalyzer,
+    engine: Option<&AlertEngine>,
+    fingerprint: &CfgFingerprint,
+    wide_bytes: u64,
+    writes_total: &mut u64,
+    recoveries: u64,
+) {
+    let next = *writes_total + 1;
+    match checkpoint::save(
+        store,
+        &SaveInputs {
+            tailer,
+            analyzer,
+            engine,
+            fingerprint,
+            wide_bytes,
+            writes_total: next,
+            recoveries,
+        },
+    ) {
+        Ok(bytes) => {
+            *writes_total = next;
+            obs::count("sd_checkpoint_writes_total", 1);
+            {
+                let mut c = shared.ckpt.lock().unwrap_or_else(|e| e.into_inner());
+                c.writes_total = next;
+                c.bytes = bytes;
+            }
+            *shared
+                .ckpt_written
+                .lock()
+                .unwrap_or_else(|e| e.into_inner()) = Some(Instant::now());
+        }
+        Err(e) => eprintln!("sdcheckerd: checkpoint save failed: {e}"),
     }
 }
 
@@ -478,6 +695,10 @@ fn main() -> ExitCode {
     let mut no_alerts = false;
     let mut alerts_out: Option<PathBuf> = None;
     let mut wide_events_out: Option<PathBuf> = None;
+    let mut checkpoint_dir: Option<PathBuf> = None;
+    let mut checkpoint_interval_ms: u64 = 2_000;
+    let mut resume_flag: Option<bool> = None;
+    let mut fsync_outputs = false;
     let mut i = 1;
     while i < args.len() {
         let flag = args[i].as_str();
@@ -492,9 +713,34 @@ fn main() -> ExitCode {
                 i += 1;
                 continue;
             }
-            "--listen" | "--port-file" | "--poll-ms" | "--settle-ms" | "--idle-timeout-ms"
-            | "--exemplar-slots" | "--slo-ms" | "--alerts-out" | "--wide-events-out"
-            | "--final-report" | "--run-for-ms" => {}
+            "--resume" => {
+                resume_flag = Some(true);
+                i += 1;
+                continue;
+            }
+            "--no-resume" => {
+                resume_flag = Some(false);
+                i += 1;
+                continue;
+            }
+            "--fsync-outputs" => {
+                fsync_outputs = true;
+                i += 1;
+                continue;
+            }
+            "--listen"
+            | "--port-file"
+            | "--poll-ms"
+            | "--settle-ms"
+            | "--idle-timeout-ms"
+            | "--exemplar-slots"
+            | "--slo-ms"
+            | "--alerts-out"
+            | "--wide-events-out"
+            | "--final-report"
+            | "--run-for-ms"
+            | "--checkpoint-dir"
+            | "--checkpoint-interval-ms" => {}
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!("{USAGE}");
@@ -548,6 +794,14 @@ fn main() -> ExitCode {
             },
             "--alerts-out" => alerts_out = Some(PathBuf::from(value)),
             "--wide-events-out" => wide_events_out = Some(PathBuf::from(value)),
+            "--checkpoint-dir" => checkpoint_dir = Some(PathBuf::from(value)),
+            "--checkpoint-interval-ms" => match parse_u64(value) {
+                Some(n) if n > 0 => checkpoint_interval_ms = n,
+                _ => {
+                    eprintln!("invalid --checkpoint-interval-ms value: {value}");
+                    return ExitCode::from(2);
+                }
+            },
             "--run-for-ms" => match parse_u64(value) {
                 Some(n) => run_for_ms = Some(n),
                 None => {
@@ -558,6 +812,11 @@ fn main() -> ExitCode {
             _ => {}
         }
         i += 2;
+    }
+    if resume_flag == Some(true) && checkpoint_dir.is_none() {
+        eprintln!("--resume requires --checkpoint-dir");
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
     }
 
     obs::enable();
@@ -578,11 +837,68 @@ fn main() -> ExitCode {
     } else {
         Some(AlertEngine::new(default_rules(slo_ms), ALERT_EVAL_MS))
     };
-    let mut wide_file = match &wide_events_out {
-        Some(p) => match std::fs::File::create(p) {
-            Ok(f) => Some(std::io::BufWriter::new(f)),
+
+    // Crash-only checkpointing: open the store, and (unless --no-resume)
+    // restore the newest intact generation before anything is published
+    // or written, so every surface reflects the restored state from the
+    // first request on.
+    let fingerprint = CfgFingerprint {
+        settle_ms: cfg.settle_ms,
+        idle_timeout_ms: cfg.idle_timeout_ms,
+        exemplar_slots: cfg.exemplar_slots as u64,
+        alerts: engine.is_some(),
+        slo_ms,
+        eval_interval_ms: ALERT_EVAL_MS,
+    };
+    let ckpt_store = match &checkpoint_dir {
+        Some(p) => match CheckpointStore::open(p) {
+            Ok(s) => Some(s),
             Err(e) => {
-                eprintln!("cannot create wide-events file {}: {e}", p.display());
+                eprintln!("cannot open checkpoint dir {}: {e}", p.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let mut recoveries: u64 = 0;
+    let mut ckpt_writes: u64 = 0;
+    let mut ckpt_bytes: u64 = 0;
+    let mut wide_resume_bytes: Option<u64> = None;
+    let mut resumed_generation: Option<&'static str> = None;
+    if let Some(store) = &ckpt_store {
+        if resume_flag.unwrap_or(true) {
+            let (restored, warnings) = checkpoint::load(store, &dir, &fingerprint, engine.as_mut());
+            for w in &warnings {
+                eprintln!("sdcheckerd: {w}");
+            }
+            if let Some(r) = restored {
+                recoveries = r.recoveries + 1;
+                ckpt_writes = r.writes_total;
+                ckpt_bytes = r.bytes;
+                wide_resume_bytes = Some(r.wide_bytes);
+                resumed_generation = Some(r.generation);
+                tailer = r.tailer;
+                analyzer = r.analyzer;
+                if !quiet {
+                    eprintln!(
+                        "sdcheckerd: resumed from {} checkpoint ({} bytes, {} prior \
+                         writes, restart #{recoveries})",
+                        r.generation, r.bytes, r.writes_total,
+                    );
+                }
+            }
+        }
+    }
+    if ckpt_store.is_some() {
+        obs::count("sd_checkpoint_recoveries_total", recoveries);
+        obs::count("sd_checkpoint_writes_total", ckpt_writes);
+    }
+
+    let mut wide_file = match &wide_events_out {
+        Some(p) => match open_wide(p, wide_resume_bytes, fsync_outputs) {
+            Ok(w) => Some(w),
+            Err(e) => {
+                eprintln!("cannot open wide-events file {}: {e}", p.display());
                 return ExitCode::FAILURE;
             }
         },
@@ -635,7 +951,27 @@ fn main() -> ExitCode {
         firing: Mutex::new(initial_firing),
         exemplars: Mutex::new(analyzer.exemplars().index_json()),
         exemplar_traces: Mutex::new(BTreeMap::new()),
+        ckpt: Mutex::new(CkptStatus {
+            enabled: ckpt_store.is_some(),
+            dir: checkpoint_dir
+                .as_ref()
+                .map(|p| p.display().to_string())
+                .unwrap_or_default(),
+            interval_ms: checkpoint_interval_ms,
+            resumed: resumed_generation.is_some(),
+            generation: resumed_generation.map(str::to_string),
+            writes_total: ckpt_writes,
+            recoveries_total: recoveries,
+            bytes: ckpt_bytes,
+        }),
+        ckpt_written: Mutex::new(None),
     });
+    if resumed_generation.is_some() {
+        // The exemplar traces start empty; rebuild them from the
+        // restored reservoir so /exemplars/<app>/trace.json works
+        // before the next reservoir change.
+        publish_exemplars(&shared, &analyzer);
+    }
     let gauges = Arc::new(GaugeRegistry::new());
     {
         let s = Arc::clone(&shared);
@@ -670,6 +1006,14 @@ fn main() -> ExitCode {
         gauges.register("sdcheckerd_exemplar_events", move || {
             s.health().exemplar_events as f64
         });
+        if ckpt_store.is_some() {
+            let s = Arc::clone(&shared);
+            gauges.register("sd_checkpoint_age_ms", move || {
+                s.ckpt_age_ms().map_or(0.0, |a| a as f64)
+            });
+            let s = Arc::clone(&shared);
+            gauges.register("sd_checkpoint_bytes", move || s.ckpt().bytes as f64);
+        }
         for name in &rule_names {
             let s = Arc::clone(&shared);
             let rule = name.clone();
@@ -693,9 +1037,15 @@ fn main() -> ExitCode {
     let deadline = run_for_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
     let mut polls: u64 = 0;
     let mut records: u64 = 0;
-    let mut read_bytes_prev: u64 = 0;
-    let mut late_prev: u64 = 0;
+    // Deltas are measured against the (possibly restored) stats so a
+    // resumed run's process-local counters start at zero, not at the
+    // whole lineage's totals.
+    let mut read_bytes_prev: u64 = tailer.stats().read_bytes;
+    let mut removed_prev: u64 = tailer.stats().removed_files;
+    let mut late_prev: u64 = analyzer.late_events();
     let mut exemplar_gen: u64 = analyzer.exemplars().generation();
+    let ckpt_interval = Duration::from_millis(checkpoint_interval_ms);
+    let mut last_ckpt_save: Option<Instant> = None;
     while !SHUTDOWN.load(Ordering::SeqCst) {
         if let Some(d) = deadline {
             if Instant::now() >= d {
@@ -732,6 +1082,11 @@ fn main() -> ExitCode {
             stats.read_bytes.saturating_sub(read_bytes_prev),
         );
         read_bytes_prev = stats.read_bytes;
+        obs::count(
+            "sd_tail_files_removed_total",
+            stats.removed_files.saturating_sub(removed_prev),
+        );
+        removed_prev = stats.removed_files;
         let retired = analyzer.drain_ready();
         note_retirements(&retired, quiet);
         record_retirements(&retired, &mut engine, &mut wide_file);
@@ -759,6 +1114,28 @@ fn main() -> ExitCode {
             publish_exemplars(&shared, &analyzer);
         }
         refresh(&shared, &tailer, &analyzer, polls, records, true);
+        // Crash safety: push every wide line written this tick out of
+        // process buffers, then (if due) checkpoint the state that
+        // accounts for exactly those bytes.
+        if let Some(w) = wide_file.as_mut() {
+            w.flush();
+        }
+        if let Some(store) = &ckpt_store {
+            if last_ckpt_save.is_none_or(|t| t.elapsed() >= ckpt_interval) {
+                save_checkpoint(
+                    store,
+                    &shared,
+                    &tailer,
+                    &analyzer,
+                    engine.as_ref(),
+                    &fingerprint,
+                    wide_file.as_ref().map_or(0, |w| w.bytes),
+                    &mut ckpt_writes,
+                    recoveries,
+                );
+                last_ckpt_save = Some(Instant::now());
+            }
+        }
         obs::observe(
             "sdcheckerd_poll_duration_ms",
             POLL_DURATION_BOUNDS,
@@ -823,7 +1200,7 @@ fn main() -> ExitCode {
     refresh(&shared, &tailer, &analyzer, polls, records, true);
     if let Some(p) = &alerts_out {
         if let Some(e) = &engine {
-            if let Err(err) = std::fs::write(p, e.alerts_json()) {
+            if let Err(err) = write_atomic(p, e.alerts_json().as_bytes()) {
                 eprintln!("cannot write alerts file {}: {err}", p.display());
                 return ExitCode::FAILURE;
             }
@@ -833,7 +1210,22 @@ fn main() -> ExitCode {
         }
     }
     if let Some(w) = wide_file.as_mut() {
-        let _ = w.flush();
+        w.flush();
+    }
+    if let Some(store) = &ckpt_store {
+        // Final checkpoint: the drained, at-rest state. A restart from
+        // here has nothing to replay and re-serves the same surfaces.
+        save_checkpoint(
+            store,
+            &shared,
+            &tailer,
+            &analyzer,
+            engine.as_ref(),
+            &fingerprint,
+            wide_file.as_ref().map_or(0, |w| w.bytes),
+            &mut ckpt_writes,
+            recoveries,
+        );
     }
     if let Some(p) = &final_report {
         let report = shared
@@ -841,7 +1233,7 @@ fn main() -> ExitCode {
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .clone();
-        if let Err(e) = std::fs::write(p, report) {
+        if let Err(e) = write_atomic(p, report.as_bytes()) {
             eprintln!("cannot write final report {}: {e}", p.display());
             return ExitCode::FAILURE;
         }

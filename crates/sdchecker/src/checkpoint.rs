@@ -1,0 +1,1578 @@
+//! # Crash-only checkpointing for the streaming pipeline
+//!
+//! Serializes the **full** daemon state — tailer offsets and held-back
+//! partial lines, in-flight per-app event buffers, fleet aggregates
+//! (outcome tallies, per-component [`QuantileSketch`]s, critical-path
+//! blame, late-event accounting), the tail-exemplar reservoir, alert
+//! rule lifecycles, and the wide-events emission cursor — into a
+//! versioned `checkpoint-v1` file, and restores it on the next start so
+//! a killed daemon resumes exactly where it died instead of re-reading
+//! the corpus from byte zero.
+//!
+//! ## File format
+//!
+//! ```text
+//! magic            b"SDCKPT1\n"
+//! section count    u32 LE
+//! per section:
+//!   name           u32 LE length + UTF-8 bytes
+//!   payload length u64 LE
+//!   payload CRC-32 u32 LE   (IEEE, over the payload bytes)
+//!   payload
+//! ```
+//!
+//! Sections: `meta` (schema string, configuration fingerprint, restart
+//! lineage), `tail`, `analyzer`, `alerts`, `outputs`. All integers are
+//! little-endian; floats travel as IEEE-754 bit patterns; every string
+//! is length-prefixed UTF-8. The payload encoding is hand-rolled
+//! (std-only workspace) and *validating*: every length is bounds-checked
+//! against the remaining buffer, enum discriminants are table lookups,
+//! and each section decoder must consume its payload exactly.
+//!
+//! ## Atomicity protocol
+//!
+//! A save writes `checkpoint-v1.tmp`, fsyncs it, renames the previous
+//! `checkpoint-v1` (if any) to `checkpoint-v1.prev`, renames the tmp
+//! file into place, then fsyncs the directory. A crash at any point
+//! leaves at least one complete earlier generation on disk:
+//!
+//! * during the tmp write — current and previous untouched;
+//! * between the two renames — only `.prev` exists, and it is the
+//!   generation that was current a moment ago;
+//! * after the final rename — the new current is complete (it was
+//!   fsynced before becoming visible).
+//!
+//! ## Recovery
+//!
+//! [`load`] tries `checkpoint-v1` then `checkpoint-v1.prev`. A missing
+//! file is skipped silently; a torn, CRC-damaged, version-mismatched or
+//! configuration-mismatched candidate produces a loud warning and falls
+//! through to the next candidate; if none survives, the daemon
+//! cold-starts from byte zero, which converges to the same outputs —
+//! recovery never panics and never invents state.
+
+use std::fmt;
+use std::fs;
+use std::io::{self, Read as _, Write as _};
+use std::path::{Path, PathBuf};
+
+use logmodel::{AppAttemptId, ApplicationId, ContainerId, LogSource, NodeId, TsMs};
+
+use crate::alerts::{AlertEngine, AlertState, EngineSnapshot, Transition};
+use crate::event::{EventKind, SchedEvent};
+use crate::exemplars::{ExemplarsSnapshot, PromotedSnapshot};
+use crate::extract::{CoverageCounts, SourceKind};
+use crate::incremental::{AnalyzerSnapshot, FleetSnapshot, IncrementalAnalyzer, IncrementalConfig};
+use crate::tail::{DirTailer, FileSnapshot, TailSnapshot, TailStats};
+
+/// Schema identifier embedded in the `meta` section. Bumped whenever
+/// the payload encoding changes shape; a mismatch degrades to
+/// cold-start rather than misinterpreting bytes.
+pub const CHECKPOINT_SCHEMA: &str = "checkpoint-v1";
+
+/// Leading magic of every checkpoint file.
+const MAGIC: &[u8; 8] = b"SDCKPT1\n";
+
+/// Current-generation file name (same as the schema, deliberately).
+const CURRENT_NAME: &str = "checkpoint-v1";
+/// Previous-generation fallback.
+const PREV_NAME: &str = "checkpoint-v1.prev";
+/// Scratch name for the write-then-rename protocol.
+const TMP_NAME: &str = "checkpoint-v1.tmp";
+
+/// Why a checkpoint operation failed.
+#[derive(Debug)]
+pub enum CkptError {
+    /// The filesystem said no.
+    Io(io::Error),
+    /// The bytes on disk are not a valid checkpoint (torn write,
+    /// bit rot, schema or configuration mismatch).
+    Corrupt(String),
+}
+
+impl fmt::Display for CkptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CkptError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
+            CkptError::Corrupt(msg) => write!(f, "checkpoint corrupt: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CkptError {}
+
+impl From<io::Error> for CkptError {
+    fn from(e: io::Error) -> CkptError {
+        CkptError::Io(e)
+    }
+}
+
+fn corrupt(msg: impl Into<String>) -> CkptError {
+    CkptError::Corrupt(msg.into())
+}
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) — the same
+/// checksum gzip and PNG use, computed bitwise to stay table-free.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = !0;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+// ---------------------------------------------------------------------------
+// Primitive encoder / decoder
+// ---------------------------------------------------------------------------
+
+/// Append-only byte encoder. Infallible: encoding in-memory state
+/// cannot fail, only the eventual write can.
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn new() -> Enc {
+        Enc { buf: Vec::new() }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn bool(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    fn len(&mut self, n: usize) {
+        self.u64(n as u64);
+    }
+
+    fn bytes(&mut self, b: &[u8]) {
+        self.len(b.len());
+        self.buf.extend_from_slice(b);
+    }
+
+    fn str(&mut self, s: &str) {
+        self.bytes(s.as_bytes());
+    }
+
+    fn ts(&mut self, t: TsMs) {
+        self.u64(t.0);
+    }
+
+    fn opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            Some(x) => {
+                self.bool(true);
+                self.u64(x);
+            }
+            None => self.bool(false),
+        }
+    }
+
+    fn opt_ts(&mut self, v: Option<TsMs>) {
+        self.opt_u64(v.map(|t| t.0));
+    }
+
+    fn opt_f64(&mut self, v: Option<f64>) {
+        match v {
+            Some(x) => {
+                self.bool(true);
+                self.f64(x);
+            }
+            None => self.bool(false),
+        }
+    }
+
+    fn opt_str(&mut self, v: Option<&str>) {
+        match v {
+            Some(s) => {
+                self.bool(true);
+                self.str(s);
+            }
+            None => self.bool(false),
+        }
+    }
+
+    fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Bounds-checked byte decoder over a payload slice.
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(buf: &'a [u8]) -> Dec<'a> {
+        Dec { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CkptError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or_else(|| corrupt("length overflows the payload"))?;
+        if end > self.buf.len() {
+            return Err(corrupt("payload truncated"));
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, CkptError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, CkptError> {
+        let b = <[u8; 4]>::try_from(self.take(4)?).map_err(|_| corrupt("short u32"))?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    fn u64(&mut self) -> Result<u64, CkptError> {
+        let b = <[u8; 8]>::try_from(self.take(8)?).map_err(|_| corrupt("short u64"))?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    fn bool(&mut self) -> Result<bool, CkptError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            v => Err(corrupt(format!("invalid bool discriminant {v}"))),
+        }
+    }
+
+    fn f64(&mut self) -> Result<f64, CkptError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn len(&mut self) -> Result<usize, CkptError> {
+        let n = self.u64()?;
+        usize::try_from(n).map_err(|_| corrupt("length exceeds address space"))
+    }
+
+    fn bytes(&mut self) -> Result<&'a [u8], CkptError> {
+        let n = self.len()?;
+        self.take(n)
+    }
+
+    fn str(&mut self) -> Result<String, CkptError> {
+        let b = self.bytes()?;
+        String::from_utf8(b.to_vec()).map_err(|_| corrupt("string is not UTF-8"))
+    }
+
+    fn ts(&mut self) -> Result<TsMs, CkptError> {
+        Ok(TsMs(self.u64()?))
+    }
+
+    fn opt_u64(&mut self) -> Result<Option<u64>, CkptError> {
+        Ok(if self.bool()? {
+            Some(self.u64()?)
+        } else {
+            None
+        })
+    }
+
+    fn opt_ts(&mut self) -> Result<Option<TsMs>, CkptError> {
+        Ok(self.opt_u64()?.map(TsMs))
+    }
+
+    fn opt_f64(&mut self) -> Result<Option<f64>, CkptError> {
+        Ok(if self.bool()? {
+            Some(self.f64()?)
+        } else {
+            None
+        })
+    }
+
+    fn opt_str(&mut self) -> Result<Option<String>, CkptError> {
+        Ok(if self.bool()? {
+            Some(self.str()?)
+        } else {
+            None
+        })
+    }
+
+    /// Every section decoder must end exactly at the payload boundary —
+    /// trailing bytes mean the writer and reader disagree on shape.
+    fn finish(self) -> Result<(), CkptError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(corrupt(format!(
+                "{} trailing bytes after payload",
+                self.buf.len() - self.pos
+            )))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Domain codecs
+// ---------------------------------------------------------------------------
+
+fn enc_app(e: &mut Enc, app: ApplicationId) {
+    e.u64(app.cluster_ts);
+    e.u32(app.seq);
+}
+
+fn dec_app(d: &mut Dec<'_>) -> Result<ApplicationId, CkptError> {
+    let cluster_ts = d.u64()?;
+    let seq = d.u32()?;
+    Ok(ApplicationId::new(cluster_ts, seq))
+}
+
+fn enc_container(e: &mut Enc, c: &ContainerId) {
+    enc_app(e, c.attempt.app);
+    e.u32(c.attempt.attempt);
+    e.u64(c.seq);
+}
+
+fn dec_container(d: &mut Dec<'_>) -> Result<ContainerId, CkptError> {
+    let app = dec_app(d)?;
+    let attempt = d.u32()?;
+    let seq = d.u64()?;
+    Ok(ContainerId {
+        attempt: AppAttemptId { app, attempt },
+        seq,
+    })
+}
+
+fn enc_source(e: &mut Enc, src: LogSource) {
+    e.str(&src.rel_path());
+}
+
+fn dec_source(d: &mut Dec<'_>) -> Result<LogSource, CkptError> {
+    let rel = d.str()?;
+    LogSource::from_rel_path(&rel).ok_or_else(|| corrupt(format!("unknown log source {rel:?}")))
+}
+
+fn enc_kind(e: &mut Enc, kind: EventKind) {
+    // The ALL table is the wire order; position is the discriminant.
+    let idx = EventKind::ALL.iter().position(|k| *k == kind).unwrap_or(0);
+    e.u8(idx as u8);
+}
+
+fn dec_kind(d: &mut Dec<'_>) -> Result<EventKind, CkptError> {
+    let idx = usize::from(d.u8()?);
+    EventKind::ALL
+        .get(idx)
+        .copied()
+        .ok_or_else(|| corrupt(format!("invalid event-kind discriminant {idx}")))
+}
+
+fn enc_source_kind(e: &mut Enc, kind: SourceKind) {
+    let idx = SourceKind::ALL.iter().position(|k| *k == kind).unwrap_or(0);
+    e.u8(idx as u8);
+}
+
+fn dec_source_kind(d: &mut Dec<'_>) -> Result<SourceKind, CkptError> {
+    let idx = usize::from(d.u8()?);
+    SourceKind::ALL
+        .get(idx)
+        .copied()
+        .ok_or_else(|| corrupt(format!("invalid source-kind discriminant {idx}")))
+}
+
+fn enc_event(e: &mut Enc, ev: &SchedEvent) {
+    e.ts(ev.ts);
+    enc_kind(e, ev.kind);
+    enc_app(e, ev.app);
+    match &ev.container {
+        Some(c) => {
+            e.bool(true);
+            enc_container(e, c);
+        }
+        None => e.bool(false),
+    }
+    match ev.node {
+        Some(NodeId(n)) => {
+            e.bool(true);
+            e.u32(n);
+        }
+        None => e.bool(false),
+    }
+    enc_source(e, ev.source);
+}
+
+fn dec_event(d: &mut Dec<'_>) -> Result<SchedEvent, CkptError> {
+    let ts = d.ts()?;
+    let kind = dec_kind(d)?;
+    let app = dec_app(d)?;
+    let container = if d.bool()? {
+        Some(dec_container(d)?)
+    } else {
+        None
+    };
+    let node = if d.bool()? {
+        Some(NodeId(d.u32()?))
+    } else {
+        None
+    };
+    let source = dec_source(d)?;
+    Ok(SchedEvent {
+        ts,
+        kind,
+        app,
+        container,
+        node,
+        source,
+    })
+}
+
+fn enc_events(e: &mut Enc, events: &[SchedEvent]) {
+    e.len(events.len());
+    for ev in events {
+        enc_event(e, ev);
+    }
+}
+
+fn dec_events(d: &mut Dec<'_>) -> Result<Vec<SchedEvent>, CkptError> {
+    let n = d.len()?;
+    let mut out = Vec::new();
+    for _ in 0..n {
+        out.push(dec_event(d)?);
+    }
+    Ok(out)
+}
+
+fn enc_alert_state(e: &mut Enc, s: AlertState) {
+    e.u8(match s {
+        AlertState::Inactive => 0,
+        AlertState::Pending => 1,
+        AlertState::Firing => 2,
+    });
+}
+
+fn dec_alert_state(d: &mut Dec<'_>) -> Result<AlertState, CkptError> {
+    match d.u8()? {
+        0 => Ok(AlertState::Inactive),
+        1 => Ok(AlertState::Pending),
+        2 => Ok(AlertState::Firing),
+        v => Err(corrupt(format!("invalid alert-state discriminant {v}"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Configuration fingerprint
+// ---------------------------------------------------------------------------
+
+/// The analysis-shaping knobs a checkpoint was taken under. A restored
+/// state is only valid under the *same* knobs — retirement timing,
+/// reservoir sizing and alert cadence are all baked into the serialized
+/// state — so [`load`] rejects a fingerprint mismatch (the
+/// "version-mismatch" row of the recovery matrix) and the daemon
+/// cold-starts instead of resuming into the wrong semantics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CfgFingerprint {
+    /// Settle window (ms) for retirement.
+    pub settle_ms: u64,
+    /// Idle-timeout (ms) for forced retirement.
+    pub idle_timeout_ms: u64,
+    /// Tail-exemplar reservoir slots.
+    pub exemplar_slots: u64,
+    /// Whether the alert engine is running.
+    pub alerts: bool,
+    /// SLO threshold (ms) the default alert rules were built from.
+    pub slo_ms: u64,
+    /// Alert evaluation cadence (ms).
+    pub eval_interval_ms: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Section encoders / decoders
+// ---------------------------------------------------------------------------
+
+fn encode_meta(fp: &CfgFingerprint, recoveries: u64, writes_total: u64) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.str(CHECKPOINT_SCHEMA);
+    e.u64(fp.settle_ms);
+    e.u64(fp.idle_timeout_ms);
+    e.u64(fp.exemplar_slots);
+    e.bool(fp.alerts);
+    e.u64(fp.slo_ms);
+    e.u64(fp.eval_interval_ms);
+    e.u64(recoveries);
+    e.u64(writes_total);
+    e.into_bytes()
+}
+
+fn decode_meta(buf: &[u8]) -> Result<(CfgFingerprint, u64, u64), CkptError> {
+    let mut d = Dec::new(buf);
+    let schema = d.str()?;
+    if schema != CHECKPOINT_SCHEMA {
+        return Err(corrupt(format!(
+            "schema {schema:?} does not match {CHECKPOINT_SCHEMA:?}"
+        )));
+    }
+    let fp = CfgFingerprint {
+        settle_ms: d.u64()?,
+        idle_timeout_ms: d.u64()?,
+        exemplar_slots: d.u64()?,
+        alerts: d.bool()?,
+        slo_ms: d.u64()?,
+        eval_interval_ms: d.u64()?,
+    };
+    let recoveries = d.u64()?;
+    let writes_total = d.u64()?;
+    d.finish()?;
+    Ok((fp, recoveries, writes_total))
+}
+
+fn encode_tail(snap: &TailSnapshot) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.opt_u64(snap.epoch_unix_ms);
+    e.opt_ts(snap.watermark);
+    let s = &snap.stats;
+    for v in [
+        s.polls,
+        s.files,
+        s.read_bytes,
+        s.parsed_lines,
+        s.skipped_lines,
+        s.resets,
+        s.removed_files,
+    ] {
+        e.u64(v);
+    }
+    e.len(snap.files.len());
+    for f in &snap.files {
+        e.str(&f.rel);
+        e.u64(f.offset);
+        e.bytes(&f.partial);
+        e.opt_ts(f.last_ts);
+    }
+    e.into_bytes()
+}
+
+fn decode_tail(buf: &[u8]) -> Result<TailSnapshot, CkptError> {
+    let mut d = Dec::new(buf);
+    let epoch_unix_ms = d.opt_u64()?;
+    let watermark = d.opt_ts()?;
+    let stats = TailStats {
+        polls: d.u64()?,
+        files: d.u64()?,
+        read_bytes: d.u64()?,
+        parsed_lines: d.u64()?,
+        skipped_lines: d.u64()?,
+        resets: d.u64()?,
+        removed_files: d.u64()?,
+    };
+    let n = d.len()?;
+    let mut files = Vec::new();
+    for _ in 0..n {
+        files.push(FileSnapshot {
+            rel: d.str()?,
+            offset: d.u64()?,
+            partial: d.bytes()?.to_vec(),
+            last_ts: d.opt_ts()?,
+        });
+    }
+    d.finish()?;
+    Ok(TailSnapshot {
+        epoch_unix_ms,
+        watermark,
+        stats,
+        files,
+    })
+}
+
+fn encode_analyzer(snap: &AnalyzerSnapshot) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.len(snap.cursors.len());
+    for (src, seen_first) in &snap.cursors {
+        enc_source(&mut e, *src);
+        e.bool(*seen_first);
+    }
+    e.len(snap.coverage.len());
+    for (kind, c) in &snap.coverage {
+        enc_source_kind(&mut e, *kind);
+        for v in [c.matched, c.unmatched, c.anomalous, c.ignored] {
+            e.u64(v);
+        }
+    }
+    e.len(snap.unmatched_examples.len());
+    for (kind, msg) in &snap.unmatched_examples {
+        enc_source_kind(&mut e, *kind);
+        e.str(msg);
+    }
+    e.len(snap.apps.len());
+    for (app, events) in &snap.apps {
+        enc_app(&mut e, *app);
+        enc_events(&mut e, events);
+    }
+    e.len(snap.names.len());
+    for (app, name) in &snap.names {
+        enc_app(&mut e, *app);
+        e.str(name);
+    }
+    e.len(snap.retired_ids.len());
+    for app in &snap.retired_ids {
+        enc_app(&mut e, *app);
+    }
+    e.u64(snap.late_events);
+    e.opt_ts(snap.watermark);
+
+    let f = &snap.fleet;
+    e.u64(f.retired);
+    e.u64(f.complete);
+    e.u64(f.forced);
+    e.len(f.outcomes.len());
+    for (label, n) in &f.outcomes {
+        e.str(label);
+        e.u64(*n);
+    }
+    e.u64(f.retried_apps);
+    e.u64(f.wasted_ms_total);
+    e.u64(f.unused_containers);
+    e.u64(f.events_total);
+    e.len(f.app_sketches.len());
+    for s in &f.app_sketches {
+        e.bytes(s);
+    }
+    e.len(f.container_sketches.len());
+    for s in &f.container_sketches {
+        e.bytes(s);
+    }
+    e.len(f.blame.len());
+    for (component, n, ms, pct) in &f.blame {
+        e.str(component);
+        e.u64(*n);
+        e.u64(*ms);
+        e.f64(*pct);
+    }
+
+    let x = &snap.exemplars;
+    e.u64(x.k);
+    e.u64(x.generation);
+    e.len(x.tops.len());
+    for top in &x.tops {
+        e.len(top.len());
+        for (value, app) in top {
+            e.u64(*value);
+            enc_app(&mut e, *app);
+        }
+    }
+    e.len(x.promoted.len());
+    for p in &x.promoted {
+        enc_app(&mut e, p.app);
+        e.opt_str(p.name.as_deref());
+        enc_events(&mut e, &p.events);
+        e.bool(p.forced);
+        e.ts(p.retire_ms);
+    }
+    e.into_bytes()
+}
+
+fn decode_analyzer(buf: &[u8]) -> Result<AnalyzerSnapshot, CkptError> {
+    let mut d = Dec::new(buf);
+    let n = d.len()?;
+    let mut cursors = Vec::new();
+    for _ in 0..n {
+        let src = dec_source(&mut d)?;
+        let seen_first = d.bool()?;
+        cursors.push((src, seen_first));
+    }
+    let n = d.len()?;
+    let mut coverage = Vec::new();
+    for _ in 0..n {
+        let kind = dec_source_kind(&mut d)?;
+        let c = CoverageCounts {
+            matched: d.u64()?,
+            unmatched: d.u64()?,
+            anomalous: d.u64()?,
+            ignored: d.u64()?,
+        };
+        coverage.push((kind, c));
+    }
+    let n = d.len()?;
+    let mut unmatched_examples = Vec::new();
+    for _ in 0..n {
+        let kind = dec_source_kind(&mut d)?;
+        let msg = d.str()?;
+        unmatched_examples.push((kind, msg));
+    }
+    let n = d.len()?;
+    let mut apps = Vec::new();
+    for _ in 0..n {
+        let app = dec_app(&mut d)?;
+        let events = dec_events(&mut d)?;
+        apps.push((app, events));
+    }
+    let n = d.len()?;
+    let mut names = Vec::new();
+    for _ in 0..n {
+        let app = dec_app(&mut d)?;
+        let name = d.str()?;
+        names.push((app, name));
+    }
+    let n = d.len()?;
+    let mut retired_ids = Vec::new();
+    for _ in 0..n {
+        retired_ids.push(dec_app(&mut d)?);
+    }
+    let late_events = d.u64()?;
+    let watermark = d.opt_ts()?;
+
+    let retired = d.u64()?;
+    let complete = d.u64()?;
+    let forced = d.u64()?;
+    let n = d.len()?;
+    let mut outcomes = Vec::new();
+    for _ in 0..n {
+        let label = d.str()?;
+        let count = d.u64()?;
+        outcomes.push((label, count));
+    }
+    let retried_apps = d.u64()?;
+    let wasted_ms_total = d.u64()?;
+    let unused_containers = d.u64()?;
+    let events_total = d.u64()?;
+    let n = d.len()?;
+    let mut app_sketches = Vec::new();
+    for _ in 0..n {
+        app_sketches.push(d.bytes()?.to_vec());
+    }
+    let n = d.len()?;
+    let mut container_sketches = Vec::new();
+    for _ in 0..n {
+        container_sketches.push(d.bytes()?.to_vec());
+    }
+    let n = d.len()?;
+    let mut blame = Vec::new();
+    for _ in 0..n {
+        let component = d.str()?;
+        let count = d.u64()?;
+        let ms = d.u64()?;
+        let pct = d.f64()?;
+        blame.push((component, count, ms, pct));
+    }
+    let fleet = FleetSnapshot {
+        retired,
+        complete,
+        forced,
+        outcomes,
+        retried_apps,
+        wasted_ms_total,
+        unused_containers,
+        events_total,
+        app_sketches,
+        container_sketches,
+        blame,
+    };
+
+    let k = d.u64()?;
+    let generation = d.u64()?;
+    let n = d.len()?;
+    let mut tops = Vec::new();
+    for _ in 0..n {
+        let m = d.len()?;
+        let mut top = Vec::new();
+        for _ in 0..m {
+            let value = d.u64()?;
+            let app = dec_app(&mut d)?;
+            top.push((value, app));
+        }
+        tops.push(top);
+    }
+    let n = d.len()?;
+    let mut promoted = Vec::new();
+    for _ in 0..n {
+        let app = dec_app(&mut d)?;
+        let name = d.opt_str()?;
+        let events = dec_events(&mut d)?;
+        let forced = d.bool()?;
+        let retire_ms = d.ts()?;
+        promoted.push(PromotedSnapshot {
+            app,
+            name,
+            events,
+            forced,
+            retire_ms,
+        });
+    }
+    let exemplars = ExemplarsSnapshot {
+        k,
+        generation,
+        tops,
+        promoted,
+    };
+    d.finish()?;
+    Ok(AnalyzerSnapshot {
+        cursors,
+        coverage,
+        unmatched_examples,
+        apps,
+        names,
+        retired_ids,
+        late_events,
+        watermark,
+        fleet,
+        exemplars,
+    })
+}
+
+fn encode_alerts(snap: Option<&EngineSnapshot>) -> Vec<u8> {
+    let mut e = Enc::new();
+    let Some(s) = snap else {
+        e.bool(false);
+        return e.into_bytes();
+    };
+    e.bool(true);
+    e.u64(s.eval_interval_ms);
+    e.len(s.rule_names.len());
+    for name in &s.rule_names {
+        e.str(name);
+    }
+    e.len(s.runtime.len());
+    for (state, pending_since, last_value) in &s.runtime {
+        enc_alert_state(&mut e, *state);
+        e.opt_ts(*pending_since);
+        e.opt_f64(*last_value);
+    }
+    e.opt_u64(s.last_tick);
+    e.len(s.samples.len());
+    for (ts, row) in &s.samples {
+        e.ts(*ts);
+        e.len(row.len());
+        for v in row {
+            e.opt_u64(*v);
+        }
+    }
+    e.len(s.anomalous.len());
+    for ts in &s.anomalous {
+        e.ts(*ts);
+    }
+    e.opt_ts(s.earliest_data);
+    e.len(s.transitions.len());
+    for t in &s.transitions {
+        e.ts(t.at);
+        e.str(&t.rule);
+        enc_alert_state(&mut e, t.from);
+        enc_alert_state(&mut e, t.to);
+        e.f64(t.value);
+    }
+    e.u64(s.transitions_total);
+    e.into_bytes()
+}
+
+fn decode_alerts(buf: &[u8]) -> Result<Option<EngineSnapshot>, CkptError> {
+    let mut d = Dec::new(buf);
+    if !d.bool()? {
+        d.finish()?;
+        return Ok(None);
+    }
+    let eval_interval_ms = d.u64()?;
+    let n = d.len()?;
+    let mut rule_names = Vec::new();
+    for _ in 0..n {
+        rule_names.push(d.str()?);
+    }
+    let n = d.len()?;
+    let mut runtime = Vec::new();
+    for _ in 0..n {
+        let state = dec_alert_state(&mut d)?;
+        let pending_since = d.opt_ts()?;
+        let last_value = d.opt_f64()?;
+        runtime.push((state, pending_since, last_value));
+    }
+    let last_tick = d.opt_u64()?;
+    let n = d.len()?;
+    let mut samples = Vec::new();
+    for _ in 0..n {
+        let ts = d.ts()?;
+        let m = d.len()?;
+        let mut row = Vec::new();
+        for _ in 0..m {
+            row.push(d.opt_u64()?);
+        }
+        samples.push((ts, row));
+    }
+    let n = d.len()?;
+    let mut anomalous = Vec::new();
+    for _ in 0..n {
+        anomalous.push(d.ts()?);
+    }
+    let earliest_data = d.opt_ts()?;
+    let n = d.len()?;
+    let mut transitions = Vec::new();
+    for _ in 0..n {
+        let at = d.ts()?;
+        let rule = d.str()?;
+        let from = dec_alert_state(&mut d)?;
+        let to = dec_alert_state(&mut d)?;
+        let value = d.f64()?;
+        transitions.push(Transition {
+            at,
+            rule,
+            from,
+            to,
+            value,
+        });
+    }
+    let transitions_total = d.u64()?;
+    d.finish()?;
+    Ok(Some(EngineSnapshot {
+        eval_interval_ms,
+        rule_names,
+        runtime,
+        last_tick,
+        samples,
+        anomalous,
+        earliest_data,
+        transitions,
+        transitions_total,
+    }))
+}
+
+fn encode_outputs(wide_bytes: u64) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u64(wide_bytes);
+    e.into_bytes()
+}
+
+fn decode_outputs(buf: &[u8]) -> Result<u64, CkptError> {
+    let mut d = Dec::new(buf);
+    let wide_bytes = d.u64()?;
+    d.finish()?;
+    Ok(wide_bytes)
+}
+
+// ---------------------------------------------------------------------------
+// File container
+// ---------------------------------------------------------------------------
+
+fn encode_file(sections: &[(&str, Vec<u8>)]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&(sections.len() as u32).to_le_bytes());
+    for (name, payload) in sections {
+        out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        out.extend_from_slice(name.as_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&crc32(payload).to_le_bytes());
+        out.extend_from_slice(payload);
+    }
+    out
+}
+
+fn decode_file(buf: &[u8]) -> Result<Vec<(String, Vec<u8>)>, CkptError> {
+    let mut d = Dec::new(buf);
+    let magic = d.take(MAGIC.len())?;
+    if magic != MAGIC {
+        return Err(corrupt("bad magic (not a checkpoint file)"));
+    }
+    let count = d.u32()?;
+    let mut sections = Vec::new();
+    for _ in 0..count {
+        let name_len = d.u32()?;
+        let name_bytes = d.take(name_len as usize)?;
+        let name = String::from_utf8(name_bytes.to_vec())
+            .map_err(|_| corrupt("section name is not UTF-8"))?;
+        let payload_len = d.u64()?;
+        let payload_len =
+            usize::try_from(payload_len).map_err(|_| corrupt("section length overflow"))?;
+        let want_crc = d.u32()?;
+        let payload = d.take(payload_len)?;
+        let got_crc = crc32(payload);
+        if got_crc != want_crc {
+            return Err(corrupt(format!(
+                "section {name:?} CRC mismatch (want {want_crc:08x}, got {got_crc:08x})"
+            )));
+        }
+        sections.push((name, payload.to_vec()));
+    }
+    d.finish()?;
+    Ok(sections)
+}
+
+fn section<'a>(sections: &'a [(String, Vec<u8>)], name: &str) -> Result<&'a [u8], CkptError> {
+    sections
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, payload)| payload.as_slice())
+        .ok_or_else(|| corrupt(format!("missing section {name:?}")))
+}
+
+// ---------------------------------------------------------------------------
+// Store
+// ---------------------------------------------------------------------------
+
+/// The on-disk home of the checkpoint generations: `checkpoint-v1`
+/// (current), `checkpoint-v1.prev` (fallback) and `checkpoint-v1.tmp`
+/// (scratch, never valid to read).
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+}
+
+impl CheckpointStore {
+    /// Open (creating if needed) the checkpoint directory.
+    pub fn open(dir: &Path) -> Result<CheckpointStore, CkptError> {
+        fs::create_dir_all(dir)?;
+        Ok(CheckpointStore {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    /// Path of the current generation.
+    pub fn current_path(&self) -> PathBuf {
+        self.dir.join(CURRENT_NAME)
+    }
+
+    /// Path of the previous (fallback) generation.
+    pub fn prev_path(&self) -> PathBuf {
+        self.dir.join(PREV_NAME)
+    }
+
+    fn tmp_path(&self) -> PathBuf {
+        self.dir.join(TMP_NAME)
+    }
+
+    /// Atomically replace the current generation with `bytes`,
+    /// demoting the old current to `.prev`. Returns the file size.
+    fn write_atomic(&self, bytes: &[u8]) -> Result<u64, CkptError> {
+        let tmp = self.tmp_path();
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_all()?;
+        }
+        let current = self.current_path();
+        if current.exists() {
+            fs::rename(&current, self.prev_path())?;
+        }
+        fs::rename(&tmp, &current)?;
+        // Persist the renames themselves; without this a crash could
+        // roll the directory back to a state where neither name exists.
+        if let Ok(d) = fs::File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+        Ok(bytes.len() as u64)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Save / load
+// ---------------------------------------------------------------------------
+
+/// Everything a save captures, borrowed from the daemon.
+pub struct SaveInputs<'a> {
+    /// The directory tailer (offsets, partial lines, epoch, stats).
+    pub tailer: &'a DirTailer,
+    /// The streaming pipeline (buffers, aggregates, exemplars).
+    pub analyzer: &'a IncrementalAnalyzer,
+    /// The alert engine, if alerting is enabled.
+    pub engine: Option<&'a AlertEngine>,
+    /// Configuration fingerprint to stamp into the file.
+    pub fingerprint: &'a CfgFingerprint,
+    /// Bytes of wide-event JSONL emitted so far (the emission cursor).
+    pub wide_bytes: u64,
+    /// Checkpoint writes so far this lineage (monotonic across restarts).
+    pub writes_total: u64,
+    /// Restarts this lineage has survived.
+    pub recoveries: u64,
+}
+
+/// Serialize the full daemon state and atomically install it as the
+/// current generation. Returns the checkpoint size in bytes.
+pub fn save(store: &CheckpointStore, s: &SaveInputs<'_>) -> Result<u64, CkptError> {
+    let sections = [
+        (
+            "meta",
+            encode_meta(s.fingerprint, s.recoveries, s.writes_total),
+        ),
+        ("tail", encode_tail(&s.tailer.snapshot())),
+        ("analyzer", encode_analyzer(&s.analyzer.snapshot())),
+        (
+            "alerts",
+            encode_alerts(s.engine.map(AlertEngine::snapshot).as_ref()),
+        ),
+        ("outputs", encode_outputs(s.wide_bytes)),
+    ];
+    store.write_atomic(&encode_file(&sections))
+}
+
+/// A successfully restored daemon state.
+pub struct Restored {
+    /// Tailer positioned past every checkpointed byte.
+    pub tailer: DirTailer,
+    /// The pipeline, mid-flight apps and aggregates intact.
+    pub analyzer: IncrementalAnalyzer,
+    /// Wide-event emission cursor (bytes already written).
+    pub wide_bytes: u64,
+    /// Checkpoint writes recorded by the restored generation.
+    pub writes_total: u64,
+    /// Restarts recorded by the restored generation (this restart not
+    /// yet counted).
+    pub recoveries: u64,
+    /// Which generation was used: `"current"` or `"previous"`.
+    pub generation: &'static str,
+    /// Size of the checkpoint file that was restored.
+    pub bytes: u64,
+}
+
+struct Decoded {
+    tailer: DirTailer,
+    analyzer: IncrementalAnalyzer,
+    engine_snap: Option<EngineSnapshot>,
+    wide_bytes: u64,
+    writes_total: u64,
+    recoveries: u64,
+}
+
+fn decode_candidate(
+    buf: &[u8],
+    watch_dir: &Path,
+    fingerprint: &CfgFingerprint,
+) -> Result<Decoded, CkptError> {
+    let sections = decode_file(buf)?;
+    let (fp, recoveries, writes_total) = decode_meta(section(&sections, "meta")?)?;
+    if fp != *fingerprint {
+        return Err(corrupt(format!(
+            "configuration fingerprint mismatch (checkpoint {fp:?}, daemon {fingerprint:?})"
+        )));
+    }
+    let tail_snap = decode_tail(section(&sections, "tail")?)?;
+    let tailer = DirTailer::from_snapshot(watch_dir, tail_snap).map_err(CkptError::Corrupt)?;
+    let analyzer_snap = decode_analyzer(section(&sections, "analyzer")?)?;
+    let cfg = IncrementalConfig {
+        settle_ms: fp.settle_ms,
+        idle_timeout_ms: fp.idle_timeout_ms,
+        exemplar_slots: usize::try_from(fp.exemplar_slots)
+            .map_err(|_| corrupt("exemplar slot count overflow"))?,
+    };
+    let analyzer =
+        IncrementalAnalyzer::from_snapshot(cfg, analyzer_snap).map_err(CkptError::Corrupt)?;
+    let engine_snap = decode_alerts(section(&sections, "alerts")?)?;
+    if engine_snap.is_some() != fp.alerts {
+        return Err(corrupt("alerts section disagrees with fingerprint"));
+    }
+    let wide_bytes = decode_outputs(section(&sections, "outputs")?)?;
+    Ok(Decoded {
+        tailer,
+        analyzer,
+        engine_snap,
+        wide_bytes,
+        writes_total,
+        recoveries,
+    })
+}
+
+/// Restore the newest intact generation, falling back from `current`
+/// to `previous`. Returns the restored state (if any) plus warnings for
+/// every candidate that had to be skipped — a damaged checkpoint
+/// degrades to cold-start with a loud warning, never a panic.
+///
+/// When `engine` is supplied its checkpointed lifecycle state is
+/// applied in place; application is all-or-nothing, so a rejected
+/// candidate leaves the engine untouched for the next one.
+pub fn load(
+    store: &CheckpointStore,
+    watch_dir: &Path,
+    fingerprint: &CfgFingerprint,
+    mut engine: Option<&mut AlertEngine>,
+) -> (Option<Restored>, Vec<String>) {
+    let mut warnings = Vec::new();
+    let candidates = [
+        ("current", store.current_path()),
+        ("previous", store.prev_path()),
+    ];
+    for (generation, path) in candidates {
+        let mut buf = Vec::new();
+        match fs::File::open(&path) {
+            Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+            Err(e) => {
+                warnings.push(format!(
+                    "checkpoint: cannot open {} generation {}: {e}",
+                    generation,
+                    path.display()
+                ));
+                continue;
+            }
+            Ok(mut f) => {
+                if let Err(e) = f.read_to_end(&mut buf) {
+                    warnings.push(format!(
+                        "checkpoint: cannot read {} generation {}: {e}",
+                        generation,
+                        path.display()
+                    ));
+                    continue;
+                }
+            }
+        }
+        let decoded = match decode_candidate(&buf, watch_dir, fingerprint) {
+            Ok(d) => d,
+            Err(e) => {
+                warnings.push(format!(
+                    "checkpoint: {} generation {} unusable: {e}",
+                    generation,
+                    path.display()
+                ));
+                continue;
+            }
+        };
+        if let Some(snap) = decoded.engine_snap {
+            match engine.as_deref_mut() {
+                Some(eng) => {
+                    if let Err(e) = eng.apply_snapshot(snap) {
+                        warnings.push(format!(
+                            "checkpoint: {} generation {} unusable: alert state rejected: {e}",
+                            generation,
+                            path.display()
+                        ));
+                        continue;
+                    }
+                }
+                None => {
+                    warnings.push(format!(
+                        "checkpoint: {} generation {} carries alert state but no engine is \
+                         running",
+                        generation,
+                        path.display()
+                    ));
+                    continue;
+                }
+            }
+        }
+        return (
+            Some(Restored {
+                tailer: decoded.tailer,
+                analyzer: decoded.analyzer,
+                wide_bytes: decoded.wide_bytes,
+                writes_total: decoded.writes_total,
+                recoveries: decoded.recoveries,
+                generation,
+                bytes: buf.len() as u64,
+            }),
+            warnings,
+        );
+    }
+    (None, warnings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alerts::default_rules;
+    use logmodel::{Epoch, LogStore};
+    use std::fs;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sdckpt-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// Small corpus with one finished app and one still in flight.
+    fn corpus(dir: &Path) {
+        let epoch = Epoch::default_run();
+        let mut logs = LogStore::new(epoch);
+        let done = ApplicationId::new(epoch.unix_ms, 1);
+        let open = ApplicationId::new(epoch.unix_ms, 2);
+        logs.info(
+            LogSource::ResourceManager,
+            TsMs(100),
+            "RMAppImpl",
+            format!("{done} State change from NEW_SAVING to SUBMITTED on event = APP_NEW_SAVED"),
+        );
+        logs.info(
+            LogSource::ResourceManager,
+            TsMs(900),
+            "RMAppImpl",
+            format!("{done} State change from RUNNING to FINISHED on event = UNREGISTERED"),
+        );
+        logs.info(
+            LogSource::ResourceManager,
+            TsMs(950),
+            "RMAppImpl",
+            format!("{open} State change from NEW_SAVING to SUBMITTED on event = APP_NEW_SAVED"),
+        );
+        logs.write_dir(dir).unwrap();
+    }
+
+    fn build_state(dir: &Path) -> (DirTailer, IncrementalAnalyzer) {
+        let mut tailer = DirTailer::new(dir).unwrap();
+        let mut analyzer = IncrementalAnalyzer::new(IncrementalConfig {
+            settle_ms: 100,
+            idle_timeout_ms: 0,
+            exemplar_slots: 2,
+        });
+        for (src, rec) in tailer.poll().unwrap() {
+            analyzer.ingest(src, &rec);
+        }
+        let _ = analyzer.drain_ready();
+        (tailer, analyzer)
+    }
+
+    fn fingerprint() -> CfgFingerprint {
+        CfgFingerprint {
+            settle_ms: 100,
+            idle_timeout_ms: 0,
+            exemplar_slots: 2,
+            alerts: false,
+            slo_ms: 0,
+            eval_interval_ms: 1_000,
+        }
+    }
+
+    #[test]
+    fn crc32_matches_the_ieee_check_value() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut e = Enc::new();
+        e.u8(7);
+        e.u32(0xDEAD_BEEF);
+        e.u64(u64::MAX);
+        e.bool(true);
+        e.f64(-1.5);
+        e.str("hello");
+        e.opt_u64(None);
+        e.opt_u64(Some(42));
+        e.opt_str(Some("x"));
+        e.opt_str(None);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        assert_eq!(d.u8().unwrap(), 7);
+        assert_eq!(d.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(d.u64().unwrap(), u64::MAX);
+        assert!(d.bool().unwrap());
+        assert_eq!(d.f64().unwrap(), -1.5);
+        assert_eq!(d.str().unwrap(), "hello");
+        assert_eq!(d.opt_u64().unwrap(), None);
+        assert_eq!(d.opt_u64().unwrap(), Some(42));
+        assert_eq!(d.opt_str().unwrap(), Some("x".to_string()));
+        assert_eq!(d.opt_str().unwrap(), None);
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn decoder_rejects_damage_instead_of_panicking() {
+        let mut d = Dec::new(&[1, 0, 0]);
+        assert!(d.u32().is_err());
+        let mut d = Dec::new(&[2]);
+        assert!(d.bool().is_err());
+        // A length claiming more bytes than exist.
+        let mut e = Enc::new();
+        e.len(1 << 40);
+        let bytes = e.into_bytes();
+        assert!(Dec::new(&bytes).bytes().is_err());
+        // Trailing garbage.
+        let d = Dec::new(&[0]);
+        assert!(d.finish().is_err());
+    }
+
+    #[test]
+    fn save_then_load_restores_identical_state() {
+        let dir = tmp("roundtrip");
+        let logs = dir.join("logs");
+        fs::create_dir_all(&logs).unwrap();
+        corpus(&logs);
+        let (tailer, analyzer) = build_state(&logs);
+        let store = CheckpointStore::open(&dir.join("ckpt")).unwrap();
+        let fp = fingerprint();
+        let bytes = save(
+            &store,
+            &SaveInputs {
+                tailer: &tailer,
+                analyzer: &analyzer,
+                engine: None,
+                fingerprint: &fp,
+                wide_bytes: 123,
+                writes_total: 1,
+                recoveries: 0,
+            },
+        )
+        .unwrap();
+        assert!(bytes > 0);
+        let (restored, warnings) = load(&store, &logs, &fp, None);
+        assert!(warnings.is_empty(), "{warnings:?}");
+        let r = restored.unwrap();
+        assert_eq!(r.generation, "current");
+        assert_eq!(r.wide_bytes, 123);
+        assert_eq!(r.writes_total, 1);
+        assert_eq!(r.recoveries, 0);
+        assert_eq!(r.bytes, bytes);
+        assert_eq!(r.tailer.snapshot(), tailer.snapshot());
+        assert_eq!(r.analyzer.snapshot(), analyzer.snapshot());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn alert_engine_state_round_trips() {
+        let dir = tmp("alerts");
+        let logs = dir.join("logs");
+        fs::create_dir_all(&logs).unwrap();
+        corpus(&logs);
+        let (tailer, analyzer) = build_state(&logs);
+        let mut engine = AlertEngine::new(default_rules(1), 1_000);
+        engine.observe_anomalous(TsMs(500));
+        engine.observe_anomalous(TsMs(600));
+        let _ = engine.advance(TsMs(5_000));
+        let before = engine.snapshot();
+        let store = CheckpointStore::open(&dir.join("ckpt")).unwrap();
+        let fp = CfgFingerprint {
+            alerts: true,
+            slo_ms: 1,
+            ..fingerprint()
+        };
+        save(
+            &store,
+            &SaveInputs {
+                tailer: &tailer,
+                analyzer: &analyzer,
+                engine: Some(&engine),
+                fingerprint: &fp,
+                wide_bytes: 0,
+                writes_total: 1,
+                recoveries: 0,
+            },
+        )
+        .unwrap();
+        let mut fresh = AlertEngine::new(default_rules(1), 1_000);
+        let (restored, warnings) = load(&store, &logs, &fp, Some(&mut fresh));
+        assert!(warnings.is_empty(), "{warnings:?}");
+        assert!(restored.is_some());
+        assert_eq!(fresh.snapshot(), before);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn second_save_keeps_previous_generation_as_fallback() {
+        let dir = tmp("fallback");
+        let logs = dir.join("logs");
+        fs::create_dir_all(&logs).unwrap();
+        corpus(&logs);
+        let (tailer, analyzer) = build_state(&logs);
+        let store = CheckpointStore::open(&dir.join("ckpt")).unwrap();
+        let fp = fingerprint();
+        let inputs = |wide: u64, writes: u64| SaveInputs {
+            tailer: &tailer,
+            analyzer: &analyzer,
+            engine: None,
+            fingerprint: &fp,
+            wide_bytes: wide,
+            writes_total: writes,
+            recoveries: 0,
+        };
+        save(&store, &inputs(10, 1)).unwrap();
+        save(&store, &inputs(20, 2)).unwrap();
+        assert!(store.prev_path().exists());
+
+        // Torn write: truncate the current generation mid-file.
+        let cur = fs::read(store.current_path()).unwrap();
+        fs::write(store.current_path(), &cur[..cur.len() / 2]).unwrap();
+        let (restored, warnings) = load(&store, &logs, &fp, None);
+        let r = restored.unwrap();
+        assert_eq!(r.generation, "previous");
+        assert_eq!(r.wide_bytes, 10);
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("current generation"), "{warnings:?}");
+
+        // Stale generation: current is garbage from a different tool.
+        fs::write(store.current_path(), b"not a checkpoint at all").unwrap();
+        let (restored, warnings) = load(&store, &logs, &fp, None);
+        assert_eq!(restored.unwrap().generation, "previous");
+        assert_eq!(warnings.len(), 1);
+
+        // Both damaged: cold start, two loud warnings, no panic.
+        fs::write(store.prev_path(), b"also garbage").unwrap();
+        let (restored, warnings) = load(&store, &logs, &fp, None);
+        assert!(restored.is_none());
+        assert_eq!(warnings.len(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fingerprint_mismatch_degrades_to_cold_start() {
+        let dir = tmp("fpmismatch");
+        let logs = dir.join("logs");
+        fs::create_dir_all(&logs).unwrap();
+        corpus(&logs);
+        let (tailer, analyzer) = build_state(&logs);
+        let store = CheckpointStore::open(&dir.join("ckpt")).unwrap();
+        let fp = fingerprint();
+        save(
+            &store,
+            &SaveInputs {
+                tailer: &tailer,
+                analyzer: &analyzer,
+                engine: None,
+                fingerprint: &fp,
+                wide_bytes: 0,
+                writes_total: 1,
+                recoveries: 0,
+            },
+        )
+        .unwrap();
+        let other = CfgFingerprint {
+            settle_ms: 999,
+            ..fp
+        };
+        let (restored, warnings) = load(&store, &logs, &other, None);
+        assert!(restored.is_none());
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("fingerprint mismatch"), "{warnings:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flipped_byte_is_caught_by_the_section_crc() {
+        let dir = tmp("bitrot");
+        let logs = dir.join("logs");
+        fs::create_dir_all(&logs).unwrap();
+        corpus(&logs);
+        let (tailer, analyzer) = build_state(&logs);
+        let store = CheckpointStore::open(&dir.join("ckpt")).unwrap();
+        let fp = fingerprint();
+        save(
+            &store,
+            &SaveInputs {
+                tailer: &tailer,
+                analyzer: &analyzer,
+                engine: None,
+                fingerprint: &fp,
+                wide_bytes: 0,
+                writes_total: 1,
+                recoveries: 0,
+            },
+        )
+        .unwrap();
+        let mut cur = fs::read(store.current_path()).unwrap();
+        let last = cur.len() - 1;
+        cur[last] ^= 0x40; // flip a bit inside the final payload
+        fs::write(store.current_path(), &cur).unwrap();
+        let (restored, warnings) = load(&store, &logs, &fp, None);
+        assert!(restored.is_none());
+        assert!(
+            warnings.iter().any(|w| w.contains("CRC mismatch")),
+            "{warnings:?}"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -90,6 +90,29 @@ impl CriticalPath {
     }
 }
 
+/// Every component name a [`CriticalSegment`] can carry: the milestone
+/// chain of [`milestones`] plus the explicit `unattributed` gap filler.
+/// Checkpoint restore interns decoded blame keys against this table, so
+/// the `&'static str` identity of segment components survives a
+/// serialize/deserialize round trip (and unknown names are rejected as
+/// corruption instead of minted).
+pub(crate) const SEGMENT_COMPONENTS: [&str; 14] = [
+    "admission",
+    "am_allocation",
+    "am_acquisition",
+    "am_dispatch",
+    "am_localization",
+    "am_launching",
+    "driver_init",
+    "allocation",
+    "acquisition",
+    "dispatch",
+    "localization",
+    "launching",
+    "executor_idle",
+    "unattributed",
+];
+
 /// The milestone chain from submission to the first user task, in causal
 /// order. Returns `(component, entity, timestamp)` triples; a `None`
 /// timestamp means the milestone left no log evidence.

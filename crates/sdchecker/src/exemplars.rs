@@ -58,6 +58,37 @@ pub struct PromotedApp {
     pub retire_ms: TsMs,
 }
 
+/// Plain serializable image of a [`TailExemplars`] reservoir, for
+/// checkpointing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct ExemplarsSnapshot {
+    /// Configured slot count the snapshot was taken under.
+    pub k: u64,
+    /// Change counter at snapshot time.
+    pub generation: u64,
+    /// Per-component rankings, in [`APP_COMPONENTS`] order.
+    pub tops: Vec<Vec<(u64, ApplicationId)>>,
+    /// Promoted apps' primary evidence, ascending app id.
+    pub promoted: Vec<PromotedSnapshot>,
+}
+
+/// One promoted app's entry in an [`ExemplarsSnapshot`]: the evidence
+/// that cannot be recomputed. Delays and critical path are derived from
+/// `events` on restore.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct PromotedSnapshot {
+    /// The application.
+    pub app: ApplicationId,
+    /// Mined display name, if seen.
+    pub name: Option<String>,
+    /// The app's extracted events, sorted `(ts, source)`.
+    pub events: Vec<SchedEvent>,
+    /// Idle-timeout retirement.
+    pub forced: bool,
+    /// Logical retirement instant (log time).
+    pub retire_ms: TsMs,
+}
+
 /// Bounded top-K reservoir of worst apps per delay component. See the
 /// module docs for the selection and eviction policy.
 #[derive(Debug)]
@@ -255,6 +286,74 @@ impl TailExemplars {
         }
         out.push_str("\n  }\n}\n");
         out
+    }
+
+    /// Capture the reservoir for a checkpoint. Promoted apps keep only
+    /// their primary evidence (events, name, retirement facts); the
+    /// derived analysis (delays, critical path) is recomputed on restore
+    /// rather than serialized — the per-app analysis unit is
+    /// deterministic, so recompute-over-serialize shrinks the checkpoint
+    /// and cannot drift from the code that would have produced it.
+    pub(crate) fn snapshot(&self) -> ExemplarsSnapshot {
+        ExemplarsSnapshot {
+            k: self.k as u64,
+            generation: self.generation,
+            tops: self.tops.clone(),
+            promoted: self
+                .promoted
+                .values()
+                .map(|p| PromotedSnapshot {
+                    app: p.app,
+                    name: p.name.clone(),
+                    events: p.events.clone(),
+                    forced: p.forced,
+                    retire_ms: p.retire_ms,
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuild a reservoir from a checkpointed snapshot, recomputing
+    /// each promoted app's decomposition and critical path from its
+    /// retained events. `k` is the configured slot count; a snapshot
+    /// taken under a different configuration is rejected.
+    pub(crate) fn from_snapshot(
+        k: usize,
+        snap: ExemplarsSnapshot,
+    ) -> Result<TailExemplars, String> {
+        if snap.k != k as u64 {
+            return Err(format!("snapshot has {} slots, configured {}", snap.k, k));
+        }
+        if snap.tops.len() != APP_COMPONENTS.len() {
+            return Err(format!(
+                "snapshot has {} component rankings, expected {}",
+                snap.tops.len(),
+                APP_COMPONENTS.len()
+            ));
+        }
+        let mut promoted = BTreeMap::new();
+        for p in snap.promoted {
+            let (graph, delays, _) = crate::analyze::analyze_app_events(p.app, &p.events);
+            let critical = crate::critical::critical_path(&graph);
+            promoted.insert(
+                p.app,
+                PromotedApp {
+                    app: p.app,
+                    name: p.name,
+                    delays,
+                    critical,
+                    events: p.events,
+                    forced: p.forced,
+                    retire_ms: p.retire_ms,
+                },
+            );
+        }
+        Ok(TailExemplars {
+            k,
+            tops: snap.tops,
+            promoted,
+            generation: snap.generation,
+        })
     }
 
     /// Rebuild one promoted app's Perfetto trace from its retained

@@ -290,6 +290,17 @@ impl StreamCursor {
     pub fn source(&self) -> LogSource {
         self.source
     }
+
+    /// Whether the stream has produced a record yet (the only
+    /// cross-record state; checkpoints persist it).
+    pub(crate) fn seen_first(&self) -> bool {
+        self.seen_first
+    }
+
+    /// Rebuild a cursor mid-stream from checkpointed state.
+    pub(crate) fn resume(source: LogSource, seen_first: bool) -> StreamCursor {
+        StreamCursor { source, seen_first }
+    }
 }
 
 /// Compiled rule set for all Table-I messages.

@@ -41,10 +41,10 @@ use logmodel::{ApplicationId, LogRecord, LogSource, TsMs};
 use obs::QuantileSketch;
 
 use crate::analyze::{analyze_app_events, stream_one_delay_sketches};
-use crate::critical::critical_path;
+use crate::critical::{critical_path, SEGMENT_COMPONENTS};
 use crate::decompose::{AppDelays, AppOutcome, APP_COMPONENTS, CONTAINER_COMPONENTS};
 use crate::event::{EventKind, SchedEvent};
-use crate::exemplars::{PromotedApp, TailExemplars};
+use crate::exemplars::{ExemplarsSnapshot, PromotedApp, TailExemplars};
 use crate::extract::{CoverageCounts, Extractor, Outcome, ParseCoverage, SourceKind, StreamCursor};
 use crate::pattern::Pat;
 use crate::tail::{TailLag, TailStats};
@@ -154,6 +154,79 @@ impl FleetAgg {
             blame: BTreeMap::new(),
         }
     }
+}
+
+/// Plain serializable image of an [`IncrementalAnalyzer`], for
+/// checkpointing. Everything here is primary state: per-app event
+/// buffers are kept verbatim (in ingest order, so the retirement-time
+/// stable sort reproduces exactly), while anything derivable — terminal
+/// and last-event timestamps, promoted-app analyses — is recomputed on
+/// restore.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct AnalyzerSnapshot {
+    /// Per-stream cursor state: `(source, seen_first)`.
+    pub cursors: Vec<(LogSource, bool)>,
+    /// Per-family coverage tallies.
+    pub coverage: Vec<(SourceKind, CoverageCounts)>,
+    /// Per-family first unmatched example.
+    pub unmatched_examples: Vec<(SourceKind, String)>,
+    /// In-flight apps' buffered events, ascending app id, events in
+    /// ingest order.
+    pub apps: Vec<(ApplicationId, Vec<SchedEvent>)>,
+    /// Mined display names of in-flight apps.
+    pub names: Vec<(ApplicationId, String)>,
+    /// Every app retired so far (exactly-once accounting).
+    pub retired_ids: Vec<ApplicationId>,
+    /// Events that arrived after their app retired.
+    pub late_events: u64,
+    /// Newest record timestamp ingested.
+    pub watermark: Option<TsMs>,
+    /// Fleet aggregates.
+    pub fleet: FleetSnapshot,
+    /// Tail-exemplar reservoir.
+    pub exemplars: ExemplarsSnapshot,
+}
+
+/// Serializable image of the fleet aggregates. Outcome and blame keys
+/// are plain strings here; restore interns them against the static
+/// [`AppOutcome`] / [`SEGMENT_COMPONENTS`] tables and rejects unknown
+/// names as corruption.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct FleetSnapshot {
+    pub retired: u64,
+    pub complete: u64,
+    pub forced: u64,
+    pub outcomes: Vec<(String, u64)>,
+    pub retried_apps: u64,
+    pub wasted_ms_total: u64,
+    pub unused_containers: u64,
+    pub events_total: u64,
+    /// One serialized [`QuantileSketch`] per [`APP_COMPONENTS`] entry.
+    pub app_sketches: Vec<Vec<u8>>,
+    /// One serialized [`QuantileSketch`] per [`CONTAINER_COMPONENTS`]
+    /// entry.
+    pub container_sketches: Vec<Vec<u8>>,
+    /// Critical-path blame: `(component, count, sum_ms, sum_pct)`.
+    pub blame: Vec<(String, u64, u64, f64)>,
+}
+
+/// Look an outcome label up in the static [`AppOutcome`] table, so a
+/// deserialized key regains its `&'static str` identity.
+fn intern_outcome(label: &str) -> Option<&'static str> {
+    [
+        AppOutcome::Completed,
+        AppOutcome::Failed,
+        AppOutcome::Killed,
+        AppOutcome::Truncated,
+    ]
+    .iter()
+    .map(|o| o.label())
+    .find(|l| *l == label)
+}
+
+/// Look a blame key up in the static segment-component table.
+fn intern_component(name: &str) -> Option<&'static str> {
+    SEGMENT_COMPONENTS.iter().copied().find(|c| *c == name)
 }
 
 /// The incremental ingest → extract → analyze pipeline. See the module
@@ -479,6 +552,152 @@ impl IncrementalAnalyzer {
         &self.exemplars
     }
 
+    /// Capture the full pipeline state for a checkpoint.
+    pub(crate) fn snapshot(&self) -> AnalyzerSnapshot {
+        let f = &self.fleet;
+        AnalyzerSnapshot {
+            cursors: self
+                .cursors
+                .iter()
+                .map(|(src, cur)| (*src, cur.seen_first()))
+                .collect(),
+            coverage: self.cov.iter().collect(),
+            unmatched_examples: SourceKind::ALL
+                .iter()
+                .filter_map(|k| self.cov.unmatched_example(*k).map(|m| (*k, m.to_string())))
+                .collect(),
+            apps: self
+                .apps
+                .iter()
+                .map(|(app, state)| (*app, state.events.clone()))
+                .collect(),
+            names: self
+                .names
+                .iter()
+                .map(|(app, name)| (*app, name.clone()))
+                .collect(),
+            retired_ids: self.retired_ids.iter().copied().collect(),
+            late_events: self.late_events,
+            watermark: self.watermark,
+            fleet: FleetSnapshot {
+                retired: f.retired,
+                complete: f.complete,
+                forced: f.forced,
+                outcomes: f
+                    .outcomes
+                    .iter()
+                    .map(|(label, n)| (label.to_string(), *n))
+                    .collect(),
+                retried_apps: f.retried_apps,
+                wasted_ms_total: f.wasted_ms_total,
+                unused_containers: f.unused_containers,
+                events_total: f.events_total,
+                app_sketches: f.app_sketches.iter().map(|s| s.to_bytes()).collect(),
+                container_sketches: f.container_sketches.iter().map(|s| s.to_bytes()).collect(),
+                blame: f
+                    .blame
+                    .iter()
+                    .map(|(c, (n, ms, pct))| (c.to_string(), *n, *ms, *pct))
+                    .collect(),
+            },
+            exemplars: self.exemplars.snapshot(),
+        }
+    }
+
+    /// Rebuild a pipeline from a checkpointed snapshot under `cfg` (the
+    /// snapshot must have been taken under an equivalent configuration —
+    /// the checkpoint layer fingerprints that). Derived per-app state
+    /// (terminal/last-event timestamps) is recomputed by replaying the
+    /// same max-folds ingest performs; unknown outcome or blame names
+    /// are rejected so `&'static str` interning cannot be forged by a
+    /// corrupt checkpoint.
+    pub(crate) fn from_snapshot(
+        cfg: IncrementalConfig,
+        snap: AnalyzerSnapshot,
+    ) -> Result<IncrementalAnalyzer, String> {
+        let mut cursors = BTreeMap::new();
+        for (src, seen_first) in snap.cursors {
+            cursors.insert(src, StreamCursor::resume(src, seen_first));
+        }
+        let mut cov = ParseCoverage::default();
+        for (kind, counts) in snap.coverage {
+            cov.record(kind, counts);
+        }
+        for (kind, msg) in snap.unmatched_examples {
+            cov.note_unmatched_example(kind, msg);
+        }
+        let mut apps = BTreeMap::new();
+        for (app, events) in snap.apps {
+            let mut state = AppState::default();
+            for ev in &events {
+                if matches!(
+                    ev.kind,
+                    EventKind::AppUnregistered
+                        | EventKind::AppFinished
+                        | EventKind::AppFailed
+                        | EventKind::AppKilled
+                ) {
+                    state.terminal_ts = Some(state.terminal_ts.map_or(ev.ts, |t| t.max(ev.ts)));
+                }
+                state.last_event_ts = Some(state.last_event_ts.map_or(ev.ts, |t| t.max(ev.ts)));
+            }
+            state.events = events;
+            apps.insert(app, state);
+        }
+        let fs = snap.fleet;
+        let mut fleet = FleetAgg::new();
+        fleet.retired = fs.retired;
+        fleet.complete = fs.complete;
+        fleet.forced = fs.forced;
+        for (label, n) in fs.outcomes {
+            let interned =
+                intern_outcome(&label).ok_or_else(|| format!("unknown outcome label {label:?}"))?;
+            fleet.outcomes.insert(interned, n);
+        }
+        fleet.retried_apps = fs.retried_apps;
+        fleet.wasted_ms_total = fs.wasted_ms_total;
+        fleet.unused_containers = fs.unused_containers;
+        fleet.events_total = fs.events_total;
+        if fs.app_sketches.len() != fleet.app_sketches.len()
+            || fs.container_sketches.len() != fleet.container_sketches.len()
+        {
+            return Err(format!(
+                "snapshot has {}/{} sketches, expected {}/{}",
+                fs.app_sketches.len(),
+                fs.container_sketches.len(),
+                fleet.app_sketches.len(),
+                fleet.container_sketches.len()
+            ));
+        }
+        for (i, bytes) in fs.app_sketches.iter().enumerate() {
+            fleet.app_sketches[i] = QuantileSketch::from_bytes(bytes).map_err(|e| e.to_string())?;
+        }
+        for (i, bytes) in fs.container_sketches.iter().enumerate() {
+            fleet.container_sketches[i] =
+                QuantileSketch::from_bytes(bytes).map_err(|e| e.to_string())?;
+        }
+        for (component, n, ms, pct) in fs.blame {
+            let interned = intern_component(&component)
+                .ok_or_else(|| format!("unknown blame component {component:?}"))?;
+            fleet.blame.insert(interned, (n, ms, pct));
+        }
+        let exemplars = TailExemplars::from_snapshot(cfg.exemplar_slots, snap.exemplars)?;
+        Ok(IncrementalAnalyzer {
+            ex: Extractor::new(),
+            spark_name: Pat::new_static(crate::schema::SPARK_APP_NAME_TEMPLATE),
+            cfg,
+            cursors,
+            cov,
+            apps,
+            names: snap.names.into_iter().collect(),
+            retired_ids: snap.retired_ids.into_iter().collect(),
+            late_events: snap.late_events,
+            watermark: snap.watermark,
+            fleet,
+            exemplars,
+        })
+    }
+
     /// The current fleet snapshot as one JSON document (schema
     /// `sdcheckerd-report-v1`). Mirrors the batch report's `fleet` and
     /// `coverage` sections — same component names, same sketch summary
@@ -584,7 +803,7 @@ impl IncrementalAnalyzer {
                     out,
                     "\n  \"tail\": {{\"sources\": {}, \"lag_bytes\": {}, \"lag_ms\": {}, \
                      \"polls\": {}, \"read_bytes\": {}, \"parsed_lines\": {}, \
-                     \"skipped_lines\": {}, \"resets\": {}}}",
+                     \"skipped_lines\": {}, \"resets\": {}, \"removed_files\": {}}}",
                     lag.sources,
                     lag.bytes,
                     lag.max_ms,
@@ -593,6 +812,7 @@ impl IncrementalAnalyzer {
                     stats.parsed_lines,
                     stats.skipped_lines,
                     stats.resets,
+                    stats.removed_files,
                 );
             }
             None => out.push_str("\n  \"tail\": null"),

@@ -45,6 +45,7 @@ pub mod alerts;
 pub mod analyze;
 pub mod apptrace;
 pub mod bugs;
+pub mod checkpoint;
 pub mod critical;
 pub mod decompose;
 pub mod event;
@@ -70,6 +71,10 @@ pub use analyze::{
 };
 pub use apptrace::{app_trace_into, corpus_app_trace};
 pub use bugs::{find_unused_containers, UnusedContainer};
+pub use checkpoint::{
+    load as load_checkpoint, save as save_checkpoint, CfgFingerprint, CheckpointStore, CkptError,
+    Restored, SaveInputs, CHECKPOINT_SCHEMA,
+};
 pub use critical::{critical_path, CriticalPath, CriticalSegment};
 pub use decompose::{decompose, AppDelays, AppOutcome, ContainerDelays};
 pub use event::{EventKind, SchedEvent};

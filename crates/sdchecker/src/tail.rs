@@ -49,6 +49,8 @@ pub struct TailStats {
     pub skipped_lines: u64,
     /// Files that shrank and were reset to offset 0.
     pub resets: u64,
+    /// Tracked files that vanished from disk and were dropped.
+    pub removed_files: u64,
 }
 
 /// Live lag of the tail against the directory, sampled at call time.
@@ -73,6 +75,34 @@ pub struct SourceLag {
     pub bytes: u64,
     /// Log-time lag behind the global watermark, in ms.
     pub ms: u64,
+}
+
+/// Plain serializable image of a [`DirTailer`], for checkpointing. Holds
+/// everything the tailer cannot rediscover from the directory itself:
+/// how far each file has been consumed and what partial line is pending.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct TailSnapshot {
+    /// Resolved epoch, if any (`None` when `epoch.txt` never appeared).
+    pub epoch_unix_ms: Option<u64>,
+    /// Newest record timestamp seen.
+    pub watermark: Option<TsMs>,
+    /// Cumulative statistics.
+    pub stats: TailStats,
+    /// Per-file read state, in sorted relative-path order.
+    pub files: Vec<FileSnapshot>,
+}
+
+/// One file's entry in a [`TailSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct FileSnapshot {
+    /// Relative path under the watch directory.
+    pub rel: String,
+    /// Bytes consumed so far.
+    pub offset: u64,
+    /// Held-back partial-line bytes.
+    pub partial: Vec<u8>,
+    /// Timestamp of the last record this file produced.
+    pub last_ts: Option<TsMs>,
 }
 
 /// Per-file tail state.
@@ -146,11 +176,23 @@ impl DirTailer {
         self.discover()?;
         let epoch = self.epoch();
         let mut out = Vec::new();
-        for tail in self.files.values_mut() {
-            // A vanished file keeps its state; it may reappear (rotation
-            // shuffles) and partial evidence is better than a hard stop.
-            let Ok(meta) = fs::metadata(&tail.path) else {
-                continue;
+        let mut removed: Vec<String> = Vec::new();
+        for (rel, tail) in self.files.iter_mut() {
+            let meta = match fs::metadata(&tail.path) {
+                Ok(meta) => meta,
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                    // The file is gone. Holding its stale offset forever
+                    // would poison a future file at the same path (its
+                    // fresh bytes would read as a shrink-reset at best);
+                    // drop the entry — rescan re-adopts the path from
+                    // offset 0 if it ever reappears. Any held-back
+                    // partial line vanished with the file.
+                    removed.push(rel.clone());
+                    continue;
+                }
+                // Transient stat errors (permissions flapping) keep the
+                // state; partial evidence beats a hard stop.
+                Err(_) => continue,
             };
             let len = meta.len();
             if len < tail.offset {
@@ -171,6 +213,11 @@ impl DirTailer {
             tail.partial.extend_from_slice(&fresh);
             drain_complete_lines(&epoch, tail, &mut self.stats, &mut self.watermark, &mut out);
         }
+        for rel in removed {
+            self.files.remove(&rel);
+            self.stats.removed_files += 1;
+        }
+        self.stats.files = self.files.len() as u64;
         Ok(out)
     }
 
@@ -224,6 +271,60 @@ impl DirTailer {
                 }
             })
             .collect()
+    }
+
+    /// Capture the full tail state for a checkpoint.
+    pub(crate) fn snapshot(&self) -> TailSnapshot {
+        TailSnapshot {
+            epoch_unix_ms: self.epoch.map(|e| e.unix_ms),
+            watermark: self.watermark,
+            stats: self.stats,
+            files: self
+                .files
+                .iter()
+                .map(|(rel, tail)| FileSnapshot {
+                    rel: rel.clone(),
+                    offset: tail.offset,
+                    partial: tail.partial.clone(),
+                    last_ts: tail.last_ts,
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuild a tailer over `dir` from a checkpointed snapshot. The
+    /// next poll reads only bytes past the restored offsets. Errors (a
+    /// missing directory, a relative path no [`LogSource`] claims) are
+    /// reported as strings so checkpoint recovery can fall back to a
+    /// cold start instead of crashing.
+    pub(crate) fn from_snapshot(dir: &Path, snap: TailSnapshot) -> Result<DirTailer, String> {
+        if !dir.is_dir() {
+            return Err(format!("watch directory {} does not exist", dir.display()));
+        }
+        let mut files = BTreeMap::new();
+        for f in snap.files {
+            let Some(source) = LogSource::from_rel_path(&f.rel) else {
+                return Err(format!("snapshot names unrecognized source {:?}", f.rel));
+            };
+            let path = dir.join(&f.rel);
+            files.insert(
+                f.rel,
+                FileTail {
+                    source,
+                    path,
+                    offset: f.offset,
+                    partial: f.partial,
+                    last_ts: f.last_ts,
+                },
+            );
+        }
+        Ok(DirTailer {
+            dir: dir.to_path_buf(),
+            epoch: snap.epoch_unix_ms.map(|unix_ms| Epoch { unix_ms }),
+            files,
+            stats: snap.stats,
+            watermark: snap.watermark,
+        })
     }
 
     /// Load `epoch.txt` once it exists (the simulator writes it before
@@ -472,6 +573,88 @@ mod tests {
         assert_eq!(recs.len(), 1);
         assert_eq!(recs[0].1.message, "done");
         assert!(t.flush_partial().is_empty(), "flush is idempotent");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn deleted_file_is_dropped_and_counted() {
+        let dir = tmp("deleted");
+        let _ = fs::remove_dir_all(&dir);
+        write_epoch(&dir);
+        let rm = dir.join("resourcemanager.log");
+        let nm = dir.join("nodemanager-node01.log");
+        fs::write(&rm, "2018-03-14 09:00:00,100 INFO  X: rm\n").unwrap();
+        fs::write(&nm, "2018-03-14 09:00:00,200 INFO  Y: nm\n").unwrap();
+        let mut t = DirTailer::new(&dir).unwrap();
+        assert_eq!(t.poll().unwrap().len(), 2);
+        assert_eq!(t.stats().files, 2);
+
+        // Delete one file mid-stream: the entry goes away, the metric
+        // counts it, and the survivor keeps streaming.
+        fs::remove_file(&nm).unwrap();
+        assert!(t.poll().unwrap().is_empty());
+        assert_eq!(t.stats().removed_files, 1);
+        assert_eq!(t.stats().files, 1);
+        assert_eq!(t.source_lags().len(), 1);
+
+        let mut f = fs::OpenOptions::new().append(true).open(&rm).unwrap();
+        f.write_all(b"2018-03-14 09:00:00,300 INFO  X: more\n")
+            .unwrap();
+        f.flush().unwrap();
+        let recs = t.poll().unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].1.message, "more");
+
+        // A file reborn at the deleted path is re-adopted from zero.
+        fs::write(&nm, "2018-03-14 09:00:00,400 INFO  Y: back\n").unwrap();
+        let recs = t.poll().unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].1.message, "back");
+        assert_eq!(t.stats().files, 2);
+        assert_eq!(t.stats().resets, 0, "re-adoption is not a shrink reset");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_round_trip_resumes_mid_line() {
+        let dir = tmp("snapshot");
+        let _ = fs::remove_dir_all(&dir);
+        write_epoch(&dir);
+        let rm = dir.join("resourcemanager.log");
+        fs::write(
+            &rm,
+            "2018-03-14 09:00:00,100 INFO  X: one\n2018-03-14 09:00:00,200 INFO  X: tw",
+        )
+        .unwrap();
+        let mut t = DirTailer::new(&dir).unwrap();
+        assert_eq!(t.poll().unwrap().len(), 1);
+
+        let snap = t.snapshot();
+        assert_eq!(snap.files.len(), 1);
+        assert!(!snap.files[0].partial.is_empty(), "mid-line state captured");
+        let mut restored = DirTailer::from_snapshot(&dir, snap.clone()).unwrap();
+        assert_eq!(restored.snapshot(), snap, "round-trip is lossless");
+        assert_eq!(restored.watermark(), t.watermark());
+        assert_eq!(restored.stats(), t.stats());
+
+        // The restored tailer completes the held-back line exactly once.
+        let mut f = fs::OpenOptions::new().append(true).open(&rm).unwrap();
+        f.write_all(b"o\n").unwrap();
+        f.flush().unwrap();
+        let recs = restored.poll().unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].1.message, "two");
+        assert_eq!(restored.stats().parsed_lines, 2);
+
+        // A snapshot naming an unknown source degrades to an error.
+        let mut bad = restored.snapshot();
+        bad.files.push(FileSnapshot {
+            rel: "what/is/this.bin".into(),
+            offset: 3,
+            partial: Vec::new(),
+            last_ts: None,
+        });
+        assert!(DirTailer::from_snapshot(&dir, bad).is_err());
         fs::remove_dir_all(&dir).unwrap();
     }
 
