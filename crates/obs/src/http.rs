@@ -173,7 +173,15 @@ where
         }
     };
     let response = match parse_request(&head) {
-        Some(req) if req.method == "GET" || req.method == "HEAD" => handler(&req),
+        Some(req) if req.method == "GET" || req.method == "HEAD" => {
+            // A panicking handler (a bug on one render path, a poisoned
+            // invariant) must cost one response, not the serving thread:
+            // catch it and degrade to 503 so the scrape surface and every
+            // other endpoint stay up.
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handler(&req))).unwrap_or_else(
+                |_| Response::text(503, "handler panicked; endpoint temporarily unavailable\n"),
+            )
+        }
         Some(_) => Response::text(405, "method not allowed\n"),
         None => Response::text(400, "bad request\n"),
     };
@@ -365,6 +373,40 @@ mod tests {
             out.starts_with("HTTP/1.1 431 Request Header Fields Too Large\r\n"),
             "{out}"
         );
+
+        stop.store(true, Ordering::SeqCst);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn panicking_handler_degrades_to_503_and_keeps_serving() {
+        let server = HttpServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            server
+                .serve(&stop2, |req| match req.path.as_str() {
+                    "/boom" => panic!("render path bug"),
+                    _ => Response::json("{}"),
+                })
+                .unwrap();
+        });
+
+        // Silence the default panic hook's backtrace spam for the
+        // deliberate panic below; restore it afterwards.
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let got = roundtrip(addr, "GET /boom HTTP/1.1\r\n\r\n");
+        std::panic::set_hook(prev_hook);
+        assert!(
+            got.starts_with("HTTP/1.1 503 Service Unavailable\r\n"),
+            "{got}"
+        );
+
+        // The serving thread survived: the next request still works.
+        let got = roundtrip(addr, "GET /metrics HTTP/1.1\r\n\r\n");
+        assert!(got.starts_with("HTTP/1.1 200 OK\r\n"), "{got}");
 
         stop.store(true, Ordering::SeqCst);
         handle.join().unwrap();

@@ -110,7 +110,7 @@ impl Recorder {
     /// Turn recording on. The first enable anchors the trace clock; span
     /// timestamps are offsets from this instant.
     pub fn enable(&self) {
-        let mut anchor = self.anchor.lock().unwrap();
+        let mut anchor = self.anchor.lock().unwrap_or_else(|e| e.into_inner());
         if anchor.is_none() {
             *anchor = Some(Instant::now());
         }
@@ -132,9 +132,9 @@ impl Recorder {
     /// Drop all recorded data and re-anchor the trace clock.
     pub fn reset(&self) {
         for shard in &self.shards {
-            *shard.state.lock().unwrap() = ShardState::default();
+            *shard.state.lock().unwrap_or_else(|e| e.into_inner()) = ShardState::default();
         }
-        *self.anchor.lock().unwrap() = Some(Instant::now());
+        *self.anchor.lock().unwrap_or_else(|e| e.into_inner()) = Some(Instant::now());
     }
 
     /// The logical thread id of the calling thread, registering it (and
@@ -154,7 +154,7 @@ impl Recorder {
         self.shard(tid)
             .state
             .lock()
-            .unwrap()
+            .unwrap_or_else(|e| e.into_inner())
             .threads
             .push((tid, name));
         THREAD_TID.with(|c| c.set(Some((me, tid))));
@@ -167,7 +167,7 @@ impl Recorder {
 
     /// Microseconds since the enable-time anchor.
     fn offset_us(&self, at: Instant) -> u64 {
-        let anchor = self.anchor.lock().unwrap();
+        let anchor = self.anchor.lock().unwrap_or_else(|e| e.into_inner());
         match *anchor {
             Some(a) => at.saturating_duration_since(a).as_micros() as u64,
             None => 0,
@@ -212,7 +212,11 @@ impl Recorder {
 
     fn count_key(&self, key: MetricKey, n: u64) {
         let tid = self.tid();
-        let mut st = self.shard(tid).state.lock().unwrap();
+        let mut st = self
+            .shard(tid)
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
         *st.counters.entry(key).or_insert(0) += n;
     }
 
@@ -222,7 +226,11 @@ impl Recorder {
             return;
         }
         let tid = self.tid();
-        let mut st = self.shard(tid).state.lock().unwrap();
+        let mut st = self
+            .shard(tid)
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
         let slot = st.gauges_max.entry(MetricKey::plain(name)).or_insert(v);
         if v > *slot {
             *slot = v;
@@ -235,9 +243,16 @@ impl Recorder {
         if !self.is_enabled() {
             return;
         }
-        let stamp = self.stamp.fetch_add(1, Ordering::Relaxed);
+        // AcqRel: the stamp decides which concurrent set "wins" at merge
+        // time, so stamp order must be consistent with happens-before —
+        // a set that observably follows another must get a larger stamp.
+        let stamp = self.stamp.fetch_add(1, Ordering::AcqRel);
         let tid = self.tid();
-        let mut st = self.shard(tid).state.lock().unwrap();
+        let mut st = self
+            .shard(tid)
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
         st.gauges_set.insert(MetricKey::plain(name), (stamp, v));
     }
 
@@ -248,7 +263,11 @@ impl Recorder {
             return;
         }
         let tid = self.tid();
-        let mut st = self.shard(tid).state.lock().unwrap();
+        let mut st = self
+            .shard(tid)
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
         st.histograms
             .entry(MetricKey::plain(name))
             .or_insert_with(|| Histogram::new(bounds))
@@ -280,7 +299,11 @@ impl Recorder {
 
     fn sketch_key(&self, key: MetricKey, v: u64) {
         let tid = self.tid();
-        let mut st = self.shard(tid).state.lock().unwrap();
+        let mut st = self
+            .shard(tid)
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
         st.sketches.entry(key).or_default().observe(v);
     }
 
@@ -292,7 +315,7 @@ impl Recorder {
         let mut gauges_set: std::collections::BTreeMap<MetricKey, (u64, f64)> =
             std::collections::BTreeMap::new();
         for shard in &self.shards {
-            let st = shard.state.lock().unwrap();
+            let st = shard.state.lock().unwrap_or_else(|e| e.into_inner());
             for (k, v) in &st.counters {
                 *snap.counters.entry(k.clone()).or_insert(0) += v;
             }
@@ -383,7 +406,12 @@ impl Drop for SpanGuard<'_> {
             dur_us,
             args: inner.args,
         };
-        let mut st = inner.rec.shard(inner.tid).state.lock().unwrap();
+        let mut st = inner
+            .rec
+            .shard(inner.tid)
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
         st.spans.push(rec);
     }
 }

@@ -6,7 +6,7 @@ use logmodel::{ApplicationId, ContainerId, LogSource, NodeId, TsMs};
 
 /// The identified scheduling-event kinds. Numbers in the doc comments are
 /// the paper's Table-I log-message numbers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum EventKind {
     /// 1 — `RMAppImpl` reached SUBMITTED: the app registered with the RM.
     /// The start of the total scheduling delay.

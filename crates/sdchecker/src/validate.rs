@@ -145,7 +145,12 @@ fn check_duplicates(
     retried: bool,
     out: &mut Vec<Anomaly>,
 ) {
-    let mut counts: std::collections::HashMap<EventKind, usize> = std::collections::HashMap::new();
+    // BTreeMap: anomalies feed the report writer, so iteration order
+    // must be deterministic (the sdlint determinism lint denies hash
+    // maps on this path). The explicit Debug-name sort below is kept so
+    // the emitted order stays what the goldens were built against.
+    let mut counts: std::collections::BTreeMap<EventKind, usize> =
+        std::collections::BTreeMap::new();
     for (k, _) in events {
         *counts.entry(*k).or_default() += 1;
     }

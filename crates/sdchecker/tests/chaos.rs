@@ -233,8 +233,13 @@ fn kill_and_restart(
     match corruption {
         Corruption::None => {}
         Corruption::Torn => {
-            let bytes = fs::read(&current).unwrap();
-            fs::write(&current, &bytes[..bytes.len() * 3 / 5]).unwrap();
+            // The SIGKILL may itself have landed between the two renames
+            // of the write protocol, leaving no current generation at all
+            // — that is the same fall-back-to-previous scenario this
+            // branch seeds, so only truncate when the file exists.
+            if let Ok(bytes) = fs::read(&current) {
+                fs::write(&current, &bytes[..bytes.len() * 3 / 5]).unwrap();
+            }
         }
         Corruption::Garbage => {
             fs::write(&current, b"not a checkpoint at all\n").unwrap();

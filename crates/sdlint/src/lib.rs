@@ -23,14 +23,35 @@
 //!   `panic!` in library code outside tests and `debug_assert`-gated
 //!   paths, with an explicit burn-down allowlist.
 //!
+//! PR 10 added a concurrency-correctness suite on the same ratchet
+//! idiom (shared scanning plumbing in [`scan`]):
+//!
+//! * [`locks`] — reifies every `Mutex`/`RwLock`/`Condvar` into a
+//!   declarative table, cross-checks it both ways against the source,
+//!   builds the static acquired-while-held graph (cycle = deadlock),
+//!   flags locks held across I/O or `.join()`, and ratchets
+//!   `lock().unwrap()` poisoning sites.
+//! * [`atomics`] — every `Ordering::Relaxed` must carry a
+//!   justification in a two-way allowlist.
+//! * [`determinism`] — denies `HashMap`/`HashSet` on output-feeding
+//!   dataflow paths (byte-identical goldens by analysis, not luck).
+//! * [`interleave`] — exhaustive bounded model check of the three real
+//!   concurrent protocols (sharded registry snapshot, par merge
+//!   handoff, daemon shutdown-drain square) under every interleaving.
+//!
 //! Run it as `cargo run -p sdlint` (CI gate), or via the test suite
 //! (`cargo test -p sdlint`), which additionally mutation-tests the
 //! checkers themselves.
 
+pub mod atomics;
 pub mod conformance;
+pub mod determinism;
+pub mod interleave;
+pub mod locks;
 pub mod machines;
 pub mod modelcheck;
 pub mod panics;
+pub mod scan;
 
 /// One verification failure. `sdlint` reports findings; it never panics
 /// (it has to pass its own audit).
@@ -69,19 +90,73 @@ pub fn all_emitted_templates() -> Vec<logmodel::schema::MsgTemplate> {
     out
 }
 
+/// Wall-clock and outcome for one checker, surfaced by the CLI so CI
+/// logs show where lint time goes.
+#[derive(Debug, Clone)]
+pub struct CheckerTiming {
+    pub name: &'static str,
+    pub millis: u128,
+    pub findings: usize,
+}
+
+/// Everything one full lint run produced: findings, per-checker
+/// timings, and the interleaving explorer's state counts.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    pub findings: Vec<Finding>,
+    pub timings: Vec<CheckerTiming>,
+    pub interleave: Vec<interleave::Stats>,
+}
+
 /// Run every checker against the real tables and the repository rooted
-/// at `repo_root` (the panic audit reads sources from disk; the other
-/// checkers are pure).
+/// at `repo_root` (the source audits read from disk; the table and
+/// model checkers are pure), recording per-checker runtime and the
+/// interleaving state counts.
+pub fn run_all_with_stats(repo_root: &std::path::Path) -> RunReport {
+    let mut report = RunReport {
+        findings: Vec::new(),
+        timings: Vec::new(),
+        interleave: Vec::new(),
+    };
+    let timed =
+        |name: &'static str, report: &mut RunReport, f: &mut dyn FnMut() -> Vec<Finding>| {
+            let start = std::time::Instant::now();
+            let findings = f();
+            report.timings.push(CheckerTiming {
+                name,
+                millis: start.elapsed().as_millis(),
+                findings: findings.len(),
+            });
+            report.findings.extend(findings);
+        };
+    timed("conformance", &mut report, &mut || {
+        conformance::check(&all_emitted_templates(), sdchecker::schema::patterns())
+    });
+    timed("machines", &mut report, &mut || {
+        machines::check(&yarnsim::schema::machines())
+    });
+    timed("modelcheck", &mut report, &mut modelcheck::check);
+    timed("panics", &mut report, &mut || panics::check(repo_root));
+    timed("locks", &mut report, &mut || locks::check(repo_root));
+    timed("atomics", &mut report, &mut || atomics::check(repo_root));
+    timed("determinism", &mut report, &mut || {
+        determinism::check(repo_root)
+    });
+    let start = std::time::Instant::now();
+    let (findings, stats) = interleave::check_with_stats();
+    report.timings.push(CheckerTiming {
+        name: "interleave",
+        millis: start.elapsed().as_millis(),
+        findings: findings.len(),
+    });
+    report.findings.extend(findings);
+    report.interleave = stats;
+    report
+}
+
+/// Findings-only wrapper around [`run_all_with_stats`].
 pub fn run_all(repo_root: &std::path::Path) -> Vec<Finding> {
-    let mut findings = Vec::new();
-    findings.extend(conformance::check(
-        &all_emitted_templates(),
-        sdchecker::schema::patterns(),
-    ));
-    findings.extend(machines::check(&yarnsim::schema::machines()));
-    findings.extend(modelcheck::check());
-    findings.extend(panics::check(repo_root));
-    findings
+    run_all_with_stats(repo_root).findings
 }
 
 /// The repository root when running from a workspace checkout

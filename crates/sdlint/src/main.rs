@@ -1,14 +1,41 @@
-//! CLI entry point: run every checker and exit nonzero on any finding.
+//! CLI entry point: run every checker, print per-checker runtime and
+//! the interleaving explorer's state counts (so CI logs show where
+//! lint time goes and whether a model edit exploded the state space),
+//! and exit nonzero on any finding.
 
 fn main() {
     let root = sdlint::default_repo_root();
-    let findings = sdlint::run_all(&root);
-    if findings.is_empty() {
-        println!("sdlint: all checks passed (conformance, machines, modelcheck, panics)");
+    let report = sdlint::run_all_with_stats(&root);
+    for t in &report.timings {
+        println!(
+            "sdlint: {:<12} {:>5} ms  {} finding(s)",
+            t.name, t.millis, t.findings
+        );
+    }
+    for s in &report.interleave {
+        println!(
+            "sdlint: interleave model {:<22} {} states, {} transitions, \
+             {} terminal(s){}",
+            s.model,
+            s.states,
+            s.transitions,
+            s.terminals,
+            if s.capped {
+                "  [CAPPED — not exhaustive]"
+            } else {
+                ""
+            },
+        );
+    }
+    if report.findings.is_empty() {
+        println!(
+            "sdlint: all checks passed (conformance, machines, modelcheck, \
+             panics, locks, atomics, determinism, interleave)"
+        );
         return;
     }
-    eprintln!("sdlint: {} finding(s)", findings.len());
-    for f in &findings {
+    eprintln!("sdlint: {} finding(s)", report.findings.len());
+    for f in &report.findings {
         eprintln!("  {f}");
     }
     std::process::exit(1);

@@ -18,6 +18,7 @@
 use std::collections::BTreeMap;
 use std::path::Path;
 
+use crate::scan;
 use crate::Finding;
 
 const CHECKER: &str = "panics";
@@ -36,61 +37,6 @@ fn needles() -> Vec<String> {
     ]
 }
 
-/// Strip `#[cfg(test)] mod ... { ... }` blocks from `source` by brace
-/// matching, and collect the names of `#[cfg(test)] mod name;` file
-/// references so the caller can skip those files.
-fn strip_test_blocks(source: &str) -> (String, Vec<String>) {
-    let mut out = String::with_capacity(source.len());
-    let mut test_mod_files = Vec::new();
-    let mut lines = source.lines().peekable();
-    while let Some(line) = lines.next() {
-        if line.trim_start().starts_with("#[cfg(test)]") {
-            // The attribute may gate a `mod x;` (external file), a
-            // `mod x { ... }` block, or a single item; consume
-            // accordingly.
-            let Some(next) = lines.peek() else { break };
-            let trimmed = next.trim_start();
-            if trimmed.starts_with("mod ") && trimmed.trim_end().ends_with(';') {
-                let name = trimmed
-                    .trim_end()
-                    .trim_end_matches(';')
-                    .trim_start_matches("mod ")
-                    .trim();
-                test_mod_files.push(format!("{name}.rs"));
-                lines.next();
-                continue;
-            }
-            // Block or item: swallow lines until braces balance. Depth
-            // only starts counting once the first `{` appears, so a
-            // one-line gated item without braces is consumed as-is.
-            let mut depth: i64 = 0;
-            let mut opened = false;
-            for body in lines.by_ref() {
-                for ch in body.chars() {
-                    match ch {
-                        '{' => {
-                            depth += 1;
-                            opened = true;
-                        }
-                        '}' => depth -= 1,
-                        _ => {}
-                    }
-                }
-                if opened && depth <= 0 {
-                    break;
-                }
-                if !opened {
-                    break;
-                }
-            }
-            continue;
-        }
-        out.push_str(line);
-        out.push('\n');
-    }
-    (out, test_mod_files)
-}
-
 /// Count denied sites in one file's (already test-stripped) source.
 fn count_sites(source: &str, needles: &[String]) -> usize {
     let mut count = 0;
@@ -104,27 +50,6 @@ fn count_sites(source: &str, needles: &[String]) -> usize {
         }
     }
     count
-}
-
-/// Recursively collect library `.rs` files under `dir`, skipping `bin/`
-/// directories, `main.rs`, and any file named in a `#[cfg(test)] mod`
-/// reference discovered so far (second pass filters those).
-fn collect_rs_files(dir: &Path, out: &mut Vec<std::path::PathBuf>) -> std::io::Result<()> {
-    for entry in std::fs::read_dir(dir)? {
-        let entry = entry?;
-        let path = entry.path();
-        let name = entry.file_name();
-        let name = name.to_string_lossy();
-        if path.is_dir() {
-            if name == "bin" {
-                continue;
-            }
-            collect_rs_files(&path, out)?;
-        } else if name.ends_with(".rs") && name != "main.rs" {
-            out.push(path);
-        }
-    }
-    Ok(())
 }
 
 /// Parse `allowlist.txt`: `<repo-relative path> <count>` per line, `#`
@@ -174,71 +99,20 @@ pub fn check(repo_root: &Path) -> Vec<Finding> {
         }
     };
 
-    let crates_dir = repo_root.join("crates");
-    let mut crate_dirs: Vec<_> = match std::fs::read_dir(&crates_dir) {
-        Ok(rd) => rd
-            .filter_map(|e| e.ok())
-            .map(|e| e.path())
-            .filter(|p| p.is_dir())
-            .collect(),
+    // Library sources only: binaries may die loudly (exit-2 hygiene is
+    // their own test), so `bin/` and `main.rs` are exempt.
+    let sources = match scan::workspace_sources(repo_root, false) {
+        Ok(s) => s,
         Err(e) => {
-            findings.push(Finding::new(
-                CHECKER,
-                format!("cannot read {}: {e}", crates_dir.display()),
-            ));
+            findings.push(Finding::new(CHECKER, e));
             return findings;
         }
     };
-    crate_dirs.sort();
-
     let mut counts: BTreeMap<String, usize> = BTreeMap::new();
-    for crate_dir in &crate_dirs {
-        let src = crate_dir.join("src");
-        if !src.is_dir() {
-            continue;
-        }
-        let mut files = Vec::new();
-        if let Err(e) = collect_rs_files(&src, &mut files) {
-            findings.push(Finding::new(
-                CHECKER,
-                format!("cannot walk {}: {e}", src.display()),
-            ));
-            continue;
-        }
-        files.sort();
-        // First pass: find files that are test-only (`#[cfg(test)] mod x;`).
-        let mut stripped: Vec<(std::path::PathBuf, String)> = Vec::new();
-        let mut test_files: Vec<String> = Vec::new();
-        for f in &files {
-            match std::fs::read_to_string(f) {
-                Ok(text) => {
-                    let (body, mods) = strip_test_blocks(&text);
-                    test_files.extend(mods);
-                    stripped.push((f.clone(), body));
-                }
-                Err(e) => findings.push(Finding::new(
-                    CHECKER,
-                    format!("cannot read {}: {e}", f.display()),
-                )),
-            }
-        }
-        for (f, body) in stripped {
-            let fname = f
-                .file_name()
-                .map(|n| n.to_string_lossy().into_owned())
-                .unwrap_or_default();
-            if test_files.contains(&fname) {
-                continue;
-            }
-            let n = count_sites(&body, &needles);
-            if n > 0 {
-                let rel = f
-                    .strip_prefix(repo_root)
-                    .unwrap_or(&f)
-                    .to_string_lossy()
-                    .replace('\\', "/");
-                *counts.entry(rel).or_default() += n;
-            }
+    for sf in &sources {
+        let n = count_sites(&sf.body, &needles);
+        if n > 0 {
+            *counts.entry(sf.rel.clone()).or_default() += n;
         }
     }
 
@@ -294,7 +168,7 @@ mod tests {
     fn test_blocks_are_stripped() {
         let src =
             "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() { x.unwrap(); }\n}\nfn c() {}\n";
-        let (body, mods) = strip_test_blocks(src);
+        let (body, mods) = scan::strip_test_blocks(src);
         assert!(mods.is_empty());
         assert!(body.contains("fn a()"));
         assert!(body.contains("fn c()"));
@@ -304,7 +178,7 @@ mod tests {
     #[test]
     fn test_mod_file_refs_are_collected() {
         let src = "mod real;\n#[cfg(test)]\nmod tests_protocol;\n";
-        let (_, mods) = strip_test_blocks(src);
+        let (_, mods) = scan::strip_test_blocks(src);
         assert_eq!(mods, vec!["tests_protocol.rs".to_string()]);
     }
 

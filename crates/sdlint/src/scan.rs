@@ -1,0 +1,253 @@
+//! Shared source-scanning plumbing for the text-based checkers.
+//!
+//! The panic, lock, atomics, and determinism audits all walk the same
+//! workspace sources with the same conventions: `#[cfg(test)] mod`
+//! blocks are stripped by brace matching, files pulled in via
+//! `#[cfg(test)] mod name;` are skipped entirely, and comment-only
+//! lines are ignored. This module centralizes that walk, plus a
+//! *logical-line* view that joins multi-line method chains
+//! (`shared\n    .health\n    .lock()` becomes one line) so substring
+//! needles like `.health.lock(` match regardless of rustfmt's wrapping.
+//!
+//! These scanners are deliberately textual, not parsed: string literals
+//! containing a needle count against the file, which keeps the failure
+//! mode noisy rather than silent.
+
+use std::path::Path;
+
+/// One workspace source file, test-stripped.
+pub struct SourceFile {
+    /// Repo-relative path with forward slashes, e.g.
+    /// `crates/obs/src/recorder.rs`.
+    pub rel: String,
+    /// Source with `#[cfg(test)]` blocks removed.
+    pub body: String,
+}
+
+/// A source line with dot-chains joined back onto it, plus the original
+/// 1-based line number of its first physical line.
+pub struct LogicalLine {
+    pub lineno: usize,
+    pub text: String,
+}
+
+/// Strip `#[cfg(test)] mod ... { ... }` blocks from `source` by brace
+/// matching, and collect the names of `#[cfg(test)] mod name;` file
+/// references so the caller can skip those files.
+pub fn strip_test_blocks(source: &str) -> (String, Vec<String>) {
+    let mut out = String::with_capacity(source.len());
+    let mut test_mod_files = Vec::new();
+    let mut lines = source.lines().peekable();
+    while let Some(line) = lines.next() {
+        if line.trim_start().starts_with("#[cfg(test)]") {
+            // The attribute may gate a `mod x;` (external file), a
+            // `mod x { ... }` block, or a single item; consume
+            // accordingly.
+            let Some(next) = lines.peek() else { break };
+            let trimmed = next.trim_start();
+            if trimmed.starts_with("mod ") && trimmed.trim_end().ends_with(';') {
+                let name = trimmed
+                    .trim_end()
+                    .trim_end_matches(';')
+                    .trim_start_matches("mod ")
+                    .trim();
+                test_mod_files.push(format!("{name}.rs"));
+                lines.next();
+                continue;
+            }
+            // Block or item: swallow lines until braces balance. Depth
+            // only starts counting once the first `{` appears, so a
+            // one-line gated item without braces is consumed as-is.
+            let mut depth: i64 = 0;
+            let mut opened = false;
+            for body in lines.by_ref() {
+                for ch in body.chars() {
+                    match ch {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                if opened && depth <= 0 {
+                    break;
+                }
+                if !opened {
+                    break;
+                }
+            }
+            continue;
+        }
+        out.push_str(line);
+        out.push('\n');
+    }
+    (out, test_mod_files)
+}
+
+/// Recursively collect `.rs` files under `dir`. `include_binaries`
+/// controls whether `bin/` directories and `main.rs` are kept — the
+/// panic audit exempts binaries (a CLI may die loudly), while the
+/// concurrency audits must cover them (the daemon lives in `bin/`).
+fn collect_rs_files(
+    dir: &Path,
+    include_binaries: bool,
+    out: &mut Vec<std::path::PathBuf>,
+) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "bin" && !include_binaries {
+                continue;
+            }
+            collect_rs_files(&path, include_binaries, out)?;
+        } else if name.ends_with(".rs") && (include_binaries || name != "main.rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Walk every crate's `src` tree under `repo_root/crates`, returning
+/// test-stripped sources sorted by path. Errors come back as plain
+/// strings for the caller to wrap into its own findings.
+pub fn workspace_sources(
+    repo_root: &Path,
+    include_binaries: bool,
+) -> Result<Vec<SourceFile>, String> {
+    let crates_dir = repo_root.join("crates");
+    let mut crate_dirs: Vec<_> = std::fs::read_dir(&crates_dir)
+        .map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+
+    let mut out = Vec::new();
+    for crate_dir in &crate_dirs {
+        let src = crate_dir.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        collect_rs_files(&src, include_binaries, &mut files)
+            .map_err(|e| format!("cannot walk {}: {e}", src.display()))?;
+        files.sort();
+        // First pass: find files that are test-only (`#[cfg(test)] mod x;`).
+        let mut stripped: Vec<(std::path::PathBuf, String)> = Vec::new();
+        let mut test_files: Vec<String> = Vec::new();
+        for f in &files {
+            let text = std::fs::read_to_string(f)
+                .map_err(|e| format!("cannot read {}: {e}", f.display()))?;
+            let (body, mods) = strip_test_blocks(&text);
+            test_files.extend(mods);
+            stripped.push((f.clone(), body));
+        }
+        for (f, body) in stripped {
+            let fname = f
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            if test_files.contains(&fname) {
+                continue;
+            }
+            let rel = f
+                .strip_prefix(repo_root)
+                .unwrap_or(&f)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push(SourceFile { rel, body });
+        }
+    }
+    Ok(out)
+}
+
+/// Split a body into logical lines: a physical line whose successor
+/// (after trimming) starts with `.` absorbs it, so rustfmt-wrapped
+/// method chains match single-line substring needles. Comment-only
+/// lines are dropped.
+pub fn logical_lines(body: &str) -> Vec<LogicalLine> {
+    let mut out: Vec<LogicalLine> = Vec::new();
+    for (i, raw) in body.lines().enumerate() {
+        let trimmed = raw.trim();
+        if trimmed.starts_with("//") {
+            continue;
+        }
+        let continues = trimmed.starts_with('.');
+        if continues {
+            if let Some(last) = out.last_mut() {
+                last.text.push_str(trimmed);
+                continue;
+            }
+        }
+        out.push(LogicalLine {
+            lineno: i + 1,
+            text: trimmed.to_string(),
+        });
+    }
+    out
+}
+
+/// Net brace depth change contributed by one line (string-literal
+/// blind, like the rest of the scanner — noisy over silent).
+pub fn brace_delta(line: &str) -> i64 {
+    let mut d = 0i64;
+    for ch in line.chars() {
+        match ch {
+            '{' => d += 1,
+            '}' => d -= 1,
+            _ => {}
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logical_lines_join_method_chains() {
+        let body = "let x = shared\n    .health\n    .lock()\n    .unwrap();\nlet y = 2;\n";
+        let lines = logical_lines(body);
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].text, "let x = shared.health.lock().unwrap();");
+        assert_eq!(lines[0].lineno, 1);
+        assert_eq!(lines[1].lineno, 5);
+    }
+
+    #[test]
+    fn comment_lines_are_dropped_not_joined() {
+        let body = "// .lock() in a comment\nlet a = 1;\n";
+        let lines = logical_lines(body);
+        assert_eq!(lines.len(), 1);
+        assert!(!lines[0].text.contains("lock"));
+    }
+
+    #[test]
+    fn brace_delta_counts_net() {
+        assert_eq!(brace_delta("if x { y } else {"), 1);
+        assert_eq!(brace_delta("}"), -1);
+        assert_eq!(brace_delta("let z = 3;"), 0);
+    }
+
+    #[test]
+    fn workspace_walk_finds_this_file() {
+        let sources = workspace_sources(&crate::default_repo_root(), true).unwrap();
+        assert!(sources.iter().any(|s| s.rel == "crates/sdlint/src/scan.rs"));
+        // Binaries included when asked for...
+        assert!(sources
+            .iter()
+            .any(|s| s.rel == "crates/sdchecker/src/bin/sdcheckerd.rs"));
+        // ...and excluded when not.
+        let lib_only = workspace_sources(&crate::default_repo_root(), false).unwrap();
+        assert!(!lib_only
+            .iter()
+            .any(|s| s.rel.contains("/bin/") || s.rel.ends_with("main.rs")));
+    }
+}

@@ -1,0 +1,288 @@
+//! Mutation tests for the concurrency suite (PR 10).
+//!
+//! Same discipline as `mutation.rs`: each test seeds exactly one
+//! violation — the careless edit a real PR would make — and asserts the
+//! checker fails with a diagnostic naming the offending lock, site,
+//! path, or model. The green run in `repo_is_clean` certifies the tree;
+//! these certify the checkers.
+
+use sdlint::scan::SourceFile;
+use sdlint::{atomics, determinism, interleave, locks};
+
+// ---------------------------------------------------------------------------
+// locks: seeded lock-order cycle
+// ---------------------------------------------------------------------------
+
+/// Two locks acquired in opposite orders on two paths — the textbook
+/// ABBA deadlock — must fail the lock audit with the cycle spelled out.
+#[test]
+fn seeded_lock_order_cycle_is_caught() {
+    let body = "\
+struct S {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+impl S {
+    fn one(&self) {
+        let g = self.a.lock().unwrap_or_else(|e| e.into_inner());
+        let h = self.b.lock().unwrap_or_else(|e| e.into_inner());
+    }
+    fn two(&self) {
+        let g = self.b.lock().unwrap_or_else(|e| e.into_inner());
+        let h = self.a.lock().unwrap_or_else(|e| e.into_inner());
+    }
+}
+";
+    let sources = [SourceFile {
+        rel: "crates/x/src/lib.rs".into(),
+        body: body.into(),
+    }];
+    let table = [
+        locks::LockSpec {
+            name: "test.a",
+            file: "crates/x/src/lib.rs",
+            kind: locks::LockKind::Mutex,
+            decl_pattern: "a: Mutex",
+            decl_sites: 1,
+            acquire_pattern: ".a.lock(",
+            guards: "half of the seeded ABBA pair",
+            poison: locks::PoisonPolicy::Recover,
+        },
+        locks::LockSpec {
+            name: "test.b",
+            file: "crates/x/src/lib.rs",
+            kind: locks::LockKind::Mutex,
+            decl_pattern: "b: Mutex",
+            decl_sites: 1,
+            acquire_pattern: ".b.lock(",
+            guards: "the other half",
+            poison: locks::PoisonPolicy::Recover,
+        },
+    ];
+    let edges = [
+        locks::HeldEdge {
+            holder: "test.a",
+            acquired: "test.b",
+            kind: locks::EdgeKind::Lexical,
+            why: "fn one",
+        },
+        locks::HeldEdge {
+            holder: "test.b",
+            acquired: "test.a",
+            kind: locks::EdgeKind::Lexical,
+            why: "fn two",
+        },
+    ];
+    let findings = locks::check_tables(&sources, &table, &edges, &[]);
+    let cycle = findings
+        .iter()
+        .find(|f| f.message.contains("lock-order cycle"))
+        .unwrap_or_else(|| panic!("no cycle finding in {findings:#?}"));
+    assert!(
+        cycle.message.contains("test.a") && cycle.message.contains("test.b"),
+        "cycle diagnostic must name both locks: {cycle}"
+    );
+    assert!(
+        cycle.message.contains("deadlock"),
+        "cycle diagnostic must say why it matters: {cycle}"
+    );
+}
+
+/// An undeclared nesting (one lock taken while another is held, with no
+/// HELD_EDGES entry) is caught even when acyclic.
+#[test]
+fn undeclared_nesting_is_caught() {
+    let body = "\
+struct S {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+impl S {
+    fn one(&self) {
+        let g = self.a.lock().unwrap_or_else(|e| e.into_inner());
+        let h = self.b.lock().unwrap_or_else(|e| e.into_inner());
+    }
+}
+";
+    let sources = [SourceFile {
+        rel: "crates/x/src/lib.rs".into(),
+        body: body.into(),
+    }];
+    let table = [
+        locks::LockSpec {
+            name: "test.a",
+            file: "crates/x/src/lib.rs",
+            kind: locks::LockKind::Mutex,
+            decl_pattern: "a: Mutex",
+            decl_sites: 1,
+            acquire_pattern: ".a.lock(",
+            guards: "x",
+            poison: locks::PoisonPolicy::Recover,
+        },
+        locks::LockSpec {
+            name: "test.b",
+            file: "crates/x/src/lib.rs",
+            kind: locks::LockKind::Mutex,
+            decl_pattern: "b: Mutex",
+            decl_sites: 1,
+            acquire_pattern: ".b.lock(",
+            guards: "y",
+            poison: locks::PoisonPolicy::Recover,
+        },
+    ];
+    let findings = locks::check_tables(&sources, &table, &[], &[]);
+    assert!(
+        findings.iter().any(|f| f.message.contains("undeclared")
+            && f.message.contains("test.b")
+            && f.message.contains("test.a")),
+        "{findings:#?}"
+    );
+}
+
+/// A guard held across blocking I/O is caught with the lock named.
+#[test]
+fn lock_held_across_io_is_caught() {
+    let body = "\
+struct S {
+    a: Mutex<u32>,
+}
+impl S {
+    fn slow(&self) {
+        let g = self.a.lock().unwrap_or_else(|e| e.into_inner());
+        std::fs::write(\"/tmp/x\", \"y\").ok();
+    }
+}
+";
+    let sources = [SourceFile {
+        rel: "crates/x/src/lib.rs".into(),
+        body: body.into(),
+    }];
+    let table = [locks::LockSpec {
+        name: "test.a",
+        file: "crates/x/src/lib.rs",
+        kind: locks::LockKind::Mutex,
+        decl_pattern: "a: Mutex",
+        decl_sites: 1,
+        acquire_pattern: ".a.lock(",
+        guards: "x",
+        poison: locks::PoisonPolicy::Recover,
+    }];
+    let findings = locks::check_tables(&sources, &table, &[], &[]);
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.message.contains("held across") && f.message.contains("test.a")),
+        "{findings:#?}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// atomics: unlisted Relaxed
+// ---------------------------------------------------------------------------
+
+/// A new `Ordering::Relaxed` with no allowlist entry must fail with the
+/// file, line, and call site in the diagnostic.
+#[test]
+fn unlisted_relaxed_is_caught() {
+    let sources = [SourceFile {
+        rel: "crates/sdchecker/src/bin/sdcheckerd.rs".into(),
+        body: "fn poll() {\n    while !SHUTDOWN.load(Ordering::Relaxed) {\n    }\n}\n".into(),
+    }];
+    // Real allowlist, seeded source: the daemon flag downgraded to
+    // Relaxed is exactly the edit the audit exists to stop.
+    let findings = atomics::check_table(&sources, atomics::RELAXED_ALLOW);
+    let f = findings
+        .iter()
+        .find(|f| f.message.contains("outside the allowlist"))
+        .unwrap_or_else(|| panic!("no unlisted-Relaxed finding in {findings:#?}"));
+    assert!(
+        f.message
+            .contains("crates/sdchecker/src/bin/sdcheckerd.rs:2"),
+        "diagnostic must give file:line: {f}"
+    );
+    assert!(
+        f.message.contains("SHUTDOWN.load("),
+        "diagnostic must quote the site: {f}"
+    );
+    // The real entries are now stale (their file is absent from the
+    // seeded source set) — that is the two-way ratchet talking, not the
+    // violation under test.
+}
+
+// ---------------------------------------------------------------------------
+// determinism: hash map on an output path
+// ---------------------------------------------------------------------------
+
+/// A `HashMap` introduced in a report-feeding module must fail the
+/// determinism lint naming the path class, even if someone also adds an
+/// allowlist entry for it.
+#[test]
+fn hashmap_on_output_path_is_caught() {
+    let sources = [SourceFile {
+        rel: "crates/sdchecker/src/report.rs".into(),
+        body: "fn render() {\n    let m: HashMap<String, u64> = HashMap::new();\n}\n".into(),
+    }];
+    let findings = determinism::check_tables(
+        &sources,
+        determinism::OUTPUT_PREFIXES,
+        determinism::HASH_ALLOW,
+    );
+    let f = findings
+        .iter()
+        .find(|f| f.message.contains("output dataflow path"))
+        .unwrap_or_else(|| panic!("no output-path finding in {findings:#?}"));
+    assert!(
+        f.message.contains("crates/sdchecker/src/report.rs:2"),
+        "diagnostic must give file:line: {f}"
+    );
+    assert!(
+        f.message.contains("BTreeMap"),
+        "diagnostic must say what to use instead: {f}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// interleave: torn-snapshot model
+// ---------------------------------------------------------------------------
+
+/// Removing the report lock from the daemon model's publish path must
+/// produce a torn-snapshot diagnostic naming the model — proof the
+/// explorer actually visits the interleaving where HTTP lands between
+/// the two report-word writes.
+#[test]
+fn torn_snapshot_model_is_caught() {
+    let (findings, stats) = interleave::explore(
+        &interleave::DaemonModel::torn_publish(),
+        interleave::MAX_STATES,
+    );
+    assert!(!stats.capped, "mutated model blew the state cap");
+    let f = findings
+        .iter()
+        .find(|f| f.message.contains("torn snapshot"))
+        .unwrap_or_else(|| panic!("no torn-snapshot finding in {findings:#?}"));
+    assert!(
+        f.message.contains("[daemon-shutdown-drain]"),
+        "diagnostic must name the model: {f}"
+    );
+    assert!(
+        f.message.contains("report lock"),
+        "diagnostic must say what discipline was broken: {f}"
+    );
+}
+
+/// The acceptance bar for exhaustiveness: the real daemon model explores
+/// more than 10^4 distinct states, uncapped, and every terminal state
+/// drains.
+#[test]
+fn daemon_model_exhaustive_exploration_exceeds_10k_states() {
+    let (findings, stats) =
+        interleave::explore(&interleave::DaemonModel::real(), interleave::MAX_STATES);
+    assert!(findings.is_empty(), "{findings:#?}");
+    assert!(!stats.capped);
+    assert!(
+        stats.states > 10_000,
+        "explored only {} states",
+        stats.states
+    );
+    assert!(stats.terminals > 0);
+}
